@@ -1,0 +1,301 @@
+//! Mini-app integration tests: numerics, decomposition-independence, and
+//! race behaviour under the tool flavors.
+
+use cusan::Flavor;
+use cusan_apps::{run_jacobi, run_tealeaf, JacobiConfig, RaceMode, TeaLeafConfig};
+
+fn small_jacobi(ranks: usize) -> JacobiConfig {
+    JacobiConfig {
+        nx: 64,
+        ny: 32,
+        ranks,
+        iters: 30,
+        race: RaceMode::None,
+    }
+}
+
+fn small_tealeaf(ranks: usize) -> TeaLeafConfig {
+    TeaLeafConfig {
+        nx: 32,
+        ny: 32,
+        ranks,
+        max_iters: 40,
+        ..TeaLeafConfig::default()
+    }
+}
+
+#[test]
+fn jacobi_norms_decrease_and_are_finite() {
+    let run = run_jacobi(&small_jacobi(2), Flavor::Vanilla);
+    assert_eq!(run.norms.len(), 30);
+    assert!(run.norms.iter().all(|n| n.is_finite()));
+    assert!(run.norms[0] > 0.0, "boundary drives an initial update");
+    assert!(
+        run.final_norm < run.norms[0],
+        "relaxation reduces the update norm: {} -> {}",
+        run.norms[0],
+        run.final_norm
+    );
+}
+
+#[test]
+fn jacobi_decomposition_independent() {
+    let r1 = run_jacobi(&small_jacobi(1), Flavor::Vanilla);
+    let r2 = run_jacobi(&small_jacobi(2), Flavor::Vanilla);
+    let r4 = run_jacobi(&small_jacobi(4), Flavor::Vanilla);
+    for (a, b) in r1.norms.iter().zip(&r2.norms) {
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+            "1 vs 2 ranks: {a} vs {b}"
+        );
+    }
+    for (a, b) in r1.norms.iter().zip(&r4.norms) {
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+            "1 vs 4 ranks: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn jacobi_correct_version_race_free_under_full_stack() {
+    let run = run_jacobi(&small_jacobi(2), Flavor::MustCusan);
+    assert_eq!(
+        run.outcome.total_races(),
+        0,
+        "{:#?}",
+        run.outcome.all_races()
+    );
+    assert!(run.outcome.all_must_reports().is_empty());
+    // Table I shape: Jacobi uses two streams.
+    assert_eq!(run.outcome.ranks[0].cuda.streams, 2);
+    assert!(
+        run.outcome.ranks[0].cuda.kernel_calls >= 90,
+        "3 kernels/iter"
+    );
+    assert!(run.outcome.ranks[0].tsan.read_bytes > 0);
+}
+
+#[test]
+fn jacobi_instrumentation_does_not_change_numerics() {
+    let v = run_jacobi(&small_jacobi(2), Flavor::Vanilla);
+    let c = run_jacobi(&small_jacobi(2), Flavor::MustCusan);
+    assert_eq!(v.norms, c.norms, "tools must be observation-only");
+}
+
+#[test]
+fn jacobi_missing_sync_detected_and_corrupts() {
+    let cfg = JacobiConfig {
+        race: RaceMode::SkipSyncBeforeExchange,
+        ..small_jacobi(2)
+    };
+    let run = run_jacobi(&cfg, Flavor::MustCusan);
+    assert!(
+        run.outcome.has_races(),
+        "missing device sync must be reported"
+    );
+    let races = run.outcome.all_races();
+    assert!(
+        races
+            .iter()
+            .any(|(_, r)| r.current.ctx.contains("MPI_Sendrecv")
+                || r.previous.ctx.contains("MPI_Sendrecv")),
+        "{races:#?}"
+    );
+    // The bug is real: stale halos change the numerics vs the correct run.
+    let good = run_jacobi(&small_jacobi(2), Flavor::Vanilla);
+    assert_ne!(
+        good.norms, run.norms,
+        "racy run must produce different numerics"
+    );
+}
+
+#[test]
+fn jacobi_vanilla_misses_what_cusan_catches() {
+    let cfg = JacobiConfig {
+        race: RaceMode::SkipSyncBeforeExchange,
+        ..small_jacobi(2)
+    };
+    for (flavor, expect) in [
+        (Flavor::Vanilla, false),
+        (Flavor::Tsan, false),
+        (Flavor::Must, false),
+        (Flavor::MustCusan, true),
+    ] {
+        let run = run_jacobi(&cfg, flavor);
+        assert_eq!(run.outcome.has_races(), expect, "flavor {flavor}");
+    }
+}
+
+#[test]
+fn tealeaf_converges() {
+    let run = run_tealeaf(&small_tealeaf(2), Flavor::Vanilla);
+    assert!(run.cg.rr.is_finite());
+    assert!(run.cg.bb > 0.0);
+    assert!(
+        run.cg.rr < 1e-6 * run.cg.bb,
+        "CG must reduce the residual: rr={} bb={}",
+        run.cg.rr,
+        run.cg.bb
+    );
+    assert!(run.cg.iterations > 2);
+}
+
+#[test]
+fn tealeaf_decomposition_independent() {
+    let r1 = run_tealeaf(&small_tealeaf(1), Flavor::Vanilla);
+    let r2 = run_tealeaf(&small_tealeaf(2), Flavor::Vanilla);
+    let r4 = run_tealeaf(&small_tealeaf(4), Flavor::Vanilla);
+    assert_eq!(r1.cg.iterations, r2.cg.iterations);
+    assert_eq!(r1.cg.iterations, r4.cg.iterations);
+    let tol = 1e-7 * r1.cg.bb;
+    assert!(
+        (r1.cg.rr - r2.cg.rr).abs() <= tol,
+        "{} vs {}",
+        r1.cg.rr,
+        r2.cg.rr
+    );
+    assert!(
+        (r1.cg.rr - r4.cg.rr).abs() <= tol,
+        "{} vs {}",
+        r1.cg.rr,
+        r4.cg.rr
+    );
+}
+
+#[test]
+fn tealeaf_correct_version_race_free_under_full_stack() {
+    let run = run_tealeaf(&small_tealeaf(2), Flavor::MustCusan);
+    assert_eq!(
+        run.outcome.total_races(),
+        0,
+        "{:#?}",
+        run.outcome.all_races()
+    );
+    // Table I shape: TeaLeaf uses only the default stream, and its
+    // non-blocking halo exchange creates (and retires) MPI request fibers.
+    assert_eq!(run.outcome.ranks[0].cuda.streams, 1);
+    let ts = &run.outcome.ranks[0].tsan;
+    assert!(ts.fibers_created > u64::from(run.cg.iterations), "{ts:?}");
+    assert_eq!(
+        ts.fibers_destroyed,
+        ts.fibers_created - 2,
+        "all request fibers retired; host + stream fiber remain"
+    );
+}
+
+#[test]
+fn tealeaf_missing_sync_detected() {
+    let cfg = TeaLeafConfig {
+        race: RaceMode::SkipSyncBeforeExchange,
+        ..small_tealeaf(2)
+    };
+    let run = run_tealeaf(&cfg, Flavor::MustCusan);
+    assert!(run.outcome.has_races());
+    let races = run.outcome.all_races();
+    assert!(
+        races.iter().any(|(_, r)| r.current.ctx.contains("MPI_I")
+            || r.previous.ctx.contains("MPI_I")
+            || r.current.ctx.contains("kernel")
+            || r.previous.ctx.contains("kernel")),
+        "{races:#?}"
+    );
+}
+
+#[test]
+fn tealeaf_instrumentation_does_not_change_numerics() {
+    let v = run_tealeaf(&small_tealeaf(2), Flavor::Vanilla);
+    let c = run_tealeaf(&small_tealeaf(2), Flavor::MustCusan);
+    assert_eq!(v.cg.rr, c.cg.rr);
+    assert_eq!(v.cg.iterations, c.cg.iterations);
+}
+
+#[test]
+fn flavors_order_overhead_event_counts() {
+    // More instrumentation => more TSan events. (Wall-clock ordering is
+    // asserted by the benchmark harness, not a unit test.)
+    let cfg = small_jacobi(2);
+    let tsan = run_jacobi(&cfg, Flavor::Tsan);
+    let must = run_jacobi(&cfg, Flavor::Must);
+    let cusan = run_jacobi(&cfg, Flavor::Cusan);
+    let both = run_jacobi(&cfg, Flavor::MustCusan);
+    let ev = |r: &cusan_apps::JacobiRun| {
+        let t = &r.outcome.ranks[0].tsan;
+        t.read_bytes + t.write_bytes
+    };
+    assert!(ev(&must) >= ev(&tsan));
+    assert!(
+        ev(&cusan) > ev(&must),
+        "CuSan tracks whole device allocations"
+    );
+    assert!(ev(&both) >= ev(&cusan));
+}
+
+mod jacobi2d_tests {
+    use cusan::Flavor;
+    use cusan_apps::{run_jacobi2d, Jacobi2dConfig, RaceMode};
+
+    fn cfg(px: usize, py: usize) -> Jacobi2dConfig {
+        Jacobi2dConfig {
+            nx: 32,
+            ny: 32,
+            px,
+            py,
+            iters: 20,
+            race: RaceMode::None,
+        }
+    }
+
+    #[test]
+    fn converges_and_is_finite() {
+        let run = run_jacobi2d(&cfg(2, 2), Flavor::Vanilla);
+        assert_eq!(run.norms.len(), 20);
+        assert!(run.norms.iter().all(|n| n.is_finite()));
+        assert!(run.norms[19] < run.norms[0]);
+    }
+
+    #[test]
+    fn decomposition_independent_across_grids() {
+        let base = run_jacobi2d(&cfg(1, 1), Flavor::Vanilla);
+        for (px, py) in [(2, 1), (1, 2), (2, 2), (4, 1)] {
+            let run = run_jacobi2d(&cfg(px, py), Flavor::Vanilla);
+            for (a, b) in base.norms.iter().zip(&run.norms) {
+                assert!(
+                    (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                    "{px}x{py}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn race_free_under_full_stack() {
+        let run = run_jacobi2d(&cfg(2, 2), Flavor::MustCusan);
+        assert_eq!(
+            run.outcome.total_races(),
+            0,
+            "{:#?}",
+            run.outcome.all_races()
+        );
+        assert!(run.outcome.all_must_reports().is_empty());
+        // Column exchanges use pitched copies: plenty of memcpy calls.
+        assert!(run.outcome.ranks[0].cuda.memcpy_calls > 40);
+    }
+
+    #[test]
+    fn missing_sync_detected() {
+        let c = Jacobi2dConfig {
+            race: RaceMode::SkipSyncBeforeExchange,
+            ..cfg(2, 2)
+        };
+        let run = run_jacobi2d(&c, Flavor::MustCusan);
+        assert!(run.outcome.has_races());
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_numerics() {
+        let v = run_jacobi2d(&cfg(2, 2), Flavor::Vanilla);
+        let c = run_jacobi2d(&cfg(2, 2), Flavor::MustCusan);
+        assert_eq!(v.norms, c.norms);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests: every app kernel's native closure is semantically
+//! identical to the reference interpretation of its IR.
+//!
+//! This is the consistency guarantee the real toolchain gets for free
+//! (device IR and executed SASS come from one CUDA source); here the two
+//! artifacts are hand-written, so the equivalence is *checked*.
+
+use cusan_apps::AppKernels;
+use kernel_ir::interp::{self, KValue, RunArg, VecBuffer, VecMemory};
+use kernel_ir::registry::{NativeArg, NativeCtx};
+use kernel_ir::KernelId;
+use proptest::prelude::*;
+
+/// Run a kernel both ways over identical inputs and compare all buffers.
+///
+/// `bufs`: initial contents per pointer arg (write-attributed args listed
+/// in `writes`). `scalars`: the scalar args in signature order.
+fn check_equivalence(
+    kernel: KernelId,
+    grid: u64,
+    bufs: &[Vec<f64>],
+    writes: &[usize],
+    scalars: &[KValue],
+) {
+    let k = AppKernels::shared();
+    let def = k.registry.def(kernel);
+
+    // Interpreter side.
+    let mut mem = VecMemory::new(bufs.iter().map(|b| VecBuffer::F64(b.clone())).collect());
+    let mut args = Vec::new();
+    let mut slot = 0;
+    let mut scalar_idx = 0;
+    for p in &def.params {
+        if p.ty.is_ptr() {
+            args.push(RunArg::Slot(slot));
+            slot += 1;
+        } else {
+            args.push(RunArg::Val(scalars[scalar_idx]));
+            scalar_idx += 1;
+        }
+    }
+    interp::run(k.registry.defs(), kernel, grid, &args, &mut mem).expect("interpreter run");
+
+    // Native side.
+    let native = k
+        .registry
+        .native(kernel)
+        .expect("app kernels all have native bodies");
+    let mut native_bufs: Vec<Vec<f64>> = bufs.to_vec();
+    {
+        let mut refs: Vec<NativeArg<'_>> = Vec::new();
+        // Split native_bufs into per-arg mutable refs.
+        let mut rest: &mut [Vec<f64>] = &mut native_bufs;
+        let mut buf_idx = 0;
+        let mut scalar_idx = 0;
+        for p in &def.params {
+            if p.ty.is_ptr() {
+                let (head, tail) = rest.split_first_mut().expect("buffer per ptr arg");
+                if writes.contains(&buf_idx) {
+                    refs.push(NativeArg::MutF64(head));
+                } else {
+                    refs.push(NativeArg::RefF64(head));
+                }
+                rest = tail;
+                buf_idx += 1;
+            } else {
+                refs.push(match scalars[scalar_idx] {
+                    KValue::F(v) => NativeArg::F64(v),
+                    KValue::I(v) => NativeArg::I64(v),
+                });
+                scalar_idx += 1;
+            }
+        }
+        let mut ctx = NativeCtx::new(&def.name, grid, refs);
+        native(&mut ctx);
+    }
+
+    for (i, expected) in native_bufs.iter().enumerate() {
+        let got = mem.f64_slot(i);
+        assert_eq!(
+            got, expected,
+            "kernel {} buffer {i}: interpreter vs native disagree",
+            def.name
+        );
+    }
+}
+
+fn field(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fill_equivalent(buf in field(64), v in -10.0f64..10.0, n in 0i64..80, grid in 0u64..96) {
+        let k = AppKernels::shared();
+        check_equivalence(k.fill, grid.min(buf.len() as u64), &[buf], &[0], &[KValue::F(v), KValue::I(n.min(64))]);
+    }
+
+    #[test]
+    fn copy_equivalent(dst in field(64), src in field(64), n in 0i64..=64, grid in 0u64..=64) {
+        let k = AppKernels::shared();
+        check_equivalence(k.copy, grid, &[dst, src], &[0], &[KValue::I(n)]);
+    }
+
+    #[test]
+    fn jacobi_step_equivalent(
+        seed in field(6 * 8),
+        nx in 3u64..=8,
+        rows in 1u64..=4,
+    ) {
+        let k = AppKernels::shared();
+        let local = ((rows + 2) * nx) as usize;
+        let a: Vec<f64> = seed.iter().cycle().take(local).copied().collect();
+        let anew = vec![0.0; local];
+        let grid = nx * rows;
+        check_equivalence(
+            k.jacobi_step,
+            grid,
+            &[anew, a],
+            &[0],
+            &[KValue::I(nx as i64), KValue::I(rows as i64)],
+        );
+    }
+
+    #[test]
+    fn residual_equivalent(a in field(48), anew in field(48), grid in 1u64..8) {
+        let k = AppKernels::shared();
+        let n = a.len().min(anew.len()) as i64;
+        check_equivalence(
+            k.residual,
+            grid,
+            &[vec![0.0], a, anew],
+            &[0],
+            &[KValue::I(n)],
+        );
+    }
+
+    #[test]
+    fn dot_equivalent(x in field(48), y in field(48), grid in 1u64..8) {
+        let k = AppKernels::shared();
+        let n = x.len().min(y.len()) as i64;
+        check_equivalence(k.dot, grid, &[vec![0.0], x, y], &[0], &[KValue::I(n)]);
+    }
+
+    #[test]
+    fn apply_a_equivalent(
+        seed in field(40),
+        nx in 3u64..=8,
+        rows in 1u64..=4,
+        rx in 0.0f64..0.5,
+        ry in 0.0f64..0.5,
+    ) {
+        let k = AppKernels::shared();
+        let local = ((rows + 2) * nx) as usize;
+        let p: Vec<f64> = seed.iter().cycle().take(local).copied().collect();
+        let w = vec![0.0; local];
+        check_equivalence(
+            k.apply_a,
+            nx * rows,
+            &[w, p],
+            &[0],
+            &[KValue::I(nx as i64), KValue::I(rows as i64), KValue::F(rx), KValue::F(ry)],
+        );
+    }
+
+    #[test]
+    fn axpy_equivalent(y in field(64), x in field(64), alpha in -4.0f64..4.0, grid in 0u64..=64) {
+        let k = AppKernels::shared();
+        let n = y.len().min(x.len()) as i64;
+        check_equivalence(k.axpy, grid, &[y, x], &[0], &[KValue::F(alpha), KValue::I(n)]);
+    }
+
+    #[test]
+    fn xpay_equivalent(y in field(64), x in field(64), beta in -4.0f64..4.0, grid in 0u64..=64) {
+        let k = AppKernels::shared();
+        let n = y.len().min(x.len()) as i64;
+        check_equivalence(k.xpay, grid, &[y, x], &[0], &[KValue::F(beta), KValue::I(n)]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn residual2d_equivalent(
+        seed in field(48),
+        w in 3u64..=8,
+        rows in 1u64..=4,
+        grid in 1u64..6,
+    ) {
+        let k = AppKernels::shared();
+        let local = ((rows + 2) * w) as usize;
+        let a: Vec<f64> = seed.iter().cycle().take(local).copied().collect();
+        let anew: Vec<f64> = seed.iter().rev().cycle().take(local).copied().collect();
+        check_equivalence(
+            k.residual2d,
+            grid,
+            &[vec![0.0], a, anew],
+            &[0],
+            &[KValue::I(w as i64), KValue::I(rows as i64)],
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Extension figure — tool overhead on the 2-D–decomposed Jacobi solver.
+//!
+//! Not a paper experiment (the paper evaluates the 1-D-decomposed NVIDIA
+//! Jacobi); this binary applies the Fig. 10 methodology to the
+//! `jacobi2d` extension app, whose pitched column-halo packs make it the
+//! showcase for bounded access tracking: the final row runs the full
+//! checker with `bounded_tracking` enabled.
+
+use cusan::Flavor;
+use cusan_apps::{run_jacobi2d, Jacobi2dConfig};
+use cusan_bench::{banner, bench_runs, env_u64, measure, rel, INSTRUMENTED};
+
+fn main() {
+    let runs = bench_runs();
+    let cfg = Jacobi2dConfig {
+        nx: env_u64("CUSAN_BENCH_JACOBI2D_N", 256),
+        ny: env_u64("CUSAN_BENCH_JACOBI2D_N", 256),
+        px: 2,
+        py: 2,
+        iters: env_u64("CUSAN_BENCH_JACOBI2D_ITERS", 30) as u32,
+        ..Jacobi2dConfig::default()
+    };
+    banner(
+        "Extension — relative runtime overhead on 2-D-decomposed Jacobi",
+        &format!(
+            "{}x{} on a {}x{} rank grid, {} iterations, mean of {runs} runs (+1 warmup)",
+            cfg.nx, cfg.ny, cfg.px, cfg.py, cfg.iters
+        ),
+    );
+
+    let vanilla = measure(runs, || run_jacobi2d(&cfg, Flavor::Vanilla).elapsed);
+    println!("Vanilla runtime: {:.3} s\n", vanilla.as_secs_f64());
+    println!("{:<30} {:>10}", "Flavor", "Rel.");
+    println!("{:<30} {:>10}", "Vanilla", "1.00x");
+    for flavor in INSTRUMENTED {
+        let t = measure(runs, || run_jacobi2d(&cfg, flavor).elapsed);
+        println!("{:<30} {:>9.2}x", flavor.to_string(), rel(t, vanilla));
+    }
+    let mut bounded = Flavor::MustCusan.config();
+    bounded.bounded_tracking = true;
+    let t = measure(runs, || run_jacobi2d(&cfg, bounded).elapsed);
+    println!(
+        "{:<30} {:>9.2}x",
+        "MUST & CuSan + bounded (§VI-D)",
+        rel(t, vanilla)
+    );
+}

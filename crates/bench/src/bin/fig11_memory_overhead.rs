@@ -1,0 +1,67 @@
+//! Fig. 11 — relative memory overhead of the tool flavors.
+//!
+//! The paper measures the resident set size (RSS) of one MPI process at
+//! `MPI_Finalize`: Jacobi — TSan 1.2×, MUST 1.17×, CuSan 1.71×,
+//! MUST & CuSan 1.77×; TeaLeaf — 1.0×, 1.03×, 1.25×, 1.29× (vanilla RSS
+//! 311 MB / 283 MB).
+//!
+//! The simulation has no OS process per rank, so RSS is modeled as
+//! `baseline + app_bytes/rank + tool_bytes/rank`, where the baseline
+//! stands for everything a real process maps besides the domain (binary,
+//! MPI library, CUDA driver, …; the paper's vanilla RSS is dominated by
+//! it). Both the modeled ratio and the raw tool bytes are reported;
+//! the shape CuSan > MUST ≥ TSan ≥ 1 and Jacobi > TeaLeaf is the
+//! reproduction target.
+
+use cusan::Flavor;
+use cusan_apps::{run_jacobi, run_tealeaf};
+use cusan_bench::{banner, env_u64, fmt_bytes, jacobi_config, tealeaf_config, INSTRUMENTED};
+
+fn main() {
+    let jc = jacobi_config();
+    let tc = tealeaf_config();
+    let baseline = env_u64("CUSAN_BENCH_RSS_BASELINE_MB", 64) * (1 << 20);
+    banner(
+        "Fig. 11 — relative memory overhead [M_flavor / M_vanilla] per rank",
+        &format!(
+            "modeled RSS = {} baseline + app/rank + tool/rank (set CUSAN_BENCH_RSS_BASELINE_MB)",
+            fmt_bytes(baseline)
+        ),
+    );
+
+    println!(
+        "{:<14} {:>10} {:>14} {:>10} {:>14}",
+        "Flavor", "Jacobi", "(tool mem)", "TeaLeaf", "(tool mem)"
+    );
+    let mut vanilla_app = [0u64; 2];
+    for (i, flavor) in [Flavor::Vanilla]
+        .iter()
+        .chain(INSTRUMENTED.iter())
+        .enumerate()
+    {
+        let j = run_jacobi(&jc, *flavor);
+        let t = run_tealeaf(&tc, *flavor);
+        let ranks = jc.ranks as u64;
+        let japp = j.outcome.space.peak_bytes / ranks;
+        let tapp = t.outcome.space.peak_bytes / ranks;
+        let jtool = j.outcome.total_tool_memory() / ranks;
+        let ttool = t.outcome.total_tool_memory() / ranks;
+        if i == 0 {
+            vanilla_app = [japp, tapp];
+        }
+        // Vanilla's modeled RSS uses its own app bytes; flavors use theirs
+        // (identical domains, so app bytes match vanilla's).
+        let jr = (baseline + japp + jtool) as f64 / (baseline + vanilla_app[0]) as f64;
+        let tr = (baseline + tapp + ttool) as f64 / (baseline + vanilla_app[1]) as f64;
+        println!(
+            "{:<14} {:>9.2}x {:>14} {:>9.2}x {:>14}",
+            flavor.to_string(),
+            jr,
+            fmt_bytes(jtool),
+            tr,
+            fmt_bytes(ttool)
+        );
+    }
+    println!("\npaper (V100):  Jacobi  TSan 1.20x  MUST 1.17x  CuSan 1.71x  MUST&CuSan 1.77x");
+    println!("               TeaLeaf TSan 1.00x  MUST 1.03x  CuSan 1.25x  MUST&CuSan 1.29x");
+}

@@ -1,0 +1,748 @@
+//! The checked CUDA API: CuSan's interception layer over the simulated
+//! runtime.
+//!
+//! Every method first executes the CuSan callback (annotating TSan with
+//! CUDA's concurrency semantics — the instrumentation the compiler pass
+//! inserts before each CUDA call, paper Fig. 9) and then forwards to the
+//! underlying [`CudaDevice`]. With `cusan` disabled in the [`ToolConfig`]
+//! the callbacks are no-ops and the layer is a thin passthrough, which is
+//! how the Vanilla/TSan/MUST flavors run.
+
+use crate::config::ToolConfig;
+use crate::ctx::ToolCtx;
+use crate::keys::{event_key, stream_key};
+use cuda_sim::semantics;
+use cuda_sim::{
+    CopyKind, CudaCounters, CudaDevice, CudaError, DefaultStreamMode, EventId, HostSync,
+    StreamFlags, StreamId,
+};
+use kernel_ir::{KernelId, KernelRegistry, LaunchArg, LaunchGrid};
+use sim_mem::{AddressSpace, AllocationInfo, DeviceId, MemKind, Pod, PointerAttr, Ptr};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::Arc;
+use tsan_rt::{CtxId, FiberId};
+use typeart_rt::TypeId;
+
+/// One annotated memory range of a device operation.
+struct RangeAccess {
+    ptr: Ptr,
+    len: u64,
+    write: bool,
+    ctx: CtxId,
+}
+
+/// The CuSan-checked CUDA API for one rank's device. See module docs.
+pub struct CusanCuda {
+    dev: CudaDevice,
+    tools: Rc<ToolCtx>,
+    stream_fibers: HashMap<StreamId, FiberId>,
+    nonblocking: HashSet<StreamId>,
+    /// Streams whose sync key holds a cross-stream barrier release that the
+    /// stream's own fiber has not yet acquired.
+    pending_release: HashSet<StreamId>,
+    /// Cache of interned kernel-argument contexts: (kernel, arg, write).
+    kernel_ctx_cache: HashMap<(KernelId, u32, bool), CtxId>,
+    ctx_memcpy_src: CtxId,
+    ctx_memcpy_dst: CtxId,
+    ctx_memset: CtxId,
+    ctx_free: CtxId,
+}
+
+impl CusanCuda {
+    /// Wrap a fresh device for `rank`'s tool context.
+    pub fn new(
+        device: DeviceId,
+        space: Arc<AddressSpace>,
+        registry: Arc<KernelRegistry>,
+        tools: Rc<ToolCtx>,
+    ) -> Self {
+        let dev = CudaDevice::new(device, space, registry);
+        let (src, dst, ms, fr) = {
+            let mut t = tools.tsan.borrow_mut();
+            (
+                t.intern_ctx("cudaMemcpy source [read]"),
+                t.intern_ctx("cudaMemcpy destination [write]"),
+                t.intern_ctx("cudaMemset [write]"),
+                t.intern_ctx("cudaFree [write]"),
+            )
+        };
+        let mut this = CusanCuda {
+            dev,
+            tools,
+            stream_fibers: HashMap::new(),
+            nonblocking: HashSet::new(),
+            pending_release: HashSet::new(),
+            kernel_ctx_cache: HashMap::new(),
+            ctx_memcpy_src: src,
+            ctx_memcpy_dst: dst,
+            ctx_memset: ms,
+            ctx_free: fr,
+        };
+        if this.enabled() {
+            // The default stream is always tracked (paper §IV-A a).
+            this.fiber_for(StreamId::DEFAULT);
+        }
+        this
+    }
+
+    fn enabled(&self) -> bool {
+        self.tools.config.cusan
+    }
+
+    fn config(&self) -> ToolConfig {
+        self.tools.config
+    }
+
+    /// The underlying shared address space.
+    pub fn space(&self) -> &Arc<AddressSpace> {
+        self.dev.space()
+    }
+
+    /// The kernel registry.
+    pub fn registry(&self) -> &Arc<KernelRegistry> {
+        self.dev.registry()
+    }
+
+    /// The per-rank tool context.
+    pub fn tools(&self) -> &Rc<ToolCtx> {
+        &self.tools
+    }
+
+    /// Device-call counters (Table I "CUDA" rows).
+    pub fn counters(&self) -> CudaCounters {
+        self.dev.counters()
+    }
+
+    /// Raw device access for tests and the MUST harness.
+    pub fn device_mut(&mut self) -> &mut CudaDevice {
+        &mut self.dev
+    }
+
+    /// Select legacy vs per-thread default-stream semantics (paper §VI-B).
+    /// In per-thread mode the default stream carries no implicit barriers;
+    /// CuSan models it like any other stream. Must be called before work
+    /// is enqueued.
+    pub fn set_default_stream_mode(&mut self, mode: DefaultStreamMode) {
+        self.dev.set_default_stream_mode(mode);
+    }
+
+    fn legacy_default(&self) -> bool {
+        self.dev.default_stream_mode() == DefaultStreamMode::Legacy
+    }
+
+    fn fiber_for(&mut self, s: StreamId) -> FiberId {
+        if let Some(&f) = self.stream_fibers.get(&s) {
+            return f;
+        }
+        let name = if s.is_default() {
+            "cuda stream 0 (default)".to_string()
+        } else {
+            format!("cuda stream {}", s.0)
+        };
+        let f = self.tools.tsan.borrow_mut().create_fiber(&name);
+        self.stream_fibers.insert(s, f);
+        f
+    }
+
+    fn blocking_user_streams(&self) -> Vec<StreamId> {
+        self.dev
+            .live_streams()
+            .into_iter()
+            .filter(|s| !s.is_default() && !self.nonblocking.contains(s))
+            .collect()
+    }
+
+    /// The CuSan callback for a device operation on stream `s`: switch to
+    /// the stream's fiber, consume any pending cross-stream barrier
+    /// release, annotate the accessed ranges, start the stream's
+    /// happens-before arc, push legacy default-stream barrier releases,
+    /// and switch back to the host fiber (paper §IV-A b–e).
+    fn stream_op(&mut self, s: StreamId, accesses: &[RangeAccess]) {
+        if !self.enabled() {
+            return;
+        }
+        let fiber = self.fiber_for(s);
+        let host;
+        {
+            let mut t = self.tools.tsan.borrow_mut();
+            host = t.host_fiber();
+            t.switch_to_fiber_sync(fiber);
+            if self.pending_release.remove(&s) {
+                t.annotate_happens_after(stream_key(s));
+            }
+            if self.config().track_access_ranges {
+                for a in accesses {
+                    if a.write {
+                        t.write_range(a.ptr.addr(), a.len, a.ctx);
+                    } else {
+                        t.read_range(a.ptr.addr(), a.len, a.ctx);
+                    }
+                }
+            }
+            t.annotate_happens_before(stream_key(s));
+        }
+        // Legacy default-stream logical barriers (Fig. 3). Per-thread
+        // default-stream mode (§VI-B) has no implicit barriers.
+        let is_legacy_blocking =
+            self.legacy_default() && (s.is_default() || !self.nonblocking.contains(&s));
+        if is_legacy_blocking {
+            let targets: Vec<StreamId> = if s.is_default() {
+                self.blocking_user_streams()
+            } else {
+                vec![StreamId::DEFAULT]
+            };
+            {
+                let mut t = self.tools.tsan.borrow_mut();
+                for &u in &targets {
+                    t.annotate_happens_before(stream_key(u));
+                }
+            }
+            self.pending_release.extend(targets);
+        }
+        self.tools.tsan.borrow_mut().switch_to_fiber(host);
+    }
+
+    /// Host-side happens-after on a stream's arc (explicit or implicit
+    /// host synchronization).
+    fn host_sync_stream(&mut self, s: StreamId) {
+        if !self.enabled() {
+            return;
+        }
+        self.tools
+            .tsan
+            .borrow_mut()
+            .annotate_happens_after(stream_key(s));
+    }
+
+    // ---- memory management ----------------------------------------------------
+
+    fn on_alloc(&self, ptr: Ptr, type_id: TypeId, count: u64, kind: MemKind) {
+        if self.config().typeart {
+            self.tools
+                .typeart
+                .borrow_mut()
+                .on_alloc(ptr, type_id, count, kind)
+                .expect("allocator produced overlapping allocation");
+        }
+    }
+
+    fn type_id_of<T: Pod>(&self) -> TypeId {
+        self.tools
+            .typeart
+            .borrow_mut()
+            .registry_mut()
+            .register(T::NAME, T::SIZE as u64)
+    }
+
+    /// `cudaMalloc` for `n` elements of `T`.
+    pub fn malloc<T: Pod>(&mut self, n: u64) -> Result<Ptr, CudaError> {
+        let p = self.dev.malloc_array::<T>(n)?;
+        let tid = self.type_id_of::<T>();
+        self.on_alloc(p, tid, n, MemKind::Device(self.dev.id()));
+        Ok(p)
+    }
+
+    /// `cudaMallocManaged` for `n` elements of `T`.
+    pub fn malloc_managed<T: Pod>(&mut self, n: u64) -> Result<Ptr, CudaError> {
+        let p = self.dev.malloc_managed(n * T::SIZE as u64)?;
+        let tid = self.type_id_of::<T>();
+        self.on_alloc(p, tid, n, MemKind::Managed);
+        Ok(p)
+    }
+
+    /// `cudaHostAlloc` (pinned) for `n` elements of `T`.
+    pub fn host_alloc<T: Pod>(&mut self, n: u64) -> Result<Ptr, CudaError> {
+        let p = self.dev.host_alloc(n * T::SIZE as u64)?;
+        let tid = self.type_id_of::<T>();
+        self.on_alloc(p, tid, n, MemKind::HostPinned);
+        Ok(p)
+    }
+
+    /// Pageable host `malloc` for `n` elements of `T`.
+    pub fn host_malloc<T: Pod>(&mut self, n: u64) -> Result<Ptr, CudaError> {
+        let p = self.dev.host_malloc(n * T::SIZE as u64)?;
+        let tid = self.type_id_of::<T>();
+        self.on_alloc(p, tid, n, MemKind::HostPageable);
+        Ok(p)
+    }
+
+    /// `cudaFree` (+ plain `free`): synchronizes the device, annotates the
+    /// release as a host write (a kernel or MPI operation still using the
+    /// buffer is a race), and drops tracking.
+    pub fn free(&mut self, ptr: Ptr) -> Result<AllocationInfo, CudaError> {
+        // cudaFree synchronizes with the host across all streams
+        // (paper §III-B2) — terminate every stream arc first.
+        if self.enabled() {
+            let streams: Vec<StreamId> = self.stream_fibers.keys().copied().collect();
+            for s in streams {
+                self.host_sync_stream(s);
+            }
+        }
+        let info = self.dev.free(ptr)?;
+        // The free-as-write annotation is a CuSan callback: plain TSan has
+        // no visibility into CUDA allocations (paper §II-B a).
+        if self.enabled() {
+            let mut t = self.tools.tsan.borrow_mut();
+            t.write_range(info.base.addr(), info.len, self.ctx_free);
+        }
+        if self.config().typeart {
+            let _ = self.tools.typeart.borrow_mut().on_free(info.base);
+        }
+        Ok(info)
+    }
+
+    /// `cuPointerGetAttribute` passthrough.
+    pub fn pointer_attributes(&self, ptr: Ptr) -> Result<PointerAttr, CudaError> {
+        self.dev.pointer_attributes(ptr)
+    }
+
+    // ---- streams ---------------------------------------------------------------
+
+    /// `cudaStreamCreate(WithFlags)`: tracked on demand with its
+    /// non-blocking attribute (paper §IV-A a).
+    pub fn stream_create(&mut self, flags: StreamFlags) -> StreamId {
+        let s = self.dev.stream_create(flags);
+        if matches!(flags, StreamFlags::NonBlocking) {
+            self.nonblocking.insert(s);
+        }
+        if self.enabled() {
+            self.fiber_for(s);
+        }
+        s
+    }
+
+    /// `cudaStreamDestroy`: completes outstanding work (host sync).
+    pub fn stream_destroy(&mut self, s: StreamId) -> Result<(), CudaError> {
+        self.dev.stream_destroy(s)?;
+        self.host_sync_stream(s);
+        Ok(())
+    }
+
+    // ---- kernel launch -----------------------------------------------------------
+
+    /// Kernel launch: the central CuSan callback (paper §IV-A b).
+    pub fn launch(
+        &mut self,
+        kernel: KernelId,
+        grid: LaunchGrid,
+        stream: StreamId,
+        args: Vec<LaunchArg>,
+    ) -> Result<(), CudaError> {
+        // Validate the stream before annotating: a call that will fail in
+        // the runtime must not leave phantom accesses in the detector.
+        self.dev.stream_flags(stream)?;
+        if self.enabled() {
+            let accesses = self.kernel_accesses(kernel, grid, &args);
+            self.stream_op(stream, &accesses);
+        }
+        self.dev.launch(kernel, grid, stream, args)
+    }
+
+    /// Resolve the annotated ranges for a launch: access mode from the
+    /// compiler pass, extent from TypeART (paper Fig. 9). With bounded
+    /// tracking (§VI-D), tid-bounded arguments are clipped to the range
+    /// the launch geometry can actually touch.
+    fn kernel_accesses(
+        &mut self,
+        kernel: KernelId,
+        grid: LaunchGrid,
+        args: &[LaunchArg],
+    ) -> Vec<RangeAccess> {
+        if !self.config().track_access_ranges {
+            return Vec::new();
+        }
+        let analysis = self.dev.registry().analysis();
+        let attrs = analysis.kernel(kernel).to_vec();
+        let bounded_cfg = self.config().bounded_tracking;
+        let mut out = Vec::new();
+        for (i, arg) in args.iter().enumerate() {
+            let LaunchArg::Ptr(p) = arg else { continue };
+            let attr = match attrs.get(i) {
+                Some(a) if a.any() => *a,
+                _ => continue,
+            };
+            let Some(extent) = self.tools.typeart.borrow_mut().extent_of(*p) else {
+                // Untracked allocation: nothing to annotate (TypeART is the
+                // only source of extents, paper §IV-C).
+                continue;
+            };
+            let len = if bounded_cfg && analysis.tid_bounded(kernel, i) {
+                let elem = self.dev.registry().def(kernel).params[i].ty.scalar().size();
+                extent.min(grid.total() * elem)
+            } else {
+                extent
+            };
+            for write in [false, true] {
+                if (write && attr.write) || (!write && attr.read) {
+                    let ctx = self.kernel_arg_ctx(kernel, i as u32, write);
+                    out.push(RangeAccess {
+                        ptr: *p,
+                        len,
+                        write,
+                        ctx,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn kernel_arg_ctx(&mut self, kernel: KernelId, arg: u32, write: bool) -> CtxId {
+        if let Some(&c) = self.kernel_ctx_cache.get(&(kernel, arg, write)) {
+            return c;
+        }
+        let def = self.dev.registry().def(kernel);
+        let label = format!(
+            "kernel {} arg#{arg} ({}) [{}]",
+            def.name,
+            def.params[arg as usize].name,
+            if write { "write" } else { "read" }
+        );
+        let c = self.tools.tsan.borrow_mut().intern_ctx(&label);
+        self.kernel_ctx_cache.insert((kernel, arg, write), c);
+        c
+    }
+
+    // ---- memory operations ----------------------------------------------------------
+
+    /// `cudaMemcpy`: annotated as a default-stream operation; blocks the
+    /// host (and terminates the arc) per the semantics table.
+    pub fn memcpy(
+        &mut self,
+        dst: Ptr,
+        src: Ptr,
+        len: u64,
+        kind: CopyKind,
+    ) -> Result<(), CudaError> {
+        self.memcpy_impl(dst, src, len, kind, StreamId::DEFAULT, false)
+    }
+
+    /// `cudaMemcpyAsync` on a stream.
+    pub fn memcpy_async(
+        &mut self,
+        dst: Ptr,
+        src: Ptr,
+        len: u64,
+        kind: CopyKind,
+        stream: StreamId,
+    ) -> Result<(), CudaError> {
+        self.memcpy_impl(dst, src, len, kind, stream, true)
+    }
+
+    fn memcpy_impl(
+        &mut self,
+        dst: Ptr,
+        src: Ptr,
+        len: u64,
+        kind: CopyKind,
+        stream: StreamId,
+        is_async: bool,
+    ) -> Result<(), CudaError> {
+        self.dev.stream_flags(stream)?;
+        let mut host_sync = false;
+        if self.enabled() {
+            let dk = self.dev.pointer_attributes(dst)?.kind;
+            let sk = self.dev.pointer_attributes(src)?.kind;
+            let resolved = semantics::resolve_copy_kind(kind, dk, sk)?;
+            host_sync = semantics::memcpy_host_sync(resolved, is_async) == HostSync::Blocking;
+            let accesses = [
+                RangeAccess {
+                    ptr: src,
+                    len,
+                    write: false,
+                    ctx: self.ctx_memcpy_src,
+                },
+                RangeAccess {
+                    ptr: dst,
+                    len,
+                    write: true,
+                    ctx: self.ctx_memcpy_dst,
+                },
+            ];
+            self.stream_op(
+                stream,
+                if self.config().track_access_ranges {
+                    &accesses
+                } else {
+                    &[]
+                },
+            );
+        }
+        if is_async {
+            self.dev.memcpy_async(dst, src, len, kind, stream)?;
+        } else {
+            self.dev.memcpy(dst, src, len, kind)?;
+        }
+        if host_sync {
+            self.host_sync_stream(stream);
+        }
+        Ok(())
+    }
+
+    /// `cudaMemcpy2D`: each transferred row is annotated individually, so
+    /// the detector sees the precise strided footprint rather than a
+    /// bounding box.
+    #[allow(clippy::too_many_arguments)]
+    pub fn memcpy_2d(
+        &mut self,
+        dst: Ptr,
+        dpitch: u64,
+        src: Ptr,
+        spitch: u64,
+        width: u64,
+        height: u64,
+        kind: CopyKind,
+    ) -> Result<(), CudaError> {
+        self.memcpy_2d_impl(
+            dst,
+            dpitch,
+            src,
+            spitch,
+            width,
+            height,
+            kind,
+            StreamId::DEFAULT,
+            false,
+        )
+    }
+
+    /// `cudaMemcpy2DAsync` on a stream.
+    #[allow(clippy::too_many_arguments)]
+    pub fn memcpy_2d_async(
+        &mut self,
+        dst: Ptr,
+        dpitch: u64,
+        src: Ptr,
+        spitch: u64,
+        width: u64,
+        height: u64,
+        kind: CopyKind,
+        stream: StreamId,
+    ) -> Result<(), CudaError> {
+        self.memcpy_2d_impl(dst, dpitch, src, spitch, width, height, kind, stream, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn memcpy_2d_impl(
+        &mut self,
+        dst: Ptr,
+        dpitch: u64,
+        src: Ptr,
+        spitch: u64,
+        width: u64,
+        height: u64,
+        kind: CopyKind,
+        stream: StreamId,
+        is_async: bool,
+    ) -> Result<(), CudaError> {
+        let mut host_sync = false;
+        if self.enabled() {
+            let dk = self.dev.pointer_attributes(dst)?.kind;
+            let sk = self.dev.pointer_attributes(src)?.kind;
+            let resolved = semantics::resolve_copy_kind(kind, dk, sk)?;
+            host_sync = semantics::memcpy_host_sync(resolved, is_async) == HostSync::Blocking;
+            if self.config().track_access_ranges {
+                let mut accesses = Vec::with_capacity(2 * height as usize);
+                for row in 0..height {
+                    accesses.push(RangeAccess {
+                        ptr: src.offset(row * spitch),
+                        len: width,
+                        write: false,
+                        ctx: self.ctx_memcpy_src,
+                    });
+                    accesses.push(RangeAccess {
+                        ptr: dst.offset(row * dpitch),
+                        len: width,
+                        write: true,
+                        ctx: self.ctx_memcpy_dst,
+                    });
+                }
+                self.stream_op(stream, &accesses);
+            } else {
+                self.stream_op(stream, &[]);
+            }
+        }
+        if is_async {
+            self.dev
+                .memcpy_2d_async(dst, dpitch, src, spitch, width, height, kind, stream)?;
+        } else {
+            self.dev
+                .memcpy_2d(dst, dpitch, src, spitch, width, height, kind)?;
+        }
+        if host_sync {
+            self.host_sync_stream(stream);
+        }
+        Ok(())
+    }
+
+    /// `cudaMemset`.
+    pub fn memset(&mut self, ptr: Ptr, value: u8, len: u64) -> Result<(), CudaError> {
+        self.memset_impl(ptr, value, len, StreamId::DEFAULT, false)
+    }
+
+    /// `cudaMemsetAsync` on a stream.
+    pub fn memset_async(
+        &mut self,
+        ptr: Ptr,
+        value: u8,
+        len: u64,
+        stream: StreamId,
+    ) -> Result<(), CudaError> {
+        self.memset_impl(ptr, value, len, stream, true)
+    }
+
+    fn memset_impl(
+        &mut self,
+        ptr: Ptr,
+        value: u8,
+        len: u64,
+        stream: StreamId,
+        is_async: bool,
+    ) -> Result<(), CudaError> {
+        self.dev.stream_flags(stream)?;
+        let mut host_sync = false;
+        if self.enabled() {
+            let kind = self.dev.pointer_attributes(ptr)?.kind;
+            host_sync = semantics::memset_host_sync(kind, is_async) == HostSync::Blocking;
+            let accesses = [RangeAccess {
+                ptr,
+                len,
+                write: true,
+                ctx: self.ctx_memset,
+            }];
+            self.stream_op(
+                stream,
+                if self.config().track_access_ranges {
+                    &accesses
+                } else {
+                    &[]
+                },
+            );
+        }
+        if is_async {
+            self.dev.memset_async(ptr, value, len, stream)?;
+        } else {
+            self.dev.memset(ptr, value, len)?;
+        }
+        if host_sync {
+            self.host_sync_stream(stream);
+        }
+        Ok(())
+    }
+
+    // ---- explicit synchronization ------------------------------------------------------
+
+    /// `cudaDeviceSynchronize`: terminates the arc of every tracked stream
+    /// (paper §IV-A c).
+    pub fn device_synchronize(&mut self) -> Result<(), CudaError> {
+        self.dev.device_synchronize()?;
+        if self.enabled() {
+            let streams: Vec<StreamId> = self.stream_fibers.keys().copied().collect();
+            for s in streams {
+                self.host_sync_stream(s);
+            }
+        }
+        Ok(())
+    }
+
+    /// `cudaStreamSynchronize`: terminates the stream's arc; synchronizing
+    /// the legacy default stream also terminates every blocking user
+    /// stream's arc (paper §IV-A e).
+    pub fn stream_synchronize(&mut self, s: StreamId) -> Result<(), CudaError> {
+        self.dev.stream_synchronize(s)?;
+        self.host_sync_stream(s);
+        if self.enabled() && s.is_default() && self.legacy_default() {
+            for u in self.blocking_user_streams() {
+                self.host_sync_stream(u);
+            }
+        }
+        Ok(())
+    }
+
+    /// `cudaStreamQuery`, treated as a blocking busy-wait synchronization
+    /// (paper §III-B1).
+    pub fn stream_query(&mut self, s: StreamId) -> Result<bool, CudaError> {
+        let r = self.dev.stream_query(s)?;
+        self.host_sync_stream(s);
+        if self.enabled() && s.is_default() && self.legacy_default() {
+            for u in self.blocking_user_streams() {
+                self.host_sync_stream(u);
+            }
+        }
+        Ok(r)
+    }
+
+    // ---- events -------------------------------------------------------------------------
+
+    /// `cudaEventCreate`.
+    pub fn event_create(&mut self) -> EventId {
+        self.dev.event_create()
+    }
+
+    /// `cudaEventRecord`: a stream operation that additionally releases
+    /// the event's own arc (fine-grained sync marker, paper §III-B1).
+    pub fn event_record(&mut self, e: EventId, stream: StreamId) -> Result<(), CudaError> {
+        self.dev.stream_flags(stream)?;
+        if self.enabled() {
+            self.stream_op(stream, &[]);
+            let fiber = self.fiber_for(stream);
+            let mut t = self.tools.tsan.borrow_mut();
+            let host = t.host_fiber();
+            t.switch_to_fiber_sync(fiber);
+            t.annotate_happens_before(event_key(e));
+            t.switch_to_fiber(host);
+        }
+        self.dev.event_record(e, stream)
+    }
+
+    /// `cudaEventSynchronize`: host waits for the marker.
+    pub fn event_synchronize(&mut self, e: EventId) -> Result<(), CudaError> {
+        self.dev.event_synchronize(e)?;
+        if self.enabled() {
+            self.tools
+                .tsan
+                .borrow_mut()
+                .annotate_happens_after(event_key(e));
+        }
+        Ok(())
+    }
+
+    /// `cudaEventQuery` (non-forcing; a `true` result is a synchronization).
+    pub fn event_query(&mut self, e: EventId) -> Result<bool, CudaError> {
+        let done = self.dev.event_query(e)?;
+        if done && self.enabled() {
+            self.tools
+                .tsan
+                .borrow_mut()
+                .annotate_happens_after(event_key(e));
+        }
+        Ok(done)
+    }
+
+    /// `cudaEventDestroy`.
+    pub fn event_destroy(&mut self, e: EventId) -> Result<(), CudaError> {
+        self.dev.event_destroy(e)
+    }
+
+    /// `cudaStreamWaitEvent`: the *stream* (not the host) acquires the
+    /// event's arc.
+    pub fn stream_wait_event(&mut self, stream: StreamId, e: EventId) -> Result<(), CudaError> {
+        self.dev.stream_wait_event(stream, e)?;
+        if self.enabled() {
+            let fiber = self.fiber_for(stream);
+            let mut t = self.tools.tsan.borrow_mut();
+            let host = t.host_fiber();
+            t.switch_to_fiber_sync(fiber);
+            t.annotate_happens_after(event_key(e));
+            t.switch_to_fiber(host);
+        }
+        Ok(())
+    }
+
+    /// Flush all outstanding device work (teardown; not an annotated
+    /// synchronization).
+    pub fn flush(&mut self) -> Result<(), CudaError> {
+        self.dev.flush()
+    }
+}

@@ -1,0 +1,174 @@
+//! Tool configuration and the evaluation-flavor matrix.
+
+use std::fmt;
+
+/// Which instrumentation layers are active.
+///
+/// The flags mirror the paper's tool stack: TSan host-code
+/// instrumentation, MUST's MPI interception, CuSan's CUDA interception,
+/// and TypeART allocation tracking. [`Flavor`] provides the five
+/// canonical combinations used in the evaluation; custom combinations are
+/// possible for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToolConfig {
+    /// TSan host-access instrumentation (the compiler pass's load/store
+    /// tracking of user host code).
+    pub tsan: bool,
+    /// MUST: annotate MPI calls, model non-blocking requests as fibers.
+    pub must: bool,
+    /// CuSan: annotate CUDA calls, model streams as fibers.
+    pub cusan: bool,
+    /// TypeART: track allocations (required by CuSan for extents).
+    pub typeart: bool,
+    /// CuSan's memory-range annotations for kernel arguments and memory
+    /// ops. Disabling this (with `cusan` on) is the §V-B ablation: "
+    /// completely removing memory annotations but keeping the rest of our
+    /// instrumentation brings the overhead down to almost vanilla".
+    pub track_access_ranges: bool,
+    /// Bounded access tracking (the §VI-D future-work optimization):
+    /// when the compiler pass proves a kernel argument *tid-bounded*
+    /// (every access indexes with the thread id), annotate only
+    /// `grid size × element size` bytes instead of the whole allocation.
+    /// Sound per the analysis; reduces tracked volume — and the false
+    /// positives whole-allocation annotation can produce — for
+    /// boundary-region kernels. Off by default to match the paper.
+    pub bounded_tracking: bool,
+}
+
+impl ToolConfig {
+    /// Everything off (the uninstrumented baseline).
+    pub const VANILLA: ToolConfig = ToolConfig {
+        tsan: false,
+        must: false,
+        cusan: false,
+        typeart: false,
+        track_access_ranges: false,
+        bounded_tracking: false,
+    };
+
+    /// True if any TSan-backed layer is on.
+    pub fn any_tsan(&self) -> bool {
+        self.tsan || self.must || self.cusan
+    }
+}
+
+/// The five tool combinations evaluated in the paper (Figs. 10 and 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flavor {
+    /// Uninstrumented application.
+    Vanilla,
+    /// ThreadSanitizer only.
+    Tsan,
+    /// MUST (with TSan), checking (non-blocking) MPI communication.
+    Must,
+    /// CuSan (with TSan and TypeART).
+    Cusan,
+    /// MUST and CuSan combined — the full CUDA-aware MPI checker.
+    MustCusan,
+}
+
+impl Flavor {
+    /// All flavors, in the order the paper's figures list them.
+    pub const ALL: [Flavor; 5] = [
+        Flavor::Vanilla,
+        Flavor::Tsan,
+        Flavor::Must,
+        Flavor::Cusan,
+        Flavor::MustCusan,
+    ];
+
+    /// The instrumentation configuration for this flavor.
+    pub fn config(self) -> ToolConfig {
+        match self {
+            Flavor::Vanilla => ToolConfig::VANILLA,
+            Flavor::Tsan => ToolConfig {
+                tsan: true,
+                must: false,
+                cusan: false,
+                typeart: false,
+                track_access_ranges: false,
+                bounded_tracking: false,
+            },
+            Flavor::Must => ToolConfig {
+                tsan: true,
+                must: true,
+                cusan: false,
+                typeart: false,
+                track_access_ranges: false,
+                bounded_tracking: false,
+            },
+            Flavor::Cusan => ToolConfig {
+                tsan: true,
+                must: false,
+                cusan: true,
+                typeart: true,
+                track_access_ranges: true,
+                bounded_tracking: false,
+            },
+            Flavor::MustCusan => ToolConfig {
+                tsan: true,
+                must: true,
+                cusan: true,
+                typeart: true,
+                track_access_ranges: true,
+                bounded_tracking: false,
+            },
+        }
+    }
+}
+
+impl From<Flavor> for ToolConfig {
+    fn from(f: Flavor) -> ToolConfig {
+        f.config()
+    }
+}
+
+impl fmt::Display for Flavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Flavor::Vanilla => "Vanilla",
+            Flavor::Tsan => "TSan",
+            Flavor::Must => "MUST",
+            Flavor::Cusan => "CuSan",
+            Flavor::MustCusan => "MUST & CuSan",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_is_all_off() {
+        let c = Flavor::Vanilla.config();
+        assert!(!c.any_tsan());
+        assert!(!c.typeart);
+    }
+
+    #[test]
+    fn cusan_requires_typeart() {
+        // Paper §V: "Only CuSan uses TypeART".
+        assert!(Flavor::Cusan.config().typeart);
+        assert!(Flavor::MustCusan.config().typeart);
+        assert!(!Flavor::Must.config().typeart);
+        assert!(!Flavor::Tsan.config().typeart);
+    }
+
+    #[test]
+    fn must_and_cusan_always_run_with_tsan() {
+        // Paper §V: "CuSan and MUST are always executed with TSan enabled".
+        for f in [Flavor::Must, Flavor::Cusan, Flavor::MustCusan] {
+            assert!(f.config().tsan);
+            assert!(f.config().any_tsan());
+        }
+    }
+
+    #[test]
+    fn display_names_match_figures() {
+        assert_eq!(Flavor::MustCusan.to_string(), "MUST & CuSan");
+        assert_eq!(Flavor::Tsan.to_string(), "TSan");
+        assert_eq!(Flavor::ALL.len(), 5);
+    }
+}

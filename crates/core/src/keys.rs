@@ -1,0 +1,48 @@
+//! Synchronization-key derivation.
+//!
+//! TSan's annotation API keys synchronization on memory addresses; CuSan
+//! and MUST key it on the identity of the synchronizing object instead:
+//! the stream, the event, or the MPI request. Disjoint tag bits keep the
+//! key spaces from colliding.
+
+use cuda_sim::{EventId, StreamId};
+use tsan_rt::SyncKey;
+
+const STREAM_TAG: u64 = 0x0100_0000_0000;
+const EVENT_TAG: u64 = 0x0200_0000_0000;
+const REQUEST_TAG: u64 = 0x0300_0000_0000;
+
+/// Sync key of a CUDA stream's happens-before arc.
+pub fn stream_key(s: StreamId) -> SyncKey {
+    SyncKey(STREAM_TAG | u64::from(s.0))
+}
+
+/// Sync key of a CUDA event.
+pub fn event_key(e: EventId) -> SyncKey {
+    SyncKey(EVENT_TAG | u64::from(e.0))
+}
+
+/// Sync key of a non-blocking MPI request (serial number allocated by
+/// [`crate::ToolCtx::next_request_serial`]).
+pub fn request_key(serial: u64) -> SyncKey {
+    SyncKey(REQUEST_TAG | serial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_spaces_are_disjoint() {
+        assert_ne!(stream_key(StreamId(1)), event_key(EventId(1)));
+        assert_ne!(stream_key(StreamId(1)), request_key(1));
+        assert_ne!(event_key(EventId(1)), request_key(1));
+    }
+
+    #[test]
+    fn keys_are_injective_within_space() {
+        assert_ne!(stream_key(StreamId(0)), stream_key(StreamId(1)));
+        assert_ne!(event_key(EventId(3)), event_key(EventId(4)));
+        assert_ne!(request_key(10), request_key(11));
+    }
+}

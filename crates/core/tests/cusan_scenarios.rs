@@ -1,0 +1,543 @@
+//! CuSan scenario tests: CUDA-side race detection semantics (paper §IV).
+//!
+//! These cover the CUDA-only half of the correctness testsuite: kernel vs
+//! host conflicts under every synchronization mechanism, legacy default
+//! stream semantics, implicit synchronization of memory operations, and
+//! the §V-B ablation.
+
+use cuda_sim::{CopyKind, StreamFlags, StreamId};
+use cusan::{CusanCuda, Flavor, ToolCtx};
+use kernel_ir::ast::ScalarTy;
+use kernel_ir::builder::*;
+use kernel_ir::{KernelId, KernelRegistry, LaunchArg, LaunchGrid};
+use sim_mem::{AddressSpace, DeviceId, Ptr};
+use std::rc::Rc;
+use std::sync::Arc;
+
+struct World {
+    cuda: CusanCuda,
+    tools: Rc<ToolCtx>,
+    fill: KernelId,
+    read: KernelId,
+}
+
+fn world(flavor: Flavor) -> World {
+    let space = Arc::new(AddressSpace::new());
+    let mut reg = KernelRegistry::new();
+
+    let mut b = KernelBuilder::new("fill");
+    let p = b.ptr_param("p", ScalarTy::F64);
+    let v = b.scalar_param("v", ScalarTy::F64);
+    let n = b.scalar_param("n", ScalarTy::I64);
+    b.if_(tid().lt(n.get()), |bb| bb.store(p, tid(), v.get()));
+    let fill = reg.register_ir(b.finish()).unwrap();
+
+    let mut b = KernelBuilder::new("reduce_into");
+    let out = b.ptr_param("out", ScalarTy::F64);
+    let inp = b.ptr_param("in", ScalarTy::F64);
+    let n = b.scalar_param("n", ScalarTy::I64);
+    let acc = b.let_(cf(0.0));
+    b.if_(tid().eq_(ci(0)), |bb| {
+        bb.for_(ci(0), n.get(), |bb, i| {
+            bb.set(acc, acc.get() + load(inp, i.get()));
+        });
+        bb.store(out, ci(0), acc.get());
+    });
+    let read = reg.register_ir(b.finish()).unwrap();
+
+    let tools = Rc::new(ToolCtx::new(0, flavor.config()));
+    let cuda = CusanCuda::new(DeviceId(0), space, Arc::new(reg), Rc::clone(&tools));
+    World {
+        cuda,
+        tools,
+        fill,
+        read,
+    }
+}
+
+fn launch_fill(w: &mut World, p: Ptr, v: f64, n: u64, s: StreamId) {
+    w.cuda
+        .launch(
+            w.fill,
+            LaunchGrid::cover(n, 32),
+            s,
+            vec![
+                LaunchArg::Ptr(p),
+                LaunchArg::F64(v),
+                LaunchArg::I64(n as i64),
+            ],
+        )
+        .unwrap();
+}
+
+fn launch_reader(w: &mut World, out: Ptr, inp: Ptr, n: u64, s: StreamId) {
+    w.cuda
+        .launch(
+            w.read,
+            LaunchGrid::cover(1, 1),
+            s,
+            vec![
+                LaunchArg::Ptr(out),
+                LaunchArg::Ptr(inp),
+                LaunchArg::I64(n as i64),
+            ],
+        )
+        .unwrap();
+}
+
+#[test]
+fn kernel_write_host_read_without_sync_races() {
+    let mut w = world(Flavor::Cusan);
+    let d = w.cuda.malloc::<f64>(64).unwrap();
+    launch_fill(&mut w, d, 1.0, 64, StreamId::DEFAULT);
+    // Host reads the buffer with NO synchronization (Fig. 6B shape).
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 64, "host read of d")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 1, "{:#?}", w.tools.race_reports());
+    let r = &w.tools.race_reports()[0];
+    assert!(r.previous.ctx.contains("kernel fill"), "{r}");
+}
+
+#[test]
+fn device_synchronize_prevents_race() {
+    let mut w = world(Flavor::Cusan);
+    let d = w.cuda.malloc::<f64>(64).unwrap();
+    launch_fill(&mut w, d, 1.0, 64, StreamId::DEFAULT);
+    w.cuda.device_synchronize().unwrap();
+    let v = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 64, "host read of d")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 0);
+    assert_eq!(v, vec![1.0; 64], "synchronized read sees the kernel's data");
+}
+
+#[test]
+fn stream_synchronize_prevents_race() {
+    let mut w = world(Flavor::Cusan);
+    let s = w.cuda.stream_create(StreamFlags::Default);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    launch_fill(&mut w, d, 2.0, 16, s);
+    w.cuda.stream_synchronize(s).unwrap();
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 0);
+}
+
+#[test]
+fn wrong_stream_synchronize_still_races() {
+    let mut w = world(Flavor::Cusan);
+    let s1 = w.cuda.stream_create(StreamFlags::NonBlocking);
+    let s2 = w.cuda.stream_create(StreamFlags::NonBlocking);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    launch_fill(&mut w, d, 2.0, 16, s1);
+    // Synchronizing the WRONG stream does not order the kernel's write.
+    w.cuda.stream_synchronize(s2).unwrap();
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 1);
+}
+
+#[test]
+fn event_synchronize_prevents_race() {
+    let mut w = world(Flavor::Cusan);
+    let s = w.cuda.stream_create(StreamFlags::NonBlocking);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    let e = w.cuda.event_create();
+    launch_fill(&mut w, d, 3.0, 16, s);
+    w.cuda.event_record(e, s).unwrap();
+    w.cuda.event_synchronize(e).unwrap();
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 0);
+}
+
+#[test]
+fn event_recorded_before_kernel_does_not_cover_it() {
+    let mut w = world(Flavor::Cusan);
+    let s = w.cuda.stream_create(StreamFlags::NonBlocking);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    let e = w.cuda.event_create();
+    // Record BEFORE the kernel: synchronizing on it orders nothing useful.
+    w.cuda.event_record(e, s).unwrap();
+    launch_fill(&mut w, d, 3.0, 16, s);
+    w.cuda.event_synchronize(e).unwrap();
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 1);
+}
+
+#[test]
+fn stream_query_counts_as_synchronization() {
+    let mut w = world(Flavor::Cusan);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    launch_fill(&mut w, d, 1.5, 16, StreamId::DEFAULT);
+    assert!(w.cuda.stream_query(StreamId::DEFAULT).unwrap());
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 0);
+}
+
+#[test]
+fn two_streams_conflict_without_sync() {
+    let mut w = world(Flavor::Cusan);
+    let s1 = w.cuda.stream_create(StreamFlags::NonBlocking);
+    let s2 = w.cuda.stream_create(StreamFlags::NonBlocking);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    let out = w.cuda.malloc::<f64>(1).unwrap();
+    launch_fill(&mut w, d, 1.0, 16, s1);
+    launch_reader(&mut w, out, d, 16, s2); // reads d concurrently
+    assert_eq!(w.tools.race_count(), 1);
+}
+
+#[test]
+fn stream_wait_event_orders_two_streams() {
+    let mut w = world(Flavor::Cusan);
+    let s1 = w.cuda.stream_create(StreamFlags::NonBlocking);
+    let s2 = w.cuda.stream_create(StreamFlags::NonBlocking);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    let out = w.cuda.malloc::<f64>(1).unwrap();
+    let e = w.cuda.event_create();
+    launch_fill(&mut w, d, 1.0, 16, s1);
+    w.cuda.event_record(e, s1).unwrap();
+    w.cuda.stream_wait_event(s2, e).unwrap();
+    launch_reader(&mut w, out, d, 16, s2);
+    assert_eq!(w.tools.race_count(), 0, "{:#?}", w.tools.race_reports());
+}
+
+#[test]
+fn legacy_default_stream_barrier_orders_user_then_default() {
+    // Fig. 3: kernel on blocking user stream, then kernel on default
+    // stream touching the same buffer — the logical barrier orders them,
+    // no race and no explicit synchronization needed.
+    let mut w = world(Flavor::Cusan);
+    let s1 = w.cuda.stream_create(StreamFlags::Default);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    let out = w.cuda.malloc::<f64>(1).unwrap();
+    launch_fill(&mut w, d, 1.0, 16, s1);
+    launch_reader(&mut w, out, d, 16, StreamId::DEFAULT);
+    assert_eq!(w.tools.race_count(), 0, "{:#?}", w.tools.race_reports());
+}
+
+#[test]
+fn legacy_default_stream_barrier_orders_default_then_user() {
+    let mut w = world(Flavor::Cusan);
+    let s1 = w.cuda.stream_create(StreamFlags::Default);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    let out = w.cuda.malloc::<f64>(1).unwrap();
+    launch_fill(&mut w, d, 1.0, 16, StreamId::DEFAULT);
+    launch_reader(&mut w, out, d, 16, s1);
+    assert_eq!(w.tools.race_count(), 0, "{:#?}", w.tools.race_reports());
+}
+
+#[test]
+fn non_blocking_stream_escapes_legacy_barrier() {
+    let mut w = world(Flavor::Cusan);
+    let nb = w.cuda.stream_create(StreamFlags::NonBlocking);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    let out = w.cuda.malloc::<f64>(1).unwrap();
+    launch_fill(&mut w, d, 1.0, 16, nb);
+    launch_reader(&mut w, out, d, 16, StreamId::DEFAULT);
+    assert_eq!(
+        w.tools.race_count(),
+        1,
+        "non-blocking stream has no barrier"
+    );
+}
+
+#[test]
+fn transitivity_fig3_sync_on_user_stream_covers_chain() {
+    // K1 on s1, K0 on default, K2 on s2 (all blocking). Host syncs only
+    // s2; via the barrier chain, K1 and K0 are also ordered before the
+    // host's access (Fig. 3's "after a host synchronization on K2, K1 and
+    // K0 also completed").
+    let mut w = world(Flavor::Cusan);
+    let s1 = w.cuda.stream_create(StreamFlags::Default);
+    let s2 = w.cuda.stream_create(StreamFlags::Default);
+    let a = w.cuda.malloc::<f64>(8).unwrap();
+    let b = w.cuda.malloc::<f64>(8).unwrap();
+    let c = w.cuda.malloc::<f64>(1).unwrap();
+    launch_fill(&mut w, a, 1.0, 8, s1); // K1
+    launch_fill(&mut w, b, 2.0, 8, StreamId::DEFAULT); // K0
+    launch_reader(&mut w, c, b, 8, s2); // K2
+    w.cuda.stream_synchronize(s2).unwrap();
+    // Host touches ALL buffers: everything must be ordered.
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), a, 8, "host a")
+        .unwrap();
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), b, 8, "host b")
+        .unwrap();
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), c, 1, "host c")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 0, "{:#?}", w.tools.race_reports());
+}
+
+#[test]
+fn blocking_memcpy_d2h_synchronizes_host() {
+    let mut w = world(Flavor::Cusan);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    let h = w.cuda.host_malloc::<f64>(16).unwrap();
+    launch_fill(&mut w, d, 4.0, 16, StreamId::DEFAULT);
+    w.cuda.memcpy(h, d, 128, CopyKind::DeviceToHost).unwrap();
+    // Host may now read both sides without a race.
+    let v = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), h, 16, "host read h")
+        .unwrap();
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read d")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 0, "{:#?}", w.tools.race_reports());
+    assert_eq!(v, vec![4.0; 16]);
+}
+
+#[test]
+fn async_memcpy_does_not_synchronize_host() {
+    let mut w = world(Flavor::Cusan);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    let h = w.cuda.host_alloc::<f64>(16).unwrap(); // pinned
+    launch_fill(&mut w, d, 4.0, 16, StreamId::DEFAULT);
+    w.cuda
+        .memcpy_async(h, d, 128, CopyKind::DeviceToHost, StreamId::DEFAULT)
+        .unwrap();
+    // Reading the destination without waiting is a race with the copy.
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), h, 16, "host read h")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 1);
+}
+
+#[test]
+fn memset_on_device_memory_does_not_synchronize() {
+    let mut w = world(Flavor::Cusan);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    w.cuda.memset(d, 0, 128).unwrap();
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read")
+        .unwrap();
+    assert_eq!(
+        w.tools.race_count(),
+        1,
+        "device memset is async w.r.t. host"
+    );
+}
+
+#[test]
+fn memset_on_pinned_memory_synchronizes() {
+    let mut w = world(Flavor::Cusan);
+    let p = w.cuda.host_alloc::<f64>(16).unwrap();
+    w.cuda.memset(p, 0, 128).unwrap();
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), p, 16, "host read")
+        .unwrap();
+    assert_eq!(
+        w.tools.race_count(),
+        0,
+        "pinned memset blocks the host (paper §III-C)"
+    );
+}
+
+#[test]
+fn managed_memory_host_access_during_kernel_races() {
+    let mut w = world(Flavor::Cusan);
+    let m = w.cuda.malloc_managed::<f64>(32).unwrap();
+    launch_fill(&mut w, m, 1.0, 32, StreamId::DEFAULT);
+    // Unsynchronized host write to managed memory (paper §III-C).
+    w.tools
+        .host_write_at::<f64>(w.cuda.space(), m, 9.0, "host write managed")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 1);
+}
+
+#[test]
+fn ablation_no_access_tracking_reports_nothing() {
+    // §V-B: removing memory annotations (keeping the rest) removes both
+    // the overhead and the reports.
+    let mut cfg = Flavor::Cusan.config();
+    cfg.track_access_ranges = false;
+    let space = Arc::new(AddressSpace::new());
+    let mut reg = KernelRegistry::new();
+    let mut b = KernelBuilder::new("fill");
+    let p = b.ptr_param("p", ScalarTy::F64);
+    let v = b.scalar_param("v", ScalarTy::F64);
+    b.store(p, tid(), v.get());
+    let fill = reg.register_ir(b.finish()).unwrap();
+    let tools = Rc::new(ToolCtx::new(0, cfg));
+    let mut cuda = CusanCuda::new(DeviceId(0), space, Arc::new(reg), Rc::clone(&tools));
+    let d = cuda.malloc::<f64>(8).unwrap();
+    cuda.launch(
+        fill,
+        LaunchGrid::cover(8, 8),
+        StreamId::DEFAULT,
+        vec![LaunchArg::Ptr(d), LaunchArg::F64(1.0)],
+    )
+    .unwrap();
+    let _ = tools
+        .host_read_slice::<f64>(cuda.space(), d, 8, "host read")
+        .unwrap();
+    assert_eq!(tools.race_count(), 0);
+    let s = tools.tsan_stats();
+    assert!(s.happens_before > 0, "fibers and arcs still maintained");
+    assert_eq!(s.write_range_calls, 0, "no range annotations from CuSan");
+}
+
+#[test]
+fn vanilla_flavor_performs_no_tsan_work() {
+    let mut w = world(Flavor::Vanilla);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    launch_fill(&mut w, d, 1.0, 16, StreamId::DEFAULT);
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read")
+        .unwrap();
+    let s = w.tools.tsan_stats();
+    assert_eq!(s.fiber_switches, 0);
+    assert_eq!(s.happens_before, 0);
+    assert_eq!(s.read_range_calls, 0);
+    assert_eq!(w.tools.race_count(), 0);
+}
+
+#[test]
+fn free_after_pending_kernel_is_ordered() {
+    let mut w = world(Flavor::Cusan);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    launch_fill(&mut w, d, 1.0, 16, StreamId::DEFAULT);
+    // cudaFree device-syncs first, so the write annotation cannot race.
+    w.cuda.free(d).unwrap();
+    assert_eq!(w.tools.race_count(), 0, "{:#?}", w.tools.race_reports());
+}
+
+#[test]
+fn table1_counter_semantics() {
+    // Kernel launches start arcs (HB); sync calls terminate them (HA);
+    // a blocking memcpy does both — the relations behind Table I.
+    let mut w = world(Flavor::Cusan);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    let h = w.cuda.host_malloc::<f64>(16).unwrap();
+    let before = w.tools.tsan_stats();
+
+    launch_fill(&mut w, d, 1.0, 16, StreamId::DEFAULT);
+    let after_kernel = w.tools.tsan_stats();
+    assert_eq!(after_kernel.happens_before - before.happens_before, 1);
+    assert_eq!(after_kernel.happens_after, before.happens_after);
+
+    w.cuda.device_synchronize().unwrap();
+    let after_sync = w.tools.tsan_stats();
+    assert_eq!(after_sync.happens_before, after_kernel.happens_before);
+    assert!(after_sync.happens_after > after_kernel.happens_after);
+
+    w.cuda.memcpy(h, d, 128, CopyKind::DeviceToHost).unwrap();
+    let after_copy = w.tools.tsan_stats();
+    assert_eq!(after_copy.happens_before - after_sync.happens_before, 1);
+    assert_eq!(after_copy.happens_after - after_sync.happens_after, 1);
+    assert_eq!(after_copy.read_range_calls - after_sync.read_range_calls, 1);
+    assert_eq!(
+        after_copy.write_range_calls - after_sync.write_range_calls,
+        1
+    );
+
+    let c = w.cuda.counters();
+    assert_eq!(c.kernel_calls, 1);
+    assert_eq!(c.memcpy_calls, 1);
+    assert_eq!(c.sync_calls, 1);
+}
+
+#[test]
+fn event_query_true_is_a_synchronization() {
+    let mut w = world(Flavor::Cusan);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    let e = w.cuda.event_create();
+    launch_fill(&mut w, d, 1.0, 16, StreamId::DEFAULT);
+    w.cuda.event_record(e, StreamId::DEFAULT).unwrap();
+    // Force completion through a query-style busy wait, then poll the
+    // event: a true result carries the happens-after edge.
+    assert!(w.cuda.stream_query(StreamId::DEFAULT).unwrap());
+    assert!(w.cuda.event_query(e).unwrap());
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 0);
+}
+
+#[test]
+fn free_async_waits_only_for_its_stream() {
+    let mut w = world(Flavor::Cusan);
+    let s = w.cuda.stream_create(StreamFlags::NonBlocking);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    launch_fill(&mut w, d, 1.0, 16, s);
+    // Stream-ordered free: forces s, then releases.
+    w.cuda.device_mut().free_async(d, s).unwrap();
+    assert!(w.cuda.space().attributes(d).is_err(), "released");
+}
+
+#[test]
+fn stream_destroy_synchronizes_its_work() {
+    let mut w = world(Flavor::Cusan);
+    let s = w.cuda.stream_create(StreamFlags::NonBlocking);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    launch_fill(&mut w, d, 4.0, 16, s);
+    w.cuda.stream_destroy(s).unwrap();
+    let v = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read")
+        .unwrap();
+    assert_eq!(v[0], 4.0);
+    assert_eq!(w.tools.race_count(), 0, "{:#?}", w.tools.race_reports());
+}
+
+#[test]
+fn failed_calls_leave_no_phantom_annotations() {
+    // Launching on a destroyed stream must error WITHOUT annotating: a
+    // later legitimate host access must not race against a kernel that
+    // never ran.
+    let mut w = world(Flavor::Cusan);
+    let s = w.cuda.stream_create(StreamFlags::NonBlocking);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    w.cuda.stream_destroy(s).unwrap();
+    let before = w.tools.tsan_stats();
+    assert!(w
+        .cuda
+        .launch(
+            w.fill,
+            LaunchGrid::linear(16),
+            s,
+            vec![LaunchArg::Ptr(d), LaunchArg::F64(1.0), LaunchArg::I64(16)],
+        )
+        .is_err());
+    assert!(w
+        .cuda
+        .memcpy_async(d, d, 64, CopyKind::DeviceToDevice, s)
+        .is_err());
+    assert!(w.cuda.memset_async(d, 0, 64, s).is_err());
+    let after = w.tools.tsan_stats();
+    assert_eq!(before.write_range_calls, after.write_range_calls);
+    assert_eq!(before.happens_before, after.happens_before);
+    // And the buffer is freely accessible.
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 0);
+}

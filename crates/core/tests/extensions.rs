@@ -1,0 +1,310 @@
+//! Tests for the paper's §VI future-work extensions implemented here:
+//! per-thread default-stream mode (§VI-B) and bounded access tracking
+//! (§VI-D).
+
+use cuda_sim::{DefaultStreamMode, StreamFlags, StreamId};
+use cusan::{CusanCuda, Flavor, ToolCtx};
+use kernel_ir::ast::ScalarTy;
+use kernel_ir::builder::*;
+use kernel_ir::{KernelId, KernelRegistry, LaunchArg, LaunchGrid};
+use sim_mem::{AddressSpace, DeviceId, Ptr};
+use std::rc::Rc;
+use std::sync::Arc;
+
+struct World {
+    cuda: CusanCuda,
+    tools: Rc<ToolCtx>,
+    fill: KernelId,
+    copy: KernelId,
+}
+
+fn world(cfg: impl Into<cusan::ToolConfig>) -> World {
+    let mut reg = KernelRegistry::new();
+    let mut b = KernelBuilder::new("fill");
+    let p = b.ptr_param("p", ScalarTy::F64);
+    let v = b.scalar_param("v", ScalarTy::F64);
+    let n = b.scalar_param("n", ScalarTy::I64);
+    b.if_(tid().lt(n.get()), |bb| bb.store(p, tid(), v.get()));
+    let fill = reg.register_ir(b.finish()).unwrap();
+
+    let mut b = KernelBuilder::new("copy");
+    let dst = b.ptr_param("dst", ScalarTy::F64);
+    let src = b.ptr_param("src", ScalarTy::F64);
+    let n = b.scalar_param("n", ScalarTy::I64);
+    b.if_(tid().lt(n.get()), |bb| {
+        bb.store(dst, tid(), load(src, tid()))
+    });
+    let copy = reg.register_ir(b.finish()).unwrap();
+
+    let tools = Rc::new(ToolCtx::new(0, cfg.into()));
+    let cuda = CusanCuda::new(
+        DeviceId(0),
+        Arc::new(AddressSpace::new()),
+        Arc::new(reg),
+        Rc::clone(&tools),
+    );
+    World {
+        cuda,
+        tools,
+        fill,
+        copy,
+    }
+}
+
+fn launch_fill(w: &mut World, p: Ptr, v: f64, n: u64, s: StreamId) {
+    w.cuda
+        .launch(
+            w.fill,
+            LaunchGrid::cover(n, 32),
+            s,
+            vec![
+                LaunchArg::Ptr(p),
+                LaunchArg::F64(v),
+                LaunchArg::I64(n as i64),
+            ],
+        )
+        .unwrap();
+}
+
+fn launch_copy(w: &mut World, dst: Ptr, src: Ptr, n: u64, s: StreamId) {
+    w.cuda
+        .launch(
+            w.copy,
+            LaunchGrid::cover(n, 32),
+            s,
+            vec![
+                LaunchArg::Ptr(dst),
+                LaunchArg::Ptr(src),
+                LaunchArg::I64(n as i64),
+            ],
+        )
+        .unwrap();
+}
+
+// ---- §VI-B: per-thread default stream -----------------------------------------
+
+#[test]
+fn per_thread_mode_removes_legacy_barrier_and_cusan_reports_the_race() {
+    // The same program, correct under legacy semantics, races under
+    // per-thread default-stream mode — and the data is genuinely stale.
+    for (mode, expect_race, expect_value) in [
+        (DefaultStreamMode::Legacy, false, 5.0),
+        (DefaultStreamMode::PerThread, true, 0.0),
+    ] {
+        let mut w = world(Flavor::Cusan);
+        w.cuda.set_default_stream_mode(mode);
+        let s = w.cuda.stream_create(StreamFlags::Default);
+        let d = w.cuda.malloc::<f64>(16).unwrap();
+        let out = w.cuda.malloc::<f64>(16).unwrap();
+        launch_fill(&mut w, d, 5.0, 16, s);
+        // Relies on the legacy barrier: default-stream work waits for s.
+        launch_copy(&mut w, out, d, 16, StreamId::DEFAULT);
+        w.cuda.stream_synchronize(StreamId::DEFAULT).unwrap();
+        let v = w
+            .tools
+            .host_read_slice::<f64>(w.cuda.space(), out, 16, "check")
+            .unwrap();
+        assert_eq!(v[0], expect_value, "{mode:?}");
+        assert_eq!(w.tools.race_count() > 0, expect_race, "{mode:?}");
+        w.cuda.flush().unwrap();
+    }
+}
+
+#[test]
+fn per_thread_default_sync_does_not_cover_user_streams() {
+    let mut w = world(Flavor::Cusan);
+    w.cuda.set_default_stream_mode(DefaultStreamMode::PerThread);
+    let s = w.cuda.stream_create(StreamFlags::Default);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    launch_fill(&mut w, d, 1.0, 16, s);
+    // Legacy mode would terminate s's arc here; per-thread must not.
+    w.cuda.stream_synchronize(StreamId::DEFAULT).unwrap();
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 1);
+    w.cuda.flush().unwrap();
+}
+
+#[test]
+fn per_thread_explicit_sync_still_works() {
+    let mut w = world(Flavor::Cusan);
+    w.cuda.set_default_stream_mode(DefaultStreamMode::PerThread);
+    let s = w.cuda.stream_create(StreamFlags::Default);
+    let d = w.cuda.malloc::<f64>(16).unwrap();
+    launch_fill(&mut w, d, 1.0, 16, s);
+    w.cuda.stream_synchronize(s).unwrap();
+    let v = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), d, 16, "host read")
+        .unwrap();
+    assert_eq!(v[0], 1.0);
+    assert_eq!(w.tools.race_count(), 0);
+}
+
+#[test]
+#[should_panic(expected = "before any work")]
+fn mode_change_after_work_rejected() {
+    let mut w = world(Flavor::Vanilla);
+    let d = w.cuda.malloc::<f64>(4).unwrap();
+    launch_fill(&mut w, d, 0.0, 4, StreamId::DEFAULT);
+    w.cuda.set_default_stream_mode(DefaultStreamMode::PerThread);
+}
+
+// ---- §VI-D: bounded access tracking ---------------------------------------------
+
+fn bounded_cusan() -> cusan::ToolConfig {
+    let mut c = Flavor::Cusan.config();
+    c.bounded_tracking = true;
+    c
+}
+
+#[test]
+fn analysis_marks_tid_bounded_arguments() {
+    let w = world(Flavor::Vanilla);
+    let an = w.cuda.registry().analysis();
+    assert!(an.tid_bounded(w.fill, 0), "fill indexes with tid only");
+    assert!(an.tid_bounded(w.copy, 0));
+    assert!(an.tid_bounded(w.copy, 1));
+}
+
+#[test]
+fn loop_kernels_are_not_tid_bounded() {
+    let mut reg = KernelRegistry::new();
+    let mut b = KernelBuilder::new("sum");
+    let out = b.ptr_param("out", ScalarTy::F64);
+    let inp = b.ptr_param("in", ScalarTy::F64);
+    let n = b.scalar_param("n", ScalarTy::I64);
+    let acc = b.let_(cf(0.0));
+    b.for_(ci(0), n.get(), |b, i| {
+        b.set(acc, acc.get() + load(inp, i.get()));
+    });
+    b.store(out, tid(), acc.get());
+    let k = reg.register_ir(b.finish()).unwrap();
+    let an = reg.analysis();
+    assert!(an.tid_bounded(k, 0), "out written at tid");
+    assert!(!an.tid_bounded(k, 1), "in read at loop index");
+}
+
+#[test]
+fn bounded_tracking_removes_whole_allocation_false_positive() {
+    // A "boundary pack" pattern: the kernel writes only the first `nx`
+    // elements of a large buffer, then the host reads a DISJOINT region.
+    // Whole-allocation annotation flags a race that cannot happen;
+    // bounded tracking does not.
+    let nx = 32u64;
+    for (cfg, expect_fp) in [(Flavor::Cusan.config(), true), (bounded_cusan(), false)] {
+        let mut w = world(cfg);
+        let big = w.cuda.malloc::<f64>(4096).unwrap();
+        launch_fill(&mut w, big, 1.0, nx, StreamId::DEFAULT);
+        // Host touches elements far past the kernel's writes, without any
+        // synchronization — correct per actual accesses.
+        let _ = w
+            .tools
+            .host_read_slice::<f64>(w.cuda.space(), big.offset(2048 * 8), 64, "disjoint read")
+            .unwrap();
+        assert_eq!(
+            w.tools.race_count() > 0,
+            expect_fp,
+            "bounded={} should {}report",
+            cfg.bounded_tracking,
+            if expect_fp { "" } else { "not " }
+        );
+        w.cuda.flush().unwrap();
+    }
+}
+
+#[test]
+fn bounded_tracking_still_catches_true_races() {
+    let mut w = world(bounded_cusan());
+    let big = w.cuda.malloc::<f64>(4096).unwrap();
+    launch_fill(&mut w, big, 1.0, 32, StreamId::DEFAULT);
+    // Overlapping host read inside the kernel's actual write range.
+    let _ = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), big, 16, "overlapping read")
+        .unwrap();
+    assert_eq!(w.tools.race_count(), 1);
+    w.cuda.flush().unwrap();
+}
+
+#[test]
+fn bounded_tracking_reduces_tracked_bytes() {
+    let run = |cfg: cusan::ToolConfig| {
+        let mut w = world(cfg);
+        let big = w.cuda.malloc::<f64>(1 << 16).unwrap();
+        for _ in 0..8 {
+            launch_fill(&mut w, big, 1.0, 64, StreamId::DEFAULT);
+        }
+        w.cuda.device_synchronize().unwrap();
+        w.cuda.flush().unwrap();
+        w.tools.tsan_stats().write_bytes
+    };
+    let full = run(Flavor::Cusan.config());
+    let bounded = run(bounded_cusan());
+    assert!(
+        bounded * 100 < full,
+        "bounded tracking should cut tracked bytes by >100x here: {bounded} vs {full}"
+    );
+}
+
+// ---- §VI-A: pitched 2-D copy precision -----------------------------------------
+
+/// The per-row annotation of `cudaMemcpy2D` is *precise*: a host access
+/// to the bytes BETWEEN transferred rows does not race, while touching a
+/// transferred row does.
+#[test]
+fn memcpy_2d_strided_annotation_precision() {
+    use cuda_sim::CopyKind;
+    for (touch_gap, expect_race) in [(true, false), (false, true)] {
+        let mut w = world(Flavor::Cusan);
+        let src = w.cuda.malloc::<f64>(64).unwrap();
+        let dst = w.cuda.malloc::<f64>(64).unwrap();
+        // Async strided copy: rows of 8 bytes at pitch 32 (1 of every 4
+        // elements of dst is written).
+        w.cuda
+            .memcpy_2d_async(
+                dst,
+                32,
+                src,
+                32,
+                8,
+                8,
+                CopyKind::DeviceToDevice,
+                StreamId::DEFAULT,
+            )
+            .unwrap();
+        let probe = if touch_gap { dst.offset(16) } else { dst };
+        let _ = w
+            .tools
+            .host_read_slice::<f64>(w.cuda.space(), probe, 1, "probe")
+            .unwrap();
+        assert_eq!(
+            w.tools.race_count() > 0,
+            expect_race,
+            "touch_gap={touch_gap}"
+        );
+        w.cuda.flush().unwrap();
+    }
+}
+
+/// A blocking H2D memcpy2d synchronizes the host like its 1-D sibling.
+#[test]
+fn memcpy_2d_blocking_synchronizes() {
+    use cuda_sim::CopyKind;
+    let mut w = world(Flavor::Cusan);
+    let h = w.cuda.host_malloc::<f64>(64).unwrap();
+    let d = w.cuda.malloc::<f64>(64).unwrap();
+    launch_fill(&mut w, d, 2.0, 64, StreamId::DEFAULT);
+    // Blocking D2H 2-D copy forces and synchronizes.
+    w.cuda
+        .memcpy_2d(h, 64, d, 64, 64, 8, CopyKind::DeviceToHost)
+        .unwrap();
+    let v = w
+        .tools
+        .host_read_slice::<f64>(w.cuda.space(), h, 8, "check")
+        .unwrap();
+    assert_eq!(v[0], 2.0);
+    assert_eq!(w.tools.race_count(), 0, "{:#?}", w.tools.race_reports());
+}

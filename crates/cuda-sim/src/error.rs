@@ -1,0 +1,90 @@
+//! CUDA simulator errors.
+
+use kernel_ir::InterpError;
+use sim_mem::MemError;
+use std::fmt;
+
+/// Errors returned by the simulated CUDA API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CudaError {
+    /// Unknown or destroyed stream handle.
+    InvalidStream(u32),
+    /// Unknown or destroyed event handle.
+    InvalidEvent(u32),
+    /// Underlying memory error (unmapped pointer, overrun, …).
+    Mem(MemError),
+    /// Kernel launch argument mismatch.
+    BadKernelArg {
+        /// Kernel name.
+        kernel: String,
+        /// Argument position.
+        index: usize,
+        /// Human-readable expectation.
+        expected: String,
+    },
+    /// Kernel launch arity mismatch.
+    BadKernelArity {
+        /// Kernel name.
+        kernel: String,
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// `cudaMemcpy` kind does not match the actual pointer locations.
+    InvalidCopyKind {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Device-side execution fault (out-of-bounds, …) from the interpreter.
+    Kernel(InterpError),
+    /// Operation on a destroyed stream.
+    StreamDestroyed(u32),
+    /// Event used before being recorded.
+    EventNotRecorded(u32),
+}
+
+impl fmt::Display for CudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CudaError::InvalidStream(s) => write!(f, "invalid stream handle {s}"),
+            CudaError::InvalidEvent(e) => write!(f, "invalid event handle {e}"),
+            CudaError::Mem(e) => write!(f, "memory error: {e}"),
+            CudaError::BadKernelArg {
+                kernel,
+                index,
+                expected,
+            } => {
+                write!(f, "kernel {kernel}: argument {index}: expected {expected}")
+            }
+            CudaError::BadKernelArity {
+                kernel,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "kernel {kernel}: expected {expected} arguments, got {got}"
+                )
+            }
+            CudaError::InvalidCopyKind { detail } => write!(f, "invalid memcpy kind: {detail}"),
+            CudaError::Kernel(e) => write!(f, "device fault: {e}"),
+            CudaError::StreamDestroyed(s) => write!(f, "stream {s} already destroyed"),
+            CudaError::EventNotRecorded(e) => write!(f, "event {e} has not been recorded"),
+        }
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+impl From<MemError> for CudaError {
+    fn from(e: MemError) -> Self {
+        CudaError::Mem(e)
+    }
+}
+
+impl From<InterpError> for CudaError {
+    fn from(e: InterpError) -> Self {
+        CudaError::Kernel(e)
+    }
+}

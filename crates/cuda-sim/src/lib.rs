@@ -1,0 +1,48 @@
+//! # cuda-sim — a deterministic CUDA runtime simulator
+//!
+//! The substrate standing in for the CUDA runtime + GPU in `cusan-rs`
+//! (paper §III). It implements the *semantics* relevant to data-race
+//! analysis of CUDA-aware MPI programs; no GPU silicon is modeled.
+//!
+//! ## Execution model
+//!
+//! Device operations (kernel launches, memcpy/memset, event records) are
+//! enqueued on **streams** (FIFO) and execute **deferred**: an operation's
+//! memory effects apply only when its completion is *forced* — by stream
+//! order, an explicit synchronization call, a host-blocking memory
+//! operation, or a legacy default-stream barrier. Consequently a program
+//! that omits a required synchronization genuinely observes stale data,
+//! exactly the failure mode the race detector exists to flag.
+//!
+//! ## Legacy default-stream semantics (paper §III-A, Fig. 3)
+//!
+//! Stream 0 is the legacy default stream. Operations enqueued on it depend
+//! on all previously enqueued work of every *blocking* user stream, and
+//! operations enqueued on blocking user streams depend on all previously
+//! enqueued default-stream work. Streams created with
+//! [`StreamFlags::NonBlocking`] opt out of both directions.
+//!
+//! ## Implicit synchronization (paper §III-B2, §III-C)
+//!
+//! Whether `cudaMemcpy`/`cudaMemset` block the host depends on the variant,
+//! the transfer direction, and the memory kinds involved; the rules are
+//! centralized in [`semantics`] with the paper's pessimistic reading of
+//! "may be asynchronous".
+//!
+//! ## Modules
+//!
+//! * [`stream`] — stream/event identities and queue state
+//! * [`semantics`] — host-synchronization rule tables
+//! * [`exec`] — kernel argument binding and execution (native + interpreter)
+//! * [`device`] — the device: queues, forcing, the full CUDA-like API
+
+pub mod device;
+pub mod error;
+pub mod exec;
+pub mod semantics;
+pub mod stream;
+
+pub use device::{CudaCounters, CudaDevice};
+pub use error::CudaError;
+pub use semantics::{CopyKind, HostSync};
+pub use stream::{DefaultStreamMode, EventId, StreamFlags, StreamId};

@@ -1,0 +1,231 @@
+//! Host-synchronization semantics of CUDA memory operations.
+//!
+//! This module is the single source of truth for the rules of paper
+//! §III-B2/§III-C, with the paper's **pessimistic** interpretation: when
+//! the CUDA documentation says an operation *may be* (a)synchronous, we
+//! assume it does **not** synchronize with the host — fewer happens-before
+//! edges means the race detector errs toward reporting, never toward
+//! missing a race.
+//!
+//! | operation            | condition                          | host behaviour |
+//! |----------------------|------------------------------------|----------------|
+//! | `cudaMemcpy`         | H2D / D2H (any host kind)          | blocking       |
+//! | `cudaMemcpy`         | H2H                                | blocking       |
+//! | `cudaMemcpy`         | D2D                                | *may be async* → stream-ordered |
+//! | `cudaMemcpyAsync`    | any                                | stream-ordered |
+//! | `cudaMemset`         | pinned host target                 | blocking       |
+//! | `cudaMemset`         | any other target                   | stream-ordered |
+//! | `cudaMemsetAsync`    | any                                | stream-ordered |
+//! | `cudaFree`           | —                                  | device-wide sync |
+//! | `cudaFreeAsync`      | —                                  | stream-ordered |
+
+use crate::error::CudaError;
+use sim_mem::MemKind;
+
+/// Direction declared at a `cudaMemcpy` call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyKind {
+    /// Host → device.
+    HostToDevice,
+    /// Device → host.
+    DeviceToHost,
+    /// Device → device.
+    DeviceToDevice,
+    /// Host → host.
+    HostToHost,
+    /// `cudaMemcpyDefault`: infer from UVA pointer attributes.
+    Default,
+}
+
+/// Whether an operation blocks the calling host thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostSync {
+    /// The call returns only after the operation (and the stream work it
+    /// is ordered behind) completed — a host synchronization point.
+    Blocking,
+    /// The call returns immediately; the operation is ordered only within
+    /// its stream.
+    StreamOrdered,
+}
+
+/// Classify a memory kind as a host or device side for direction checking.
+/// Managed and pinned memory are reachable from both sides.
+fn side_matches(kind: MemKind, want_device: bool) -> bool {
+    match kind {
+        MemKind::HostPageable => !want_device,
+        MemKind::HostPinned | MemKind::Managed => true,
+        MemKind::Device(_) => want_device,
+    }
+}
+
+/// Validate a declared copy direction against actual pointer kinds and
+/// resolve `CopyKind::Default` from UVA attributes.
+pub fn resolve_copy_kind(
+    declared: CopyKind,
+    dst: MemKind,
+    src: MemKind,
+) -> Result<CopyKind, CudaError> {
+    let resolved = match declared {
+        CopyKind::Default => match (dst.is_device(), src.is_device()) {
+            (true, true) => CopyKind::DeviceToDevice,
+            (true, false) => CopyKind::HostToDevice,
+            (false, true) => CopyKind::DeviceToHost,
+            (false, false) => CopyKind::HostToHost,
+        },
+        k => k,
+    };
+    let (dst_dev, src_dev) = match resolved {
+        CopyKind::HostToDevice => (true, false),
+        CopyKind::DeviceToHost => (false, true),
+        CopyKind::DeviceToDevice => (true, true),
+        CopyKind::HostToHost => (false, false),
+        CopyKind::Default => unreachable!("resolved above"),
+    };
+    if !side_matches(dst, dst_dev) || !side_matches(src, src_dev) {
+        return Err(CudaError::InvalidCopyKind {
+            detail: format!("declared {resolved:?} but dst is {dst} and src is {src}"),
+        });
+    }
+    Ok(resolved)
+}
+
+/// Host-synchronization behaviour of a memcpy.
+pub fn memcpy_host_sync(resolved: CopyKind, is_async: bool) -> HostSync {
+    if is_async {
+        // cudaMemcpyAsync with pageable host memory "may be synchronous";
+        // pessimistically: no host synchronization edge.
+        return HostSync::StreamOrdered;
+    }
+    match resolved {
+        CopyKind::HostToDevice | CopyKind::DeviceToHost | CopyKind::HostToHost => {
+            HostSync::Blocking
+        }
+        // D2D copies "may be asynchronous with respect to the host".
+        CopyKind::DeviceToDevice => HostSync::StreamOrdered,
+        CopyKind::Default => unreachable!("resolve before querying semantics"),
+    }
+}
+
+/// Host-synchronization behaviour of a memset on memory of `target` kind
+/// (paper §III-C: pinned targets synchronize, pageable/device do not).
+pub fn memset_host_sync(target: MemKind, is_async: bool) -> HostSync {
+    if is_async {
+        return HostSync::StreamOrdered;
+    }
+    match target {
+        MemKind::HostPinned => HostSync::Blocking,
+        MemKind::HostPageable | MemKind::Managed | MemKind::Device(_) => HostSync::StreamOrdered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::DeviceId;
+
+    const DEV: MemKind = MemKind::Device(DeviceId(0));
+
+    #[test]
+    fn resolve_default_infers_direction() {
+        assert_eq!(
+            resolve_copy_kind(CopyKind::Default, DEV, MemKind::HostPageable).unwrap(),
+            CopyKind::HostToDevice
+        );
+        assert_eq!(
+            resolve_copy_kind(CopyKind::Default, MemKind::HostPageable, DEV).unwrap(),
+            CopyKind::DeviceToHost
+        );
+        assert_eq!(
+            resolve_copy_kind(CopyKind::Default, DEV, DEV).unwrap(),
+            CopyKind::DeviceToDevice
+        );
+        assert_eq!(
+            resolve_copy_kind(
+                CopyKind::Default,
+                MemKind::HostPinned,
+                MemKind::HostPageable
+            )
+            .unwrap(),
+            CopyKind::HostToHost
+        );
+    }
+
+    #[test]
+    fn declared_direction_validated() {
+        assert!(resolve_copy_kind(CopyKind::HostToDevice, DEV, MemKind::HostPageable).is_ok());
+        assert!(matches!(
+            resolve_copy_kind(CopyKind::HostToDevice, MemKind::HostPageable, DEV),
+            Err(CudaError::InvalidCopyKind { .. })
+        ));
+        assert!(matches!(
+            resolve_copy_kind(CopyKind::DeviceToDevice, DEV, MemKind::HostPageable),
+            Err(CudaError::InvalidCopyKind { .. })
+        ));
+    }
+
+    #[test]
+    fn pinned_and_managed_match_both_sides() {
+        // Pinned memory is device-accessible: H2D from pinned, D2H into
+        // pinned, even "D2D" against managed are all accepted.
+        assert!(resolve_copy_kind(CopyKind::HostToDevice, DEV, MemKind::HostPinned).is_ok());
+        assert!(resolve_copy_kind(CopyKind::DeviceToHost, MemKind::HostPinned, DEV).is_ok());
+        assert!(resolve_copy_kind(CopyKind::DeviceToDevice, MemKind::Managed, DEV).is_ok());
+    }
+
+    #[test]
+    fn sync_memcpy_h2d_d2h_blocking() {
+        assert_eq!(
+            memcpy_host_sync(CopyKind::HostToDevice, false),
+            HostSync::Blocking
+        );
+        assert_eq!(
+            memcpy_host_sync(CopyKind::DeviceToHost, false),
+            HostSync::Blocking
+        );
+        assert_eq!(
+            memcpy_host_sync(CopyKind::HostToHost, false),
+            HostSync::Blocking
+        );
+    }
+
+    #[test]
+    fn d2d_pessimistically_stream_ordered() {
+        assert_eq!(
+            memcpy_host_sync(CopyKind::DeviceToDevice, false),
+            HostSync::StreamOrdered
+        );
+    }
+
+    #[test]
+    fn async_memcpy_never_blocks() {
+        for k in [
+            CopyKind::HostToDevice,
+            CopyKind::DeviceToHost,
+            CopyKind::DeviceToDevice,
+            CopyKind::HostToHost,
+        ] {
+            assert_eq!(memcpy_host_sync(k, true), HostSync::StreamOrdered);
+        }
+    }
+
+    #[test]
+    fn memset_pinned_blocks_others_do_not() {
+        assert_eq!(
+            memset_host_sync(MemKind::HostPinned, false),
+            HostSync::Blocking
+        );
+        assert_eq!(
+            memset_host_sync(MemKind::HostPageable, false),
+            HostSync::StreamOrdered
+        );
+        assert_eq!(memset_host_sync(DEV, false), HostSync::StreamOrdered);
+        assert_eq!(
+            memset_host_sync(MemKind::Managed, false),
+            HostSync::StreamOrdered
+        );
+        assert_eq!(
+            memset_host_sync(MemKind::HostPinned, true),
+            HostSync::StreamOrdered
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Stream and event identities and per-stream queue state.
+
+use kernel_ir::{KernelId, LaunchArg, LaunchGrid};
+use sim_mem::Ptr;
+use std::collections::VecDeque;
+
+/// Handle of a CUDA stream. Stream 0 is the legacy default stream and
+/// always exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The legacy default stream.
+    pub const DEFAULT: StreamId = StreamId(0);
+
+    /// True for the legacy default stream.
+    pub fn is_default(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Handle of a CUDA event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u32);
+
+/// How the default stream behaves (paper §VI-B).
+///
+/// * [`DefaultStreamMode::Legacy`] — the classic semantics of §III-A:
+///   default-stream work and blocking user-stream work form logical
+///   barriers against each other (Fig. 3).
+/// * [`DefaultStreamMode::PerThread`] — `--default-stream per-thread`:
+///   the default stream behaves like an ordinary (blocking-exempt)
+///   stream; no implicit barriers exist. Programs relying on legacy
+///   ordering race under this mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DefaultStreamMode {
+    /// Legacy default-stream semantics (implicit logical barriers).
+    #[default]
+    Legacy,
+    /// Per-thread default stream: no implicit barriers.
+    PerThread,
+}
+
+/// Stream creation flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamFlags {
+    /// Participates in legacy default-stream barriers.
+    #[default]
+    Default,
+    /// `cudaStreamNonBlocking`: exempt from default-stream barriers.
+    NonBlocking,
+}
+
+/// A queued device operation's payload.
+#[derive(Debug, Clone)]
+pub(crate) enum OpKind {
+    /// Kernel execution.
+    Kernel {
+        kernel: KernelId,
+        grid: LaunchGrid,
+        args: Vec<LaunchArg>,
+    },
+    /// Byte copy (any direction; UVA pointers).
+    Copy { dst: Ptr, src: Ptr, len: u64 },
+    /// Pitched 2-D copy: `height` rows of `width` bytes.
+    Copy2D {
+        dst: Ptr,
+        dpitch: u64,
+        src: Ptr,
+        spitch: u64,
+        width: u64,
+        height: u64,
+    },
+    /// Byte fill.
+    Memset { ptr: Ptr, value: u8, len: u64 },
+    /// Event completion marker (the id is carried for Debug/tracing).
+    EventRecord {
+        #[allow(dead_code)]
+        event: EventId,
+    },
+}
+
+/// A dependency on another stream's progress: "the first `seq` operations
+/// enqueued on `stream` must have completed".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Dep {
+    pub stream: StreamId,
+    pub seq: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct Op {
+    pub kind: OpKind,
+    pub deps: Vec<Dep>,
+}
+
+/// Per-stream queue state.
+#[derive(Debug)]
+pub(crate) struct StreamState {
+    pub flags: StreamFlags,
+    pub alive: bool,
+    /// Operations enqueued but not yet executed.
+    pub queue: VecDeque<Op>,
+    /// Count of operations ever enqueued.
+    pub enqueued: u64,
+    /// Count of operations executed (`enqueued - queue.len()`).
+    pub completed: u64,
+    /// Dependencies to attach to the next enqueued operation
+    /// (`cudaStreamWaitEvent`).
+    pub pending_deps: Vec<Dep>,
+}
+
+impl StreamState {
+    pub fn new(flags: StreamFlags) -> Self {
+        StreamState {
+            flags,
+            alive: true,
+            queue: VecDeque::new(),
+            enqueued: 0,
+            completed: 0,
+            pending_deps: Vec::new(),
+        }
+    }
+
+    /// True if this stream participates in legacy default-stream barriers.
+    pub fn is_blocking(&self) -> bool {
+        matches!(self.flags, StreamFlags::Default)
+    }
+
+    /// True if all enqueued work has executed.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// Per-event state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EventState {
+    pub alive: bool,
+    /// Stream + sequence number of the most recent record, if any.
+    pub recorded: Option<Dep>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stream_identity() {
+        assert!(StreamId::DEFAULT.is_default());
+        assert!(!StreamId(3).is_default());
+    }
+
+    #[test]
+    fn stream_state_flags() {
+        let s = StreamState::new(StreamFlags::Default);
+        assert!(s.is_blocking());
+        assert!(s.is_idle());
+        let n = StreamState::new(StreamFlags::NonBlocking);
+        assert!(!n.is_blocking());
+    }
+}

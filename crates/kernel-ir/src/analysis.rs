@@ -1,0 +1,437 @@
+//! The "compiler pass": interprocedural kernel-argument access analysis.
+//!
+//! For every kernel pointer argument, determine conservatively whether the
+//! kernel may **read** and/or **write** through it (paper §IV-B1). The
+//! analysis is a forward dataflow over the IR:
+//!
+//! * `Load { ptr, .. }` marks `ptr` read; `Store { ptr, .. }` marks it
+//!   written — regardless of the branch it occurs in (conservative: a
+//!   *may*-access is enough to require race checking).
+//! * A nested `Call` folds the callee's summary into the caller through the
+//!   pointer-argument binding, which is exactly the Fig. 8 case: a pointer
+//!   passed as the callee's first argument inherits whatever the callee
+//!   does with its first parameter.
+//! * Recursive (and mutually recursive) kernels are handled by iterating
+//!   to a fixpoint; attributes only ever grow, and the lattice
+//!   (`none ⊑ read/write ⊑ read-write`) is finite, so termination is
+//!   guaranteed.
+
+use crate::ast::{CallArg, Expr, KernelDef, KernelId, Stmt};
+use std::fmt;
+
+/// May-access attribute of one kernel argument.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessAttr {
+    /// The kernel may read through the argument.
+    pub read: bool,
+    /// The kernel may write through the argument.
+    pub write: bool,
+}
+
+impl AccessAttr {
+    /// No access.
+    pub const NONE: AccessAttr = AccessAttr {
+        read: false,
+        write: false,
+    };
+    /// Read-only.
+    pub const READ: AccessAttr = AccessAttr {
+        read: true,
+        write: false,
+    };
+    /// Write-only.
+    pub const WRITE: AccessAttr = AccessAttr {
+        read: false,
+        write: true,
+    };
+    /// Read and write.
+    pub const READ_WRITE: AccessAttr = AccessAttr {
+        read: true,
+        write: true,
+    };
+
+    /// Lattice join.
+    pub fn merge(&mut self, other: AccessAttr) -> bool {
+        let before = *self;
+        self.read |= other.read;
+        self.write |= other.write;
+        *self != before
+    }
+
+    /// True if any access may occur.
+    pub fn any(self) -> bool {
+        self.read || self.write
+    }
+}
+
+impl fmt::Display for AccessAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match (self.read, self.write) {
+            (false, false) => "none",
+            (true, false) => "read",
+            (false, true) => "write",
+            (true, true) => "read-write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of analyzing a set of kernels: per-kernel, per-parameter
+/// attributes (scalar parameters are always [`AccessAttr::NONE`]), plus
+/// the *tid-boundedness* refinement used by bounded access tracking
+/// (paper §VI-D future work): a pointer parameter is tid-bounded when
+/// every access through it uses the thread index itself as the element
+/// index, so the range a launch can touch is `grid size × element size`
+/// rather than the whole allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisResult {
+    attrs: Vec<Vec<AccessAttr>>,
+    tid_bounded: Vec<Vec<bool>>,
+}
+
+impl AnalysisResult {
+    /// Attributes for all parameters of `k`.
+    pub fn kernel(&self, k: KernelId) -> &[AccessAttr] {
+        &self.attrs[k.0 as usize]
+    }
+
+    /// Attribute of one parameter.
+    pub fn param(&self, k: KernelId, param: usize) -> AccessAttr {
+        self.attrs[k.0 as usize][param]
+    }
+
+    /// True if every access through parameter `param` of `k` indexes with
+    /// the thread id itself (see struct docs). Scalar parameters are
+    /// vacuously bounded.
+    pub fn tid_bounded(&self, k: KernelId, param: usize) -> bool {
+        self.tid_bounded[k.0 as usize][param]
+    }
+
+    /// Number of analyzed kernels.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if no kernels were analyzed.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+}
+
+/// Analyze all kernels (indexed by [`KernelId`] = position).
+pub fn analyze(kernels: &[KernelDef]) -> AnalysisResult {
+    let mut attrs: Vec<Vec<AccessAttr>> = kernels
+        .iter()
+        .map(|k| vec![AccessAttr::NONE; k.params.len()])
+        .collect();
+    // Tid-boundedness starts at true (vacuous: no accesses) and only
+    // decreases; the access attributes only grow. Both lattices are
+    // finite, so the joint fixpoint terminates.
+    let mut bounded: Vec<Vec<bool>> = kernels.iter().map(|k| vec![true; k.params.len()]).collect();
+    loop {
+        let mut changed = false;
+        for (i, k) in kernels.iter().enumerate() {
+            let mut cur = attrs[i].clone();
+            let mut cur_b = bounded[i].clone();
+            walk_stmts(&k.body, &attrs, &bounded, &mut cur, &mut cur_b);
+            if cur != attrs[i] || cur_b != bounded[i] {
+                attrs[i] = cur;
+                bounded[i] = cur_b;
+                changed = true;
+            }
+        }
+        if !changed {
+            return AnalysisResult {
+                attrs,
+                tid_bounded: bounded,
+            };
+        }
+    }
+}
+
+fn walk_stmts(
+    stmts: &[Stmt],
+    all: &[Vec<AccessAttr>],
+    all_bounded: &[Vec<bool>],
+    cur: &mut [AccessAttr],
+    cur_b: &mut [bool],
+) {
+    for s in stmts {
+        match s {
+            Stmt::Let(_, e) => walk_expr(e, cur, cur_b),
+            Stmt::Store { ptr, idx, val } => {
+                cur[*ptr].merge(AccessAttr::WRITE);
+                cur_b[*ptr] &= matches!(idx, Expr::Tid);
+                walk_expr(idx, cur, cur_b);
+                walk_expr(val, cur, cur_b);
+            }
+            Stmt::If { cond, then_, else_ } => {
+                walk_expr(cond, cur, cur_b);
+                walk_stmts(then_, all, all_bounded, cur, cur_b);
+                walk_stmts(else_, all, all_bounded, cur, cur_b);
+            }
+            Stmt::For {
+                start, end, body, ..
+            } => {
+                walk_expr(start, cur, cur_b);
+                walk_expr(end, cur, cur_b);
+                walk_stmts(body, all, all_bounded, cur, cur_b);
+            }
+            Stmt::Call { callee, args } => {
+                let callee_attrs = &all[callee.0 as usize];
+                let callee_bounded = &all_bounded[callee.0 as usize];
+                for (pos, arg) in args.iter().enumerate() {
+                    match arg {
+                        CallArg::Ptr(p) => {
+                            let a = callee_attrs.get(pos).copied().unwrap_or(AccessAttr::NONE);
+                            cur[*p].merge(a);
+                            // The callee runs on the same thread (same tid),
+                            // so its boundedness carries over directly.
+                            cur_b[*p] &= callee_bounded.get(pos).copied().unwrap_or(true);
+                        }
+                        CallArg::Scalar(e) => walk_expr(e, cur, cur_b),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn walk_expr(e: &Expr, cur: &mut [AccessAttr], cur_b: &mut [bool]) {
+    match e {
+        Expr::ConstF(_)
+        | Expr::ConstI(_)
+        | Expr::Tid
+        | Expr::GridSize
+        | Expr::Param(_)
+        | Expr::Local(_) => {}
+        Expr::Bin(_, a, b) => {
+            walk_expr(a, cur, cur_b);
+            walk_expr(b, cur, cur_b);
+        }
+        Expr::Un(_, a) => walk_expr(a, cur, cur_b),
+        Expr::Load { ptr, idx } => {
+            cur[*ptr].merge(AccessAttr::READ);
+            cur_b[*ptr] &= matches!(**idx, Expr::Tid);
+            walk_expr(idx, cur, cur_b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ScalarTy;
+    use crate::builder::*;
+
+    #[test]
+    fn attr_lattice_merge() {
+        let mut a = AccessAttr::NONE;
+        assert!(a.merge(AccessAttr::READ));
+        assert!(!a.merge(AccessAttr::READ), "idempotent");
+        assert!(a.merge(AccessAttr::WRITE));
+        assert_eq!(a, AccessAttr::READ_WRITE);
+        assert_eq!(a.to_string(), "read-write");
+        assert_eq!(AccessAttr::NONE.to_string(), "none");
+        assert!(!AccessAttr::NONE.any());
+    }
+
+    #[test]
+    fn direct_read_write_detected() {
+        // copy(dst, src): dst[tid] = src[tid]
+        let mut b = KernelBuilder::new("copy");
+        let dst = b.ptr_param("dst", ScalarTy::F64);
+        let src = b.ptr_param("src", ScalarTy::F64);
+        b.store(dst, tid(), load(src, tid()));
+        let r = analyze(&[b.finish()]);
+        assert_eq!(r.param(KernelId(0), 0), AccessAttr::WRITE);
+        assert_eq!(r.param(KernelId(0), 1), AccessAttr::READ);
+    }
+
+    #[test]
+    fn read_modify_write_is_read_write() {
+        let mut b = KernelBuilder::new("scale");
+        let p = b.ptr_param("p", ScalarTy::F64);
+        b.store(p, tid(), load(p, tid()) * cf(2.0));
+        let r = analyze(&[b.finish()]);
+        assert_eq!(r.param(KernelId(0), 0), AccessAttr::READ_WRITE);
+    }
+
+    #[test]
+    fn scalar_params_are_none() {
+        let mut b = KernelBuilder::new("set");
+        let p = b.ptr_param("p", ScalarTy::F64);
+        let v = b.scalar_param("v", ScalarTy::F64);
+        b.store(p, tid(), v.get());
+        let r = analyze(&[b.finish()]);
+        assert_eq!(r.param(KernelId(0), 1), AccessAttr::NONE);
+    }
+
+    #[test]
+    fn conditional_store_still_counts() {
+        let mut b = KernelBuilder::new("guarded");
+        let p = b.ptr_param("p", ScalarTy::F64);
+        let n = b.scalar_param("n", ScalarTy::I64);
+        b.if_(tid().lt(n.get()), |b| b.store(p, tid(), cf(1.0)));
+        let r = analyze(&[b.finish()]);
+        assert_eq!(
+            r.param(KernelId(0), 0),
+            AccessAttr::WRITE,
+            "may-write is write"
+        );
+    }
+
+    #[test]
+    fn loads_in_index_and_condition_detected() {
+        // p[map[tid]] = 1.0 — map is read even though it only appears in an
+        // index expression.
+        let mut b = KernelBuilder::new("scatter");
+        let p = b.ptr_param("p", ScalarTy::F64);
+        let map = b.ptr_param("map", ScalarTy::I64);
+        b.store(p, load(map, tid()), cf(1.0));
+        let r = analyze(&[b.finish()]);
+        assert_eq!(r.param(KernelId(0), 1), AccessAttr::READ);
+    }
+
+    /// The paper's Fig. 8: `kernel(d_a, d_b)` calls
+    /// `kernel_nested(y=d_a, x=d_b)` which does `y[tid] = x[tid]`.
+    /// Expected: `d_a` write, `d_b` read, `y` write, `x` read.
+    #[test]
+    fn fig8_interprocedural_aliasing() {
+        let mut nb = KernelBuilder::new("kernel_nested");
+        let y = nb.ptr_param("y", ScalarTy::F32);
+        let x = nb.ptr_param("x", ScalarTy::F32);
+        let t = nb.scalar_param("tid", ScalarTy::I64);
+        nb.store(y, t.get(), load(x, t.get()));
+        let nested = nb.finish();
+
+        let mut kb = KernelBuilder::new("kernel");
+        let d_a = kb.ptr_param("d_a", ScalarTy::F32);
+        let d_b = kb.ptr_param("d_b", ScalarTy::F32);
+        kb.call(
+            KernelId(0),
+            [Arg::from(d_a), Arg::from(d_b), Arg::from(tid())],
+        );
+        let outer = kb.finish();
+
+        let r = analyze(&[nested, outer]);
+        // kernel_nested: y write, x read.
+        assert_eq!(r.param(KernelId(0), 0), AccessAttr::WRITE);
+        assert_eq!(r.param(KernelId(0), 1), AccessAttr::READ);
+        // kernel: attributes propagate through the call.
+        assert_eq!(r.param(KernelId(1), 0), AccessAttr::WRITE);
+        assert_eq!(r.param(KernelId(1), 1), AccessAttr::READ);
+    }
+
+    #[test]
+    fn swapped_forwarding_swaps_attributes() {
+        // callee(w, r): w[tid] = r[tid]; caller forwards (b, a): so a is
+        // read, b is written.
+        let mut cb = KernelBuilder::new("callee");
+        let w = cb.ptr_param("w", ScalarTy::F64);
+        let r_ = cb.ptr_param("r", ScalarTy::F64);
+        cb.store(w, tid(), load(r_, tid()));
+        let callee = cb.finish();
+
+        let mut ob = KernelBuilder::new("caller");
+        let a = ob.ptr_param("a", ScalarTy::F64);
+        let b2 = ob.ptr_param("b", ScalarTy::F64);
+        ob.call(KernelId(0), [Arg::from(b2), Arg::from(a)]);
+        let caller = ob.finish();
+
+        let r = analyze(&[callee, caller]);
+        assert_eq!(
+            r.param(KernelId(1), 0),
+            AccessAttr::READ,
+            "a forwarded as r"
+        );
+        assert_eq!(
+            r.param(KernelId(1), 1),
+            AccessAttr::WRITE,
+            "b forwarded as w"
+        );
+    }
+
+    #[test]
+    fn same_pointer_forwarded_twice_merges() {
+        // callee(w, r): caller passes (p, p): p becomes read-write.
+        let mut cb = KernelBuilder::new("callee");
+        let w = cb.ptr_param("w", ScalarTy::F64);
+        let r_ = cb.ptr_param("r", ScalarTy::F64);
+        cb.store(w, tid(), load(r_, tid()));
+        let callee = cb.finish();
+
+        let mut ob = KernelBuilder::new("caller");
+        let p = ob.ptr_param("p", ScalarTy::F64);
+        ob.call(KernelId(0), [Arg::from(p), Arg::from(p)]);
+        let caller = ob.finish();
+
+        let r = analyze(&[callee, caller]);
+        assert_eq!(r.param(KernelId(1), 0), AccessAttr::READ_WRITE);
+    }
+
+    #[test]
+    fn two_level_call_chain_propagates() {
+        // leaf writes; mid forwards to leaf; top forwards to mid.
+        let mut lb = KernelBuilder::new("leaf");
+        let p = lb.ptr_param("p", ScalarTy::F64);
+        lb.store(p, tid(), cf(0.0));
+        let leaf = lb.finish();
+
+        let mut mb = KernelBuilder::new("mid");
+        let q = mb.ptr_param("q", ScalarTy::F64);
+        mb.call(KernelId(0), [Arg::from(q)]);
+        let mid = mb.finish();
+
+        let mut tb = KernelBuilder::new("top");
+        let s = tb.ptr_param("s", ScalarTy::F64);
+        tb.call(KernelId(1), [Arg::from(s)]);
+        let top = tb.finish();
+
+        let r = analyze(&[leaf, mid, top]);
+        assert_eq!(r.param(KernelId(2), 0), AccessAttr::WRITE);
+    }
+
+    #[test]
+    fn recursive_kernel_terminates_with_sound_result() {
+        // rec(p, n): if n > 0 { p[tid] = p[tid] + 1; rec(p, n - 1) }
+        let mut b = KernelBuilder::new("rec");
+        let p = b.ptr_param("p", ScalarTy::F64);
+        let n = b.scalar_param("n", ScalarTy::I64);
+        b.if_(n.get().gt(ci(0)), |b| {
+            b.store(p, tid(), load(p, tid()) + cf(1.0));
+            b.call(KernelId(0), [Arg::from(p), Arg::from(n.get() - ci(1))]);
+        });
+        let r = analyze(&[b.finish()]);
+        assert_eq!(r.param(KernelId(0), 0), AccessAttr::READ_WRITE);
+    }
+
+    #[test]
+    fn mutually_recursive_kernels_terminate() {
+        // a(p) calls b(p); b(q) reads q and calls a(q).
+        let mut ab = KernelBuilder::new("a");
+        let p = ab.ptr_param("p", ScalarTy::F64);
+        ab.call(KernelId(1), [Arg::from(p)]);
+        let a = ab.finish();
+
+        let mut bb = KernelBuilder::new("b");
+        let q = bb.ptr_param("q", ScalarTy::F64);
+        let l = bb.let_(load(q, tid()));
+        bb.store(q, tid(), l.get());
+        bb.call(KernelId(0), [Arg::from(q)]);
+        let b = bb.finish();
+
+        let r = analyze(&[a, b]);
+        assert_eq!(r.param(KernelId(0), 0), AccessAttr::READ_WRITE);
+        assert_eq!(r.param(KernelId(1), 0), AccessAttr::READ_WRITE);
+    }
+
+    #[test]
+    fn untouched_pointer_is_none() {
+        let mut b = KernelBuilder::new("noop");
+        let _p = b.ptr_param("p", ScalarTy::F64);
+        let r = analyze(&[b.finish()]);
+        assert_eq!(r.param(KernelId(0), 0), AccessAttr::NONE);
+        assert_eq!(r.len(), 1);
+    }
+}

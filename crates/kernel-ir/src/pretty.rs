@@ -1,0 +1,247 @@
+//! Pseudo-CUDA pretty-printer for kernel definitions.
+//!
+//! Renders a [`KernelDef`] back to a CUDA-like source form, optionally
+//! annotated with the compiler pass's per-argument access attributes —
+//! handy in diagnostics, test failure output, and documentation (every
+//! registered kernel can print what the pass concluded about it).
+
+use crate::analysis::AnalysisResult;
+use crate::ast::{BinOp, CallArg, Expr, KernelDef, KernelId, ParamTy, Stmt, UnOp};
+
+/// Render a kernel as pseudo-CUDA.
+pub fn pretty(def: &KernelDef) -> String {
+    pretty_with_attrs(def, None, None)
+}
+
+/// Render a kernel with the analysis's per-argument annotations, e.g.
+/// `/* write, tid-bounded */ double* out`.
+pub fn pretty_analyzed(def: &KernelDef, id: KernelId, analysis: &AnalysisResult) -> String {
+    pretty_with_attrs(def, Some(id), Some(analysis))
+}
+
+fn pretty_with_attrs(
+    def: &KernelDef,
+    id: Option<KernelId>,
+    analysis: Option<&AnalysisResult>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("__global__ void ");
+    out.push_str(&def.name);
+    out.push('(');
+    for (i, p) in def.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if let (Some(id), Some(an)) = (id, analysis) {
+            if p.ty.is_ptr() {
+                let attr = an.param(id, i);
+                let bounded = if an.tid_bounded(id, i) {
+                    ", tid-bounded"
+                } else {
+                    ""
+                };
+                out.push_str(&format!("/* {attr}{bounded} */ "));
+            }
+        }
+        match p.ty {
+            ParamTy::Ptr(t) => out.push_str(&format!("{t}* {}", p.name)),
+            ParamTy::Scalar(t) => out.push_str(&format!("{t} {}", p.name)),
+        }
+    }
+    out.push_str(") {\n");
+    emit_stmts(&def.body, def, 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn emit_stmts(stmts: &[Stmt], def: &KernelDef, depth: usize, out: &mut String) {
+    for s in stmts {
+        indent(depth, out);
+        match s {
+            Stmt::Let(l, e) => {
+                out.push_str(&format!("t{l} = {};\n", expr(e, def)));
+            }
+            Stmt::Store { ptr, idx, val } => {
+                out.push_str(&format!(
+                    "{}[{}] = {};\n",
+                    def.params[*ptr].name,
+                    expr(idx, def),
+                    expr(val, def)
+                ));
+            }
+            Stmt::If { cond, then_, else_ } => {
+                out.push_str(&format!("if ({}) {{\n", expr(cond, def)));
+                emit_stmts(then_, def, depth + 1, out);
+                if !else_.is_empty() {
+                    indent(depth, out);
+                    out.push_str("} else {\n");
+                    emit_stmts(else_, def, depth + 1, out);
+                }
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+            Stmt::For {
+                local,
+                start,
+                end,
+                body,
+            } => {
+                out.push_str(&format!(
+                    "for (long t{local} = {}; t{local} < {}; t{local}++) {{\n",
+                    expr(start, def),
+                    expr(end, def)
+                ));
+                emit_stmts(body, def, depth + 1, out);
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+            Stmt::Call { callee, args } => {
+                out.push_str(&format!("kernel#{}(", callee.0));
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    match a {
+                        CallArg::Ptr(p) => out.push_str(&def.params[*p].name),
+                        CallArg::Scalar(e) => out.push_str(&expr(e, def)),
+                    }
+                }
+                out.push_str(");\n");
+            }
+        }
+    }
+}
+
+fn bin_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+fn expr(e: &Expr, def: &KernelDef) -> String {
+    match e {
+        Expr::ConstF(v) => format!("{v:?}"),
+        Expr::ConstI(v) => v.to_string(),
+        Expr::Tid => "tid".to_string(),
+        Expr::GridSize => "gridSize".to_string(),
+        Expr::Param(i) => def.params[*i].name.clone(),
+        Expr::Local(l) => format!("t{l}"),
+        Expr::Bin(op @ (BinOp::Min | BinOp::Max), a, b) => {
+            format!("{}({}, {})", bin_op(*op), expr(a, def), expr(b, def))
+        }
+        Expr::Bin(op, a, b) => {
+            format!("({} {} {})", expr(a, def), bin_op(*op), expr(b, def))
+        }
+        Expr::Un(UnOp::Neg, a) => format!("(-{})", expr(a, def)),
+        Expr::Un(UnOp::Not, a) => format!("(!{})", expr(a, def)),
+        Expr::Un(UnOp::Sqrt, a) => format!("sqrt({})", expr(a, def)),
+        Expr::Un(UnOp::Abs, a) => format!("abs({})", expr(a, def)),
+        Expr::Un(UnOp::IntToFloat, a) => format!("(double)({})", expr(a, def)),
+        Expr::Un(UnOp::FloatToInt, a) => format!("(long)({})", expr(a, def)),
+        Expr::Load { ptr, idx } => {
+            format!("{}[{}]", def.params[*ptr].name, expr(idx, def))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::ast::ScalarTy;
+    use crate::builder::*;
+
+    fn axpy() -> KernelDef {
+        let mut b = KernelBuilder::new("axpy");
+        let y = b.ptr_param("y", ScalarTy::F64);
+        let x = b.ptr_param("x", ScalarTy::F64);
+        let a = b.scalar_param("a", ScalarTy::F64);
+        let n = b.scalar_param("n", ScalarTy::I64);
+        b.if_(tid().lt(n.get()), |b| {
+            b.store(y, tid(), load(y, tid()) + a.get() * load(x, tid()));
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn renders_axpy_shape() {
+        let s = pretty(&axpy());
+        assert!(
+            s.contains("__global__ void axpy(f64* y, f64* x, f64 a, i64 n)"),
+            "{s}"
+        );
+        assert!(s.contains("if ((tid < n)) {"), "{s}");
+        assert!(s.contains("y[tid] = (y[tid] + (a * x[tid]));"), "{s}");
+    }
+
+    #[test]
+    fn renders_analysis_annotations() {
+        let def = axpy();
+        let defs = vec![def];
+        let an = analysis::analyze(&defs);
+        let s = pretty_analyzed(&defs[0], KernelId(0), &an);
+        assert!(s.contains("/* read-write, tid-bounded */ f64* y"), "{s}");
+        assert!(s.contains("/* read, tid-bounded */ f64* x"), "{s}");
+    }
+
+    #[test]
+    fn renders_loops_calls_and_unops() {
+        let mut cb = KernelBuilder::new("leaf");
+        let p = cb.ptr_param("p", ScalarTy::F64);
+        cb.store(p, tid(), cf(0.0));
+        let leaf = cb.finish();
+
+        let mut b = KernelBuilder::new("outer");
+        let q = b.ptr_param("q", ScalarTy::F64);
+        let n = b.scalar_param("n", ScalarTy::I64);
+        let acc = b.let_(cf(0.0));
+        b.for_(ci(0), n.get(), |b, i| {
+            b.set(acc, acc.get() + load(q, i.get()).abs().sqrt());
+        });
+        b.store(q, ci(0), acc.get().max(cf(1.0)));
+        b.call(KernelId(0), [Arg::from(q)]);
+        let outer = b.finish();
+        let _ = leaf;
+
+        let s = pretty(&outer);
+        assert!(s.contains("for (long t1 = 0; t1 < n; t1++) {"), "{s}");
+        assert!(s.contains("sqrt(abs(q[t1]))"), "{s}");
+        assert!(s.contains("q[0] = max(t0, 1.0);"), "{s}");
+        assert!(s.contains("kernel#0(q);"), "{s}");
+    }
+
+    #[test]
+    fn renders_if_else_and_casts() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.ptr_param("p", ScalarTy::I64);
+        b.if_else(
+            tid().rem(ci(2)).eq_(ci(0)),
+            |b| b.store(p, tid(), tid().to_f().to_i()),
+            |b| b.store(p, tid(), -ci(1)),
+        );
+        let s = pretty(&b.finish());
+        assert!(s.contains("} else {"), "{s}");
+        assert!(s.contains("(long)((double)(tid))"), "{s}");
+        assert!(s.contains("(-1)"), "{s}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Soundness property for the compiler pass: on randomly generated
+//! kernels, the static per-argument access attributes must **cover**
+//! every access the interpreter actually performs, and every argument
+//! the analysis calls *tid-bounded* must only be accessed at indices
+//! below the grid size — exactly the guarantee CuSan's bounded access
+//! tracking (§VI-D) relies on.
+//!
+//! An under-approximating analysis would make the checker skip
+//! annotations and miss races; this test hunts for such gaps.
+
+use kernel_ir::analysis;
+use kernel_ir::ast::KernelDef;
+use kernel_ir::ast::ScalarTy;
+use kernel_ir::builder::*;
+use kernel_ir::interp::{self, KValue, KernelMemory, RunArg};
+use kernel_ir::KernelId;
+use proptest::prelude::*;
+use std::cell::RefCell;
+
+const N_ELEMS: u64 = 16;
+
+/// Memory that records, per slot: did reads/writes happen, and the
+/// maximum element index touched.
+struct Recorder {
+    data: Vec<Vec<f64>>,
+    log: RefCell<Vec<(bool, bool, u64)>>, // (read, write, max_idx)
+}
+
+impl Recorder {
+    fn new(slots: usize) -> Self {
+        Recorder {
+            data: vec![vec![0.5; N_ELEMS as usize]; slots],
+            log: RefCell::new(vec![(false, false, 0); slots]),
+        }
+    }
+}
+
+impl KernelMemory for Recorder {
+    fn len(&self, slot: usize) -> u64 {
+        self.data[slot].len() as u64
+    }
+
+    fn load(&self, slot: usize, idx: u64) -> KValue {
+        let mut log = self.log.borrow_mut();
+        log[slot].0 = true;
+        log[slot].2 = log[slot].2.max(idx);
+        KValue::F(self.data[slot][idx as usize])
+    }
+
+    fn store(&mut self, slot: usize, idx: u64, v: KValue) {
+        {
+            let mut log = self.log.borrow_mut();
+            log[slot].1 = true;
+            log[slot].2 = log[slot].2.max(idx);
+        }
+        if let KValue::F(x) = v {
+            self.data[slot][idx as usize] = x;
+        }
+    }
+}
+
+/// A tiny random-program generator over the builder API. Two f64 pointer
+/// params (a, b) and one i64 scalar (n = N_ELEMS); indices are clamped so
+/// execution never faults and the interpreter can run the whole grid.
+#[derive(Debug, Clone)]
+enum GenStmt {
+    /// `a[tid] = c`
+    StoreTidA,
+    /// `b[tid] = c`
+    StoreTidB,
+    /// `a[const] = c`
+    StoreConstA(u8),
+    /// `local = a[tid] + b[min(tid, n-1)]`
+    LoadMixAb,
+    /// `for i in 0..k { acc += b[i] }`
+    LoopReadB(u8),
+    /// `if tid < n { a[tid] = c }`
+    IfGuardedStoreA,
+    /// nothing
+    Nothing,
+}
+
+fn gen_stmt() -> impl Strategy<Value = GenStmt> {
+    prop_oneof![
+        Just(GenStmt::StoreTidA),
+        Just(GenStmt::StoreTidB),
+        (0u8..N_ELEMS as u8).prop_map(GenStmt::StoreConstA),
+        Just(GenStmt::LoadMixAb),
+        (1u8..N_ELEMS as u8).prop_map(GenStmt::LoopReadB),
+        Just(GenStmt::IfGuardedStoreA),
+        Just(GenStmt::Nothing),
+    ]
+}
+
+fn build_kernel(stmts: &[GenStmt]) -> KernelDef {
+    let mut b = KernelBuilder::new("generated");
+    let a = b.ptr_param("a", ScalarTy::F64);
+    let pb = b.ptr_param("b", ScalarTy::F64);
+    let n = b.scalar_param("n", ScalarTy::I64);
+    for s in stmts {
+        match s {
+            GenStmt::StoreTidA => b.store(a, tid(), cf(1.25)),
+            GenStmt::StoreTidB => b.store(pb, tid(), cf(-0.5)),
+            GenStmt::StoreConstA(c) => b.store(a, ci(i64::from(*c)), cf(2.0)),
+            GenStmt::LoadMixAb => {
+                let idx = tid().min(n.get() - ci(1));
+                let _l = b.let_(load(a, tid()) + load(pb, idx));
+            }
+            GenStmt::LoopReadB(k) => {
+                let acc = b.let_(cf(0.0));
+                b.for_(ci(0), ci(i64::from(*k)), |b, i| {
+                    b.set(acc, acc.get() + load(pb, i.get()));
+                });
+            }
+            GenStmt::IfGuardedStoreA => {
+                b.if_(tid().lt(n.get()), |b| b.store(a, tid(), cf(3.0)));
+            }
+            GenStmt::Nothing => {}
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn analysis_covers_dynamic_accesses(
+        stmts in proptest::collection::vec(gen_stmt(), 0..8),
+        grid in 1u64..=N_ELEMS,
+    ) {
+        let kernels = vec![build_kernel(&stmts)];
+        let result = analysis::analyze(&kernels);
+        let kid = KernelId(0);
+
+        let mut mem = Recorder::new(2);
+        interp::run(
+            &kernels,
+            kid,
+            grid,
+            &[RunArg::Slot(0), RunArg::Slot(1), RunArg::Val(KValue::I(N_ELEMS as i64))],
+            &mut mem,
+        )
+        .expect("generated kernels never fault");
+
+        let log = mem.log.borrow();
+        for (slot, param) in [(0usize, 0usize), (1, 1)] {
+            let attr = result.param(kid, param);
+            let (read, write, max_idx) = log[slot];
+            prop_assert!(
+                !read || attr.read,
+                "slot {slot}: dynamic read not covered by static attr {attr}"
+            );
+            prop_assert!(
+                !write || attr.write,
+                "slot {slot}: dynamic write not covered by static attr {attr}"
+            );
+            // The §VI-D contract: a tid-bounded argument is only touched at
+            // indices below the grid size.
+            if result.tid_bounded(kid, param) && (read || write) {
+                prop_assert!(
+                    max_idx < grid,
+                    "slot {slot}: claimed tid-bounded but index {max_idx} >= grid {grid}"
+                );
+            }
+        }
+    }
+}
+
+/// Sanity: the generator produces both bounded and unbounded shapes, so
+/// the property above is not vacuous.
+#[test]
+fn generator_produces_both_bounded_and_unbounded() {
+    let bounded = build_kernel(&[GenStmt::StoreTidA, GenStmt::StoreTidB]);
+    let r = analysis::analyze(std::slice::from_ref(&bounded));
+    assert!(r.tid_bounded(KernelId(0), 0));
+
+    let unbounded = build_kernel(&[GenStmt::StoreConstA(3)]);
+    let r = analysis::analyze(std::slice::from_ref(&unbounded));
+    assert!(!r.tid_bounded(KernelId(0), 0));
+
+    let loopy = build_kernel(&[GenStmt::LoopReadB(4)]);
+    let r = analysis::analyze(std::slice::from_ref(&loopy));
+    assert!(!r.tid_bounded(KernelId(0), 1));
+    assert_eq!(r.param(KernelId(0), 1), kernel_ir::AccessAttr::READ);
+}
+
+#[test]
+fn unused_params_stay_none() {
+    let def = build_kernel(&[GenStmt::Nothing]);
+    let r = analysis::analyze(std::slice::from_ref(&def));
+    assert_eq!(r.param(KernelId(0), 0), kernel_ir::AccessAttr::NONE);
+    assert_eq!(r.param(KernelId(0), 1), kernel_ir::AccessAttr::NONE);
+}

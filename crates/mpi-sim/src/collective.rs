@@ -1,0 +1,542 @@
+//! Collective operations: barrier-phased reference implementations.
+//!
+//! Every collective runs in three barrier-separated phases over a shared
+//! slot table: (1) contribute, (2) compute/read, (3) leader cleanup. This
+//! is deliberately the simplest correct scheme — collectives are not on
+//! the overhead-critical path of the evaluation; their MPI-semantic
+//! surface (buffer reads/writes) is what MUST annotates.
+
+use crate::datatype::{reduce_bytes, MpiDatatype, ReduceOp};
+use crate::error::MpiError;
+use parking_lot::Mutex;
+use sim_mem::{AddressSpace, Ptr};
+use std::sync::Barrier;
+
+struct Slots {
+    contribs: Vec<Option<Vec<u8>>>,
+    result: Option<Result<Vec<u8>, MpiError>>,
+}
+
+pub(crate) struct CollShared {
+    slots: Mutex<Slots>,
+    phase: Barrier,
+    size: usize,
+}
+
+impl CollShared {
+    pub fn new(size: usize) -> Self {
+        CollShared {
+            slots: Mutex::new(Slots {
+                contribs: vec![None; size],
+                result: None,
+            }),
+            phase: Barrier::new(size),
+            size,
+        }
+    }
+
+    /// The 3-phase skeleton: `contribute` fills this rank's slot, `compute`
+    /// runs on exactly one rank after all contributions, every rank then
+    /// receives the result, and the leader clears the table.
+    fn run<T>(
+        &self,
+        rank: usize,
+        contribute: impl FnOnce(&mut Vec<Option<Vec<u8>>>),
+        compute: impl FnOnce(&mut Slots),
+        consume: impl FnOnce(&Slots) -> Result<T, MpiError>,
+    ) -> Result<T, MpiError> {
+        {
+            let mut s = self.slots.lock();
+            contribute(&mut s.contribs);
+        }
+        let r1 = self.phase.wait();
+        if r1.is_leader() {
+            let mut s = self.slots.lock();
+            compute(&mut s);
+        }
+        self.phase.wait();
+        let out = {
+            let s = self.slots.lock();
+            consume(&s)
+        };
+        let r3 = self.phase.wait();
+        if r3.is_leader() {
+            let mut s = self.slots.lock();
+            s.contribs.iter_mut().for_each(|c| *c = None);
+            s.result = None;
+        }
+        self.phase.wait();
+        let _ = rank;
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn allreduce(
+        &self,
+        rank: usize,
+        space: &AddressSpace,
+        send_buf: Ptr,
+        recv_buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+        op: ReduceOp,
+    ) -> Result<(), MpiError> {
+        let bytes = count * dtype.size();
+        let mut mine = vec![0u8; bytes as usize];
+        space.read_bytes(send_buf, &mut mine)?;
+        let result = self.run(
+            rank,
+            |contribs| contribs[rank] = Some(mine),
+            |slots| slots.result = Some(fold(&slots.contribs, dtype, op)),
+            |slots| slots.result.clone().expect("result computed"),
+        )?;
+        space.write_bytes(recv_buf, &result)?;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce(
+        &self,
+        rank: usize,
+        root: usize,
+        space: &AddressSpace,
+        send_buf: Ptr,
+        recv_buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+        op: ReduceOp,
+    ) -> Result<(), MpiError> {
+        assert!(root < self.size, "invalid root {root}");
+        let bytes = count * dtype.size();
+        let mut mine = vec![0u8; bytes as usize];
+        space.read_bytes(send_buf, &mut mine)?;
+        let result = self.run(
+            rank,
+            |contribs| contribs[rank] = Some(mine),
+            |slots| slots.result = Some(fold(&slots.contribs, dtype, op)),
+            |slots| slots.result.clone().expect("result computed"),
+        )?;
+        if rank == root {
+            space.write_bytes(recv_buf, &result)?;
+        }
+        Ok(())
+    }
+
+    pub fn bcast(
+        &self,
+        rank: usize,
+        root: usize,
+        space: &AddressSpace,
+        buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+    ) -> Result<(), MpiError> {
+        assert!(root < self.size, "invalid root {root}");
+        let bytes = count * dtype.size();
+        let mine = if rank == root {
+            let mut data = vec![0u8; bytes as usize];
+            space.read_bytes(buf, &mut data)?;
+            Some(data)
+        } else {
+            None
+        };
+        let result = self.run(
+            rank,
+            |contribs| {
+                if let Some(data) = mine {
+                    contribs[root] = Some(data);
+                }
+            },
+            |slots| {
+                slots.result = Some(match slots.contribs[root].clone() {
+                    Some(d) => Ok(d),
+                    None => Err(MpiError::BadRequest),
+                });
+            },
+            |slots| slots.result.clone().expect("result computed"),
+        )?;
+        if rank != root {
+            space.write_bytes(buf, &result)?;
+        }
+        Ok(())
+    }
+}
+
+impl CollShared {
+    /// `MPI_Gather`: rank slices concatenated at `root` in rank order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gather(
+        &self,
+        rank: usize,
+        root: usize,
+        space: &AddressSpace,
+        send_buf: Ptr,
+        recv_buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+    ) -> Result<(), MpiError> {
+        assert!(root < self.size, "invalid root {root}");
+        let bytes = count * dtype.size();
+        let mut mine = vec![0u8; bytes as usize];
+        space.read_bytes(send_buf, &mut mine)?;
+        let result = self.run(
+            rank,
+            |contribs| contribs[rank] = Some(mine),
+            |slots| slots.result = Some(concat(&slots.contribs)),
+            |slots| slots.result.clone().expect("result computed"),
+        )?;
+        if rank == root {
+            space.write_bytes(recv_buf, &result)?;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Allgather`: every rank receives the concatenation.
+    pub fn allgather(
+        &self,
+        rank: usize,
+        space: &AddressSpace,
+        send_buf: Ptr,
+        recv_buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+    ) -> Result<(), MpiError> {
+        let bytes = count * dtype.size();
+        let mut mine = vec![0u8; bytes as usize];
+        space.read_bytes(send_buf, &mut mine)?;
+        let result = self.run(
+            rank,
+            |contribs| contribs[rank] = Some(mine),
+            |slots| slots.result = Some(concat(&slots.contribs)),
+            |slots| slots.result.clone().expect("result computed"),
+        )?;
+        space.write_bytes(recv_buf, &result)?;
+        Ok(())
+    }
+
+    /// `MPI_Scatter`: `root`'s buffer is split into per-rank slices.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter(
+        &self,
+        rank: usize,
+        root: usize,
+        space: &AddressSpace,
+        send_buf: Ptr,
+        recv_buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+    ) -> Result<(), MpiError> {
+        assert!(root < self.size, "invalid root {root}");
+        let slice = count * dtype.size();
+        let mine = if rank == root {
+            let mut data = vec![0u8; (slice * self.size as u64) as usize];
+            space.read_bytes(send_buf, &mut data)?;
+            Some(data)
+        } else {
+            None
+        };
+        let result = self.run(
+            rank,
+            |contribs| {
+                if let Some(data) = mine {
+                    contribs[root] = Some(data);
+                }
+            },
+            |slots| {
+                slots.result = Some(match slots.contribs[root].clone() {
+                    Some(d) => Ok(d),
+                    None => Err(MpiError::BadRequest),
+                });
+            },
+            |slots| slots.result.clone().expect("result computed"),
+        )?;
+        let off = rank as u64 * slice;
+        space.write_bytes(recv_buf, &result[off as usize..(off + slice) as usize])?;
+        Ok(())
+    }
+}
+
+/// Concatenate per-rank contributions in rank order.
+fn concat(contribs: &[Option<Vec<u8>>]) -> Result<Vec<u8>, MpiError> {
+    let mut out = Vec::new();
+    for c in contribs {
+        match c {
+            Some(d) => out.extend_from_slice(d),
+            None => return Err(MpiError::BadRequest),
+        }
+    }
+    Ok(out)
+}
+
+fn fold(
+    contribs: &[Option<Vec<u8>>],
+    dtype: MpiDatatype,
+    op: ReduceOp,
+) -> Result<Vec<u8>, MpiError> {
+    let mut iter = contribs.iter();
+    let mut acc = match iter.next() {
+        Some(Some(first)) => first.clone(),
+        _ => return Err(MpiError::BadRequest),
+    };
+    for c in iter {
+        let Some(c) = c else {
+            return Err(MpiError::BadRequest);
+        };
+        if c.len() != acc.len() {
+            return Err(MpiError::Truncated {
+                message: c.len() as u64,
+                capacity: acc.len() as u64,
+            });
+        }
+        reduce_bytes(dtype, op, &mut acc, c);
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::datatype::{MpiDatatype, ReduceOp};
+    use crate::world::run_world;
+    use sim_mem::{AddressSpace, MemKind, Ptr};
+    use std::sync::Arc;
+
+    fn space() -> Arc<AddressSpace> {
+        Arc::new(AddressSpace::new())
+    }
+
+    #[test]
+    fn allreduce_sum() {
+        let sp = space();
+        let n = 4;
+        let send: Vec<Ptr> = (0..n)
+            .map(|_| sp.alloc_array::<f64>(MemKind::HostPageable, 2).unwrap())
+            .collect();
+        let recv: Vec<Ptr> = (0..n)
+            .map(|_| sp.alloc_array::<f64>(MemKind::HostPageable, 2).unwrap())
+            .collect();
+        for (r, p) in send.iter().enumerate() {
+            sp.write_slice_data::<f64>(*p, &[r as f64, 10.0 * r as f64])
+                .unwrap();
+        }
+        let (s, rc) = (send.clone(), recv.clone());
+        run_world(n, Arc::clone(&sp), move |comm| {
+            comm.allreduce(
+                s[comm.rank()],
+                rc[comm.rank()],
+                2,
+                MpiDatatype::Double,
+                ReduceOp::Sum,
+            )
+            .unwrap();
+        });
+        for p in &recv {
+            assert_eq!(sp.read_vec::<f64>(*p, 2).unwrap(), vec![6.0, 60.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_repeated_generations() {
+        // Back-to-back collectives must not leak state between rounds.
+        let sp = space();
+        let n = 3;
+        let bufs: Vec<(Ptr, Ptr)> = (0..n)
+            .map(|_| {
+                (
+                    sp.alloc_array::<i64>(MemKind::HostPageable, 1).unwrap(),
+                    sp.alloc_array::<i64>(MemKind::HostPageable, 1).unwrap(),
+                )
+            })
+            .collect();
+        let b = bufs.clone();
+        run_world(n, Arc::clone(&sp), move |comm| {
+            let (s, r) = b[comm.rank()];
+            for round in 0..10i64 {
+                comm.space()
+                    .write_at::<i64>(s, round + comm.rank() as i64)
+                    .unwrap();
+                comm.allreduce(s, r, 1, MpiDatatype::Long, ReduceOp::Max)
+                    .unwrap();
+                let got = comm.space().read_at::<i64>(r).unwrap();
+                assert_eq!(got, round + 2, "round {round}");
+            }
+        });
+    }
+
+    #[test]
+    fn reduce_only_root_receives() {
+        let sp = space();
+        let n = 3;
+        let send: Vec<Ptr> = (0..n)
+            .map(|_| sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap())
+            .collect();
+        let recv: Vec<Ptr> = (0..n)
+            .map(|_| sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap())
+            .collect();
+        for (r, p) in send.iter().enumerate() {
+            sp.write_at::<i32>(*p, (r + 1) as i32).unwrap();
+        }
+        let (s, rc) = (send.clone(), recv.clone());
+        run_world(n, Arc::clone(&sp), move |comm| {
+            comm.reduce(
+                s[comm.rank()],
+                rc[comm.rank()],
+                1,
+                MpiDatatype::Int,
+                ReduceOp::Prod,
+                1,
+            )
+            .unwrap();
+        });
+        assert_eq!(sp.read_at::<i32>(recv[1]).unwrap(), 6);
+        assert_eq!(sp.read_at::<i32>(recv[0]).unwrap(), 0, "non-root untouched");
+    }
+
+    #[test]
+    fn bcast_from_root() {
+        let sp = space();
+        let n = 4;
+        let bufs: Vec<Ptr> = (0..n)
+            .map(|_| sp.alloc_array::<f64>(MemKind::HostPageable, 3).unwrap())
+            .collect();
+        sp.write_slice_data::<f64>(bufs[2], &[7.0, 8.0, 9.0])
+            .unwrap();
+        let b = bufs.clone();
+        run_world(n, Arc::clone(&sp), move |comm| {
+            comm.bcast(b[comm.rank()], 3, MpiDatatype::Double, 2)
+                .unwrap();
+        });
+        for p in &bufs {
+            assert_eq!(sp.read_vec::<f64>(*p, 3).unwrap(), vec![7.0, 8.0, 9.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sp = space();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        run_world(4, sp, move |comm| {
+            c.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(c.load(Ordering::SeqCst), 4);
+        });
+    }
+}
+
+#[cfg(test)]
+mod gather_tests {
+    use crate::datatype::MpiDatatype;
+    use crate::world::run_world;
+    use sim_mem::{AddressSpace, MemKind, Ptr};
+    use std::sync::Arc;
+
+    fn space() -> Arc<AddressSpace> {
+        Arc::new(AddressSpace::new())
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order() {
+        let sp = space();
+        let n = 4;
+        let send: Vec<Ptr> = (0..n)
+            .map(|r| {
+                let p = sp.alloc_array::<i32>(MemKind::HostPageable, 2).unwrap();
+                sp.write_slice_data::<i32>(p, &[r as i32, 10 * r as i32])
+                    .unwrap();
+                p
+            })
+            .collect();
+        let recv = sp
+            .alloc_array::<i32>(MemKind::HostPageable, 2 * n as u64)
+            .unwrap();
+        let s = send.clone();
+        run_world(n, Arc::clone(&sp), move |comm| {
+            comm.gather(s[comm.rank()], recv, 2, MpiDatatype::Int, 1)
+                .unwrap();
+        });
+        assert_eq!(
+            sp.read_vec::<i32>(recv, 8).unwrap(),
+            vec![0, 0, 1, 10, 2, 20, 3, 30]
+        );
+    }
+
+    #[test]
+    fn allgather_gives_everyone_the_concatenation() {
+        let sp = space();
+        let n = 3;
+        let bufs: Vec<(Ptr, Ptr)> = (0..n)
+            .map(|r| {
+                let s = sp.alloc_array::<f64>(MemKind::HostPageable, 1).unwrap();
+                sp.write_at::<f64>(s, r as f64 + 0.5).unwrap();
+                let d = sp
+                    .alloc_array::<f64>(MemKind::HostPageable, n as u64)
+                    .unwrap();
+                (s, d)
+            })
+            .collect();
+        let b = bufs.clone();
+        run_world(n, Arc::clone(&sp), move |comm| {
+            let (s, d) = b[comm.rank()];
+            comm.allgather(s, d, 1, MpiDatatype::Double).unwrap();
+        });
+        for (_, d) in &bufs {
+            assert_eq!(sp.read_vec::<f64>(*d, 3).unwrap(), vec![0.5, 1.5, 2.5]);
+        }
+    }
+
+    #[test]
+    fn scatter_splits_root_buffer() {
+        let sp = space();
+        let n = 4;
+        let root_buf = sp
+            .alloc_array::<i64>(MemKind::HostPageable, n as u64)
+            .unwrap();
+        sp.write_slice_data::<i64>(root_buf, &[100, 200, 300, 400])
+            .unwrap();
+        let recvs: Vec<Ptr> = (0..n)
+            .map(|_| sp.alloc_array::<i64>(MemKind::HostPageable, 1).unwrap())
+            .collect();
+        let rc = recvs.clone();
+        run_world(n, Arc::clone(&sp), move |comm| {
+            comm.scatter(root_buf, rc[comm.rank()], 1, MpiDatatype::Long, 0)
+                .unwrap();
+        });
+        for (r, p) in recvs.iter().enumerate() {
+            assert_eq!(sp.read_at::<i64>(*p).unwrap(), (r as i64 + 1) * 100);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let sp = space();
+        let n = 3;
+        let ins: Vec<Ptr> = (0..n)
+            .map(|r| {
+                let p = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+                sp.write_at::<i32>(p, r as i32 * 7).unwrap();
+                p
+            })
+            .collect();
+        let mid = sp
+            .alloc_array::<i32>(MemKind::HostPageable, n as u64)
+            .unwrap();
+        let outs: Vec<Ptr> = (0..n)
+            .map(|_| sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap())
+            .collect();
+        let (i2, o2) = (ins.clone(), outs.clone());
+        run_world(n, Arc::clone(&sp), move |comm| {
+            comm.gather(i2[comm.rank()], mid, 1, MpiDatatype::Int, 0)
+                .unwrap();
+            comm.scatter(mid, o2[comm.rank()], 1, MpiDatatype::Int, 0)
+                .unwrap();
+        });
+        for (inp, out) in ins.iter().zip(&outs) {
+            assert_eq!(
+                sp.read_at::<i32>(*inp).unwrap(),
+                sp.read_at::<i32>(*out).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! MPI datatypes and reduction operators.
+
+use sim_mem::pod;
+
+/// The MPI basic datatypes used by the mini-apps and the testsuite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpiDatatype {
+    /// `MPI_DOUBLE`.
+    Double,
+    /// `MPI_FLOAT`.
+    Float,
+    /// `MPI_INT`.
+    Int,
+    /// `MPI_LONG` (64-bit).
+    Long,
+    /// `MPI_BYTE`.
+    Byte,
+}
+
+impl MpiDatatype {
+    /// Size of one element in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            MpiDatatype::Double | MpiDatatype::Long => 8,
+            MpiDatatype::Float | MpiDatatype::Int => 4,
+            MpiDatatype::Byte => 1,
+        }
+    }
+
+    /// The TypeART type name this datatype is layout-compatible with
+    /// (used by MUST's datatype check).
+    pub fn type_name(self) -> &'static str {
+        match self {
+            MpiDatatype::Double => "f64",
+            MpiDatatype::Float => "f32",
+            MpiDatatype::Int => "i32",
+            MpiDatatype::Long => "i64",
+            MpiDatatype::Byte => "u8",
+        }
+    }
+}
+
+/// Reduction operators for `reduce`/`allreduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// `MPI_SUM`.
+    Sum,
+    /// `MPI_MIN`.
+    Min,
+    /// `MPI_MAX`.
+    Max,
+    /// `MPI_PROD`.
+    Prod,
+}
+
+macro_rules! reduce_typed {
+    ($t:ty, $op:expr, $acc:expr, $inc:expr) => {{
+        let a = pod::cast_slice_mut::<$t>($acc);
+        let b = pod::cast_slice::<$t>($inc);
+        for (x, y) in a.iter_mut().zip(b) {
+            *x = match $op {
+                ReduceOp::Sum => *x + *y,
+                ReduceOp::Prod => *x * *y,
+                ReduceOp::Min => {
+                    if *y < *x {
+                        *y
+                    } else {
+                        *x
+                    }
+                }
+                ReduceOp::Max => {
+                    if *y > *x {
+                        *y
+                    } else {
+                        *x
+                    }
+                }
+            };
+        }
+    }};
+}
+
+/// Elementwise `acc = op(acc, inc)` over raw little-endian native buffers.
+pub(crate) fn reduce_bytes(dtype: MpiDatatype, op: ReduceOp, acc: &mut [u8], inc: &[u8]) {
+    debug_assert_eq!(acc.len(), inc.len());
+    match dtype {
+        MpiDatatype::Double => reduce_typed!(f64, op, acc, inc),
+        MpiDatatype::Float => reduce_typed!(f32, op, acc, inc),
+        MpiDatatype::Int => reduce_typed!(i32, op, acc, inc),
+        MpiDatatype::Long => reduce_typed!(i64, op, acc, inc),
+        MpiDatatype::Byte => reduce_typed!(u8, op, acc, inc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_names() {
+        assert_eq!(MpiDatatype::Double.size(), 8);
+        assert_eq!(MpiDatatype::Int.size(), 4);
+        assert_eq!(MpiDatatype::Byte.size(), 1);
+        assert_eq!(MpiDatatype::Double.type_name(), "f64");
+        assert_eq!(MpiDatatype::Long.type_name(), "i64");
+    }
+
+    #[test]
+    fn reduce_sum_doubles() {
+        let mut acc = Vec::new();
+        for v in [1.0f64, 2.0] {
+            acc.extend_from_slice(&v.to_ne_bytes());
+        }
+        let mut inc = Vec::new();
+        for v in [10.0f64, 20.0] {
+            inc.extend_from_slice(&v.to_ne_bytes());
+        }
+        reduce_bytes(MpiDatatype::Double, ReduceOp::Sum, &mut acc, &inc);
+        assert_eq!(f64::from_ne_bytes(acc[0..8].try_into().unwrap()), 11.0);
+        assert_eq!(f64::from_ne_bytes(acc[8..16].try_into().unwrap()), 22.0);
+    }
+
+    #[test]
+    fn reduce_min_max_ints() {
+        let mut acc = 5i32.to_ne_bytes().to_vec();
+        reduce_bytes(
+            MpiDatatype::Int,
+            ReduceOp::Min,
+            &mut acc,
+            &3i32.to_ne_bytes(),
+        );
+        assert_eq!(i32::from_ne_bytes(acc[..].try_into().unwrap()), 3);
+        reduce_bytes(
+            MpiDatatype::Int,
+            ReduceOp::Max,
+            &mut acc,
+            &9i32.to_ne_bytes(),
+        );
+        assert_eq!(i32::from_ne_bytes(acc[..].try_into().unwrap()), 9);
+    }
+
+    #[test]
+    fn reduce_prod() {
+        let mut acc = 3.0f32.to_ne_bytes().to_vec();
+        reduce_bytes(
+            MpiDatatype::Float,
+            ReduceOp::Prod,
+            &mut acc,
+            &4.0f32.to_ne_bytes(),
+        );
+        assert_eq!(f32::from_ne_bytes(acc[..].try_into().unwrap()), 12.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! MPI simulator errors.
+
+use sim_mem::MemError;
+use std::fmt;
+
+/// Errors returned by simulated MPI calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Destination or source rank outside the communicator.
+    RankOutOfBounds {
+        /// The offending rank value.
+        rank: i64,
+        /// Communicator size.
+        size: usize,
+    },
+    /// Incoming message longer than the posted receive buffer
+    /// (`MPI_ERR_TRUNCATE`).
+    Truncated {
+        /// Message length in bytes.
+        message: u64,
+        /// Receive capacity in bytes.
+        capacity: u64,
+    },
+    /// Underlying memory failure (unmapped buffer, overrun).
+    Mem(MemError),
+    /// A blocking operation did not complete within the deadlock-detection
+    /// timeout (an unmatched send/recv or lost completion).
+    Timeout {
+        /// Human-readable description of what was being waited for.
+        what: String,
+    },
+    /// Request already completed or invalid.
+    BadRequest,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::RankOutOfBounds { rank, size } => {
+                write!(f, "rank {rank} out of bounds (communicator size {size})")
+            }
+            MpiError::Truncated { message, capacity } => {
+                write!(
+                    f,
+                    "message truncated: {message} bytes into {capacity}-byte buffer"
+                )
+            }
+            MpiError::Mem(e) => write!(f, "memory error: {e}"),
+            MpiError::Timeout { what } => {
+                write!(f, "MPI timeout (likely deadlock): waiting for {what}")
+            }
+            MpiError::BadRequest => write!(f, "invalid or already-completed request"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+impl From<MemError> for MpiError {
+    fn from(e: MemError) -> Self {
+        MpiError::Mem(e)
+    }
+}

@@ -1,0 +1,910 @@
+//! The world runner, communicator, and point-to-point matching engine.
+//!
+//! ## Transfer protocol
+//!
+//! Like a real MPI library, the simulator uses two protocols:
+//!
+//! * **Eager** (message ≤ [`EAGER_LIMIT`] bytes): the payload is copied out
+//!   of the send buffer when the send is *posted*, and the send completes
+//!   immediately.
+//! * **Rendezvous** (larger messages): the send registers the buffer
+//!   pointer; the payload is copied directly from the sender's (possibly
+//!   device) memory into the receiver's buffer when the match happens —
+//!   zero-copy CUDA-aware behaviour over the shared UVA space.
+//!
+//! Matching follows MPI's non-overtaking rule: a receive matches the
+//! earliest posted send with a matching `(source, tag)`, and an arriving
+//! send matches the earliest posted matching receive.
+
+use crate::collective::CollShared;
+use crate::datatype::{MpiDatatype, ReduceOp};
+use crate::error::MpiError;
+use crate::request::{Flag, Request, RequestKind, Status};
+use parking_lot::Mutex;
+use sim_mem::{AddressSpace, Ptr};
+use std::sync::{Arc, Barrier};
+
+/// Wildcard source rank (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: i32 = -1;
+/// Wildcard tag (`MPI_ANY_TAG`).
+pub const ANY_TAG: i32 = -1;
+/// The null process (`MPI_PROC_NULL`): communication with it completes
+/// immediately and moves no data — the standard idiom for fixed-boundary
+/// halo exchanges.
+pub const PROC_NULL: i64 = -2;
+/// `PROC_NULL` as a receive-source selector.
+pub const PROC_NULL_SRC: i32 = -2;
+
+/// Messages at or below this size use the eager protocol.
+pub const EAGER_LIMIT: u64 = 4096;
+
+#[derive(Debug)]
+enum SendPayload {
+    /// Eager: bytes already copied out of the send buffer.
+    Eager(Vec<u8>),
+    /// Rendezvous: read from the sender's memory at match time.
+    Zero(Ptr),
+}
+
+#[derive(Debug)]
+struct PendingSend {
+    seq: u64,
+    src: usize,
+    tag: i32,
+    bytes: u64,
+    payload: SendPayload,
+    flag: Arc<Flag>,
+}
+
+#[derive(Debug)]
+struct PostedRecv {
+    seq: u64,
+    src_sel: i32,
+    tag_sel: i32,
+    ptr: Ptr,
+    cap: u64,
+    flag: Arc<Flag>,
+}
+
+#[derive(Debug, Default)]
+struct MailboxState {
+    seq: u64,
+    sends: Vec<PendingSend>,
+    recvs: Vec<PostedRecv>,
+}
+
+pub(crate) struct WorldShared {
+    pub space: Arc<AddressSpace>,
+    pub size: usize,
+    mailboxes: Vec<Mutex<MailboxState>>,
+    pub barrier: Barrier,
+    pub coll: CollShared,
+}
+
+/// A communicator handle for one rank (the `MPI_COMM_WORLD` analogue).
+pub struct Comm {
+    rank: usize,
+    shared: Arc<WorldShared>,
+}
+
+fn matches(sel_src: i32, src: usize, sel_tag: i32, tag: i32) -> bool {
+    (sel_src == ANY_SOURCE || sel_src as usize == src) && (sel_tag == ANY_TAG || sel_tag == tag)
+}
+
+impl Comm {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// The shared UVA address space.
+    pub fn space(&self) -> &Arc<AddressSpace> {
+        &self.shared.space
+    }
+
+    fn check_rank(&self, r: i64) -> Result<usize, MpiError> {
+        if r < 0 || r as usize >= self.shared.size {
+            Err(MpiError::RankOutOfBounds {
+                rank: r,
+                size: self.shared.size,
+            })
+        } else {
+            Ok(r as usize)
+        }
+    }
+
+    /// Deliver a matched message into the receive buffer and complete both
+    /// flags. Called with the destination mailbox lock held.
+    fn deliver(space: &AddressSpace, send: PendingSend, recv: PostedRecv, dest_rank: usize) {
+        if send.bytes > recv.cap {
+            let err = MpiError::Truncated {
+                message: send.bytes,
+                capacity: recv.cap,
+            };
+            recv.flag.fail(err.clone());
+            send.flag.fail(err);
+            return;
+        }
+        let copy_result = match &send.payload {
+            SendPayload::Eager(bytes) => space.write_bytes(recv.ptr, bytes),
+            SendPayload::Zero(src_ptr) => space.copy(recv.ptr, *src_ptr, send.bytes),
+        };
+        match copy_result {
+            Ok(()) => {
+                recv.flag.complete(Status {
+                    source: send.src,
+                    tag: send.tag,
+                    bytes: send.bytes,
+                });
+                send.flag.complete(Status {
+                    source: dest_rank,
+                    tag: send.tag,
+                    bytes: send.bytes,
+                });
+            }
+            Err(e) => {
+                recv.flag.fail(MpiError::Mem(e.clone()));
+                send.flag.fail(MpiError::Mem(e));
+            }
+        }
+    }
+
+    fn null_request(&self, kind: RequestKind, what: &str) -> Request {
+        let flag = Flag::new();
+        flag.complete(Status {
+            source: usize::MAX,
+            tag: ANY_TAG,
+            bytes: 0,
+        });
+        Request {
+            flag,
+            kind,
+            what: what.to_string(),
+            completed: false,
+        }
+    }
+
+    /// `MPI_Isend`. Sends to [`PROC_NULL`] complete immediately and move
+    /// no data.
+    pub fn isend(
+        &self,
+        buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+        dest: i64,
+        tag: i32,
+    ) -> Result<Request, MpiError> {
+        if dest == PROC_NULL {
+            return Ok(self.null_request(RequestKind::Send, "Isend to PROC_NULL"));
+        }
+        let dest = self.check_rank(dest)?;
+        let bytes = count * dtype.size();
+        let flag = Flag::new();
+        let payload = if bytes <= EAGER_LIMIT {
+            let mut data = vec![0u8; bytes as usize];
+            self.shared.space.read_bytes(buf, &mut data)?;
+            SendPayload::Eager(data)
+        } else {
+            // Validate the buffer exists before registering it.
+            self.shared.space.find_range(buf, bytes)?;
+            SendPayload::Zero(buf)
+        };
+        let mut mb = self.shared.mailboxes[dest].lock();
+        mb.seq += 1;
+        let send = PendingSend {
+            seq: mb.seq,
+            src: self.rank,
+            tag,
+            bytes,
+            payload,
+            flag: Arc::clone(&flag),
+        };
+        // Match the earliest posted compatible receive.
+        let candidate = mb
+            .recvs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches(r.src_sel, self.rank, r.tag_sel, tag))
+            .min_by_key(|(_, r)| r.seq)
+            .map(|(i, _)| i);
+        match candidate {
+            Some(i) => {
+                let recv = mb.recvs.swap_remove(i);
+                Self::deliver(&self.shared.space, send, recv, dest);
+            }
+            None => {
+                // Eager sends complete as soon as the payload is buffered,
+                // even with no matching receive posted yet — like a real
+                // MPI eager protocol. Rendezvous sends stay pending.
+                let eager = matches!(send.payload, SendPayload::Eager(_));
+                mb.sends.push(send);
+                if eager {
+                    flag.complete(Status {
+                        source: dest,
+                        tag,
+                        bytes,
+                    });
+                }
+            }
+        }
+        drop(mb);
+        Ok(Request {
+            flag,
+            kind: RequestKind::Send,
+            what: format!("Isend to {dest} tag {tag}"),
+            completed: false,
+        })
+    }
+
+    /// `MPI_Irecv`. `src` may be [`ANY_SOURCE`] or [`PROC_NULL_SRC`]
+    /// (immediate empty completion), `tag` may be [`ANY_TAG`].
+    pub fn irecv(
+        &self,
+        buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+        src: i32,
+        tag: i32,
+    ) -> Result<Request, MpiError> {
+        if src == PROC_NULL_SRC {
+            return Ok(self.null_request(RequestKind::Recv, "Irecv from PROC_NULL"));
+        }
+        if src != ANY_SOURCE {
+            self.check_rank(i64::from(src))?;
+        }
+        let cap = count * dtype.size();
+        self.shared.space.find_range(buf, cap)?;
+        let flag = Flag::new();
+        let mut mb = self.shared.mailboxes[self.rank].lock();
+        mb.seq += 1;
+        let recv = PostedRecv {
+            seq: mb.seq,
+            src_sel: src,
+            tag_sel: tag,
+            ptr: buf,
+            cap,
+            flag: Arc::clone(&flag),
+        };
+        // Match the earliest compatible pending send.
+        let candidate = mb
+            .sends
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches(src, s.src, tag, s.tag))
+            .min_by_key(|(_, s)| s.seq)
+            .map(|(i, _)| i);
+        match candidate {
+            Some(i) => {
+                let send = mb.sends.swap_remove(i);
+                Self::deliver(&self.shared.space, send, recv, self.rank);
+            }
+            None => mb.recvs.push(recv),
+        }
+        drop(mb);
+        Ok(Request {
+            flag,
+            kind: RequestKind::Recv,
+            what: format!("Irecv from {src} tag {tag}"),
+            completed: false,
+        })
+    }
+
+    /// `MPI_Wait`.
+    pub fn wait(&self, req: &mut Request) -> Result<Status, MpiError> {
+        let st = req.flag.wait(&req.what)?;
+        req.completed = true;
+        Ok(st)
+    }
+
+    /// `MPI_Waitall`.
+    pub fn waitall(&self, reqs: &mut [Request]) -> Result<Vec<Status>, MpiError> {
+        reqs.iter_mut().map(|r| self.wait(r)).collect()
+    }
+
+    /// `MPI_Waitany`: blocks until one of the *active* requests completes
+    /// and returns its index and status. Already-completed requests are
+    /// inactive (like `MPI_REQUEST_NULL`); if all are inactive, returns
+    /// [`MpiError::BadRequest`].
+    #[allow(clippy::needless_range_loop)] // the winning index is the result
+    pub fn waitany(&self, reqs: &mut [Request]) -> Result<(usize, Status), MpiError> {
+        if reqs.iter().all(|r| r.completed) {
+            return Err(MpiError::BadRequest);
+        }
+        let deadline = std::time::Instant::now() + crate::request::WAIT_TIMEOUT;
+        loop {
+            for i in 0..reqs.len() {
+                if reqs[i].completed {
+                    continue;
+                }
+                if let Some(st) = self.test(&mut reqs[i])? {
+                    return Ok((i, st));
+                }
+            }
+            if std::time::Instant::now() > deadline {
+                return Err(MpiError::Timeout {
+                    what: "Waitany".to_string(),
+                });
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// `MPI_Test`.
+    pub fn test(&self, req: &mut Request) -> Result<Option<Status>, MpiError> {
+        match req.flag.poll() {
+            None => Ok(None),
+            Some(Ok(st)) => {
+                req.completed = true;
+                Ok(Some(st))
+            }
+            Some(Err(e)) => Err(e),
+        }
+    }
+
+    /// `MPI_Send` (blocking; eager below [`EAGER_LIMIT`], synchronous
+    /// above).
+    pub fn send(
+        &self,
+        buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+        dest: i64,
+        tag: i32,
+    ) -> Result<Status, MpiError> {
+        let mut req = self.isend(buf, count, dtype, dest, tag)?;
+        self.wait(&mut req)
+    }
+
+    /// `MPI_Recv` (blocking).
+    pub fn recv(
+        &self,
+        buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+        src: i32,
+        tag: i32,
+    ) -> Result<Status, MpiError> {
+        let mut req = self.irecv(buf, count, dtype, src, tag)?;
+        self.wait(&mut req)
+    }
+
+    /// `MPI_Sendrecv`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &self,
+        send_buf: Ptr,
+        send_count: u64,
+        dest: i64,
+        send_tag: i32,
+        recv_buf: Ptr,
+        recv_count: u64,
+        src: i32,
+        recv_tag: i32,
+        dtype: MpiDatatype,
+    ) -> Result<Status, MpiError> {
+        let mut rreq = self.irecv(recv_buf, recv_count, dtype, src, recv_tag)?;
+        let mut sreq = self.isend(send_buf, send_count, dtype, dest, send_tag)?;
+        self.wait(&mut sreq)?;
+        self.wait(&mut rreq)
+    }
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// `MPI_Allreduce`.
+    pub fn allreduce(
+        &self,
+        send_buf: Ptr,
+        recv_buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+        op: ReduceOp,
+    ) -> Result<(), MpiError> {
+        self.shared.coll.allreduce(
+            self.rank,
+            &self.shared.space,
+            send_buf,
+            recv_buf,
+            count,
+            dtype,
+            op,
+        )
+    }
+
+    /// `MPI_Reduce` to `root`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce(
+        &self,
+        send_buf: Ptr,
+        recv_buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+        op: ReduceOp,
+        root: usize,
+    ) -> Result<(), MpiError> {
+        self.shared.coll.reduce(
+            self.rank,
+            root,
+            &self.shared.space,
+            send_buf,
+            recv_buf,
+            count,
+            dtype,
+            op,
+        )
+    }
+
+    /// `MPI_Gather` to `root` (`count` elements contributed per rank;
+    /// root's receive buffer holds `count * size` elements).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gather(
+        &self,
+        send_buf: Ptr,
+        recv_buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+        root: usize,
+    ) -> Result<(), MpiError> {
+        self.shared.coll.gather(
+            self.rank,
+            root,
+            &self.shared.space,
+            send_buf,
+            recv_buf,
+            count,
+            dtype,
+        )
+    }
+
+    /// `MPI_Allgather`.
+    pub fn allgather(
+        &self,
+        send_buf: Ptr,
+        recv_buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+    ) -> Result<(), MpiError> {
+        self.shared.coll.allgather(
+            self.rank,
+            &self.shared.space,
+            send_buf,
+            recv_buf,
+            count,
+            dtype,
+        )
+    }
+
+    /// `MPI_Scatter` from `root` (root provides `count * size` elements;
+    /// every rank receives `count`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter(
+        &self,
+        send_buf: Ptr,
+        recv_buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+        root: usize,
+    ) -> Result<(), MpiError> {
+        self.shared.coll.scatter(
+            self.rank,
+            root,
+            &self.shared.space,
+            send_buf,
+            recv_buf,
+            count,
+            dtype,
+        )
+    }
+
+    /// `MPI_Bcast` from `root`.
+    pub fn bcast(
+        &self,
+        buf: Ptr,
+        count: u64,
+        dtype: MpiDatatype,
+        root: usize,
+    ) -> Result<(), MpiError> {
+        self.shared
+            .coll
+            .bcast(self.rank, root, &self.shared.space, buf, count, dtype)
+    }
+}
+
+/// Run an `n`-rank world: spawns one thread per rank, invokes `f` with the
+/// rank's communicator, joins all ranks, and returns their results in rank
+/// order. A panicking rank propagates after the others finish or time out.
+pub fn run_world<T: Send>(
+    n: usize,
+    space: Arc<AddressSpace>,
+    f: impl Fn(Comm) -> T + Send + Sync,
+) -> Vec<T> {
+    assert!(n > 0, "world size must be positive");
+    let shared = Arc::new(WorldShared {
+        space,
+        size: n,
+        mailboxes: (0..n)
+            .map(|_| Mutex::new(MailboxState::default()))
+            .collect(),
+        barrier: Barrier::new(n),
+        coll: CollShared::new(n),
+    });
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|rank| {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                s.spawn(move || f(Comm { rank, shared }))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(r, h)| {
+                h.join().unwrap_or_else(|e| {
+                    std::panic::resume_unwind(Box::new(format!("rank {r} panicked: {e:?}")))
+                })
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::{DeviceId, MemKind};
+
+    fn space() -> Arc<AddressSpace> {
+        Arc::new(AddressSpace::new())
+    }
+
+    #[test]
+    fn blocking_send_recv_host_buffers() {
+        let sp = space();
+        let bufs: Vec<Ptr> = (0..2)
+            .map(|_| sp.alloc_array::<f64>(MemKind::HostPageable, 8).unwrap())
+            .collect();
+        sp.write_slice_data::<f64>(bufs[0], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+            .unwrap();
+        let b = bufs.clone();
+        run_world(2, Arc::clone(&sp), move |comm| {
+            if comm.rank() == 0 {
+                comm.send(b[0], 8, MpiDatatype::Double, 1, 7).unwrap();
+            } else {
+                let st = comm.recv(b[1], 8, MpiDatatype::Double, 0, 7).unwrap();
+                assert_eq!(st.source, 0);
+                assert_eq!(st.tag, 7);
+                assert_eq!(st.bytes, 64);
+            }
+        });
+        assert_eq!(sp.read_vec::<f64>(bufs[1], 8).unwrap()[7], 8.0);
+    }
+
+    #[test]
+    fn device_to_device_cuda_aware_transfer() {
+        // The CUDA-aware path: both buffers are device-resident; the
+        // message moves directly between device windows.
+        let sp = space();
+        let d0 = sp
+            .alloc_array::<f64>(MemKind::Device(DeviceId(0)), 1024)
+            .unwrap();
+        let d1 = sp
+            .alloc_array::<f64>(MemKind::Device(DeviceId(1)), 1024)
+            .unwrap();
+        sp.with_slice_mut::<f64, _>(d0, 1024, |s| {
+            for (i, v) in s.iter_mut().enumerate() {
+                *v = i as f64;
+            }
+        })
+        .unwrap();
+        run_world(2, Arc::clone(&sp), move |comm| {
+            if comm.rank() == 0 {
+                // 8 KiB > EAGER_LIMIT: rendezvous zero-copy.
+                comm.send(d0, 1024, MpiDatatype::Double, 1, 0).unwrap();
+            } else {
+                comm.recv(d1, 1024, MpiDatatype::Double, 0, 0).unwrap();
+            }
+        });
+        assert_eq!(sp.read_vec::<f64>(d1, 1024).unwrap()[1023], 1023.0);
+    }
+
+    #[test]
+    fn eager_sends_complete_without_receiver() {
+        // Small both-send-first exchange must not deadlock.
+        let sp = space();
+        let b: Vec<Ptr> = (0..4)
+            .map(|_| sp.alloc_array::<i32>(MemKind::HostPageable, 4).unwrap())
+            .collect();
+        let bb = b.clone();
+        run_world(2, Arc::clone(&sp), move |comm| {
+            let me = comm.rank();
+            let peer = 1 - me as i64;
+            let sbuf = bb[me];
+            let rbuf = bb[2 + me];
+            comm.send(sbuf, 4, MpiDatatype::Int, peer, 1).unwrap();
+            comm.recv(rbuf, 4, MpiDatatype::Int, peer as i32, 1)
+                .unwrap();
+        });
+    }
+
+    #[test]
+    fn isend_irecv_waitall() {
+        let sp = space();
+        let tx = sp.alloc_array::<f64>(MemKind::HostPageable, 4).unwrap();
+        let rx = sp.alloc_array::<f64>(MemKind::HostPageable, 4).unwrap();
+        sp.write_slice_data::<f64>(tx, &[9.0; 4]).unwrap();
+        run_world(2, Arc::clone(&sp), move |comm| {
+            if comm.rank() == 0 {
+                let mut reqs = vec![comm.isend(tx, 4, MpiDatatype::Double, 1, 3).unwrap()];
+                comm.waitall(&mut reqs).unwrap();
+            } else {
+                let mut r = comm.irecv(rx, 4, MpiDatatype::Double, 0, 3).unwrap();
+                let st = comm.wait(&mut r).unwrap();
+                assert!(r.is_completed());
+                assert_eq!(st.bytes, 32);
+            }
+        });
+        assert_eq!(sp.read_vec::<f64>(rx, 4).unwrap(), vec![9.0; 4]);
+    }
+
+    #[test]
+    fn tag_matching_keeps_streams_separate() {
+        let sp = space();
+        let a = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        let b = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        let ra = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        let rb = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        sp.write_at::<i32>(a, 100).unwrap();
+        sp.write_at::<i32>(b, 200).unwrap();
+        run_world(2, Arc::clone(&sp), move |comm| {
+            if comm.rank() == 0 {
+                comm.send(a, 1, MpiDatatype::Int, 1, 10).unwrap();
+                comm.send(b, 1, MpiDatatype::Int, 1, 20).unwrap();
+            } else {
+                // Receive in reverse tag order.
+                comm.recv(rb, 1, MpiDatatype::Int, 0, 20).unwrap();
+                comm.recv(ra, 1, MpiDatatype::Int, 0, 10).unwrap();
+            }
+        });
+        assert_eq!(sp.read_at::<i32>(ra).unwrap(), 100);
+        assert_eq!(sp.read_at::<i32>(rb).unwrap(), 200);
+    }
+
+    #[test]
+    fn non_overtaking_same_tag() {
+        let sp = space();
+        let a = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        let b = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        let r1 = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        let r2 = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        sp.write_at::<i32>(a, 1).unwrap();
+        sp.write_at::<i32>(b, 2).unwrap();
+        run_world(2, Arc::clone(&sp), move |comm| {
+            if comm.rank() == 0 {
+                comm.send(a, 1, MpiDatatype::Int, 1, 0).unwrap();
+                comm.send(b, 1, MpiDatatype::Int, 1, 0).unwrap();
+            } else {
+                comm.recv(r1, 1, MpiDatatype::Int, 0, 0).unwrap();
+                comm.recv(r2, 1, MpiDatatype::Int, 0, 0).unwrap();
+            }
+        });
+        assert_eq!(sp.read_at::<i32>(r1).unwrap(), 1, "FIFO per (src, tag)");
+        assert_eq!(sp.read_at::<i32>(r2).unwrap(), 2);
+    }
+
+    #[test]
+    fn any_source_any_tag() {
+        let sp = space();
+        let tx = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        let rx = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        sp.write_at::<i32>(tx, 42).unwrap();
+        run_world(3, Arc::clone(&sp), move |comm| match comm.rank() {
+            2 => {
+                let st = comm
+                    .recv(rx, 1, MpiDatatype::Int, ANY_SOURCE, ANY_TAG)
+                    .unwrap();
+                assert_eq!(st.source, 1);
+                assert_eq!(st.tag, 5);
+            }
+            1 => {
+                comm.send(tx, 1, MpiDatatype::Int, 2, 5).unwrap();
+            }
+            _ => {}
+        });
+        assert_eq!(sp.read_at::<i32>(rx).unwrap(), 42);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let sp = space();
+        let big = sp.alloc_array::<f64>(MemKind::HostPageable, 8).unwrap();
+        let small = sp.alloc_array::<f64>(MemKind::HostPageable, 2).unwrap();
+        let results = run_world(2, Arc::clone(&sp), move |comm| {
+            if comm.rank() == 0 {
+                comm.send(big, 8, MpiDatatype::Double, 1, 0)
+            } else {
+                comm.recv(small, 2, MpiDatatype::Double, 0, 0)
+            }
+        });
+        assert!(matches!(
+            results[1],
+            Err(MpiError::Truncated {
+                message: 64,
+                capacity: 16
+            })
+        ));
+    }
+
+    #[test]
+    fn sendrecv_exchange() {
+        let sp = space();
+        let bufs: Vec<Ptr> = (0..4)
+            .map(|_| sp.alloc_array::<f64>(MemKind::HostPageable, 2).unwrap())
+            .collect();
+        sp.write_slice_data::<f64>(bufs[0], &[10.0, 11.0]).unwrap();
+        sp.write_slice_data::<f64>(bufs[1], &[20.0, 21.0]).unwrap();
+        let b = bufs.clone();
+        run_world(2, Arc::clone(&sp), move |comm| {
+            let me = comm.rank();
+            let peer = 1 - me as i64;
+            comm.sendrecv(
+                b[me],
+                2,
+                peer,
+                0,
+                b[2 + me],
+                2,
+                peer as i32,
+                0,
+                MpiDatatype::Double,
+            )
+            .unwrap();
+        });
+        assert_eq!(sp.read_vec::<f64>(bufs[2], 2).unwrap(), vec![20.0, 21.0]);
+        assert_eq!(sp.read_vec::<f64>(bufs[3], 2).unwrap(), vec![10.0, 11.0]);
+    }
+
+    #[test]
+    fn waitany_returns_first_completion() {
+        let sp = space();
+        let rx1 = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        let rx2 = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        let tx = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        sp.write_at::<i32>(tx, 7).unwrap();
+        run_world(2, Arc::clone(&sp), move |comm| {
+            if comm.rank() == 0 {
+                let mut reqs = vec![
+                    comm.irecv(rx1, 1, MpiDatatype::Int, 1, 1).unwrap(),
+                    comm.irecv(rx2, 1, MpiDatatype::Int, 1, 2).unwrap(),
+                ];
+                // Only tag 2 is ever sent: waitany must return index 1.
+                let (i, st) = comm.waitany(&mut reqs).unwrap();
+                assert_eq!(i, 1);
+                assert_eq!(st.tag, 2);
+                // The other request stays pending; a second send completes it.
+                comm.barrier();
+                let (i, _) = comm.waitany(&mut reqs).unwrap();
+                assert_eq!(i, 0);
+                // All done: further waitany is an error.
+                assert!(matches!(comm.waitany(&mut reqs), Err(MpiError::BadRequest)));
+            } else {
+                comm.send(tx, 1, MpiDatatype::Int, 0, 2).unwrap();
+                comm.barrier();
+                comm.send(tx, 1, MpiDatatype::Int, 0, 1).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn proc_null_completes_immediately_with_no_data() {
+        let sp = space();
+        let buf = sp.alloc_array::<f64>(MemKind::HostPageable, 4).unwrap();
+        sp.write_slice_data::<f64>(buf, &[1.0, 2.0, 3.0, 4.0])
+            .unwrap();
+        run_world(1, Arc::clone(&sp), move |comm| {
+            let st = comm
+                .send(buf, 4, MpiDatatype::Double, PROC_NULL, 0)
+                .unwrap();
+            assert_eq!(st.bytes, 0);
+            let st = comm
+                .recv(buf, 4, MpiDatatype::Double, PROC_NULL_SRC, 0)
+                .unwrap();
+            assert_eq!(st.bytes, 0);
+            // sendrecv against PROC_NULL on both sides: pure no-op.
+            comm.sendrecv(
+                buf,
+                4,
+                PROC_NULL,
+                0,
+                buf,
+                4,
+                PROC_NULL_SRC,
+                0,
+                MpiDatatype::Double,
+            )
+            .unwrap();
+        });
+        // Data untouched.
+        assert_eq!(
+            sp.read_vec::<f64>(buf, 4).unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn rank_out_of_bounds() {
+        let sp = space();
+        let b = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        let results = run_world(1, Arc::clone(&sp), move |comm| {
+            comm.send(b, 1, MpiDatatype::Int, 5, 0)
+        });
+        assert!(matches!(
+            results[0],
+            Err(MpiError::RankOutOfBounds { rank: 5, size: 1 })
+        ));
+    }
+
+    #[test]
+    fn test_polls_without_blocking() {
+        let sp = space();
+        let rx = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        let tx = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        sp.write_at::<i32>(tx, 3).unwrap();
+        run_world(2, Arc::clone(&sp), move |comm| {
+            if comm.rank() == 0 {
+                let mut r = comm.irecv(rx, 1, MpiDatatype::Int, 1, 0).unwrap();
+                // Poll until completion.
+                loop {
+                    if let Some(st) = comm.test(&mut r).unwrap() {
+                        assert_eq!(st.source, 1);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            } else {
+                comm.send(tx, 1, MpiDatatype::Int, 0, 0).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn rendezvous_reads_sender_buffer_at_match_time() {
+        // Demonstrates WHY unsynchronized writes between Isend and Wait
+        // corrupt data: the payload is read at match time.
+        let sp = space();
+        let tx = sp.alloc_array::<f64>(MemKind::HostPageable, 1024).unwrap();
+        let rx = sp.alloc_array::<f64>(MemKind::HostPageable, 1024).unwrap();
+        run_world(2, Arc::clone(&sp), move |comm| {
+            if comm.rank() == 0 {
+                sp_fill(comm.space(), tx, 1.0);
+                let mut req = comm.isend(tx, 1024, MpiDatatype::Double, 1, 0).unwrap();
+                // Overwrite the buffer BEFORE the receiver matched: the
+                // user-visible corruption of a missing wait (the receiver
+                // delays its recv until after our write via a barrier).
+                sp_fill(comm.space(), tx, 2.0);
+                comm.barrier();
+                comm.wait(&mut req).unwrap();
+            } else {
+                comm.barrier(); // let rank 0 overwrite first
+                comm.recv(rx, 1024, MpiDatatype::Double, 0, 0).unwrap();
+                assert_eq!(
+                    comm.space().read_at::<f64>(rx).unwrap(),
+                    2.0,
+                    "stale overwrite visible"
+                );
+            }
+        });
+    }
+
+    fn sp_fill(space: &AddressSpace, p: Ptr, v: f64) {
+        space
+            .with_slice_mut::<f64, _>(p, 1024, |s| s.fill(v))
+            .unwrap();
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-rank composition of the full tool stack and the checked world
+//! runner.
+//!
+//! [`run_checked_world`] is the `mpirun` of `cusan-rs`: it creates the
+//! shared UVA space, spawns one thread per rank, gives each rank its own
+//! [`ToolCtx`] (one TSan instance per "process", as in the paper), a
+//! CuSan-checked CUDA device, and a MUST-checked communicator, runs the
+//! application closure, flushes the device, and collects per-rank
+//! outcomes: race reports, MUST diagnostics, Table-I counters, and memory
+//! accounting.
+
+use crate::checks::MustReport;
+use crate::mpi::CheckedMpi;
+use cuda_sim::CudaCounters;
+use cusan::{CusanCuda, ToolConfig, ToolCtx};
+use kernel_ir::KernelRegistry;
+use mpi_sim::run_world;
+use sim_mem::{AddressSpace, DeviceId, SpaceStats};
+use std::rc::Rc;
+use std::sync::Arc;
+use tsan_rt::{RaceReport, TsanStats};
+
+/// Everything one rank's application code needs.
+pub struct RankCtx {
+    /// The shared tool context (config, detector, TypeART).
+    pub tools: Rc<ToolCtx>,
+    /// CuSan-checked CUDA API for this rank's device.
+    pub cuda: CusanCuda,
+    /// MUST-checked MPI communicator.
+    pub mpi: CheckedMpi,
+}
+
+impl RankCtx {
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.mpi.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.mpi.size()
+    }
+
+    /// The shared address space.
+    pub fn space(&self) -> Arc<AddressSpace> {
+        Arc::clone(self.cuda.space())
+    }
+}
+
+/// Per-rank result data collected after the application closure returned.
+#[derive(Debug, Clone)]
+pub struct RankOutcome {
+    /// The rank.
+    pub rank: usize,
+    /// Retained race reports (deduplicated).
+    pub races: Vec<RaceReport>,
+    /// Total race count.
+    pub race_count: u64,
+    /// MUST datatype/extent findings.
+    pub must_reports: Vec<MustReport>,
+    /// Detector counters (Table I, TSan rows).
+    pub tsan: TsanStats,
+    /// Device-call counters (Table I, CUDA rows).
+    pub cuda: CudaCounters,
+    /// Tool heap usage in bytes (Fig. 11 numerator contribution).
+    pub tool_memory_bytes: u64,
+}
+
+/// Result of a checked world run.
+#[derive(Debug)]
+pub struct WorldOutcome<T> {
+    /// Application results in rank order.
+    pub results: Vec<T>,
+    /// Per-rank tool outcomes in rank order.
+    pub ranks: Vec<RankOutcome>,
+    /// Address-space accounting at the end of the run (application
+    /// memory; Fig. 11 denominator).
+    pub space: SpaceStats,
+}
+
+impl<T> WorldOutcome<T> {
+    /// Total races across all ranks.
+    pub fn total_races(&self) -> u64 {
+        self.ranks.iter().map(|r| r.race_count).sum()
+    }
+
+    /// True if any rank reported a race.
+    pub fn has_races(&self) -> bool {
+        self.total_races() > 0
+    }
+
+    /// All race reports, rank-tagged.
+    pub fn all_races(&self) -> Vec<(usize, RaceReport)> {
+        self.ranks
+            .iter()
+            .flat_map(|r| r.races.iter().map(move |race| (r.rank, race.clone())))
+            .collect()
+    }
+
+    /// All MUST findings, rank-tagged.
+    pub fn all_must_reports(&self) -> Vec<(usize, MustReport)> {
+        self.ranks
+            .iter()
+            .flat_map(|r| r.must_reports.iter().map(move |m| (r.rank, m.clone())))
+            .collect()
+    }
+
+    /// Total tool memory across ranks.
+    pub fn total_tool_memory(&self) -> u64 {
+        self.ranks.iter().map(|r| r.tool_memory_bytes).sum()
+    }
+}
+
+/// Run an `n`-rank CUDA-aware MPI application under the given tool
+/// configuration. Each rank gets device `DeviceId(rank)` (one GPU per
+/// process, as in the paper's setup).
+pub fn run_checked_world<T: Send>(
+    n: usize,
+    config: impl Into<ToolConfig>,
+    registry: Arc<KernelRegistry>,
+    f: impl Fn(&mut RankCtx) -> T + Send + Sync,
+) -> WorldOutcome<T> {
+    let config = config.into();
+    let space = Arc::new(AddressSpace::new());
+    let space_for_stats = Arc::clone(&space);
+    let registry = &registry;
+    let pairs = run_world(n, space, move |comm| {
+        let rank = comm.rank();
+        let tools = Rc::new(ToolCtx::new(rank, config));
+        let space = Arc::clone(comm.space());
+        let cuda = CusanCuda::new(
+            DeviceId(rank as u32),
+            space,
+            Arc::clone(registry),
+            Rc::clone(&tools),
+        );
+        let mpi = CheckedMpi::new(comm, Rc::clone(&tools));
+        let mut ctx = RankCtx { tools, cuda, mpi };
+        let result = f(&mut ctx);
+        // Drain outstanding device work before collecting outcomes, like
+        // the implicit synchronization at MPI_Finalize/program end.
+        ctx.cuda.flush().expect("device flush at teardown");
+        let outcome = RankOutcome {
+            rank,
+            races: ctx.tools.race_reports(),
+            race_count: ctx.tools.race_count(),
+            must_reports: ctx.mpi.must_reports(),
+            tsan: ctx.tools.tsan_stats(),
+            cuda: ctx.cuda.counters(),
+            tool_memory_bytes: ctx.tools.tool_memory_bytes(),
+        };
+        (result, outcome)
+    });
+    let (results, ranks) = pairs.into_iter().unzip();
+    WorldOutcome {
+        results,
+        ranks,
+        space: space_for_stats.stats(),
+    }
+}

@@ -1,0 +1,150 @@
+//! Human-readable run reports — the analogue of MUST's output report.
+//!
+//! Renders a [`WorldOutcome`] into the text form the demos and the
+//! testsuite runner print: verdict, per-rank race reports, MUST datatype
+//! findings, and the Table-I counter block.
+
+use crate::harness::WorldOutcome;
+use std::fmt::Write as _;
+
+/// Render the full report for a finished run.
+pub fn render_text<T>(outcome: &WorldOutcome<T>) -> String {
+    let mut out = String::new();
+    let races = outcome.total_races();
+    let must = outcome.all_must_reports();
+    if races == 0 && must.is_empty() {
+        let _ = writeln!(out, "MUST & CuSan: no correctness issues detected");
+    } else {
+        let _ = writeln!(
+            out,
+            "MUST & CuSan: {races} data race(s), {} datatype finding(s)",
+            must.len()
+        );
+    }
+    for (rank, race) in outcome.all_races() {
+        let _ = writeln!(out, "\n[rank {rank}] {race}");
+    }
+    for (rank, m) in &must {
+        let _ = writeln!(out, "\n[rank {rank}] MUST: {m}");
+    }
+    out
+}
+
+/// Render the Table-I counter block for one rank.
+pub fn render_counters<T>(outcome: &WorldOutcome<T>, rank: usize) -> String {
+    let r = &outcome.ranks[rank];
+    let mut out = String::new();
+    let rows: [(&str, String); 12] = [
+        ("CUDA  Stream", r.cuda.streams.to_string()),
+        ("CUDA  Memset", r.cuda.memset_calls.to_string()),
+        ("CUDA  Memcpy", r.cuda.memcpy_calls.to_string()),
+        ("CUDA  Synchronization calls", r.cuda.sync_calls.to_string()),
+        ("CUDA  Kernel calls", r.cuda.kernel_calls.to_string()),
+        ("TSan  Switch To Fiber", r.tsan.fiber_switches.to_string()),
+        (
+            "TSan  AnnotateHappensBefore",
+            r.tsan.happens_before.to_string(),
+        ),
+        (
+            "TSan  AnnotateHappensAfter",
+            r.tsan.happens_after.to_string(),
+        ),
+        (
+            "TSan  Memory Read Range",
+            r.tsan.read_range_calls.to_string(),
+        ),
+        (
+            "TSan  Memory Write Range",
+            r.tsan.write_range_calls.to_string(),
+        ),
+        (
+            "TSan  Memory Read Size [avg KB]",
+            format!("{:.2}", r.tsan.avg_read_kb()),
+        ),
+        (
+            "TSan  Memory Write Size [avg KB]",
+            format!("{:.2}", r.tsan.avg_write_kb()),
+        ),
+    ];
+    for (label, value) in rows {
+        let _ = writeln!(out, "{label:<34} {value:>14}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_checked_world;
+    use cusan::Flavor;
+    use cusan_apps_free::*;
+
+    // Minimal in-crate kernel setup (must-rt cannot depend on cusan-apps).
+    mod cusan_apps_free {
+        use kernel_ir::ast::ScalarTy;
+        use kernel_ir::builder::*;
+        use kernel_ir::{KernelId, KernelRegistry};
+        use std::sync::Arc;
+
+        pub fn fill_registry() -> (Arc<KernelRegistry>, KernelId) {
+            let mut reg = KernelRegistry::new();
+            let mut b = KernelBuilder::new("fill");
+            let p = b.ptr_param("p", ScalarTy::F64);
+            let v = b.scalar_param("v", ScalarTy::F64);
+            b.store(p, tid(), v.get());
+            let id = reg.register_ir(b.finish()).unwrap();
+            (Arc::new(reg), id)
+        }
+    }
+
+    #[test]
+    fn clean_run_reports_no_issues() {
+        let (reg, _) = fill_registry();
+        let out = run_checked_world(2, Flavor::MustCusan, reg, |ctx| {
+            let _ = ctx.cuda.malloc::<f64>(8).unwrap();
+        });
+        let text = render_text(&out);
+        assert!(text.contains("no correctness issues"), "{text}");
+    }
+
+    #[test]
+    fn racy_run_report_mentions_both_sides() {
+        use cuda_sim::StreamId;
+        use kernel_ir::{LaunchArg, LaunchGrid};
+        let (reg, fill) = fill_registry();
+        let out = run_checked_world(2, Flavor::MustCusan, reg, move |ctx| {
+            let d = ctx.cuda.malloc::<f64>(64).unwrap();
+            ctx.cuda
+                .launch(
+                    fill,
+                    LaunchGrid::cover(64, 64),
+                    StreamId::DEFAULT,
+                    vec![LaunchArg::Ptr(d), LaunchArg::F64(1.0)],
+                )
+                .unwrap();
+            // Unsynchronized host read.
+            let _ = ctx
+                .tools
+                .host_read_slice::<f64>(&ctx.space(), d, 64, "host read")
+                .unwrap();
+        });
+        let text = render_text(&out);
+        assert!(text.contains("data race"), "{text}");
+        assert!(text.contains("kernel fill"), "{text}");
+        assert!(text.contains("host read"), "{text}");
+    }
+
+    #[test]
+    fn counters_render_all_rows() {
+        let (reg, _) = fill_registry();
+        let out = run_checked_world(1, Flavor::MustCusan, reg, |ctx| {
+            let d = ctx.cuda.malloc::<f64>(8).unwrap();
+            ctx.cuda.memset(d, 0, 64).unwrap();
+            ctx.cuda.device_synchronize().unwrap();
+        });
+        let text = render_counters(&out, 0);
+        assert!(text.contains("CUDA  Memset"));
+        assert!(text.contains("TSan  AnnotateHappensBefore"));
+        assert_eq!(text.lines().count(), 12);
+    }
+}

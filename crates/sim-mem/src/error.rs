@@ -1,0 +1,59 @@
+//! Error types for the simulated address space.
+
+use crate::ptr::Ptr;
+use std::fmt;
+
+/// Errors raised by [`crate::AddressSpace`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The pointer does not fall inside any live allocation.
+    Unmapped(Ptr),
+    /// The access `[ptr, ptr+len)` runs past the end of its allocation.
+    OutOfBounds {
+        /// Start of the faulting access.
+        ptr: Ptr,
+        /// Length of the faulting access in bytes.
+        len: u64,
+        /// Base of the containing allocation.
+        base: Ptr,
+        /// Size of the containing allocation in bytes.
+        alloc_len: u64,
+    },
+    /// `free` called with a pointer that is not an allocation base.
+    NotABase(Ptr),
+    /// An operation spanned two different allocations.
+    CrossesAllocations {
+        /// Start of the faulting range.
+        ptr: Ptr,
+        /// Length of the faulting range.
+        len: u64,
+    },
+    /// Allocation of zero bytes was requested.
+    ZeroSized,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped(p) => write!(f, "pointer {p} is not mapped"),
+            MemError::OutOfBounds {
+                ptr,
+                len,
+                base,
+                alloc_len,
+            } => write!(
+                f,
+                "access [{ptr}, +{len}) overruns allocation [{base}, +{alloc_len})"
+            ),
+            MemError::NotABase(p) => {
+                write!(f, "free of {p}, which is not an allocation base")
+            }
+            MemError::CrossesAllocations { ptr, len } => {
+                write!(f, "range [{ptr}, +{len}) crosses allocation boundaries")
+            }
+            MemError::ZeroSized => write!(f, "zero-sized allocation requested"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

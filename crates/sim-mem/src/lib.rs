@@ -1,0 +1,34 @@
+//! # sim-mem — simulated unified virtual address space
+//!
+//! This crate provides the memory substrate for `cusan-rs`: a simulated
+//! 64-bit **unified virtual address space (UVA)** shared by all simulated
+//! MPI ranks and CUDA devices, mirroring the UVA design CUDA-aware MPI
+//! libraries rely on (paper §III-D).
+//!
+//! Addresses are plain `u64` values wrapped in [`Ptr`]. The address layout
+//! encodes the memory kind (host pageable / pinned / managed / per-device),
+//! so [`AddressSpace::attributes`] can answer the equivalent of
+//! `cuPointerGetAttribute`: given any pointer, which memory does it live in?
+//! That query is what lets the simulated CUDA-aware MPI library accept
+//! device pointers directly.
+//!
+//! The space is shared (`Arc<AddressSpace>`) between every rank thread so
+//! message transfers can read the sender's memory in place — the synthetic
+//! equivalent of GPUDirect/zero-copy transfers.
+//!
+//! ## Structure
+//!
+//! * [`ptr`] — pointer newtype, memory kinds, pointer attributes
+//! * [`pod`] — safe byte-level casts for plain-old-data element types
+//! * [`space`] — the allocator, allocation table, and data access API
+//! * [`error`] — error types
+
+pub mod error;
+pub mod pod;
+pub mod ptr;
+pub mod space;
+
+pub use error::MemError;
+pub use pod::Pod;
+pub use ptr::{DeviceId, MemKind, PointerAttr, Ptr};
+pub use space::{AddressSpace, AllocationInfo, SpaceStats};

@@ -1,0 +1,150 @@
+//! Plain-old-data element types and safe byte-slice casts.
+//!
+//! Simulated memory is stored as raw bytes (like real device memory); apps
+//! and kernels view it as slices of `f64`, `i32`, … . The casts here check
+//! alignment and size at runtime so the `unsafe` is locally justified.
+
+/// Marker for types that are valid for any bit pattern and contain no
+/// padding, so `&[u8] <-> &[T]` casts are sound when aligned and sized.
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, have no padding bytes, no niches and no
+/// invalid bit patterns (primitive numeric types only).
+pub unsafe trait Pod: Copy + Send + Sync + 'static {
+    /// Element size in bytes (= `std::mem::size_of::<Self>()`).
+    const SIZE: usize;
+    /// Short type name used in diagnostics and the TypeART type registry.
+    const NAME: &'static str;
+}
+
+macro_rules! impl_pod {
+    ($($t:ty => $name:literal),* $(,)?) => {
+        $(unsafe impl Pod for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            const NAME: &'static str = $name;
+        })*
+    };
+}
+
+impl_pod! {
+    u8 => "u8",
+    i8 => "i8",
+    u16 => "u16",
+    i16 => "i16",
+    u32 => "u32",
+    i32 => "i32",
+    u64 => "u64",
+    i64 => "i64",
+    f32 => "f32",
+    f64 => "f64",
+}
+
+/// View a byte slice as a slice of `T`.
+///
+/// # Panics
+///
+/// Panics if `bytes` is misaligned for `T` or its length is not a multiple
+/// of `T::SIZE`. Allocations in the simulated space are 16-byte aligned, so
+/// views at element-aligned offsets never panic.
+pub fn cast_slice<T: Pod>(bytes: &[u8]) -> &[T] {
+    assert_eq!(
+        bytes.len() % T::SIZE,
+        0,
+        "byte length {} is not a multiple of {} ({})",
+        bytes.len(),
+        T::SIZE,
+        T::NAME
+    );
+    assert_eq!(
+        bytes.as_ptr() as usize % std::mem::align_of::<T>(),
+        0,
+        "misaligned cast to {}",
+        T::NAME
+    );
+    // SAFETY: alignment and size checked above; T is Pod (no invalid bit
+    // patterns, no padding).
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / T::SIZE) }
+}
+
+/// View a mutable byte slice as a mutable slice of `T`.
+///
+/// # Panics
+///
+/// Same conditions as [`cast_slice`].
+pub fn cast_slice_mut<T: Pod>(bytes: &mut [u8]) -> &mut [T] {
+    assert_eq!(
+        bytes.len() % T::SIZE,
+        0,
+        "byte length {} is not a multiple of {} ({})",
+        bytes.len(),
+        T::SIZE,
+        T::NAME
+    );
+    assert_eq!(
+        bytes.as_ptr() as usize % std::mem::align_of::<T>(),
+        0,
+        "misaligned cast to {}",
+        T::NAME
+    );
+    // SAFETY: as in `cast_slice`, plus exclusive access via &mut.
+    unsafe { std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<T>(), bytes.len() / T::SIZE) }
+}
+
+/// Copy a value of `T` out of little-endian-independent native bytes.
+pub fn read_scalar<T: Pod>(bytes: &[u8]) -> T {
+    assert!(bytes.len() >= T::SIZE, "scalar read out of bounds");
+    cast_slice::<T>(&bytes[..T::SIZE])[0]
+}
+
+/// Write a value of `T` into native bytes.
+pub fn write_scalar<T: Pod>(bytes: &mut [u8], value: T) {
+    assert!(bytes.len() >= T::SIZE, "scalar write out of bounds");
+    cast_slice_mut::<T>(&mut bytes[..T::SIZE])[0] = value;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cast_roundtrip_f64() {
+        let mut bytes = vec![0u8; 64];
+        {
+            let s = cast_slice_mut::<f64>(&mut bytes);
+            for (i, v) in s.iter_mut().enumerate() {
+                *v = i as f64 * 1.5;
+            }
+        }
+        let s = cast_slice::<f64>(&bytes);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[3], 4.5);
+    }
+
+    #[test]
+    fn cast_roundtrip_i32() {
+        let mut bytes = vec![0u8; 16];
+        cast_slice_mut::<i32>(&mut bytes)[2] = -7;
+        assert_eq!(cast_slice::<i32>(&bytes), &[0, 0, -7, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn cast_rejects_ragged_length() {
+        let bytes = vec![0u8; 10];
+        let _ = cast_slice::<f64>(&bytes);
+    }
+
+    #[test]
+    fn scalar_read_write() {
+        let mut bytes = vec![0u8; 8];
+        write_scalar::<f64>(&mut bytes, 2.25);
+        assert_eq!(read_scalar::<f64>(&bytes), 2.25);
+    }
+
+    #[test]
+    fn pod_metadata() {
+        assert_eq!(<f64 as Pod>::SIZE, 8);
+        assert_eq!(<i32 as Pod>::NAME, "i32");
+    }
+}

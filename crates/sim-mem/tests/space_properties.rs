@@ -1,0 +1,229 @@
+//! Property tests for the simulated address space: a random program of
+//! alloc / free / write / fill / copy / read operations is executed both
+//! against the [`AddressSpace`] and against a trivial reference model
+//! (a map of byte vectors); contents must agree at every read, and the
+//! accounting invariants must hold throughout.
+
+use proptest::prelude::*;
+use sim_mem::{AddressSpace, DeviceId, MemError, MemKind, Ptr};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc {
+        kind: u8,
+        len: u64,
+    },
+    Free {
+        slot: usize,
+    },
+    Write {
+        slot: usize,
+        off: u64,
+        data: Vec<u8>,
+    },
+    Fill {
+        slot: usize,
+        off: u64,
+        len: u64,
+        value: u8,
+    },
+    Copy {
+        dst: usize,
+        dst_off: u64,
+        src: usize,
+        src_off: u64,
+        len: u64,
+    },
+    Read {
+        slot: usize,
+        off: u64,
+        len: u64,
+    },
+}
+
+fn kind_of(code: u8) -> MemKind {
+    match code % 4 {
+        0 => MemKind::HostPageable,
+        1 => MemKind::HostPinned,
+        2 => MemKind::Managed,
+        _ => MemKind::Device(DeviceId(u32::from(code) % 3)),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1u64..256).prop_map(|(kind, len)| Op::Alloc { kind, len }),
+        (0usize..8).prop_map(|slot| Op::Free { slot }),
+        (
+            0usize..8,
+            0u64..256,
+            proptest::collection::vec(any::<u8>(), 1..64)
+        )
+            .prop_map(|(slot, off, data)| Op::Write { slot, off, data }),
+        (0usize..8, 0u64..256, 1u64..128, any::<u8>()).prop_map(|(slot, off, len, value)| {
+            Op::Fill {
+                slot,
+                off,
+                len,
+                value,
+            }
+        }),
+        (0usize..8, 0u64..128, 0usize..8, 0u64..128, 1u64..128).prop_map(
+            |(dst, dst_off, src, src_off, len)| Op::Copy {
+                dst,
+                dst_off,
+                src,
+                src_off,
+                len
+            }
+        ),
+        (0usize..8, 0u64..256, 1u64..128).prop_map(|(slot, off, len)| Op::Read { slot, off, len }),
+    ]
+}
+
+/// Reference model: slot -> (base, bytes). Mirrors live allocations.
+#[derive(Default)]
+struct Model {
+    slots: Vec<Option<(Ptr, Vec<u8>)>>,
+}
+
+impl Model {
+    fn live(&self, slot: usize) -> Option<(Ptr, &Vec<u8>)> {
+        self.slots
+            .get(slot)
+            .and_then(|o| o.as_ref())
+            .map(|(p, v)| (*p, v))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn space_agrees_with_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        let space = AddressSpace::new();
+        let mut model = Model::default();
+        let mut live_bytes = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Alloc { kind, len } => {
+                    let p = space.alloc(kind_of(kind), len).unwrap();
+                    model.slots.push(Some((p, vec![0u8; len as usize])));
+                    live_bytes += len;
+                }
+                Op::Free { slot } => {
+                    if let Some((p, v)) = model.live(slot) {
+                        let bytes = v.len() as u64;
+                        let info = space.free(p).unwrap();
+                        prop_assert_eq!(info.len, bytes);
+                        model.slots[slot] = None;
+                        live_bytes -= bytes;
+                    }
+                }
+                // Offsets/lengths are clamped into bounds: wild pointers
+                // may legally land inside *neighbouring* allocations (UVA
+                // is one address space), so out-of-bounds behaviour is
+                // covered by dedicated probes, not the model comparison.
+                Op::Write { slot, off, mut data } => {
+                    if let Some((p, v)) = model.live(slot) {
+                        let off = off % v.len() as u64;
+                        data.truncate((v.len() as u64 - off) as usize);
+                        if data.is_empty() {
+                            continue;
+                        }
+                        let end = off as usize + data.len();
+                        space.write_bytes(p.offset(off), &data).unwrap();
+                        let vm = model.slots[slot].as_mut().unwrap();
+                        vm.1[off as usize..end].copy_from_slice(&data);
+                    }
+                }
+                Op::Fill { slot, off, len, value } => {
+                    if let Some((p, v)) = model.live(slot) {
+                        let off = off % v.len() as u64;
+                        let len = len.min(v.len() as u64 - off);
+                        if len == 0 {
+                            continue;
+                        }
+                        space.fill(p.offset(off), len, value).unwrap();
+                        let vm = model.slots[slot].as_mut().unwrap();
+                        vm.1[off as usize..(off + len) as usize].fill(value);
+                    }
+                }
+                Op::Copy { dst, dst_off, src, src_off, len } => {
+                    let (Some((dp, dv)), Some((sp, sv))) = (model.live(dst), model.live(src))
+                    else {
+                        continue;
+                    };
+                    let dst_off = dst_off % dv.len() as u64;
+                    let src_off = src_off % sv.len() as u64;
+                    let len = len
+                        .min(dv.len() as u64 - dst_off)
+                        .min(sv.len() as u64 - src_off);
+                    if len == 0 {
+                        continue;
+                    }
+                    space.copy(dp.offset(dst_off), sp.offset(src_off), len).unwrap();
+                    let data: Vec<u8> =
+                        sv[src_off as usize..(src_off + len) as usize].to_vec();
+                    let vm = model.slots[dst].as_mut().unwrap();
+                    vm.1[dst_off as usize..(dst_off + len) as usize].copy_from_slice(&data);
+                }
+                Op::Read { slot, off, len } => {
+                    if let Some((p, v)) = model.live(slot) {
+                        let off = off % v.len() as u64;
+                        let len = len.min(v.len() as u64 - off);
+                        if len == 0 {
+                            continue;
+                        }
+                        let mut buf = vec![0u8; len as usize];
+                        space.read_bytes(p.offset(off), &mut buf).unwrap();
+                        prop_assert_eq!(
+                            &buf,
+                            &v[off as usize..(off + len) as usize],
+                            "contents diverged at slot {} off {}",
+                            slot,
+                            off
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(space.stats().live_bytes, live_bytes);
+        }
+
+        // Every live slot is still fully readable and matches the model.
+        for slot in 0..model.slots.len() {
+            if let Some((p, v)) = model.live(slot) {
+                let got = space.read_vec::<u8>(p, v.len() as u64).unwrap();
+                prop_assert_eq!(&got, v);
+            }
+        }
+    }
+
+    /// Dangling pointers into freed allocations always fault.
+    #[test]
+    fn freed_memory_is_unreachable(len in 1u64..512, probe in 0u64..512) {
+        let space = AddressSpace::new();
+        let p = space.alloc(MemKind::Managed, len).unwrap();
+        space.free(p).unwrap();
+        let r = space.read_at::<u8>(p.offset(probe.min(len - 1)));
+        prop_assert!(matches!(r, Err(MemError::Unmapped(_))));
+    }
+
+    /// Allocations never overlap, whatever the size mix.
+    #[test]
+    fn allocations_are_disjoint(lens in proptest::collection::vec(1u64..4096, 1..32)) {
+        let space = AddressSpace::new();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for len in lens {
+            let p = space.alloc(MemKind::Device(DeviceId(0)), len).unwrap();
+            for &(b, l) in &ranges {
+                let disjoint = p.addr() + len <= b || b + l <= p.addr();
+                prop_assert!(disjoint, "overlap: [{:#x},+{}) vs [{:#x},+{})", p.addr(), len, b, l);
+            }
+            ranges.push((p.addr(), len));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Vector clocks for happens-before reasoning.
+//!
+//! Clock components are `u32` because epochs are packed into 64-bit shadow
+//! slots (see [`crate::shadow`]); components count *release operations*, not
+//! individual memory accesses, so 2^32 is far beyond any simulation.
+
+use crate::fiber::FiberId;
+
+/// A dense vector clock indexed by fiber id.
+///
+/// The representation is a plain `Vec<u32>` grown on demand: fiber ids are
+/// small, densely allocated indices, making a dense clock both simpler and
+/// faster than a sparse map for the fiber counts seen in practice (streams +
+/// in-flight MPI requests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    c: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The empty clock (all components zero).
+    pub fn new() -> Self {
+        VectorClock { c: Vec::new() }
+    }
+
+    /// Component for `f` (zero if never set).
+    #[inline]
+    pub fn get(&self, f: FiberId) -> u32 {
+        self.c.get(f.index()).copied().unwrap_or(0)
+    }
+
+    /// Set component for `f`.
+    #[inline]
+    pub fn set(&mut self, f: FiberId, v: u32) {
+        let i = f.index();
+        if i >= self.c.len() {
+            self.c.resize(i + 1, 0);
+        }
+        self.c[i] = v;
+    }
+
+    /// Increment component for `f`, returning the new value.
+    #[inline]
+    pub fn bump(&mut self, f: FiberId) -> u32 {
+        let i = f.index();
+        if i >= self.c.len() {
+            self.c.resize(i + 1, 0);
+        }
+        self.c[i] += 1;
+        self.c[i]
+    }
+
+    /// Elementwise maximum: `self = max(self, other)` (the acquire/join op).
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.c.len() > self.c.len() {
+            self.c.resize(other.c.len(), 0);
+        }
+        for (a, &b) in self.c.iter_mut().zip(other.c.iter()) {
+            if b > *a {
+                *a = b;
+            }
+        }
+    }
+
+    /// True if every component of `self` is ≥ the corresponding component
+    /// of `other` (i.e. `other` happens-before-or-equals this view).
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        for i in 0..other.c.len() {
+            if other.c[i] > self.c.get(i).copied().unwrap_or(0) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of allocated components (for memory accounting).
+    pub fn len(&self) -> usize {
+        self.c.len()
+    }
+
+    /// True if no component was ever set.
+    pub fn is_empty(&self) -> bool {
+        self.c.is_empty()
+    }
+
+    /// Heap bytes used by this clock.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.c.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FiberId {
+        FiberId::from_index(i as usize)
+    }
+
+    #[test]
+    fn get_default_zero() {
+        let c = VectorClock::new();
+        assert_eq!(c.get(f(5)), 0);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut c = VectorClock::new();
+        c.set(f(3), 7);
+        assert_eq!(c.get(f(3)), 7);
+        assert_eq!(c.get(f(0)), 0);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn bump_increments() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.bump(f(1)), 1);
+        assert_eq!(c.bump(f(1)), 2);
+        assert_eq!(c.get(f(1)), 2);
+    }
+
+    #[test]
+    fn join_takes_elementwise_max() {
+        let mut a = VectorClock::new();
+        a.set(f(0), 5);
+        a.set(f(1), 1);
+        let mut b = VectorClock::new();
+        b.set(f(1), 9);
+        b.set(f(2), 2);
+        a.join(&b);
+        assert_eq!(a.get(f(0)), 5);
+        assert_eq!(a.get(f(1)), 9);
+        assert_eq!(a.get(f(2)), 2);
+    }
+
+    #[test]
+    fn join_is_idempotent_and_commutative_on_result() {
+        let mut a = VectorClock::new();
+        a.set(f(0), 3);
+        let mut b = VectorClock::new();
+        b.set(f(1), 4);
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        assert_eq!(ab, ba);
+        let mut abb = ab.clone();
+        abb.join(&b);
+        assert_eq!(ab, abb);
+    }
+
+    #[test]
+    fn dominates_reflexive_and_ordering() {
+        let mut a = VectorClock::new();
+        a.set(f(0), 2);
+        a.set(f(1), 3);
+        assert!(a.dominates(&a));
+        let mut b = a.clone();
+        b.bump(f(1));
+        assert!(b.dominates(&a));
+        assert!(!a.dominates(&b));
+    }
+
+    #[test]
+    fn dominates_with_shorter_self() {
+        let a = VectorClock::new();
+        let mut b = VectorClock::new();
+        b.set(f(4), 1);
+        assert!(!a.dominates(&b));
+        assert!(b.dominates(&a));
+    }
+}

@@ -1,0 +1,193 @@
+//! Fibers: user-defined execution contexts (TSan's fiber API).
+//!
+//! MUST models each non-blocking MPI operation as a fiber; CuSan models
+//! each CUDA stream as a fiber (paper §IV-A). The host thread itself is
+//! fiber 0. Switching fibers changes which vector clock subsequent accesses
+//! are attributed to and implies **no** synchronization.
+
+use crate::clock::VectorClock;
+
+/// Identifier of a fiber. Ids index densely into the runtime's fiber table;
+/// slots of destroyed fibers are reused (with a monotonically growing clock,
+/// so stale shadow epochs can only cause conservative results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiberId(u32);
+
+impl FiberId {
+    /// The host thread's fiber (always present).
+    pub const HOST: FiberId = FiberId(0);
+
+    /// Construct from a raw index (used by tests and the shadow codec).
+    pub fn from_index(i: usize) -> FiberId {
+        FiberId(i as u32)
+    }
+
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Maximum number of simultaneously-live fibers; bounded by the 11-bit
+/// fiber field in the packed shadow epoch (see [`crate::shadow`]).
+pub const MAX_FIBERS: usize = 1 << 11;
+
+#[derive(Debug)]
+pub(crate) struct Fiber {
+    pub clock: VectorClock,
+    pub name: String,
+    pub alive: bool,
+}
+
+/// The fiber table: creation, destruction with slot reuse, lookup.
+#[derive(Debug)]
+pub(crate) struct FiberTable {
+    fibers: Vec<Fiber>,
+    free: Vec<u32>,
+    pub created: u64,
+    pub destroyed: u64,
+}
+
+impl FiberTable {
+    pub fn new(host_name: &str) -> Self {
+        let mut host_clock = VectorClock::new();
+        host_clock.set(FiberId::HOST, 1);
+        FiberTable {
+            fibers: vec![Fiber {
+                clock: host_clock,
+                name: host_name.to_string(),
+                alive: true,
+            }],
+            free: Vec::new(),
+            created: 1,
+            destroyed: 0,
+        }
+    }
+
+    /// Create a fiber whose clock inherits `creator_clock` (fiber creation
+    /// synchronizes with the creator, like thread creation in TSan).
+    pub fn create(&mut self, name: &str, creator_clock: &VectorClock) -> FiberId {
+        self.created += 1;
+        if let Some(idx) = self.free.pop() {
+            let id = FiberId(idx);
+            let old_time = self.fibers[id.index()].clock.get(id);
+            let fiber = &mut self.fibers[id.index()];
+            fiber.clock = creator_clock.clone();
+            // Keep own time strictly monotonic across reuse so stale shadow
+            // epochs from a previous incarnation never look concurrent with
+            // themselves.
+            fiber.clock.set(id, old_time.max(creator_clock.get(id)) + 1);
+            fiber.name = name.to_string();
+            fiber.alive = true;
+            id
+        } else {
+            assert!(self.fibers.len() < MAX_FIBERS, "fiber table exhausted");
+            let id = FiberId(self.fibers.len() as u32);
+            let mut clock = creator_clock.clone();
+            clock.set(id, 1);
+            self.fibers.push(Fiber {
+                clock,
+                name: name.to_string(),
+                alive: true,
+            });
+            id
+        }
+    }
+
+    pub fn destroy(&mut self, id: FiberId) {
+        assert!(id != FiberId::HOST, "cannot destroy the host fiber");
+        let f = &mut self.fibers[id.index()];
+        assert!(f.alive, "double destroy of fiber {:?} ({})", id, f.name);
+        f.alive = false;
+        self.destroyed += 1;
+        self.free.push(id.0);
+    }
+
+    #[inline]
+    pub fn get(&self, id: FiberId) -> &Fiber {
+        &self.fibers[id.index()]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, id: FiberId) -> &mut Fiber {
+        &mut self.fibers[id.index()]
+    }
+
+    pub fn name(&self, id: FiberId) -> &str {
+        &self.fibers[id.index()].name
+    }
+
+    pub fn is_alive(&self, id: FiberId) -> bool {
+        self.fibers
+            .get(id.index())
+            .map(|f| f.alive)
+            .unwrap_or(false)
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.fibers.len() - self.free.len()
+    }
+
+    pub fn heap_bytes(&self) -> u64 {
+        self.fibers
+            .iter()
+            .map(|f| f.clock.heap_bytes() + f.name.capacity() as u64)
+            .sum::<u64>()
+            + (self.fibers.capacity() * std::mem::size_of::<Fiber>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_fiber_exists() {
+        let t = FiberTable::new("host");
+        assert!(t.is_alive(FiberId::HOST));
+        assert_eq!(t.name(FiberId::HOST), "host");
+        assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn create_inherits_creator_clock() {
+        let mut t = FiberTable::new("host");
+        let mut creator = VectorClock::new();
+        creator.set(FiberId::HOST, 5);
+        let f = t.create("stream0", &creator);
+        assert_eq!(t.get(f).clock.get(FiberId::HOST), 5);
+        assert!(t.get(f).clock.get(f) >= 1);
+    }
+
+    #[test]
+    fn destroy_and_reuse_keeps_time_monotonic() {
+        let mut t = FiberTable::new("host");
+        let creator = VectorClock::new();
+        let f1 = t.create("req1", &creator);
+        let time1 = t.get(f1).clock.get(f1);
+        t.destroy(f1);
+        let f2 = t.create("req2", &creator);
+        assert_eq!(f1, f2, "slot should be reused");
+        assert!(t.get(f2).clock.get(f2) > time1);
+        assert_eq!(t.name(f2), "req2");
+        assert_eq!(t.created, 3);
+        assert_eq!(t.destroyed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double destroy")]
+    fn double_destroy_panics() {
+        let mut t = FiberTable::new("host");
+        let f = t.create("x", &VectorClock::new());
+        t.destroy(f);
+        t.destroy(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "host fiber")]
+    fn destroy_host_panics() {
+        let mut t = FiberTable::new("host");
+        t.destroy(FiberId::HOST);
+    }
+}

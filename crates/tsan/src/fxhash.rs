@@ -1,0 +1,87 @@
+//! Minimal FxHash-style hasher for integer-keyed maps.
+//!
+//! The shadow-page map and sync-variable map are keyed by addresses and are
+//! on the hot path of every range annotation; SipHash would dominate the
+//! cost. This is the well-known Firefox/rustc multiply-rotate hash,
+//! implemented in-repo to stay within the approved dependency set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplicative constant used by rustc's FxHash (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for integer keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the fast hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_distinct_hashes_mostly() {
+        let mut set = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i * 4096);
+            set.insert(h.finish());
+        }
+        // Page-stride keys must not collapse.
+        assert!(set.len() > 9_990);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&40), Some(&80));
+        assert_eq!(m.len(), 100);
+    }
+}

@@ -1,0 +1,534 @@
+//! The TSan-style runtime: fibers + shadow + sync vars + reporting.
+
+use crate::clock::VectorClock;
+use crate::fiber::{FiberId, FiberTable};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::report::{CtxId, CtxTable, RaceReport, RaceSide, Suppressions};
+use crate::shadow::ShadowMemory;
+use crate::stats::TsanStats;
+
+/// Key identifying a synchronization variable — the analogue of the memory
+/// address passed to `AnnotateHappensBefore/After`. CuSan derives keys from
+/// stream/event identities; MUST derives them from MPI request identities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SyncKey(pub u64);
+
+/// Default cap on retained race reports (detection continues counting
+/// after the cap; only report storage stops growing).
+pub const DEFAULT_MAX_REPORTS: usize = 256;
+
+/// A per-rank ThreadSanitizer-style runtime. See crate docs.
+///
+/// Not `Sync` on purpose: one runtime per simulated MPI process, used from
+/// that rank's thread only.
+pub struct TsanRuntime {
+    fibers: FiberTable,
+    current: FiberId,
+    shadow: ShadowMemory,
+    sync_vars: FxHashMap<u64, VectorClock>,
+    ctxs: CtxTable,
+    reports: Vec<RaceReport>,
+    report_keys: FxHashSet<(u32, u32)>,
+    suppressions: Suppressions,
+    stats: TsanStats,
+    max_reports: usize,
+}
+
+impl TsanRuntime {
+    /// New runtime; the calling context becomes the host fiber.
+    pub fn new(host_name: &str) -> Self {
+        let mut rt = TsanRuntime {
+            fibers: FiberTable::new(host_name),
+            current: FiberId::HOST,
+            shadow: ShadowMemory::new(),
+            sync_vars: FxHashMap::default(),
+            ctxs: CtxTable::new(),
+            reports: Vec::new(),
+            report_keys: FxHashSet::default(),
+            suppressions: Suppressions::default(),
+            stats: TsanStats::default(),
+            max_reports: DEFAULT_MAX_REPORTS,
+        };
+        rt.stats.fibers_created = 1;
+        rt
+    }
+
+    // ---- fibers -----------------------------------------------------------
+
+    /// The host fiber id.
+    pub fn host_fiber(&self) -> FiberId {
+        FiberId::HOST
+    }
+
+    /// The currently active fiber.
+    pub fn current_fiber(&self) -> FiberId {
+        self.current
+    }
+
+    /// Create a fiber; its clock inherits the *current* fiber's clock
+    /// (creation synchronizes creator → new fiber, as in TSan).
+    pub fn create_fiber(&mut self, name: &str) -> FiberId {
+        self.stats.fibers_created += 1;
+        let cur = self.current;
+        let creator_clock = self.fibers.get(cur).clock.clone();
+        // Creation is a release: accesses the creator performs *after* the
+        // creation must not appear ordered before the new fiber's work.
+        self.fibers.get_mut(cur).clock.bump(cur);
+        self.fibers.create(name, &creator_clock)
+    }
+
+    /// Destroy a fiber. Must not be the current fiber or the host fiber.
+    pub fn destroy_fiber(&mut self, f: FiberId) {
+        assert!(f != self.current, "cannot destroy the active fiber");
+        self.stats.fibers_destroyed += 1;
+        self.fibers.destroy(f);
+    }
+
+    /// Switch the active fiber. **No synchronization implied** (paper
+    /// §II-A: "Such fiber switches do not imply a synchronization") — the
+    /// analogue of `__tsan_switch_to_fiber(f, TSAN_SWITCH_FIBER_NO_SYNC)`.
+    pub fn switch_to_fiber(&mut self, f: FiberId) {
+        assert!(self.fibers.is_alive(f), "switch to dead fiber {f:?}");
+        self.stats.fiber_switches += 1;
+        self.current = f;
+    }
+
+    /// Switch the active fiber, establishing happens-before from the
+    /// current fiber to the target — `__tsan_switch_to_fiber(f, 0)`.
+    /// CuSan uses this when entering a stream fiber for a device
+    /// operation: the operation is ordered after everything the host did
+    /// before submitting it, while nothing flows back on the return
+    /// switch.
+    pub fn switch_to_fiber_sync(&mut self, f: FiberId) {
+        assert!(self.fibers.is_alive(f), "switch to dead fiber {f:?}");
+        self.stats.fiber_switches += 1;
+        if f != self.current {
+            let from_clock = self.fibers.get(self.current).clock.clone();
+            self.fibers.get_mut(f).clock.join(&from_clock);
+        }
+        self.current = f;
+    }
+
+    /// Name of a fiber (for diagnostics).
+    pub fn fiber_name(&self, f: FiberId) -> &str {
+        self.fibers.name(f)
+    }
+
+    // ---- synchronization annotations -------------------------------------
+
+    /// `AnnotateHappensBefore(key)`: release the current fiber's clock into
+    /// the sync variable, then advance the fiber's own epoch.
+    pub fn annotate_happens_before(&mut self, key: SyncKey) {
+        self.stats.happens_before += 1;
+        let cur = self.current;
+        let clock = self.fibers.get(cur).clock.clone();
+        self.sync_vars
+            .entry(key.0)
+            .and_modify(|sv| sv.join(&clock))
+            .or_insert(clock);
+        self.fibers.get_mut(cur).clock.bump(cur);
+    }
+
+    /// `AnnotateHappensAfter(key)`: acquire the sync variable into the
+    /// current fiber's clock. Returns `false` if no release was ever issued
+    /// on `key` (the annotation is then a no-op, as in TSan).
+    pub fn annotate_happens_after(&mut self, key: SyncKey) -> bool {
+        self.stats.happens_after += 1;
+        let cur = self.current;
+        match self.sync_vars.get(&key.0) {
+            Some(sv) => {
+                // Clone keeps borrowck simple; sync vars are tiny dense
+                // clocks and HA is orders of magnitude rarer than accesses.
+                let sv = sv.clone();
+                self.fibers.get_mut(cur).clock.join(&sv);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if some fiber released on `key` at least once.
+    pub fn has_release(&self, key: SyncKey) -> bool {
+        self.sync_vars.contains_key(&key.0)
+    }
+
+    // ---- memory access annotations ----------------------------------------
+
+    /// Intern an access-context label for use with range annotations.
+    pub fn intern_ctx(&mut self, label: &str) -> CtxId {
+        self.ctxs.intern(label)
+    }
+
+    /// Label of an interned context.
+    pub fn ctx_label(&self, id: CtxId) -> &str {
+        self.ctxs.label(id)
+    }
+
+    /// `tsan_read_range(addr, len)` with an access context.
+    pub fn read_range(&mut self, addr: u64, len: u64, ctx: CtxId) {
+        self.stats.read_range_calls += 1;
+        self.stats.read_bytes += len;
+        self.access(addr, len, false, ctx);
+    }
+
+    /// `tsan_write_range(addr, len)` with an access context.
+    pub fn write_range(&mut self, addr: u64, len: u64, ctx: CtxId) {
+        self.stats.write_range_calls += 1;
+        self.stats.write_bytes += len;
+        self.access(addr, len, true, ctx);
+    }
+
+    fn access(&mut self, addr: u64, len: u64, write: bool, ctx: CtxId) {
+        let cur = self.current;
+        let clock_val = self.fibers.get(cur).clock.get(cur);
+        let Self {
+            fibers,
+            shadow,
+            ctxs,
+            reports,
+            report_keys,
+            suppressions,
+            stats,
+            max_reports,
+            ..
+        } = self;
+        let fibers: &FiberTable = fibers;
+        let fiber_clock = &fibers.get(cur).clock;
+        shadow.access_range(addr, len, write, cur, clock_val, ctx, fiber_clock, |c| {
+            let key = (ctx.0, c.prev.ctx.0);
+            if !report_keys.insert(key) {
+                stats.races_deduped += 1;
+                return;
+            }
+            let report = RaceReport {
+                addr: c.word_addr,
+                current: RaceSide {
+                    write,
+                    fiber: fibers.name(cur).to_string(),
+                    ctx: ctxs.label(ctx).to_string(),
+                },
+                previous: RaceSide {
+                    write: c.prev.write,
+                    fiber: fibers.name(c.prev.fiber).to_string(),
+                    ctx: ctxs.label(c.prev.ctx).to_string(),
+                },
+            };
+            if suppressions.matches(&report) {
+                stats.races_suppressed += 1;
+            } else {
+                stats.races_reported += 1;
+                if reports.len() < *max_reports {
+                    reports.push(report);
+                }
+            }
+        });
+    }
+
+    // ---- reporting ---------------------------------------------------------
+
+    /// Retained race reports.
+    pub fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    /// Drain retained reports.
+    pub fn take_reports(&mut self) -> Vec<RaceReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Total races reported (post-dedup, pre-cap).
+    pub fn race_count(&self) -> u64 {
+        self.stats.races_reported
+    }
+
+    /// Install a suppression pattern.
+    pub fn add_suppression(&mut self, pattern: &str) {
+        self.suppressions.add(pattern);
+    }
+
+    // ---- accounting --------------------------------------------------------
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TsanStats {
+        let mut s = self.stats;
+        s.fibers_created = self.fibers.created;
+        s.fibers_destroyed = self.fibers.destroyed;
+        s
+    }
+
+    /// Approximate heap bytes owned by the detector: shadow pages, vector
+    /// clocks, sync variables, context table. Drives Fig. 11.
+    pub fn memory_bytes(&self) -> u64 {
+        let sync: u64 = self.sync_vars.values().map(|c| c.heap_bytes() + 48).sum();
+        self.shadow.heap_bytes() + self.fibers.heap_bytes() + sync + self.ctxs.heap_bytes()
+    }
+
+    /// Shadow pages allocated (diagnostics / benches).
+    pub fn shadow_pages(&self) -> usize {
+        self.shadow.page_count()
+    }
+
+    /// Number of currently-live fibers (host + streams + in-flight
+    /// requests).
+    pub fn live_fibers(&self) -> usize {
+        self.fibers.live_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: u64 = 0x1_0000;
+
+    fn rt() -> TsanRuntime {
+        TsanRuntime::new("host")
+    }
+
+    #[test]
+    fn unsynchronized_fiber_write_host_read_races() {
+        // Abstract Fig. 6B: kernel writes on a stream fiber, host reads
+        // without synchronization.
+        let mut t = rt();
+        let stream = t.create_fiber("cuda stream 0");
+        let ctx_k = t.intern_ctx("kernel write");
+        let ctx_h = t.intern_ctx("host read");
+        t.switch_to_fiber(stream);
+        t.write_range(A, 64, ctx_k);
+        t.switch_to_fiber(FiberId::HOST);
+        t.read_range(A, 64, ctx_h);
+        assert_eq!(t.race_count(), 1, "deduped to one report for the range");
+        let r = &t.reports()[0];
+        assert!(r.previous.write);
+        assert!(!r.current.write);
+        assert_eq!(r.previous.fiber, "cuda stream 0");
+    }
+
+    #[test]
+    fn release_acquire_orders_accesses() {
+        // Abstract Fig. 6B with a cudaDeviceSynchronize: no race.
+        let mut t = rt();
+        let stream = t.create_fiber("cuda stream 0");
+        let key = SyncKey(7);
+        let ctx = t.intern_ctx("x");
+        t.switch_to_fiber(stream);
+        t.write_range(A, 64, ctx);
+        t.annotate_happens_before(key);
+        t.switch_to_fiber(FiberId::HOST);
+        assert!(t.annotate_happens_after(key));
+        t.read_range(A, 64, ctx);
+        assert_eq!(t.race_count(), 0);
+    }
+
+    #[test]
+    fn acquire_without_release_is_noop() {
+        let mut t = rt();
+        assert!(!t.annotate_happens_after(SyncKey(99)));
+        assert!(!t.has_release(SyncKey(99)));
+    }
+
+    #[test]
+    fn fiber_switch_does_not_synchronize() {
+        let mut t = rt();
+        let f = t.create_fiber("f");
+        let ctx = t.intern_ctx("x");
+        // Host writes BEFORE creating... note: creation syncs creator->fiber,
+        // so write after creation is needed to get concurrency.
+        t.write_range(A, 8, ctx);
+        // f was created before the write? No - created above, then host wrote.
+        // f's clock does not include the host write; and switching is not
+        // an acquire, so accessing from f must race.
+        t.switch_to_fiber(f);
+        t.write_range(A, 8, ctx);
+        assert_eq!(t.race_count(), 1);
+    }
+
+    #[test]
+    fn creation_synchronizes_creator_to_fiber() {
+        let mut t = rt();
+        let ctx = t.intern_ctx("x");
+        t.write_range(A, 8, ctx);
+        let f = t.create_fiber("f"); // inherits host clock incl. the write
+        t.switch_to_fiber(f);
+        t.write_range(A, 8, ctx);
+        assert_eq!(t.race_count(), 0);
+    }
+
+    #[test]
+    fn transitive_synchronization_via_two_keys() {
+        // stream1 -> (k1) -> stream2 -> (k2) -> host; host may then access
+        // data written by stream1 without a direct arc (Fig. 3 semantics).
+        let mut t = rt();
+        let s1 = t.create_fiber("s1");
+        let s2 = t.create_fiber("s2");
+        let ctx = t.intern_ctx("x");
+        t.switch_to_fiber(s1);
+        t.write_range(A, 8, ctx);
+        t.annotate_happens_before(SyncKey(1));
+        t.switch_to_fiber(s2);
+        t.annotate_happens_after(SyncKey(1));
+        t.annotate_happens_before(SyncKey(2));
+        t.switch_to_fiber(FiberId::HOST);
+        t.annotate_happens_after(SyncKey(2));
+        t.write_range(A, 8, ctx);
+        assert_eq!(t.race_count(), 0);
+    }
+
+    #[test]
+    fn release_before_access_does_not_cover_it() {
+        // An access AFTER the fiber's release is not ordered by that arc.
+        let mut t = rt();
+        let f = t.create_fiber("f");
+        let ctx = t.intern_ctx("x");
+        t.switch_to_fiber(f);
+        t.annotate_happens_before(SyncKey(1));
+        t.write_range(A, 8, ctx); // after the release: epoch advanced
+        t.switch_to_fiber(FiberId::HOST);
+        t.annotate_happens_after(SyncKey(1));
+        t.read_range(A, 8, ctx);
+        assert_eq!(t.race_count(), 1);
+    }
+
+    #[test]
+    fn non_blocking_mpi_pattern_fig1() {
+        // Fig. 1: Irecv(buf) ... compute reads buf ... Wait. The concurrent
+        // region between Irecv and Wait is modeled by an MPI fiber writing
+        // the buffer.
+        let mut t = rt();
+        let ctx_mpi = t.intern_ctx("MPI_Irecv buffer [write]");
+        let ctx_cmp = t.intern_ctx("compute read");
+        let req = t.create_fiber("mpi req#1 (Irecv)");
+        let key = SyncKey(0x100);
+        t.switch_to_fiber(req);
+        t.write_range(A, 1024, ctx_mpi);
+        t.annotate_happens_before(key);
+        t.switch_to_fiber(FiberId::HOST);
+        // compute(buf) before MPI_Wait -> race
+        t.read_range(A, 1024, ctx_cmp);
+        assert_eq!(t.race_count(), 1);
+        // After Wait (HA) further accesses are fine.
+        t.annotate_happens_after(key);
+        t.read_range(A, 1024, ctx_cmp);
+        assert_eq!(t.race_count(), 1, "no new race after wait");
+    }
+
+    #[test]
+    fn dedupe_by_context_pair() {
+        let mut t = rt();
+        let f = t.create_fiber("f");
+        let cw = t.intern_ctx("w");
+        let cr = t.intern_ctx("r");
+        t.switch_to_fiber(f);
+        t.write_range(A, 4096, cw);
+        t.switch_to_fiber(FiberId::HOST);
+        t.read_range(A, 4096, cr);
+        // 512 conflicting words but a single (r,w) report.
+        assert_eq!(t.race_count(), 1);
+        assert_eq!(t.stats().races_deduped, 511);
+    }
+
+    #[test]
+    fn distinct_context_pairs_reported_separately() {
+        let mut t = rt();
+        let f = t.create_fiber("f");
+        let cw = t.intern_ctx("w");
+        let cr1 = t.intern_ctx("r1");
+        let cr2 = t.intern_ctx("r2");
+        t.switch_to_fiber(f);
+        t.write_range(A, 8, cw);
+        t.switch_to_fiber(FiberId::HOST);
+        t.read_range(A, 8, cr1);
+        t.read_range(A + 8, 8, cr2); // different word, no conflict
+        t.read_range(A, 8, cr2); // same word, different ctx
+        assert_eq!(t.race_count(), 2);
+    }
+
+    #[test]
+    fn suppression_suppresses() {
+        let mut t = rt();
+        t.add_suppression("openmpi-internal");
+        let f = t.create_fiber("f");
+        let cw = t.intern_ctx("openmpi-internal progress thread");
+        let cr = t.intern_ctx("host");
+        t.switch_to_fiber(f);
+        t.write_range(A, 8, cw);
+        t.switch_to_fiber(FiberId::HOST);
+        t.read_range(A, 8, cr);
+        assert_eq!(t.race_count(), 0);
+        assert_eq!(t.stats().races_suppressed, 1);
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let mut t = rt();
+        let f = t.create_fiber("f");
+        let c = t.intern_ctx("x");
+        t.switch_to_fiber(f);
+        t.switch_to_fiber(FiberId::HOST);
+        t.annotate_happens_before(SyncKey(1));
+        t.annotate_happens_after(SyncKey(1));
+        t.read_range(A, 100, c);
+        t.write_range(A, 50, c);
+        assert_eq!(t.live_fibers(), 2);
+        let s = t.stats();
+        assert_eq!(s.fiber_switches, 2);
+        assert_eq!(s.happens_before, 1);
+        assert_eq!(s.happens_after, 1);
+        assert_eq!(s.read_range_calls, 1);
+        assert_eq!(s.read_bytes, 100);
+        assert_eq!(s.write_range_calls, 1);
+        assert_eq!(s.write_bytes, 50);
+        assert_eq!(s.fibers_created, 2);
+        assert_eq!(f, FiberId::from_index(1));
+    }
+
+    #[test]
+    fn report_cap_limits_storage_not_counting() {
+        let mut t = rt();
+        t.max_reports = 2;
+        let f = t.create_fiber("f");
+        t.switch_to_fiber(f);
+        for i in 0..5 {
+            let c = t.intern_ctx(&format!("w{i}"));
+            t.write_range(A, 8, c);
+        }
+        t.switch_to_fiber(FiberId::HOST);
+        for i in 0..5 {
+            let c = t.intern_ctx(&format!("r{i}"));
+            t.write_range(A, 8, c);
+        }
+        assert!(t.race_count() > 2);
+        assert_eq!(t.reports().len(), 2);
+    }
+
+    #[test]
+    fn memory_accounting_nonzero_after_accesses() {
+        let mut t = rt();
+        let c = t.intern_ctx("x");
+        t.write_range(0, 1 << 16, c);
+        assert!(t.memory_bytes() > (1 << 16));
+        assert!(t.shadow_pages() >= 16);
+    }
+
+    #[test]
+    fn destroyed_request_fiber_pattern() {
+        // MUST pattern: fiber per request, destroyed after wait; a second
+        // request reuses the slot without false positives.
+        let mut t = rt();
+        let c = t.intern_ctx("isend read");
+        for i in 0..3 {
+            let req = t.create_fiber(&format!("req#{i}"));
+            let key = SyncKey(0x200 + i);
+            t.switch_to_fiber(req);
+            t.read_range(A, 256, c);
+            t.annotate_happens_before(key);
+            t.switch_to_fiber(FiberId::HOST);
+            t.annotate_happens_after(key);
+            t.destroy_fiber(req);
+            // Host writes the buffer after wait — must never race.
+            let cw = t.intern_ctx("host write after wait");
+            t.write_range(A, 256, cw);
+        }
+        assert_eq!(t.race_count(), 0);
+    }
+}

@@ -1,0 +1,587 @@
+//! Shadow memory: packed access epochs, 4 slots per 8-byte word.
+//!
+//! Mirrors ThreadSanitizer's shadow layout: every 8 bytes of application
+//! memory map to a small fixed number of *shadow slots*, each recording one
+//! recent access as a packed epoch. On a new access, the stored slots are
+//! checked for conflicts under the happens-before relation.
+//!
+//! ## Packed epoch layout (64 bits)
+//!
+//! ```text
+//! | 63    | 62..52       | 51..20        | 19..0        |
+//! | write | fiber (11 b) | clock (32 b)  | ctx (20 b)   |
+//! ```
+//!
+//! A slot is empty iff it is zero; real accesses always carry clock ≥ 1.
+//! The 11-bit fiber field bounds live fibers to 2048 (see
+//! [`crate::fiber::MAX_FIBERS`]); the 20-bit ctx field bounds interned
+//! access contexts to ~1M.
+
+use crate::clock::VectorClock;
+use crate::fiber::FiberId;
+use crate::fxhash::FxHashMap;
+use crate::report::CtxId;
+
+/// Application bytes covered by one shadow word.
+pub const WORD_BYTES: u64 = 8;
+/// Shadow slots per word (TSan uses 4).
+pub const SLOTS_PER_WORD: usize = 4;
+/// Application bytes covered by one shadow page.
+pub const PAGE_BYTES: u64 = 4096;
+const WORDS_PER_PAGE: usize = (PAGE_BYTES / WORD_BYTES) as usize;
+const SLOTS_PER_PAGE: usize = WORDS_PER_PAGE * SLOTS_PER_WORD;
+
+const CTX_BITS: u32 = 20;
+const CLOCK_BITS: u32 = 32;
+const FIBER_BITS: u32 = 11;
+const CTX_MASK: u64 = (1 << CTX_BITS) - 1;
+const CLOCK_MASK: u64 = (1 << CLOCK_BITS) - 1;
+const FIBER_MASK: u64 = (1 << FIBER_BITS) - 1;
+const CLOCK_SHIFT: u32 = CTX_BITS;
+const FIBER_SHIFT: u32 = CTX_BITS + CLOCK_BITS;
+const WRITE_SHIFT: u32 = 63;
+
+/// One recorded access, unpacked from a shadow slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowAccess {
+    /// Fiber that performed the access.
+    pub fiber: FiberId,
+    /// The fiber's clock component at access time.
+    pub clock: u32,
+    /// Interned access-context id.
+    pub ctx: CtxId,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+/// Pack an access into a shadow slot.
+#[inline]
+pub fn pack(a: ShadowAccess) -> u64 {
+    debug_assert!(a.clock >= 1, "real accesses have clock >= 1");
+    debug_assert!((a.fiber.index() as u64) <= FIBER_MASK);
+    debug_assert!((a.ctx.0 as u64) <= CTX_MASK);
+    (u64::from(a.write) << WRITE_SHIFT)
+        | ((a.fiber.index() as u64 & FIBER_MASK) << FIBER_SHIFT)
+        | ((u64::from(a.clock) & CLOCK_MASK) << CLOCK_SHIFT)
+        | (u64::from(a.ctx.0) & CTX_MASK)
+}
+
+/// Unpack a non-empty shadow slot.
+#[inline]
+pub fn unpack(raw: u64) -> ShadowAccess {
+    ShadowAccess {
+        fiber: FiberId::from_index(((raw >> FIBER_SHIFT) & FIBER_MASK) as usize),
+        clock: ((raw >> CLOCK_SHIFT) & CLOCK_MASK) as u32,
+        ctx: CtxId(((raw) & CTX_MASK) as u32),
+        write: (raw >> WRITE_SHIFT) & 1 == 1,
+    }
+}
+
+struct Page {
+    slots: Box<[u64; SLOTS_PER_PAGE]>,
+}
+
+impl Page {
+    fn new() -> Page {
+        Page {
+            slots: vec![0u64; SLOTS_PER_PAGE].try_into().expect("page size"),
+        }
+    }
+}
+
+/// A race discovered while recording an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawConflict {
+    /// Word-aligned application address of the conflicting word.
+    pub word_addr: u64,
+    /// The previously recorded access.
+    pub prev: ShadowAccess,
+}
+
+/// The shadow memory of one [`crate::TsanRuntime`].
+pub struct ShadowMemory {
+    pages: FxHashMap<u64, Page>,
+    evict_rotor: u32,
+}
+
+impl Default for ShadowMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShadowMemory {
+    /// Fresh, empty shadow memory.
+    pub fn new() -> Self {
+        ShadowMemory {
+            pages: FxHashMap::default(),
+            evict_rotor: 0,
+        }
+    }
+
+    /// Record an access of `[addr, addr+len)` by `fiber` (whose clock
+    /// component is `clock` and full vector clock is `fiber_clock`).
+    /// Invokes `on_conflict` for each word where a conflicting prior access
+    /// is found. Cost is linear in `len` — this is the effect behind the
+    /// paper's Fig. 12.
+    #[allow(clippy::too_many_arguments)]
+    pub fn access_range(
+        &mut self,
+        addr: u64,
+        len: u64,
+        write: bool,
+        fiber: FiberId,
+        clock: u32,
+        ctx: CtxId,
+        fiber_clock: &VectorClock,
+        mut on_conflict: impl FnMut(RawConflict),
+    ) {
+        if len == 0 {
+            return;
+        }
+        let new_raw = pack(ShadowAccess {
+            fiber,
+            clock,
+            ctx,
+            write,
+        });
+        let first_word = addr / WORD_BYTES;
+        let last_word = (addr + len - 1) / WORD_BYTES;
+        let mut word = first_word;
+        while word <= last_word {
+            let page_base = word * WORD_BYTES / PAGE_BYTES;
+            let page_last_word = (page_base + 1) * (PAGE_BYTES / WORD_BYTES) - 1;
+            let end_word = last_word.min(page_last_word);
+            let rotor = &mut self.evict_rotor;
+            let page = self.pages.entry(page_base).or_insert_with(Page::new);
+            let mut w = word;
+            while w <= end_word {
+                let slot_base = ((w % (PAGE_BYTES / WORD_BYTES)) as usize) * SLOTS_PER_WORD;
+                let slots = &mut page.slots[slot_base..slot_base + SLOTS_PER_WORD];
+                let mut store_at: Option<usize> = None;
+                let mut skip_store = false;
+                let mut empty_at: Option<usize> = None;
+                for (i, s) in slots.iter().enumerate() {
+                    let raw = *s;
+                    if raw == 0 {
+                        if empty_at.is_none() {
+                            empty_at = Some(i);
+                        }
+                        continue;
+                    }
+                    let prev = unpack(raw);
+                    if prev.fiber == fiber {
+                        // Same fiber: ordered by program order; never a race.
+                        if write || !prev.write {
+                            // New access subsumes the old entry.
+                            store_at = Some(i);
+                        } else {
+                            // Old write subsumes this read: keep the write,
+                            // recording the read adds no conflict coverage.
+                            skip_store = true;
+                        }
+                        continue;
+                    }
+                    // Different fiber: conflicting iff at least one write and
+                    // the recorded epoch is not in our happens-before past.
+                    if (write || prev.write) && fiber_clock.get(prev.fiber) < prev.clock {
+                        on_conflict(RawConflict {
+                            word_addr: w * WORD_BYTES,
+                            prev,
+                        });
+                    }
+                }
+                if !skip_store {
+                    let idx = match (store_at, empty_at) {
+                        (Some(i), _) => i,
+                        (None, Some(i)) => i,
+                        (None, None) => {
+                            let i = (*rotor as usize) % SLOTS_PER_WORD;
+                            *rotor = rotor.wrapping_add(1);
+                            i
+                        }
+                    };
+                    slots[idx] = new_raw;
+                }
+                w += 1;
+            }
+            word = end_word + 1;
+        }
+    }
+
+    /// All recorded accesses for the word containing `addr` (test/debug).
+    pub fn word_accesses(&self, addr: u64) -> Vec<ShadowAccess> {
+        let word = addr / WORD_BYTES;
+        let page_base = word * WORD_BYTES / PAGE_BYTES;
+        let Some(page) = self.pages.get(&page_base) else {
+            return Vec::new();
+        };
+        let slot_base = ((word % (PAGE_BYTES / WORD_BYTES)) as usize) * SLOTS_PER_WORD;
+        page.slots[slot_base..slot_base + SLOTS_PER_WORD]
+            .iter()
+            .filter(|&&s| s != 0)
+            .map(|&s| unpack(s))
+            .collect()
+    }
+
+    /// Number of shadow pages allocated so far.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Approximate heap bytes used by the shadow (drives Fig. 11).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.pages.len() * (SLOTS_PER_PAGE * 8 + 32)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(i: u32) -> CtxId {
+        CtxId(i)
+    }
+
+    fn fid(i: usize) -> FiberId {
+        FiberId::from_index(i)
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let a = ShadowAccess {
+            fiber: fid(1234),
+            clock: 0xDEAD_BEEF,
+            ctx: ctx(77),
+            write: true,
+        };
+        assert_eq!(unpack(pack(a)), a);
+        let b = ShadowAccess {
+            fiber: fid(0),
+            clock: 1,
+            ctx: ctx(0),
+            write: false,
+        };
+        assert_eq!(unpack(pack(b)), b);
+    }
+
+    #[test]
+    fn empty_slot_is_zero_and_real_access_is_not() {
+        let a = ShadowAccess {
+            fiber: fid(0),
+            clock: 1,
+            ctx: ctx(0),
+            write: false,
+        };
+        assert_ne!(pack(a), 0);
+    }
+
+    fn no_conflict_expected(c: RawConflict) {
+        panic!("unexpected conflict: {c:?}");
+    }
+
+    #[test]
+    fn same_fiber_never_conflicts() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        sh.access_range(
+            0x1000,
+            8,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        sh.access_range(
+            0x1000,
+            8,
+            true,
+            fid(1),
+            2,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        sh.access_range(
+            0x1000,
+            8,
+            false,
+            fid(1),
+            2,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+    }
+
+    #[test]
+    fn read_read_never_conflicts() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        sh.access_range(
+            0x1000,
+            8,
+            false,
+            fid(1),
+            5,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        sh.access_range(
+            0x1000,
+            8,
+            false,
+            fid(2),
+            5,
+            ctx(1),
+            &clk,
+            no_conflict_expected,
+        );
+    }
+
+    #[test]
+    fn write_write_unordered_conflicts() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new(); // knows nothing about fiber 1
+        sh.access_range(
+            0x1000,
+            8,
+            true,
+            fid(1),
+            5,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        let mut hits = Vec::new();
+        sh.access_range(0x1000, 8, true, fid(2), 5, ctx(1), &clk, |c| hits.push(c));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].prev.fiber, fid(1));
+        assert_eq!(hits[0].prev.clock, 5);
+        assert!(hits[0].prev.write);
+    }
+
+    #[test]
+    fn happens_before_suppresses_conflict() {
+        let mut sh = ShadowMemory::new();
+        sh.access_range(
+            0x1000,
+            8,
+            true,
+            fid(1),
+            5,
+            ctx(0),
+            &VectorClock::new(),
+            no_conflict_expected,
+        );
+        // Fiber 2 has synchronized with fiber 1 up to clock 5.
+        let mut clk = VectorClock::new();
+        clk.set(fid(1), 5);
+        sh.access_range(
+            0x1000,
+            8,
+            true,
+            fid(2),
+            1,
+            ctx(1),
+            &clk,
+            no_conflict_expected,
+        );
+    }
+
+    #[test]
+    fn stale_sync_still_conflicts() {
+        let mut sh = ShadowMemory::new();
+        sh.access_range(
+            0x1000,
+            8,
+            true,
+            fid(1),
+            7,
+            ctx(0),
+            &VectorClock::new(),
+            no_conflict_expected,
+        );
+        // Fiber 2 only synchronized with fiber 1 up to clock 6 < 7.
+        let mut clk = VectorClock::new();
+        clk.set(fid(1), 6);
+        let mut hits = 0;
+        sh.access_range(0x1000, 8, false, fid(2), 1, ctx(1), &clk, |_| hits += 1);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn range_conflict_reported_per_word() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        sh.access_range(
+            0x1000,
+            64,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        let mut hits = 0;
+        sh.access_range(0x1000, 64, false, fid(2), 1, ctx(1), &clk, |_| hits += 1);
+        assert_eq!(hits, 8, "one conflict per 8-byte word");
+    }
+
+    #[test]
+    fn partial_overlap_detected() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        sh.access_range(
+            0x1000,
+            32,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        let mut words = Vec::new();
+        // Overlaps only the last two words of the previous range.
+        sh.access_range(0x1010, 32, true, fid(2), 1, ctx(1), &clk, |c| {
+            words.push(c.word_addr)
+        });
+        assert_eq!(words, vec![0x1010, 0x1018]);
+    }
+
+    #[test]
+    fn unaligned_range_covers_touched_words() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        // 4 bytes starting at 0x1006 touch words 0x1000 and 0x1008.
+        sh.access_range(
+            0x1006,
+            4,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        assert_eq!(sh.word_accesses(0x1000).len(), 1);
+        assert_eq!(sh.word_accesses(0x1008).len(), 1);
+        assert_eq!(sh.word_accesses(0x1010).len(), 0);
+    }
+
+    #[test]
+    fn crossing_page_boundary() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        let addr = PAGE_BYTES - 16;
+        sh.access_range(
+            addr,
+            32,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        assert_eq!(sh.page_count(), 2);
+        let mut hits = 0;
+        sh.access_range(addr, 32, true, fid(2), 1, ctx(1), &clk, |_| hits += 1);
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn eviction_keeps_detecting_new_accessors() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        // Five distinct reading fibers exhaust the 4 slots.
+        for f in 1..=5 {
+            sh.access_range(
+                0x1000,
+                8,
+                false,
+                fid(f),
+                1,
+                ctx(f as u32),
+                &clk,
+                no_conflict_expected,
+            );
+        }
+        // A writer still conflicts with whatever remains recorded.
+        let mut hits = 0;
+        sh.access_range(0x1000, 8, true, fid(9), 1, ctx(9), &clk, |_| hits += 1);
+        assert!(
+            hits >= 3,
+            "expected conflicts with surviving slots, got {hits}"
+        );
+    }
+
+    #[test]
+    fn same_fiber_read_after_write_keeps_write_entry() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        sh.access_range(
+            0x1000,
+            8,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        sh.access_range(
+            0x1000,
+            8,
+            false,
+            fid(1),
+            2,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        let acc = sh.word_accesses(0x1000);
+        assert_eq!(acc.len(), 1);
+        assert!(acc[0].write, "write entry must survive the subsequent read");
+    }
+
+    #[test]
+    fn zero_length_range_is_noop() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        sh.access_range(
+            0x1000,
+            0,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        assert_eq!(sh.page_count(), 0);
+    }
+
+    #[test]
+    fn heap_accounting_grows_with_pages() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        let before = sh.heap_bytes();
+        sh.access_range(
+            0,
+            4 * PAGE_BYTES,
+            false,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        assert!(sh.heap_bytes() >= before + 4 * (PAGE_BYTES * 4));
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: detect a CUDA-aware MPI data race in ~60 lines.
+//!
+//! Reproduces the paper's Fig. 4 example: rank 0 fills a device buffer
+//! with a kernel and sends it; rank 1 receives into device memory and
+//! consumes it with a second kernel. Run once with the synchronization
+//! bug (missing `cudaDeviceSynchronize`) and once fixed.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cuda_sim::StreamId;
+use cusan::Flavor;
+use cusan_apps::AppKernels;
+use kernel_ir::{LaunchArg, LaunchGrid};
+use mpi_sim::MpiDatatype;
+use must_rt::run_checked_world;
+use std::sync::Arc;
+
+fn main() {
+    let kernels = AppKernels::shared();
+    for (label, synchronize) in [("BUGGY (no sync before MPI_Send)", false), ("FIXED", true)] {
+        println!("=== {label} ===");
+        let outcome = run_checked_world(
+            2,
+            Flavor::MustCusan,
+            Arc::clone(&kernels.registry),
+            move |ctx| {
+                let n: u64 = 1 << 16;
+                let d_data = ctx.cuda.malloc::<f64>(n).unwrap();
+                if ctx.rank() == 0 {
+                    // kernel<<<...>>>(d_data, n)
+                    ctx.cuda
+                        .launch(
+                            kernels.fill,
+                            LaunchGrid::linear(n),
+                            StreamId::DEFAULT,
+                            vec![
+                                LaunchArg::Ptr(d_data),
+                                LaunchArg::F64(42.0),
+                                LaunchArg::I64(n as i64),
+                            ],
+                        )
+                        .unwrap();
+                    if synchronize {
+                        ctx.cuda.device_synchronize().unwrap(); // Fig. 4 line 4
+                    }
+                    ctx.mpi.send(d_data, n, MpiDatatype::Double, 1, 0).unwrap();
+                    f64::NAN
+                } else {
+                    let mut req = ctx.mpi.irecv(d_data, n, MpiDatatype::Double, 0, 0).unwrap();
+                    ctx.mpi.wait(&mut req).unwrap(); // Fig. 4 line 8
+                    ctx.tools
+                        .host_read_slice::<f64>(&ctx.space(), d_data, 1, "verify")
+                        .unwrap()[0]
+                }
+            },
+        );
+        println!("received value on rank 1: {}", outcome.results[1]);
+        if outcome.has_races() {
+            for (rank, race) in outcome.all_races() {
+                println!("rank {rank} reported:\n{race}\n");
+            }
+        } else {
+            println!("no data races detected\n");
+        }
+    }
+}

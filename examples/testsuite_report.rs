@@ -1,0 +1,34 @@
+//! Run the correctness testsuite and print `llvm-lit`-style output, like
+//! the paper artifact's `make check-cutests`:
+//!
+//! ```text
+//! PASS: CuSanTest :: cuda-to-mpi/send_device_sync (1 of 49)
+//! ...
+//! ```
+
+use cusan_apps::testsuite::{cases, check_case};
+
+fn main() {
+    let all = cases();
+    let total = all.len();
+    let mut failed = 0;
+    for (i, case) in all.iter().enumerate() {
+        match check_case(case) {
+            Ok(_) => println!("PASS: CuSanTest :: {} ({} of {total})", case.name, i + 1),
+            Err(e) => {
+                failed += 1;
+                println!("FAIL: CuSanTest :: {} ({} of {total})", case.name, i + 1);
+                for line in e.lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+    println!();
+    if failed == 0 {
+        println!("Testing Time: all {total} tests passed");
+    } else {
+        println!("{failed} of {total} tests FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Workspace root crate for `cusan-rs`.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. The actual library surface
+//! lives in the workspace member crates; the most convenient entry points
+//! are re-exported here.
+
+pub use cusan;
+pub use cusan_apps as apps;
+pub use must_rt as must;
