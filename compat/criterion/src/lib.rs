@@ -1,0 +1,332 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the criterion API surface its benches use: `Criterion`,
+//! `BenchmarkGroup`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock loop: calibrate an iteration count
+//! targeting ~`measure_ms` per sample, take the best of three samples
+//! (minimum is robust against scheduler noise), and print `ns/iter` plus
+//! derived throughput. `--test` / `--quick` on the command line (as passed
+//! by `cargo bench -- --test`) switches to a single-iteration smoke run so
+//! CI can validate benches cheaply.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export used by benches (`criterion::black_box` predates
+/// `std::hint::black_box` but forwards to it these days).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How a batched iteration sizes its batches. Only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/function/parameter` style id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timing loop driver handed to bench closures.
+pub struct Bencher {
+    quick: bool,
+    measure_ms: u64,
+    /// Measured nanoseconds per iteration (best sample).
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.quick {
+            std_black_box(f());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Calibrate: grow the iteration count until one sample is long
+        // enough to time reliably.
+        let mut iters: u64 = 1;
+        let target = Duration::from_millis(self.measure_ms);
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= target || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if el.is_zero() {
+                16
+            } else {
+                ((target.as_secs_f64() / el.as_secs_f64()).ceil() as u64).clamp(2, 16)
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        // Best of three samples.
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        self.ns_per_iter = best * 1e9;
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.quick {
+            std_black_box(routine(setup()));
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        let mut iters: u64 = 1;
+        let target = Duration::from_millis(self.measure_ms);
+        let mut measured;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for i in inputs {
+                std_black_box(routine(i));
+            }
+            measured = t.elapsed();
+            if measured >= target || iters >= 1 << 22 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        self.ns_per_iter = measured.as_secs_f64() * 1e9 / iters as f64;
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    quick: bool,
+    measure_ms: u64,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: false,
+            measure_ms: 50,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from `cargo bench` command-line arguments: `--test` /
+    /// `--quick` run each bench once (smoke mode); a bare string filters
+    /// benchmarks by substring. Other criterion flags are ignored.
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" | "--quick" => c.quick = true,
+                s if !s.starts_with('-') => c.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    fn run_one(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            quick: self.quick,
+            measure_ms: self.measure_ms,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        if self.quick {
+            println!("{name:<50} ok (smoke)");
+            return;
+        }
+        let per_iter = b.ns_per_iter;
+        match throughput {
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                let mbps = n as f64 / per_iter * 1e9 / 1e6;
+                println!("{name:<50} {per_iter:>12.1} ns/iter {mbps:>12.1} MB/s");
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                let eps = n as f64 / per_iter * 1e9;
+                println!("{name:<50} {per_iter:>12.1} ns/iter {eps:>12.0} elem/s");
+            }
+            _ => println!("{name:<50} {per_iter:>12.1} ns/iter"),
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benches with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark with an explicit id and input.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.0);
+        let throughput = self.throughput;
+        self.c.run_one(&name, throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark by name within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.c.run_one(&name, throughput, &mut f);
+        self
+    }
+
+    /// Finish the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Define a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion {
+            quick: true,
+            ..Criterion::default()
+        };
+        let mut calls = 0;
+        c.bench_function("t", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measured_mode_reports_nanos() {
+        let mut c = Criterion {
+            measure_ms: 1,
+            ..Criterion::default()
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::from_parameter(8u64), &8u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut b = Bencher {
+            quick: true,
+            measure_ms: 1,
+            ns_per_iter: 0.0,
+        };
+        b.iter_batched(|| vec![1u8, 2], |v| v.len(), BatchSize::SmallInput);
+    }
+}

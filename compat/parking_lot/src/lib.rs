@@ -1,0 +1,432 @@
+//! Offline stand-in for the `parking_lot` crate, built on `std::sync`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small API subset it actually uses: panic-free `Mutex` /
+//! `RwLock` (poisoning is swallowed — a poisoned lock continues, matching
+//! parking_lot's no-poisoning semantics), a `Condvar` that takes `&mut
+//! MutexGuard`, and mappable `RwLock` guards
+//! (`RwLockReadGuard::map` / `RwLockWriteGuard::map`).
+//!
+//! Semantics intentionally mirror `parking_lot` 0.12 for the subset used;
+//! fairness/eventual-fairness details differ (std locks underneath) but no
+//! caller in this workspace depends on them.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::time::Duration;
+
+// ---- Mutex -----------------------------------------------------------------
+
+/// A mutual-exclusion lock without poisoning.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// RAII guard for [`Mutex`]. The inner `Option` is only `None` transiently
+/// while a [`Condvar`] wait re-acquires the lock.
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard active")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard active")
+    }
+}
+
+// ---- Condvar ---------------------------------------------------------------
+
+/// Result of a timed wait: whether the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable operating on [`MutexGuard`]s by mutable reference
+/// (parking_lot style — the guard stays owned by the caller).
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Wake all waiting threads; returns the number woken (always 0 here —
+    /// std does not report it, and no caller uses the value).
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Block until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.0.take().expect("guard active");
+        guard.0 = Some(self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Block until notified or the timeout elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.0.take().expect("guard active");
+        let (g, res) = self
+            .0
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// ---- RwLock ----------------------------------------------------------------
+
+/// Reader-writer lock with mappable guards. The payload lives in an
+/// `UnsafeCell` beside a `std::sync::RwLock<()>` that provides the actual
+/// exclusion; guards hold the raw `()` guard plus a reference into the
+/// cell, which is what makes `map` expressible on stable Rust.
+pub struct RwLock<T: ?Sized> {
+    lock: std::sync::RwLock<()>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: access to `data` is serialized by `lock` exactly like a normal
+// RwLock — shared via read guards, exclusive via the write guard.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            lock: std::sync::RwLock::new(()),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let raw = self.lock.read().unwrap_or_else(|e| e.into_inner());
+        RwLockReadGuard {
+            _raw: raw,
+            data: unsafe { &*self.data.get() },
+        }
+    }
+
+    /// Try to acquire exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let raw = match self.lock.try_write() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockWriteGuard {
+            _raw: raw,
+            data: unsafe { &mut *self.data.get() },
+        })
+    }
+
+    /// Try to acquire shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let raw = match self.lock.try_read() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockReadGuard {
+            _raw: raw,
+            data: unsafe { &*self.data.get() },
+        })
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let raw = self.lock.write().unwrap_or_else(|e| e.into_inner());
+        RwLockWriteGuard {
+            _raw: raw,
+            data: unsafe { &mut *self.data.get() },
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.data.get() }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Shared read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    _raw: std::sync::RwLockReadGuard<'a, ()>,
+    data: &'a T,
+}
+
+impl<'a, T: ?Sized> RwLockReadGuard<'a, T> {
+    /// Map the guard to a component of the protected data.
+    pub fn map<U: ?Sized>(s: Self, f: impl FnOnce(&T) -> &U) -> MappedRwLockReadGuard<'a, U> {
+        MappedRwLockReadGuard {
+            _raw: s._raw,
+            data: f(s.data),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.data
+    }
+}
+
+/// Read guard mapped to a component of the protected data.
+pub struct MappedRwLockReadGuard<'a, T: ?Sized> {
+    _raw: std::sync::RwLockReadGuard<'a, ()>,
+    data: &'a T,
+}
+
+impl<'a, T: ?Sized> MappedRwLockReadGuard<'a, T> {
+    /// Map further into the data.
+    pub fn map<U: ?Sized>(s: Self, f: impl FnOnce(&T) -> &U) -> MappedRwLockReadGuard<'a, U> {
+        MappedRwLockReadGuard {
+            _raw: s._raw,
+            data: f(s.data),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MappedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.data
+    }
+}
+
+/// Exclusive write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    _raw: std::sync::RwLockWriteGuard<'a, ()>,
+    data: &'a mut T,
+}
+
+impl<'a, T: ?Sized> RwLockWriteGuard<'a, T> {
+    /// Map the guard to a component of the protected data.
+    pub fn map<U: ?Sized>(
+        s: Self,
+        f: impl FnOnce(&mut T) -> &mut U,
+    ) -> MappedRwLockWriteGuard<'a, U> {
+        let RwLockWriteGuard { _raw, data } = s;
+        MappedRwLockWriteGuard {
+            _raw,
+            data: f(data),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.data
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.data
+    }
+}
+
+/// Write guard mapped to a component of the protected data.
+pub struct MappedRwLockWriteGuard<'a, T: ?Sized> {
+    _raw: std::sync::RwLockWriteGuard<'a, ()>,
+    data: &'a mut T,
+}
+
+impl<'a, T: ?Sized> MappedRwLockWriteGuard<'a, T> {
+    /// Map further into the data.
+    pub fn map<U: ?Sized>(
+        s: Self,
+        f: impl FnOnce(&mut T) -> &mut U,
+    ) -> MappedRwLockWriteGuard<'a, U> {
+        let MappedRwLockWriteGuard { _raw, data } = s;
+        MappedRwLockWriteGuard {
+            _raw,
+            data: f(data),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MappedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.data
+    }
+}
+
+impl<T: ?Sized> DerefMut for MappedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_map_read_and_write() {
+        let l = RwLock::new(vec![1u8, 2, 3]);
+        {
+            let g = l.write();
+            let mut m = RwLockWriteGuard::map(g, |v| &mut v[1]);
+            *m = 9;
+        }
+        let g = l.read();
+        let m = RwLockReadGuard::map(g, |v| &v[1]);
+        assert_eq!(*m, 9);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn condvar_notify_wakes() {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let t = thread::spawn(move || {
+            let mut g = m2.lock();
+            while !*g {
+                cv2.wait(&mut g);
+            }
+        });
+        *m.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rwlock_shared_across_threads() {
+        let l = Arc::new(RwLock::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                thread::spawn(move || {
+                    for _ in 0..100 {
+                        *l.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 400);
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest it uses: the [`strategy::Strategy`] trait with
+//! `prop_map`/`boxed`, range and tuple strategies, [`strategy::Just`],
+//! `any::<T>()`, `prop_oneof!`, `proptest::collection::vec`, and the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, and why they are acceptable here:
+//!
+//! * **No shrinking** — failures print the generated inputs instead.
+//!   Tests in this workspace assert algorithmic invariants on small
+//!   value domains, so raw counterexamples stay readable.
+//! * **Deterministic seeding** — each test derives its RNG seed from the
+//!   test's module path and name (override the stream with
+//!   `PROPTEST_SEED`), so failures reproduce across runs by default.
+//! * **Case count** — honors `ProptestConfig::with_cases` and the
+//!   `PROPTEST_CASES` environment variable; the default is 256 cases,
+//!   like upstream.
+
+pub mod arbitrary;
+pub mod collection;
+mod macros;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import used by tests: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    // Macros are exported at the crate root via #[macro_export]; re-export
+    // them here so `use proptest::prelude::*` brings them in scope like
+    // upstream does.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (5i64..=9).generate(&mut rng);
+            assert!((5..=9).contains(&w));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::from_name("vec");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u8..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let exact = crate::collection::vec(0u8..10, 7).generate(&mut rng);
+            assert_eq!(exact.len(), 7);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_options() {
+        let mut rng = TestRng::from_name("oneof");
+        let s = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(s.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn deterministic_given_same_name() {
+        let a: Vec<u64> = (0..50)
+            .map(|_| 0u64..1000)
+            .map(|s| s.generate(&mut TestRng::from_name("same")))
+            .collect();
+        let b: Vec<u64> = (0..50)
+            .map(|_| 0u64..1000)
+            .map(|s| s.generate(&mut TestRng::from_name("same")))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0u64..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            if flag {
+                prop_assert_eq!(x + 1, x + 1);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn mapped_tuple_strategies(v in crate::collection::vec((0u8..4, any::<bool>()), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (n, _) in v {
+                prop_assert!(n < 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Shadow-tier microbenchmark with a JSON trajectory record.
+//!
+//! Times the three `shadow_access_range` cases (cold page-aligned large
+//! range, repeated identical range, partial-overlap unfold) with tiering
+//! on and off, prints a table, and writes `BENCH_shadow.json` to the
+//! current directory (override with `CUSAN_BENCH_SHADOW_JSON`) so future
+//! PRs have a perf baseline to diff against.
+//!
+//! Targets from the tiered-shadow change: ≥ 5× on the repeated
+//! whole-buffer case and ≥ 2× on cold page-aligned ranges. The partial
+//! unfold case has no target — it is the price of lazy summaries and is
+//! recorded so regressions (or accidental wins) are visible.
+
+use cusan_bench::{banner, env_u64, fmt_bytes};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use tsan_rt::TsanRuntime;
+
+const COLD_LEN: u64 = 1 << 20;
+const REPEATS: u64 = 256;
+
+struct Case {
+    name: &'static str,
+    /// Bytes of shadow-annotated traffic one timed invocation covers.
+    bytes: u64,
+    tiered: Duration,
+    flat: Duration,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.flat.as_secs_f64() / self.tiered.as_secs_f64().max(1e-12)
+    }
+}
+
+fn time_case(runs: usize, tiered: bool, f: impl Fn(&mut TsanRuntime) -> Duration) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..runs {
+        let mut rt = TsanRuntime::with_shadow_tiering("bench", tiered);
+        best = best.min(f(&mut rt));
+    }
+    best
+}
+
+/// Cold: first-touch page-covering write of a 1 MiB buffer.
+fn cold(rt: &mut TsanRuntime) -> Duration {
+    let ctx = rt.intern_ctx("cold");
+    let t = Instant::now();
+    rt.write_range(0x10_0000, COLD_LEN, ctx);
+    t.elapsed()
+}
+
+/// Repeated: one cold write, then `REPEATS` identical re-annotations
+/// (the Jacobi/TeaLeaf iteration-loop shape). Reported per whole batch.
+fn repeated(rt: &mut TsanRuntime) -> Duration {
+    let ctx = rt.intern_ctx("repeat");
+    rt.write_range(0x10_0000, COLD_LEN, ctx);
+    let t = Instant::now();
+    for _ in 0..REPEATS {
+        rt.write_range(0x10_0000, COLD_LEN, ctx);
+    }
+    t.elapsed()
+}
+
+/// Unfold: summarize 64 pages, then split each with a partial write.
+fn unfold(rt: &mut TsanRuntime) -> Duration {
+    let ctx = rt.intern_ctx("unfold");
+    rt.write_range(0x10_0000, 64 * 4096, ctx);
+    let t = Instant::now();
+    for p in 0..64u64 {
+        rt.write_range(0x10_0040 + p * 4096, 128, ctx);
+    }
+    t.elapsed()
+}
+
+fn main() {
+    let runs = env_u64("CUSAN_BENCH_RUNS", 5) as usize;
+    banner(
+        "Shadow tiers — access_range fast-path microbenchmark",
+        &format!("best of {runs} runs per case | tiered vs flat walk"),
+    );
+
+    let cases = [
+        Case {
+            name: "cold_1MiB",
+            bytes: COLD_LEN,
+            tiered: time_case(runs, true, cold),
+            flat: time_case(runs, false, cold),
+        },
+        Case {
+            name: "repeated_1MiB_x256",
+            bytes: COLD_LEN * REPEATS,
+            tiered: time_case(runs, true, repeated),
+            flat: time_case(runs, false, repeated),
+        },
+        Case {
+            name: "partial_unfold_64pages",
+            bytes: 64 * 128,
+            tiered: time_case(runs, true, unfold),
+            flat: time_case(runs, false, unfold),
+        },
+    ];
+
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>9}",
+        "Case", "Bytes", "Tiered", "Flat", "Speedup"
+    );
+    println!("{:-<72}", "");
+    for c in &cases {
+        println!(
+            "{:<24} {:>12} {:>12.2?} {:>12.2?} {:>8.2}x",
+            c.name,
+            fmt_bytes(c.bytes),
+            c.tiered,
+            c.flat,
+            c.speedup()
+        );
+    }
+
+    // Hand-rolled JSON: the workspace is offline, so no serde.
+    let mut json = String::from("{\n  \"benchmark\": \"shadow_access_range\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"bytes\": {}, \"tiered_ns\": {}, \"flat_ns\": {}, \"speedup\": {:.2}}}{}",
+            c.name,
+            c.bytes,
+            c.tiered.as_nanos(),
+            c.flat.as_nanos(),
+            c.speedup(),
+            if i + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path =
+        std::env::var("CUSAN_BENCH_SHADOW_JSON").unwrap_or_else(|_| "BENCH_shadow.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+
+    let repeated_ok = cases[1].speedup() >= 5.0;
+    let cold_ok = cases[0].speedup() >= 2.0;
+    println!(
+        "targets: repeated >= 5x -> {} | cold >= 2x -> {}",
+        if repeated_ok { "met" } else { "MISSED" },
+        if cold_ok { "met" } else { "MISSED" },
+    );
+}

@@ -76,6 +76,20 @@ fn print_rows(jacobi: (&CudaCounters, &TsanStats), tealeaf: (&CudaCounters, &Tsa
         jt.avg_write_kb(),
         tt.avg_write_kb()
     );
+    // Shadow-tier counters (not in the paper's table; they make the
+    // whole-range fast paths observable — see DESIGN.md "Shadow tiers").
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "TSan  Shadow fast-path hits", jt.fastpath_hits, tt.fastpath_hits
+    );
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "TSan  Shadow page summaries", jt.page_summaries_stored, tt.page_summaries_stored
+    );
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "TSan  Shadow page unfolds", jt.page_unfolds, tt.page_unfolds
+    );
 }
 
 fn main() {

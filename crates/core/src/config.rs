@@ -33,6 +33,14 @@ pub struct ToolConfig {
     /// positives whole-allocation annotation can produce — for
     /// boundary-region kernels. Off by default to match the paper.
     pub bounded_tracking: bool,
+    /// Tiered shadow memory: page summaries for whole-page annotations
+    /// plus a same-state fast path for identical re-annotations. Purely a
+    /// performance tier — detection results are identical either way (see
+    /// `crates/tsan/tests/shadow_differential.rs`). On by default; the
+    /// `CUSAN_SHADOW_TIERED=0` environment knob (read in
+    /// [`crate::ToolCtx::new`]) forces the flat O(bytes) walk for A/B
+    /// measurements of the Fig. 12 slope.
+    pub shadow_tiered: bool,
 }
 
 impl ToolConfig {
@@ -44,6 +52,7 @@ impl ToolConfig {
         typeart: false,
         track_access_ranges: false,
         bounded_tracking: false,
+        shadow_tiered: true,
     };
 
     /// True if any TSan-backed layer is on.
@@ -88,6 +97,7 @@ impl Flavor {
                 typeart: false,
                 track_access_ranges: false,
                 bounded_tracking: false,
+                shadow_tiered: true,
             },
             Flavor::Must => ToolConfig {
                 tsan: true,
@@ -96,6 +106,7 @@ impl Flavor {
                 typeart: false,
                 track_access_ranges: false,
                 bounded_tracking: false,
+                shadow_tiered: true,
             },
             Flavor::Cusan => ToolConfig {
                 tsan: true,
@@ -104,6 +115,7 @@ impl Flavor {
                 typeart: true,
                 track_access_ranges: true,
                 bounded_tracking: false,
+                shadow_tiered: true,
             },
             Flavor::MustCusan => ToolConfig {
                 tsan: true,
@@ -112,6 +124,7 @@ impl Flavor {
                 typeart: true,
                 track_access_ranges: true,
                 bounded_tracking: false,
+                shadow_tiered: true,
             },
         }
     }
@@ -163,6 +176,17 @@ mod tests {
             assert!(f.config().tsan);
             assert!(f.config().any_tsan());
         }
+    }
+
+    #[test]
+    fn shadow_tiering_defaults_on_everywhere() {
+        // The tiers are pure perf; every flavor keeps them unless the env
+        // knob (handled in ToolCtx) turns them off.
+        for f in Flavor::ALL {
+            assert!(f.config().shadow_tiered, "{f}");
+        }
+        let vanilla = ToolConfig::VANILLA;
+        assert!(vanilla.shadow_tiered);
     }
 
     #[test]

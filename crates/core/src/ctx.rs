@@ -29,11 +29,22 @@ pub struct ToolCtx {
 }
 
 impl ToolCtx {
-    /// Create the context for one rank.
-    pub fn new(rank: usize, config: ToolConfig) -> Self {
+    /// Create the context for one rank. `CUSAN_SHADOW_TIERED=0` (or
+    /// `false`/`off`) in the environment overrides `config.shadow_tiered`
+    /// to force the flat shadow walk; `=1` forces tiering on. Any other
+    /// value (or unset) leaves the config untouched.
+    pub fn new(rank: usize, mut config: ToolConfig) -> Self {
+        match std::env::var("CUSAN_SHADOW_TIERED").as_deref() {
+            Ok("0") | Ok("false") | Ok("off") => config.shadow_tiered = false,
+            Ok("1") | Ok("true") | Ok("on") => config.shadow_tiered = true,
+            _ => {}
+        }
         ToolCtx {
             config,
-            tsan: RefCell::new(TsanRuntime::new(&format!("host (rank {rank})"))),
+            tsan: RefCell::new(TsanRuntime::with_shadow_tiering(
+                &format!("host (rank {rank})"),
+                config.shadow_tiered,
+            )),
             typeart: RefCell::new(TypeartRuntime::new()),
             rank,
             request_serial: Cell::new(0),
@@ -212,5 +223,24 @@ mod tests {
         let ctx = ToolCtx::new(0, Flavor::Cusan.config());
         ctx.annotate_host_write(Ptr(0x4000), 4096, "w");
         assert!(ctx.tool_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn shadow_tiered_env_knob_overrides_config() {
+        // Serialize with any other env-reading test via the var itself;
+        // tests in this crate run single-threaded per process anyway.
+        std::env::set_var("CUSAN_SHADOW_TIERED", "0");
+        let off = ToolCtx::new(0, Flavor::Cusan.config());
+        assert!(!off.config.shadow_tiered);
+        assert!(!off.tsan.borrow().shadow_tiering_enabled());
+        std::env::set_var("CUSAN_SHADOW_TIERED", "1");
+        let mut cfg = Flavor::Cusan.config();
+        cfg.shadow_tiered = false;
+        let on = ToolCtx::new(0, cfg);
+        assert!(on.config.shadow_tiered);
+        assert!(on.tsan.borrow().shadow_tiering_enabled());
+        std::env::remove_var("CUSAN_SHADOW_TIERED");
+        let default = ToolCtx::new(0, Flavor::Cusan.config());
+        assert!(default.config.shadow_tiered);
     }
 }

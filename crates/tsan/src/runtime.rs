@@ -35,12 +35,21 @@ pub struct TsanRuntime {
 }
 
 impl TsanRuntime {
-    /// New runtime; the calling context becomes the host fiber.
+    /// New runtime; the calling context becomes the host fiber. Shadow
+    /// tiering (page summaries + same-state fast path) is on by default;
+    /// see [`Self::with_shadow_tiering`].
     pub fn new(host_name: &str) -> Self {
+        Self::with_shadow_tiering(host_name, true)
+    }
+
+    /// New runtime with explicit control over shadow tiering — `false`
+    /// recovers the flat per-word walk for A/B measurements
+    /// (`CUSAN_SHADOW_TIERED=0`). Detection results are identical.
+    pub fn with_shadow_tiering(host_name: &str, tiered: bool) -> Self {
         let mut rt = TsanRuntime {
             fibers: FiberTable::new(host_name),
             current: FiberId::HOST,
-            shadow: ShadowMemory::new(),
+            shadow: ShadowMemory::with_tiering(tiered),
             sync_vars: FxHashMap::default(),
             ctxs: CtxTable::new(),
             reports: Vec::new(),
@@ -253,7 +262,16 @@ impl TsanRuntime {
         let mut s = self.stats;
         s.fibers_created = self.fibers.created;
         s.fibers_destroyed = self.fibers.destroyed;
+        let c = self.shadow.counters();
+        s.fastpath_hits = c.fastpath_hits;
+        s.page_summaries_stored = c.page_summaries_stored;
+        s.page_unfolds = c.page_unfolds;
         s
+    }
+
+    /// Whether the shadow's summary/fast-path tiers are active.
+    pub fn shadow_tiering_enabled(&self) -> bool {
+        self.shadow.tiering_enabled()
     }
 
     /// Approximate heap bytes owned by the detector: shadow pages, vector
@@ -503,11 +521,35 @@ mod tests {
 
     #[test]
     fn memory_accounting_nonzero_after_accesses() {
+        // Tiered: a whole-buffer write is stored as page summaries, so the
+        // shadow costs a few words per 4 KiB instead of 4x the tracked size.
         let mut t = rt();
+        let c = t.intern_ctx("x");
+        t.write_range(0, 1 << 16, c);
+        assert!(t.memory_bytes() > 0);
+        assert!(t.memory_bytes() < (1 << 16), "summaries stay compact");
+        assert!(t.shadow_pages() >= 16);
+        // Untiered: the flat shadow costs 4 slot words per application word.
+        let mut t = TsanRuntime::with_shadow_tiering("host", false);
         let c = t.intern_ctx("x");
         t.write_range(0, 1 << 16, c);
         assert!(t.memory_bytes() > (1 << 16));
         assert!(t.shadow_pages() >= 16);
+    }
+
+    #[test]
+    fn stats_surface_shadow_tier_counters() {
+        let mut t = rt();
+        let c = t.intern_ctx("x");
+        t.write_range(0, 4096, c);
+        t.write_range(0, 4096, c); // identical re-annotation: fast path
+        t.write_range(64, 128, c); // partial overlap: unfold
+        let s = t.stats();
+        assert_eq!(s.page_summaries_stored, 1);
+        assert_eq!(s.fastpath_hits, 1);
+        assert_eq!(s.page_unfolds, 1);
+        assert!(t.shadow_tiering_enabled());
+        assert!(!TsanRuntime::with_shadow_tiering("h", false).shadow_tiering_enabled());
     }
 
     #[test]

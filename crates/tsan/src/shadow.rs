@@ -1,4 +1,5 @@
-//! Shadow memory: packed access epochs, 4 slots per 8-byte word.
+//! Shadow memory: packed access epochs, 4 slots per 8-byte word, with a
+//! page-summary tier and a same-state fast path on top.
 //!
 //! Mirrors ThreadSanitizer's shadow layout: every 8 bytes of application
 //! memory map to a small fixed number of *shadow slots*, each recording one
@@ -16,6 +17,36 @@
 //! The 11-bit fiber field bounds live fibers to 2048 (see
 //! [`crate::fiber::MAX_FIBERS`]); the 20-bit ctx field bounds interned
 //! access contexts to ~1M.
+//!
+//! ## Tiers
+//!
+//! The instrumentation layers above (CuSan kernel arguments, MUST MPI
+//! buffers, memcpy spans) overwhelmingly annotate *whole buffers* with a
+//! single (fiber, epoch, ctx) — the effect behind the paper's Fig. 12,
+//! where checker cost grows linearly with tracked bytes. Two tiers
+//! collapse that cost for the dominant shapes while preserving the exact
+//! per-word detection semantics of the flat shadow:
+//!
+//! 1. **Page summaries.** A shadow page whose words all hold identical
+//!    slot contents is stored as one `[u64; 4]` *summary* instead of 512
+//!    word slot-arrays. An access covering every word of a page runs the
+//!    slot state machine **once** against the summary — O(1) per 4 KiB
+//!    instead of 512 word walks — and conflicts found there are re-emitted
+//!    per word so the [`RawConflict`] surface (word-aligned addresses) is
+//!    unchanged. A partial overlap, or a store that would evict (eviction
+//!    is word-local, so words would diverge), lazily *unfolds* the summary
+//!    into the flat word representation first.
+//! 2. **Same-state fast path.** The single most common pattern in
+//!    iteration loops (Jacobi, TeaLeaf) is re-annotating an identical
+//!    range with an identical packed epoch — same fiber, clock, ctx, and
+//!    direction. Recording it again is a no-op by construction (the store
+//!    is idempotent and any conflict it would report was already reported
+//!    by the previous call), so a one-entry last-access cache skips the
+//!    entire walk.
+//!
+//! Both tiers can be disabled ([`ShadowMemory::with_tiering`]) to recover
+//! the flat O(bytes) walk for A/B measurements; detection results are
+//! identical either way (see `tests/shadow_differential.rs`).
 
 use crate::clock::VectorClock;
 use crate::fiber::FiberId;
@@ -77,18 +108,6 @@ pub fn unpack(raw: u64) -> ShadowAccess {
     }
 }
 
-struct Page {
-    slots: Box<[u64; SLOTS_PER_PAGE]>,
-}
-
-impl Page {
-    fn new() -> Page {
-        Page {
-            slots: vec![0u64; SLOTS_PER_PAGE].try_into().expect("page size"),
-        }
-    }
-}
-
 /// A race discovered while recording an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RawConflict {
@@ -98,10 +117,129 @@ pub struct RawConflict {
     pub prev: ShadowAccess,
 }
 
+/// Event counters for the tiered shadow (surfaced through
+/// [`crate::TsanStats`] and Table I).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShadowCounters {
+    /// Whole accesses skipped by the same-state last-access cache.
+    pub fastpath_hits: u64,
+    /// Whole-page accesses recorded at the summary tier (one packed store
+    /// instead of a 512-word walk).
+    pub page_summaries_stored: u64,
+    /// Summaries expanded into flat word slots (partial overlap or a
+    /// store that needed word-local eviction).
+    pub page_unfolds: u64,
+}
+
+/// One shadow page: either a summary (all words identical) or flat slots.
+enum PageState {
+    /// Invariant: a flat page with these slots replicated into every word
+    /// behaves identically. Maintained by unfolding before any operation
+    /// that would make words diverge.
+    Summary([u64; SLOTS_PER_WORD]),
+    Unfolded(Box<[u64; SLOTS_PER_PAGE]>),
+}
+
+impl PageState {
+    fn unfolded(summary: [u64; SLOTS_PER_WORD]) -> Box<[u64; SLOTS_PER_PAGE]> {
+        let mut slots: Box<[u64; SLOTS_PER_PAGE]> =
+            vec![0u64; SLOTS_PER_PAGE].try_into().expect("page size");
+        for w in 0..WORDS_PER_PAGE {
+            slots[w * SLOTS_PER_WORD..(w + 1) * SLOTS_PER_WORD].copy_from_slice(&summary);
+        }
+        slots
+    }
+}
+
+/// What the slot state machine decided to do with the incoming access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StoreDecision {
+    /// Overwrite the slot at this index (same-fiber subsumption or an
+    /// empty slot).
+    At(usize),
+    /// Do not store: an own write already subsumes this read.
+    Skip,
+    /// All slots are occupied by other fibers — evict the word-local
+    /// victim.
+    Evict,
+}
+
+/// Scan one word's slots against an incoming access: emit each conflicting
+/// prior access and decide where (whether) to store. Pure with respect to
+/// the slots; the caller applies the decision.
+#[inline]
+fn scan_slots(
+    slots: &[u64],
+    fiber: FiberId,
+    write: bool,
+    fiber_clock: &VectorClock,
+    mut emit: impl FnMut(ShadowAccess),
+) -> StoreDecision {
+    let mut store_at: Option<usize> = None;
+    let mut skip_store = false;
+    let mut empty_at: Option<usize> = None;
+    for (i, &raw) in slots.iter().enumerate() {
+        if raw == 0 {
+            if empty_at.is_none() {
+                empty_at = Some(i);
+            }
+            continue;
+        }
+        let prev = unpack(raw);
+        if prev.fiber == fiber {
+            // Same fiber: ordered by program order; never a race.
+            if write || !prev.write {
+                // New access subsumes the old entry.
+                store_at = Some(i);
+            } else {
+                // Old write subsumes this read: keep the write, recording
+                // the read adds no conflict coverage.
+                skip_store = true;
+            }
+            continue;
+        }
+        // Different fiber: conflicting iff at least one write and the
+        // recorded epoch is not in our happens-before past.
+        if (write || prev.write) && fiber_clock.get(prev.fiber) < prev.clock {
+            emit(prev);
+        }
+    }
+    if skip_store {
+        StoreDecision::Skip
+    } else {
+        match (store_at, empty_at) {
+            (Some(i), _) => StoreDecision::At(i),
+            (None, Some(i)) => StoreDecision::At(i),
+            (None, None) => StoreDecision::Evict,
+        }
+    }
+}
+
+/// Word-local deterministic eviction victim. Depends only on the word
+/// index and the incoming fiber — unrelated words no longer share a
+/// global rotor, so eviction at one address cannot bias another, and
+/// identical schedules always evict identically. Mixing in the fiber
+/// spreads repeated evictions at one word across slots.
+#[inline]
+fn victim_slot(word: u64, fiber: FiberId) -> usize {
+    (word as usize ^ fiber.index()) % SLOTS_PER_WORD
+}
+
+/// Key of the same-state fast path: `raw` packs (write, fiber, clock,
+/// ctx), so two equal keys describe fully identical accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LastAccess {
+    addr: u64,
+    len: u64,
+    raw: u64,
+}
+
 /// The shadow memory of one [`crate::TsanRuntime`].
 pub struct ShadowMemory {
-    pages: FxHashMap<u64, Page>,
-    evict_rotor: u32,
+    pages: FxHashMap<u64, PageState>,
+    tiered: bool,
+    last: Option<LastAccess>,
+    counters: ShadowCounters,
 }
 
 impl Default for ShadowMemory {
@@ -111,19 +249,38 @@ impl Default for ShadowMemory {
 }
 
 impl ShadowMemory {
-    /// Fresh, empty shadow memory.
+    /// Fresh, empty shadow memory with tiering enabled.
     pub fn new() -> Self {
+        Self::with_tiering(true)
+    }
+
+    /// Fresh shadow with the page-summary/fast-path tiers on or off.
+    /// Untiered, every access walks one slot array per touched word — the
+    /// flat O(bytes) behavior measured in the paper's Fig. 12.
+    pub fn with_tiering(tiered: bool) -> Self {
         ShadowMemory {
             pages: FxHashMap::default(),
-            evict_rotor: 0,
+            tiered,
+            last: None,
+            counters: ShadowCounters::default(),
         }
+    }
+
+    /// Whether the summary/fast-path tiers are active.
+    pub fn tiering_enabled(&self) -> bool {
+        self.tiered
+    }
+
+    /// Tier event counters.
+    pub fn counters(&self) -> ShadowCounters {
+        self.counters
     }
 
     /// Record an access of `[addr, addr+len)` by `fiber` (whose clock
     /// component is `clock` and full vector clock is `fiber_clock`).
-    /// Invokes `on_conflict` for each word where a conflicting prior access
-    /// is found. Cost is linear in `len` — this is the effect behind the
-    /// paper's Fig. 12.
+    /// Invokes `on_conflict` for each word where a conflicting prior
+    /// access is found. Cost is O(pages) for page-covering ranges with
+    /// tiering on, O(len) otherwise.
     #[allow(clippy::too_many_arguments)]
     pub fn access_range(
         &mut self,
@@ -145,65 +302,145 @@ impl ShadowMemory {
             ctx,
             write,
         });
+        if self.tiered {
+            // Same-state fast path: the immediately preceding access was
+            // byte-for-byte identical (same range, fiber, epoch, ctx,
+            // direction). The store is idempotent — the previous call
+            // left our own entry (or skipped, leaving our own write) in
+            // every touched word — and no shadow or conflict state
+            // changed in between, so any conflict this walk would emit
+            // was already emitted then. Skip the whole walk.
+            let key = LastAccess {
+                addr,
+                len,
+                raw: new_raw,
+            };
+            if self.last == Some(key) {
+                self.counters.fastpath_hits += 1;
+                return;
+            }
+            self.last = Some(key);
+        }
         let first_word = addr / WORD_BYTES;
         let last_word = (addr + len - 1) / WORD_BYTES;
+        let words_per_page = WORDS_PER_PAGE as u64;
         let mut word = first_word;
         while word <= last_word {
-            let page_base = word * WORD_BYTES / PAGE_BYTES;
-            let page_last_word = (page_base + 1) * (PAGE_BYTES / WORD_BYTES) - 1;
+            let page_base = word / words_per_page;
+            let page_first_word = page_base * words_per_page;
+            let page_last_word = page_first_word + words_per_page - 1;
             let end_word = last_word.min(page_last_word);
-            let rotor = &mut self.evict_rotor;
-            let page = self.pages.entry(page_base).or_insert_with(Page::new);
-            let mut w = word;
-            while w <= end_word {
-                let slot_base = ((w % (PAGE_BYTES / WORD_BYTES)) as usize) * SLOTS_PER_WORD;
-                let slots = &mut page.slots[slot_base..slot_base + SLOTS_PER_WORD];
-                let mut store_at: Option<usize> = None;
-                let mut skip_store = false;
-                let mut empty_at: Option<usize> = None;
-                for (i, s) in slots.iter().enumerate() {
-                    let raw = *s;
-                    if raw == 0 {
-                        if empty_at.is_none() {
-                            empty_at = Some(i);
-                        }
-                        continue;
-                    }
-                    let prev = unpack(raw);
-                    if prev.fiber == fiber {
-                        // Same fiber: ordered by program order; never a race.
-                        if write || !prev.write {
-                            // New access subsumes the old entry.
-                            store_at = Some(i);
-                        } else {
-                            // Old write subsumes this read: keep the write,
-                            // recording the read adds no conflict coverage.
-                            skip_store = true;
-                        }
-                        continue;
-                    }
-                    // Different fiber: conflicting iff at least one write and
-                    // the recorded epoch is not in our happens-before past.
-                    if (write || prev.write) && fiber_clock.get(prev.fiber) < prev.clock {
-                        on_conflict(RawConflict {
-                            word_addr: w * WORD_BYTES,
-                            prev,
-                        });
+            // The chunk covers the whole page iff it starts at the page's
+            // first word and ends at its last (bytes may still be ragged
+            // at the edges — word coverage is what the flat walk stores).
+            let whole_page = self.tiered && word == page_first_word && end_word == page_last_word;
+            let counters = &mut self.counters;
+            match self.pages.entry(page_base) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    if whole_page {
+                        // First touch by a page-covering access: one
+                        // packed store for 4 KiB.
+                        let mut summary = [0u64; SLOTS_PER_WORD];
+                        summary[0] = new_raw;
+                        v.insert(PageState::Summary(summary));
+                        counters.page_summaries_stored += 1;
+                    } else {
+                        let page = v.insert(PageState::Unfolded(
+                            vec![0u64; SLOTS_PER_PAGE].try_into().expect("page size"),
+                        ));
+                        let PageState::Unfolded(slots) = page else {
+                            unreachable!()
+                        };
+                        walk_words(
+                            slots,
+                            word,
+                            end_word,
+                            new_raw,
+                            fiber,
+                            write,
+                            fiber_clock,
+                            &mut on_conflict,
+                        );
                     }
                 }
-                if !skip_store {
-                    let idx = match (store_at, empty_at) {
-                        (Some(i), _) => i,
-                        (None, Some(i)) => i,
-                        (None, None) => {
-                            let i = (*rotor as usize) % SLOTS_PER_WORD;
-                            *rotor = rotor.wrapping_add(1);
-                            i
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let state = o.get_mut();
+                    match state {
+                        PageState::Summary(summary) => {
+                            let mut need_unfold = true;
+                            if whole_page {
+                                // Run the slot state machine once against
+                                // the summary. Conflicts are buffered and
+                                // re-emitted per word below so reports
+                                // stay word-addressed, exactly like the
+                                // flat walk (each word held identical
+                                // slots, so each word conflicts
+                                // identically).
+                                let mut conflicts = [ShadowAccess {
+                                    fiber: FiberId::HOST,
+                                    clock: 0,
+                                    ctx: CtxId(0),
+                                    write: false,
+                                };
+                                    SLOTS_PER_WORD];
+                                let mut n_conflicts = 0usize;
+                                let decision =
+                                    scan_slots(&summary[..], fiber, write, fiber_clock, |prev| {
+                                        conflicts[n_conflicts] = prev;
+                                        n_conflicts += 1;
+                                    });
+                                // Eviction is word-local: applying it at
+                                // the summary tier would evict the same
+                                // slot in all 512 words while the flat
+                                // walk would diverge per word. Unfold and
+                                // take the slow path instead (rare: needs
+                                // 4 live foreign epochs).
+                                if decision != StoreDecision::Evict {
+                                    for w in page_first_word..=page_last_word {
+                                        for prev in conflicts.iter().take(n_conflicts) {
+                                            on_conflict(RawConflict {
+                                                word_addr: w * WORD_BYTES,
+                                                prev: *prev,
+                                            });
+                                        }
+                                    }
+                                    if let StoreDecision::At(i) = decision {
+                                        summary[i] = new_raw;
+                                    }
+                                    counters.page_summaries_stored += 1;
+                                    need_unfold = false;
+                                }
+                            }
+                            if need_unfold {
+                                let mut slots = PageState::unfolded(*summary);
+                                counters.page_unfolds += 1;
+                                walk_words(
+                                    &mut slots,
+                                    word,
+                                    end_word,
+                                    new_raw,
+                                    fiber,
+                                    write,
+                                    fiber_clock,
+                                    &mut on_conflict,
+                                );
+                                *state = PageState::Unfolded(slots);
+                            }
                         }
-                    };
-                    slots[idx] = new_raw;
+                        PageState::Unfolded(slots) => {
+                            walk_words(
+                                slots,
+                                word,
+                                end_word,
+                                new_raw,
+                                fiber,
+                                write,
+                                fiber_clock,
+                                &mut on_conflict,
+                            );
+                        }
+                    }
                 }
-                w += 1;
             }
             word = end_word + 1;
         }
@@ -212,26 +449,81 @@ impl ShadowMemory {
     /// All recorded accesses for the word containing `addr` (test/debug).
     pub fn word_accesses(&self, addr: u64) -> Vec<ShadowAccess> {
         let word = addr / WORD_BYTES;
-        let page_base = word * WORD_BYTES / PAGE_BYTES;
+        let page_base = word / WORDS_PER_PAGE as u64;
         let Some(page) = self.pages.get(&page_base) else {
             return Vec::new();
         };
-        let slot_base = ((word % (PAGE_BYTES / WORD_BYTES)) as usize) * SLOTS_PER_WORD;
-        page.slots[slot_base..slot_base + SLOTS_PER_WORD]
+        let slots: &[u64] = match page {
+            PageState::Summary(summary) => &summary[..],
+            PageState::Unfolded(slots) => {
+                let slot_base = (word % WORDS_PER_PAGE as u64) as usize * SLOTS_PER_WORD;
+                &slots[slot_base..slot_base + SLOTS_PER_WORD]
+            }
+        };
+        slots
             .iter()
             .filter(|&&s| s != 0)
             .map(|&s| unpack(s))
             .collect()
     }
 
-    /// Number of shadow pages allocated so far.
+    /// Number of shadow pages allocated so far (summaries included).
     pub fn page_count(&self) -> usize {
         self.pages.len()
     }
 
+    /// Number of pages currently held as summaries.
+    pub fn summary_page_count(&self) -> usize {
+        self.pages
+            .values()
+            .filter(|p| matches!(p, PageState::Summary(_)))
+            .count()
+    }
+
     /// Approximate heap bytes used by the shadow (drives Fig. 11).
+    /// Summary pages cost a fixed few words; unfolded pages cost the full
+    /// slot array.
     pub fn heap_bytes(&self) -> u64 {
-        (self.pages.len() * (SLOTS_PER_PAGE * 8 + 32)) as u64
+        self.pages
+            .values()
+            .map(|p| match p {
+                PageState::Summary(_) => (SLOTS_PER_WORD * 8 + 32) as u64,
+                PageState::Unfolded(_) => (SLOTS_PER_PAGE * 8 + 32) as u64,
+            })
+            .sum()
+    }
+}
+
+/// Flat walk over `[word, end_word]` within one page's slot array:
+/// per-word conflict scan + store.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn walk_words(
+    page_slots: &mut [u64; SLOTS_PER_PAGE],
+    word: u64,
+    end_word: u64,
+    new_raw: u64,
+    fiber: FiberId,
+    write: bool,
+    fiber_clock: &VectorClock,
+    on_conflict: &mut impl FnMut(RawConflict),
+) {
+    let mut w = word;
+    while w <= end_word {
+        let slot_base = (w % WORDS_PER_PAGE as u64) as usize * SLOTS_PER_WORD;
+        let slots = &mut page_slots[slot_base..slot_base + SLOTS_PER_WORD];
+        let decision = scan_slots(slots, fiber, write, fiber_clock, |prev| {
+            on_conflict(RawConflict {
+                word_addr: w * WORD_BYTES,
+                prev,
+            })
+        });
+        match decision {
+            StoreDecision::Skip => {}
+            StoreDecision::At(i) => slots[i] = new_raw,
+            StoreDecision::Evict => slots[victim_slot(w, fiber)] = new_raw,
+        }
+        w += 1;
     }
 }
 
@@ -522,6 +814,32 @@ mod tests {
     }
 
     #[test]
+    fn eviction_is_word_local_and_deterministic() {
+        // Two far-apart words see the same schedule; interleaving
+        // evictions at other words must not change either outcome.
+        let survivors = |interleave: bool| {
+            let mut sh = ShadowMemory::new();
+            let clk = VectorClock::new();
+            for f in 1..=5 {
+                sh.access_range(0x1000, 8, false, fid(f), 1, ctx(0), &clk, |_| {});
+                if interleave {
+                    // Unrelated word under eviction pressure — with a
+                    // shared rotor this advanced the victim for 0x1000.
+                    sh.access_range(0x8_0000, 8, false, fid(f + 20), 1, ctx(0), &clk, |_| {});
+                }
+            }
+            let mut s: Vec<usize> = sh
+                .word_accesses(0x1000)
+                .iter()
+                .map(|a| a.fiber.index())
+                .collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(survivors(false), survivors(true));
+    }
+
+    #[test]
     fn same_fiber_read_after_write_keeps_write_entry() {
         let mut sh = ShadowMemory::new();
         let clk = VectorClock::new();
@@ -568,8 +886,8 @@ mod tests {
     }
 
     #[test]
-    fn heap_accounting_grows_with_pages() {
-        let mut sh = ShadowMemory::new();
+    fn heap_accounting_grows_with_pages_untiered() {
+        let mut sh = ShadowMemory::with_tiering(false);
         let clk = VectorClock::new();
         let before = sh.heap_bytes();
         sh.access_range(
@@ -583,5 +901,180 @@ mod tests {
             no_conflict_expected,
         );
         assert!(sh.heap_bytes() >= before + 4 * (PAGE_BYTES * 4));
+    }
+
+    // ---- tier behavior -----------------------------------------------------
+
+    #[test]
+    fn whole_page_access_stores_a_summary() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        sh.access_range(
+            0,
+            4 * PAGE_BYTES,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        assert_eq!(sh.page_count(), 4);
+        assert_eq!(sh.summary_page_count(), 4);
+        assert_eq!(sh.counters().page_summaries_stored, 4);
+        // Summaries are 4 KiB of coverage for a few words of heap.
+        assert!(sh.heap_bytes() < 4 * PAGE_BYTES);
+        // Detection still sees the access on every word.
+        assert_eq!(sh.word_accesses(2 * PAGE_BYTES + 64).len(), 1);
+    }
+
+    #[test]
+    fn summary_conflicts_reported_per_word() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        sh.access_range(
+            0,
+            PAGE_BYTES,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        let mut words = Vec::new();
+        sh.access_range(0, PAGE_BYTES, false, fid(2), 1, ctx(1), &clk, |c| {
+            words.push(c.word_addr)
+        });
+        assert_eq!(words.len(), WORDS_PER_PAGE, "one conflict per word");
+        assert_eq!(words[0], 0);
+        assert_eq!(words[511], 511 * WORD_BYTES);
+        // The page stays summarized: both epochs fit the summary slots.
+        assert_eq!(sh.summary_page_count(), 1);
+    }
+
+    #[test]
+    fn partial_access_unfolds_summary() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        sh.access_range(
+            0,
+            PAGE_BYTES,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        assert_eq!(sh.summary_page_count(), 1);
+        let mut hits = 0;
+        sh.access_range(64, 128, true, fid(2), 1, ctx(1), &clk, |_| hits += 1);
+        assert_eq!(hits, 16, "conflicts on the 16 overlapped words");
+        assert_eq!(sh.summary_page_count(), 0, "summary unfolded");
+        assert_eq!(sh.counters().page_unfolds, 1);
+        // Words outside the partial overlap kept the summarized epoch.
+        assert_eq!(sh.word_accesses(PAGE_BYTES - 8).len(), 1);
+        assert_eq!(sh.word_accesses(64).len(), 2);
+    }
+
+    #[test]
+    fn fastpath_skips_identical_reannotation() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        for _ in 0..10 {
+            sh.access_range(
+                0,
+                PAGE_BYTES,
+                true,
+                fid(1),
+                1,
+                ctx(0),
+                &clk,
+                no_conflict_expected,
+            );
+        }
+        assert_eq!(sh.counters().fastpath_hits, 9);
+        assert_eq!(sh.counters().page_summaries_stored, 1);
+        // A different epoch misses the cache and is recorded.
+        sh.access_range(
+            0,
+            PAGE_BYTES,
+            true,
+            fid(1),
+            2,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        assert_eq!(sh.counters().fastpath_hits, 9);
+        assert_eq!(sh.word_accesses(0)[0].clock, 2);
+    }
+
+    #[test]
+    fn fastpath_does_not_mask_interleaved_writer() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        sh.access_range(0, PAGE_BYTES, false, fid(1), 1, ctx(0), &clk, |_| {});
+        // Another fiber writes: invalidates the cache by being different.
+        let mut hits = 0;
+        sh.access_range(0, PAGE_BYTES, true, fid(2), 1, ctx(1), &clk, |_| hits += 1);
+        assert_eq!(hits, WORDS_PER_PAGE);
+        // Fiber 1 re-issues its identical read — the previous access was
+        // fiber 2's write, so this must walk and conflict again.
+        hits = 0;
+        sh.access_range(0, PAGE_BYTES, false, fid(1), 1, ctx(0), &clk, |_| hits += 1);
+        assert_eq!(hits, WORDS_PER_PAGE);
+    }
+
+    #[test]
+    fn summary_eviction_pressure_unfolds_and_keeps_detecting() {
+        let mut sh = ShadowMemory::new();
+        let clk = VectorClock::new();
+        // Four distinct reader fibers fill the summary slots.
+        for f in 1..=4 {
+            sh.access_range(
+                0,
+                PAGE_BYTES,
+                false,
+                fid(f),
+                1,
+                ctx(f as u32),
+                &clk,
+                no_conflict_expected,
+            );
+        }
+        assert_eq!(sh.summary_page_count(), 1);
+        // A fifth reader forces eviction — which is word-local, so the
+        // summary must unfold rather than evict uniformly.
+        sh.access_range(
+            0,
+            PAGE_BYTES,
+            false,
+            fid(5),
+            1,
+            ctx(5),
+            &clk,
+            no_conflict_expected,
+        );
+        assert_eq!(sh.summary_page_count(), 0);
+        assert_eq!(sh.counters().page_unfolds, 1);
+        let mut hits = 0;
+        sh.access_range(0, PAGE_BYTES, true, fid(9), 1, ctx(9), &clk, |_| hits += 1);
+        assert!(hits >= 3 * WORDS_PER_PAGE as u64, "still detecting");
+    }
+
+    #[test]
+    fn untiered_matches_flat_behavior() {
+        let mut sh = ShadowMemory::with_tiering(false);
+        let clk = VectorClock::new();
+        for _ in 0..3 {
+            sh.access_range(0, PAGE_BYTES, true, fid(1), 1, ctx(0), &clk, |_| {});
+        }
+        assert_eq!(sh.counters(), ShadowCounters::default());
+        assert_eq!(sh.summary_page_count(), 0);
+        let mut hits = 0;
+        sh.access_range(0, PAGE_BYTES, false, fid(2), 1, ctx(1), &clk, |_| hits += 1);
+        assert_eq!(hits, WORDS_PER_PAGE);
     }
 }

@@ -33,6 +33,15 @@ pub struct TsanStats {
     /// Conflicts dropped because an identical (ctx, ctx) pair was already
     /// reported.
     pub races_deduped: u64,
+    /// Whole range annotations skipped by the shadow's same-state
+    /// last-access cache (identical range re-annotated in the same epoch).
+    pub fastpath_hits: u64,
+    /// Whole-page accesses recorded at the page-summary tier (one packed
+    /// store instead of a 512-word walk).
+    pub page_summaries_stored: u64,
+    /// Page summaries expanded into flat word slots by a partial overlap
+    /// or eviction pressure.
+    pub page_unfolds: u64,
 }
 
 impl TsanStats {
@@ -70,6 +79,9 @@ impl TsanStats {
             races_reported: self.races_reported + other.races_reported,
             races_suppressed: self.races_suppressed + other.races_suppressed,
             races_deduped: self.races_deduped + other.races_deduped,
+            fastpath_hits: self.fastpath_hits + other.fastpath_hits,
+            page_summaries_stored: self.page_summaries_stored + other.page_summaries_stored,
+            page_unfolds: self.page_unfolds + other.page_unfolds,
         }
     }
 }
