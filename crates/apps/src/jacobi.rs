@@ -25,7 +25,7 @@ use cuda_sim::{CopyKind, StreamFlags, StreamId};
 use cusan::ToolConfig;
 use kernel_ir::{LaunchArg, LaunchGrid};
 use mpi_sim::{MpiDatatype, ReduceOp, PROC_NULL};
-use must_rt::{run_checked_world, RankCtx, WorldOutcome};
+use must_rt::{run_checked_world, run_checked_world_traced, RankCtx, WorldOutcome};
 use sim_mem::Ptr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -83,13 +83,25 @@ pub struct JacobiRun {
 
 /// Run Jacobi under a tool configuration.
 pub fn run_jacobi(cfg: &JacobiConfig, tools: impl Into<ToolConfig>) -> JacobiRun {
+    run_jacobi_impl(cfg, tools.into(), false)
+}
+
+/// Like [`run_jacobi`], with a per-rank event trace recorded
+/// ([`must_rt::RankOutcome::trace`]).
+pub fn run_jacobi_traced(cfg: &JacobiConfig, tools: impl Into<ToolConfig>) -> JacobiRun {
+    run_jacobi_impl(cfg, tools.into(), true)
+}
+
+fn run_jacobi_impl(cfg: &JacobiConfig, tools: ToolConfig, traced: bool) -> JacobiRun {
     let cfg = *cfg;
     let k = AppKernels::shared();
-    let tools = tools.into();
     let start = Instant::now();
-    let outcome = run_checked_world(cfg.ranks, tools, Arc::clone(&k.registry), move |ctx| {
-        jacobi_rank(ctx, k, &cfg)
-    });
+    let body = move |ctx: &mut RankCtx| jacobi_rank(ctx, k, &cfg);
+    let outcome = if traced {
+        run_checked_world_traced(cfg.ranks, tools, Arc::clone(&k.registry), body)
+    } else {
+        run_checked_world(cfg.ranks, tools, Arc::clone(&k.registry), body)
+    };
     let elapsed = start.elapsed();
     let norms = outcome.results[0].clone();
     JacobiRun {

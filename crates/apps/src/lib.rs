@@ -29,10 +29,10 @@ pub mod kernels;
 pub mod tealeaf;
 pub mod testsuite;
 
-pub use jacobi::{run_jacobi, JacobiConfig, JacobiRun};
+pub use jacobi::{run_jacobi, run_jacobi_traced, JacobiConfig, JacobiRun};
 pub use jacobi2d::{run_jacobi2d, Jacobi2dConfig, Jacobi2dRun};
 pub use kernels::AppKernels;
-pub use tealeaf::{run_tealeaf, TeaLeafConfig, TeaLeafRun};
+pub use tealeaf::{run_tealeaf, run_tealeaf_traced, TeaLeafConfig, TeaLeafRun};
 
 /// Which synchronization bug (if any) to inject into a mini-app run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -1,0 +1,130 @@
+//! Record → serialize → parse → replay round-trips.
+//!
+//! The event pipeline's contract: a recorded trace, replayed through a
+//! fresh detector via the same checker sink the live run used, reproduces
+//! the live run's race reports, detector counters, and event counters
+//! exactly. These tests assert that contract over the full testsuite and
+//! both evaluation mini-apps, plus byte-level determinism of the recorder.
+
+use cusan::{replay, Flavor, Trace};
+use cusan_apps::testsuite::cases;
+use cusan_apps::{
+    kernels::AppKernels, run_jacobi_traced, run_tealeaf_traced, JacobiConfig, TeaLeafConfig,
+};
+use must_rt::{run_checked_world_traced, RankOutcome};
+use std::sync::Arc;
+
+/// Replay one rank's trace and assert it matches the live outcome.
+fn assert_faithful(what: &str, rank: &RankOutcome) {
+    let text = rank
+        .trace
+        .as_deref()
+        .expect("traced run must carry a trace");
+    let trace = Trace::parse(text)
+        .unwrap_or_else(|e| panic!("{what} rank {}: trace parse failed: {e}", rank.rank));
+    let outcome = replay(&trace);
+    assert_eq!(
+        outcome.reports, rank.races,
+        "{what} rank {}: replayed race reports diverge from live run",
+        rank.rank
+    );
+    assert_eq!(
+        outcome.stats, rank.tsan,
+        "{what} rank {}: replayed detector stats diverge from live run",
+        rank.rank
+    );
+    assert_eq!(
+        outcome.counters, rank.events,
+        "{what} rank {}: replayed event counters diverge from live run",
+        rank.rank
+    );
+}
+
+#[test]
+fn testsuite_cases_roundtrip_through_trace_replay() {
+    let k = AppKernels::shared();
+    for case in cases() {
+        let run = case.run;
+        let out = run_checked_world_traced(
+            2,
+            Flavor::MustCusan.config(),
+            Arc::clone(&k.registry),
+            move |ctx| run(ctx, k),
+        );
+        for rank in &out.ranks {
+            assert_faithful(case.name, rank);
+        }
+    }
+}
+
+#[test]
+fn jacobi_replay_reproduces_live_run() {
+    let cfg = JacobiConfig {
+        nx: 64,
+        ny: 32,
+        ranks: 2,
+        iters: 3,
+        ..JacobiConfig::default()
+    };
+    let run = run_jacobi_traced(&cfg, Flavor::MustCusan);
+    for rank in &run.outcome.ranks {
+        assert_faithful("jacobi", rank);
+        // The CounterBump mirror of the device's Table-I CUDA rows must
+        // agree with the device's own counters.
+        assert_eq!(rank.events.named("cuda.streams"), rank.cuda.streams);
+        assert_eq!(
+            rank.events.named("cuda.memset_calls"),
+            rank.cuda.memset_calls
+        );
+        assert_eq!(
+            rank.events.named("cuda.memcpy_calls"),
+            rank.cuda.memcpy_calls
+        );
+        assert_eq!(rank.events.named("cuda.sync_calls"), rank.cuda.sync_calls);
+        assert_eq!(
+            rank.events.named("cuda.kernel_calls"),
+            rank.cuda.kernel_calls
+        );
+    }
+}
+
+#[test]
+fn tealeaf_replay_reproduces_live_run() {
+    let cfg = TeaLeafConfig {
+        nx: 16,
+        ny: 16,
+        ranks: 2,
+        steps: 1,
+        ..TeaLeafConfig::default()
+    };
+    let run = run_tealeaf_traced(&cfg, Flavor::MustCusan);
+    for rank in &run.outcome.ranks {
+        assert_faithful("tealeaf", rank);
+        assert_eq!(
+            rank.events.named("cuda.kernel_calls"),
+            rank.cuda.kernel_calls
+        );
+        assert_eq!(rank.events.named("cuda.sync_calls"), rank.cuda.sync_calls);
+    }
+}
+
+#[test]
+fn jacobi_traces_are_byte_identical_across_runs() {
+    let cfg = JacobiConfig {
+        nx: 32,
+        ny: 16,
+        ranks: 2,
+        iters: 2,
+        ..JacobiConfig::default()
+    };
+    let a = run_jacobi_traced(&cfg, Flavor::MustCusan);
+    let b = run_jacobi_traced(&cfg, Flavor::MustCusan);
+    for (ra, rb) in a.outcome.ranks.iter().zip(&b.outcome.ranks) {
+        assert_eq!(ra.rank, rb.rank);
+        assert_eq!(
+            ra.trace, rb.trace,
+            "rank {}: identical configs must record byte-identical traces",
+            ra.rank
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Record / replay driver for the event-pipeline trace format.
+//!
+//! A recorded trace replays the exact event stream a rank emitted through
+//! a fresh detector, offline — no device, no MPI, no application. Because
+//! the checker sink is the single apply path for both the live run and
+//! the replay, the replay must reproduce the live race reports, detector
+//! counters, and Table-I event counters bit-for-bit; `check` verifies
+//! exactly that and exits non-zero on any divergence.
+//!
+//! Usage:
+//!
+//! ```text
+//! replay_trace record <dir>      record Jacobi + TeaLeaf (MUST & CuSan)
+//!                                and write one .trace file per rank
+//! replay_trace replay <file>...  replay traces, print reports + stats
+//! replay_trace check             record, replay, compare live vs replay
+//!                                (the CI gate), with timing
+//! ```
+
+use cusan::{replay, Flavor, Trace};
+use cusan_apps::{run_jacobi_traced, run_tealeaf_traced, JacobiConfig, TeaLeafConfig};
+use cusan_bench::banner;
+use must_rt::RankOutcome;
+use std::time::{Duration, Instant};
+
+fn small_jacobi() -> JacobiConfig {
+    JacobiConfig {
+        nx: 64,
+        ny: 32,
+        ranks: 2,
+        iters: 4,
+        ..JacobiConfig::default()
+    }
+}
+
+fn small_tealeaf() -> TeaLeafConfig {
+    TeaLeafConfig {
+        nx: 16,
+        ny: 16,
+        ranks: 2,
+        steps: 1,
+        ..TeaLeafConfig::default()
+    }
+}
+
+/// Record both mini-apps; returns (app name, live rank outcomes, live wall
+/// time) per app.
+fn record_apps() -> Vec<(&'static str, Vec<RankOutcome>, Duration)> {
+    let j = run_jacobi_traced(&small_jacobi(), Flavor::MustCusan);
+    let t = run_tealeaf_traced(&small_tealeaf(), Flavor::MustCusan);
+    vec![
+        ("jacobi", j.outcome.ranks, j.elapsed),
+        ("tealeaf", t.outcome.ranks, t.elapsed),
+    ]
+}
+
+/// Compare one rank's live outcome against its trace replay. Returns the
+/// list of mismatch descriptions (empty = faithful replay).
+fn verify_rank(app: &str, rank: &RankOutcome) -> Vec<String> {
+    let mut errs = Vec::new();
+    let text = rank.trace.as_deref().expect("traced run carries a trace");
+    let trace = match Trace::parse(text) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("{app} rank {}: trace parse error: {e}", rank.rank)],
+    };
+    let outcome = replay(&trace);
+    if outcome.reports != rank.races {
+        errs.push(format!(
+            "{app} rank {}: race reports diverge (live {} vs replay {})",
+            rank.rank,
+            rank.races.len(),
+            outcome.reports.len()
+        ));
+    }
+    if outcome.stats != rank.tsan {
+        errs.push(format!(
+            "{app} rank {}: detector stats diverge\n  live:   {:?}\n  replay: {:?}",
+            rank.rank, rank.tsan, outcome.stats
+        ));
+    }
+    if outcome.counters != rank.events {
+        errs.push(format!(
+            "{app} rank {}: event counters diverge\n  live:   {:?}\n  replay: {:?}",
+            rank.rank, rank.events, outcome.counters
+        ));
+    }
+    // The CounterBump mirror of the device's Table-I CUDA rows.
+    let cuda = [
+        ("cuda.streams", rank.cuda.streams),
+        ("cuda.memset_calls", rank.cuda.memset_calls),
+        ("cuda.memcpy_calls", rank.cuda.memcpy_calls),
+        ("cuda.sync_calls", rank.cuda.sync_calls),
+        ("cuda.kernel_calls", rank.cuda.kernel_calls),
+    ];
+    for (name, live) in cuda {
+        let replayed = outcome.counters.named(name);
+        if replayed != live {
+            errs.push(format!(
+                "{app} rank {}: {name} diverges (device {live} vs replay {replayed})",
+                rank.rank
+            ));
+        }
+    }
+    errs
+}
+
+fn cmd_record(dir: &str) -> i32 {
+    std::fs::create_dir_all(dir).expect("create output directory");
+    for (app, ranks, _) in record_apps() {
+        for r in &ranks {
+            let path = format!("{dir}/{app}_rank{}.trace", r.rank);
+            let text = r.trace.as_deref().unwrap();
+            std::fs::write(&path, text).expect("write trace");
+            println!(
+                "wrote {path} ({} bytes, {} races live)",
+                text.len(),
+                r.races.len()
+            );
+        }
+    }
+    0
+}
+
+fn cmd_replay(files: &[String]) -> i32 {
+    let mut status = 0;
+    for f in files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                status = 1;
+                continue;
+            }
+        };
+        match Trace::parse(&text) {
+            Ok(trace) => {
+                let start = Instant::now();
+                let outcome = replay(&trace);
+                let dt = start.elapsed();
+                println!(
+                    "{f}: rank {} — {} events, {} races, {} fiber switches, {:.2?}",
+                    trace.rank,
+                    trace.events.len(),
+                    outcome.reports.len(),
+                    outcome.stats.fiber_switches,
+                    dt
+                );
+                for rep in &outcome.reports {
+                    println!("{rep}");
+                }
+            }
+            Err(e) => {
+                eprintln!("{f}: parse error: {e}");
+                status = 1;
+            }
+        }
+    }
+    status
+}
+
+fn cmd_check() -> i32 {
+    banner(
+        "trace record/replay fidelity check",
+        "records Jacobi + TeaLeaf (MUST & CuSan), replays each rank's trace,\n\
+         and compares race reports, detector stats, and event counters",
+    );
+    let mut errs = Vec::new();
+    for (app, ranks, live) in record_apps() {
+        let mut replay_total = Duration::ZERO;
+        let mut events = 0usize;
+        for r in &ranks {
+            let start = Instant::now();
+            errs.extend(verify_rank(app, r));
+            replay_total += start.elapsed();
+            if let Some(t) = &r.trace {
+                events += Trace::parse(t).map(|t| t.events.len()).unwrap_or(0);
+            }
+        }
+        println!(
+            "{app:<8} live {live:>10.2?}  replay {replay_total:>10.2?}  ({events} events, {} ranks)",
+            ranks.len()
+        );
+    }
+    if errs.is_empty() {
+        println!("OK: replay reproduced every live report and counter exactly");
+        0
+    } else {
+        for e in &errs {
+            eprintln!("MISMATCH: {e}");
+        }
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("record") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or("traces");
+            cmd_record(dir)
+        }
+        Some("replay") if args.len() > 1 => cmd_replay(&args[1..]),
+        Some("check") | None => cmd_check(),
+        _ => {
+            eprintln!("usage: replay_trace [record <dir> | replay <file>... | check]");
+            2
+        }
+    };
+    std::process::exit(code);
+}

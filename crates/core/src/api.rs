@@ -1,15 +1,22 @@
 //! The checked CUDA API: CuSan's interception layer over the simulated
 //! runtime.
 //!
-//! Every method first executes the CuSan callback (annotating TSan with
-//! CUDA's concurrency semantics — the instrumentation the compiler pass
-//! inserts before each CUDA call, paper Fig. 9) and then forwards to the
-//! underlying [`CudaDevice`]. With `cusan` disabled in the [`ToolConfig`]
-//! the callbacks are no-ops and the layer is a thin passthrough, which is
-//! how the Vanilla/TSan/MUST flavors run.
+//! Every method first executes the CuSan callback — emitting typed
+//! [`CusanEvent`]s through the [`ToolCtx`] pipeline, which applies them to
+//! TSan (the instrumentation the compiler pass inserts before each CUDA
+//! call, paper Fig. 9) — and then forwards to the underlying
+//! [`CudaDevice`]. With `cusan` disabled in the [`ToolConfig`] no events
+//! are emitted and the layer is a thin passthrough, which is how the
+//! Vanilla/TSan/MUST flavors run.
+//!
+//! Table-I "CUDA" counter rows are mirrored as
+//! [`CusanEvent::CounterBump`] events at exactly the call sites where the
+//! simulated device increments its own counters, so a recorded trace
+//! reproduces the counter table offline.
 
 use crate::config::ToolConfig;
 use crate::ctx::ToolCtx;
+use crate::event::{counter_names, CusanEvent, StrId};
 use crate::keys::{event_key, stream_key};
 use cuda_sim::semantics;
 use cuda_sim::{
@@ -21,7 +28,7 @@ use sim_mem::{AddressSpace, AllocationInfo, DeviceId, MemKind, Pod, PointerAttr,
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
-use tsan_rt::{CtxId, FiberId};
+use tsan_rt::FiberId;
 use typeart_rt::TypeId;
 
 /// One annotated memory range of a device operation.
@@ -29,7 +36,16 @@ struct RangeAccess {
     ptr: Ptr,
     len: u64,
     write: bool,
-    ctx: CtxId,
+    ctx: StrId,
+}
+
+fn mem_kind_label(kind: MemKind) -> &'static str {
+    match kind {
+        MemKind::HostPageable => "host-pageable",
+        MemKind::HostPinned => "host-pinned",
+        MemKind::Managed => "managed",
+        MemKind::Device(_) => "device",
+    }
 }
 
 /// The CuSan-checked CUDA API for one rank's device. See module docs.
@@ -42,15 +58,19 @@ pub struct CusanCuda {
     /// stream's own fiber has not yet acquired.
     pending_release: HashSet<StreamId>,
     /// Cache of interned kernel-argument contexts: (kernel, arg, write).
-    kernel_ctx_cache: HashMap<(KernelId, u32, bool), CtxId>,
-    ctx_memcpy_src: CtxId,
-    ctx_memcpy_dst: CtxId,
-    ctx_memset: CtxId,
-    ctx_free: CtxId,
+    kernel_ctx_cache: HashMap<(KernelId, u32, bool), StrId>,
+    ctx_memcpy_src: StrId,
+    ctx_memcpy_dst: StrId,
+    ctx_memset: StrId,
+    ctx_free: StrId,
 }
 
 impl CusanCuda {
     /// Wrap a fresh device for `rank`'s tool context.
+    ///
+    /// Emits the default stream's `FiberCreate` — install any trace sink
+    /// on the [`ToolCtx`] *before* constructing the checked API or replay
+    /// will miss the event.
     pub fn new(
         device: DeviceId,
         space: Arc<AddressSpace>,
@@ -58,15 +78,12 @@ impl CusanCuda {
         tools: Rc<ToolCtx>,
     ) -> Self {
         let dev = CudaDevice::new(device, space, registry);
-        let (src, dst, ms, fr) = {
-            let mut t = tools.tsan.borrow_mut();
-            (
-                t.intern_ctx("cudaMemcpy source [read]"),
-                t.intern_ctx("cudaMemcpy destination [write]"),
-                t.intern_ctx("cudaMemset [write]"),
-                t.intern_ctx("cudaFree [write]"),
-            )
-        };
+        let (src, dst, ms, fr) = (
+            tools.intern_label("cudaMemcpy source [read]"),
+            tools.intern_label("cudaMemcpy destination [write]"),
+            tools.intern_label("cudaMemset [write]"),
+            tools.intern_label("cudaFree [write]"),
+        );
         let mut this = CusanCuda {
             dev,
             tools,
@@ -80,7 +97,9 @@ impl CusanCuda {
             ctx_free: fr,
         };
         if this.enabled() {
-            // The default stream is always tracked (paper §IV-A a).
+            // The default stream is always tracked (paper §IV-A a); the
+            // device constructor counts it in its `streams` counter.
+            this.bump(counter_names::CUDA_STREAMS, 1);
             this.fiber_for(StreamId::DEFAULT);
         }
         this
@@ -92,6 +111,14 @@ impl CusanCuda {
 
     fn config(&self) -> ToolConfig {
         self.tools.config
+    }
+
+    /// Mirror a device counter increment into the event stream.
+    fn bump(&self, counter: &str, delta: u64) {
+        if self.enabled() {
+            let counter = self.tools.intern_label(counter);
+            self.tools.emit(CusanEvent::CounterBump { counter, delta });
+        }
     }
 
     /// The underlying shared address space.
@@ -140,7 +167,7 @@ impl CusanCuda {
         } else {
             format!("cuda stream {}", s.0)
         };
-        let f = self.tools.tsan.borrow_mut().create_fiber(&name);
+        let f = self.tools.emit_fiber_create(&name);
         self.stream_fibers.insert(s, f);
         f
     }
@@ -153,6 +180,15 @@ impl CusanCuda {
             .collect()
     }
 
+    /// Every tracked stream, in stream-id order. The fiber map iterates in
+    /// hash order, which must never leak into the (deterministic) event
+    /// stream.
+    fn tracked_streams_sorted(&self) -> Vec<StreamId> {
+        let mut streams: Vec<StreamId> = self.stream_fibers.keys().copied().collect();
+        streams.sort_unstable_by_key(|s| s.0);
+        streams
+    }
+
     /// The CuSan callback for a device operation on stream `s`: switch to
     /// the stream's fiber, consume any pending cross-stream barrier
     /// release, annotate the accessed ranges, start the stream's
@@ -163,25 +199,31 @@ impl CusanCuda {
             return;
         }
         let fiber = self.fiber_for(s);
-        let host;
-        {
-            let mut t = self.tools.tsan.borrow_mut();
-            host = t.host_fiber();
-            t.switch_to_fiber_sync(fiber);
-            if self.pending_release.remove(&s) {
-                t.annotate_happens_after(stream_key(s));
-            }
-            if self.config().track_access_ranges {
-                for a in accesses {
-                    if a.write {
-                        t.write_range(a.ptr.addr(), a.len, a.ctx);
-                    } else {
-                        t.read_range(a.ptr.addr(), a.len, a.ctx);
-                    }
-                }
-            }
-            t.annotate_happens_before(stream_key(s));
+        self.tools
+            .emit(CusanEvent::FiberSwitch { fiber, sync: true });
+        if self.pending_release.remove(&s) {
+            self.tools
+                .emit(CusanEvent::HappensAfter { key: stream_key(s) });
         }
+        if self.config().track_access_ranges {
+            for a in accesses {
+                self.tools.emit(if a.write {
+                    CusanEvent::WriteRange {
+                        addr: a.ptr.addr(),
+                        len: a.len,
+                        ctx: a.ctx,
+                    }
+                } else {
+                    CusanEvent::ReadRange {
+                        addr: a.ptr.addr(),
+                        len: a.len,
+                        ctx: a.ctx,
+                    }
+                });
+            }
+        }
+        self.tools
+            .emit(CusanEvent::HappensBefore { key: stream_key(s) });
         // Legacy default-stream logical barriers (Fig. 3). Per-thread
         // default-stream mode (§VI-B) has no implicit barriers.
         let is_legacy_blocking =
@@ -192,15 +234,16 @@ impl CusanCuda {
             } else {
                 vec![StreamId::DEFAULT]
             };
-            {
-                let mut t = self.tools.tsan.borrow_mut();
-                for &u in &targets {
-                    t.annotate_happens_before(stream_key(u));
-                }
+            for &u in &targets {
+                self.tools
+                    .emit(CusanEvent::HappensBefore { key: stream_key(u) });
             }
             self.pending_release.extend(targets);
         }
-        self.tools.tsan.borrow_mut().switch_to_fiber(host);
+        self.tools.emit(CusanEvent::FiberSwitch {
+            fiber: FiberId::HOST,
+            sync: false,
+        });
     }
 
     /// Host-side happens-after on a stream's arc (explicit or implicit
@@ -210,20 +253,24 @@ impl CusanCuda {
             return;
         }
         self.tools
-            .tsan
-            .borrow_mut()
-            .annotate_happens_after(stream_key(s));
+            .emit(CusanEvent::HappensAfter { key: stream_key(s) });
     }
 
     // ---- memory management ----------------------------------------------------
 
-    fn on_alloc(&self, ptr: Ptr, type_id: TypeId, count: u64, kind: MemKind) {
+    fn on_alloc(&self, ptr: Ptr, type_id: TypeId, count: u64, bytes: u64, kind: MemKind) {
         if self.config().typeart {
             self.tools
                 .typeart
                 .borrow_mut()
                 .on_alloc(ptr, type_id, count, kind)
                 .expect("allocator produced overlapping allocation");
+            let kind = self.tools.intern_label(mem_kind_label(kind));
+            self.tools.emit(CusanEvent::Alloc {
+                addr: ptr.addr(),
+                bytes,
+                kind,
+            });
         }
     }
 
@@ -239,31 +286,35 @@ impl CusanCuda {
     pub fn malloc<T: Pod>(&mut self, n: u64) -> Result<Ptr, CudaError> {
         let p = self.dev.malloc_array::<T>(n)?;
         let tid = self.type_id_of::<T>();
-        self.on_alloc(p, tid, n, MemKind::Device(self.dev.id()));
+        let bytes = n * T::SIZE as u64;
+        self.on_alloc(p, tid, n, bytes, MemKind::Device(self.dev.id()));
         Ok(p)
     }
 
     /// `cudaMallocManaged` for `n` elements of `T`.
     pub fn malloc_managed<T: Pod>(&mut self, n: u64) -> Result<Ptr, CudaError> {
-        let p = self.dev.malloc_managed(n * T::SIZE as u64)?;
+        let bytes = n * T::SIZE as u64;
+        let p = self.dev.malloc_managed(bytes)?;
         let tid = self.type_id_of::<T>();
-        self.on_alloc(p, tid, n, MemKind::Managed);
+        self.on_alloc(p, tid, n, bytes, MemKind::Managed);
         Ok(p)
     }
 
     /// `cudaHostAlloc` (pinned) for `n` elements of `T`.
     pub fn host_alloc<T: Pod>(&mut self, n: u64) -> Result<Ptr, CudaError> {
-        let p = self.dev.host_alloc(n * T::SIZE as u64)?;
+        let bytes = n * T::SIZE as u64;
+        let p = self.dev.host_alloc(bytes)?;
         let tid = self.type_id_of::<T>();
-        self.on_alloc(p, tid, n, MemKind::HostPinned);
+        self.on_alloc(p, tid, n, bytes, MemKind::HostPinned);
         Ok(p)
     }
 
     /// Pageable host `malloc` for `n` elements of `T`.
     pub fn host_malloc<T: Pod>(&mut self, n: u64) -> Result<Ptr, CudaError> {
-        let p = self.dev.host_malloc(n * T::SIZE as u64)?;
+        let bytes = n * T::SIZE as u64;
+        let p = self.dev.host_malloc(bytes)?;
         let tid = self.type_id_of::<T>();
-        self.on_alloc(p, tid, n, MemKind::HostPageable);
+        self.on_alloc(p, tid, n, bytes, MemKind::HostPageable);
         Ok(p)
     }
 
@@ -274,8 +325,7 @@ impl CusanCuda {
         // cudaFree synchronizes with the host across all streams
         // (paper §III-B2) — terminate every stream arc first.
         if self.enabled() {
-            let streams: Vec<StreamId> = self.stream_fibers.keys().copied().collect();
-            for s in streams {
+            for s in self.tracked_streams_sorted() {
                 self.host_sync_stream(s);
             }
         }
@@ -283,11 +333,18 @@ impl CusanCuda {
         // The free-as-write annotation is a CuSan callback: plain TSan has
         // no visibility into CUDA allocations (paper §II-B a).
         if self.enabled() {
-            let mut t = self.tools.tsan.borrow_mut();
-            t.write_range(info.base.addr(), info.len, self.ctx_free);
+            self.tools.emit(CusanEvent::WriteRange {
+                addr: info.base.addr(),
+                len: info.len,
+                ctx: self.ctx_free,
+            });
         }
         if self.config().typeart {
             let _ = self.tools.typeart.borrow_mut().on_free(info.base);
+            self.tools.emit(CusanEvent::Free {
+                addr: info.base.addr(),
+                bytes: info.len,
+            });
         }
         Ok(info)
     }
@@ -307,6 +364,7 @@ impl CusanCuda {
             self.nonblocking.insert(s);
         }
         if self.enabled() {
+            self.bump(counter_names::CUDA_STREAMS, 1);
             self.fiber_for(s);
         }
         s
@@ -336,6 +394,8 @@ impl CusanCuda {
             let accesses = self.kernel_accesses(kernel, grid, &args);
             self.stream_op(stream, &accesses);
         }
+        // The device counts the call even when launch validation fails.
+        self.bump(counter_names::CUDA_KERNEL, 1);
         self.dev.launch(kernel, grid, stream, args)
     }
 
@@ -388,7 +448,7 @@ impl CusanCuda {
         out
     }
 
-    fn kernel_arg_ctx(&mut self, kernel: KernelId, arg: u32, write: bool) -> CtxId {
+    fn kernel_arg_ctx(&mut self, kernel: KernelId, arg: u32, write: bool) -> StrId {
         if let Some(&c) = self.kernel_ctx_cache.get(&(kernel, arg, write)) {
             return c;
         }
@@ -399,7 +459,7 @@ impl CusanCuda {
             def.params[arg as usize].name,
             if write { "write" } else { "read" }
         );
-        let c = self.tools.tsan.borrow_mut().intern_ctx(&label);
+        let c = self.tools.intern_label(&label);
         self.kernel_ctx_cache.insert((kernel, arg, write), c);
         c
     }
@@ -469,6 +529,7 @@ impl CusanCuda {
                 },
             );
         }
+        self.bump(counter_names::CUDA_MEMCPY, 1);
         if is_async {
             self.dev.memcpy_async(dst, src, len, kind, stream)?;
         } else {
@@ -563,6 +624,11 @@ impl CusanCuda {
                 self.stream_op(stream, &[]);
             }
         }
+        // The device rejects a width exceeding either pitch before counting
+        // the call — mirror that ordering.
+        if width <= dpitch && width <= spitch {
+            self.bump(counter_names::CUDA_MEMCPY, 1);
+        }
         if is_async {
             self.dev
                 .memcpy_2d_async(dst, dpitch, src, spitch, width, height, kind, stream)?;
@@ -620,6 +686,7 @@ impl CusanCuda {
                 },
             );
         }
+        self.bump(counter_names::CUDA_MEMSET, 1);
         if is_async {
             self.dev.memset_async(ptr, value, len, stream)?;
         } else {
@@ -636,10 +703,11 @@ impl CusanCuda {
     /// `cudaDeviceSynchronize`: terminates the arc of every tracked stream
     /// (paper §IV-A c).
     pub fn device_synchronize(&mut self) -> Result<(), CudaError> {
-        self.dev.device_synchronize()?;
+        let r = self.dev.device_synchronize();
+        self.bump(counter_names::CUDA_SYNC, 1);
+        r?;
         if self.enabled() {
-            let streams: Vec<StreamId> = self.stream_fibers.keys().copied().collect();
-            for s in streams {
+            for s in self.tracked_streams_sorted() {
                 self.host_sync_stream(s);
             }
         }
@@ -650,7 +718,9 @@ impl CusanCuda {
     /// the legacy default stream also terminates every blocking user
     /// stream's arc (paper §IV-A e).
     pub fn stream_synchronize(&mut self, s: StreamId) -> Result<(), CudaError> {
-        self.dev.stream_synchronize(s)?;
+        let r = self.dev.stream_synchronize(s);
+        self.bump(counter_names::CUDA_SYNC, 1);
+        r?;
         self.host_sync_stream(s);
         if self.enabled() && s.is_default() && self.legacy_default() {
             for u in self.blocking_user_streams() {
@@ -663,14 +733,16 @@ impl CusanCuda {
     /// `cudaStreamQuery`, treated as a blocking busy-wait synchronization
     /// (paper §III-B1).
     pub fn stream_query(&mut self, s: StreamId) -> Result<bool, CudaError> {
-        let r = self.dev.stream_query(s)?;
+        let r = self.dev.stream_query(s);
+        self.bump(counter_names::CUDA_SYNC, 1);
+        let done = r?;
         self.host_sync_stream(s);
         if self.enabled() && s.is_default() && self.legacy_default() {
             for u in self.blocking_user_streams() {
                 self.host_sync_stream(u);
             }
         }
-        Ok(r)
+        Ok(done)
     }
 
     // ---- events -------------------------------------------------------------------------
@@ -687,23 +759,26 @@ impl CusanCuda {
         if self.enabled() {
             self.stream_op(stream, &[]);
             let fiber = self.fiber_for(stream);
-            let mut t = self.tools.tsan.borrow_mut();
-            let host = t.host_fiber();
-            t.switch_to_fiber_sync(fiber);
-            t.annotate_happens_before(event_key(e));
-            t.switch_to_fiber(host);
+            self.tools
+                .emit(CusanEvent::FiberSwitch { fiber, sync: true });
+            self.tools
+                .emit(CusanEvent::HappensBefore { key: event_key(e) });
+            self.tools.emit(CusanEvent::FiberSwitch {
+                fiber: FiberId::HOST,
+                sync: false,
+            });
         }
         self.dev.event_record(e, stream)
     }
 
     /// `cudaEventSynchronize`: host waits for the marker.
     pub fn event_synchronize(&mut self, e: EventId) -> Result<(), CudaError> {
-        self.dev.event_synchronize(e)?;
+        let r = self.dev.event_synchronize(e);
+        self.bump(counter_names::CUDA_SYNC, 1);
+        r?;
         if self.enabled() {
             self.tools
-                .tsan
-                .borrow_mut()
-                .annotate_happens_after(event_key(e));
+                .emit(CusanEvent::HappensAfter { key: event_key(e) });
         }
         Ok(())
     }
@@ -713,9 +788,7 @@ impl CusanCuda {
         let done = self.dev.event_query(e)?;
         if done && self.enabled() {
             self.tools
-                .tsan
-                .borrow_mut()
-                .annotate_happens_after(event_key(e));
+                .emit(CusanEvent::HappensAfter { key: event_key(e) });
         }
         Ok(done)
     }
@@ -728,14 +801,19 @@ impl CusanCuda {
     /// `cudaStreamWaitEvent`: the *stream* (not the host) acquires the
     /// event's arc.
     pub fn stream_wait_event(&mut self, stream: StreamId, e: EventId) -> Result<(), CudaError> {
-        self.dev.stream_wait_event(stream, e)?;
+        let r = self.dev.stream_wait_event(stream, e);
+        self.bump(counter_names::CUDA_SYNC, 1);
+        r?;
         if self.enabled() {
             let fiber = self.fiber_for(stream);
-            let mut t = self.tools.tsan.borrow_mut();
-            let host = t.host_fiber();
-            t.switch_to_fiber_sync(fiber);
-            t.annotate_happens_after(event_key(e));
-            t.switch_to_fiber(host);
+            self.tools
+                .emit(CusanEvent::FiberSwitch { fiber, sync: true });
+            self.tools
+                .emit(CusanEvent::HappensAfter { key: event_key(e) });
+            self.tools.emit(CusanEvent::FiberSwitch {
+                fiber: FiberId::HOST,
+                sync: false,
+            });
         }
         Ok(())
     }

@@ -1,20 +1,47 @@
-//! Per-rank tool context: configuration + detector + type runtime.
+//! Per-rank tool context: configuration + detector + type runtime + the
+//! event pipeline.
 //!
 //! One [`ToolCtx`] exists per simulated MPI rank (matching the paper's
 //! one-TSan-per-process model) and is shared by the checked CUDA API
 //! ([`crate::CusanCuda`]) and the MUST layer via `Rc`.
 //!
+//! All instrumentation flows through [`ToolCtx::emit`] as typed
+//! [`CusanEvent`]s (see [`crate::event`]): the checker sink applies each
+//! event to the detector first, then the counter sink and any installed
+//! sinks (e.g. the trace recorder) observe it, in that order.
+//!
 //! It also carries the **host-access instrumentation**: the real TSan
 //! compiler pass instruments every host load/store of user code; in
 //! `cusan-rs` applications perform host accesses to simulated memory
-//! through the `host_*` helpers here, which annotate the detector exactly
-//! when the `tsan` flag is active.
+//! through the `host_*` helpers here, which emit read/write range events
+//! exactly when the `tsan` flag is active.
 
 use crate::config::ToolConfig;
+use crate::event::{CheckerSink, CtxInterner, CusanEvent, EventCounters, EventSink, StrId};
+use crate::trace::TraceSink;
 use sim_mem::{AddressSpace, MemError, Pod, Ptr};
-use std::cell::{Cell, RefCell};
-use tsan_rt::{CtxId, RaceReport, TsanRuntime, TsanStats};
+use std::cell::{Cell, Ref, RefCell};
+use std::rc::Rc;
+use std::sync::OnceLock;
+use tsan_rt::{FiberId, RaceReport, TsanRuntime, TsanStats};
 use typeart_rt::TypeartRuntime;
+
+/// Process-wide `CUSAN_SHADOW_TIERED` override, read **once** at first
+/// use: `0`/`false`/`off` forces the flat shadow walk, `1`/`true`/`on`
+/// forces tiering, anything else (or unset) defers to the config. The
+/// `OnceLock` guarantees every rank of a run — and every run in the
+/// process — sees the same shadow configuration even if the environment
+/// is mutated mid-run (e.g. by tests).
+static SHADOW_TIERED_ENV: OnceLock<Option<bool>> = OnceLock::new();
+
+/// The frozen environment override (see `SHADOW_TIERED_ENV`).
+pub fn shadow_tiered_env() -> Option<bool> {
+    *SHADOW_TIERED_ENV.get_or_init(|| match std::env::var("CUSAN_SHADOW_TIERED").as_deref() {
+        Ok("0") | Ok("false") | Ok("off") => Some(false),
+        Ok("1") | Ok("true") | Ok("on") => Some(true),
+        _ => None,
+    })
+}
 
 /// Shared per-rank tool state. Not `Send`: each rank thread owns its own.
 pub struct ToolCtx {
@@ -24,20 +51,21 @@ pub struct ToolCtx {
     pub tsan: RefCell<TsanRuntime>,
     /// Allocation-type tracking.
     pub typeart: RefCell<TypeartRuntime>,
+    strings: RefCell<CtxInterner>,
+    checker: RefCell<CheckerSink>,
+    sinks: RefCell<Vec<Box<dyn EventSink>>>,
+    counters: RefCell<EventCounters>,
     rank: usize,
     request_serial: Cell<u64>,
 }
 
 impl ToolCtx {
-    /// Create the context for one rank. `CUSAN_SHADOW_TIERED=0` (or
-    /// `false`/`off`) in the environment overrides `config.shadow_tiered`
-    /// to force the flat shadow walk; `=1` forces tiering on. Any other
-    /// value (or unset) leaves the config untouched.
+    /// Create the context for one rank. The process-wide frozen
+    /// [`shadow_tiered_env`] override, if set, replaces
+    /// `config.shadow_tiered`.
     pub fn new(rank: usize, mut config: ToolConfig) -> Self {
-        match std::env::var("CUSAN_SHADOW_TIERED").as_deref() {
-            Ok("0") | Ok("false") | Ok("off") => config.shadow_tiered = false,
-            Ok("1") | Ok("true") | Ok("on") => config.shadow_tiered = true,
-            _ => {}
+        if let Some(tiered) = shadow_tiered_env() {
+            config.shadow_tiered = tiered;
         }
         ToolCtx {
             config,
@@ -46,6 +74,10 @@ impl ToolCtx {
                 config.shadow_tiered,
             )),
             typeart: RefCell::new(TypeartRuntime::new()),
+            strings: RefCell::new(CtxInterner::new()),
+            checker: RefCell::new(CheckerSink::new()),
+            sinks: RefCell::new(Vec::new()),
+            counters: RefCell::new(EventCounters::default()),
             rank,
             request_serial: Cell::new(0),
         }
@@ -63,23 +95,84 @@ impl ToolCtx {
         s
     }
 
+    // ---- the event pipeline -------------------------------------------------
+
+    /// Intern a label (context, fiber name, counter name) in the rank's
+    /// shared string table.
+    pub fn intern_label(&self, label: &str) -> StrId {
+        self.strings.borrow_mut().intern(label)
+    }
+
+    /// The rank's string table (for sinks and diagnostics).
+    pub fn strings(&self) -> Ref<'_, CtxInterner> {
+        self.strings.borrow()
+    }
+
+    /// Push one event through the pipeline: checker first (detection),
+    /// then counters, then installed sinks in install order.
+    pub fn emit(&self, ev: CusanEvent) {
+        let strings = self.strings.borrow();
+        self.checker
+            .borrow_mut()
+            .apply(&ev, &strings, &mut self.tsan.borrow_mut());
+        self.counters.borrow_mut().observe(&ev, &strings);
+        for sink in self.sinks.borrow_mut().iter_mut() {
+            sink.on_event(&ev, &strings);
+        }
+    }
+
+    /// Emit a [`CusanEvent::FiberCreate`] for a fresh fiber and return its
+    /// id (predicted via the detector's sink-facing
+    /// [`TsanRuntime::peek_next_fiber`], then asserted by the checker).
+    pub fn emit_fiber_create(&self, name: &str) -> FiberId {
+        let fiber = self.tsan.borrow().peek_next_fiber();
+        let name = self.intern_label(name);
+        self.emit(CusanEvent::FiberCreate { fiber, name });
+        fiber
+    }
+
+    /// Install an observer sink behind the checker and counter stages.
+    pub fn install_sink(&self, sink: Box<dyn EventSink>) {
+        self.sinks.borrow_mut().push(sink);
+    }
+
+    /// Install a [`TraceSink`] recording this rank's event stream;
+    /// returns the shared buffer holding the serialized trace.
+    pub fn install_trace_sink(&self) -> Rc<RefCell<String>> {
+        let (sink, buf) = TraceSink::new(self.rank, self.config.shadow_tiered);
+        self.install_sink(Box::new(sink));
+        buf
+    }
+
+    /// Snapshot of the pipeline's own counters (Table-I view derived
+    /// purely from the event stream).
+    pub fn event_counters(&self) -> EventCounters {
+        self.counters.borrow().clone()
+    }
+
     // ---- host-access instrumentation ---------------------------------------
 
     /// Annotate a host-side read (no data movement).
     pub fn annotate_host_read(&self, ptr: Ptr, bytes: u64, label: &str) {
         if self.config.tsan {
-            let mut t = self.tsan.borrow_mut();
-            let ctx = t.intern_ctx(label);
-            t.read_range(ptr.addr(), bytes, ctx);
+            let ctx = self.intern_label(label);
+            self.emit(CusanEvent::ReadRange {
+                addr: ptr.addr(),
+                len: bytes,
+                ctx,
+            });
         }
     }
 
     /// Annotate a host-side write (no data movement).
     pub fn annotate_host_write(&self, ptr: Ptr, bytes: u64, label: &str) {
         if self.config.tsan {
-            let mut t = self.tsan.borrow_mut();
-            let ctx = t.intern_ctx(label);
-            t.write_range(ptr.addr(), bytes, ctx);
+            let ctx = self.intern_label(label);
+            self.emit(CusanEvent::WriteRange {
+                addr: ptr.addr(),
+                len: bytes,
+                ctx,
+            });
         }
     }
 
@@ -128,11 +221,6 @@ impl ToolCtx {
     ) -> Result<(), MemError> {
         self.annotate_host_write(ptr, T::SIZE as u64, label);
         space.write_at::<T>(ptr, value)
-    }
-
-    /// Intern an access-context label on the detector.
-    pub fn intern_ctx(&self, label: &str) -> CtxId {
-        self.tsan.borrow_mut().intern_ctx(label)
     }
 
     /// Install suppressions from a TSan-style suppression file
@@ -187,6 +275,7 @@ mod tests {
         let off = ToolCtx::new(0, Flavor::Vanilla.config());
         off.host_write_at::<f64>(&space, p, 1.0, "w").unwrap();
         assert_eq!(off.tsan_stats().write_range_calls, 0);
+        assert_eq!(off.event_counters().write_range_calls, 0);
 
         let on = ToolCtx::new(0, Flavor::Tsan.config());
         on.host_write_at::<f64>(&space, p, 2.0, "w").unwrap();
@@ -196,6 +285,11 @@ mod tests {
         assert_eq!(s.write_range_calls, 1);
         assert_eq!(s.read_range_calls, 1);
         assert_eq!(s.write_bytes, 8);
+        // The counter sink sees the same stream the checker applied.
+        let c = on.event_counters();
+        assert_eq!(c.write_range_calls, 1);
+        assert_eq!(c.read_range_calls, 1);
+        assert_eq!(c.write_bytes, 8);
     }
 
     #[test]
@@ -226,21 +320,50 @@ mod tests {
     }
 
     #[test]
-    fn shadow_tiered_env_knob_overrides_config() {
-        // Serialize with any other env-reading test via the var itself;
-        // tests in this crate run single-threaded per process anyway.
-        std::env::set_var("CUSAN_SHADOW_TIERED", "0");
-        let off = ToolCtx::new(0, Flavor::Cusan.config());
-        assert!(!off.config.shadow_tiered);
-        assert!(!off.tsan.borrow().shadow_tiering_enabled());
-        std::env::set_var("CUSAN_SHADOW_TIERED", "1");
-        let mut cfg = Flavor::Cusan.config();
-        cfg.shadow_tiered = false;
-        let on = ToolCtx::new(0, cfg);
-        assert!(on.config.shadow_tiered);
-        assert!(on.tsan.borrow().shadow_tiering_enabled());
+    fn emitted_fiber_events_drive_the_detector() {
+        let ctx = ToolCtx::new(0, Flavor::Cusan.config());
+        let f = ctx.emit_fiber_create("cuda stream 1");
+        ctx.emit(CusanEvent::FiberSwitch {
+            fiber: f,
+            sync: true,
+        });
+        ctx.emit(CusanEvent::FiberSwitch {
+            fiber: FiberId::HOST,
+            sync: false,
+        });
+        assert_eq!(ctx.tsan.borrow().fiber_name(f), "cuda stream 1");
+        assert_eq!(ctx.tsan_stats().fiber_switches, 2);
+        let c = ctx.event_counters();
+        assert_eq!(c.fiber_creates, 1);
+        assert_eq!(c.fiber_switches, 2);
+        assert_eq!(c.sync_switches, 1);
+    }
+
+    #[test]
+    fn shadow_tiered_env_is_frozen_process_wide() {
+        // The first read (whenever it happened in this test process) is
+        // the value every ToolCtx sees; mutating the environment
+        // afterwards must NOT give later ranks a divergent shadow config.
+        let frozen = shadow_tiered_env();
+        let a = ToolCtx::new(0, Flavor::Cusan.config());
+        std::env::set_var(
+            "CUSAN_SHADOW_TIERED",
+            if a.config.shadow_tiered { "0" } else { "1" },
+        );
+        assert_eq!(shadow_tiered_env(), frozen, "env re-read after freeze");
+        let b = ToolCtx::new(1, Flavor::Cusan.config());
+        assert_eq!(a.config.shadow_tiered, b.config.shadow_tiered);
+        assert_eq!(
+            a.tsan.borrow().shadow_tiering_enabled(),
+            b.tsan.borrow().shadow_tiering_enabled()
+        );
         std::env::remove_var("CUSAN_SHADOW_TIERED");
-        let default = ToolCtx::new(0, Flavor::Cusan.config());
-        assert!(default.config.shadow_tiered);
+        let c = ToolCtx::new(2, Flavor::Cusan.config());
+        assert_eq!(a.config.shadow_tiered, c.config.shadow_tiered);
+        // Without an override frozen in, the config default (tiered on)
+        // applies; with one frozen in, all ranks share it. Either way the
+        // expected value is derivable from the frozen snapshot.
+        let expected = frozen.unwrap_or(Flavor::Cusan.config().shadow_tiered);
+        assert_eq!(a.config.shadow_tiered, expected);
     }
 }

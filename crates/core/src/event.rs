@@ -1,0 +1,445 @@
+//! The typed instrumentation-event pipeline.
+//!
+//! The paper's architecture is a *callback* layer: the compiler pass
+//! inserts CuSan callbacks before each CUDA/MPI call (Fig. 9), and the
+//! callbacks translate runtime semantics into TSan annotations. Here that
+//! translation is reified: every callback the CUDA layer
+//! ([`crate::CusanCuda`]) and the MUST layer emit is a [`CusanEvent`]
+//! value flowing through an ordered sink pipeline owned by
+//! [`crate::ToolCtx`]:
+//!
+//! 1. **Checker** ([`CheckerSink`]) — always first. Applies the event to
+//!    the rank's [`TsanRuntime`], producing race reports and Table-I TSan
+//!    counters. The same apply path drives live detection and offline
+//!    trace replay ([`crate::trace::replay`]), which is what makes replay
+//!    reproduce live results exactly.
+//! 2. **Counters** ([`EventCounters`]) — always installed. Derives
+//!    [`EventCounters`] purely from the event stream (including the named
+//!    CUDA Table-I rows carried by [`CusanEvent::CounterBump`]).
+//! 3. **Installed sinks** — e.g. the trace recorder
+//!    ([`crate::trace::TraceSink`]), in install order.
+//!
+//! Sinks observe events *after* the checker has applied them, and events
+//! of one rank are totally ordered (each rank owns its pipeline, matching
+//! the one-TSan-per-process model).
+//!
+//! String payloads (context labels, fiber names, counter names) are
+//! interned once per rank in a [`CtxInterner`] — the single source of
+//! context naming shared by the CUDA layer's kernel-argument cache, the
+//! MUST layer, and the trace string table.
+
+use std::collections::{BTreeMap, HashMap};
+use tsan_rt::{CtxId, FiberId, SyncKey, TsanRuntime};
+
+/// Id of a string interned in a [`CtxInterner`]. Ids are dense and
+/// allocated in first-use order, which makes them stable across a
+/// record/replay round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrId(pub u32);
+
+/// Per-rank string interner: context labels, fiber names, counter names.
+///
+/// One instance per [`crate::ToolCtx`]; every instrumentation layer
+/// interns through it, so a label has exactly one id per rank and the
+/// trace string table is the single source of context naming.
+#[derive(Debug, Default)]
+pub struct CtxInterner {
+    labels: Vec<String>,
+    by_label: HashMap<String, StrId>,
+}
+
+impl CtxInterner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a label, returning its stable id.
+    pub fn intern(&mut self, label: &str) -> StrId {
+        if let Some(&id) = self.by_label.get(label) {
+            return id;
+        }
+        let id = StrId(self.labels.len() as u32);
+        self.labels.push(label.to_string());
+        self.by_label.insert(label.to_string(), id);
+        id
+    }
+
+    /// Label of an interned id.
+    pub fn label(&self, id: StrId) -> &str {
+        self.labels
+            .get(id.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("<invalid>")
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// One instrumentation callback, reified.
+///
+/// The vocabulary is exactly the TSan-annotation surface of the paper's
+/// callback layer plus marker events (alloc/free, MPI request lifecycle,
+/// counter bumps) that carry no detection semantics but make the stream
+/// self-contained for observability and offline replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CusanEvent {
+    /// A fiber was created (CUDA stream or MPI request). `fiber` is the id
+    /// the runtime assigned; the checker asserts replay reproduces it.
+    FiberCreate { fiber: FiberId, name: StrId },
+    /// Active-fiber switch; `sync` carries happens-before from the
+    /// previous fiber (`__tsan_switch_to_fiber` flag).
+    FiberSwitch { fiber: FiberId, sync: bool },
+    /// A fiber was destroyed (MPI request completion).
+    FiberDestroy { fiber: FiberId },
+    /// `AnnotateHappensBefore` on a sync object's key.
+    HappensBefore { key: SyncKey },
+    /// `AnnotateHappensAfter` on a sync object's key.
+    HappensAfter { key: SyncKey },
+    /// `tsan_read_range` on the current fiber.
+    ReadRange { addr: u64, len: u64, ctx: StrId },
+    /// `tsan_write_range` on the current fiber.
+    WriteRange { addr: u64, len: u64, ctx: StrId },
+    /// Marker: an allocation became tracked (`kind` names the memory
+    /// kind). No detection semantics.
+    Alloc { addr: u64, bytes: u64, kind: StrId },
+    /// Marker: an allocation was released. The free-as-write annotation
+    /// is a separate [`CusanEvent::WriteRange`].
+    Free { addr: u64, bytes: u64 },
+    /// Marker: a non-blocking MPI request began (serial from
+    /// [`crate::ToolCtx::next_request_serial`]).
+    RequestBegin { serial: u64 },
+    /// Marker: the request completed (wait/test success).
+    RequestComplete { serial: u64 },
+    /// Marker: a named Table-I counter advanced (CUDA rows).
+    CounterBump { counter: StrId, delta: u64 },
+}
+
+/// An ordered observer of the per-rank event stream.
+///
+/// Sinks run after the checker has applied the event to the detector, in
+/// install order. They must not assume anything about other sinks.
+pub trait EventSink {
+    /// Name for diagnostics.
+    fn name(&self) -> &'static str;
+    /// Observe one event; `strings` resolves interned ids.
+    fn on_event(&mut self, ev: &CusanEvent, strings: &CtxInterner);
+}
+
+/// The detection sink: applies events to a [`TsanRuntime`].
+///
+/// This is the pre-refactor direct-call behavior, factored into the one
+/// place that translates events into detector calls. Live runs and
+/// [`crate::trace::replay`] both go through [`CheckerSink::apply`], so a
+/// replayed trace reproduces fiber numbering, context interning order,
+/// report dedup, and counters of the live run exactly.
+#[derive(Debug, Default)]
+pub struct CheckerSink {
+    /// Pipeline [`StrId`] → runtime [`CtxId`], filled lazily in first-use
+    /// order (identical live and on replay).
+    ctx_map: Vec<Option<CtxId>>,
+}
+
+impl CheckerSink {
+    /// Fresh checker with an empty context mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn runtime_ctx(&mut self, rt: &mut TsanRuntime, strings: &CtxInterner, id: StrId) -> CtxId {
+        let idx = id.0 as usize;
+        if idx >= self.ctx_map.len() {
+            self.ctx_map.resize(idx + 1, None);
+        }
+        *self.ctx_map[idx].get_or_insert_with(|| rt.intern_ctx(strings.label(id)))
+    }
+
+    /// Apply one event to the detector.
+    pub fn apply(&mut self, ev: &CusanEvent, strings: &CtxInterner, rt: &mut TsanRuntime) {
+        match *ev {
+            CusanEvent::FiberCreate { fiber, name } => {
+                let created = rt.create_fiber(strings.label(name));
+                assert_eq!(
+                    created, fiber,
+                    "fiber numbering diverged from the event stream (corrupt trace?)"
+                );
+            }
+            CusanEvent::FiberSwitch { fiber, sync: true } => rt.switch_to_fiber_sync(fiber),
+            CusanEvent::FiberSwitch { fiber, sync: false } => rt.switch_to_fiber(fiber),
+            CusanEvent::FiberDestroy { fiber } => rt.destroy_fiber(fiber),
+            CusanEvent::HappensBefore { key } => rt.annotate_happens_before(key),
+            CusanEvent::HappensAfter { key } => {
+                rt.annotate_happens_after(key);
+            }
+            CusanEvent::ReadRange { addr, len, ctx } => {
+                let ctx = self.runtime_ctx(rt, strings, ctx);
+                rt.read_range(addr, len, ctx);
+            }
+            CusanEvent::WriteRange { addr, len, ctx } => {
+                let ctx = self.runtime_ctx(rt, strings, ctx);
+                rt.write_range(addr, len, ctx);
+            }
+            // Markers: no detection semantics.
+            CusanEvent::Alloc { .. }
+            | CusanEvent::Free { .. }
+            | CusanEvent::RequestBegin { .. }
+            | CusanEvent::RequestComplete { .. }
+            | CusanEvent::CounterBump { .. } => {}
+        }
+    }
+}
+
+/// Counters derived purely from the event stream (the pipeline's own view
+/// of Table I). The `named` map carries [`CusanEvent::CounterBump`] rows —
+/// the CUDA section of Table I — keyed by counter name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    /// `FiberCreate` events (host fiber excluded: it is never an event).
+    pub fiber_creates: u64,
+    /// `FiberDestroy` events.
+    pub fiber_destroys: u64,
+    /// All `FiberSwitch` events (Table I: "Switch To Fiber").
+    pub fiber_switches: u64,
+    /// `FiberSwitch` events with `sync = true`.
+    pub sync_switches: u64,
+    /// `HappensBefore` events (Table I).
+    pub happens_before: u64,
+    /// `HappensAfter` events (Table I).
+    pub happens_after: u64,
+    /// `ReadRange` events (Table I: "Memory Read Range").
+    pub read_range_calls: u64,
+    /// `WriteRange` events (Table I: "Memory Write Range").
+    pub write_range_calls: u64,
+    /// Bytes covered by `ReadRange` events.
+    pub read_bytes: u64,
+    /// Bytes covered by `WriteRange` events.
+    pub write_bytes: u64,
+    /// `Alloc` markers.
+    pub allocs: u64,
+    /// `Free` markers.
+    pub frees: u64,
+    /// `RequestBegin` markers.
+    pub requests_begun: u64,
+    /// `RequestComplete` markers.
+    pub requests_completed: u64,
+    /// Named counter totals from `CounterBump` events (e.g.
+    /// `cuda.kernel_calls`).
+    pub named: BTreeMap<String, u64>,
+}
+
+impl EventCounters {
+    /// Fold one event into the counters.
+    pub fn observe(&mut self, ev: &CusanEvent, strings: &CtxInterner) {
+        match *ev {
+            CusanEvent::FiberCreate { .. } => self.fiber_creates += 1,
+            CusanEvent::FiberDestroy { .. } => self.fiber_destroys += 1,
+            CusanEvent::FiberSwitch { sync, .. } => {
+                self.fiber_switches += 1;
+                if sync {
+                    self.sync_switches += 1;
+                }
+            }
+            CusanEvent::HappensBefore { .. } => self.happens_before += 1,
+            CusanEvent::HappensAfter { .. } => self.happens_after += 1,
+            CusanEvent::ReadRange { len, .. } => {
+                self.read_range_calls += 1;
+                self.read_bytes += len;
+            }
+            CusanEvent::WriteRange { len, .. } => {
+                self.write_range_calls += 1;
+                self.write_bytes += len;
+            }
+            CusanEvent::Alloc { .. } => self.allocs += 1,
+            CusanEvent::Free { .. } => self.frees += 1,
+            CusanEvent::RequestBegin { .. } => self.requests_begun += 1,
+            CusanEvent::RequestComplete { .. } => self.requests_completed += 1,
+            CusanEvent::CounterBump { counter, delta } => {
+                *self
+                    .named
+                    .entry(strings.label(counter).to_string())
+                    .or_insert(0) += delta;
+            }
+        }
+    }
+
+    /// A named counter's total (0 if never bumped).
+    pub fn named(&self, name: &str) -> u64 {
+        self.named.get(name).copied().unwrap_or(0)
+    }
+
+    /// Elementwise sum (for aggregating over ranks).
+    pub fn merged(&self, other: &EventCounters) -> EventCounters {
+        let mut named = self.named.clone();
+        for (k, v) in &other.named {
+            *named.entry(k.clone()).or_insert(0) += v;
+        }
+        EventCounters {
+            fiber_creates: self.fiber_creates + other.fiber_creates,
+            fiber_destroys: self.fiber_destroys + other.fiber_destroys,
+            fiber_switches: self.fiber_switches + other.fiber_switches,
+            sync_switches: self.sync_switches + other.sync_switches,
+            happens_before: self.happens_before + other.happens_before,
+            happens_after: self.happens_after + other.happens_after,
+            read_range_calls: self.read_range_calls + other.read_range_calls,
+            write_range_calls: self.write_range_calls + other.write_range_calls,
+            read_bytes: self.read_bytes + other.read_bytes,
+            write_bytes: self.write_bytes + other.write_bytes,
+            allocs: self.allocs + other.allocs,
+            frees: self.frees + other.frees,
+            requests_begun: self.requests_begun + other.requests_begun,
+            requests_completed: self.requests_completed + other.requests_completed,
+            named,
+        }
+    }
+}
+
+/// Names of the CUDA Table-I rows emitted as [`CusanEvent::CounterBump`]
+/// by [`crate::CusanCuda`], mirroring [`cuda_sim::CudaCounters`].
+pub mod counter_names {
+    /// Streams in use (default stream included).
+    pub const CUDA_STREAMS: &str = "cuda.streams";
+    /// `cudaMemset(+Async)` calls.
+    pub const CUDA_MEMSET: &str = "cuda.memset_calls";
+    /// `cudaMemcpy(2D)(+Async)` calls.
+    pub const CUDA_MEMCPY: &str = "cuda.memcpy_calls";
+    /// Explicit synchronization calls.
+    pub const CUDA_SYNC: &str = "cuda.sync_calls";
+    /// Kernel launches.
+    pub const CUDA_KERNEL: &str = "cuda.kernel_calls";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_dedupes_and_resolves() {
+        let mut i = CtxInterner::new();
+        let a = i.intern("kernel foo arg#0 [write]");
+        let b = i.intern("kernel foo arg#0 [write]");
+        let c = i.intern("kernel foo arg#1 [read]");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.label(a), "kernel foo arg#0 [write]");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.label(StrId(99)), "<invalid>");
+    }
+
+    #[test]
+    fn checker_applies_detection_semantics() {
+        // The Fig. 6B pattern, driven entirely through events.
+        let mut strings = CtxInterner::new();
+        let name = strings.intern("cuda stream 0");
+        let cw = strings.intern("kernel write");
+        let cr = strings.intern("host read");
+        let mut rt = TsanRuntime::new("host");
+        let mut checker = CheckerSink::new();
+        let fiber = rt.peek_next_fiber();
+        let evs = [
+            CusanEvent::FiberCreate { fiber, name },
+            CusanEvent::FiberSwitch { fiber, sync: true },
+            CusanEvent::WriteRange {
+                addr: 0x1000,
+                len: 64,
+                ctx: cw,
+            },
+            CusanEvent::FiberSwitch {
+                fiber: FiberId::HOST,
+                sync: false,
+            },
+            CusanEvent::ReadRange {
+                addr: 0x1000,
+                len: 64,
+                ctx: cr,
+            },
+        ];
+        for ev in &evs {
+            checker.apply(ev, &strings, &mut rt);
+        }
+        assert_eq!(rt.race_count(), 1);
+        let r = &rt.reports()[0];
+        assert_eq!(r.previous.fiber, "cuda stream 0");
+        assert_eq!(r.previous.ctx, "kernel write");
+        assert_eq!(r.current.ctx, "host read");
+    }
+
+    #[test]
+    #[should_panic(expected = "fiber numbering diverged")]
+    fn checker_rejects_diverging_fiber_ids() {
+        let mut strings = CtxInterner::new();
+        let name = strings.intern("f");
+        let mut rt = TsanRuntime::new("host");
+        let mut checker = CheckerSink::new();
+        checker.apply(
+            &CusanEvent::FiberCreate {
+                fiber: FiberId::from_index(7),
+                name,
+            },
+            &strings,
+            &mut rt,
+        );
+    }
+
+    #[test]
+    fn counters_fold_events() {
+        let mut strings = CtxInterner::new();
+        let ctx = strings.intern("x");
+        let k = strings.intern(counter_names::CUDA_KERNEL);
+        let mut c = EventCounters::default();
+        let f = FiberId::from_index(1);
+        for ev in [
+            CusanEvent::FiberCreate {
+                fiber: f,
+                name: ctx,
+            },
+            CusanEvent::FiberSwitch {
+                fiber: f,
+                sync: true,
+            },
+            CusanEvent::FiberSwitch {
+                fiber: FiberId::HOST,
+                sync: false,
+            },
+            CusanEvent::ReadRange {
+                addr: 0,
+                len: 100,
+                ctx,
+            },
+            CusanEvent::WriteRange {
+                addr: 0,
+                len: 50,
+                ctx,
+            },
+            CusanEvent::CounterBump {
+                counter: k,
+                delta: 1,
+            },
+            CusanEvent::CounterBump {
+                counter: k,
+                delta: 2,
+            },
+            CusanEvent::RequestBegin { serial: 0 },
+            CusanEvent::RequestComplete { serial: 0 },
+        ] {
+            c.observe(&ev, &strings);
+        }
+        assert_eq!(c.fiber_switches, 2);
+        assert_eq!(c.sync_switches, 1);
+        assert_eq!(c.read_bytes, 100);
+        assert_eq!(c.write_bytes, 50);
+        assert_eq!(c.named(counter_names::CUDA_KERNEL), 3);
+        assert_eq!(c.named("cuda.nope"), 0);
+        assert_eq!(c.requests_begun, 1);
+        let m = c.merged(&c);
+        assert_eq!(m.read_bytes, 200);
+        assert_eq!(m.named(counter_names::CUDA_KERNEL), 6);
+    }
+}

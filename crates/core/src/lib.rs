@@ -37,8 +37,12 @@
 pub mod api;
 pub mod config;
 pub mod ctx;
+pub mod event;
 pub mod keys;
+pub mod trace;
 
 pub use api::CusanCuda;
 pub use config::{Flavor, ToolConfig};
 pub use ctx::ToolCtx;
+pub use event::{CheckerSink, CtxInterner, CusanEvent, EventCounters, EventSink, StrId};
+pub use trace::{replay, ReplayOutcome, Trace, TraceSink};

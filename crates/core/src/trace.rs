@@ -1,0 +1,470 @@
+//! Deterministic trace record/replay for the event pipeline.
+//!
+//! [`TraceSink`] serializes one rank's event stream to a compact,
+//! self-describing text format; [`Trace::parse`] reads it back; and
+//! [`replay`] re-drives a parsed trace through a fresh [`TsanRuntime`] via
+//! the same [`CheckerSink`] apply path used live — no apps, no simulators.
+//! A replayed trace therefore reproduces the live run's race reports and
+//! event counters exactly (asserted by `crates/apps/tests/trace_replay.rs`
+//! across the whole testsuite).
+//!
+//! # Format
+//!
+//! Line-oriented UTF-8. The first line is the header:
+//!
+//! ```text
+//! cusan-trace v1 rank <rank> tiered <0|1>
+//! ```
+//!
+//! `tiered` records the shadow-memory configuration so replay reproduces
+//! the live shadow-tier counters. Every other line is either a string-table
+//! entry — `s <id> <label>` with `\` and newline escaped, ids dense and
+//! ascending, always emitted before first use — or an event:
+//!
+//! | line | event |
+//! |---|---|
+//! | `fc <fiber> <name>` | fiber create |
+//! | `fy <fiber>` / `fs <fiber>` | fiber switch (sync / no-sync) |
+//! | `fd <fiber>` | fiber destroy |
+//! | `hb <key>` / `ha <key>` | happens-before / happens-after (key hex) |
+//! | `rr <addr> <len> <ctx>` / `wr …` | read / write range (addr hex) |
+//! | `al <addr> <bytes> <kind>` | alloc marker (addr hex) |
+//! | `fr <addr> <bytes>` | free marker (addr hex) |
+//! | `qb <serial>` / `qc <serial>` | MPI request begin / complete |
+//! | `cb <counter> <delta>` | named counter bump |
+//!
+//! All writers format identically, so two recordings of the same
+//! deterministic run are byte-identical (see the Jacobi determinism test).
+
+use crate::event::{CheckerSink, CtxInterner, CusanEvent, EventCounters, EventSink, StrId};
+use std::cell::RefCell;
+use std::rc::Rc;
+use tsan_rt::{FiberId, RaceReport, SyncKey, TsanRuntime, TsanStats};
+
+/// Magic prefix of a trace header line.
+pub const TRACE_MAGIC: &str = "cusan-trace v1";
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// A sink that serializes the event stream into a shared text buffer.
+///
+/// String-table entries are flushed lazily: before writing an event line,
+/// every interner entry not yet written is emitted, so any id an event
+/// references is defined earlier in the file.
+pub struct TraceSink {
+    buf: Rc<RefCell<String>>,
+    written: usize,
+}
+
+impl TraceSink {
+    /// Create a sink whose header records `rank` and the shadow-tier
+    /// configuration. Returns the sink and the shared buffer handle the
+    /// caller reads after the run.
+    pub fn new(rank: usize, tiered: bool) -> (TraceSink, Rc<RefCell<String>>) {
+        let buf = Rc::new(RefCell::new(format!(
+            "{TRACE_MAGIC} rank {rank} tiered {}\n",
+            u8::from(tiered)
+        )));
+        (
+            TraceSink {
+                buf: Rc::clone(&buf),
+                written: 0,
+            },
+            buf,
+        )
+    }
+}
+
+impl EventSink for TraceSink {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn on_event(&mut self, ev: &CusanEvent, strings: &CtxInterner) {
+        use std::fmt::Write;
+        let mut buf = self.buf.borrow_mut();
+        while self.written < strings.len() {
+            let id = StrId(self.written as u32);
+            writeln!(buf, "s {} {}", id.0, escape(strings.label(id))).unwrap();
+            self.written += 1;
+        }
+        match *ev {
+            CusanEvent::FiberCreate { fiber, name } => {
+                writeln!(buf, "fc {} {}", fiber.index(), name.0)
+            }
+            CusanEvent::FiberSwitch { fiber, sync: true } => writeln!(buf, "fy {}", fiber.index()),
+            CusanEvent::FiberSwitch { fiber, sync: false } => writeln!(buf, "fs {}", fiber.index()),
+            CusanEvent::FiberDestroy { fiber } => writeln!(buf, "fd {}", fiber.index()),
+            CusanEvent::HappensBefore { key } => writeln!(buf, "hb {:x}", key.0),
+            CusanEvent::HappensAfter { key } => writeln!(buf, "ha {:x}", key.0),
+            CusanEvent::ReadRange { addr, len, ctx } => {
+                writeln!(buf, "rr {addr:x} {len} {}", ctx.0)
+            }
+            CusanEvent::WriteRange { addr, len, ctx } => {
+                writeln!(buf, "wr {addr:x} {len} {}", ctx.0)
+            }
+            CusanEvent::Alloc { addr, bytes, kind } => {
+                writeln!(buf, "al {addr:x} {bytes} {}", kind.0)
+            }
+            CusanEvent::Free { addr, bytes } => writeln!(buf, "fr {addr:x} {bytes}"),
+            CusanEvent::RequestBegin { serial } => writeln!(buf, "qb {serial}"),
+            CusanEvent::RequestComplete { serial } => writeln!(buf, "qc {serial}"),
+            CusanEvent::CounterBump { counter, delta } => {
+                writeln!(buf, "cb {} {delta}", counter.0)
+            }
+        }
+        .unwrap();
+    }
+}
+
+/// A parsed trace: one rank's complete event stream plus its string table.
+#[derive(Debug)]
+pub struct Trace {
+    /// Rank the trace was recorded on (names the replay host fiber).
+    pub rank: usize,
+    /// Shadow-tier configuration of the recording run.
+    pub tiered: bool,
+    /// The string table.
+    pub strings: CtxInterner,
+    /// The events, in emission order.
+    pub events: Vec<CusanEvent>,
+}
+
+fn parse_err(lineno: usize, msg: impl Into<String>) -> String {
+    format!("trace line {}: {}", lineno + 1, msg.into())
+}
+
+impl Trace {
+    /// Parse the text format produced by [`TraceSink`].
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty trace")?;
+        let rest = header
+            .strip_prefix(TRACE_MAGIC)
+            .ok_or_else(|| format!("bad header {header:?} (expected `{TRACE_MAGIC} …`)"))?;
+        let hf: Vec<&str> = rest.split_whitespace().collect();
+        let (rank, tiered) = match hf.as_slice() {
+            ["rank", r, "tiered", t] => (
+                r.parse::<usize>().map_err(|e| format!("bad rank: {e}"))?,
+                match *t {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("bad tiered flag {other:?}")),
+                },
+            ),
+            _ => return Err(format!("bad header fields {rest:?}")),
+        };
+        let mut strings = CtxInterner::new();
+        let mut events = Vec::new();
+        for (lineno, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (kind, body) = line
+                .split_once(' ')
+                .ok_or_else(|| parse_err(lineno, format!("malformed line {line:?}")))?;
+            let fields: Vec<&str> = body.split(' ').collect();
+            let dec = |i: usize| -> Result<u64, String> {
+                fields
+                    .get(i)
+                    .ok_or_else(|| parse_err(lineno, "missing field"))?
+                    .parse::<u64>()
+                    .map_err(|e| parse_err(lineno, format!("bad number: {e}")))
+            };
+            let hex = |i: usize| -> Result<u64, String> {
+                u64::from_str_radix(
+                    fields
+                        .get(i)
+                        .ok_or_else(|| parse_err(lineno, "missing field"))?,
+                    16,
+                )
+                .map_err(|e| parse_err(lineno, format!("bad hex number: {e}")))
+            };
+            let fib =
+                |i: usize| -> Result<FiberId, String> { Ok(FiberId::from_index(dec(i)? as usize)) };
+            let sid = |i: usize| -> Result<StrId, String> { Ok(StrId(dec(i)? as u32)) };
+            match kind {
+                "s" => {
+                    // `s <id> <label>`: the label is everything after the id,
+                    // spaces included.
+                    let (id, label) = body
+                        .split_once(' ')
+                        .ok_or_else(|| parse_err(lineno, "string entry without label"))?;
+                    let id: u32 = id
+                        .parse()
+                        .map_err(|e| parse_err(lineno, format!("bad string id: {e}")))?;
+                    let interned = strings.intern(&unescape(label));
+                    if interned.0 != id {
+                        return Err(parse_err(
+                            lineno,
+                            format!(
+                                "string table not dense: got id {id}, expected {}",
+                                interned.0
+                            ),
+                        ));
+                    }
+                }
+                "fc" => events.push(CusanEvent::FiberCreate {
+                    fiber: fib(0)?,
+                    name: sid(1)?,
+                }),
+                "fy" => events.push(CusanEvent::FiberSwitch {
+                    fiber: fib(0)?,
+                    sync: true,
+                }),
+                "fs" => events.push(CusanEvent::FiberSwitch {
+                    fiber: fib(0)?,
+                    sync: false,
+                }),
+                "fd" => events.push(CusanEvent::FiberDestroy { fiber: fib(0)? }),
+                "hb" => events.push(CusanEvent::HappensBefore {
+                    key: SyncKey(hex(0)?),
+                }),
+                "ha" => events.push(CusanEvent::HappensAfter {
+                    key: SyncKey(hex(0)?),
+                }),
+                "rr" => events.push(CusanEvent::ReadRange {
+                    addr: hex(0)?,
+                    len: dec(1)?,
+                    ctx: sid(2)?,
+                }),
+                "wr" => events.push(CusanEvent::WriteRange {
+                    addr: hex(0)?,
+                    len: dec(1)?,
+                    ctx: sid(2)?,
+                }),
+                "al" => events.push(CusanEvent::Alloc {
+                    addr: hex(0)?,
+                    bytes: dec(1)?,
+                    kind: sid(2)?,
+                }),
+                "fr" => events.push(CusanEvent::Free {
+                    addr: hex(0)?,
+                    bytes: dec(1)?,
+                }),
+                "qb" => events.push(CusanEvent::RequestBegin { serial: dec(0)? }),
+                "qc" => events.push(CusanEvent::RequestComplete { serial: dec(0)? }),
+                "cb" => events.push(CusanEvent::CounterBump {
+                    counter: sid(0)?,
+                    delta: dec(1)?,
+                }),
+                other => return Err(parse_err(lineno, format!("unknown event kind {other:?}"))),
+            }
+            // Events must not reference string ids the table hasn't defined.
+            if let Some(ev) = events.last() {
+                let used = match *ev {
+                    CusanEvent::FiberCreate { name, .. } => Some(name),
+                    CusanEvent::ReadRange { ctx, .. } | CusanEvent::WriteRange { ctx, .. } => {
+                        Some(ctx)
+                    }
+                    CusanEvent::Alloc { kind, .. } => Some(kind),
+                    CusanEvent::CounterBump { counter, .. } => Some(counter),
+                    _ => None,
+                };
+                if let Some(id) = used {
+                    if id.0 as usize >= strings.len() {
+                        return Err(parse_err(lineno, format!("undefined string id {}", id.0)));
+                    }
+                }
+            }
+        }
+        Ok(Trace {
+            rank,
+            tiered,
+            strings,
+            events,
+        })
+    }
+}
+
+/// Result of replaying a trace offline.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Retained race reports, identical to the live run's.
+    pub reports: Vec<RaceReport>,
+    /// Detector counters, identical to the live run's.
+    pub stats: TsanStats,
+    /// Pipeline counters folded from the replayed events.
+    pub counters: EventCounters,
+}
+
+/// Re-drive a recorded trace through a fresh [`TsanRuntime`].
+///
+/// Uses the same [`CheckerSink`] apply path as the live run, with the
+/// recorded rank's host-fiber name and shadow configuration, so reports
+/// (fiber and context labels included), [`TsanStats`], and
+/// [`EventCounters`] all reproduce exactly.
+pub fn replay(trace: &Trace) -> ReplayOutcome {
+    let mut rt =
+        TsanRuntime::with_shadow_tiering(&format!("host (rank {})", trace.rank), trace.tiered);
+    let mut checker = CheckerSink::new();
+    let mut counters = EventCounters::default();
+    for ev in &trace.events {
+        checker.apply(ev, &trace.strings, &mut rt);
+        counters.observe(ev, &trace.strings);
+    }
+    ReplayOutcome {
+        reports: rt.take_reports(),
+        stats: rt.stats(),
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(events: &[(CusanEvent, &CtxInterner)]) -> String {
+        let (mut sink, buf) = TraceSink::new(3, true);
+        for (ev, strings) in events {
+            sink.on_event(ev, strings);
+        }
+        let out = buf.borrow().clone();
+        out
+    }
+
+    #[test]
+    fn roundtrip_preserves_events_and_strings() {
+        let mut strings = CtxInterner::new();
+        let name = strings.intern("cuda stream 0 (default)");
+        let ctx = strings.intern("kernel k arg#0 (p) [write]");
+        let f = FiberId::from_index(1);
+        let events = vec![
+            CusanEvent::FiberCreate { fiber: f, name },
+            CusanEvent::FiberSwitch {
+                fiber: f,
+                sync: true,
+            },
+            CusanEvent::WriteRange {
+                addr: 0x4000,
+                len: 8192,
+                ctx,
+            },
+            CusanEvent::HappensBefore {
+                key: SyncKey(0x0100_0000_0000),
+            },
+            CusanEvent::FiberSwitch {
+                fiber: FiberId::HOST,
+                sync: false,
+            },
+            CusanEvent::HappensAfter {
+                key: SyncKey(0x0100_0000_0000),
+            },
+            CusanEvent::Alloc {
+                addr: 0x4000,
+                bytes: 8192,
+                kind: name,
+            },
+            CusanEvent::Free {
+                addr: 0x4000,
+                bytes: 8192,
+            },
+            CusanEvent::RequestBegin { serial: 0 },
+            CusanEvent::RequestComplete { serial: 0 },
+            CusanEvent::CounterBump {
+                counter: ctx,
+                delta: 2,
+            },
+            CusanEvent::FiberDestroy { fiber: f },
+        ];
+        let text = record(&events.iter().map(|e| (*e, &strings)).collect::<Vec<_>>());
+        let trace = Trace::parse(&text).unwrap();
+        assert_eq!(trace.rank, 3);
+        assert!(trace.tiered);
+        assert_eq!(trace.events, events);
+        assert_eq!(trace.strings.label(name), "cuda stream 0 (default)");
+        assert_eq!(trace.strings.label(ctx), "kernel k arg#0 (p) [write]");
+    }
+
+    #[test]
+    fn labels_with_specials_survive() {
+        for label in ["a b\tc", "back\\slash", "new\nline", "trailing "] {
+            assert_eq!(unescape(&escape(label)), label);
+        }
+        let mut strings = CtxInterner::new();
+        let id = strings.intern("weird \\ label\nwith newline");
+        let text = record(&[(
+            CusanEvent::FiberCreate {
+                fiber: FiberId::from_index(1),
+                name: id,
+            },
+            &strings,
+        )]);
+        let trace = Trace::parse(&text).unwrap();
+        assert_eq!(trace.strings.label(id), "weird \\ label\nwith newline");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Trace::parse("").is_err());
+        assert!(Trace::parse("not-a-trace\n").is_err());
+        assert!(Trace::parse(&format!("{TRACE_MAGIC} rank x tiered 1\n")).is_err());
+        let ok_header = format!("{TRACE_MAGIC} rank 0 tiered 1\n");
+        assert!(Trace::parse(&format!("{ok_header}zz 1 2\n")).is_err());
+        assert!(Trace::parse(&format!("{ok_header}rr zz 8 0\n")).is_err());
+        // Event referencing an undefined string id.
+        assert!(Trace::parse(&format!("{ok_header}fc 1 0\n")).is_err());
+        // Non-dense string table.
+        assert!(Trace::parse(&format!("{ok_header}s 5 label\n")).is_err());
+        // Well-formed minimal trace parses.
+        let t = Trace::parse(&format!("{ok_header}s 0 f\nfc 1 0\nfd 1\n")).unwrap();
+        assert_eq!(t.events.len(), 2);
+    }
+
+    #[test]
+    fn replay_reproduces_race() {
+        let mut strings = CtxInterner::new();
+        let name = strings.intern("cuda stream 0");
+        let cw = strings.intern("kernel write");
+        let cr = strings.intern("host read");
+        let f = FiberId::from_index(1);
+        let events = [
+            CusanEvent::FiberCreate { fiber: f, name },
+            CusanEvent::FiberSwitch {
+                fiber: f,
+                sync: true,
+            },
+            CusanEvent::WriteRange {
+                addr: 0x1000,
+                len: 64,
+                ctx: cw,
+            },
+            CusanEvent::FiberSwitch {
+                fiber: FiberId::HOST,
+                sync: false,
+            },
+            CusanEvent::ReadRange {
+                addr: 0x1000,
+                len: 64,
+                ctx: cr,
+            },
+        ];
+        let text = record(&events.iter().map(|e| (*e, &strings)).collect::<Vec<_>>());
+        let trace = Trace::parse(&text).unwrap();
+        let out = replay(&trace);
+        assert_eq!(out.reports.len(), 1);
+        assert_eq!(out.reports[0].previous.fiber, "cuda stream 0");
+        assert_eq!(out.stats.read_range_calls, 1);
+        assert_eq!(out.counters.read_range_calls, 1);
+        assert_eq!(out.counters.fiber_switches, 2);
+    }
+}

@@ -113,18 +113,24 @@ impl CudaDevice {
 
     /// `cudaMallocManaged`.
     pub fn malloc_managed(&mut self, bytes: u64) -> Result<Ptr, CudaError> {
-        Ok(self.space.alloc(MemKind::Managed, bytes)?)
+        Ok(self
+            .space
+            .alloc_in_shard(MemKind::Managed, self.id.0, bytes)?)
     }
 
     /// `cudaHostAlloc`: pinned host memory.
     pub fn host_alloc(&mut self, bytes: u64) -> Result<Ptr, CudaError> {
-        Ok(self.space.alloc(MemKind::HostPinned, bytes)?)
+        Ok(self
+            .space
+            .alloc_in_shard(MemKind::HostPinned, self.id.0, bytes)?)
     }
 
     /// Plain `malloc`: pageable host memory (tracked so that UVA queries
     /// and TypeART callbacks work for host buffers as well).
     pub fn host_malloc(&mut self, bytes: u64) -> Result<Ptr, CudaError> {
-        Ok(self.space.alloc(MemKind::HostPageable, bytes)?)
+        Ok(self
+            .space
+            .alloc_in_shard(MemKind::HostPageable, self.id.0, bytes)?)
     }
 
     /// `cudaFree`: synchronizes the whole device, then releases.

@@ -12,7 +12,7 @@
 use crate::checks::MustReport;
 use crate::mpi::CheckedMpi;
 use cuda_sim::CudaCounters;
-use cusan::{CusanCuda, ToolConfig, ToolCtx};
+use cusan::{CusanCuda, EventCounters, ToolConfig, ToolCtx};
 use kernel_ir::KernelRegistry;
 use mpi_sim::run_world;
 use sim_mem::{AddressSpace, DeviceId, SpaceStats};
@@ -62,6 +62,11 @@ pub struct RankOutcome {
     pub tsan: TsanStats,
     /// Device-call counters (Table I, CUDA rows).
     pub cuda: CudaCounters,
+    /// Event-pipeline counters (folded from the emitted event stream).
+    pub events: EventCounters,
+    /// Serialized event trace, when the run was recorded
+    /// ([`run_checked_world_traced`]).
+    pub trace: Option<String>,
     /// Tool heap usage in bytes (Fig. 11 numerator contribution).
     pub tool_memory_bytes: u64,
 }
@@ -120,13 +125,37 @@ pub fn run_checked_world<T: Send>(
     registry: Arc<KernelRegistry>,
     f: impl Fn(&mut RankCtx) -> T + Send + Sync,
 ) -> WorldOutcome<T> {
-    let config = config.into();
+    run_world_impl(n, config.into(), registry, false, f)
+}
+
+/// Like [`run_checked_world`], but with a trace sink installed on every
+/// rank: each [`RankOutcome::trace`] carries the rank's serialized event
+/// stream, replayable offline with [`cusan::replay`].
+pub fn run_checked_world_traced<T: Send>(
+    n: usize,
+    config: impl Into<ToolConfig>,
+    registry: Arc<KernelRegistry>,
+    f: impl Fn(&mut RankCtx) -> T + Send + Sync,
+) -> WorldOutcome<T> {
+    run_world_impl(n, config.into(), registry, true, f)
+}
+
+fn run_world_impl<T: Send>(
+    n: usize,
+    config: ToolConfig,
+    registry: Arc<KernelRegistry>,
+    record: bool,
+    f: impl Fn(&mut RankCtx) -> T + Send + Sync,
+) -> WorldOutcome<T> {
     let space = Arc::new(AddressSpace::new());
     let space_for_stats = Arc::clone(&space);
     let registry = &registry;
     let pairs = run_world(n, space, move |comm| {
         let rank = comm.rank();
         let tools = Rc::new(ToolCtx::new(rank, config));
+        // The trace sink must observe every event, including the default
+        // stream's FiberCreate emitted by CusanCuda::new below.
+        let trace_buf = record.then(|| tools.install_trace_sink());
         let space = Arc::clone(comm.space());
         let cuda = CusanCuda::new(
             DeviceId(rank as u32),
@@ -147,6 +176,8 @@ pub fn run_checked_world<T: Send>(
             must_reports: ctx.mpi.must_reports(),
             tsan: ctx.tools.tsan_stats(),
             cuda: ctx.cuda.counters(),
+            events: ctx.tools.event_counters(),
+            trace: trace_buf.map(|b| b.borrow().clone()),
             tool_memory_bytes: ctx.tools.tool_memory_bytes(),
         };
         (result, outcome)

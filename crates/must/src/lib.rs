@@ -27,6 +27,8 @@ pub mod mpi;
 pub mod report;
 
 pub use checks::MustReport;
-pub use harness::{run_checked_world, RankCtx, RankOutcome, WorldOutcome};
+pub use harness::{
+    run_checked_world, run_checked_world_traced, RankCtx, RankOutcome, WorldOutcome,
+};
 pub use mpi::{CheckedMpi, MustRequest};
 pub use report::{render_counters, render_text};

@@ -5,7 +5,7 @@
 
 use crate::checks::{check_buffer, MustReport};
 use cusan::keys::request_key;
-use cusan::ToolCtx;
+use cusan::{CusanEvent, ToolCtx};
 use mpi_sim::{Comm, MpiDatatype, MpiError, ReduceOp, Request, Status, PROC_NULL, PROC_NULL_SRC};
 use sim_mem::Ptr;
 use std::cell::RefCell;
@@ -19,6 +19,7 @@ pub struct MustRequest {
     inner: Request,
     fiber: Option<FiberId>,
     key: Option<SyncKey>,
+    serial: Option<u64>,
 }
 
 impl MustRequest {
@@ -87,13 +88,20 @@ impl CheckedMpi {
 
     fn annotate_host(&self, buf: Ptr, bytes: u64, write: bool, label: &str) {
         if self.enabled() {
-            let mut t = self.tools.tsan.borrow_mut();
-            let ctx = t.intern_ctx(label);
-            if write {
-                t.write_range(buf.addr(), bytes, ctx);
+            let ctx = self.tools.intern_label(label);
+            self.tools.emit(if write {
+                CusanEvent::WriteRange {
+                    addr: buf.addr(),
+                    len: bytes,
+                    ctx,
+                }
             } else {
-                t.read_range(buf.addr(), bytes, ctx);
-            }
+                CusanEvent::ReadRange {
+                    addr: buf.addr(),
+                    len: bytes,
+                    ctx,
+                }
+            });
         }
     }
 
@@ -105,37 +113,54 @@ impl CheckedMpi {
         bytes: u64,
         write: bool,
         what: &str,
-    ) -> (Option<FiberId>, Option<SyncKey>) {
+    ) -> (Option<FiberId>, Option<SyncKey>, Option<u64>) {
         if !self.enabled() {
-            return (None, None);
+            return (None, None, None);
         }
         let serial = self.tools.next_request_serial();
         let key = request_key(serial);
-        let mut t = self.tools.tsan.borrow_mut();
-        let host = t.host_fiber();
-        let fiber = t.create_fiber(&format!("mpi req#{serial} ({what})"));
-        let ctx = t.intern_ctx(&format!(
+        self.tools.emit(CusanEvent::RequestBegin { serial });
+        let fiber = self
+            .tools
+            .emit_fiber_create(&format!("mpi req#{serial} ({what})"));
+        let ctx = self.tools.intern_label(&format!(
             "{what} buffer [{}]",
             if write { "write" } else { "read" }
         ));
-        t.switch_to_fiber(fiber);
-        if write {
-            t.write_range(buf.addr(), bytes, ctx);
+        // Plain (non-synchronizing) switch: the request region runs
+        // concurrently with the host until the completing wait.
+        self.tools
+            .emit(CusanEvent::FiberSwitch { fiber, sync: false });
+        self.tools.emit(if write {
+            CusanEvent::WriteRange {
+                addr: buf.addr(),
+                len: bytes,
+                ctx,
+            }
         } else {
-            t.read_range(buf.addr(), bytes, ctx);
-        }
-        t.annotate_happens_before(key);
-        t.switch_to_fiber(host);
-        (Some(fiber), Some(key))
+            CusanEvent::ReadRange {
+                addr: buf.addr(),
+                len: bytes,
+                ctx,
+            }
+        });
+        self.tools.emit(CusanEvent::HappensBefore { key });
+        self.tools.emit(CusanEvent::FiberSwitch {
+            fiber: FiberId::HOST,
+            sync: false,
+        });
+        (Some(fiber), Some(key), Some(serial))
     }
 
     /// MUST callback for request completion: terminate the arc on the host
     /// fiber, retire the request fiber.
     fn complete_nonblocking(&self, req: &mut MustRequest) {
         if let (Some(fiber), Some(key)) = (req.fiber.take(), req.key.take()) {
-            let mut t = self.tools.tsan.borrow_mut();
-            t.annotate_happens_after(key);
-            t.destroy_fiber(fiber);
+            self.tools.emit(CusanEvent::HappensAfter { key });
+            self.tools.emit(CusanEvent::FiberDestroy { fiber });
+            if let Some(serial) = req.serial.take() {
+                self.tools.emit(CusanEvent::RequestComplete { serial });
+            }
         }
     }
 
@@ -188,12 +213,19 @@ impl CheckedMpi {
                 inner,
                 fiber: None,
                 key: None,
+                serial: None,
             });
         }
         self.run_checks("MPI_Isend", buf, count, dtype);
-        let (fiber, key) = self.begin_nonblocking(buf, count * dtype.size(), false, "MPI_Isend");
+        let (fiber, key, serial) =
+            self.begin_nonblocking(buf, count * dtype.size(), false, "MPI_Isend");
         let inner = self.comm.isend(buf, count, dtype, dest, tag)?;
-        Ok(MustRequest { inner, fiber, key })
+        Ok(MustRequest {
+            inner,
+            fiber,
+            key,
+            serial,
+        })
     }
 
     /// `MPI_Irecv`: models the concurrent region with an MPI fiber.
@@ -211,12 +243,19 @@ impl CheckedMpi {
                 inner,
                 fiber: None,
                 key: None,
+                serial: None,
             });
         }
         self.run_checks("MPI_Irecv", buf, count, dtype);
-        let (fiber, key) = self.begin_nonblocking(buf, count * dtype.size(), true, "MPI_Irecv");
+        let (fiber, key, serial) =
+            self.begin_nonblocking(buf, count * dtype.size(), true, "MPI_Irecv");
         let inner = self.comm.irecv(buf, count, dtype, src, tag)?;
-        Ok(MustRequest { inner, fiber, key })
+        Ok(MustRequest {
+            inner,
+            fiber,
+            key,
+            serial,
+        })
     }
 
     /// `MPI_Wait`: completion terminates the request's concurrent region.

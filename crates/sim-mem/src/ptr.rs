@@ -89,6 +89,10 @@ pub mod layout {
     pub const DEVICE_BASE: u64 = 0x0001_0000_0000_0000;
     /// Size of each per-kind (and per-device) window.
     pub const WINDOW: u64 = 1 << 40;
+    /// log2 of the span of one allocation shard inside a window (see
+    /// [`crate::AddressSpace::alloc_in_shard`]): 4 GiB per shard, 256
+    /// shards per window.
+    pub const SHARD_BITS: u32 = 32;
 
     /// The base address of the window for a memory kind.
     pub fn window_base(kind: MemKind) -> u64 {

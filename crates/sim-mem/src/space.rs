@@ -170,10 +170,19 @@ impl AddressSpace {
 
     /// Allocate `len` bytes of `kind` memory, zero-initialized.
     pub fn alloc(&self, kind: MemKind, len: u64) -> Result<Ptr, MemError> {
+        self.alloc_in_shard(kind, 0, len)
+    }
+
+    /// Allocate inside a per-`shard` sub-window of `kind`'s window, each
+    /// shard with its own bump cursor. Concurrent allocators (e.g. one
+    /// simulated device per rank thread) that use distinct shards get
+    /// addresses independent of thread interleaving, which keeps recorded
+    /// event traces byte-deterministic across runs.
+    pub fn alloc_in_shard(&self, kind: MemKind, shard: u32, len: u64) -> Result<Ptr, MemError> {
         if len == 0 {
             return Err(MemError::ZeroSized);
         }
-        let window = layout::window_base(kind);
+        let window = layout::window_base(kind) + (u64::from(shard) << layout::SHARD_BITS);
         let base = {
             let mut bump = self.bump.lock();
             let next = bump.next.entry(window).or_insert(ALLOC_ALIGN);

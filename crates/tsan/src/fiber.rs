@@ -95,6 +95,16 @@ impl FiberTable {
         }
     }
 
+    /// The id the next [`Self::create`] call will return (slots of
+    /// destroyed fibers are reused LIFO). Lets callers that reify fiber
+    /// creation as an event know the id before applying the event.
+    pub fn peek_next(&self) -> FiberId {
+        match self.free.last() {
+            Some(&idx) => FiberId(idx),
+            None => FiberId(self.fibers.len() as u32),
+        }
+    }
+
     pub fn destroy(&mut self, id: FiberId) {
         assert!(id != FiberId::HOST, "cannot destroy the host fiber");
         let f = &mut self.fibers[id.index()];
@@ -173,6 +183,21 @@ mod tests {
         assert_eq!(t.name(f2), "req2");
         assert_eq!(t.created, 3);
         assert_eq!(t.destroyed, 1);
+    }
+
+    #[test]
+    fn peek_next_predicts_creation() {
+        let mut t = FiberTable::new("host");
+        let creator = VectorClock::new();
+        assert_eq!(t.peek_next(), FiberId(1));
+        let f1 = t.create("a", &creator);
+        assert_eq!(f1, FiberId(1));
+        let _f2 = t.create("b", &creator);
+        t.destroy(f1);
+        // Freed slots are reused LIFO, and peek must predict that too.
+        assert_eq!(t.peek_next(), f1);
+        assert_eq!(t.create("c", &creator), f1);
+        assert_eq!(t.peek_next(), FiberId(3));
     }
 
     #[test]

@@ -86,6 +86,15 @@ impl TsanRuntime {
         self.fibers.create(name, &creator_clock)
     }
 
+    /// Sink-facing apply API: the id the next [`Self::create_fiber`] call
+    /// will return. Event pipelines use this to stamp a `FiberCreate`
+    /// event with its id *before* the creating sink applies it, so a
+    /// recorded trace replayed against a fresh runtime reproduces the
+    /// exact same fiber numbering (asserted by the checker sink).
+    pub fn peek_next_fiber(&self) -> FiberId {
+        self.fibers.peek_next()
+    }
+
     /// Destroy a fiber. Must not be the current fiber or the host fiber.
     pub fn destroy_fiber(&mut self, f: FiberId) {
         assert!(f != self.current, "cannot destroy the active fiber");

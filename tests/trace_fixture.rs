@@ -1,0 +1,66 @@
+//! Parse-stability gate for the trace format.
+//!
+//! `tests/data/tealeaf_small.trace` is a checked-in recording of TeaLeaf
+//! (16×16, 1 step, 2 ranks, MUST & CuSan stack, rank 0). A format change
+//! that cannot read existing recordings must fail here — bump the trace
+//! magic and regenerate the fixture (`replay_trace record`) to change the
+//! format deliberately.
+
+use cusan::{replay, CusanEvent, Trace};
+
+const FIXTURE: &str = include_str!("data/tealeaf_small.trace");
+
+#[test]
+fn golden_tealeaf_trace_parses() {
+    let trace = Trace::parse(FIXTURE).expect("checked-in fixture must stay parseable");
+    assert_eq!(trace.rank, 0);
+    assert!(trace.tiered);
+    assert_eq!(trace.events.len(), 2386);
+    // Every referenced label resolved during parsing; spot-check the
+    // interned vocabulary.
+    let labels: Vec<&str> = (0..trace.strings.len() as u32)
+        .map(|i| trace.strings.label(cusan::StrId(i)))
+        .collect();
+    assert!(labels.contains(&"cuda stream 0 (default)"));
+    assert!(labels.contains(&"cuda.kernel_calls"));
+    assert!(labels.iter().any(|l| l.starts_with("mpi req#")));
+}
+
+#[test]
+fn golden_tealeaf_trace_replays_clean() {
+    let trace = Trace::parse(FIXTURE).unwrap();
+    let outcome = replay(&trace);
+    // The recording is of a correct program: replay must agree.
+    assert_eq!(outcome.reports, vec![]);
+    assert_eq!(outcome.stats.fiber_switches, 586);
+    assert!(outcome.stats.read_range_calls > 0);
+    assert!(outcome.stats.write_range_calls > 0);
+    // The Table-I CUDA rows recorded for this config.
+    assert_eq!(outcome.counters.named("cuda.streams"), 1);
+    assert!(outcome.counters.named("cuda.kernel_calls") > 0);
+    assert_eq!(
+        outcome.counters.requests_begun,
+        outcome.counters.requests_completed
+    );
+    assert!(outcome.counters.requests_begun > 0);
+}
+
+#[test]
+fn fixture_event_mix_matches_tealeaf_shape() {
+    // TeaLeaf is the non-blocking app: one CUDA stream, many MPI request
+    // fibers (paper Table I: fibers ≫ streams).
+    let trace = Trace::parse(FIXTURE).unwrap();
+    let creates = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, CusanEvent::FiberCreate { .. }))
+        .count();
+    let destroys = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, CusanEvent::FiberDestroy { .. }))
+        .count();
+    assert!(creates > 10, "one fiber per non-blocking request");
+    // Every MPI request fiber is retired; only the stream fiber survives.
+    assert_eq!(creates, destroys + 1);
+}
