@@ -23,12 +23,14 @@
 //! paper's testsuite; and both verify their numerics against a single-rank
 //! run.
 
+pub mod chaos;
 pub mod jacobi;
 pub mod jacobi2d;
 pub mod kernels;
 pub mod tealeaf;
 pub mod testsuite;
 
+pub use chaos::{run_chaos_jacobi, run_chaos_tealeaf, ChaosConfig, ChaosError, ChaosResult};
 pub use jacobi::{run_jacobi, run_jacobi_traced, JacobiConfig, JacobiRun};
 pub use jacobi2d::{run_jacobi2d, Jacobi2dConfig, Jacobi2dRun};
 pub use kernels::AppKernels;

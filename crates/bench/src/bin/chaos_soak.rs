@@ -1,0 +1,213 @@
+//! Chaos soak: a deterministic fault-seed sweep over the chaos twins of
+//! Jacobi and TeaLeaf (`cusan_apps::chaos`).
+//!
+//! For every seed, each app runs under a seeded [`FaultPlan`] (every 4th
+//! seed additionally under a shadow-page budget, exercising counted
+//! best-effort degradation) and the soak asserts the robustness
+//! contract end to end:
+//!
+//! * **No panics**: every rank either finishes or returns a typed error;
+//!   the harness always collects outcomes.
+//! * **Per-seed determinism**: a same-seed re-run produces identical
+//!   per-rank results, race reports, and byte-identical traces.
+//! * **Replay fidelity under faults**: replaying each recorded trace
+//!   reproduces the live race reports, detector stats, and event
+//!   counters bit-for-bit — the `ApiFault` records carry the fault
+//!   schedule, the header carries the budget.
+//! * **Clean teardown**: a fault-free baseline leaves zero live
+//!   allocations; faulted runs leak at most what their failed frees
+//!   abandoned.
+//!
+//! Usage: `chaos_soak [seeds]` (default 32; the CI smoke job passes 8,
+//! or set `CHAOS_SEEDS`).
+
+use cusan::{replay, FaultPlan, Flavor, ToolConfig, Trace};
+use cusan_apps::{run_chaos_jacobi, run_chaos_tealeaf, ChaosConfig, ChaosResult};
+use cusan_bench::banner;
+use must_rt::WorldOutcome;
+use std::time::Instant;
+
+/// Fault rates cycled across the seed sweep (per-site probabilities).
+const RATES: [f64; 3] = [0.002, 0.01, 0.05];
+
+/// Shadow budget applied on every 4th seed (pages of 4 KiB; small enough
+/// that even the tiny chaos grids overflow it and drop annotations).
+const BUDGET: usize = 2;
+
+fn soak_config(seed: u64) -> ToolConfig {
+    let mut c = Flavor::MustCusan.config();
+    c.faults = FaultPlan::with_rate(seed, RATES[seed as usize % RATES.len()]);
+    if seed % 4 == 3 {
+        c.shadow_page_budget = Some(BUDGET);
+    }
+    c
+}
+
+struct Tally {
+    runs: usize,
+    faulted_ranks: usize,
+    faults_fired: u64,
+    dropped: u64,
+    races: u64,
+    errs: Vec<String>,
+}
+
+/// Run one app under one seed twice (determinism) and replay every trace
+/// (fidelity). Returns the first run for tallying.
+fn soak_one(
+    app: &str,
+    seed: u64,
+    run: impl Fn(ToolConfig) -> WorldOutcome<ChaosResult>,
+    tally: &mut Tally,
+) {
+    let a = run(soak_config(seed));
+    let b = run(soak_config(seed));
+    tally.runs += 2;
+
+    // Per-seed determinism: identical results, reports, and trace bytes.
+    if a.results != b.results {
+        tally.errs.push(format!(
+            "{app} seed {seed}: results diverge across same-seed re-run:\n  {:?}\n  {:?}",
+            a.results, b.results
+        ));
+    }
+    for (ra, rb) in a.ranks.iter().zip(&b.ranks) {
+        if ra.races != rb.races {
+            tally.errs.push(format!(
+                "{app} seed {seed} rank {}: race reports diverge across re-run",
+                ra.rank
+            ));
+        }
+        if ra.trace != rb.trace {
+            tally.errs.push(format!(
+                "{app} seed {seed} rank {}: trace bytes diverge across re-run",
+                ra.rank
+            ));
+        }
+    }
+
+    // Replay fidelity: the recorded stream reproduces the live run.
+    for r in &a.ranks {
+        let text = r.trace.as_deref().expect("soak runs are traced");
+        let trace = match Trace::parse(text) {
+            Ok(t) => t,
+            Err(e) => {
+                tally.errs.push(format!(
+                    "{app} seed {seed} rank {}: trace parse error: {e}",
+                    r.rank
+                ));
+                continue;
+            }
+        };
+        let out = replay(&trace);
+        if out.reports != r.races {
+            tally.errs.push(format!(
+                "{app} seed {seed} rank {}: replay races {} != live {}",
+                r.rank,
+                out.reports.len(),
+                r.races.len()
+            ));
+        }
+        if out.stats != r.tsan {
+            tally.errs.push(format!(
+                "{app} seed {seed} rank {}: replay stats diverge\n  live:   {:?}\n  replay: {:?}",
+                r.rank, r.tsan, out.stats
+            ));
+        }
+        if out.counters != r.events {
+            tally.errs.push(format!(
+                "{app} seed {seed} rank {}: replay counters diverge\n  live:   {:?}\n  replay: {:?}",
+                r.rank, r.events, out.counters
+            ));
+        }
+    }
+
+    tally.faulted_ranks += a.results.iter().filter(|r| r.is_err()).count();
+    tally.faults_fired += a.ranks.iter().map(|r| r.events.api_faults).sum::<u64>();
+    tally.dropped += a
+        .ranks
+        .iter()
+        .map(|r| r.tsan.dropped_annotations)
+        .sum::<u64>();
+    tally.races += a.total_races();
+}
+
+fn baseline(app: &str, run: impl Fn(ToolConfig) -> WorldOutcome<ChaosResult>) -> Vec<String> {
+    let mut errs = Vec::new();
+    let out = run(Flavor::MustCusan.config());
+    if let Some(e) = out.results.iter().find_map(|r| r.clone().err()) {
+        errs.push(format!("{app} baseline: rank failed without faults: {e}"));
+    }
+    if out.space.live_allocs != 0 {
+        errs.push(format!(
+            "{app} baseline: {} allocations leaked at teardown",
+            out.space.live_allocs
+        ));
+    }
+    if out.ranks.iter().any(|r| r.events.api_faults != 0) {
+        errs.push(format!("{app} baseline: ApiFault events without a plan"));
+    }
+    errs
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("CHAOS_SEEDS").ok())
+        .map(|s| s.parse().expect("seed count must be a number"))
+        .unwrap_or(32);
+    banner(
+        "chaos soak",
+        "sweeps seeded fault plans over the symmetric Jacobi/TeaLeaf chaos\n\
+         bodies; asserts no panics, per-seed determinism, and record/replay\n\
+         fidelity under injected CUDA/MPI failures and shadow pressure",
+    );
+
+    let cfg = ChaosConfig::default();
+    let start = Instant::now();
+    let mut tally = Tally {
+        runs: 0,
+        faulted_ranks: 0,
+        faults_fired: 0,
+        dropped: 0,
+        races: 0,
+        errs: Vec::new(),
+    };
+
+    tally
+        .errs
+        .extend(baseline("jacobi", |t| run_chaos_jacobi(&cfg, t)));
+    tally
+        .errs
+        .extend(baseline("tealeaf", |t| run_chaos_tealeaf(&cfg, t)));
+
+    for seed in 0..seeds {
+        soak_one("jacobi", seed, |t| run_chaos_jacobi(&cfg, t), &mut tally);
+        soak_one("tealeaf", seed, |t| run_chaos_tealeaf(&cfg, t), &mut tally);
+    }
+
+    println!(
+        "{} runs over {seeds} seeds in {:.2?}: {} faults fired across {} rank failures,\n\
+         {} annotations dropped under budget, {} races, {} mismatches",
+        tally.runs,
+        start.elapsed(),
+        tally.faults_fired,
+        tally.faulted_ranks,
+        tally.dropped,
+        tally.races,
+        tally.errs.len()
+    );
+    if tally.faults_fired == 0 {
+        tally
+            .errs
+            .push("sweep fired no faults at all — rates or plan plumbing broken".to_string());
+    }
+    if tally.errs.is_empty() {
+        println!("OK: deterministic degradation and faithful replay on every seed");
+        std::process::exit(0);
+    }
+    for e in &tally.errs {
+        eprintln!("MISMATCH: {e}");
+    }
+    std::process::exit(1);
+}

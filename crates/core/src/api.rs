@@ -24,7 +24,7 @@ use cuda_sim::{
     StreamFlags, StreamId,
 };
 use kernel_ir::{KernelId, KernelRegistry, LaunchArg, LaunchGrid};
-use sim_mem::{AddressSpace, AllocationInfo, DeviceId, MemKind, Pod, PointerAttr, Ptr};
+use sim_mem::{AddressSpace, AllocationInfo, DeviceId, MemError, MemKind, Pod, PointerAttr, Ptr};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -111,6 +111,27 @@ impl CusanCuda {
 
     fn config(&self) -> ToolConfig {
         self.tools.config
+    }
+
+    /// Fault-injection gate, checked at the top of every fallible call —
+    /// before validation and before any detector annotation, so a faulted
+    /// call leaves neither device nor happens-before state behind.
+    fn fault(&self, call: &'static str) -> Result<(), CudaError> {
+        if self.tools.should_fault(call) {
+            Err(CudaError::FaultInjected { call })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Fault gate for the allocation family, which surfaces failures as
+    /// the underlying memory error (like a real out-of-memory would).
+    fn fault_mem(&self, call: &'static str) -> Result<(), CudaError> {
+        if self.tools.should_fault(call) {
+            Err(CudaError::Mem(MemError::FaultInjected { call }))
+        } else {
+            Ok(())
+        }
     }
 
     /// Mirror a device counter increment into the event stream.
@@ -260,11 +281,20 @@ impl CusanCuda {
 
     fn on_alloc(&self, ptr: Ptr, type_id: TypeId, count: u64, bytes: u64, kind: MemKind) {
         if self.config().typeart {
-            self.tools
+            // An overlapping registration means the allocator handed out a
+            // live range twice. The checker degrades rather than aborts:
+            // the allocation stays untracked (no extent, no Alloc event)
+            // and the inconsistency is reported as a diagnostic.
+            if let Err(e) = self
+                .tools
                 .typeart
                 .borrow_mut()
                 .on_alloc(ptr, type_id, count, kind)
-                .expect("allocator produced overlapping allocation");
+            {
+                self.tools
+                    .report_diagnostic(format!("typeart: allocation at {ptr} not tracked: {e}"));
+                return;
+            }
             let kind = self.tools.intern_label(mem_kind_label(kind));
             self.tools.emit(CusanEvent::Alloc {
                 addr: ptr.addr(),
@@ -284,6 +314,7 @@ impl CusanCuda {
 
     /// `cudaMalloc` for `n` elements of `T`.
     pub fn malloc<T: Pod>(&mut self, n: u64) -> Result<Ptr, CudaError> {
+        self.fault_mem("cudaMalloc")?;
         let p = self.dev.malloc_array::<T>(n)?;
         let tid = self.type_id_of::<T>();
         let bytes = n * T::SIZE as u64;
@@ -293,6 +324,7 @@ impl CusanCuda {
 
     /// `cudaMallocManaged` for `n` elements of `T`.
     pub fn malloc_managed<T: Pod>(&mut self, n: u64) -> Result<Ptr, CudaError> {
+        self.fault_mem("cudaMallocManaged")?;
         let bytes = n * T::SIZE as u64;
         let p = self.dev.malloc_managed(bytes)?;
         let tid = self.type_id_of::<T>();
@@ -302,6 +334,7 @@ impl CusanCuda {
 
     /// `cudaHostAlloc` (pinned) for `n` elements of `T`.
     pub fn host_alloc<T: Pod>(&mut self, n: u64) -> Result<Ptr, CudaError> {
+        self.fault_mem("cudaHostAlloc")?;
         let bytes = n * T::SIZE as u64;
         let p = self.dev.host_alloc(bytes)?;
         let tid = self.type_id_of::<T>();
@@ -311,6 +344,7 @@ impl CusanCuda {
 
     /// Pageable host `malloc` for `n` elements of `T`.
     pub fn host_malloc<T: Pod>(&mut self, n: u64) -> Result<Ptr, CudaError> {
+        self.fault_mem("malloc")?;
         let bytes = n * T::SIZE as u64;
         let p = self.dev.host_malloc(bytes)?;
         let tid = self.type_id_of::<T>();
@@ -322,6 +356,12 @@ impl CusanCuda {
     /// release as a host write (a kernel or MPI operation still using the
     /// buffer is a race), and drops tracking.
     pub fn free(&mut self, ptr: Ptr) -> Result<AllocationInfo, CudaError> {
+        self.fault_mem("cudaFree")?;
+        // A free that will fail (double free, interior pointer) must not
+        // run the synchronize-and-annotate protocol below: the detector
+        // would record phantom stream syncs for an operation that never
+        // happened.
+        self.dev.free_validate(ptr)?;
         // cudaFree synchronizes with the host across all streams
         // (paper §III-B2) — terminate every stream arc first.
         if self.enabled() {
@@ -351,6 +391,7 @@ impl CusanCuda {
 
     /// `cuPointerGetAttribute` passthrough.
     pub fn pointer_attributes(&self, ptr: Ptr) -> Result<PointerAttr, CudaError> {
+        self.fault("cuPointerGetAttribute")?;
         self.dev.pointer_attributes(ptr)
     }
 
@@ -372,6 +413,7 @@ impl CusanCuda {
 
     /// `cudaStreamDestroy`: completes outstanding work (host sync).
     pub fn stream_destroy(&mut self, s: StreamId) -> Result<(), CudaError> {
+        self.fault("cudaStreamDestroy")?;
         self.dev.stream_destroy(s)?;
         self.host_sync_stream(s);
         Ok(())
@@ -387,6 +429,7 @@ impl CusanCuda {
         stream: StreamId,
         args: Vec<LaunchArg>,
     ) -> Result<(), CudaError> {
+        self.fault("cudaLaunchKernel")?;
         // Validate the stream before annotating: a call that will fail in
         // the runtime must not leave phantom accesses in the detector.
         self.dev.stream_flags(stream)?;
@@ -499,6 +542,11 @@ impl CusanCuda {
         stream: StreamId,
         is_async: bool,
     ) -> Result<(), CudaError> {
+        self.fault(if is_async {
+            "cudaMemcpyAsync"
+        } else {
+            "cudaMemcpy"
+        })?;
         self.dev.stream_flags(stream)?;
         let mut host_sync = false;
         if self.enabled() {
@@ -597,6 +645,11 @@ impl CusanCuda {
         stream: StreamId,
         is_async: bool,
     ) -> Result<(), CudaError> {
+        self.fault(if is_async {
+            "cudaMemcpy2DAsync"
+        } else {
+            "cudaMemcpy2D"
+        })?;
         let mut host_sync = false;
         if self.enabled() {
             let dk = self.dev.pointer_attributes(dst)?.kind;
@@ -666,6 +719,11 @@ impl CusanCuda {
         stream: StreamId,
         is_async: bool,
     ) -> Result<(), CudaError> {
+        self.fault(if is_async {
+            "cudaMemsetAsync"
+        } else {
+            "cudaMemset"
+        })?;
         self.dev.stream_flags(stream)?;
         let mut host_sync = false;
         if self.enabled() {
@@ -703,6 +761,7 @@ impl CusanCuda {
     /// `cudaDeviceSynchronize`: terminates the arc of every tracked stream
     /// (paper §IV-A c).
     pub fn device_synchronize(&mut self) -> Result<(), CudaError> {
+        self.fault("cudaDeviceSynchronize")?;
         let r = self.dev.device_synchronize();
         self.bump(counter_names::CUDA_SYNC, 1);
         r?;
@@ -718,6 +777,7 @@ impl CusanCuda {
     /// the legacy default stream also terminates every blocking user
     /// stream's arc (paper §IV-A e).
     pub fn stream_synchronize(&mut self, s: StreamId) -> Result<(), CudaError> {
+        self.fault("cudaStreamSynchronize")?;
         let r = self.dev.stream_synchronize(s);
         self.bump(counter_names::CUDA_SYNC, 1);
         r?;
@@ -733,9 +793,11 @@ impl CusanCuda {
     /// `cudaStreamQuery`, treated as a blocking busy-wait synchronization
     /// (paper §III-B1).
     pub fn stream_query(&mut self, s: StreamId) -> Result<bool, CudaError> {
-        let r = self.dev.stream_query(s);
+        self.fault("cudaStreamQuery")?;
+        // Propagate before counting: a query of a destroyed stream never
+        // reached the device and must leave no trace in the event stream.
+        let done = self.dev.stream_query(s)?;
         self.bump(counter_names::CUDA_SYNC, 1);
-        let done = r?;
         self.host_sync_stream(s);
         if self.enabled() && s.is_default() && self.legacy_default() {
             for u in self.blocking_user_streams() {
@@ -755,7 +817,11 @@ impl CusanCuda {
     /// `cudaEventRecord`: a stream operation that additionally releases
     /// the event's own arc (fine-grained sync marker, paper §III-B1).
     pub fn event_record(&mut self, e: EventId, stream: StreamId) -> Result<(), CudaError> {
+        self.fault("cudaEventRecord")?;
+        // Validate both handles before annotating: a record that will
+        // fail must not release the event's happens-before arc.
         self.dev.stream_flags(stream)?;
+        self.dev.event_validate(e)?;
         if self.enabled() {
             self.stream_op(stream, &[]);
             let fiber = self.fiber_for(stream);
@@ -773,9 +839,9 @@ impl CusanCuda {
 
     /// `cudaEventSynchronize`: host waits for the marker.
     pub fn event_synchronize(&mut self, e: EventId) -> Result<(), CudaError> {
-        let r = self.dev.event_synchronize(e);
+        self.fault("cudaEventSynchronize")?;
+        self.dev.event_synchronize(e)?;
         self.bump(counter_names::CUDA_SYNC, 1);
-        r?;
         if self.enabled() {
             self.tools
                 .emit(CusanEvent::HappensAfter { key: event_key(e) });
@@ -785,6 +851,7 @@ impl CusanCuda {
 
     /// `cudaEventQuery` (non-forcing; a `true` result is a synchronization).
     pub fn event_query(&mut self, e: EventId) -> Result<bool, CudaError> {
+        self.fault("cudaEventQuery")?;
         let done = self.dev.event_query(e)?;
         if done && self.enabled() {
             self.tools
@@ -795,12 +862,14 @@ impl CusanCuda {
 
     /// `cudaEventDestroy`.
     pub fn event_destroy(&mut self, e: EventId) -> Result<(), CudaError> {
+        self.fault("cudaEventDestroy")?;
         self.dev.event_destroy(e)
     }
 
     /// `cudaStreamWaitEvent`: the *stream* (not the host) acquires the
     /// event's arc.
     pub fn stream_wait_event(&mut self, stream: StreamId, e: EventId) -> Result<(), CudaError> {
+        self.fault("cudaStreamWaitEvent")?;
         let r = self.dev.stream_wait_event(stream, e);
         self.bump(counter_names::CUDA_SYNC, 1);
         r?;
@@ -821,6 +890,7 @@ impl CusanCuda {
     /// Flush all outstanding device work (teardown; not an annotated
     /// synchronization).
     pub fn flush(&mut self) -> Result<(), CudaError> {
+        self.fault("cudaFlush")?;
         self.dev.flush()
     }
 }

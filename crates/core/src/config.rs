@@ -1,5 +1,6 @@
 //! Tool configuration and the evaluation-flavor matrix.
 
+use crate::fault::FaultPlan;
 use std::fmt;
 
 /// Which instrumentation layers are active.
@@ -41,6 +42,18 @@ pub struct ToolConfig {
     /// [`crate::ToolCtx::new`]) forces the flat O(bytes) walk for A/B
     /// measurements of the Fig. 12 slope.
     pub shadow_tiered: bool,
+    /// Deterministic fault injection (see [`crate::fault`]): at each
+    /// intercepted CUDA/MPI call, the plan decides whether the call
+    /// returns its typed error instead of running. Disabled by default;
+    /// the `CUSAN_FAULTS=<seed>:<rate>` knob (read in
+    /// [`crate::ToolCtx::new`]) overrides this field process-wide.
+    pub faults: FaultPlan,
+    /// Shadow-memory page budget: once the detector owns this many shadow
+    /// pages it degrades to counted best-effort mode — range annotations
+    /// needing *new* pages are dropped and counted
+    /// (`TsanStats::dropped_annotations`) instead of growing the shadow
+    /// unboundedly. `None` (the default) is unlimited.
+    pub shadow_page_budget: Option<usize>,
 }
 
 impl ToolConfig {
@@ -53,6 +66,8 @@ impl ToolConfig {
         track_access_ranges: false,
         bounded_tracking: false,
         shadow_tiered: true,
+        faults: FaultPlan::DISABLED,
+        shadow_page_budget: None,
     };
 
     /// True if any TSan-backed layer is on.
@@ -98,6 +113,8 @@ impl Flavor {
                 track_access_ranges: false,
                 bounded_tracking: false,
                 shadow_tiered: true,
+                faults: FaultPlan::DISABLED,
+                shadow_page_budget: None,
             },
             Flavor::Must => ToolConfig {
                 tsan: true,
@@ -107,6 +124,8 @@ impl Flavor {
                 track_access_ranges: false,
                 bounded_tracking: false,
                 shadow_tiered: true,
+                faults: FaultPlan::DISABLED,
+                shadow_page_budget: None,
             },
             Flavor::Cusan => ToolConfig {
                 tsan: true,
@@ -116,6 +135,8 @@ impl Flavor {
                 track_access_ranges: true,
                 bounded_tracking: false,
                 shadow_tiered: true,
+                faults: FaultPlan::DISABLED,
+                shadow_page_budget: None,
             },
             Flavor::MustCusan => ToolConfig {
                 tsan: true,
@@ -125,6 +146,8 @@ impl Flavor {
                 track_access_ranges: true,
                 bounded_tracking: false,
                 shadow_tiered: true,
+                faults: FaultPlan::DISABLED,
+                shadow_page_budget: None,
             },
         }
     }
@@ -187,6 +210,20 @@ mod tests {
         }
         let vanilla = ToolConfig::VANILLA;
         assert!(vanilla.shadow_tiered);
+    }
+
+    #[test]
+    fn faults_and_budget_default_off_everywhere() {
+        // Fault injection and the shadow budget are opt-in: every flavor
+        // (and VANILLA) ships with both disabled so behavior is
+        // byte-identical to the pre-fault-injection stack.
+        for f in Flavor::ALL {
+            assert_eq!(f.config().faults, FaultPlan::DISABLED, "{f}");
+            assert!(!f.config().faults.enabled(), "{f}");
+            assert_eq!(f.config().shadow_page_budget, None, "{f}");
+        }
+        assert_eq!(ToolConfig::VANILLA.faults, FaultPlan::DISABLED);
+        assert_eq!(ToolConfig::VANILLA.shadow_page_budget, None);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::config::ToolConfig;
 use crate::event::{CheckerSink, CtxInterner, CusanEvent, EventCounters, EventSink, StrId};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::trace::TraceSink;
 use sim_mem::{AddressSpace, MemError, Pod, Ptr};
 use std::cell::{Cell, Ref, RefCell};
@@ -43,6 +44,27 @@ pub fn shadow_tiered_env() -> Option<bool> {
     })
 }
 
+/// Process-wide `CUSAN_FAULTS=<seed>:<rate>` override, read **once** at
+/// first use (same freeze semantics as [`shadow_tiered_env`], for the
+/// same reason: every rank must see the same fault plan). A malformed
+/// value is ignored with a warning on stderr rather than aborting — the
+/// knob must never make a run *less* robust.
+static FAULTS_ENV: OnceLock<Option<FaultPlan>> = OnceLock::new();
+
+/// The frozen `CUSAN_FAULTS` override (see `FAULTS_ENV`).
+pub fn faults_env() -> Option<FaultPlan> {
+    *FAULTS_ENV.get_or_init(|| match std::env::var("CUSAN_FAULTS") {
+        Ok(v) => match FaultPlan::parse(&v) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("warning: ignoring CUSAN_FAULTS: {e}");
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
 /// Shared per-rank tool state. Not `Send`: each rank thread owns its own.
 pub struct ToolCtx {
     /// Active instrumentation configuration.
@@ -55,29 +77,36 @@ pub struct ToolCtx {
     checker: RefCell<CheckerSink>,
     sinks: RefCell<Vec<Box<dyn EventSink>>>,
     counters: RefCell<EventCounters>,
+    injector: FaultInjector,
+    diagnostics: RefCell<Vec<String>>,
     rank: usize,
     request_serial: Cell<u64>,
 }
 
 impl ToolCtx {
     /// Create the context for one rank. The process-wide frozen
-    /// [`shadow_tiered_env`] override, if set, replaces
-    /// `config.shadow_tiered`.
+    /// [`shadow_tiered_env`] and [`faults_env`] overrides, if set,
+    /// replace `config.shadow_tiered` / `config.faults`.
     pub fn new(rank: usize, mut config: ToolConfig) -> Self {
         if let Some(tiered) = shadow_tiered_env() {
             config.shadow_tiered = tiered;
         }
+        if let Some(plan) = faults_env() {
+            config.faults = plan;
+        }
+        let mut tsan =
+            TsanRuntime::with_shadow_tiering(&format!("host (rank {rank})"), config.shadow_tiered);
+        tsan.set_shadow_page_budget(config.shadow_page_budget);
         ToolCtx {
             config,
-            tsan: RefCell::new(TsanRuntime::with_shadow_tiering(
-                &format!("host (rank {rank})"),
-                config.shadow_tiered,
-            )),
+            tsan: RefCell::new(tsan),
             typeart: RefCell::new(TypeartRuntime::new()),
             strings: RefCell::new(CtxInterner::new()),
             checker: RefCell::new(CheckerSink::new()),
             sinks: RefCell::new(Vec::new()),
             counters: RefCell::new(EventCounters::default()),
+            injector: FaultInjector::new(config.faults),
+            diagnostics: RefCell::new(Vec::new()),
             rank,
             request_serial: Cell::new(0),
         }
@@ -139,9 +168,56 @@ impl ToolCtx {
     /// Install a [`TraceSink`] recording this rank's event stream;
     /// returns the shared buffer holding the serialized trace.
     pub fn install_trace_sink(&self) -> Rc<RefCell<String>> {
-        let (sink, buf) = TraceSink::new(self.rank, self.config.shadow_tiered);
+        let (sink, buf) = TraceSink::new(
+            self.rank,
+            self.config.shadow_tiered,
+            self.config.shadow_page_budget,
+        );
         self.install_sink(Box::new(sink));
         buf
+    }
+
+    // ---- fault injection ----------------------------------------------------
+
+    /// Query the fault injector at one interception site. Advances the
+    /// per-rank site counter exactly once per call (the counter *is* the
+    /// site numbering, so every checked API entry point queries exactly
+    /// once, before doing anything else). Returns `true` if the call must
+    /// fail, in which case an [`CusanEvent::ApiFault`] was emitted so the
+    /// trace carries the fault schedule.
+    pub fn should_fault(&self, call: &'static str) -> bool {
+        match self.injector.next_site() {
+            Some(site) => {
+                let call = self.intern_label(call);
+                self.emit(CusanEvent::ApiFault { call, site });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The active fault plan (after any `CUSAN_FAULTS` override).
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.injector.plan()
+    }
+
+    // ---- diagnostics --------------------------------------------------------
+
+    /// Report a non-fatal tool-internal problem (e.g. a teardown flush
+    /// failure) instead of panicking the rank thread. The message is
+    /// retained for the harness outcome and mirrored into the event
+    /// pipeline as a named counter bump so traces and counters record
+    /// that the run degraded.
+    pub fn report_diagnostic(&self, msg: impl Into<String>) {
+        let msg = msg.into();
+        let counter = self.intern_label("tool.diagnostics");
+        self.emit(CusanEvent::CounterBump { counter, delta: 1 });
+        self.diagnostics.borrow_mut().push(msg);
+    }
+
+    /// Diagnostics reported so far.
+    pub fn diagnostics(&self) -> Vec<String> {
+        self.diagnostics.borrow().clone()
     }
 
     /// Snapshot of the pipeline's own counters (Table-I view derived
@@ -337,6 +413,89 @@ mod tests {
         assert_eq!(c.fiber_creates, 1);
         assert_eq!(c.fiber_switches, 2);
         assert_eq!(c.sync_switches, 1);
+    }
+
+    #[test]
+    fn should_fault_is_silent_when_disabled() {
+        let ctx = ToolCtx::new(0, Flavor::MustCusan.config());
+        let before = ctx.tsan_stats();
+        for _ in 0..1000 {
+            assert!(!ctx.should_fault("cudaMalloc"));
+        }
+        assert_eq!(ctx.event_counters().api_faults, 0);
+        assert_eq!(ctx.tsan_stats(), before);
+    }
+
+    #[test]
+    fn should_fault_fires_deterministically_and_emits_events() {
+        let run = || {
+            let mut config = Flavor::MustCusan.config();
+            config.faults = FaultPlan::with_rate(11, 0.1);
+            let ctx = ToolCtx::new(0, config);
+            let fired: Vec<bool> = (0..500).map(|_| ctx.should_fault("cudaMemcpy")).collect();
+            (fired, ctx.event_counters().api_faults)
+        };
+        let (a, fa) = run();
+        let (b, fb) = run();
+        assert_eq!(a, b, "same plan, same schedule");
+        assert_eq!(fa, fb);
+        assert!(fa > 0, "10% over 500 sites must fire");
+        assert_eq!(fa, a.iter().filter(|f| **f).count() as u64);
+    }
+
+    #[test]
+    fn fault_events_leave_detector_untouched() {
+        // The consistency-on-failure invariant at the ToolCtx level.
+        let mut config = Flavor::MustCusan.config();
+        config.faults = FaultPlan::with_rate(0, 1.0); // every site fires
+        let ctx = ToolCtx::new(0, config);
+        let before = ctx.tsan_stats();
+        let races = ctx.race_count();
+        assert!(ctx.should_fault("MPI_Isend"));
+        assert!(ctx.should_fault("cudaMalloc"));
+        assert_eq!(ctx.tsan_stats(), before);
+        assert_eq!(ctx.race_count(), races);
+        assert_eq!(ctx.event_counters().api_faults, 2);
+    }
+
+    #[test]
+    fn shadow_budget_flows_from_config() {
+        let mut config = Flavor::Cusan.config();
+        config.shadow_page_budget = Some(4);
+        let ctx = ToolCtx::new(0, config);
+        assert_eq!(ctx.tsan.borrow().shadow_page_budget(), Some(4));
+        ctx.annotate_host_write(Ptr(0), 16 << 12, "w");
+        assert_eq!(ctx.tsan_stats().dropped_annotations, 12);
+        assert_eq!(ctx.tsan.borrow().shadow_pages(), 4);
+    }
+
+    #[test]
+    fn report_diagnostic_is_collected_and_counted() {
+        let ctx = ToolCtx::new(0, Flavor::Vanilla.config());
+        assert!(ctx.diagnostics().is_empty());
+        ctx.report_diagnostic("device flush at teardown failed: boom");
+        ctx.report_diagnostic(String::from("second"));
+        assert_eq!(ctx.diagnostics().len(), 2);
+        assert!(ctx.diagnostics()[0].contains("flush"));
+        assert_eq!(ctx.event_counters().named("tool.diagnostics"), 2);
+        // Diagnostics never touch detection state.
+        assert_eq!(ctx.race_count(), 0);
+    }
+
+    #[test]
+    fn faults_env_is_frozen_process_wide() {
+        // Mirrors shadow_tiered_env_is_frozen_process_wide: the first
+        // read wins for the whole process, so every rank (and every
+        // re-run in one process) sees one plan.
+        let frozen = faults_env();
+        let a = ToolCtx::new(0, Flavor::MustCusan.config());
+        std::env::set_var("CUSAN_FAULTS", "123:0.5");
+        assert_eq!(faults_env(), frozen, "env re-read after freeze");
+        let b = ToolCtx::new(1, Flavor::MustCusan.config());
+        assert_eq!(a.fault_plan(), b.fault_plan());
+        std::env::remove_var("CUSAN_FAULTS");
+        let expected = frozen.unwrap_or(Flavor::MustCusan.config().faults);
+        assert_eq!(a.fault_plan(), expected);
     }
 
     #[test]

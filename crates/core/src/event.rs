@@ -121,6 +121,12 @@ pub enum CusanEvent {
     RequestComplete { serial: u64 },
     /// Marker: a named Table-I counter advanced (CUDA rows).
     CounterBump { counter: StrId, delta: u64 },
+    /// Marker: an intercepted CUDA/MPI call returned an injected fault
+    /// (see [`crate::fault`]). `call` names the API call, `site` is the
+    /// rank's interception-site index. Recording these makes a faulty
+    /// run's trace self-contained: replay observes the schedule instead
+    /// of re-deciding it.
+    ApiFault { call: StrId, site: u64 },
 }
 
 /// An ordered observer of the per-rank event stream.
@@ -187,12 +193,16 @@ impl CheckerSink {
                 let ctx = self.runtime_ctx(rt, strings, ctx);
                 rt.write_range(addr, len, ctx);
             }
-            // Markers: no detection semantics.
+            // Markers: no detection semantics. In particular `ApiFault`
+            // must leave the detector untouched — a failed call changes
+            // no happens-before state (the consistency-on-failure
+            // invariant).
             CusanEvent::Alloc { .. }
             | CusanEvent::Free { .. }
             | CusanEvent::RequestBegin { .. }
             | CusanEvent::RequestComplete { .. }
-            | CusanEvent::CounterBump { .. } => {}
+            | CusanEvent::CounterBump { .. }
+            | CusanEvent::ApiFault { .. } => {}
         }
     }
 }
@@ -230,6 +240,8 @@ pub struct EventCounters {
     pub requests_begun: u64,
     /// `RequestComplete` markers.
     pub requests_completed: u64,
+    /// `ApiFault` markers (injected call failures).
+    pub api_faults: u64,
     /// Named counter totals from `CounterBump` events (e.g.
     /// `cuda.kernel_calls`).
     pub named: BTreeMap<String, u64>,
@@ -261,6 +273,7 @@ impl EventCounters {
             CusanEvent::Free { .. } => self.frees += 1,
             CusanEvent::RequestBegin { .. } => self.requests_begun += 1,
             CusanEvent::RequestComplete { .. } => self.requests_completed += 1,
+            CusanEvent::ApiFault { .. } => self.api_faults += 1,
             CusanEvent::CounterBump { counter, delta } => {
                 *self
                     .named
@@ -296,6 +309,7 @@ impl EventCounters {
             frees: self.frees + other.frees,
             requests_begun: self.requests_begun + other.requests_begun,
             requests_completed: self.requests_completed + other.requests_completed,
+            api_faults: self.api_faults + other.api_faults,
             named,
         }
     }
@@ -428,10 +442,12 @@ mod tests {
             },
             CusanEvent::RequestBegin { serial: 0 },
             CusanEvent::RequestComplete { serial: 0 },
+            CusanEvent::ApiFault { call: k, site: 17 },
         ] {
             c.observe(&ev, &strings);
         }
         assert_eq!(c.fiber_switches, 2);
+        assert_eq!(c.api_faults, 1);
         assert_eq!(c.sync_switches, 1);
         assert_eq!(c.read_bytes, 100);
         assert_eq!(c.write_bytes, 50);
@@ -441,5 +457,20 @@ mod tests {
         let m = c.merged(&c);
         assert_eq!(m.read_bytes, 200);
         assert_eq!(m.named(counter_names::CUDA_KERNEL), 6);
+        assert_eq!(m.api_faults, 2);
+    }
+
+    #[test]
+    fn api_fault_is_a_detector_noop() {
+        // The consistency-on-failure invariant at the event level: an
+        // ApiFault marker must not move any detector state.
+        let mut strings = CtxInterner::new();
+        let call = strings.intern("cudaMalloc");
+        let mut rt = TsanRuntime::new("host");
+        let mut checker = CheckerSink::new();
+        let before = rt.stats();
+        checker.apply(&CusanEvent::ApiFault { call, site: 3 }, &strings, &mut rt);
+        assert_eq!(rt.stats(), before);
+        assert_eq!(rt.race_count(), 0);
     }
 }

@@ -1,0 +1,225 @@
+//! Deterministic, seeded fault injection for the simulated CUDA/MPI stack.
+//!
+//! Real CUDA-aware MPI runs fail: `cudaMalloc` returns OOM, streams get
+//! destroyed while in use, requests error out. The simulator substrate
+//! lets us *schedule* such failures deterministically: a [`FaultPlan`]
+//! (seed + rate) decides at every interception site — each checked CUDA
+//! or MPI call — whether the call returns its typed error instead of
+//! running. The decision is a pure function of `(seed, site index)`:
+//!
+//! * **Deterministic**: the same plan over the same call sequence faults
+//!   the same sites, every run. This is what makes per-seed race reports
+//!   and traces reproducible (`chaos_soak` asserts it).
+//! * **Rank-independent**: the site counter is per rank, but the hash
+//!   does not mix the rank in. A bulk-synchronous app whose ranks issue
+//!   the same call sequence therefore faults *in lockstep* on every
+//!   rank, so a failed collective is abandoned by all ranks at once
+//!   instead of deadlocking the survivors. (Asymmetric schedules still
+//!   degrade gracefully: the simulated collectives time out with
+//!   `MpiError::Timeout` rather than hanging — see `mpi-sim`.)
+//!
+//! Fired faults flow through the event pipeline as
+//! [`crate::CusanEvent::ApiFault`], so recorded traces carry the fault
+//! schedule and offline replay reproduces a faulty run bit-for-bit
+//! without re-deciding anything.
+//!
+//! Configure via [`crate::ToolConfig::faults`] or the process-wide
+//! `CUSAN_FAULTS=<seed>:<rate>` knob (rate is a probability in `[0, 1]`;
+//! see [`crate::ctx::faults_env`]).
+
+use std::cell::Cell;
+
+/// Decisions per million sites (the fixed-point domain of the rate).
+const PPM: u64 = 1_000_000;
+
+/// A deterministic fault schedule: seed + fault rate.
+///
+/// The default (and [`FaultPlan::DISABLED`]) injects nothing and is
+/// byte-for-byte invisible: no events, no counters, no behavior change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed mixed into every site decision.
+    pub seed: u64,
+    /// Fault probability in parts per million (0 = disabled, 1_000_000 =
+    /// every site faults).
+    pub rate_ppm: u32,
+}
+
+impl FaultPlan {
+    /// No fault injection (the default).
+    pub const DISABLED: FaultPlan = FaultPlan {
+        seed: 0,
+        rate_ppm: 0,
+    };
+
+    /// A plan from a seed and a fault probability in `[0, 1]`.
+    pub fn with_rate(seed: u64, rate: f64) -> FaultPlan {
+        let ppm = (rate * PPM as f64).round().clamp(0.0, PPM as f64) as u32;
+        FaultPlan {
+            seed,
+            rate_ppm: ppm,
+        }
+    }
+
+    /// True if this plan can ever fire.
+    pub fn enabled(&self) -> bool {
+        self.rate_ppm > 0
+    }
+
+    /// Parse the `CUSAN_FAULTS` knob format `<seed>:<rate>`, where
+    /// `seed` is a u64 and `rate` a probability in `[0, 1]`
+    /// (e.g. `42:0.01`).
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let (seed, rate) = s
+            .split_once(':')
+            .ok_or_else(|| format!("bad fault plan {s:?} (expected `<seed>:<rate>`)"))?;
+        let seed: u64 = seed
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad fault seed {seed:?}: {e}"))?;
+        let rate: f64 = rate
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad fault rate {rate:?}: {e}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("fault rate {rate} outside [0, 1]"));
+        }
+        Ok(FaultPlan::with_rate(seed, rate))
+    }
+
+    /// Whether site number `site` faults under this plan.
+    pub fn fires_at(&self, site: u64) -> bool {
+        self.enabled() && splitmix64(self.seed ^ splitmix64(site)) % PPM < u64::from(self.rate_ppm)
+    }
+}
+
+/// `splitmix64` — the classic 64-bit finalizer-style mixer. Chosen for
+/// its avalanche behavior at tiny cost; the exact constants are part of
+/// the determinism contract (changing them reschedules every plan).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Per-rank fault decision state: the plan plus a monotone site counter.
+///
+/// Every interception-site query advances the counter exactly once,
+/// whether or not the site faults — the counter *is* the site numbering,
+/// so it must advance identically on every rank for lockstep behavior.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    site: Cell<u64>,
+}
+
+impl FaultInjector {
+    /// Injector for a plan (possibly [`FaultPlan::DISABLED`]).
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            site: Cell::new(0),
+        }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Sites queried so far.
+    pub fn sites_visited(&self) -> u64 {
+        self.site.get()
+    }
+
+    /// Advance to the next site; returns `Some(site)` if it faults.
+    pub fn next_site(&self) -> Option<u64> {
+        let site = self.site.get();
+        self.site.set(site + 1);
+        self.plan.fires_at(site).then_some(site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let inj = FaultInjector::new(FaultPlan::DISABLED);
+        for _ in 0..10_000 {
+            assert_eq!(inj.next_site(), None);
+        }
+        assert_eq!(inj.sites_visited(), 10_000);
+        assert!(!FaultPlan::DISABLED.enabled());
+        assert_eq!(FaultPlan::default(), FaultPlan::DISABLED);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan::with_rate(42, 0.05);
+        let a: Vec<bool> = (0..5_000).map(|s| plan.fires_at(s)).collect();
+        let b: Vec<bool> = (0..5_000).map(|s| plan.fires_at(s)).collect();
+        assert_eq!(a, b);
+        let fired = a.iter().filter(|f| **f).count();
+        assert!(fired > 0, "5% over 5000 sites must fire");
+        // A different seed reschedules.
+        let other = FaultPlan::with_rate(43, 0.05);
+        let c: Vec<bool> = (0..5_000).map(|s| other.fires_at(s)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rate_approximates_probability() {
+        let plan = FaultPlan::with_rate(7, 0.10);
+        let n = 100_000u64;
+        let fired = (0..n).filter(|s| plan.fires_at(*s)).count() as f64;
+        let p = fired / n as f64;
+        assert!((p - 0.10).abs() < 0.01, "observed rate {p}");
+    }
+
+    #[test]
+    fn injector_counter_matches_plan() {
+        let plan = FaultPlan::with_rate(3, 0.2);
+        let inj = FaultInjector::new(plan);
+        for site in 0..1_000 {
+            let expect = plan.fires_at(site).then_some(site);
+            assert_eq!(inj.next_site(), expect);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_seed_colon_rate() {
+        assert_eq!(
+            FaultPlan::parse("42:0.01").unwrap(),
+            FaultPlan {
+                seed: 42,
+                rate_ppm: 10_000
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("0:1").unwrap(),
+            FaultPlan {
+                seed: 0,
+                rate_ppm: 1_000_000
+            }
+        );
+        let zero_rate = FaultPlan::parse("9:0").unwrap();
+        assert_eq!(zero_rate.seed, 9);
+        assert!(!zero_rate.enabled());
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("42").is_err());
+        assert!(FaultPlan::parse("x:0.5").is_err());
+        assert!(FaultPlan::parse("42:nan").is_err());
+        assert!(FaultPlan::parse("42:1.5").is_err());
+        assert!(FaultPlan::parse("42:-0.1").is_err());
+    }
+
+    #[test]
+    fn with_rate_clamps_and_rounds() {
+        assert_eq!(FaultPlan::with_rate(0, 0.0).rate_ppm, 0);
+        assert_eq!(FaultPlan::with_rate(0, 1.0).rate_ppm, 1_000_000);
+        assert_eq!(FaultPlan::with_rate(0, 0.5).rate_ppm, 500_000);
+    }
+}

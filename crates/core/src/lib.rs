@@ -38,6 +38,7 @@ pub mod api;
 pub mod config;
 pub mod ctx;
 pub mod event;
+pub mod fault;
 pub mod keys;
 pub mod trace;
 
@@ -45,4 +46,5 @@ pub use api::CusanCuda;
 pub use config::{Flavor, ToolConfig};
 pub use ctx::ToolCtx;
 pub use event::{CheckerSink, CtxInterner, CusanEvent, EventCounters, EventSink, StrId};
+pub use fault::{FaultInjector, FaultPlan};
 pub use trace::{replay, ReplayOutcome, Trace, TraceSink};

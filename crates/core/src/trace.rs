@@ -13,13 +13,18 @@
 //! Line-oriented UTF-8. The first line is the header:
 //!
 //! ```text
-//! cusan-trace v1 rank <rank> tiered <0|1>
+//! cusan-trace v2 rank <rank> tiered <0|1> budget <pages|none>
 //! ```
 //!
-//! `tiered` records the shadow-memory configuration so replay reproduces
-//! the live shadow-tier counters. Every other line is either a string-table
-//! entry — `s <id> <label>` with `\` and newline escaped, ids dense and
-//! ascending, always emitted before first use — or an event:
+//! `tiered` and `budget` record the shadow-memory configuration so replay
+//! reproduces the live shadow-tier counters *and* any best-effort
+//! degradation (`dropped_annotations`) of a budget-capped run. The
+//! version in the magic is bumped whenever the format changes shape (v1 →
+//! v2 added the budget field and the `af` fault event); a version
+//! mismatch fails parsing loudly instead of silently misreading old
+//! recordings. Every other line is either a string-table entry — `s <id>
+//! <label>` with `\` and newline escaped, ids dense and ascending, always
+//! emitted before first use — or an event:
 //!
 //! | line | event |
 //! |---|---|
@@ -32,6 +37,7 @@
 //! | `fr <addr> <bytes>` | free marker (addr hex) |
 //! | `qb <serial>` / `qc <serial>` | MPI request begin / complete |
 //! | `cb <counter> <delta>` | named counter bump |
+//! | `af <call> <site>` | injected API fault |
 //!
 //! All writers format identically, so two recordings of the same
 //! deterministic run are byte-identical (see the Jacobi determinism test).
@@ -41,8 +47,13 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use tsan_rt::{FiberId, RaceReport, SyncKey, TsanRuntime, TsanStats};
 
-/// Magic prefix of a trace header line.
-pub const TRACE_MAGIC: &str = "cusan-trace v1";
+/// Magic prefix of a trace header line. The version is part of the
+/// magic: readers reject any other version with a clear message.
+pub const TRACE_MAGIC: &str = "cusan-trace v2";
+
+/// Version-independent prefix, used to tell "old/new version" apart from
+/// "not a trace at all" in error messages.
+const TRACE_FAMILY: &str = "cusan-trace v";
 
 fn escape(label: &str) -> String {
     label.replace('\\', "\\\\").replace('\n', "\\n")
@@ -76,12 +87,17 @@ pub struct TraceSink {
 }
 
 impl TraceSink {
-    /// Create a sink whose header records `rank` and the shadow-tier
-    /// configuration. Returns the sink and the shared buffer handle the
-    /// caller reads after the run.
-    pub fn new(rank: usize, tiered: bool) -> (TraceSink, Rc<RefCell<String>>) {
+    /// Create a sink whose header records `rank` and the shadow
+    /// configuration (tiering + page budget). Returns the sink and the
+    /// shared buffer handle the caller reads after the run.
+    pub fn new(
+        rank: usize,
+        tiered: bool,
+        budget: Option<usize>,
+    ) -> (TraceSink, Rc<RefCell<String>>) {
+        let budget = budget.map_or_else(|| "none".to_string(), |b| b.to_string());
         let buf = Rc::new(RefCell::new(format!(
-            "{TRACE_MAGIC} rank {rank} tiered {}\n",
+            "{TRACE_MAGIC} rank {rank} tiered {} budget {budget}\n",
             u8::from(tiered)
         )));
         (
@@ -131,6 +147,7 @@ impl EventSink for TraceSink {
             CusanEvent::CounterBump { counter, delta } => {
                 writeln!(buf, "cb {} {delta}", counter.0)
             }
+            CusanEvent::ApiFault { call, site } => writeln!(buf, "af {} {site}", call.0),
         }
         .unwrap();
     }
@@ -143,6 +160,8 @@ pub struct Trace {
     pub rank: usize,
     /// Shadow-tier configuration of the recording run.
     pub tiered: bool,
+    /// Shadow page budget of the recording run (`None` = unlimited).
+    pub budget: Option<usize>,
     /// The string table.
     pub strings: CtxInterner,
     /// The events, in emission order.
@@ -158,17 +177,37 @@ impl Trace {
     pub fn parse(text: &str) -> Result<Trace, String> {
         let mut lines = text.lines().enumerate();
         let (_, header) = lines.next().ok_or("empty trace")?;
-        let rest = header
-            .strip_prefix(TRACE_MAGIC)
-            .ok_or_else(|| format!("bad header {header:?} (expected `{TRACE_MAGIC} …`)"))?;
+        let rest = header.strip_prefix(TRACE_MAGIC).ok_or_else(|| {
+            if header.starts_with(TRACE_FAMILY) {
+                format!(
+                    "unsupported trace format version: got {:?}, this reader only \
+                     understands `{TRACE_MAGIC}` (re-record the trace)",
+                    header
+                        .split_whitespace()
+                        .take(2)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
+            } else {
+                format!("bad header {header:?} (expected `{TRACE_MAGIC} …`)")
+            }
+        })?;
         let hf: Vec<&str> = rest.split_whitespace().collect();
-        let (rank, tiered) = match hf.as_slice() {
-            ["rank", r, "tiered", t] => (
+        let (rank, tiered, budget) = match hf.as_slice() {
+            ["rank", r, "tiered", t, "budget", b] => (
                 r.parse::<usize>().map_err(|e| format!("bad rank: {e}"))?,
                 match *t {
                     "0" => false,
                     "1" => true,
                     other => return Err(format!("bad tiered flag {other:?}")),
+                },
+                match *b {
+                    "none" => None,
+                    pages => Some(
+                        pages
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad budget: {e}"))?,
+                    ),
                 },
             ),
             _ => return Err(format!("bad header fields {rest:?}")),
@@ -267,6 +306,10 @@ impl Trace {
                     counter: sid(0)?,
                     delta: dec(1)?,
                 }),
+                "af" => events.push(CusanEvent::ApiFault {
+                    call: sid(0)?,
+                    site: dec(1)?,
+                }),
                 other => return Err(parse_err(lineno, format!("unknown event kind {other:?}"))),
             }
             // Events must not reference string ids the table hasn't defined.
@@ -278,6 +321,7 @@ impl Trace {
                     }
                     CusanEvent::Alloc { kind, .. } => Some(kind),
                     CusanEvent::CounterBump { counter, .. } => Some(counter),
+                    CusanEvent::ApiFault { call, .. } => Some(call),
                     _ => None,
                 };
                 if let Some(id) = used {
@@ -290,6 +334,7 @@ impl Trace {
         Ok(Trace {
             rank,
             tiered,
+            budget,
             strings,
             events,
         })
@@ -316,6 +361,7 @@ pub struct ReplayOutcome {
 pub fn replay(trace: &Trace) -> ReplayOutcome {
     let mut rt =
         TsanRuntime::with_shadow_tiering(&format!("host (rank {})", trace.rank), trace.tiered);
+    rt.set_shadow_page_budget(trace.budget);
     let mut checker = CheckerSink::new();
     let mut counters = EventCounters::default();
     for ev in &trace.events {
@@ -334,7 +380,7 @@ mod tests {
     use super::*;
 
     fn record(events: &[(CusanEvent, &CtxInterner)]) -> String {
-        let (mut sink, buf) = TraceSink::new(3, true);
+        let (mut sink, buf) = TraceSink::new(3, true, None);
         for (ev, strings) in events {
             sink.on_event(ev, strings);
         }
@@ -384,12 +430,17 @@ mod tests {
                 counter: ctx,
                 delta: 2,
             },
+            CusanEvent::ApiFault {
+                call: name,
+                site: 7,
+            },
             CusanEvent::FiberDestroy { fiber: f },
         ];
         let text = record(&events.iter().map(|e| (*e, &strings)).collect::<Vec<_>>());
         let trace = Trace::parse(&text).unwrap();
         assert_eq!(trace.rank, 3);
         assert!(trace.tiered);
+        assert_eq!(trace.budget, None);
         assert_eq!(trace.events, events);
         assert_eq!(trace.strings.label(name), "cuda stream 0 (default)");
         assert_eq!(trace.strings.label(ctx), "kernel k arg#0 (p) [write]");
@@ -417,17 +468,63 @@ mod tests {
     fn parse_rejects_malformed_input() {
         assert!(Trace::parse("").is_err());
         assert!(Trace::parse("not-a-trace\n").is_err());
-        assert!(Trace::parse(&format!("{TRACE_MAGIC} rank x tiered 1\n")).is_err());
-        let ok_header = format!("{TRACE_MAGIC} rank 0 tiered 1\n");
+        assert!(Trace::parse(&format!("{TRACE_MAGIC} rank x tiered 1 budget none\n")).is_err());
+        assert!(Trace::parse(&format!("{TRACE_MAGIC} rank 0 tiered 1 budget zz\n")).is_err());
+        let ok_header = format!("{TRACE_MAGIC} rank 0 tiered 1 budget none\n");
         assert!(Trace::parse(&format!("{ok_header}zz 1 2\n")).is_err());
         assert!(Trace::parse(&format!("{ok_header}rr zz 8 0\n")).is_err());
-        // Event referencing an undefined string id.
+        // Event referencing an undefined string id — `af` included.
         assert!(Trace::parse(&format!("{ok_header}fc 1 0\n")).is_err());
+        assert!(Trace::parse(&format!("{ok_header}af 0 1\n")).is_err());
         // Non-dense string table.
         assert!(Trace::parse(&format!("{ok_header}s 5 label\n")).is_err());
         // Well-formed minimal trace parses.
         let t = Trace::parse(&format!("{ok_header}s 0 f\nfc 1 0\nfd 1\n")).unwrap();
         assert_eq!(t.events.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_old_version_loudly() {
+        // A v1 recording (no budget field, no `af` events) must fail with a
+        // version message, not a generic header error.
+        let err = Trace::parse("cusan-trace v1 rank 0 tiered 1\n").unwrap_err();
+        assert!(
+            err.contains("unsupported trace format version"),
+            "got: {err}"
+        );
+        assert!(err.contains("v1"), "got: {err}");
+    }
+
+    #[test]
+    fn budget_survives_roundtrip_and_shapes_replay() {
+        let mut strings = CtxInterner::new();
+        let name = strings.intern("cuda stream 0");
+        let ctx = strings.intern("big write");
+        let f = FiberId::from_index(1);
+        let events = [
+            CusanEvent::FiberCreate { fiber: f, name },
+            CusanEvent::FiberSwitch {
+                fiber: f,
+                sync: true,
+            },
+            CusanEvent::WriteRange {
+                addr: 0x10000,
+                len: 8 << 12,
+                ctx,
+            },
+        ];
+        let (mut sink, buf) = TraceSink::new(0, true, Some(2));
+        for ev in &events {
+            sink.on_event(ev, &strings);
+        }
+        let text = buf.borrow().clone();
+        assert!(text.starts_with(&format!("{TRACE_MAGIC} rank 0 tiered 1 budget 2\n")));
+        let trace = Trace::parse(&text).unwrap();
+        assert_eq!(trace.budget, Some(2));
+        // Replay applies the recorded budget, reproducing the degradation
+        // counters of the capped live run.
+        let out = replay(&trace);
+        assert_eq!(out.stats.dropped_annotations, 6);
     }
 
     #[test]

@@ -141,6 +141,12 @@ impl CudaDevice {
         Ok(self.space.free(ptr)?)
     }
 
+    /// Validate a `free` target without freeing it (see
+    /// [`AddressSpace::free_validate`]).
+    pub fn free_validate(&self, ptr: Ptr) -> Result<(), CudaError> {
+        Ok(self.space.free_validate(ptr)?)
+    }
+
     /// `cudaFreeAsync`: stream-ordered release — waits only for the given
     /// stream's prior work.
     pub fn free_async(&mut self, ptr: Ptr, stream: StreamId) -> Result<AllocationInfo, CudaError> {
@@ -538,6 +544,13 @@ impl CudaDevice {
             return Err(CudaError::InvalidEvent(e.0));
         }
         Ok(*st)
+    }
+
+    /// Validate an event handle without touching it. Checker-side
+    /// precondition: a record that will fail must not leave annotations
+    /// behind, so the handle is checked before any emission.
+    pub fn event_validate(&self, e: EventId) -> Result<(), CudaError> {
+        self.check_event(e).map(|_| ())
     }
 
     /// `cudaEventRecord`: places a completion marker on `stream`.

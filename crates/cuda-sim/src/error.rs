@@ -42,6 +42,12 @@ pub enum CudaError {
     StreamDestroyed(u32),
     /// Event used before being recorded.
     EventNotRecorded(u32),
+    /// Failure injected by a fault plan (see `cusan::fault`); the
+    /// operation was not performed.
+    FaultInjected {
+        /// Name of the intercepted call that was made to fail.
+        call: &'static str,
+    },
 }
 
 impl fmt::Display for CudaError {
@@ -71,6 +77,7 @@ impl fmt::Display for CudaError {
             CudaError::Kernel(e) => write!(f, "device fault: {e}"),
             CudaError::StreamDestroyed(s) => write!(f, "stream {s} already destroyed"),
             CudaError::EventNotRecorded(e) => write!(f, "event {e} has not been recorded"),
+            CudaError::FaultInjected { call } => write!(f, "injected fault in {call}"),
         }
     }
 }

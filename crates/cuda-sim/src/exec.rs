@@ -97,6 +97,11 @@ impl BoundBuf<'_> {
 
 struct GuardMemory<'a> {
     bufs: Vec<BoundBuf<'a>>,
+    /// First slot the kernel stored into without a write binding (the
+    /// access analysis failed to mark a written argument). The trait's
+    /// `store` cannot fail, so the violation is recorded here — the store
+    /// is dropped — and surfaced as a typed error after the run.
+    bad_store: Option<usize>,
 }
 
 impl KernelMemory for GuardMemory<'_> {
@@ -125,12 +130,22 @@ impl KernelMemory for GuardMemory<'_> {
             (BoundBuf::WF32(g), KValue::F(x)) => g[i] = x as f32,
             (BoundBuf::WI64(g), KValue::I(x)) => g[i] = x,
             (BoundBuf::WI32(g), KValue::I(x)) => g[i] = x as i32,
-            (b, v) => unreachable!(
-                "store into read-bound or mismatched slot {slot}: {v:?} \
-                 (len {}) — access analysis must mark written args",
-                b.len()
-            ),
+            _ => {
+                self.bad_store.get_or_insert(slot);
+            }
         }
+    }
+}
+
+/// Signature/argument mismatch that survived past enqueue-time validation
+/// (registry swapped between enqueue and drain, or an internal binding
+/// bug): surfaced as the same typed error the enqueue check raises instead
+/// of a panic.
+fn bad_arg(def: &KernelDef, index: usize) -> CudaError {
+    CudaError::BadKernelArg {
+        kernel: def.name.clone(),
+        index,
+        expected: "argument consistent with the signature validated at enqueue".to_string(),
     }
 }
 
@@ -195,10 +210,10 @@ pub(crate) fn execute_kernel(
         // Build in reverse-safe order: drain bufs into an indexable pool of
         // &mut; simplest is to consume `bufs` into per-param args directly.
         let mut buf_iter = bufs.iter_mut();
-        for (p, a) in def.params.iter().zip(args) {
+        for (i, (p, a)) in def.params.iter().zip(args).enumerate() {
             match (p.ty, a) {
                 (ParamTy::Ptr(_), LaunchArg::Ptr(_)) => {
-                    let buf = buf_iter.next().expect("one buffer per pointer arg");
+                    let buf = buf_iter.next().ok_or_else(|| bad_arg(def, i))?;
                     native_args.push(match buf {
                         BoundBuf::WF64(g) => NativeArg::MutF64(g),
                         BoundBuf::RF64(g) => NativeArg::RefF64(g),
@@ -212,7 +227,7 @@ pub(crate) fn execute_kernel(
                 }
                 (_, LaunchArg::F64(v)) => native_args.push(NativeArg::F64(*v)),
                 (_, LaunchArg::I64(v)) => native_args.push(NativeArg::I64(*v)),
-                _ => unreachable!("validated at enqueue"),
+                _ => return Err(bad_arg(def, i)),
             }
         }
         let mut ctx = NativeCtx::new(&def.name, grid.total(), native_args);
@@ -220,23 +235,36 @@ pub(crate) fn execute_kernel(
         Ok(())
     } else {
         // Interpreter path over the same bound views.
-        let run_args: Vec<RunArg> = def
-            .params
-            .iter()
-            .zip(args)
-            .enumerate()
-            .map(|(i, (p, a))| match (p.ty, a) {
+        let mut run_args: Vec<RunArg> = Vec::with_capacity(args.len());
+        for (i, (p, a)) in def.params.iter().zip(args).enumerate() {
+            run_args.push(match (p.ty, a) {
                 (ParamTy::Ptr(_), LaunchArg::Ptr(_)) => {
-                    RunArg::Slot(slot_of_param[i].expect("bound"))
+                    RunArg::Slot(slot_of_param[i].ok_or_else(|| bad_arg(def, i))?)
                 }
                 (_, LaunchArg::F64(v)) => RunArg::Val(KValue::F(*v)),
                 (_, LaunchArg::I64(v)) => RunArg::Val(KValue::I(*v)),
-                _ => unreachable!("validated at enqueue"),
-            })
-            .collect();
-        let mut mem = GuardMemory { bufs };
-        interp::run(registry.defs(), kernel, grid.total(), &run_args, &mut mem)
-            .map_err(CudaError::Kernel)
+                _ => return Err(bad_arg(def, i)),
+            });
+        }
+        let mut mem = GuardMemory {
+            bufs,
+            bad_store: None,
+        };
+        let run = interp::run(registry.defs(), kernel, grid.total(), &run_args, &mut mem)
+            .map_err(CudaError::Kernel);
+        if let Some(slot) = mem.bad_store {
+            let index = slot_of_param
+                .iter()
+                .position(|s| *s == Some(slot))
+                .unwrap_or(slot);
+            return Err(CudaError::BadKernelArg {
+                kernel: def.name.clone(),
+                index,
+                expected: "write access attribute (kernel stored into a read-bound argument)"
+                    .to_string(),
+            });
+        }
+        run
     }
 }
 

@@ -1,0 +1,152 @@
+//! A deadlock-safe rank barrier.
+//!
+//! `std::sync::Barrier` hangs forever if a rank never arrives — which is
+//! exactly what happens when fault injection (or an application bug) makes
+//! one rank abandon a collective. [`SimBarrier`] behaves identically in
+//! the success case (generation-counted, reusable, one leader per round)
+//! but converts a missing rank into [`MpiError::Timeout`]: the first
+//! waiter to time out *poisons* the barrier, every current and future
+//! waiter returns the error, and the world tears down instead of hanging.
+
+use crate::error::MpiError;
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+/// Outcome of a successful [`SimBarrier::wait`].
+pub(crate) struct BarrierWait {
+    leader: bool,
+}
+
+impl BarrierWait {
+    /// True on exactly one rank per round (the last arrival).
+    pub fn is_leader(&self) -> bool {
+        self.leader
+    }
+}
+
+/// A reusable `size`-rank barrier with timeout + poison semantics.
+pub(crate) struct SimBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    size: usize,
+    timeout: Duration,
+    what: &'static str,
+}
+
+impl SimBarrier {
+    /// Barrier for `size` ranks with the standard deadlock-detection
+    /// timeout; `what` names the synchronization point in the error.
+    pub fn new(size: usize, what: &'static str) -> Self {
+        Self::with_timeout(size, what, crate::request::WAIT_TIMEOUT)
+    }
+
+    /// As [`SimBarrier::new`] with an explicit timeout (short-timeout
+    /// tests).
+    pub fn with_timeout(size: usize, what: &'static str, timeout: Duration) -> Self {
+        SimBarrier {
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            size,
+            timeout,
+            what,
+        }
+    }
+
+    fn timeout_err(&self) -> MpiError {
+        MpiError::Timeout {
+            what: self.what.to_string(),
+        }
+    }
+
+    /// Block until all `size` ranks arrive. The last arrival is the
+    /// round's leader and releases the others. Returns
+    /// [`MpiError::Timeout`] if the round does not complete within the
+    /// timeout, or immediately if an earlier round already poisoned the
+    /// barrier.
+    pub fn wait(&self) -> Result<BarrierWait, MpiError> {
+        let mut s = self.state.lock();
+        if s.poisoned {
+            return Err(self.timeout_err());
+        }
+        s.arrived += 1;
+        if s.arrived == self.size {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(BarrierWait { leader: true });
+        }
+        let gen = s.generation;
+        while s.generation == gen && !s.poisoned {
+            if self.cv.wait_for(&mut s, self.timeout).timed_out() {
+                s.poisoned = true;
+                self.cv.notify_all();
+                return Err(self.timeout_err());
+            }
+        }
+        if s.poisoned {
+            return Err(self.timeout_err());
+        }
+        Ok(BarrierWait { leader: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn releases_all_with_one_leader_per_round() {
+        let b = Arc::new(SimBarrier::new(4, "test barrier"));
+        for _round in 0..5 {
+            let leaders: usize = std::thread::scope(|s| {
+                (0..4)
+                    .map(|_| {
+                        let b = Arc::clone(&b);
+                        s.spawn(move || usize::from(b.wait().unwrap().is_leader()))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum()
+            });
+            assert_eq!(leaders, 1);
+        }
+    }
+
+    #[test]
+    fn missing_rank_times_out_and_poisons() {
+        let b = Arc::new(SimBarrier::with_timeout(
+            3,
+            "test barrier",
+            Duration::from_millis(50),
+        ));
+        // Only 2 of 3 ranks arrive: both must time out rather than hang.
+        std::thread::scope(|s| {
+            let errs: Vec<_> = (0..2)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || b.wait())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect();
+            for e in errs {
+                assert!(matches!(e, Err(MpiError::Timeout { .. })));
+            }
+        });
+        // The barrier stays poisoned: a late arrival errors immediately.
+        assert!(matches!(b.wait(), Err(MpiError::Timeout { .. })));
+    }
+}

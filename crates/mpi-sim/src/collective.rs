@@ -6,11 +6,11 @@
 //! the overhead-critical path of the evaluation; their MPI-semantic
 //! surface (buffer reads/writes) is what MUST annotates.
 
+use crate::barrier::SimBarrier;
 use crate::datatype::{reduce_bytes, MpiDatatype, ReduceOp};
 use crate::error::MpiError;
 use parking_lot::Mutex;
 use sim_mem::{AddressSpace, Ptr};
-use std::sync::Barrier;
 
 struct Slots {
     contribs: Vec<Option<Vec<u8>>>,
@@ -19,7 +19,7 @@ struct Slots {
 
 pub(crate) struct CollShared {
     slots: Mutex<Slots>,
-    phase: Barrier,
+    phase: SimBarrier,
     size: usize,
 }
 
@@ -30,7 +30,7 @@ impl CollShared {
                 contribs: vec![None; size],
                 result: None,
             }),
-            phase: Barrier::new(size),
+            phase: SimBarrier::new(size, "collective phase"),
             size,
         }
     }
@@ -49,23 +49,26 @@ impl CollShared {
             let mut s = self.slots.lock();
             contribute(&mut s.contribs);
         }
-        let r1 = self.phase.wait();
+        // A missing rank (fault injection, application bug) poisons the
+        // phase barrier and every participant returns Timeout instead of
+        // hanging the world.
+        let r1 = self.phase.wait()?;
         if r1.is_leader() {
             let mut s = self.slots.lock();
             compute(&mut s);
         }
-        self.phase.wait();
+        self.phase.wait()?;
         let out = {
             let s = self.slots.lock();
             consume(&s)
         };
-        let r3 = self.phase.wait();
+        let r3 = self.phase.wait()?;
         if r3.is_leader() {
             let mut s = self.slots.lock();
             s.contribs.iter_mut().for_each(|c| *c = None);
             s.result = None;
         }
-        self.phase.wait();
+        self.phase.wait()?;
         let _ = rank;
         out
     }
@@ -418,7 +421,7 @@ mod tests {
         let c = Arc::clone(&counter);
         run_world(4, sp, move |comm| {
             c.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
+            comm.barrier().unwrap();
             // After the barrier every rank must observe all increments.
             assert_eq!(c.load(Ordering::SeqCst), 4);
         });

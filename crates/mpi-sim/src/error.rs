@@ -31,6 +31,12 @@ pub enum MpiError {
     },
     /// Request already completed or invalid.
     BadRequest,
+    /// Failure injected by a fault plan (see `cusan::fault`); the
+    /// operation was not performed.
+    FaultInjected {
+        /// Name of the intercepted call that was made to fail.
+        call: &'static str,
+    },
 }
 
 impl fmt::Display for MpiError {
@@ -50,6 +56,7 @@ impl fmt::Display for MpiError {
                 write!(f, "MPI timeout (likely deadlock): waiting for {what}")
             }
             MpiError::BadRequest => write!(f, "invalid or already-completed request"),
+            MpiError::FaultInjected { call } => write!(f, "injected fault in {call}"),
         }
     }
 }

@@ -26,6 +26,7 @@
 //! timeout and reported as [`MpiError::Timeout`] instead of hanging the
 //! test suite.
 
+mod barrier;
 pub mod collective;
 pub mod datatype;
 pub mod error;

@@ -16,13 +16,14 @@
 //! earliest posted send with a matching `(source, tag)`, and an arriving
 //! send matches the earliest posted matching receive.
 
+use crate::barrier::SimBarrier;
 use crate::collective::CollShared;
 use crate::datatype::{MpiDatatype, ReduceOp};
 use crate::error::MpiError;
 use crate::request::{Flag, Request, RequestKind, Status};
 use parking_lot::Mutex;
 use sim_mem::{AddressSpace, Ptr};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
 /// Wildcard source rank (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: i32 = -1;
@@ -77,7 +78,7 @@ pub(crate) struct WorldShared {
     pub space: Arc<AddressSpace>,
     pub size: usize,
     mailboxes: Vec<Mutex<MailboxState>>,
-    pub barrier: Barrier,
+    pub barrier: SimBarrier,
     pub coll: CollShared,
 }
 
@@ -393,9 +394,10 @@ impl Comm {
         self.wait(&mut rreq)
     }
 
-    /// `MPI_Barrier`.
-    pub fn barrier(&self) {
-        self.shared.barrier.wait();
+    /// `MPI_Barrier`. Returns [`MpiError::Timeout`] instead of hanging if
+    /// some rank never arrives (see [`SimBarrier`]).
+    pub fn barrier(&self) -> Result<(), MpiError> {
+        self.shared.barrier.wait().map(|_| ())
     }
 
     /// `MPI_Allreduce`.
@@ -532,7 +534,7 @@ pub fn run_world<T: Send>(
         mailboxes: (0..n)
             .map(|_| Mutex::new(MailboxState::default()))
             .collect(),
-        barrier: Barrier::new(n),
+        barrier: SimBarrier::new(n, "Barrier"),
         coll: CollShared::new(n),
     });
     std::thread::scope(|s| {
@@ -788,14 +790,14 @@ mod tests {
                 assert_eq!(i, 1);
                 assert_eq!(st.tag, 2);
                 // The other request stays pending; a second send completes it.
-                comm.barrier();
+                comm.barrier().unwrap();
                 let (i, _) = comm.waitany(&mut reqs).unwrap();
                 assert_eq!(i, 0);
                 // All done: further waitany is an error.
                 assert!(matches!(comm.waitany(&mut reqs), Err(MpiError::BadRequest)));
             } else {
                 comm.send(tx, 1, MpiDatatype::Int, 0, 2).unwrap();
-                comm.barrier();
+                comm.barrier().unwrap();
                 comm.send(tx, 1, MpiDatatype::Int, 0, 1).unwrap();
             }
         });
@@ -888,10 +890,10 @@ mod tests {
                 // user-visible corruption of a missing wait (the receiver
                 // delays its recv until after our write via a barrier).
                 sp_fill(comm.space(), tx, 2.0);
-                comm.barrier();
+                comm.barrier().unwrap();
                 comm.wait(&mut req).unwrap();
             } else {
-                comm.barrier(); // let rank 0 overwrite first
+                comm.barrier().unwrap(); // let rank 0 overwrite first
                 comm.recv(rx, 1024, MpiDatatype::Double, 0, 0).unwrap();
                 assert_eq!(
                     comm.space().read_at::<f64>(rx).unwrap(),

@@ -69,6 +69,9 @@ pub struct RankOutcome {
     pub trace: Option<String>,
     /// Tool heap usage in bytes (Fig. 11 numerator contribution).
     pub tool_memory_bytes: u64,
+    /// Non-fatal tool diagnostics (teardown flush failures, degraded
+    /// tracking) — conditions the checker reports instead of panicking on.
+    pub diagnostics: Vec<String>,
 }
 
 /// Result of a checked world run.
@@ -113,6 +116,14 @@ impl<T> WorldOutcome<T> {
     /// Total tool memory across ranks.
     pub fn total_tool_memory(&self) -> u64 {
         self.ranks.iter().map(|r| r.tool_memory_bytes).sum()
+    }
+
+    /// All tool diagnostics, rank-tagged.
+    pub fn all_diagnostics(&self) -> Vec<(usize, String)> {
+        self.ranks
+            .iter()
+            .flat_map(|r| r.diagnostics.iter().map(move |d| (r.rank, d.clone())))
+            .collect()
     }
 }
 
@@ -167,8 +178,14 @@ fn run_world_impl<T: Send>(
         let mut ctx = RankCtx { tools, cuda, mpi };
         let result = f(&mut ctx);
         // Drain outstanding device work before collecting outcomes, like
-        // the implicit synchronization at MPI_Finalize/program end.
-        ctx.cuda.flush().expect("device flush at teardown");
+        // the implicit synchronization at MPI_Finalize/program end. A
+        // failing flush (injected fault, device error) must not abort the
+        // harness after the application already finished — report it and
+        // collect what we have.
+        if let Err(e) = ctx.cuda.flush() {
+            ctx.tools
+                .report_diagnostic(format!("device flush at teardown failed: {e}"));
+        }
         let outcome = RankOutcome {
             rank,
             races: ctx.tools.race_reports(),
@@ -179,6 +196,7 @@ fn run_world_impl<T: Send>(
             events: ctx.tools.event_counters(),
             trace: trace_buf.map(|b| b.borrow().clone()),
             tool_memory_bytes: ctx.tools.tool_memory_bytes(),
+            diagnostics: ctx.tools.diagnostics(),
         };
         (result, outcome)
     });

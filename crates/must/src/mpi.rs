@@ -70,6 +70,23 @@ impl CheckedMpi {
         self.tools.config.must
     }
 
+    /// Fault-injection gate, checked first in every fallible call — before
+    /// PROC_NULL short-circuits and before any annotation, so every rank
+    /// of a call-symmetric app advances its site counter identically and a
+    /// faulted call leaves no happens-before state behind.
+    ///
+    /// Polling calls (`test`, `waitany`) are deliberately *not* gated:
+    /// their invocation count depends on completion timing, which would
+    /// make the site counter — and thus the whole fault schedule —
+    /// nondeterministic.
+    fn fault(&self, call: &'static str) -> Result<(), MpiError> {
+        if self.tools.should_fault(call) {
+            Err(MpiError::FaultInjected { call })
+        } else {
+            Ok(())
+        }
+    }
+
     fn run_checks(&self, call: &str, buf: Ptr, count: u64, dtype: MpiDatatype) {
         // The datatype analysis needs TypeART's allocation data; it is
         // active only when both layers run (the MUST & CuSan stack).
@@ -175,6 +192,7 @@ impl CheckedMpi {
         dest: i64,
         tag: i32,
     ) -> Result<Status, MpiError> {
+        self.fault("MPI_Send")?;
         if dest != PROC_NULL {
             self.run_checks("MPI_Send", buf, count, dtype);
             self.annotate_host(buf, count * dtype.size(), false, "MPI_Send buffer [read]");
@@ -191,6 +209,7 @@ impl CheckedMpi {
         src: i32,
         tag: i32,
     ) -> Result<Status, MpiError> {
+        self.fault("MPI_Recv")?;
         if src != PROC_NULL_SRC {
             self.run_checks("MPI_Recv", buf, count, dtype);
             self.annotate_host(buf, count * dtype.size(), true, "MPI_Recv buffer [write]");
@@ -207,6 +226,7 @@ impl CheckedMpi {
         dest: i64,
         tag: i32,
     ) -> Result<MustRequest, MpiError> {
+        self.fault("MPI_Isend")?;
         if dest == PROC_NULL {
             let inner = self.comm.isend(buf, count, dtype, dest, tag)?;
             return Ok(MustRequest {
@@ -237,6 +257,7 @@ impl CheckedMpi {
         src: i32,
         tag: i32,
     ) -> Result<MustRequest, MpiError> {
+        self.fault("MPI_Irecv")?;
         if src == PROC_NULL_SRC {
             let inner = self.comm.irecv(buf, count, dtype, src, tag)?;
             return Ok(MustRequest {
@@ -260,6 +281,7 @@ impl CheckedMpi {
 
     /// `MPI_Wait`: completion terminates the request's concurrent region.
     pub fn wait(&self, req: &mut MustRequest) -> Result<Status, MpiError> {
+        self.fault("MPI_Wait")?;
         let st = self.comm.wait(&mut req.inner)?;
         self.complete_nonblocking(req);
         Ok(st)
@@ -315,6 +337,7 @@ impl CheckedMpi {
         recv_tag: i32,
         dtype: MpiDatatype,
     ) -> Result<Status, MpiError> {
+        self.fault("MPI_Sendrecv")?;
         if dest != PROC_NULL {
             self.run_checks("MPI_Sendrecv (send)", send_buf, send_count, dtype);
             self.annotate_host(
@@ -341,8 +364,9 @@ impl CheckedMpi {
     // ---- collectives ------------------------------------------------------------
 
     /// `MPI_Barrier`.
-    pub fn barrier(&self) {
-        self.comm.barrier();
+    pub fn barrier(&self) -> Result<(), MpiError> {
+        self.fault("MPI_Barrier")?;
+        self.comm.barrier()
     }
 
     /// `MPI_Allreduce`.
@@ -354,6 +378,7 @@ impl CheckedMpi {
         dtype: MpiDatatype,
         op: ReduceOp,
     ) -> Result<(), MpiError> {
+        self.fault("MPI_Allreduce")?;
         self.run_checks("MPI_Allreduce (send)", send_buf, count, dtype);
         self.run_checks("MPI_Allreduce (recv)", recv_buf, count, dtype);
         self.annotate_host(
@@ -382,6 +407,7 @@ impl CheckedMpi {
         op: ReduceOp,
         root: usize,
     ) -> Result<(), MpiError> {
+        self.fault("MPI_Reduce")?;
         self.run_checks("MPI_Reduce (send)", send_buf, count, dtype);
         self.annotate_host(
             send_buf,
@@ -410,6 +436,7 @@ impl CheckedMpi {
         dtype: MpiDatatype,
         root: usize,
     ) -> Result<(), MpiError> {
+        self.fault("MPI_Gather")?;
         self.run_checks("MPI_Gather (send)", send_buf, count, dtype);
         self.annotate_host(
             send_buf,
@@ -442,6 +469,7 @@ impl CheckedMpi {
         count: u64,
         dtype: MpiDatatype,
     ) -> Result<(), MpiError> {
+        self.fault("MPI_Allgather")?;
         self.run_checks("MPI_Allgather (send)", send_buf, count, dtype);
         self.run_checks(
             "MPI_Allgather (recv)",
@@ -473,6 +501,7 @@ impl CheckedMpi {
         dtype: MpiDatatype,
         root: usize,
     ) -> Result<(), MpiError> {
+        self.fault("MPI_Scatter")?;
         if self.rank() == root {
             self.run_checks(
                 "MPI_Scatter (send)",
@@ -505,6 +534,7 @@ impl CheckedMpi {
         dtype: MpiDatatype,
         root: usize,
     ) -> Result<(), MpiError> {
+        self.fault("MPI_Bcast")?;
         self.run_checks("MPI_Bcast", buf, count, dtype);
         let write = self.rank() != root;
         self.annotate_host(

@@ -30,6 +30,12 @@ pub enum MemError {
     },
     /// Allocation of zero bytes was requested.
     ZeroSized,
+    /// Failure injected by a fault plan (see `cusan::fault`); the
+    /// operation was not performed.
+    FaultInjected {
+        /// Name of the intercepted call that was made to fail.
+        call: &'static str,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -52,6 +58,9 @@ impl fmt::Display for MemError {
                 write!(f, "range [{ptr}, +{len}) crosses allocation boundaries")
             }
             MemError::ZeroSized => write!(f, "zero-sized allocation requested"),
+            MemError::FaultInjected { call } => {
+                write!(f, "injected fault in {call}")
+            }
         }
     }
 }

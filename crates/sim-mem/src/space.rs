@@ -243,6 +243,18 @@ impl AddressSpace {
         }
     }
 
+    /// Check that `ptr` is a valid `free` target (the base of a live
+    /// allocation) without freeing anything. Checker-side precondition: a
+    /// free that will fail must not run its synchronize-and-annotate
+    /// protocol first.
+    pub fn free_validate(&self, ptr: Ptr) -> Result<(), MemError> {
+        match self.find(ptr) {
+            Ok(a) if a.base() == ptr => Ok(()),
+            Ok(_) => Err(MemError::NotABase(ptr)),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Find the live allocation containing `ptr`.
     pub fn find(&self, ptr: Ptr) -> Result<Arc<Allocation>, MemError> {
         let table = self.table.read();

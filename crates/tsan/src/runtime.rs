@@ -275,7 +275,21 @@ impl TsanRuntime {
         s.fastpath_hits = c.fastpath_hits;
         s.page_summaries_stored = c.page_summaries_stored;
         s.page_unfolds = c.page_unfolds;
+        s.dropped_annotations = c.dropped_annotations;
         s
+    }
+
+    /// Cap the shadow's page count; past the budget the detector runs in
+    /// counted best-effort mode (see
+    /// [`crate::shadow::ShadowMemory::set_page_budget`]). `None` =
+    /// unlimited (the default).
+    pub fn set_shadow_page_budget(&mut self, budget: Option<usize>) {
+        self.shadow.set_page_budget(budget);
+    }
+
+    /// The configured shadow page budget.
+    pub fn shadow_page_budget(&self) -> Option<usize> {
+        self.shadow.page_budget()
     }
 
     /// Whether the shadow's summary/fast-path tiers are active.
@@ -559,6 +573,25 @@ mod tests {
         assert_eq!(s.page_unfolds, 1);
         assert!(t.shadow_tiering_enabled());
         assert!(!TsanRuntime::with_shadow_tiering("h", false).shadow_tiering_enabled());
+    }
+
+    #[test]
+    fn shadow_budget_degrades_and_surfaces_in_stats() {
+        let mut t = rt();
+        assert_eq!(t.shadow_page_budget(), None);
+        t.set_shadow_page_budget(Some(2));
+        assert_eq!(t.shadow_page_budget(), Some(2));
+        let c = t.intern_ctx("big write");
+        t.write_range(0, 8 << 12, c); // 8 pages, budget 2
+        assert_eq!(t.shadow_pages(), 2);
+        let s = t.stats();
+        assert_eq!(s.dropped_annotations, 6);
+        assert_eq!(s.write_range_calls, 1, "call still counted");
+        // No budget → the counter stays zero.
+        let mut u = rt();
+        let c = u.intern_ctx("w");
+        u.write_range(0, 8 << 12, c);
+        assert_eq!(u.stats().dropped_annotations, 0);
     }
 
     #[test]

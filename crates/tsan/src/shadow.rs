@@ -129,6 +129,10 @@ pub struct ShadowCounters {
     /// Summaries expanded into flat word slots (partial overlap or a
     /// store that needed word-local eviction).
     pub page_unfolds: u64,
+    /// Page-sized annotation chunks dropped because the shadow reached
+    /// its page budget (best-effort mode; see
+    /// [`ShadowMemory::set_page_budget`]).
+    pub dropped_annotations: u64,
 }
 
 /// One shadow page: either a summary (all words identical) or flat slots.
@@ -240,6 +244,7 @@ pub struct ShadowMemory {
     tiered: bool,
     last: Option<LastAccess>,
     counters: ShadowCounters,
+    page_budget: Option<usize>,
 }
 
 impl Default for ShadowMemory {
@@ -263,12 +268,30 @@ impl ShadowMemory {
             tiered,
             last: None,
             counters: ShadowCounters::default(),
+            page_budget: None,
         }
     }
 
     /// Whether the summary/fast-path tiers are active.
     pub fn tiering_enabled(&self) -> bool {
         self.tiered
+    }
+
+    /// Cap the number of shadow pages. Once the budget is reached the
+    /// shadow degrades to **counted best-effort mode**: accesses touching
+    /// already-tracked pages keep full detection, but annotation chunks
+    /// that would allocate a *new* page are dropped and counted in
+    /// [`ShadowCounters::dropped_annotations`] instead of growing the
+    /// shadow. The drop sequence is a pure function of the access stream,
+    /// so degraded runs stay deterministic and replayable. `None` (the
+    /// default) is unlimited.
+    pub fn set_page_budget(&mut self, budget: Option<usize>) {
+        self.page_budget = budget;
+    }
+
+    /// The configured page budget (`None` = unlimited).
+    pub fn page_budget(&self) -> Option<usize> {
+        self.page_budget
     }
 
     /// Tier event counters.
@@ -334,8 +357,16 @@ impl ShadowMemory {
             // first word and ends at its last (bytes may still be ragged
             // at the edges — word coverage is what the flat walk stores).
             let whole_page = self.tiered && word == page_first_word && end_word == page_last_word;
+            let under_budget = self.page_budget.is_none_or(|b| self.pages.len() < b);
             let counters = &mut self.counters;
             match self.pages.entry(page_base) {
+                std::collections::hash_map::Entry::Vacant(_) if !under_budget => {
+                    // Budget reached: best-effort mode. The chunk would
+                    // need a new shadow page — drop it, count it, keep
+                    // going. Existing pages (the Occupied arm) retain
+                    // full detection.
+                    counters.dropped_annotations += 1;
+                }
                 std::collections::hash_map::Entry::Vacant(v) => {
                     if whole_page {
                         // First touch by a page-covering access: one
@@ -1062,6 +1093,122 @@ mod tests {
         let mut hits = 0;
         sh.access_range(0, PAGE_BYTES, true, fid(9), 1, ctx(9), &clk, |_| hits += 1);
         assert!(hits >= 3 * WORDS_PER_PAGE as u64, "still detecting");
+    }
+
+    // ---- budget / best-effort mode -----------------------------------------
+
+    #[test]
+    fn budget_caps_pages_and_counts_drops() {
+        let mut sh = ShadowMemory::new();
+        sh.set_page_budget(Some(2));
+        assert_eq!(sh.page_budget(), Some(2));
+        let clk = VectorClock::new();
+        sh.access_range(
+            0,
+            4 * PAGE_BYTES,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        assert_eq!(sh.page_count(), 2, "growth stops at the budget");
+        assert_eq!(sh.counters().dropped_annotations, 2);
+        // Tracked pages keep full detection...
+        let mut hits = 0;
+        sh.access_range(0, PAGE_BYTES, false, fid(2), 1, ctx(1), &clk, |_| hits += 1);
+        assert_eq!(hits, WORDS_PER_PAGE);
+        // ...while dropped pages are best-effort: no record, no conflict.
+        let mut hits = 0;
+        sh.access_range(
+            3 * PAGE_BYTES,
+            PAGE_BYTES,
+            false,
+            fid(2),
+            1,
+            ctx(1),
+            &clk,
+            |_| hits += 1,
+        );
+        assert_eq!(hits, 0);
+        assert_eq!(sh.counters().dropped_annotations, 3);
+        assert_eq!(sh.page_count(), 2);
+    }
+
+    #[test]
+    fn budget_applies_untiered_too() {
+        let mut sh = ShadowMemory::with_tiering(false);
+        sh.set_page_budget(Some(1));
+        let clk = VectorClock::new();
+        sh.access_range(
+            0,
+            3 * PAGE_BYTES,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        assert_eq!(sh.page_count(), 1);
+        assert_eq!(sh.counters().dropped_annotations, 2);
+    }
+
+    #[test]
+    fn budget_degradation_is_deterministic() {
+        let run = || {
+            let mut sh = ShadowMemory::new();
+            sh.set_page_budget(Some(3));
+            let clk = VectorClock::new();
+            let mut conflicts = Vec::new();
+            for i in 0..8u64 {
+                sh.access_range(
+                    i * PAGE_BYTES,
+                    PAGE_BYTES,
+                    true,
+                    fid(1),
+                    1,
+                    ctx(0),
+                    &clk,
+                    |_| {},
+                );
+                sh.access_range(
+                    i * PAGE_BYTES,
+                    PAGE_BYTES,
+                    true,
+                    fid(2),
+                    1,
+                    ctx(1),
+                    &clk,
+                    |c| conflicts.push(c),
+                );
+            }
+            (sh.counters(), sh.page_count(), conflicts)
+        };
+        assert_eq!(run(), run());
+        let (counters, pages, _) = run();
+        assert_eq!(pages, 3);
+        assert!(counters.dropped_annotations > 0);
+    }
+
+    #[test]
+    fn no_budget_means_no_drops() {
+        let mut sh = ShadowMemory::new();
+        assert_eq!(sh.page_budget(), None);
+        let clk = VectorClock::new();
+        sh.access_range(
+            0,
+            64 * PAGE_BYTES,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        assert_eq!(sh.page_count(), 64);
+        assert_eq!(sh.counters().dropped_annotations, 0);
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub struct TsanStats {
     /// Page summaries expanded into flat word slots by a partial overlap
     /// or eviction pressure.
     pub page_unfolds: u64,
+    /// Page-sized annotation chunks the shadow dropped after reaching its
+    /// page budget (best-effort degradation; 0 unless a budget is set).
+    pub dropped_annotations: u64,
 }
 
 impl TsanStats {
@@ -82,6 +85,7 @@ impl TsanStats {
             fastpath_hits: self.fastpath_hits + other.fastpath_hits,
             page_summaries_stored: self.page_summaries_stored + other.page_summaries_stored,
             page_unfolds: self.page_unfolds + other.page_unfolds,
+            dropped_annotations: self.dropped_annotations + other.dropped_annotations,
         }
     }
 }
