@@ -1,0 +1,303 @@
+//! Offline stand-in for the `rtrb` crate: a bounded, wait-free SPSC ring
+//! buffer (the API subset the workspace uses).
+//!
+//! The build environment has no registry access, so — like the other
+//! `compat/` crates — this vendors a from-scratch implementation of the
+//! upstream interface: [`RingBuffer::new`] splits into a [`Producer`] /
+//! [`Consumer`] pair, `push` fails with [`PushError::Full`] when the buffer
+//! is full (handing the value back), `pop` fails with [`PopError::Empty`]
+//! when it is empty. Exactly one thread may own each endpoint.
+//!
+//! The design is the classic Lamport queue with cached counterpart indices:
+//! monotonically increasing `head`/`tail` sequence numbers (wrapping u64,
+//! masked into a power-of-two slot array), each endpoint keeping a local
+//! copy of the other side's index so the common case touches a single
+//! shared atomic. Release/Acquire pairs on `tail` (push → pop) and `head`
+//! (pop → push) order slot contents with index publication.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Error returned by [`Producer::push`] when the ring is full.
+///
+/// Carries the rejected value so the caller can retry without cloning.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    Full(T),
+}
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full(_) => write!(f, "ring buffer is full"),
+        }
+    }
+}
+
+/// Error returned by [`Consumer::pop`] when the ring is empty.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopError {
+    Empty,
+}
+
+impl fmt::Display for PopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopError::Empty => write!(f, "ring buffer is empty"),
+        }
+    }
+}
+
+impl std::error::Error for PopError {}
+
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Shared<T> {
+    /// Next sequence number to be consumed. Written by the consumer
+    /// (Release), read by the producer (Acquire).
+    head: CachePadded<AtomicU64>,
+    /// Next sequence number to be produced. Written by the producer
+    /// (Release), read by the consumer (Acquire).
+    tail: CachePadded<AtomicU64>,
+    /// Power-of-two slot array; slot for sequence `s` is `s & mask`.
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: u64,
+}
+
+// Endpoints hand `T` values across threads; nothing in `Shared` itself is
+// accessed without the head/tail protocol, so `T: Send` is the only bound.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both endpoints are gone; drop any items still in flight.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let mut seq = head;
+        while seq != tail {
+            let slot = &self.slots[(seq & self.mask) as usize];
+            unsafe { (*slot.get()).assume_init_drop() };
+            seq = seq.wrapping_add(1);
+        }
+    }
+}
+
+/// A bounded single-producer single-consumer ring buffer.
+pub struct RingBuffer<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring with room for at least `capacity` items and returns
+    /// the two endpoints. Capacity is rounded up to a power of two.
+    /// (Named for parity with upstream `rtrb`, whose `new` also returns
+    /// the endpoint pair rather than `Self`.)
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(capacity: usize) -> (Producer<T>, Consumer<T>) {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        let cap = capacity.next_power_of_two();
+        let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        let shared = Arc::new(Shared {
+            head: CachePadded(AtomicU64::new(0)),
+            tail: CachePadded(AtomicU64::new(0)),
+            slots,
+            mask: cap as u64 - 1,
+        });
+        (
+            Producer {
+                shared: Arc::clone(&shared),
+                cached_head: 0,
+                tail: 0,
+            },
+            Consumer {
+                shared,
+                cached_tail: 0,
+                head: 0,
+            },
+        )
+    }
+}
+
+/// The write endpoint of a [`RingBuffer`]. Not `Clone`: exactly one
+/// producer thread.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    /// Local copy of the consumer's head; refreshed only when full.
+    cached_head: u64,
+    /// Local copy of our own tail (authoritative; the atomic mirrors it).
+    tail: u64,
+}
+
+impl<T> Producer<T> {
+    /// Appends `value`, or returns it inside [`PushError::Full`].
+    pub fn push(&mut self, value: T) -> Result<(), PushError<T>> {
+        let cap = self.shared.mask + 1;
+        if self.tail.wrapping_sub(self.cached_head) == cap {
+            // Looks full; refresh the consumer's real position.
+            self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+            if self.tail.wrapping_sub(self.cached_head) == cap {
+                return Err(PushError::Full(value));
+            }
+        }
+        let slot = &self.shared.slots[(self.tail & self.shared.mask) as usize];
+        unsafe { (*slot.get()).write(value) };
+        self.tail = self.tail.wrapping_add(1);
+        self.shared.tail.0.store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently in the ring (approximate from the
+    /// producer's point of view: may over-count by in-flight pops).
+    pub fn slots_used(&self) -> usize {
+        let head = self.shared.head.0.load(Ordering::Acquire);
+        self.tail.wrapping_sub(head) as usize
+    }
+
+    /// True when the ring looks full from the producer side.
+    pub fn is_full(&self) -> bool {
+        self.slots_used() == (self.shared.mask + 1) as usize
+    }
+
+    /// Total capacity in items.
+    pub fn capacity(&self) -> usize {
+        (self.shared.mask + 1) as usize
+    }
+}
+
+// The endpoint owns its position; moving it to another thread is fine.
+unsafe impl<T: Send> Send for Producer<T> {}
+
+/// The read endpoint of a [`RingBuffer`]. Not `Clone`: exactly one
+/// consumer thread.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Local copy of the producer's tail; refreshed only when empty.
+    cached_tail: u64,
+    /// Local copy of our own head (authoritative; the atomic mirrors it).
+    head: u64,
+}
+
+impl<T> Consumer<T> {
+    /// Removes and returns the oldest item, or [`PopError::Empty`].
+    pub fn pop(&mut self) -> Result<T, PopError> {
+        if self.head == self.cached_tail {
+            // Looks empty; refresh the producer's real position.
+            self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+            if self.head == self.cached_tail {
+                return Err(PopError::Empty);
+            }
+        }
+        let slot = &self.shared.slots[(self.head & self.shared.mask) as usize];
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        self.head = self.head.wrapping_add(1);
+        self.shared.head.0.store(self.head, Ordering::Release);
+        Ok(value)
+    }
+
+    /// Number of items currently in the ring (approximate from the
+    /// consumer's point of view: may under-count in-flight pushes).
+    pub fn slots_used(&self) -> usize {
+        let tail = self.shared.tail.0.load(Ordering::Acquire);
+        tail.wrapping_sub(self.head) as usize
+    }
+
+    /// True when the ring looks empty from the consumer side.
+    pub fn is_empty(&self) -> bool {
+        self.slots_used() == 0
+    }
+
+    /// Total capacity in items.
+    pub fn capacity(&self) -> usize {
+        (self.shared.mask + 1) as usize
+    }
+}
+
+unsafe impl<T: Send> Send for Consumer<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_full_empty() {
+        let (mut tx, mut rx) = RingBuffer::new(4);
+        assert_eq!(rx.pop(), Err(PopError::Empty));
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(PushError::Full(99)));
+        assert!(tx.is_full());
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Ok(i));
+        }
+        assert!(rx.is_empty());
+        // Interleaved reuse across the wrap-around boundary.
+        for round in 0..10 {
+            tx.push(round * 2).unwrap();
+            tx.push(round * 2 + 1).unwrap();
+            assert_eq!(rx.pop(), Ok(round * 2));
+            assert_eq!(rx.pop(), Ok(round * 2 + 1));
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = RingBuffer::<u8>::new(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = RingBuffer::<u8>::new(1);
+        assert_eq!(tx.capacity(), 1);
+    }
+
+    #[test]
+    fn drops_in_flight_items() {
+        use std::rc::Rc;
+        let probe = Rc::new(());
+        {
+            let (mut tx, rx) = RingBuffer::new(8);
+            tx.push(Rc::clone(&probe)).unwrap();
+            tx.push(Rc::clone(&probe)).unwrap();
+            drop(tx);
+            drop(rx);
+        }
+        assert_eq!(Rc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn threaded_handoff_preserves_order() {
+        const N: u64 = 100_000;
+        let (mut tx, mut rx) = RingBuffer::new(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(PushError::Full(back)) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0;
+        while expected < N {
+            match rx.pop() {
+                Ok(v) => {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                }
+                Err(PopError::Empty) => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Sync vs async checker backend sweep with a JSON trajectory record.
+//!
+//! Runs Jacobi, 2-D Jacobi, and TeaLeaf under the full MUST & CuSan stack
+//! with checking inline (sync) and on the per-rank detector thread
+//! (async), prints a table, and writes `BENCH_async_check.json` to the
+//! current directory (override with `CUSAN_BENCH_ASYNC_JSON`) so future
+//! PRs have a perf baseline to diff against.
+//!
+//! The async backend overlaps detection with application progress, so a
+//! win requires spare hardware parallelism: with `available_parallelism`
+//! ≥ 2 the async mode should at least break even (asserted leniently at
+//! ≥ 0.5× to keep CI robust); on a single hardware thread the sweep only
+//! *records* the cost of the indirection — ring traffic plus context
+//! switches with nothing to overlap onto — and asserts nothing. The
+//! observability counters (stalls, max queue depth) are reported either
+//! way: a stall-heavy profile means the detector thread cannot keep up
+//! and the ring capacity or batch size needs tuning, independent of
+//! wall-clock.
+
+use cusan::{AsyncCheckStats, Flavor, ToolConfig};
+use cusan_apps::{run_jacobi, run_jacobi2d, run_tealeaf};
+use cusan_bench::{
+    banner, bench_runs, jacobi2d_config, jacobi_config, measure, rel, tealeaf_config,
+};
+use must_rt::WorldOutcome;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn mode_config(async_check: bool) -> ToolConfig {
+    let mut c = Flavor::MustCusan.config();
+    c.async_check = async_check;
+    c
+}
+
+/// Sum the per-rank async counters (max for the queue depth: it is a
+/// per-ring high-water mark, not additive).
+fn fold_stats<T>(out: &WorldOutcome<T>) -> AsyncCheckStats {
+    let mut acc = AsyncCheckStats::default();
+    for r in &out.ranks {
+        if let Some(s) = r.async_check {
+            acc.events_enqueued += s.events_enqueued;
+            acc.batches_applied += s.batches_applied;
+            acc.max_queue_depth = acc.max_queue_depth.max(s.max_queue_depth);
+            acc.stalls += s.stalls;
+        }
+    }
+    acc
+}
+
+struct Case {
+    name: &'static str,
+    sync: Duration,
+    asyn: Duration,
+    stats: AsyncCheckStats,
+}
+
+impl Case {
+    /// Sync time over async time: > 1 means the async backend is faster.
+    fn speedup(&self) -> f64 {
+        rel(self.sync, self.asyn)
+    }
+}
+
+fn sweep(
+    name: &'static str,
+    runs: usize,
+    run: impl Fn(bool) -> (Duration, AsyncCheckStats),
+) -> Case {
+    let sync = measure(runs, || run(false).0);
+    let mut stats = AsyncCheckStats::default();
+    let asyn = measure(runs, || {
+        let (d, s) = run(true);
+        stats = s;
+        d
+    });
+    Case {
+        name,
+        sync,
+        asyn,
+        stats,
+    }
+}
+
+fn main() {
+    let runs = bench_runs();
+    let jc = jacobi_config();
+    let j2 = jacobi2d_config();
+    let tc = tealeaf_config();
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    banner(
+        "Async checker — sync vs per-rank detector thread [MUST & CuSan]",
+        &format!(
+            "Jacobi {}x{} x{} | Jacobi2D {}x{} x{} ({}x{} ranks) | TeaLeaf {}x{} x{} | \
+             mean of {runs} runs (+1 warmup) | {parallelism} hw threads",
+            jc.nx, jc.ny, jc.iters, j2.nx, j2.ny, j2.iters, j2.px, j2.py, tc.nx, tc.ny, tc.steps
+        ),
+    );
+
+    let cases = [
+        sweep("jacobi", runs, |a| {
+            let r = run_jacobi(&jc, mode_config(a));
+            (r.elapsed, fold_stats(&r.outcome))
+        }),
+        sweep("jacobi2d", runs, |a| {
+            let r = run_jacobi2d(&j2, mode_config(a));
+            (r.elapsed, fold_stats(&r.outcome))
+        }),
+        sweep("tealeaf", runs, |a| {
+            let r = run_tealeaf(&tc, mode_config(a));
+            (r.elapsed, fold_stats(&r.outcome))
+        }),
+    ];
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>8} {:>12} {:>9} {:>8} {:>7}",
+        "App", "Sync", "Async", "Speedup", "Events", "Batches", "MaxDepth", "Stalls"
+    );
+    println!("{:-<80}", "");
+    for c in &cases {
+        println!(
+            "{:<10} {:>10.2?} {:>10.2?} {:>7.2}x {:>12} {:>9} {:>8} {:>7}",
+            c.name,
+            c.sync,
+            c.asyn,
+            c.speedup(),
+            c.stats.events_enqueued,
+            c.stats.batches_applied,
+            c.stats.max_queue_depth,
+            c.stats.stalls
+        );
+    }
+
+    // Hand-rolled JSON: the workspace is offline, so no serde.
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"async_check\",\n  \"parallelism\": {parallelism},\n  \"runs\": {runs},\n  \"cases\": [\n"
+    );
+    for (i, c) in cases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"sync_ns\": {}, \"async_ns\": {}, \"speedup\": {:.3}, \
+             \"events_enqueued\": {}, \"batches_applied\": {}, \"max_queue_depth\": {}, \"stalls\": {}}}{}",
+            c.name,
+            c.sync.as_nanos(),
+            c.asyn.as_nanos(),
+            c.speedup(),
+            c.stats.events_enqueued,
+            c.stats.batches_applied,
+            c.stats.max_queue_depth,
+            c.stats.stalls,
+            if i + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path =
+        std::env::var("CUSAN_BENCH_ASYNC_JSON").unwrap_or_else(|_| "BENCH_async_check.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+
+    for c in &cases {
+        assert!(
+            c.stats.events_enqueued > 0,
+            "{}: async runs must go through the ring",
+            c.name
+        );
+    }
+    if parallelism >= 2 {
+        for c in &cases {
+            let ok = c.speedup() >= 0.5;
+            println!(
+                "target ({} hw threads): {} async >= 0.5x sync -> {}",
+                parallelism,
+                c.name,
+                if ok { "met" } else { "MISSED" }
+            );
+            assert!(
+                ok,
+                "{}: async backend {:.2}x of sync with spare parallelism available",
+                c.name,
+                c.speedup()
+            );
+        }
+    } else {
+        println!("single hw thread: nothing to overlap onto; recording costs, no speedup target");
+    }
+}

@@ -23,7 +23,7 @@
 //! `CUSAN_BENCH_RSS_BASELINE_MB` (Fig. 11 process-baseline model).
 
 use cusan::Flavor;
-use cusan_apps::{JacobiConfig, TeaLeafConfig};
+use cusan_apps::{Jacobi2dConfig, JacobiConfig, TeaLeafConfig};
 use std::time::Duration;
 
 /// Read an env knob with a default.
@@ -58,6 +58,17 @@ pub fn tealeaf_config() -> TeaLeafConfig {
         ranks: env_u64("CUSAN_BENCH_RANKS", 2) as usize,
         steps: env_u64("CUSAN_BENCH_TEALEAF_STEPS", 2) as u32,
         ..TeaLeafConfig::default()
+    }
+}
+
+/// The 2-D Jacobi configuration used by the figure binaries (fixed 2x2
+/// rank grid; the domain and iteration knobs mirror the 1-D solver's).
+pub fn jacobi2d_config() -> Jacobi2dConfig {
+    Jacobi2dConfig {
+        nx: env_u64("CUSAN_BENCH_JACOBI2D_NX", 128),
+        ny: env_u64("CUSAN_BENCH_JACOBI2D_NY", 128),
+        iters: env_u64("CUSAN_BENCH_JACOBI2D_ITERS", 20) as u32,
+        ..Jacobi2dConfig::default()
     }
 }
 

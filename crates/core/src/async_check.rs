@@ -1,0 +1,455 @@
+//! Off-critical-path checking: a per-rank detector thread behind a
+//! bounded SPSC ring.
+//!
+//! The paper's headline cost (Fig. 10) is running the happens-before
+//! analysis inline on the application's critical path. The event pipeline
+//! already reduced every checked CUDA/MPI call to an ordered
+//! [`CusanEvent`] stream, so detection no longer *needs* the rank's
+//! thread: in async mode ([`crate::ToolConfig::async_check`] /
+//! `CUSAN_ASYNC_CHECK=1`) the rank pushes each event into a bounded
+//! lock-free ring ([`rtrb`]) and a dedicated checker thread drains it in
+//! batches, applying the events to the rank's [`TsanRuntime`] exactly as
+//! the inline path would.
+//!
+//! **Determinism is an invariant, not a best effort.** The consumer sees
+//! the same totally-ordered event stream the sync checker would (one SPSC
+//! ring, one producer thread), applies it through the same
+//! [`CheckerSink::apply`] to an identically-initialized runtime, and
+//! mirrors the producer's string interner via in-order `Msg::Intern`
+//! messages (dense ids are allocation-order, so replaying the interns
+//! reproduces them). Traces and event counters are produced on the
+//! *producer* side from the same stream. Hence stats, race reports, and
+//! traces are bit-for-bit identical to sync mode; only wall-clock timing
+//! (and the [`AsyncCheckStats`] observability counters) may differ.
+//!
+//! Protocol details:
+//! * **Backpressure** — when the ring is full the producer blocks (bounded
+//!   memory), counting one stall per blocked send.
+//! * **Batched dequeue** — the consumer locks the runtime once per batch
+//!   (≤ [`BATCH`] messages), amortizing lock traffic and wakeups.
+//! * **Flush barrier** — [`AsyncChecker::flush`] returns only once every
+//!   message sent so far has been applied; every stat/report accessor goes
+//!   through it, so readers always observe a drained queue.
+//! * **Graceful shutdown** — dropping the checker signals shutdown and
+//!   joins the thread, which drains the ring completely before exiting
+//!   (and re-raises its panic, if any, on the dropping thread).
+//! * All waits use short condvar timeouts (`PARK`): a missed wakeup
+//!   costs at most one timeout period, never a deadlock — important on
+//!   single-CPU hosts where the two threads interleave coarsely.
+
+use crate::event::{CheckerSink, CtxInterner, CusanEvent};
+use parking_lot::{Condvar, Mutex};
+use rtrb::{Consumer, Producer, PushError, RingBuffer};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tsan_rt::TsanRuntime;
+
+/// Ring capacity in messages. Bounds producer/consumer skew (and thus the
+/// tool's extra memory) regardless of application event rate.
+pub const RING_CAPACITY: usize = 4096;
+
+/// Maximum messages applied per runtime lock acquisition.
+pub const BATCH: usize = 256;
+
+/// Condvar timeout for all parks: bounds the cost of a lost wakeup.
+const PARK: Duration = Duration::from_millis(1);
+
+/// Observability counters for one rank's async checker. Timing-dependent
+/// (stalls, depth) — deliberately **not** part of the determinism
+/// contract, and surfaced separately from [`tsan_rt::TsanStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AsyncCheckStats {
+    /// `CusanEvent`s pushed into the ring (excludes intern messages).
+    pub events_enqueued: u64,
+    /// Batches the consumer applied (runtime lock acquisitions).
+    pub batches_applied: u64,
+    /// Largest producer-observed queue depth (sent − applied), in
+    /// messages.
+    pub max_queue_depth: u64,
+    /// Sends that found the ring full and had to block.
+    pub stalls: u64,
+}
+
+/// One ring message. Intern messages replicate the producer's string
+/// table on the consumer in id-allocation order, *before* any event that
+/// references the new id.
+enum Msg {
+    Intern(String),
+    Event(CusanEvent),
+}
+
+struct Shared {
+    /// Messages the consumer has fully applied (published after the
+    /// runtime lock is released, so a flusher that observes the count can
+    /// immediately take the lock).
+    applied: AtomicU64,
+    batches: AtomicU64,
+    /// Consumer is (about to be) parked on `work_cv`; producers skip the
+    /// notify syscall otherwise.
+    parked: AtomicBool,
+    shutdown: AtomicBool,
+    /// Consumer exited (normally or by panic); flush/send must not wait
+    /// on it anymore.
+    stopped: AtomicBool,
+    lock: Mutex<()>,
+    /// Producer → consumer: new work (or shutdown).
+    work_cv: Condvar,
+    /// Consumer → producer: progress (ring space freed / batch applied).
+    drain_cv: Condvar,
+}
+
+struct ProducerSide {
+    tx: Producer<Msg>,
+    sent: u64,
+    events_enqueued: u64,
+    max_queue_depth: u64,
+    stalls: u64,
+}
+
+/// Handle owned by the rank thread: the producer half of the ring plus
+/// the shared runtime. Not `Sync`; one per rank, like the sync backend.
+pub struct AsyncChecker {
+    runtime: Arc<Mutex<TsanRuntime>>,
+    shared: Arc<Shared>,
+    prod: RefCell<ProducerSide>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl AsyncChecker {
+    /// Move `runtime` behind the checker thread for rank `rank`.
+    pub fn new(rank: usize, runtime: TsanRuntime) -> Self {
+        let (tx, rx) = RingBuffer::new(RING_CAPACITY);
+        let runtime = Arc::new(Mutex::new(runtime));
+        let shared = Arc::new(Shared {
+            applied: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            parked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            work_cv: Condvar::new(),
+            drain_cv: Condvar::new(),
+        });
+        let handle = std::thread::Builder::new()
+            .name(format!("cusan-checker-{rank}"))
+            .spawn({
+                let runtime = Arc::clone(&runtime);
+                let shared = Arc::clone(&shared);
+                move || consumer_loop(rx, runtime, shared)
+            })
+            .expect("failed to spawn async checker thread");
+        AsyncChecker {
+            runtime,
+            shared,
+            prod: RefCell::new(ProducerSide {
+                tx,
+                sent: 0,
+                events_enqueued: 0,
+                max_queue_depth: 0,
+                stalls: 0,
+            }),
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueue an event for the detector thread.
+    pub fn send_event(&self, ev: CusanEvent) {
+        self.send(Msg::Event(ev));
+    }
+
+    /// Mirror a freshly-interned label to the consumer's string table.
+    /// Must be called in intern order, before any event using the new id.
+    pub fn send_intern(&self, label: &str) {
+        self.send(Msg::Intern(label.to_string()));
+    }
+
+    fn send(&self, msg: Msg) {
+        let mut p = self.prod.borrow_mut();
+        let is_event = matches!(msg, Msg::Event(_));
+        let mut msg = msg;
+        let mut stalled = false;
+        loop {
+            match p.tx.push(msg) {
+                Ok(()) => break,
+                Err(PushError::Full(back)) => {
+                    msg = back;
+                    if !stalled {
+                        stalled = true;
+                        p.stalls += 1;
+                    }
+                    assert!(
+                        !self.shared.stopped.load(Ordering::Acquire),
+                        "async checker thread terminated; cannot enqueue more events"
+                    );
+                    self.wake_consumer();
+                    let mut g = self.shared.lock.lock();
+                    if p.tx.is_full() {
+                        self.shared.drain_cv.wait_for(&mut g, PARK);
+                    }
+                }
+            }
+        }
+        p.sent += 1;
+        if is_event {
+            p.events_enqueued += 1;
+        }
+        let depth = p.sent - self.shared.applied.load(Ordering::Relaxed);
+        if depth > p.max_queue_depth {
+            p.max_queue_depth = depth;
+        }
+        if self.shared.parked.load(Ordering::SeqCst) {
+            self.shared.work_cv.notify_one();
+        }
+    }
+
+    fn wake_consumer(&self) {
+        if self.shared.parked.load(Ordering::SeqCst) {
+            self.shared.work_cv.notify_one();
+        }
+    }
+
+    /// Barrier: returns once every message sent so far has been applied.
+    /// Panics if the checker thread died with work outstanding (its own
+    /// panic is re-raised when the `AsyncChecker` is dropped).
+    pub fn flush(&self) {
+        let sent = self.prod.borrow().sent;
+        if self.shared.applied.load(Ordering::Acquire) >= sent {
+            return;
+        }
+        self.wake_consumer();
+        let mut g = self.shared.lock.lock();
+        while self.shared.applied.load(Ordering::Acquire) < sent {
+            assert!(
+                !self.shared.stopped.load(Ordering::Acquire),
+                "async checker thread terminated with events unapplied"
+            );
+            self.shared.drain_cv.wait_for(&mut g, PARK);
+            if self.shared.parked.load(Ordering::SeqCst) {
+                self.shared.work_cv.notify_one();
+            }
+        }
+    }
+
+    /// Flush, then run `f` on the (drained) runtime.
+    pub fn with_runtime<R>(&self, f: impl FnOnce(&mut TsanRuntime) -> R) -> R {
+        self.flush();
+        let mut rt = self.runtime.lock();
+        f(&mut rt)
+    }
+
+    /// Snapshot of the observability counters.
+    pub fn stats(&self) -> AsyncCheckStats {
+        let p = self.prod.borrow();
+        AsyncCheckStats {
+            events_enqueued: p.events_enqueued,
+            batches_applied: self.shared.batches.load(Ordering::Relaxed),
+            max_queue_depth: p.max_queue_depth,
+            stalls: p.stalls,
+        }
+    }
+}
+
+impl Drop for AsyncChecker {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            if let Err(payload) = handle.join() {
+                // Re-raise the checker's panic on the rank thread — unless
+                // we are already unwinding (double panic would abort).
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+fn consumer_loop(mut rx: Consumer<Msg>, runtime: Arc<Mutex<TsanRuntime>>, shared: Arc<Shared>) {
+    /// Marks the consumer stopped and wakes blocked producers even if
+    /// `CheckerSink::apply` panics (e.g. a detector assertion) — a
+    /// blocked `flush`/`send` must fail fast instead of hanging.
+    struct StopGuard(Arc<Shared>);
+    impl Drop for StopGuard {
+        fn drop(&mut self) {
+            self.0.stopped.store(true, Ordering::Release);
+            self.0.drain_cv.notify_all();
+        }
+    }
+    let _guard = StopGuard(Arc::clone(&shared));
+
+    let mut checker = CheckerSink::new();
+    let mut strings = CtxInterner::new();
+    let mut batch: Vec<Msg> = Vec::with_capacity(BATCH);
+    loop {
+        while batch.len() < BATCH {
+            match rx.pop() {
+                Ok(m) => batch.push(m),
+                Err(_) => break,
+            }
+        }
+        if batch.is_empty() {
+            if shared.shutdown.load(Ordering::Acquire) && rx.is_empty() {
+                break;
+            }
+            let mut g = shared.lock.lock();
+            shared.parked.store(true, Ordering::SeqCst);
+            if rx.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                shared.work_cv.wait_for(&mut g, PARK);
+            }
+            shared.parked.store(false, Ordering::SeqCst);
+            continue;
+        }
+        let n = batch.len() as u64;
+        {
+            let mut rt = runtime.lock();
+            for msg in batch.drain(..) {
+                match msg {
+                    Msg::Intern(label) => {
+                        strings.intern(&label);
+                    }
+                    Msg::Event(ev) => checker.apply(&ev, &strings, &mut rt),
+                }
+            }
+        }
+        // Publish progress only after the runtime lock is released, so a
+        // flush-then-lock reader never contends with the batch it just
+        // observed as applied.
+        shared.applied.fetch_add(n, Ordering::Release);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.drain_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StrId;
+    use tsan_rt::FiberId;
+
+    fn event_stream(n: u64) -> (CtxInterner, Vec<CusanEvent>) {
+        let mut strings = CtxInterner::new();
+        let name = strings.intern("stream 1");
+        let ctx = strings.intern("kernel write");
+        let mut evs = vec![CusanEvent::FiberCreate {
+            fiber: FiberId::from_index(1),
+            name,
+        }];
+        for i in 0..n {
+            evs.push(CusanEvent::FiberSwitch {
+                fiber: FiberId::from_index(1),
+                sync: true,
+            });
+            evs.push(CusanEvent::WriteRange {
+                addr: 0x1000 + i * 8,
+                len: 8,
+                ctx,
+            });
+            evs.push(CusanEvent::FiberSwitch {
+                fiber: FiberId::HOST,
+                sync: false,
+            });
+        }
+        (strings, evs)
+    }
+
+    fn run_sync(strings: &CtxInterner, evs: &[CusanEvent]) -> tsan_rt::TsanStats {
+        let mut rt = TsanRuntime::new("host");
+        let mut checker = CheckerSink::new();
+        for ev in evs {
+            checker.apply(ev, strings, &mut rt);
+        }
+        rt.stats()
+    }
+
+    fn run_async(
+        strings: &CtxInterner,
+        evs: &[CusanEvent],
+    ) -> (tsan_rt::TsanStats, AsyncCheckStats) {
+        let ac = AsyncChecker::new(0, TsanRuntime::new("host"));
+        for i in 0..strings.len() {
+            ac.send_intern(strings.label(StrId(i as u32)));
+        }
+        for ev in evs {
+            ac.send_event(*ev);
+        }
+        let stats = ac.with_runtime(|rt| rt.stats());
+        (stats, ac.stats())
+    }
+
+    #[test]
+    fn async_matches_sync_bit_for_bit() {
+        let (strings, evs) = event_stream(500);
+        let sync_stats = run_sync(&strings, &evs);
+        let (async_stats, ac) = run_async(&strings, &evs);
+        assert_eq!(sync_stats, async_stats);
+        assert_eq!(ac.events_enqueued, evs.len() as u64);
+        assert!(ac.batches_applied >= 1);
+        assert!(ac.max_queue_depth >= 1);
+    }
+
+    #[test]
+    fn flush_is_a_barrier() {
+        let (strings, evs) = event_stream(2000);
+        let ac = AsyncChecker::new(0, TsanRuntime::new("host"));
+        for i in 0..strings.len() {
+            ac.send_intern(strings.label(StrId(i as u32)));
+        }
+        for ev in &evs {
+            ac.send_event(*ev);
+        }
+        ac.flush();
+        // After flush, the applied count covers everything sent; the
+        // runtime must already reflect the full stream without further
+        // waiting.
+        let switches = ac.with_runtime(|rt| rt.stats().fiber_switches);
+        assert_eq!(switches, 4000);
+    }
+
+    #[test]
+    fn backpressure_bounds_queue_depth() {
+        // More messages than the ring holds: the producer must block (not
+        // fail, not drop) and depth can never exceed capacity.
+        let (strings, evs) = event_stream(4 * RING_CAPACITY as u64);
+        let (stats, ac) = run_async(&strings, &evs);
+        assert_eq!(stats.write_range_calls, 4 * RING_CAPACITY as u64);
+        assert!(ac.max_queue_depth <= RING_CAPACITY as u64);
+        assert_eq!(ac.events_enqueued, evs.len() as u64);
+    }
+
+    #[test]
+    fn drop_drains_outstanding_events() {
+        let races = {
+            let ac = AsyncChecker::new(0, TsanRuntime::new("host"));
+            let (strings, evs) = event_stream(100);
+            for i in 0..strings.len() {
+                ac.send_intern(strings.label(StrId(i as u32)));
+            }
+            for ev in &evs {
+                ac.send_event(*ev);
+            }
+            // No flush: drop must still apply everything (graceful
+            // shutdown drains the ring before the thread exits).
+            let runtime = Arc::clone(&ac.runtime);
+            drop(ac);
+            let n = runtime.lock().stats().write_range_calls;
+            n
+        };
+        assert_eq!(races, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "fiber numbering diverged")]
+    fn consumer_panic_propagates_on_drop() {
+        let ac = AsyncChecker::new(0, TsanRuntime::new("host"));
+        ac.send_intern("bad");
+        ac.send_event(CusanEvent::FiberCreate {
+            fiber: FiberId::from_index(40),
+            name: StrId(0),
+        });
+        drop(ac); // joins the checker thread and re-raises its panic
+    }
+}

@@ -54,6 +54,14 @@ pub struct ToolConfig {
     /// (`TsanStats::dropped_annotations`) instead of growing the shadow
     /// unboundedly. `None` (the default) is unlimited.
     pub shadow_page_budget: Option<usize>,
+    /// Asynchronous checking: push events into a bounded SPSC ring
+    /// drained by a per-rank detector thread instead of applying them
+    /// inline (see `crates/core/src/async_check.rs`). Pure execution
+    /// strategy — traces, stats, and race reports are bit-for-bit
+    /// identical to sync mode. Off by default; the `CUSAN_ASYNC_CHECK=1`
+    /// knob (read in [`crate::ToolCtx::new`]) overrides this field
+    /// process-wide.
+    pub async_check: bool,
 }
 
 impl ToolConfig {
@@ -68,6 +76,7 @@ impl ToolConfig {
         shadow_tiered: true,
         faults: FaultPlan::DISABLED,
         shadow_page_budget: None,
+        async_check: false,
     };
 
     /// True if any TSan-backed layer is on.
@@ -115,6 +124,7 @@ impl Flavor {
                 shadow_tiered: true,
                 faults: FaultPlan::DISABLED,
                 shadow_page_budget: None,
+                async_check: false,
             },
             Flavor::Must => ToolConfig {
                 tsan: true,
@@ -126,6 +136,7 @@ impl Flavor {
                 shadow_tiered: true,
                 faults: FaultPlan::DISABLED,
                 shadow_page_budget: None,
+                async_check: false,
             },
             Flavor::Cusan => ToolConfig {
                 tsan: true,
@@ -137,6 +148,7 @@ impl Flavor {
                 shadow_tiered: true,
                 faults: FaultPlan::DISABLED,
                 shadow_page_budget: None,
+                async_check: false,
             },
             Flavor::MustCusan => ToolConfig {
                 tsan: true,
@@ -148,6 +160,7 @@ impl Flavor {
                 shadow_tiered: true,
                 faults: FaultPlan::DISABLED,
                 shadow_page_budget: None,
+                async_check: false,
             },
         }
     }
@@ -221,9 +234,11 @@ mod tests {
             assert_eq!(f.config().faults, FaultPlan::DISABLED, "{f}");
             assert!(!f.config().faults.enabled(), "{f}");
             assert_eq!(f.config().shadow_page_budget, None, "{f}");
+            assert!(!f.config().async_check, "{f}: sync is the A/B default");
         }
         assert_eq!(ToolConfig::VANILLA.faults, FaultPlan::DISABLED);
         assert_eq!(ToolConfig::VANILLA.shadow_page_budget, None);
+        const { assert!(!ToolConfig::VANILLA.async_check) } // sync is the A/B default
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! [`ToolConfig`] / [`Flavor`] and shared via [`ToolCtx`].
 
 pub mod api;
+pub mod async_check;
 pub mod config;
 pub mod ctx;
 pub mod event;
@@ -43,8 +44,11 @@ pub mod keys;
 pub mod trace;
 
 pub use api::CusanCuda;
+pub use async_check::{AsyncCheckStats, AsyncChecker};
 pub use config::{Flavor, ToolConfig};
 pub use ctx::ToolCtx;
-pub use event::{CheckerSink, CtxInterner, CusanEvent, EventCounters, EventSink, StrId};
+pub use event::{
+    CheckerSink, CtxInterner, CusanEvent, EventCounters, EventSink, FiberPredictor, StrId,
+};
 pub use fault::{FaultInjector, FaultPlan};
 pub use trace::{replay, ReplayOutcome, Trace, TraceSink};

@@ -12,7 +12,7 @@
 use crate::checks::MustReport;
 use crate::mpi::CheckedMpi;
 use cuda_sim::CudaCounters;
-use cusan::{CusanCuda, EventCounters, ToolConfig, ToolCtx};
+use cusan::{AsyncCheckStats, CusanCuda, EventCounters, ToolConfig, ToolCtx};
 use kernel_ir::KernelRegistry;
 use mpi_sim::run_world;
 use sim_mem::{AddressSpace, DeviceId, SpaceStats};
@@ -72,6 +72,9 @@ pub struct RankOutcome {
     /// Non-fatal tool diagnostics (teardown flush failures, degraded
     /// tracking) — conditions the checker reports instead of panicking on.
     pub diagnostics: Vec<String>,
+    /// Async-checker observability counters (`None` when checking ran
+    /// inline). Timing-dependent — excluded from determinism comparisons.
+    pub async_check: Option<AsyncCheckStats>,
 }
 
 /// Result of a checked world run.
@@ -186,6 +189,11 @@ fn run_world_impl<T: Send>(
             ctx.tools
                 .report_diagnostic(format!("device flush at teardown failed: {e}"));
         }
+        // Flush barrier: with the async backend, wait for the detector
+        // thread to drain the event queue so every accessor below reads
+        // final state (each accessor also flushes on its own; one
+        // explicit barrier keeps the collection point obvious).
+        ctx.tools.flush_checker();
         let outcome = RankOutcome {
             rank,
             races: ctx.tools.race_reports(),
@@ -197,6 +205,7 @@ fn run_world_impl<T: Send>(
             trace: trace_buf.map(|b| b.borrow().clone()),
             tool_memory_bytes: ctx.tools.tool_memory_bytes(),
             diagnostics: ctx.tools.diagnostics(),
+            async_check: ctx.tools.async_check_stats(),
         };
         (result, outcome)
     });

@@ -50,6 +50,14 @@ impl VectorClock {
         self.c[i]
     }
 
+    /// Overwrite `self` with `other`, reusing the existing allocation
+    /// (unlike `clone_from`, which may reallocate when shrinking is
+    /// followed by growth elsewhere; this keeps capacity monotonic).
+    pub fn copy_from(&mut self, other: &VectorClock) {
+        self.c.clear();
+        self.c.extend_from_slice(&other.c);
+    }
+
     /// Elementwise maximum: `self = max(self, other)` (the acquire/join op).
     pub fn join(&mut self, other: &VectorClock) {
         if other.c.len() > self.c.len() {

@@ -67,6 +67,9 @@ impl FiberTable {
 
     /// Create a fiber whose clock inherits `creator_clock` (fiber creation
     /// synchronizes with the creator, like thread creation in TSan).
+    /// Reference implementation for [`Self::create_child`], which is the
+    /// clone-free path the runtime uses; tests assert their equivalence.
+    #[cfg(test)]
     pub fn create(&mut self, name: &str, creator_clock: &VectorClock) -> FiberId {
         self.created += 1;
         if let Some(idx) = self.free.pop() {
@@ -92,6 +95,58 @@ impl FiberTable {
                 alive: true,
             });
             id
+        }
+    }
+
+    /// Create a fiber as a child of live fiber `creator`: bumps the
+    /// creator's own component (the release edge of fiber creation), then
+    /// gives the child the creator's *pre-bump* clock — equivalent to
+    /// snapshotting the creator, bumping it, and calling [`Self::create`]
+    /// with the snapshot, but without the temporary clone. Slot-reuse
+    /// copies into the retired fiber's existing clock allocation.
+    pub fn create_child(&mut self, name: &str, creator: FiberId) -> FiberId {
+        self.created += 1;
+        if let Some(idx) = self.free.pop() {
+            let id = FiberId(idx);
+            debug_assert_ne!(id, creator, "creator fiber cannot be on the free list");
+            let (child, parent) = self.pair_mut(id, creator);
+            let old_time = child.clock.get(id);
+            child.clock.copy_from(&parent.clock);
+            // Keep own time strictly monotonic across reuse so stale shadow
+            // epochs from a previous incarnation never look concurrent with
+            // themselves.
+            child.clock.set(id, old_time.max(parent.clock.get(id)) + 1);
+            child.name.clear();
+            child.name.push_str(name);
+            child.alive = true;
+            parent.clock.bump(creator);
+            id
+        } else {
+            assert!(self.fibers.len() < MAX_FIBERS, "fiber table exhausted");
+            let id = FiberId(self.fibers.len() as u32);
+            let parent = &mut self.fibers[creator.index()];
+            let mut clock = parent.clock.clone();
+            clock.set(id, 1);
+            parent.clock.bump(creator);
+            self.fibers.push(Fiber {
+                clock,
+                name: name.to_string(),
+                alive: true,
+            });
+            id
+        }
+    }
+
+    /// Mutable references to two *distinct* fibers at once.
+    pub fn pair_mut(&mut self, a: FiberId, b: FiberId) -> (&mut Fiber, &mut Fiber) {
+        let (ai, bi) = (a.index(), b.index());
+        assert_ne!(ai, bi, "pair_mut requires distinct fibers");
+        if ai < bi {
+            let (lo, hi) = self.fibers.split_at_mut(bi);
+            (&mut lo[ai], &mut hi[0])
+        } else {
+            let (lo, hi) = self.fibers.split_at_mut(ai);
+            (&mut hi[0], &mut lo[bi])
         }
     }
 
@@ -198,6 +253,51 @@ mod tests {
         assert_eq!(t.peek_next(), f1);
         assert_eq!(t.create("c", &creator), f1);
         assert_eq!(t.peek_next(), FiberId(3));
+    }
+
+    #[test]
+    fn create_child_matches_snapshot_create() {
+        // create_child must behave exactly like: snapshot creator clock,
+        // bump creator, create(snapshot) — including across slot reuse.
+        let drive = |child_path: bool| {
+            let mut t = FiberTable::new("host");
+            let mk = |t: &mut FiberTable, name: &str| {
+                if child_path {
+                    t.create_child(name, FiberId::HOST)
+                } else {
+                    let snap = t.get(FiberId::HOST).clock.clone();
+                    t.get_mut(FiberId::HOST).clock.bump(FiberId::HOST);
+                    t.create(name, &snap)
+                }
+            };
+            let a = mk(&mut t, "a");
+            let b = mk(&mut t, "b");
+            t.destroy(a);
+            let c = mk(&mut t, "c"); // reuses a's slot
+            assert_eq!(a, c);
+            let ids = [FiberId::HOST, a, b];
+            let clocks: Vec<Vec<u32>> = [FiberId::HOST, c, b]
+                .iter()
+                .map(|&f| ids.iter().map(|&g| t.get(f).clock.get(g)).collect())
+                .collect();
+            (clocks, t.created, t.destroyed, t.name(c).to_string())
+        };
+        assert_eq!(drive(true), drive(false));
+    }
+
+    #[test]
+    fn pair_mut_returns_distinct_fibers_in_order() {
+        let mut t = FiberTable::new("host");
+        let f = t.create_child("x", FiberId::HOST);
+        let (a, b) = t.pair_mut(FiberId::HOST, f);
+        a.clock.set(FiberId::HOST, 41);
+        b.clock.set(f, 17);
+        assert_eq!(t.get(FiberId::HOST).clock.get(FiberId::HOST), 41);
+        assert_eq!(t.get(f).clock.get(f), 17);
+        // Order of arguments maps to order of returns in both directions.
+        let (b2, a2) = t.pair_mut(f, FiberId::HOST);
+        assert_eq!(b2.name, "x");
+        assert_eq!(a2.name, "host");
     }
 
     #[test]

@@ -78,12 +78,11 @@ impl TsanRuntime {
     /// (creation synchronizes creator → new fiber, as in TSan).
     pub fn create_fiber(&mut self, name: &str) -> FiberId {
         self.stats.fibers_created += 1;
-        let cur = self.current;
-        let creator_clock = self.fibers.get(cur).clock.clone();
         // Creation is a release: accesses the creator performs *after* the
         // creation must not appear ordered before the new fiber's work.
-        self.fibers.get_mut(cur).clock.bump(cur);
-        self.fibers.create(name, &creator_clock)
+        // `create_child` snapshots the creator's pre-bump clock in place,
+        // avoiding the per-creation temporary clone this op used to make.
+        self.fibers.create_child(name, self.current)
     }
 
     /// Sink-facing apply API: the id the next [`Self::create_fiber`] call
@@ -121,8 +120,8 @@ impl TsanRuntime {
         assert!(self.fibers.is_alive(f), "switch to dead fiber {f:?}");
         self.stats.fiber_switches += 1;
         if f != self.current {
-            let from_clock = self.fibers.get(self.current).clock.clone();
-            self.fibers.get_mut(f).clock.join(&from_clock);
+            let (to, from) = self.fibers.pair_mut(f, self.current);
+            to.clock.join(&from.clock);
         }
         self.current = f;
     }
@@ -139,11 +138,14 @@ impl TsanRuntime {
     pub fn annotate_happens_before(&mut self, key: SyncKey) {
         self.stats.happens_before += 1;
         let cur = self.current;
-        let clock = self.fibers.get(cur).clock.clone();
+        // Split borrows: `sync_vars` and `fibers` are disjoint fields, so
+        // the release can join by reference; the steady-state path (the
+        // sync var already exists) performs no clock allocation at all.
+        let clock = &self.fibers.get(cur).clock;
         self.sync_vars
             .entry(key.0)
-            .and_modify(|sv| sv.join(&clock))
-            .or_insert(clock);
+            .and_modify(|sv| sv.join(clock))
+            .or_insert_with(|| clock.clone());
         self.fibers.get_mut(cur).clock.bump(cur);
     }
 

@@ -148,8 +148,18 @@ impl PageState {
     fn unfolded(summary: [u64; SLOTS_PER_WORD]) -> Box<[u64; SLOTS_PER_PAGE]> {
         let mut slots: Box<[u64; SLOTS_PER_PAGE]> =
             vec![0u64; SLOTS_PER_PAGE].try_into().expect("page size");
+        // Most summaries carry a single live epoch (one whole-range
+        // annotation), so replicate only the live prefix and leave the
+        // zero tail to the zero-initialized buffer. Live slots form a
+        // prefix (the store machine fills the first empty slot), but a
+        // rear scan stays correct even if an interior slot were zero.
+        let live = SLOTS_PER_WORD - summary.iter().rev().take_while(|&&s| s == 0).count();
+        if live == 0 {
+            return slots;
+        }
         for w in 0..WORDS_PER_PAGE {
-            slots[w * SLOTS_PER_WORD..(w + 1) * SLOTS_PER_WORD].copy_from_slice(&summary);
+            let base = w * SLOTS_PER_WORD;
+            slots[base..base + live].copy_from_slice(&summary[..live]);
         }
         slots
     }
