@@ -14,6 +14,16 @@
 //! copy of the other side's index so the common case touches a single
 //! shared atomic. Release/Acquire pairs on `tail` (push → pop) and `head`
 //! (pop → push) order slot contents with index publication.
+//!
+//! **Consumer handoff.** "Exactly one thread may own each endpoint" is a
+//! *at-any-instant* requirement, not a for-all-time one: both endpoints
+//! are `Send`, and the consumer's non-atomic fields (`head`,
+//! `cached_tail`) travel with the struct, so a [`Consumer`] may be handed
+//! from thread to thread as long as the handoff itself synchronizes (e.g.
+//! a mutex acquiring the previous holder's release). This is what the
+//! work-stealing checker pool does: workers claim a rank's consumer under
+//! a per-rank lock, drain a batch with [`Consumer::pop_batch`], and
+//! release the claim — at most one live consumer at every instant.
 
 use std::cell::UnsafeCell;
 use std::fmt;
@@ -202,6 +212,39 @@ impl<T> Consumer<T> {
         Ok(value)
     }
 
+    /// Removes up to `max` items in FIFO order, appending them to `out`.
+    /// Returns how many were moved.
+    ///
+    /// One `Acquire` load of `tail` and one `Release` store of `head`
+    /// cover the whole batch, amortizing the two shared-cache-line
+    /// touches `pop` pays per item — this is the batch-stealing fast
+    /// path. The head is published only after every value has been moved
+    /// out (the `reserve` up front keeps the copy loop panic-free), so a
+    /// producer can never observe a slot as free while its value is still
+    /// being read.
+    pub fn pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut available = self.cached_tail.wrapping_sub(self.head);
+        if (available as usize) < max {
+            // The cached view can't satisfy the request; refresh the
+            // producer's real position before settling for less.
+            self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+            available = self.cached_tail.wrapping_sub(self.head);
+            if available == 0 {
+                return 0;
+            }
+        }
+        let n = (available as usize).min(max);
+        out.reserve(n);
+        for k in 0..n as u64 {
+            let seq = self.head.wrapping_add(k);
+            let slot = &self.shared.slots[(seq & self.shared.mask) as usize];
+            out.push(unsafe { (*slot.get()).assume_init_read() });
+        }
+        self.head = self.head.wrapping_add(n as u64);
+        self.shared.head.0.store(self.head, Ordering::Release);
+        n
+    }
+
     /// Number of items currently in the ring (approximate from the
     /// consumer's point of view: may under-count in-flight pushes).
     pub fn slots_used(&self) -> usize {
@@ -246,6 +289,54 @@ mod tests {
             assert_eq!(rx.pop(), Ok(round * 2));
             assert_eq!(rx.pop(), Ok(round * 2 + 1));
         }
+    }
+
+    #[test]
+    fn pop_batch_moves_fifo_prefix_and_frees_slots() {
+        let (mut tx, mut rx) = RingBuffer::new(8);
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, 4), 0);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(rx.pop_batch(&mut out, 3), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        // The batch pop must free slots for the producer immediately.
+        tx.push(8).unwrap();
+        tx.push(9).unwrap();
+        // `max` larger than the backlog drains what's there, in order,
+        // across the wrap-around boundary.
+        assert_eq!(rx.pop_batch(&mut out, 100), 7);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_interleaves_with_pop_across_threads() {
+        const N: u64 = 50_000;
+        let (mut tx, mut rx) = RingBuffer::new(32);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(PushError::Full(back)) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut got = Vec::new();
+        while (got.len() as u64) < N {
+            if rx.pop_batch(&mut got, 7) == 0 {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..N).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Differential sync-vs-async checking tests.
 //!
 //! The async backend's contract (see `crates/core/src/async_check.rs`) is
-//! that moving detection onto a per-rank checker thread changes *nothing*
-//! observable except wall-clock placement: traces, detector stats, race
-//! reports, and event counters must be bit-for-bit identical to the
-//! inline backend — including under injected API faults and a shadow page
-//! budget, and across repeated runs (per-seed determinism).
+//! that moving detection onto the shared work-stealing checker pool
+//! changes *nothing* observable except wall-clock placement: traces,
+//! detector stats, race reports, and event counters must be bit-for-bit
+//! identical to the inline backend — for any pool worker count, including
+//! under injected API faults and a shadow page budget, and across
+//! repeated runs (per-seed determinism).
 //!
 //! The mode is set through `ToolConfig::async_check` rather than the
 //! `CUSAN_ASYNC_CHECK` environment knob: the knob freezes process-wide on
@@ -83,6 +84,36 @@ fn assert_async_ran<T>(what: &str, out: &WorldOutcome<T>) {
         );
         assert!(stats.batches_applied > 0, "{what} rank {}", r.rank);
         assert!(stats.max_queue_depth > 0, "{what} rank {}", r.rank);
+        // Occupancy-based depth is physically bounded by the ring.
+        assert!(
+            stats.max_queue_depth <= cusan::async_check::RING_CAPACITY as u64,
+            "{what} rank {}: depth exceeds ring capacity",
+            r.rank
+        );
+        // Batch-shape counters are internally consistent: stats() flushed
+        // before reading, so every enqueued message is accounted.
+        assert!(stats.min_batch >= 1, "{what} rank {}", r.rank);
+        assert!(
+            stats.min_batch <= stats.avg_batch && stats.avg_batch <= stats.max_batch,
+            "{what} rank {}: batch-size ordering",
+            r.rank
+        );
+        assert!(
+            stats.max_batch <= cusan::async_check::BATCH_MAX as u64,
+            "{what} rank {}",
+            r.rank
+        );
+        assert_eq!(
+            stats.batch_hist.iter().sum::<u64>(),
+            stats.batches_applied,
+            "{what} rank {}: histogram covers every batch",
+            r.rank
+        );
+        assert!(
+            stats.batches_stolen <= stats.batches_applied,
+            "{what} rank {}",
+            r.rank
+        );
     }
 }
 
@@ -127,7 +158,7 @@ fn async_matches_sync_under_faults_and_budget() {
     // The hardest differential case: injected API faults change the event
     // stream (ApiFault markers, skipped calls) and a shadow page budget
     // makes the detector drop annotations — both must reproduce exactly
-    // when detection runs on the checker thread.
+    // when detection runs on the checker pool.
     let mut base = Flavor::MustCusan.config();
     base.faults = FaultPlan::with_rate(42, 0.05);
     base.shadow_page_budget = Some(8);
@@ -142,6 +173,58 @@ fn async_matches_sync_under_faults_and_budget() {
     let asyn = run_chaos_tealeaf(&cfg, async_config(base));
     assert_async_ran("chaos-tealeaf(faults)", &asyn);
     assert_outcomes_identical("chaos-tealeaf(faults)", &sync, &asyn);
+}
+
+#[test]
+fn pool_worker_count_never_changes_results() {
+    // The tentpole invariant at full-application scale: the same TeaLeaf
+    // world checked by 1, 2, and ranks-many pool workers produces
+    // bit-for-bit identical outcomes — stealing moves *where* batches are
+    // applied, never what they compute. (`ToolConfig::check_threads`
+    // mirrors the CUSAN_CHECK_THREADS knob without the process-wide
+    // freeze, like `async_check` vs CUSAN_ASYNC_CHECK.)
+    let cfg = TeaLeafConfig {
+        nx: 16,
+        ny: 16,
+        ranks: 4,
+        steps: 1,
+        ..TeaLeafConfig::default()
+    };
+    let base = Flavor::MustCusan.config();
+    let sync = run_tealeaf_traced(&cfg, sync_config(base));
+    for threads in [1usize, 2, 4] {
+        let mut ac = async_config(base);
+        ac.check_threads = Some(threads);
+        let asyn = run_tealeaf_traced(&cfg, ac);
+        let what = format!("tealeaf({threads} check threads)");
+        assert_async_ran(&what, &asyn.outcome);
+        assert_outcomes_identical(&what, &sync.outcome, &asyn.outcome);
+    }
+}
+
+#[test]
+fn pool_sharing_one_worker_across_ranks_matches_sync() {
+    // 2 ranks, 1 worker: every event of at least one rank is carried by a
+    // "foreign" worker, the configuration a per-rank-thread design never
+    // exercises. A shadow budget rides along so detector degradation also
+    // reproduces under sharing (faults need the chaos harness — the
+    // traced apps treat an injected error as fatal by design).
+    let cfg = JacobiConfig {
+        nx: 64,
+        ny: 32,
+        ranks: 2,
+        iters: 3,
+        ..JacobiConfig::default()
+    };
+    let mut base = Flavor::MustCusan.config();
+    base.shadow_page_budget = Some(8);
+    let sync = run_jacobi_traced(&cfg, sync_config(base));
+    let mut ac = async_config(base);
+    ac.check_threads = Some(1);
+    let asyn = run_jacobi_traced(&cfg, ac);
+    assert_async_ran("jacobi(1 check thread)", &asyn.outcome);
+    assert_outcomes_identical("jacobi(1 check thread)", &sync.outcome, &asyn.outcome);
+    assert_eq!(sync.norms, asyn.norms, "application numerics unchanged");
 }
 
 #[test]

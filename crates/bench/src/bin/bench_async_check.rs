@@ -1,10 +1,15 @@
 //! Sync vs async checker backend sweep with a JSON trajectory record.
 //!
 //! Runs Jacobi, 2-D Jacobi, and TeaLeaf under the full MUST & CuSan stack
-//! with checking inline (sync) and on the per-rank detector thread
-//! (async), prints a table, and writes `BENCH_async_check.json` to the
-//! current directory (override with `CUSAN_BENCH_ASYNC_JSON`) so future
-//! PRs have a perf baseline to diff against.
+//! with checking inline (sync) and on the shared work-stealing checker
+//! pool (async), prints a table, and writes `BENCH_async_check.json` to
+//! the current directory (override with `CUSAN_BENCH_ASYNC_JSON`) so
+//! future PRs have a perf baseline to diff against. The JSON records the
+//! hardware thread count, the effective pool worker count per case
+//! (after any `CUSAN_CHECK_THREADS` override), and the adaptive
+//! batch-size profile (min/max/avg plus the power-of-two histogram), so a
+//! regression in batch shaping is visible even when wall-clock noise
+//! hides it.
 //!
 //! The async backend overlaps detection with application progress, so a
 //! win requires spare hardware parallelism: with `available_parallelism`
@@ -17,7 +22,8 @@
 //! and the ring capacity or batch size needs tuning, independent of
 //! wall-clock.
 
-use cusan::{AsyncCheckStats, Flavor, ToolConfig};
+use cusan::async_check::BATCH_HIST_BUCKETS;
+use cusan::{effective_workers, AsyncCheckStats, Flavor, ToolConfig};
 use cusan_apps::{run_jacobi, run_jacobi2d, run_tealeaf};
 use cusan_bench::{
     banner, bench_runs, jacobi2d_config, jacobi_config, measure, rel, tealeaf_config,
@@ -32,23 +38,48 @@ fn mode_config(async_check: bool) -> ToolConfig {
     c
 }
 
-/// Sum the per-rank async counters (max for the queue depth: it is a
-/// per-ring high-water mark, not additive).
+/// Effective pool worker count for a case: the hardware formula after
+/// the frozen `CUSAN_CHECK_THREADS` override, exactly as the contexts
+/// apply it.
+fn check_threads(ranks: usize) -> usize {
+    effective_workers(ranks, cusan::ctx::check_threads_env())
+}
+
+/// Sum the per-rank async counters. Extremes fold as extremes (queue
+/// depth and max batch take the max over ranks, min batch the min over
+/// ranks that applied anything), the histogram element-wise, and the mean
+/// batch size is re-derived batch-weighted from the per-rank means.
 fn fold_stats<T>(out: &WorldOutcome<T>) -> AsyncCheckStats {
     let mut acc = AsyncCheckStats::default();
+    let mut messages = 0u64;
     for r in &out.ranks {
         if let Some(s) = r.async_check {
             acc.events_enqueued += s.events_enqueued;
             acc.batches_applied += s.batches_applied;
             acc.max_queue_depth = acc.max_queue_depth.max(s.max_queue_depth);
             acc.stalls += s.stalls;
+            if s.batches_applied > 0 {
+                acc.min_batch = if acc.min_batch == 0 {
+                    s.min_batch
+                } else {
+                    acc.min_batch.min(s.min_batch)
+                };
+            }
+            acc.max_batch = acc.max_batch.max(s.max_batch);
+            messages += s.avg_batch * s.batches_applied;
+            acc.batches_stolen += s.batches_stolen;
+            for (a, b) in acc.batch_hist.iter_mut().zip(&s.batch_hist) {
+                *a += b;
+            }
         }
     }
+    acc.avg_batch = messages.checked_div(acc.batches_applied).unwrap_or(0);
     acc
 }
 
 struct Case {
     name: &'static str,
+    ranks: usize,
     sync: Duration,
     asyn: Duration,
     stats: AsyncCheckStats,
@@ -63,6 +94,7 @@ impl Case {
 
 fn sweep(
     name: &'static str,
+    ranks: usize,
     runs: usize,
     run: impl Fn(bool) -> (Duration, AsyncCheckStats),
 ) -> Case {
@@ -75,6 +107,7 @@ fn sweep(
     });
     Case {
         name,
+        ranks,
         sync,
         asyn,
         stats,
@@ -90,7 +123,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     banner(
-        "Async checker — sync vs per-rank detector thread [MUST & CuSan]",
+        "Async checker — sync vs shared checker pool [MUST & CuSan]",
         &format!(
             "Jacobi {}x{} x{} | Jacobi2D {}x{} x{} ({}x{} ranks) | TeaLeaf {}x{} x{} | \
              mean of {runs} runs (+1 warmup) | {parallelism} hw threads",
@@ -99,49 +132,68 @@ fn main() {
     );
 
     let cases = [
-        sweep("jacobi", runs, |a| {
+        sweep("jacobi", jc.ranks, runs, |a| {
             let r = run_jacobi(&jc, mode_config(a));
             (r.elapsed, fold_stats(&r.outcome))
         }),
-        sweep("jacobi2d", runs, |a| {
+        sweep("jacobi2d", j2.px * j2.py, runs, |a| {
             let r = run_jacobi2d(&j2, mode_config(a));
             (r.elapsed, fold_stats(&r.outcome))
         }),
-        sweep("tealeaf", runs, |a| {
+        sweep("tealeaf", tc.ranks, runs, |a| {
             let r = run_tealeaf(&tc, mode_config(a));
             (r.elapsed, fold_stats(&r.outcome))
         }),
     ];
 
     println!(
-        "{:<10} {:>10} {:>10} {:>8} {:>12} {:>9} {:>8} {:>7}",
-        "App", "Sync", "Async", "Speedup", "Events", "Batches", "MaxDepth", "Stalls"
+        "{:<10} {:>4} {:>10} {:>10} {:>8} {:>12} {:>9} {:>8} {:>7} {:>13} {:>7}",
+        "App",
+        "Thr",
+        "Sync",
+        "Async",
+        "Speedup",
+        "Events",
+        "Batches",
+        "MaxDepth",
+        "Stalls",
+        "Batch mn/av/mx",
+        "Stolen"
     );
-    println!("{:-<80}", "");
+    println!("{:-<110}", "");
     for c in &cases {
         println!(
-            "{:<10} {:>10.2?} {:>10.2?} {:>7.2}x {:>12} {:>9} {:>8} {:>7}",
+            "{:<10} {:>4} {:>10.2?} {:>10.2?} {:>7.2}x {:>12} {:>9} {:>8} {:>7} {:>4}/{:>3}/{:>3} {:>7}",
             c.name,
+            check_threads(c.ranks),
             c.sync,
             c.asyn,
             c.speedup(),
             c.stats.events_enqueued,
             c.stats.batches_applied,
             c.stats.max_queue_depth,
-            c.stats.stalls
+            c.stats.stalls,
+            c.stats.min_batch,
+            c.stats.avg_batch,
+            c.stats.max_batch,
+            c.stats.batches_stolen
         );
     }
 
     // Hand-rolled JSON: the workspace is offline, so no serde.
     let mut json = format!(
-        "{{\n  \"benchmark\": \"async_check\",\n  \"parallelism\": {parallelism},\n  \"runs\": {runs},\n  \"cases\": [\n"
+        "{{\n  \"benchmark\": \"async_check\",\n  \"hw_threads\": {parallelism},\n  \"runs\": {runs},\n  \"batch_hist_buckets\": {BATCH_HIST_BUCKETS},\n  \"cases\": [\n"
     );
     for (i, c) in cases.iter().enumerate() {
+        let hist: Vec<String> = c.stats.batch_hist.iter().map(|n| n.to_string()).collect();
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"sync_ns\": {}, \"async_ns\": {}, \"speedup\": {:.3}, \
-             \"events_enqueued\": {}, \"batches_applied\": {}, \"max_queue_depth\": {}, \"stalls\": {}}}{}",
+            "    {{\"name\": \"{}\", \"ranks\": {}, \"check_threads\": {}, \"sync_ns\": {}, \"async_ns\": {}, \"speedup\": {:.3}, \
+             \"events_enqueued\": {}, \"batches_applied\": {}, \"max_queue_depth\": {}, \"stalls\": {}, \
+             \"min_batch\": {}, \"max_batch\": {}, \"avg_batch\": {}, \"batches_stolen\": {}, \"batch_hist\": [{}]}}{}",
             c.name,
+            c.ranks,
+            check_threads(c.ranks),
             c.sync.as_nanos(),
             c.asyn.as_nanos(),
             c.speedup(),
@@ -149,6 +201,11 @@ fn main() {
             c.stats.batches_applied,
             c.stats.max_queue_depth,
             c.stats.stalls,
+            c.stats.min_batch,
+            c.stats.max_batch,
+            c.stats.avg_batch,
+            c.stats.batches_stolen,
+            hist.join(", "),
             if i + 1 < cases.len() { "," } else { "" }
         );
     }

@@ -1,5 +1,5 @@
-//! Off-critical-path checking: a per-rank detector thread behind a
-//! bounded SPSC ring.
+//! Off-critical-path checking: a shared work-stealing checker pool
+//! behind per-rank bounded SPSC rings.
 //!
 //! The paper's headline cost (Fig. 10) is running the happens-before
 //! analysis inline on the application's critical path. The event pipeline
@@ -7,42 +7,81 @@
 //! [`CusanEvent`] stream, so detection no longer *needs* the rank's
 //! thread: in async mode ([`crate::ToolConfig::async_check`] /
 //! `CUSAN_ASYNC_CHECK=1`) the rank pushes each event into a bounded
-//! lock-free ring ([`rtrb`]) and a dedicated checker thread drains it in
+//! lock-free ring ([`rtrb`]) and the shared [`CheckerPool`] drains it in
 //! batches, applying the events to the rank's [`TsanRuntime`] exactly as
 //! the inline path would.
 //!
-//! **Determinism is an invariant, not a best effort.** The consumer sees
-//! the same totally-ordered event stream the sync checker would (one SPSC
-//! ring, one producer thread), applies it through the same
-//! [`CheckerSink::apply`] to an identically-initialized runtime, and
-//! mirrors the producer's string interner via in-order `Msg::Intern`
-//! messages (dense ids are allocation-order, so replaying the interns
-//! reproduces them). Traces and event counters are produced on the
-//! *producer* side from the same stream. Hence stats, race reports, and
-//! traces are bit-for-bit identical to sync mode; only wall-clock timing
-//! (and the [`AsyncCheckStats`] observability counters) may differ.
+//! **Pool, not thread-per-rank.** Detection work is proportional to the
+//! event backlog, not to the rank count, so the pool sizes itself from
+//! hardware: `min(active ranks, available_parallelism − 1)` worker
+//! threads by default (at least one), overridable with
+//! [`crate::ToolConfig::check_threads`] / `CUSAN_CHECK_THREADS=<n>`.
+//! Workers scan the registered ranks round-robin and *steal whole
+//! batches* from whichever ring has backlog. Two invariants make
+//! stealing safe:
+//!
+//! 1. **Claim token** — each rank's consumer state (ring endpoint,
+//!    mirror interner, checker sink) lives behind a per-rank mutex; a
+//!    worker that wants the rank's batch must take the claim, so at most
+//!    one consumer exists at every instant and the SPSC contract holds
+//!    across handoffs (see `compat/rtrb` on consumer handoff).
+//! 2. **Apply-before-release** — a claimed batch is applied to its own
+//!    rank's runtime, under that rank's runtime lock, before the claim
+//!    is released. Combined with FIFO pops this means every rank's event
+//!    stream is applied in exactly the order it was produced, no matter
+//!    which workers end up carrying the batches.
+//!
+//! **Determinism is an invariant, not a best effort.** Per rank, the
+//! pool applies the same totally-ordered event stream the sync checker
+//! would, through the same [`CheckerSink::apply`], to an
+//! identically-initialized runtime, and mirrors the producer's string
+//! interner via in-order `Msg::Intern` messages (dense ids are
+//! allocation-order, so replaying the interns reproduces them). Traces
+//! and event counters are produced on the *producer* side from the same
+//! stream. Hence stats, race reports, and traces are bit-for-bit
+//! identical to sync mode — for any worker count — and only wall-clock
+//! timing (plus the [`AsyncCheckStats`] observability counters) may
+//! differ.
 //!
 //! Protocol details:
-//! * **Backpressure** — when the ring is full the producer blocks (bounded
-//!   memory), counting one stall per blocked send.
-//! * **Batched dequeue** — the consumer locks the runtime once per batch
-//!   (≤ [`BATCH`] messages), amortizing lock traffic and wakeups.
+//! * **Backpressure** — when the ring is full the producer first tries to
+//!   drain its own ring inline (claiming it like any worker would), and
+//!   otherwise blocks (bounded memory), counting one stall per blocked
+//!   send.
+//! * **Adaptive batches** — the drain batch size follows the observed
+//!   backlog (`Consumer::slots_used`), clamped to
+//!   [`BATCH_MIN`]..=[`BATCH_MAX`]: small batches when the ring is
+//!   near-empty (latency), large when backlogged (throughput). The
+//!   chosen sizes surface in [`AsyncCheckStats`] (`min/max/avg_batch`,
+//!   `batch_hist`).
+//! * **Queue depth is ring occupancy** — `max_queue_depth` is the
+//!   high-water mark of `Producer::slots_used()` observed at send time,
+//!   which is physically bounded by [`RING_CAPACITY`]. (It was once
+//!   computed as `sent − applied`, which transiently overcounts by up to
+//!   a batch while popped messages await application.)
 //! * **Flush barrier** — [`AsyncChecker::flush`] returns only once every
-//!   message sent so far has been applied; every stat/report accessor goes
-//!   through it, so readers always observe a drained queue.
-//! * **Graceful shutdown** — dropping the checker signals shutdown and
-//!   joins the thread, which drains the ring completely before exiting
-//!   (and re-raises its panic, if any, on the dropping thread).
+//!   message sent so far has been applied; every stat/report accessor —
+//!   including [`AsyncChecker::stats`] — goes through it, so readers
+//!   always observe a drained queue.
+//! * **Graceful shutdown** — dropping the checker drains the ring
+//!   (helping inline if the pool is busy), unregisters the rank, and
+//!   re-raises the worker's panic, if any, on the dropping thread.
+//! * **Poison, don't hang** — a panic while applying a rank's batch
+//!   (e.g. a detector assertion) is caught on the worker, the rank is
+//!   poisoned, and its producer's `flush`/`send` fail fast; *other*
+//!   ranks keep draining on the surviving workers.
 //! * All waits use short condvar timeouts (`PARK`): a missed wakeup
 //!   costs at most one timeout period, never a deadlock — important on
-//!   single-CPU hosts where the two threads interleave coarsely.
+//!   single-CPU hosts where threads interleave coarsely.
 
 use crate::event::{CheckerSink, CtxInterner, CusanEvent};
 use parking_lot::{Condvar, Mutex};
 use rtrb::{Consumer, Producer, PushError, RingBuffer};
+use std::any::Any;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tsan_rt::TsanRuntime;
@@ -51,26 +90,67 @@ use tsan_rt::TsanRuntime;
 /// tool's extra memory) regardless of application event rate.
 pub const RING_CAPACITY: usize = 4096;
 
-/// Maximum messages applied per runtime lock acquisition.
-pub const BATCH: usize = 256;
+/// Smallest drain-batch target: below this backlog a batch simply takes
+/// what is there (latency mode).
+pub const BATCH_MIN: usize = 8;
+
+/// Largest messages applied per runtime lock acquisition (throughput
+/// mode; bounds the latency a flusher can see behind one claim).
+pub const BATCH_MAX: usize = 256;
+
+/// Power-of-two buckets of the batch-size histogram: bucket `i` counts
+/// batches of `2^i ..= 2^(i+1)-1` messages (the last bucket is exactly
+/// [`BATCH_MAX`]).
+pub const BATCH_HIST_BUCKETS: usize = 9;
+const _: () = assert!(1 << (BATCH_HIST_BUCKETS - 1) == BATCH_MAX);
 
 /// Condvar timeout for all parks: bounds the cost of a lost wakeup.
 const PARK: Duration = Duration::from_millis(1);
 
+/// The worker count the pool converges to for a given number of active
+/// ranks: an explicit override wins, otherwise one worker per rank up to
+/// `available_parallelism − 1` (always at least one so a 1-CPU host
+/// still drains). Exposed for the bench JSON and tests.
+pub fn effective_workers(active_ranks: usize, explicit: Option<usize>) -> usize {
+    if active_ranks == 0 {
+        return 0;
+    }
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    let par = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    active_ranks.min(par.saturating_sub(1)).max(1)
+}
+
 /// Observability counters for one rank's async checker. Timing-dependent
-/// (stalls, depth) — deliberately **not** part of the determinism
-/// contract, and surfaced separately from [`tsan_rt::TsanStats`].
+/// (stalls, depth, batch shapes, steals) — deliberately **not** part of
+/// the determinism contract, and surfaced separately from
+/// [`tsan_rt::TsanStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AsyncCheckStats {
     /// `CusanEvent`s pushed into the ring (excludes intern messages).
     pub events_enqueued: u64,
-    /// Batches the consumer applied (runtime lock acquisitions).
+    /// Batches applied to this rank's runtime (lock acquisitions), by
+    /// any worker or by the producer helping inline.
     pub batches_applied: u64,
-    /// Largest producer-observed queue depth (sent − applied), in
-    /// messages.
+    /// Largest ring occupancy observed by the producer at send time, in
+    /// messages. Bounded by [`RING_CAPACITY`] by construction.
     pub max_queue_depth: u64,
     /// Sends that found the ring full and had to block.
     pub stalls: u64,
+    /// Smallest batch applied (0 if no batches yet).
+    pub min_batch: u64,
+    /// Largest batch applied. At most [`BATCH_MAX`].
+    pub max_batch: u64,
+    /// Mean batch size (messages applied / batches, rounded down).
+    pub avg_batch: u64,
+    /// Batches applied by a pool worker other than this rank's affinity
+    /// worker (`slot id mod worker count`) — the work actually stolen.
+    pub batches_stolen: u64,
+    /// Power-of-two batch-size histogram (see [`BATCH_HIST_BUCKETS`]).
+    pub batch_hist: [u64; BATCH_HIST_BUCKETS],
 }
 
 /// One ring message. Intern messages replicate the producer's string
@@ -81,24 +161,275 @@ enum Msg {
     Event(CusanEvent),
 }
 
-struct Shared {
-    /// Messages the consumer has fully applied (published after the
-    /// runtime lock is released, so a flusher that observes the count can
-    /// immediately take the lock).
+/// Consumer-side state of one rank, handed between workers under the
+/// claim lock ([`RankSlot::work`]). Exactly one thread touches this at
+/// any instant.
+struct ConsumerState {
+    rx: Consumer<Msg>,
+    checker: CheckerSink,
+    /// Mirror of the producer's interner (rebuilt from `Msg::Intern`).
+    strings: CtxInterner,
+    /// Reusable batch buffer.
+    scratch: Vec<Msg>,
+}
+
+/// Everything the pool needs to check one registered rank.
+struct RankSlot {
+    /// Unique registration id (ranks collide across concurrent worlds in
+    /// one process; this never does). Also the affinity key for the
+    /// `batches_stolen` counter.
+    id: u64,
+    rank: usize,
+    /// Explicit worker-count request from this rank's config, if any.
+    explicit_threads: Option<usize>,
+    runtime: Arc<Mutex<TsanRuntime>>,
+    /// The claim token: whoever holds this *is* the rank's consumer.
+    work: Mutex<ConsumerState>,
+    /// Messages fully applied (published after the runtime lock is
+    /// released, so a flusher that observes the count can immediately
+    /// take the lock).
     applied: AtomicU64,
-    batches: AtomicU64,
-    /// Consumer is (about to be) parked on `work_cv`; producers skip the
-    /// notify syscall otherwise.
-    parked: AtomicBool,
-    shutdown: AtomicBool,
-    /// Consumer exited (normally or by panic); flush/send must not wait
-    /// on it anymore.
-    stopped: AtomicBool,
-    lock: Mutex<()>,
-    /// Producer → consumer: new work (or shutdown).
-    work_cv: Condvar,
-    /// Consumer → producer: progress (ring space freed / batch applied).
+    /// A batch application panicked; producer-side `flush`/`send` must
+    /// fail fast instead of waiting forever.
+    poisoned: AtomicBool,
+    /// The first caught panic payload, re-raised when the rank's
+    /// [`AsyncChecker`] is dropped.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Consumer → producer progress signaling (ring space freed / batch
+    /// applied / poison).
+    progress: Mutex<()>,
     drain_cv: Condvar,
+    // -- batch-shape observability (Relaxed: monotonic counters) --------
+    batches: AtomicU64,
+    messages: AtomicU64,
+    min_batch: AtomicU64,
+    max_batch: AtomicU64,
+    stolen: AtomicU64,
+    hist: [AtomicU64; BATCH_HIST_BUCKETS],
+}
+
+fn hist_bucket(n: u64) -> usize {
+    debug_assert!(n >= 1);
+    ((u64::BITS - 1 - n.leading_zeros()) as usize).min(BATCH_HIST_BUCKETS - 1)
+}
+
+impl RankSlot {
+    /// Claim-holder only: apply whatever sits in `cs.scratch` to this
+    /// rank's runtime, then publish progress. Progress (`applied`, the
+    /// batch counters, the wakeup) is published only after the runtime
+    /// lock is released, so a flush-then-lock reader never contends with
+    /// the batch it just observed as applied.
+    fn apply_scratch(&self, cs: &mut ConsumerState, stolen: bool) -> usize {
+        let n = cs.scratch.len();
+        if n == 0 {
+            return 0;
+        }
+        {
+            let mut rt = self.runtime.lock();
+            for msg in cs.scratch.drain(..) {
+                match msg {
+                    Msg::Intern(label) => {
+                        cs.strings.intern(&label);
+                    }
+                    Msg::Event(ev) => cs.checker.apply(&ev, &cs.strings, &mut rt),
+                }
+            }
+        }
+        let n64 = n as u64;
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.messages.fetch_add(n64, Ordering::Relaxed);
+        self.min_batch.fetch_min(n64, Ordering::Relaxed);
+        self.max_batch.fetch_max(n64, Ordering::Relaxed);
+        self.hist[hist_bucket(n64)].fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            self.stolen.fetch_add(1, Ordering::Relaxed);
+        }
+        self.applied.fetch_add(n64, Ordering::Release);
+        self.drain_cv.notify_all();
+        n
+    }
+
+    /// Claim-holder only: steal one adaptive batch off the ring and
+    /// apply it. The batch target follows the observed backlog — small
+    /// near-empty for latency, growing toward [`BATCH_MAX`] with
+    /// occupancy for throughput. A panic inside the detector poisons the
+    /// slot (storing the payload for the owner's drop) instead of
+    /// killing the worker; `Err` means poisoned.
+    fn drain_guarded(&self, cs: &mut ConsumerState, stolen: bool) -> Result<usize, ()> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(());
+        }
+        let backlog = cs.rx.slots_used();
+        if backlog == 0 {
+            return Ok(0);
+        }
+        let target = backlog.clamp(BATCH_MIN, BATCH_MAX);
+        cs.rx.pop_batch(&mut cs.scratch, target);
+        match std::panic::catch_unwind(AssertUnwindSafe(|| self.apply_scratch(cs, stolen))) {
+            Ok(n) => Ok(n),
+            Err(payload) => {
+                let mut slot = self.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                drop(slot);
+                self.poisoned.store(true, Ordering::Release);
+                self.drain_cv.notify_all();
+                Err(())
+            }
+        }
+    }
+}
+
+struct PoolState {
+    slots: Vec<Arc<RankSlot>>,
+    /// Worker liveness by index. The pool grows by spawning the lowest
+    /// dead index and shrinks from the top: a worker whose index is `>=`
+    /// the desired count exits at its next scan.
+    alive: Vec<bool>,
+    handles: Vec<Option<JoinHandle<()>>>,
+}
+
+/// The shared detector-thread pool. One global instance serves every
+/// rank created through [`AsyncChecker::new`]; tests and benches can
+/// build private pools with [`CheckerPool::with_pool`]-style wiring to
+/// pin exact worker counts.
+pub struct CheckerPool {
+    state: Mutex<PoolState>,
+    /// Producers → workers: new work exists somewhere.
+    work_cv: Condvar,
+    /// Workers currently parked on `work_cv`; producers skip the notify
+    /// syscall otherwise.
+    idle: AtomicUsize,
+    next_id: AtomicU64,
+}
+
+static GLOBAL_POOL: OnceLock<Arc<CheckerPool>> = OnceLock::new();
+
+impl CheckerPool {
+    /// A fresh, empty pool. Workers are spawned lazily as ranks
+    /// register and exit on their own once no rank needs them.
+    pub fn new() -> Arc<CheckerPool> {
+        Arc::new(CheckerPool {
+            state: Mutex::new(PoolState {
+                slots: Vec::new(),
+                alive: Vec::new(),
+                handles: Vec::new(),
+            }),
+            work_cv: Condvar::new(),
+            idle: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    /// The process-wide pool used by [`AsyncChecker::new`].
+    pub fn global() -> Arc<CheckerPool> {
+        Arc::clone(GLOBAL_POOL.get_or_init(CheckerPool::new))
+    }
+
+    /// Live worker threads right now (observability/tests).
+    pub fn worker_count(&self) -> usize {
+        self.state.lock().alive.iter().filter(|a| **a).count()
+    }
+
+    /// Registered ranks right now (observability/tests).
+    pub fn rank_count(&self) -> usize {
+        self.state.lock().slots.len()
+    }
+
+    /// The single notify helper every producer-side path funnels
+    /// through (send, backpressure, flush, drop): skip the syscall
+    /// unless a worker is actually parked. A raced `idle` read at worst
+    /// delays a worker by one `PARK` timeout.
+    fn kick(&self) {
+        if self.idle.load(Ordering::SeqCst) > 0 {
+            self.work_cv.notify_one();
+        }
+    }
+
+    /// Worker count this pool wants for the current registration set:
+    /// the largest explicit per-rank request wins over the hardware
+    /// formula (see [`effective_workers`]).
+    fn desired_locked(&self, st: &PoolState) -> usize {
+        let explicit = st.slots.iter().filter_map(|s| s.explicit_threads).max();
+        effective_workers(st.slots.len(), explicit)
+    }
+
+    fn register(self: &Arc<Self>, slot: Arc<RankSlot>) {
+        let mut st = self.state.lock();
+        st.slots.push(slot);
+        let desired = self.desired_locked(&st);
+        for index in 0..desired {
+            if index >= st.alive.len() {
+                st.alive.push(false);
+                st.handles.push(None);
+            }
+            if !st.alive[index] {
+                st.alive[index] = true;
+                // Reap the previous incarnation's handle, if any, so
+                // exited threads don't accumulate.
+                if let Some(old) = st.handles[index].take() {
+                    let _ = old.join();
+                }
+                let pool = Arc::clone(self);
+                let handle = std::thread::Builder::new()
+                    .name(format!("cusan-checker-{index}"))
+                    .spawn(move || worker_loop(pool, index))
+                    .expect("failed to spawn checker pool worker");
+                st.handles[index] = Some(handle);
+            }
+        }
+        drop(st);
+        self.work_cv.notify_all();
+    }
+
+    fn unregister(&self, slot: &Arc<RankSlot>) {
+        let mut st = self.state.lock();
+        st.slots.retain(|s| s.id != slot.id);
+        drop(st);
+        // Excess workers notice the shrunken target at their next scan.
+        self.work_cv.notify_all();
+    }
+}
+
+fn worker_loop(pool: Arc<CheckerPool>, index: usize) {
+    let mut rot = index;
+    loop {
+        // Exit check and slot snapshot under one lock: a worker decides
+        // to die and clears its alive flag atomically with respect to
+        // the spawn logic, so the pool never double-spawns an index.
+        let (slots, workers_now) = {
+            let mut st = pool.state.lock();
+            let desired = pool.desired_locked(&st);
+            if index >= desired {
+                st.alive[index] = false;
+                return;
+            }
+            (st.slots.clone(), desired as u64)
+        };
+        let mut applied = 0usize;
+        let n = slots.len();
+        for k in 0..n {
+            let slot = &slots[(rot + k) % n];
+            if slot.poisoned.load(Ordering::Acquire) {
+                continue;
+            }
+            // Claim or skip: a rank being drained by someone else (a
+            // sibling worker or its own producer helping) needs no help.
+            if let Some(mut cs) = slot.work.try_lock() {
+                let stolen = slot.id % workers_now != index as u64;
+                applied += slot.drain_guarded(&mut cs, stolen).unwrap_or(0);
+            }
+        }
+        // Rotate the scan start so one chatty rank can't starve others.
+        rot = rot.wrapping_add(1);
+        if applied == 0 {
+            let mut st = pool.state.lock();
+            pool.idle.fetch_add(1, Ordering::SeqCst);
+            pool.work_cv.wait_for(&mut st, PARK);
+            pool.idle.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
 }
 
 struct ProducerSide {
@@ -110,40 +441,60 @@ struct ProducerSide {
 }
 
 /// Handle owned by the rank thread: the producer half of the ring plus
-/// the shared runtime. Not `Sync`; one per rank, like the sync backend.
+/// the rank's registration in the shared pool. Not `Sync`; one per rank,
+/// like the sync backend.
 pub struct AsyncChecker {
-    runtime: Arc<Mutex<TsanRuntime>>,
-    shared: Arc<Shared>,
+    pool: Arc<CheckerPool>,
+    slot: Arc<RankSlot>,
     prod: RefCell<ProducerSide>,
-    handle: Option<JoinHandle<()>>,
 }
 
 impl AsyncChecker {
-    /// Move `runtime` behind the checker thread for rank `rank`.
-    pub fn new(rank: usize, runtime: TsanRuntime) -> Self {
+    /// Move `runtime` behind the global checker pool for rank `rank`.
+    /// `check_threads` is the rank's explicit worker-count request
+    /// ([`crate::ToolConfig::check_threads`]); `None` lets the pool size
+    /// itself from hardware.
+    pub fn new(rank: usize, runtime: TsanRuntime, check_threads: Option<usize>) -> Self {
+        Self::with_pool(CheckerPool::global(), rank, runtime, check_threads)
+    }
+
+    /// Like [`AsyncChecker::new`] but registering with a specific pool —
+    /// tests and benches use private pools to pin exact worker counts.
+    pub fn with_pool(
+        pool: Arc<CheckerPool>,
+        rank: usize,
+        runtime: TsanRuntime,
+        check_threads: Option<usize>,
+    ) -> Self {
         let (tx, rx) = RingBuffer::new(RING_CAPACITY);
         let runtime = Arc::new(Mutex::new(runtime));
-        let shared = Arc::new(Shared {
-            applied: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            parked: AtomicBool::new(false),
-            shutdown: AtomicBool::new(false),
-            stopped: AtomicBool::new(false),
-            lock: Mutex::new(()),
-            work_cv: Condvar::new(),
-            drain_cv: Condvar::new(),
-        });
-        let handle = std::thread::Builder::new()
-            .name(format!("cusan-checker-{rank}"))
-            .spawn({
-                let runtime = Arc::clone(&runtime);
-                let shared = Arc::clone(&shared);
-                move || consumer_loop(rx, runtime, shared)
-            })
-            .expect("failed to spawn async checker thread");
-        AsyncChecker {
+        let slot = Arc::new(RankSlot {
+            id: pool.next_id.fetch_add(1, Ordering::Relaxed),
+            rank,
+            explicit_threads: check_threads,
             runtime,
-            shared,
+            work: Mutex::new(ConsumerState {
+                rx,
+                checker: CheckerSink::new(),
+                strings: CtxInterner::new(),
+                scratch: Vec::with_capacity(BATCH_MAX),
+            }),
+            applied: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            progress: Mutex::new(()),
+            drain_cv: Condvar::new(),
+            batches: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
+            min_batch: AtomicU64::new(u64::MAX),
+            max_batch: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            hist: Default::default(),
+        });
+        pool.register(Arc::clone(&slot));
+        AsyncChecker {
+            pool,
+            slot,
             prod: RefCell::new(ProducerSide {
                 tx,
                 sent: 0,
@@ -151,11 +502,10 @@ impl AsyncChecker {
                 max_queue_depth: 0,
                 stalls: 0,
             }),
-            handle: Some(handle),
         }
     }
 
-    /// Enqueue an event for the detector thread.
+    /// Enqueue an event for the checker pool.
     pub fn send_event(&self, ev: CusanEvent) {
         self.send(Msg::Event(ev));
     }
@@ -164,6 +514,26 @@ impl AsyncChecker {
     /// Must be called in intern order, before any event using the new id.
     pub fn send_intern(&self, label: &str) {
         self.send(Msg::Intern(label.to_string()));
+    }
+
+    fn fail_if_poisoned(&self, what: &str) {
+        assert!(
+            !self.slot.poisoned.load(Ordering::Acquire),
+            "async checker pool: rank {} is poisoned by a worker panic; {what}",
+            self.slot.rank
+        );
+    }
+
+    /// Claim our own ring if it is free and apply one batch inline: the
+    /// producer is allowed to become its rank's consumer under backlog
+    /// (same claim token as the workers, so the stealing safety argument
+    /// is unchanged). Returns messages applied; 0 also when the claim is
+    /// currently held elsewhere.
+    fn try_help_drain(&self) -> usize {
+        match self.slot.work.try_lock() {
+            Some(mut cs) => self.slot.drain_guarded(&mut cs, false).unwrap_or(0),
+            None => 0,
+        }
     }
 
     fn send(&self, msg: Msg) {
@@ -180,14 +550,17 @@ impl AsyncChecker {
                         stalled = true;
                         p.stalls += 1;
                     }
-                    assert!(
-                        !self.shared.stopped.load(Ordering::Acquire),
-                        "async checker thread terminated; cannot enqueue more events"
-                    );
-                    self.wake_consumer();
-                    let mut g = self.shared.lock.lock();
-                    if p.tx.is_full() {
-                        self.shared.drain_cv.wait_for(&mut g, PARK);
+                    self.fail_if_poisoned("cannot enqueue more events");
+                    // Prefer doing the work to waiting for it: on an
+                    // oversubscribed host the backlogged producer is
+                    // often the only runnable thread.
+                    if self.try_help_drain() > 0 {
+                        continue;
+                    }
+                    self.pool.kick();
+                    let mut g = self.slot.progress.lock();
+                    if p.tx.is_full() && !self.slot.poisoned.load(Ordering::Acquire) {
+                        self.slot.drain_cv.wait_for(&mut g, PARK);
                     }
                 }
             }
@@ -196,39 +569,38 @@ impl AsyncChecker {
         if is_event {
             p.events_enqueued += 1;
         }
-        let depth = p.sent - self.shared.applied.load(Ordering::Relaxed);
+        // Depth is ring occupancy, never `sent − applied`: occupancy is
+        // physically capped at RING_CAPACITY, while `applied` lags popped
+        // messages by up to a batch. The `max(1)` covers a consumer that
+        // already popped our message between the push and this load — it
+        // was in the ring for an instant either way.
+        let depth = (p.tx.slots_used() as u64).max(1);
         if depth > p.max_queue_depth {
             p.max_queue_depth = depth;
         }
-        if self.shared.parked.load(Ordering::SeqCst) {
-            self.shared.work_cv.notify_one();
-        }
+        self.pool.kick();
     }
 
-    fn wake_consumer(&self) {
-        if self.shared.parked.load(Ordering::SeqCst) {
-            self.shared.work_cv.notify_one();
-        }
-    }
-
-    /// Barrier: returns once every message sent so far has been applied.
-    /// Panics if the checker thread died with work outstanding (its own
-    /// panic is re-raised when the `AsyncChecker` is dropped).
+    /// Barrier: returns once every message sent so far has been applied,
+    /// helping to drain inline when the pool is busy elsewhere. Panics
+    /// (fails fast) if the rank was poisoned by a worker panic — the
+    /// original payload is re-raised when the `AsyncChecker` is dropped.
     pub fn flush(&self) {
         let sent = self.prod.borrow().sent;
-        if self.shared.applied.load(Ordering::Acquire) >= sent {
-            return;
-        }
-        self.wake_consumer();
-        let mut g = self.shared.lock.lock();
-        while self.shared.applied.load(Ordering::Acquire) < sent {
-            assert!(
-                !self.shared.stopped.load(Ordering::Acquire),
-                "async checker thread terminated with events unapplied"
-            );
-            self.shared.drain_cv.wait_for(&mut g, PARK);
-            if self.shared.parked.load(Ordering::SeqCst) {
-                self.shared.work_cv.notify_one();
+        loop {
+            if self.slot.applied.load(Ordering::Acquire) >= sent {
+                return;
+            }
+            self.fail_if_poisoned("events are lost, not merely late");
+            if self.try_help_drain() > 0 {
+                continue;
+            }
+            self.pool.kick();
+            let mut g = self.slot.progress.lock();
+            if self.slot.applied.load(Ordering::Acquire) < sent
+                && !self.slot.poisoned.load(Ordering::Acquire)
+            {
+                self.slot.drain_cv.wait_for(&mut g, PARK);
             }
         }
     }
@@ -236,91 +608,69 @@ impl AsyncChecker {
     /// Flush, then run `f` on the (drained) runtime.
     pub fn with_runtime<R>(&self, f: impl FnOnce(&mut TsanRuntime) -> R) -> R {
         self.flush();
-        let mut rt = self.runtime.lock();
+        let mut rt = self.slot.runtime.lock();
         f(&mut rt)
     }
 
-    /// Snapshot of the observability counters.
+    /// Snapshot of the observability counters. Flushes first, like every
+    /// stat/report accessor, so the batch counters cover the final
+    /// partial batch too. (An earlier version skipped the barrier here
+    /// and could undercount `batches_applied` at outcome collection.)
     pub fn stats(&self) -> AsyncCheckStats {
+        self.flush();
         let p = self.prod.borrow();
+        let batches = self.slot.batches.load(Ordering::Relaxed);
+        let messages = self.slot.messages.load(Ordering::Relaxed);
+        let mut batch_hist = [0u64; BATCH_HIST_BUCKETS];
+        for (out, b) in batch_hist.iter_mut().zip(&self.slot.hist) {
+            *out = b.load(Ordering::Relaxed);
+        }
         AsyncCheckStats {
             events_enqueued: p.events_enqueued,
-            batches_applied: self.shared.batches.load(Ordering::Relaxed),
+            batches_applied: batches,
             max_queue_depth: p.max_queue_depth,
             stalls: p.stalls,
+            min_batch: if batches == 0 {
+                0
+            } else {
+                self.slot.min_batch.load(Ordering::Relaxed)
+            },
+            max_batch: self.slot.max_batch.load(Ordering::Relaxed),
+            avg_batch: messages.checked_div(batches).unwrap_or(0),
+            batches_stolen: self.slot.stolen.load(Ordering::Relaxed),
+            batch_hist,
         }
     }
 }
 
 impl Drop for AsyncChecker {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.work_cv.notify_all();
-        if let Some(handle) = self.handle.take() {
-            if let Err(payload) = handle.join() {
-                // Re-raise the checker's panic on the rank thread — unless
-                // we are already unwinding (double panic would abort).
-                if !std::thread::panicking() {
-                    std::panic::resume_unwind(payload);
-                }
-            }
-        }
-    }
-}
-
-fn consumer_loop(mut rx: Consumer<Msg>, runtime: Arc<Mutex<TsanRuntime>>, shared: Arc<Shared>) {
-    /// Marks the consumer stopped and wakes blocked producers even if
-    /// `CheckerSink::apply` panics (e.g. a detector assertion) — a
-    /// blocked `flush`/`send` must fail fast instead of hanging.
-    struct StopGuard(Arc<Shared>);
-    impl Drop for StopGuard {
-        fn drop(&mut self) {
-            self.0.stopped.store(true, Ordering::Release);
-            self.0.drain_cv.notify_all();
-        }
-    }
-    let _guard = StopGuard(Arc::clone(&shared));
-
-    let mut checker = CheckerSink::new();
-    let mut strings = CtxInterner::new();
-    let mut batch: Vec<Msg> = Vec::with_capacity(BATCH);
-    loop {
-        while batch.len() < BATCH {
-            match rx.pop() {
-                Ok(m) => batch.push(m),
-                Err(_) => break,
-            }
-        }
-        if batch.is_empty() {
-            if shared.shutdown.load(Ordering::Acquire) && rx.is_empty() {
-                break;
-            }
-            let mut g = shared.lock.lock();
-            shared.parked.store(true, Ordering::SeqCst);
-            if rx.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
-                shared.work_cv.wait_for(&mut g, PARK);
-            }
-            shared.parked.store(false, Ordering::SeqCst);
-            continue;
-        }
-        let n = batch.len() as u64;
+        // Drain everything still queued (graceful shutdown), helping
+        // inline so the drop cannot outwait a busy pool. A poisoned rank
+        // stops draining — its remaining events are acknowledged lost
+        // and the panic payload is re-raised below.
+        let sent = self.prod.get_mut().sent;
+        while !self.slot.poisoned.load(Ordering::Acquire)
+            && self.slot.applied.load(Ordering::Acquire) < sent
         {
-            let mut rt = runtime.lock();
-            for msg in batch.drain(..) {
-                match msg {
-                    Msg::Intern(label) => {
-                        strings.intern(&label);
-                    }
-                    Msg::Event(ev) => checker.apply(&ev, &strings, &mut rt),
+            if self.try_help_drain() == 0 {
+                self.pool.kick();
+                let mut g = self.slot.progress.lock();
+                if self.slot.applied.load(Ordering::Acquire) < sent
+                    && !self.slot.poisoned.load(Ordering::Acquire)
+                {
+                    self.slot.drain_cv.wait_for(&mut g, PARK);
                 }
             }
         }
-        // Publish progress only after the runtime lock is released, so a
-        // flush-then-lock reader never contends with the batch it just
-        // observed as applied.
-        shared.applied.fetch_add(n, Ordering::Release);
-        shared.batches.fetch_add(1, Ordering::Relaxed);
-        shared.drain_cv.notify_all();
+        self.pool.unregister(&self.slot);
+        if let Some(payload) = self.slot.panic.lock().take() {
+            // Re-raise the checker's panic on the rank thread — unless
+            // we are already unwinding (double panic would abort).
+            if !std::thread::panicking() {
+                std::panic::resume_unwind(payload);
+            }
+        }
     }
 }
 
@@ -365,17 +715,21 @@ mod tests {
         rt.stats()
     }
 
-    fn run_async(
-        strings: &CtxInterner,
-        evs: &[CusanEvent],
-    ) -> (tsan_rt::TsanStats, AsyncCheckStats) {
-        let ac = AsyncChecker::new(0, TsanRuntime::new("host"));
+    fn feed(ac: &AsyncChecker, strings: &CtxInterner, evs: &[CusanEvent]) {
         for i in 0..strings.len() {
             ac.send_intern(strings.label(StrId(i as u32)));
         }
         for ev in evs {
             ac.send_event(*ev);
         }
+    }
+
+    fn run_async(
+        strings: &CtxInterner,
+        evs: &[CusanEvent],
+    ) -> (tsan_rt::TsanStats, AsyncCheckStats) {
+        let ac = AsyncChecker::new(0, TsanRuntime::new("host"), None);
+        feed(&ac, strings, evs);
         let stats = ac.with_runtime(|rt| rt.stats());
         (stats, ac.stats())
     }
@@ -394,13 +748,8 @@ mod tests {
     #[test]
     fn flush_is_a_barrier() {
         let (strings, evs) = event_stream(2000);
-        let ac = AsyncChecker::new(0, TsanRuntime::new("host"));
-        for i in 0..strings.len() {
-            ac.send_intern(strings.label(StrId(i as u32)));
-        }
-        for ev in &evs {
-            ac.send_event(*ev);
-        }
+        let ac = AsyncChecker::new(0, TsanRuntime::new("host"), None);
+        feed(&ac, &strings, &evs);
         ac.flush();
         // After flush, the applied count covers everything sent; the
         // runtime must already reflect the full stream without further
@@ -412,7 +761,8 @@ mod tests {
     #[test]
     fn backpressure_bounds_queue_depth() {
         // More messages than the ring holds: the producer must block (not
-        // fail, not drop) and depth can never exceed capacity.
+        // fail, not drop) and depth — measured as ring occupancy — can
+        // never exceed capacity.
         let (strings, evs) = event_stream(4 * RING_CAPACITY as u64);
         let (stats, ac) = run_async(&strings, &evs);
         assert_eq!(stats.write_range_calls, 4 * RING_CAPACITY as u64);
@@ -421,19 +771,210 @@ mod tests {
     }
 
     #[test]
-    fn drop_drains_outstanding_events() {
-        let races = {
-            let ac = AsyncChecker::new(0, TsanRuntime::new("host"));
-            let (strings, evs) = event_stream(100);
-            for i in 0..strings.len() {
+    fn queue_depth_counts_ring_occupancy_not_applied_lag() {
+        // Regression for the depth accounting bug: the consumer pops
+        // messages off the ring (freeing slots for the producer) before
+        // bumping `applied`, so the old `sent − applied` depth could
+        // transiently exceed RING_CAPACITY by up to a batch. This test
+        // manufactures that exact window deterministically: park 64
+        // popped-but-unapplied messages, refill the ring to the brim,
+        // and check the reported high-water mark. Occupancy-based depth
+        // reads RING_CAPACITY; `sent − applied` would read
+        // RING_CAPACITY + 64 and fail the assert.
+        let pool = CheckerPool::new();
+        let ac = AsyncChecker::with_pool(pool, 0, TsanRuntime::new("host"), Some(1));
+        let mut strings = CtxInterner::new();
+        let ctx = strings.intern("w");
+        ac.send_intern("w");
+        ac.flush();
+        {
+            // Hold the claim: no worker can drain while we simulate the
+            // in-flight window.
+            let mut cs = ac.slot.work.lock();
+            for i in 0..64u64 {
+                ac.send_event(CusanEvent::WriteRange {
+                    addr: 0x1000 + i * 8,
+                    len: 8,
+                    ctx,
+                });
+            }
+            let mut parked = Vec::new();
+            assert_eq!(cs.rx.pop_batch(&mut parked, 64), 64);
+            cs.scratch.append(&mut parked);
+            for i in 0..RING_CAPACITY as u64 {
+                ac.send_event(CusanEvent::WriteRange {
+                    addr: 0x20_0000 + i * 8,
+                    len: 8,
+                    ctx,
+                });
+            }
+            assert_eq!(
+                ac.prod.borrow().max_queue_depth,
+                RING_CAPACITY as u64,
+                "depth must be ring occupancy, not sent − applied"
+            );
+            // Apply the parked prefix in order so the stream stays
+            // complete, then let the pool finish the rest.
+            let mut cs2 = cs;
+            ac.slot.apply_scratch(&mut cs2, false);
+        }
+        let stats = ac.stats();
+        assert_eq!(stats.events_enqueued, 64 + RING_CAPACITY as u64);
+        assert!(stats.max_queue_depth <= RING_CAPACITY as u64);
+        let writes = ac.with_runtime(|rt| rt.stats().write_range_calls);
+        assert_eq!(writes, 64 + RING_CAPACITY as u64);
+    }
+
+    #[test]
+    fn stats_flushes_before_reporting() {
+        // Regression for the stats accounting bug: `stats()` read
+        // `batches_applied` without the flush barrier, so outcome
+        // collection could undercount the final partial batch. The
+        // documented contract is that *every* stat/report accessor goes
+        // through the barrier.
+        let pool = CheckerPool::new();
+        let ac = AsyncChecker::with_pool(pool, 0, TsanRuntime::new("host"), Some(1));
+        let (strings, evs) = event_stream(3);
+        feed(&ac, &strings, &evs);
+        let s = ac.stats(); // no explicit flush() before this
+        assert_eq!(
+            ac.slot.applied.load(Ordering::Acquire),
+            ac.prod.borrow().sent,
+            "stats() must flush before reading the batch counters"
+        );
+        assert!(s.batches_applied >= 1, "the partial batch must be counted");
+        assert_eq!(
+            ac.slot.messages.load(Ordering::Relaxed),
+            ac.prod.borrow().sent,
+            "every message sent must be accounted to a batch"
+        );
+    }
+
+    #[test]
+    fn adaptive_batches_stay_within_bounds() {
+        let (strings, evs) = event_stream(2000);
+        let (_, ac) = run_async(&strings, &evs);
+        assert!(ac.batches_applied >= 1);
+        assert!(ac.min_batch >= 1);
+        assert!(ac.min_batch <= ac.avg_batch && ac.avg_batch <= ac.max_batch);
+        assert!(ac.max_batch <= BATCH_MAX as u64);
+        assert_eq!(
+            ac.batch_hist.iter().sum::<u64>(),
+            ac.batches_applied,
+            "every batch lands in exactly one histogram bucket"
+        );
+        assert!(ac.batches_stolen <= ac.batches_applied);
+    }
+
+    #[test]
+    fn stealing_two_ranks_one_worker_is_deterministic() {
+        // One worker serves two rings: every batch of the second ring is
+        // work that a per-rank-thread design would have pinned to a
+        // dedicated thread. Both ranks must still match the sync result
+        // bit for bit.
+        let (strings, evs) = event_stream(800);
+        let expected = run_sync(&strings, &evs);
+        let pool = CheckerPool::new();
+        let a = AsyncChecker::with_pool(Arc::clone(&pool), 0, TsanRuntime::new("host"), Some(1));
+        let b = AsyncChecker::with_pool(Arc::clone(&pool), 1, TsanRuntime::new("host"), Some(1));
+        assert_eq!(pool.worker_count(), 1);
+        // Interleave the producers so both rings hold work at once.
+        for i in 0..strings.len() {
+            a.send_intern(strings.label(StrId(i as u32)));
+            b.send_intern(strings.label(StrId(i as u32)));
+        }
+        for ev in &evs {
+            a.send_event(*ev);
+            b.send_event(*ev);
+        }
+        assert_eq!(a.with_runtime(|rt| rt.stats()), expected);
+        assert_eq!(b.with_runtime(|rt| rt.stats()), expected);
+    }
+
+    #[test]
+    fn stealing_four_ranks_two_workers_is_deterministic() {
+        let (strings, evs) = event_stream(400);
+        let expected = run_sync(&strings, &evs);
+        let pool = CheckerPool::new();
+        let acs: Vec<AsyncChecker> = (0..4)
+            .map(|r| {
+                AsyncChecker::with_pool(Arc::clone(&pool), r, TsanRuntime::new("host"), Some(2))
+            })
+            .collect();
+        assert_eq!(pool.worker_count(), 2);
+        assert_eq!(pool.rank_count(), 4);
+        for i in 0..strings.len() {
+            for ac in &acs {
                 ac.send_intern(strings.label(StrId(i as u32)));
             }
-            for ev in &evs {
+        }
+        for ev in &evs {
+            for ac in &acs {
                 ac.send_event(*ev);
             }
+        }
+        for ac in &acs {
+            assert_eq!(ac.with_runtime(|rt| rt.stats()), expected);
+            let s = ac.stats();
+            assert!(s.batches_applied >= 1);
+            assert!(s.batches_stolen <= s.batches_applied);
+        }
+    }
+
+    #[test]
+    fn worker_panic_poisons_only_its_rank() {
+        // A detector assertion while applying rank 0's batch must (a)
+        // fail rank 0's flush fast instead of hanging it, (b) leave the
+        // worker alive to keep draining rank 1, and (c) re-raise the
+        // original payload when rank 0's handle is dropped.
+        let pool = CheckerPool::new();
+        let bad = AsyncChecker::with_pool(Arc::clone(&pool), 0, TsanRuntime::new("host"), Some(1));
+        let good = AsyncChecker::with_pool(Arc::clone(&pool), 1, TsanRuntime::new("host"), Some(1));
+        bad.send_intern("bad");
+        bad.send_event(CusanEvent::FiberCreate {
+            fiber: FiberId::from_index(40),
+            name: StrId(0),
+        });
+        let flushed = std::panic::catch_unwind(AssertUnwindSafe(|| bad.flush()));
+        let payload = flushed.expect_err("poisoned flush must fail fast");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("poisoned"), "fail-fast message, got: {msg}");
+
+        // The surviving rank drains normally on the shared worker.
+        let (strings, evs) = event_stream(50);
+        feed(&good, &strings, &evs);
+        let stats = good.with_runtime(|rt| rt.stats());
+        assert_eq!(stats.write_range_calls, 50);
+
+        // Dropping the poisoned rank re-raises the original panic.
+        let dropped = std::panic::catch_unwind(AssertUnwindSafe(move || drop(bad)));
+        let payload = dropped.expect_err("drop must re-raise the worker panic");
+        let text = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            text.contains("fiber numbering diverged"),
+            "original payload, got: {text}"
+        );
+        drop(good); // clean shutdown for the healthy rank
+        assert_eq!(pool.rank_count(), 0);
+    }
+
+    #[test]
+    fn drop_drains_outstanding_events() {
+        let races = {
+            let ac = AsyncChecker::new(0, TsanRuntime::new("host"), None);
+            let (strings, evs) = event_stream(100);
+            feed(&ac, &strings, &evs);
             // No flush: drop must still apply everything (graceful
-            // shutdown drains the ring before the thread exits).
-            let runtime = Arc::clone(&ac.runtime);
+            // shutdown drains the ring before unregistering).
+            let runtime = Arc::clone(&ac.slot.runtime);
             drop(ac);
             let n = runtime.lock().stats().write_range_calls;
             n
@@ -442,14 +983,47 @@ mod tests {
     }
 
     #[test]
+    fn pool_workers_exit_when_no_ranks_remain() {
+        let pool = CheckerPool::new();
+        {
+            let ac =
+                AsyncChecker::with_pool(Arc::clone(&pool), 0, TsanRuntime::new("host"), Some(2));
+            let (strings, evs) = event_stream(10);
+            feed(&ac, &strings, &evs);
+            ac.flush();
+            assert_eq!(pool.worker_count(), 2);
+        }
+        assert_eq!(pool.rank_count(), 0);
+        // Workers notice the empty registration set within a few parks.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.worker_count() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(PARK);
+        }
+        assert_eq!(pool.worker_count(), 0, "idle workers must exit");
+    }
+
+    #[test]
     #[should_panic(expected = "fiber numbering diverged")]
     fn consumer_panic_propagates_on_drop() {
-        let ac = AsyncChecker::new(0, TsanRuntime::new("host"));
+        let ac = AsyncChecker::new(0, TsanRuntime::new("host"), None);
         ac.send_intern("bad");
         ac.send_event(CusanEvent::FiberCreate {
             fiber: FiberId::from_index(40),
             name: StrId(0),
         });
-        drop(ac); // joins the checker thread and re-raises its panic
+        drop(ac); // re-raises the pool worker's panic on this thread
+    }
+
+    #[test]
+    fn effective_workers_formula() {
+        assert_eq!(effective_workers(0, None), 0);
+        assert_eq!(effective_workers(0, Some(8)), 0);
+        assert_eq!(effective_workers(3, Some(2)), 2);
+        assert_eq!(effective_workers(1, Some(0)), 1, "explicit 0 clamps to 1");
+        let par = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let auto = effective_workers(4, None);
+        assert!(auto >= 1 && auto <= 4.min(par.saturating_sub(1)).max(1));
     }
 }

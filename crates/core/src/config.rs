@@ -55,13 +55,21 @@ pub struct ToolConfig {
     /// unboundedly. `None` (the default) is unlimited.
     pub shadow_page_budget: Option<usize>,
     /// Asynchronous checking: push events into a bounded SPSC ring
-    /// drained by a per-rank detector thread instead of applying them
+    /// drained by the shared checker pool instead of applying them
     /// inline (see `crates/core/src/async_check.rs`). Pure execution
     /// strategy — traces, stats, and race reports are bit-for-bit
     /// identical to sync mode. Off by default; the `CUSAN_ASYNC_CHECK=1`
     /// knob (read in [`crate::ToolCtx::new`]) overrides this field
     /// process-wide.
     pub async_check: bool,
+    /// Worker-thread count for the shared async checker pool
+    /// (ignored when `async_check` is off). `None` (the default) sizes
+    /// the pool from hardware — `min(active ranks,
+    /// available_parallelism − 1)`, at least one — keeping detection
+    /// work proportional to backlog rather than rank count. The
+    /// `CUSAN_CHECK_THREADS=<n>` knob (read in [`crate::ToolCtx::new`])
+    /// overrides this field process-wide.
+    pub check_threads: Option<usize>,
 }
 
 impl ToolConfig {
@@ -77,6 +85,7 @@ impl ToolConfig {
         faults: FaultPlan::DISABLED,
         shadow_page_budget: None,
         async_check: false,
+        check_threads: None,
     };
 
     /// True if any TSan-backed layer is on.
@@ -125,6 +134,7 @@ impl Flavor {
                 faults: FaultPlan::DISABLED,
                 shadow_page_budget: None,
                 async_check: false,
+                check_threads: None,
             },
             Flavor::Must => ToolConfig {
                 tsan: true,
@@ -137,6 +147,7 @@ impl Flavor {
                 faults: FaultPlan::DISABLED,
                 shadow_page_budget: None,
                 async_check: false,
+                check_threads: None,
             },
             Flavor::Cusan => ToolConfig {
                 tsan: true,
@@ -149,6 +160,7 @@ impl Flavor {
                 faults: FaultPlan::DISABLED,
                 shadow_page_budget: None,
                 async_check: false,
+                check_threads: None,
             },
             Flavor::MustCusan => ToolConfig {
                 tsan: true,
@@ -161,6 +173,7 @@ impl Flavor {
                 faults: FaultPlan::DISABLED,
                 shadow_page_budget: None,
                 async_check: false,
+                check_threads: None,
             },
         }
     }
@@ -239,6 +252,16 @@ mod tests {
         assert_eq!(ToolConfig::VANILLA.faults, FaultPlan::DISABLED);
         assert_eq!(ToolConfig::VANILLA.shadow_page_budget, None);
         const { assert!(!ToolConfig::VANILLA.async_check) } // sync is the A/B default
+    }
+
+    #[test]
+    fn check_threads_defaults_to_hardware_sizing() {
+        // `None` lets the shared checker pool size itself from hardware;
+        // no flavor pins a worker count.
+        for f in Flavor::ALL {
+            assert_eq!(f.config().check_threads, None, "{f}");
+        }
+        assert_eq!(ToolConfig::VANILLA.check_threads, None);
     }
 
     #[test]

@@ -69,8 +69,8 @@ pub fn faults_env() -> Option<FaultPlan> {
 }
 
 /// Process-wide `CUSAN_ASYNC_CHECK` override, frozen on first read like
-/// [`shadow_tiered_env`]: `1`/`true`/`on` moves every rank's checker onto
-/// its own detector thread, `0`/`false`/`off` forces inline checking,
+/// [`shadow_tiered_env`]: `1`/`true`/`on` moves every rank's checking onto
+/// the shared checker pool, `0`/`false`/`off` forces inline checking,
 /// anything else defers to the config. Freezing matters doubly here —
 /// sync and async ranks in one run would still be correct (the modes are
 /// bit-for-bit identical) but the A/B benchmarks rely on a uniform mode.
@@ -85,9 +85,34 @@ pub fn async_check_env() -> Option<bool> {
     })
 }
 
+/// Process-wide `CUSAN_CHECK_THREADS=<n>` override for the checker
+/// pool's worker count, frozen on first read like [`async_check_env`]
+/// (the pool is shared process-wide, so a per-rank divergence would be
+/// meaningless anyway). `0`, a malformed value, or unset defers to the
+/// config; only applies in async mode.
+static CHECK_THREADS_ENV: OnceLock<Option<usize>> = OnceLock::new();
+
+/// The frozen `CUSAN_CHECK_THREADS` override (see `CHECK_THREADS_ENV`).
+pub fn check_threads_env() -> Option<usize> {
+    *CHECK_THREADS_ENV.get_or_init(|| match std::env::var("CUSAN_CHECK_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                if !v.trim().is_empty() {
+                    eprintln!(
+                        "warning: ignoring CUSAN_CHECK_THREADS={v:?}: not a positive integer"
+                    );
+                }
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
 /// Where events are checked: inline on the rank thread (the paper's
-/// model and the default), or on a per-rank detector thread behind a
-/// bounded ring (see [`crate::async_check`]). Both backends apply the
+/// model and the default), or on the shared work-stealing checker pool
+/// behind a per-rank bounded ring (see [`crate::async_check`]). Both backends apply the
 /// identical event stream through [`CheckerSink::apply`], so results are
 /// bit-for-bit equal; only the wall-clock placement of the work differs.
 enum CheckerBackend {
@@ -121,9 +146,10 @@ pub struct ToolCtx {
 
 impl ToolCtx {
     /// Create the context for one rank. The process-wide frozen
-    /// [`shadow_tiered_env`], [`faults_env`], and [`async_check_env`]
-    /// overrides, if set, replace `config.shadow_tiered` /
-    /// `config.faults` / `config.async_check`.
+    /// [`shadow_tiered_env`], [`faults_env`], [`async_check_env`], and
+    /// [`check_threads_env`] overrides, if set, replace
+    /// `config.shadow_tiered` / `config.faults` / `config.async_check` /
+    /// `config.check_threads`.
     pub fn new(rank: usize, mut config: ToolConfig) -> Self {
         if let Some(tiered) = shadow_tiered_env() {
             config.shadow_tiered = tiered;
@@ -134,11 +160,14 @@ impl ToolCtx {
         if let Some(async_check) = async_check_env() {
             config.async_check = async_check;
         }
+        if let Some(threads) = check_threads_env() {
+            config.check_threads = Some(threads);
+        }
         let mut tsan =
             TsanRuntime::with_shadow_tiering(&format!("host (rank {rank})"), config.shadow_tiered);
         tsan.set_shadow_page_budget(config.shadow_page_budget);
         let backend = if config.async_check {
-            CheckerBackend::Async(AsyncChecker::new(rank, tsan))
+            CheckerBackend::Async(AsyncChecker::new(rank, tsan, config.check_threads))
         } else {
             CheckerBackend::Sync {
                 checker: RefCell::new(CheckerSink::new()),
@@ -179,7 +208,7 @@ impl ToolCtx {
         }
     }
 
-    /// Barrier: in async mode, wait until the detector thread has applied
+    /// Barrier: in async mode, wait until the checker pool has applied
     /// every event emitted so far. No-op in sync mode. Harness flush
     /// points call this before collecting outcomes so `RankOutcome`,
     /// `race_count`, and the Table-I snapshot observe a drained queue
@@ -214,7 +243,7 @@ impl ToolCtx {
 
     /// Intern a label (context, fiber name, counter name) in the rank's
     /// shared string table. In async mode a *fresh* label is also
-    /// forwarded to the detector thread, in intern order, so its mirror
+    /// forwarded to the checker pool, in intern order, so its mirror
     /// table assigns the same dense id before any event references it.
     pub fn intern_label(&self, label: &str) -> StrId {
         let mut strings = self.strings.borrow_mut();

@@ -44,7 +44,7 @@ pub mod keys;
 pub mod trace;
 
 pub use api::CusanCuda;
-pub use async_check::{AsyncCheckStats, AsyncChecker};
+pub use async_check::{effective_workers, AsyncCheckStats, AsyncChecker, CheckerPool};
 pub use config::{Flavor, ToolConfig};
 pub use ctx::ToolCtx;
 pub use event::{
