@@ -207,6 +207,25 @@ impl<T: ?Sized> RwLock<T> {
         })
     }
 
+    /// Try to acquire exclusive write access, waiting up to `timeout` for
+    /// other threads to release their guards (parking_lot's
+    /// `try_write_for`). Implemented as a yielding spin over
+    /// [`Self::try_write`]; contention from a live holder resolves in
+    /// microseconds, so the deadline is only reached when a guard is
+    /// never released (e.g. held by the calling thread itself).
+    pub fn try_write_for(&self, timeout: std::time::Duration) -> Option<RwLockWriteGuard<'_, T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(g) = self.try_write() {
+                return Some(g);
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+
     /// Try to acquire shared read access without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
         let raw = match self.lock.try_read() {

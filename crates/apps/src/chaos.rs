@@ -127,6 +127,7 @@ pub fn run_chaos_jacobi(
 ) -> WorldOutcome<ChaosResult> {
     let cfg = *cfg;
     let k = AppKernels::shared();
+    let gate = teardown_gate(cfg.ranks);
     run_checked_world_traced(
         cfg.ranks,
         tools.into(),
@@ -134,6 +135,7 @@ pub fn run_chaos_jacobi(
         move |ctx| {
             let mut ptrs = Vec::new();
             let r = chaos_jacobi_body(ctx, k, &cfg, &mut ptrs);
+            gate.wait();
             teardown(ctx, ptrs);
             r
         },
@@ -148,6 +150,7 @@ pub fn run_chaos_tealeaf(
 ) -> WorldOutcome<ChaosResult> {
     let cfg = *cfg;
     let k = AppKernels::shared();
+    let gate = teardown_gate(cfg.ranks);
     run_checked_world_traced(
         cfg.ranks,
         tools.into(),
@@ -155,14 +158,33 @@ pub fn run_chaos_tealeaf(
         move |ctx| {
             let mut ptrs = Vec::new();
             let r = chaos_tealeaf_body(ctx, k, &cfg, &mut ptrs);
+            gate.wait();
             teardown(ctx, ptrs);
             r
         },
     )
 }
 
+/// Process-local gate every rank passes between its body returning and
+/// its teardown frees. A rank that dies at its (lockstep) fault site may
+/// leave eager sends or posted receives pending; a partner still inside
+/// the exchange delivers into those buffers when *its* matching call
+/// arrives. Freeing before every body has returned would race that
+/// delivery — the partner's outcome would flip between its own
+/// symmetric fault and `Mem(Unmapped)` depending on thread timing,
+/// breaking the soak's per-seed determinism. The gate cannot deadlock:
+/// bodies never block indefinitely (waits and collectives time out), so
+/// every rank reaches it. Deliberately a plain [`std::sync::Barrier`],
+/// not an MPI barrier: it must be invisible to the fault injector and
+/// to traces.
+fn teardown_gate(ranks: usize) -> Arc<std::sync::Barrier> {
+    Arc::new(std::sync::Barrier::new(ranks))
+}
+
 /// Free everything the body managed to allocate, ignoring failures:
-/// teardown must survive a fault plan that is still firing.
+/// teardown must survive a fault plan that is still firing. Runs only
+/// after [`teardown_gate`] — no in-flight delivery can observe the
+/// frees.
 fn teardown(ctx: &mut RankCtx, ptrs: Vec<Ptr>) {
     for p in ptrs {
         let _ = ctx.cuda.free(p);

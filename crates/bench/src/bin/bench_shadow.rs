@@ -23,10 +23,12 @@
 //! tiered must land within ~4× of the flat walk (it is expected to win,
 //! since summaries make the setup nearly free).
 
-use cusan_bench::{banner, env_u64, fmt_bytes};
+use cusan::Flavor;
+use cusan_apps::{run_jacobi, run_tealeaf};
+use cusan_bench::{banner, env_u64, fmt_bytes, jacobi_config, tealeaf_config};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-use tsan_rt::TsanRuntime;
+use tsan_rt::{SyncKey, TsanRuntime, TsanStats};
 
 const COLD_LEN: u64 = 1 << 20;
 const REPEATS: u64 = 256;
@@ -49,6 +51,21 @@ fn time_case(runs: usize, tiered: bool, f: impl Fn(&mut TsanRuntime) -> Duration
     let mut best = Duration::MAX;
     for _ in 0..runs {
         let mut rt = TsanRuntime::with_shadow_tiering("bench", tiered);
+        best = best.min(f(&mut rt));
+    }
+    best
+}
+
+/// Time with every representation knob explicit (arena / epoch A/B runs).
+fn time_opts(
+    runs: usize,
+    arena: bool,
+    epoch: bool,
+    f: impl Fn(&mut TsanRuntime) -> Duration,
+) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..runs {
+        let mut rt = TsanRuntime::with_options("bench", true, arena, epoch);
         best = best.min(f(&mut rt));
     }
     best
@@ -94,6 +111,72 @@ fn unfold_total(rt: &mut TsanRuntime) -> Duration {
     rt.write_range(0x10_0000, 64 * 4096, ctx);
     for p in 0..64u64 {
         rt.write_range(0x10_0040 + p * 4096, 128, ctx);
+    }
+    t.elapsed()
+}
+
+/// The arena A/B of [`unfold_total`]: one untimed unfold/discard cycle
+/// first, so both allocation backends start warm — the arena's slabs are
+/// carved and its free list holds the blocks; malloc's bins hold the
+/// freed boxed arrays. Timing cold-against-cold instead would compare a
+/// fresh slab mmap against malloc bins already warmed by the previous
+/// best-of runs, which measures the process allocator's cache, not the
+/// unfold path. The timed region is then exactly the end-to-end
+/// summarize + 64-partial-unfold workload.
+fn unfold_total_warm(rt: &mut TsanRuntime) -> Duration {
+    let ctx = rt.intern_ctx("unfold");
+    rt.write_range(0x10_0000, 64 * 4096, ctx);
+    for p in 0..64u64 {
+        rt.write_range(0x10_0040 + p * 4096, 128, ctx);
+    }
+    for p in 0..64u64 {
+        rt.discard_shadow_page(0x10_0000 + p * 4096);
+    }
+    let t = Instant::now();
+    rt.write_range(0x10_0000, 64 * 4096, ctx);
+    for p in 0..64u64 {
+        rt.write_range(0x10_0040 + p * 4096, 128, ctx);
+    }
+    t.elapsed()
+}
+
+/// Recycle: the arena's steady state. Unfold 64 pages, discard them so
+/// their slot blocks return to the free list, and do it again — eight
+/// full cycles. Without the arena every cycle re-allocates 64 fresh
+/// 16 KiB slot arrays; with it, cycles after the first pop recycled
+/// blocks and overwrite them in place.
+fn recycle(rt: &mut TsanRuntime) -> Duration {
+    let ctx = rt.intern_ctx("recycle");
+    let t = Instant::now();
+    for _ in 0..8 {
+        rt.write_range(0x10_0000, 64 * 4096, ctx);
+        for p in 0..64u64 {
+            rt.write_range(0x10_0040 + p * 4096, 128, ctx);
+        }
+        for p in 0..64u64 {
+            rt.discard_shadow_page(0x10_0000 + p * 4096);
+        }
+    }
+    t.elapsed()
+}
+
+/// The Jacobi/TeaLeaf sync-op mix, distilled (Table I proportions): one
+/// stream fiber, bursts of device ops (sync switch in, completion
+/// release, non-sync return) punctuated by host sync points that acquire
+/// the stream's key. Returns the elapsed time; counter assertions on this
+/// shape live in `main`.
+fn sync_op_mix(rt: &mut TsanRuntime) -> Duration {
+    let stream = rt.create_fiber("stream");
+    let host = rt.host_fiber();
+    let key = SyncKey(0x600);
+    let t = Instant::now();
+    for _ in 0..128 {
+        for _ in 0..6 {
+            rt.switch_to_fiber_sync(stream);
+            rt.annotate_happens_before(key);
+            rt.switch_to_fiber(host);
+        }
+        rt.annotate_happens_after(key); // cudaDeviceSynchronize
     }
     t.elapsed()
 }
@@ -148,6 +231,80 @@ fn main() {
         );
     }
 
+    // ---- arena A/B: slab arena vs per-page boxed slot arrays --------------
+    struct ArenaCase {
+        name: &'static str,
+        on: Duration,
+        off: Duration,
+    }
+    impl ArenaCase {
+        fn speedup(&self) -> f64 {
+            self.off.as_secs_f64() / self.on.as_secs_f64().max(1e-12)
+        }
+    }
+    let arena_cases = [
+        ArenaCase {
+            name: "unfold_cold_total_64pages",
+            on: time_opts(runs, true, true, unfold_total_warm),
+            off: time_opts(runs, false, true, unfold_total_warm),
+        },
+        ArenaCase {
+            name: "unfold_recycle_64pages_x8",
+            on: time_opts(runs, true, true, recycle),
+            off: time_opts(runs, false, true, recycle),
+        },
+    ];
+    println!();
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "Arena case", "Arena on", "Arena off", "Speedup"
+    );
+    println!("{:-<64}", "");
+    for c in &arena_cases {
+        println!(
+            "{:<28} {:>12.2?} {:>12.2?} {:>8.2}x",
+            c.name,
+            c.on,
+            c.off,
+            c.speedup()
+        );
+    }
+
+    // ---- epoch clocks: the sync-op mix, compressed vs join-always ---------
+    let epoch_on = time_opts(runs, true, true, sync_op_mix);
+    let epoch_off = time_opts(runs, true, false, sync_op_mix);
+    let mix_stats = {
+        let mut rt = TsanRuntime::with_options("bench", true, true, true);
+        sync_op_mix(&mut rt);
+        rt.stats()
+    };
+    println!();
+    println!(
+        "sync_op_mix (128 bursts x 6 device ops): epoch {:.2?} | join-always {:.2?} | {:.2}x",
+        epoch_on,
+        epoch_off,
+        epoch_off.as_secs_f64() / epoch_on.as_secs_f64().max(1e-12)
+    );
+    println!(
+        "  epoch_fast_acquires {} | epoch_fast_releases {} | full_clock_joins {}",
+        mix_stats.epoch_fast_acquires, mix_stats.epoch_fast_releases, mix_stats.full_clock_joins
+    );
+
+    // ---- the real apps: epoch/arena counters on the paper fixtures --------
+    let app_stats = |name: &str| -> TsanStats {
+        match name {
+            "jacobi" => run_jacobi(&jacobi_config(), Flavor::Cusan).outcome.ranks[0].tsan,
+            _ => run_tealeaf(&tealeaf_config(), Flavor::Cusan).outcome.ranks[0].tsan,
+        }
+    };
+    let (jt, tt) = (app_stats("jacobi"), app_stats("tealeaf"));
+    for (app, s) in [("jacobi", &jt), ("tealeaf", &tt)] {
+        println!(
+            "{app}: epoch_fast_acquires {} | full_clock_joins {} | arena_slabs_allocated {}",
+            s.epoch_fast_acquires, s.full_clock_joins, s.arena_slabs_allocated
+        );
+    }
+
     // Hand-rolled JSON: the workspace is offline, so no serde.
     let mut json = String::from("{\n  \"benchmark\": \"shadow_access_range\",\n  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
@@ -162,7 +319,39 @@ fn main() {
             if i + 1 < cases.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"arena_cases\": [\n");
+    for (i, c) in arena_cases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"arena_ns\": {}, \"no_arena_ns\": {}, \"speedup\": {:.2}}}{}",
+            c.name,
+            c.on.as_nanos(),
+            c.off.as_nanos(),
+            c.speedup(),
+            if i + 1 < arena_cases.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"epoch_clocks\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"sync_op_mix\": {{\"epoch_ns\": {}, \"join_always_ns\": {}, \"epoch_fast_acquires\": {}, \"epoch_fast_releases\": {}, \"full_clock_joins\": {}}},",
+        epoch_on.as_nanos(),
+        epoch_off.as_nanos(),
+        mix_stats.epoch_fast_acquires,
+        mix_stats.epoch_fast_releases,
+        mix_stats.full_clock_joins
+    );
+    let _ = writeln!(
+        json,
+        "    \"jacobi\": {{\"epoch_fast_acquires\": {}, \"epoch_fast_releases\": {}, \"full_clock_joins\": {}, \"arena_pages_reused\": {}, \"arena_slabs_allocated\": {}}},",
+        jt.epoch_fast_acquires, jt.epoch_fast_releases, jt.full_clock_joins, jt.arena_pages_reused, jt.arena_slabs_allocated
+    );
+    let _ = writeln!(
+        json,
+        "    \"tealeaf\": {{\"epoch_fast_acquires\": {}, \"epoch_fast_releases\": {}, \"full_clock_joins\": {}, \"arena_pages_reused\": {}, \"arena_slabs_allocated\": {}}}",
+        tt.epoch_fast_acquires, tt.epoch_fast_releases, tt.full_clock_joins, tt.arena_pages_reused, tt.arena_slabs_allocated
+    );
+    json.push_str("  }\n}\n");
     let path =
         std::env::var("CUSAN_BENCH_SHADOW_JSON").unwrap_or_else(|_| "BENCH_shadow.json".into());
     match std::fs::write(&path, &json) {
@@ -173,15 +362,36 @@ fn main() {
     let repeated_ok = cases[1].speedup() >= 5.0;
     let cold_ok = cases[0].speedup() >= 2.0;
     let unfold_total_ok = cases[3].speedup() >= 0.25;
+    let arena_ok = arena_cases[0].speedup() >= 1.5;
+    let mix_ok = mix_stats.epoch_fast_acquires > mix_stats.full_clock_joins;
+    let tealeaf_ok = tt.epoch_fast_acquires > 0 && tt.epoch_fast_acquires > tt.full_clock_joins;
     println!(
-        "targets: repeated >= 5x -> {} | cold >= 2x -> {} | unfold total within 4x of flat -> {}",
+        "targets: repeated >= 5x -> {} | cold >= 2x -> {} | unfold total within 4x of flat -> {} \
+         | arena cold unfold >= 1.5x -> {} | mix fast > joins -> {} | tealeaf fast > joins -> {}",
         if repeated_ok { "met" } else { "MISSED" },
         if cold_ok { "met" } else { "MISSED" },
         if unfold_total_ok { "met" } else { "MISSED" },
+        if arena_ok { "met" } else { "MISSED" },
+        if mix_ok { "met" } else { "MISSED" },
+        if tealeaf_ok { "met" } else { "MISSED" },
     );
     assert!(
         unfold_total_ok,
         "partial-unfold regression: end-to-end tiered run is {:.2}x of flat (must stay within 4x)",
         cases[3].speedup()
+    );
+    assert!(
+        arena_ok,
+        "arena regression: cold unfold with the arena is only {:.2}x of boxed pages (floor 1.5x)",
+        arena_cases[0].speedup()
+    );
+    assert!(
+        mix_ok,
+        "epoch regression: the sync-op mix should be dominated by fast paths ({mix_stats:?})"
+    );
+    assert!(
+        tealeaf_ok,
+        "epoch regression on the TeaLeaf fixture: fast acquires {} vs full joins {}",
+        tt.epoch_fast_acquires, tt.full_clock_joins
     );
 }

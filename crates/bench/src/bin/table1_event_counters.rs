@@ -90,6 +90,29 @@ fn print_rows(jacobi: (&CudaCounters, &TsanStats), tealeaf: (&CudaCounters, &Tsa
         "{:<38} {:>14} {:>14}",
         "TSan  Shadow page unfolds", jt.page_unfolds, tt.page_unfolds
     );
+    // Epoch-compression and arena counters (see DESIGN.md "Shadow arena
+    // & epoch clocks"): joins skipped by the scalar fast paths vs full
+    // O(fibers) joins actually performed, and arena recycling activity.
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "TSan  Epoch fast acquires", jt.epoch_fast_acquires, tt.epoch_fast_acquires
+    );
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "TSan  Epoch fast releases", jt.epoch_fast_releases, tt.epoch_fast_releases
+    );
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "TSan  Full clock joins", jt.full_clock_joins, tt.full_clock_joins
+    );
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "TSan  Arena pages reused", jt.arena_pages_reused, tt.arena_pages_reused
+    );
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "TSan  Arena slabs allocated", jt.arena_slabs_allocated, tt.arena_slabs_allocated
+    );
 }
 
 fn main() {

@@ -42,6 +42,13 @@ pub struct ToolConfig {
     /// [`crate::ToolCtx::new`]) forces the flat O(bytes) walk for A/B
     /// measurements of the Fig. 12 slope.
     pub shadow_tiered: bool,
+    /// Shadow page arena: carve unfolded shadow pages from geometrically
+    /// grown slabs with a recycling free list instead of one boxed
+    /// allocation per page. Purely an allocation strategy — detection
+    /// results are bit-for-bit identical either way. On by default; the
+    /// `CUSAN_SHADOW_ARENA=0` knob (read in [`crate::ToolCtx::new`])
+    /// restores the per-page allocator for A/B benchmarking.
+    pub shadow_arena: bool,
     /// Deterministic fault injection (see [`crate::fault`]): at each
     /// intercepted CUDA/MPI call, the plan decides whether the call
     /// returns its typed error instead of running. Disabled by default;
@@ -82,6 +89,7 @@ impl ToolConfig {
         track_access_ranges: false,
         bounded_tracking: false,
         shadow_tiered: true,
+        shadow_arena: true,
         faults: FaultPlan::DISABLED,
         shadow_page_budget: None,
         async_check: false,
@@ -131,6 +139,7 @@ impl Flavor {
                 track_access_ranges: false,
                 bounded_tracking: false,
                 shadow_tiered: true,
+                shadow_arena: true,
                 faults: FaultPlan::DISABLED,
                 shadow_page_budget: None,
                 async_check: false,
@@ -144,6 +153,7 @@ impl Flavor {
                 track_access_ranges: false,
                 bounded_tracking: false,
                 shadow_tiered: true,
+                shadow_arena: true,
                 faults: FaultPlan::DISABLED,
                 shadow_page_budget: None,
                 async_check: false,
@@ -157,6 +167,7 @@ impl Flavor {
                 track_access_ranges: true,
                 bounded_tracking: false,
                 shadow_tiered: true,
+                shadow_arena: true,
                 faults: FaultPlan::DISABLED,
                 shadow_page_budget: None,
                 async_check: false,
@@ -170,6 +181,7 @@ impl Flavor {
                 track_access_ranges: true,
                 bounded_tracking: false,
                 shadow_tiered: true,
+                shadow_arena: true,
                 faults: FaultPlan::DISABLED,
                 shadow_page_budget: None,
                 async_check: false,
@@ -229,13 +241,15 @@ mod tests {
 
     #[test]
     fn shadow_tiering_defaults_on_everywhere() {
-        // The tiers are pure perf; every flavor keeps them unless the env
-        // knob (handled in ToolCtx) turns them off.
+        // The tiers and the page arena are pure perf; every flavor keeps
+        // them unless the env knobs (handled in ToolCtx) turn them off.
         for f in Flavor::ALL {
             assert!(f.config().shadow_tiered, "{f}");
+            assert!(f.config().shadow_arena, "{f}");
         }
         let vanilla = ToolConfig::VANILLA;
         assert!(vanilla.shadow_tiered);
+        assert!(vanilla.shadow_arena);
     }
 
     #[test]

@@ -47,6 +47,24 @@ pub fn shadow_tiered_env() -> Option<bool> {
     })
 }
 
+/// Process-wide `CUSAN_SHADOW_ARENA` override, frozen on first read like
+/// [`shadow_tiered_env`]: `0`/`false`/`off` restores the one-boxed-
+/// allocation-per-page shadow for A/B benchmarking, `1`/`true`/`on`
+/// forces the slab arena, anything else defers to the config. Detection
+/// results are bit-for-bit identical either way — only allocation
+/// behavior (and the `arena_*` stats) differ — so traces never record
+/// this knob and replay re-reads it instead.
+static SHADOW_ARENA_ENV: OnceLock<Option<bool>> = OnceLock::new();
+
+/// The frozen `CUSAN_SHADOW_ARENA` override (see `SHADOW_ARENA_ENV`).
+pub fn shadow_arena_env() -> Option<bool> {
+    *SHADOW_ARENA_ENV.get_or_init(|| match std::env::var("CUSAN_SHADOW_ARENA").as_deref() {
+        Ok("0") | Ok("false") | Ok("off") => Some(false),
+        Ok("1") | Ok("true") | Ok("on") => Some(true),
+        _ => None,
+    })
+}
+
 /// Process-wide `CUSAN_FAULTS=<seed>:<rate>` override, read **once** at
 /// first use (same freeze semantics as [`shadow_tiered_env`], for the
 /// same reason: every rank must see the same fault plan). A malformed
@@ -146,13 +164,16 @@ pub struct ToolCtx {
 
 impl ToolCtx {
     /// Create the context for one rank. The process-wide frozen
-    /// [`shadow_tiered_env`], [`faults_env`], [`async_check_env`], and
-    /// [`check_threads_env`] overrides, if set, replace
-    /// `config.shadow_tiered` / `config.faults` / `config.async_check` /
-    /// `config.check_threads`.
+    /// [`shadow_tiered_env`], [`shadow_arena_env`], [`faults_env`],
+    /// [`async_check_env`], and [`check_threads_env`] overrides, if set,
+    /// replace `config.shadow_tiered` / `config.shadow_arena` /
+    /// `config.faults` / `config.async_check` / `config.check_threads`.
     pub fn new(rank: usize, mut config: ToolConfig) -> Self {
         if let Some(tiered) = shadow_tiered_env() {
             config.shadow_tiered = tiered;
+        }
+        if let Some(arena) = shadow_arena_env() {
+            config.shadow_arena = arena;
         }
         if let Some(plan) = faults_env() {
             config.faults = plan;
@@ -163,8 +184,12 @@ impl ToolCtx {
         if let Some(threads) = check_threads_env() {
             config.check_threads = Some(threads);
         }
-        let mut tsan =
-            TsanRuntime::with_shadow_tiering(&format!("host (rank {rank})"), config.shadow_tiered);
+        let mut tsan = TsanRuntime::with_options(
+            &format!("host (rank {rank})"),
+            config.shadow_tiered,
+            config.shadow_arena,
+            true,
+        );
         tsan.set_shadow_page_budget(config.shadow_page_budget);
         let backend = if config.async_check {
             CheckerBackend::Async(AsyncChecker::new(rank, tsan, config.check_threads))

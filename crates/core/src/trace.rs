@@ -359,8 +359,16 @@ pub struct ReplayOutcome {
 /// (fiber and context labels included), [`TsanStats`], and
 /// [`EventCounters`] all reproduce exactly.
 pub fn replay(trace: &Trace) -> ReplayOutcome {
-    let mut rt =
-        TsanRuntime::with_shadow_tiering(&format!("host (rank {})", trace.rank), trace.tiered);
+    // The arena is a pure allocation strategy, so traces never record it;
+    // replay reads the same frozen env knob the live run's ToolCtx uses,
+    // keeping live and replayed stats (`arena_*` fields included)
+    // identical within one process.
+    let mut rt = TsanRuntime::with_options(
+        &format!("host (rank {})", trace.rank),
+        trace.tiered,
+        crate::ctx::shadow_arena_env().unwrap_or(true),
+        true,
+    );
     rt.set_shadow_page_budget(trace.budget);
     let mut checker = CheckerSink::new();
     let mut counters = EventCounters::default();

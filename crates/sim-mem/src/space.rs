@@ -25,6 +25,14 @@ use std::sync::Arc;
 /// Alignment of every allocation, in bytes. 16 covers all [`Pod`] types.
 pub const ALLOC_ALIGN: u64 = 16;
 
+/// How long a guard acquisition waits out *cross-thread* contention before
+/// declaring a conflict. Rank threads legitimately touch each other's
+/// allocations for short, bounded copies (CUDA-aware sends deliver straight
+/// into the receiver's buffer), so contention from another thread resolves
+/// in microseconds; only a guard the *same* thread already holds can outlast
+/// this.
+const GUARD_WAIT: std::time::Duration = std::time::Duration::from_millis(200);
+
 /// One live allocation: metadata plus backing bytes.
 #[derive(Debug)]
 pub struct Allocation {
@@ -66,7 +74,8 @@ impl Allocation {
         self.data.read()
     }
 
-    /// Exclusive write guard over the backing bytes.
+    /// Exclusive write guard over the backing bytes. Waits out transient
+    /// contention from other rank threads (bounded by [`GUARD_WAIT`]).
     ///
     /// # Panics
     ///
@@ -74,7 +83,7 @@ impl Allocation {
     /// a guard on this allocation — the simulated analogue of a kernel
     /// taking the same buffer as two conflicting arguments.
     pub fn write_guard(&self) -> RwLockWriteGuard<'_, Box<[u8]>> {
-        self.data.try_write().unwrap_or_else(|| {
+        self.data.try_write_for(GUARD_WAIT).unwrap_or_else(|| {
             panic!(
                 "conflicting simultaneous access to allocation {} (base {}): \
                  a guard is already held on this thread or another thread",
@@ -95,7 +104,7 @@ impl Allocation {
 
     /// Typed write view over a sub-range (offsets in bytes, length in elements).
     pub fn write_slice<T: Pod>(&self, byte_off: u64, n: u64) -> MappedRwLockWriteGuard<'_, [T]> {
-        let g = self.data.try_write().unwrap_or_else(|| {
+        let g = self.data.try_write_for(GUARD_WAIT).unwrap_or_else(|| {
             panic!(
                 "conflicting simultaneous access to allocation {} (base {})",
                 self.id, self.base
@@ -341,8 +350,17 @@ impl AddressSpace {
             let mut g = da.write_guard();
             g.copy_within(soff..soff + n, doff);
         } else {
-            let sg = sa.read_guard();
-            let mut dg = da.write_guard();
+            // Acquire the two guards in global allocation-id order. Two
+            // rank threads running symmetric exchanges (each copying into
+            // the other's buffer, as in a halo sendrecv) would otherwise
+            // take src-then-dst in opposite orders and form an ABBA cycle.
+            let (sg, mut dg) = if sa.id < da.id {
+                let sg = sa.read_guard();
+                (sg, da.write_guard())
+            } else {
+                let dg = da.write_guard();
+                (sa.read_guard(), dg)
+            };
             dg[doff..doff + n].copy_from_slice(&sg[soff..soff + n]);
         }
         Ok(())
@@ -624,6 +642,30 @@ mod guard_tests {
         // A second exclusive view of the same allocation on the same
         // thread must panic with a diagnostic, not hang.
         let _w2 = a.write_slice::<f64>(32, 4);
+    }
+
+    #[test]
+    fn symmetric_cross_allocation_copies_do_not_conflict() {
+        // Two threads running a symmetric exchange — each copying out of
+        // the other's allocation into its own, like a halo sendrecv —
+        // must never trip the conflicting-access panic: guards are taken
+        // in allocation-id order, so the opposing copies only ever
+        // contend transiently.
+        let s = Arc::new(AddressSpace::new());
+        let a = s.alloc(MemKind::Device(DeviceId(0)), 8192).unwrap();
+        let b = s.alloc(MemKind::Device(DeviceId(1)), 8192).unwrap();
+        let mk = |dst: Ptr, src: Ptr| {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    s.copy(dst, src, 4096).unwrap();
+                }
+            })
+        };
+        let t1 = mk(a, b);
+        let t2 = mk(b, a);
+        t1.join().unwrap();
+        t2.join().unwrap();
     }
 
     #[test]

@@ -17,6 +17,34 @@ pub struct SyncKey(pub u64);
 /// after the cap; only report storage stops growing).
 pub const DEFAULT_MAX_REPORTS: usize = 256;
 
+/// One synchronization variable: the full released clock plus the scalar
+/// epoch cache the compressed fast paths compare against.
+///
+/// `compressed` means `clock` is exactly the releaser's clock as of the
+/// stamp `(releaser, rel_inc, rel_gen, epoch)` — not a join of several
+/// fibers' clocks — which is what makes the two-word scalar comparisons
+/// below sound (see DESIGN.md "Shadow arena & epoch clocks").
+struct SyncVar {
+    clock: VectorClock,
+    /// Fiber that last released on this variable.
+    releaser: FiberId,
+    /// The releaser slot's incarnation at release time. Slot reuse gives
+    /// a recycled [`FiberId`] a clock the old incarnation's stamps say
+    /// nothing about, so every fast path requires an incarnation match.
+    rel_inc: u32,
+    /// The releaser's clock-generation counter at release time.
+    rel_gen: u64,
+    /// The releaser's own clock component at release time.
+    epoch: u32,
+    /// Whether `clock` is a pure snapshot of the releaser's clock.
+    compressed: bool,
+    /// `(fiber, incarnation)` of the last acquirer, invalidated by every
+    /// release: while valid, that fiber's clock still dominates `clock`
+    /// (its clock only grew since the join), so a repeat acquire is a
+    /// no-op.
+    last_acq: Option<(FiberId, u32)>,
+}
+
 /// A per-rank ThreadSanitizer-style runtime. See crate docs.
 ///
 /// Not `Sync` on purpose: one runtime per simulated MPI process, used from
@@ -25,13 +53,18 @@ pub struct TsanRuntime {
     fibers: FiberTable,
     current: FiberId,
     shadow: ShadowMemory,
-    sync_vars: FxHashMap<u64, VectorClock>,
+    sync_vars: FxHashMap<u64, SyncVar>,
     ctxs: CtxTable,
     reports: Vec<RaceReport>,
     report_keys: FxHashSet<(u32, u32)>,
     suppressions: Suppressions,
     stats: TsanStats,
     max_reports: usize,
+    /// Scalar epoch fast paths on release/acquire/sync-switch. Purely a
+    /// performance representation — detection results are bit-for-bit
+    /// identical either way (`tests/epoch_differential.rs`); `false`
+    /// recovers the join-always reference behavior.
+    epoch_clocks: bool,
 }
 
 impl TsanRuntime {
@@ -46,10 +79,21 @@ impl TsanRuntime {
     /// recovers the flat per-word walk for A/B measurements
     /// (`CUSAN_SHADOW_TIERED=0`). Detection results are identical.
     pub fn with_shadow_tiering(host_name: &str, tiered: bool) -> Self {
+        Self::with_options(host_name, tiered, true, true)
+    }
+
+    /// New runtime with every performance representation knob explicit:
+    /// shadow tiering, the shadow page arena (`CUSAN_SHADOW_ARENA` knob;
+    /// `false` recovers per-page boxed allocations), and epoch-compressed
+    /// clocks (`false` recovers join-always sync vars — the reference the
+    /// differential tests compare against). All three are pure perf
+    /// representations; detection results are identical in every
+    /// combination.
+    pub fn with_options(host_name: &str, tiered: bool, arena: bool, epoch_clocks: bool) -> Self {
         let mut rt = TsanRuntime {
             fibers: FiberTable::new(host_name),
             current: FiberId::HOST,
-            shadow: ShadowMemory::with_tiering(tiered),
+            shadow: ShadowMemory::with_options(tiered, arena),
             sync_vars: FxHashMap::default(),
             ctxs: CtxTable::new(),
             reports: Vec::new(),
@@ -57,6 +101,7 @@ impl TsanRuntime {
             suppressions: Suppressions::default(),
             stats: TsanStats::default(),
             max_reports: DEFAULT_MAX_REPORTS,
+            epoch_clocks,
         };
         rt.stats.fibers_created = 1;
         rt
@@ -120,8 +165,45 @@ impl TsanRuntime {
         assert!(self.fibers.is_alive(f), "switch to dead fiber {f:?}");
         self.stats.fiber_switches += 1;
         if f != self.current {
-            let (to, from) = self.fibers.pair_mut(f, self.current);
-            to.clock.join(&from.clock);
+            let cur = self.current;
+            let (to, from) = self.fibers.pair_mut(f, cur);
+            let epoch = from.clock.get(cur);
+            // The stamped join can be skipped when the source clock
+            // provably grew past the already-joined value in no way this
+            // clock does not dominate:
+            //  * exact stamp match — same incarnation, generation and own
+            //    epoch, i.e. the source clock is bit-identical to the one
+            //    last joined. Back-to-back device ops on one stream hit
+            //    this on every op after the first; or
+            //  * same incarnation and own epoch, older generation, but the
+            //    source's only foreign joins since the stamped generation
+            //    were snapshots of *this* fiber (the sole-source window),
+            //    which this clock dominates by monotonicity. The
+            //    host-syncs-on-one-stream cadence (TeaLeaf) lands here:
+            //    the host's acquire of the stream's release bumps the
+            //    host generation but adds nothing the stream lacks.
+            let fast = self.epoch_clocks
+                && match to.last_sync {
+                    Some((sf, s_inc, s_gen, s_ep))
+                        if sf == cur && s_inc == from.incarnation && s_ep == epoch =>
+                    {
+                        s_gen == from.gen
+                            || (from.sole_source == Some((f, to.incarnation))
+                                && from.sole_since_gen <= s_gen)
+                    }
+                    _ => false,
+                };
+            if fast {
+                self.stats.epoch_fast_acquires += 1;
+            } else {
+                self.stats.full_clock_joins += 1;
+                if to.clock.join_changed(&from.clock) {
+                    // The joined clock is a pure snapshot of `cur`'s
+                    // current incarnation — an identifiable sole source.
+                    to.note_foreign_join(Some((cur, from.incarnation)));
+                }
+            }
+            to.last_sync = Some((cur, from.incarnation, from.gen, epoch));
         }
         self.current = f;
     }
@@ -141,11 +223,55 @@ impl TsanRuntime {
         // Split borrows: `sync_vars` and `fibers` are disjoint fields, so
         // the release can join by reference; the steady-state path (the
         // sync var already exists) performs no clock allocation at all.
-        let clock = &self.fibers.get(cur).clock;
-        self.sync_vars
-            .entry(key.0)
-            .and_modify(|sv| sv.join(clock))
-            .or_insert_with(|| clock.clone());
+        let f = self.fibers.get(cur);
+        let clock = &f.clock;
+        let epoch = clock.get(cur);
+        match self.sync_vars.entry(key.0) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(SyncVar {
+                    clock: clock.clone(),
+                    releaser: cur,
+                    rel_inc: f.incarnation,
+                    rel_gen: f.gen,
+                    epoch,
+                    compressed: true,
+                    last_acq: None,
+                });
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let sv = o.get_mut();
+                if self.epoch_clocks
+                    && sv.compressed
+                    && sv.releaser == cur
+                    && sv.rel_inc == f.incarnation
+                    && sv.rel_gen == f.gen
+                {
+                    // Repeated release with an unchanged clock (same
+                    // generation ⇒ only own-component bumps happened
+                    // since the stamp): the join collapses to updating
+                    // the one component that moved.
+                    sv.clock.set(cur, epoch);
+                    self.stats.epoch_fast_releases += 1;
+                } else {
+                    self.stats.full_clock_joins += 1;
+                    if self.epoch_clocks && clock.dominates(&sv.clock) {
+                        // The join result is exactly this clock, so the
+                        // sync var becomes a pure snapshot again and
+                        // stays eligible for the scalar fast paths.
+                        sv.clock.copy_from(clock);
+                        sv.compressed = true;
+                    } else {
+                        sv.clock.join(clock);
+                        sv.compressed = false;
+                    }
+                }
+                sv.releaser = cur;
+                sv.rel_inc = f.incarnation;
+                sv.rel_gen = f.gen;
+                sv.epoch = epoch;
+                sv.last_acq = None;
+            }
+        }
         self.fibers.get_mut(cur).clock.bump(cur);
     }
 
@@ -155,16 +281,32 @@ impl TsanRuntime {
     pub fn annotate_happens_after(&mut self, key: SyncKey) -> bool {
         self.stats.happens_after += 1;
         let cur = self.current;
-        match self.sync_vars.get(&key.0) {
-            Some(sv) => {
-                // Clone keeps borrowck simple; sync vars are tiny dense
-                // clocks and HA is orders of magnitude rarer than accesses.
-                let sv = sv.clone();
-                self.fibers.get_mut(cur).clock.join(&sv);
-                true
+        let Some(sv) = self.sync_vars.get_mut(&key.0) else {
+            return false;
+        };
+        let f = self.fibers.get_mut(cur);
+        if self.epoch_clocks {
+            // Acquiring a variable we last released ourselves (and whose
+            // clock is still our own snapshot), or re-acquiring one that
+            // has not been released since our last acquire: the sync
+            // clock is already dominated by this fiber's clock, which
+            // only grew in the meantime. Two-word compare, no join.
+            let own_release = sv.compressed && sv.releaser == cur && sv.rel_inc == f.incarnation;
+            let repeat_acquire = sv.last_acq == Some((cur, f.incarnation));
+            if own_release || repeat_acquire {
+                self.stats.epoch_fast_acquires += 1;
+                return true;
             }
-            None => false,
         }
+        self.stats.full_clock_joins += 1;
+        if f.clock.join_changed(&sv.clock) {
+            // A compressed sync clock is a pure snapshot of its releaser,
+            // so the join has an identifiable sole source; a decompressed
+            // (joined) clock does not.
+            f.note_foreign_join(sv.compressed.then_some((sv.releaser, sv.rel_inc)));
+        }
+        sv.last_acq = Some((cur, f.incarnation));
+        true
     }
 
     /// True if some fiber released on `key` at least once.
@@ -278,7 +420,21 @@ impl TsanRuntime {
         s.page_summaries_stored = c.page_summaries_stored;
         s.page_unfolds = c.page_unfolds;
         s.dropped_annotations = c.dropped_annotations;
+        s.arena_pages_reused = c.arena_pages_reused;
+        s.arena_slabs_allocated = c.arena_slabs_allocated;
         s
+    }
+
+    /// The current vector clock of a fiber (tests and differential
+    /// harnesses; the epoch-vs-reference proptest compares `dominates`
+    /// outcomes across runtimes through this).
+    pub fn fiber_clock(&self, f: FiberId) -> &VectorClock {
+        &self.fibers.get(f).clock
+    }
+
+    /// Whether the scalar epoch fast paths are active.
+    pub fn epoch_clocks_enabled(&self) -> bool {
+        self.epoch_clocks
     }
 
     /// Cap the shadow's page count; past the budget the detector runs in
@@ -299,10 +455,27 @@ impl TsanRuntime {
         self.shadow.tiering_enabled()
     }
 
+    /// Whether the shadow's page arena is active.
+    pub fn shadow_arena_enabled(&self) -> bool {
+        self.shadow.arena_enabled()
+    }
+
+    /// Drop the shadow page covering `addr`, recycling its slot block
+    /// into the arena free list (see
+    /// [`crate::shadow::ShadowMemory::discard_page`]). Returns whether a
+    /// page was discarded.
+    pub fn discard_shadow_page(&mut self, addr: u64) -> bool {
+        self.shadow.discard_page(addr)
+    }
+
     /// Approximate heap bytes owned by the detector: shadow pages, vector
     /// clocks, sync variables, context table. Drives Fig. 11.
     pub fn memory_bytes(&self) -> u64 {
-        let sync: u64 = self.sync_vars.values().map(|c| c.heap_bytes() + 48).sum();
+        let sync: u64 = self
+            .sync_vars
+            .values()
+            .map(|sv| sv.clock.heap_bytes() + std::mem::size_of::<SyncVar>() as u64 + 16)
+            .sum();
         self.shadow.heap_bytes() + self.fibers.heap_bytes() + sync + self.ctxs.heap_bytes()
     }
 

@@ -133,6 +133,203 @@ pub struct ShadowCounters {
     /// its page budget (best-effort mode; see
     /// [`ShadowMemory::set_page_budget`]).
     pub dropped_annotations: u64,
+    /// Page blocks recycled from the arena free list (0 with the arena
+    /// off or while nothing was discarded).
+    pub arena_pages_reused: u64,
+    /// Arena slabs allocated (logarithmic in unfolded page count thanks
+    /// to geometric slab growth).
+    pub arena_slabs_allocated: u64,
+}
+
+/// Pages in the first arena slab; subsequent slabs double up to
+/// [`ARENA_MAX_SLAB_PAGES`], keeping slab count logarithmic while
+/// bounding the worst-case over-allocation.
+const ARENA_FIRST_SLAB_PAGES: usize = 4;
+const ARENA_MAX_SLAB_PAGES: usize = 256;
+
+/// Handle of one page block inside the arena: slab index + block index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockId {
+    slab: u32,
+    block: u32,
+}
+
+/// Slab arena carving [`SLOTS_PER_PAGE`]-word page blocks out of
+/// geometrically grown slabs, with a LIFO free list for recycled blocks.
+///
+/// Unfolding a summary used to pay a fresh 16 KiB zeroed allocation per
+/// page; with the arena it pays one `Vec` allocation per *slab* (4 pages
+/// doubling to 256) and otherwise just bumps a cursor. `vec![0u64; n]`
+/// lowers to `alloc_zeroed`, so large slabs come from lazily-zeroed OS
+/// pages — carving never eagerly zeroes slab memory ahead of use.
+///
+/// Recycling discipline: freshly carved blocks are guaranteed all-zero
+/// (never written since slab allocation); recycled blocks carry stale
+/// slots and are either fully overwritten ([`Self::alloc_filled`]) or
+/// explicitly re-zeroed ([`Self::alloc_zeroed`]) before reuse, so stale
+/// epochs can never resurrect in a recycled page.
+struct PageArena {
+    slabs: Vec<Box<[u64]>>,
+    free: Vec<BlockId>,
+    /// Blocks already carved from the newest slab.
+    carved: usize,
+    next_slab_pages: usize,
+    pages_reused: u64,
+    slabs_allocated: u64,
+}
+
+impl PageArena {
+    fn new() -> Self {
+        PageArena {
+            slabs: Vec::new(),
+            free: Vec::new(),
+            carved: 0,
+            next_slab_pages: ARENA_FIRST_SLAB_PAGES,
+            pages_reused: 0,
+            slabs_allocated: 0,
+        }
+    }
+
+    /// Pop a block: recycled (stale contents!) or freshly carved
+    /// (guaranteed all-zero). The bool is `true` for a fresh carve.
+    fn pop(&mut self) -> (BlockId, bool) {
+        if let Some(id) = self.free.pop() {
+            self.pages_reused += 1;
+            return (id, false);
+        }
+        let cap = self.slabs.last().map_or(0, |s| s.len() / SLOTS_PER_PAGE);
+        if self.carved == cap {
+            self.slabs
+                .push(vec![0u64; self.next_slab_pages * SLOTS_PER_PAGE].into_boxed_slice());
+            self.slabs_allocated += 1;
+            self.carved = 0;
+            self.next_slab_pages = (self.next_slab_pages * 2).min(ARENA_MAX_SLAB_PAGES);
+        }
+        let id = BlockId {
+            slab: (self.slabs.len() - 1) as u32,
+            block: self.carved as u32,
+        };
+        self.carved += 1;
+        (id, true)
+    }
+
+    /// Pop a block holding all-empty slots.
+    fn alloc_zeroed(&mut self) -> BlockId {
+        let (id, fresh) = self.pop();
+        if !fresh {
+            self.block_mut(id).fill(0);
+        }
+        id
+    }
+
+    /// Pop a block and fill every word with `summary` — the unfold fill.
+    /// Fresh blocks only need the live prefix stored (the tail is already
+    /// zero); recycled blocks are fully overwritten by doubling copies,
+    /// zero slots included.
+    fn alloc_filled(&mut self, summary: &[u64; SLOTS_PER_WORD]) -> BlockId {
+        let (id, fresh) = self.pop();
+        let slots = self.block_mut(id);
+        if fresh {
+            // Live slots form a prefix (the store machine fills the first
+            // empty slot), but a rear scan stays correct even if an
+            // interior slot were zero.
+            let live = SLOTS_PER_WORD - summary.iter().rev().take_while(|&&s| s == 0).count();
+            if live > 0 {
+                for w in 0..WORDS_PER_PAGE {
+                    let base = w * SLOTS_PER_WORD;
+                    slots[base..base + live].copy_from_slice(&summary[..live]);
+                }
+            }
+        } else {
+            slots[..SLOTS_PER_WORD].copy_from_slice(summary);
+            let mut filled = SLOTS_PER_WORD;
+            while filled < SLOTS_PER_PAGE {
+                let n = filled.min(SLOTS_PER_PAGE - filled);
+                slots.copy_within(..n, filled);
+                filled += n;
+            }
+        }
+        id
+    }
+
+    /// Return a block to the free list. The stale contents stay in place
+    /// until the block is reallocated (and then overwritten/zeroed).
+    fn free_block(&mut self, id: BlockId) {
+        self.free.push(id);
+    }
+
+    fn block(&self, id: BlockId) -> &[u64; SLOTS_PER_PAGE] {
+        let base = id.block as usize * SLOTS_PER_PAGE;
+        (&self.slabs[id.slab as usize][base..base + SLOTS_PER_PAGE])
+            .try_into()
+            .expect("block size")
+    }
+
+    fn block_mut(&mut self, id: BlockId) -> &mut [u64; SLOTS_PER_PAGE] {
+        let base = id.block as usize * SLOTS_PER_PAGE;
+        (&mut self.slabs[id.slab as usize][base..base + SLOTS_PER_PAGE])
+            .try_into()
+            .expect("block size")
+    }
+
+    /// All slab bytes, carved or not — budget accounting must count what
+    /// the arena actually holds from the allocator, not just live blocks.
+    fn heap_bytes(&self) -> u64 {
+        self.slabs.iter().map(|s| (s.len() * 8) as u64).sum::<u64>()
+            + (self.free.capacity() * std::mem::size_of::<BlockId>()) as u64
+    }
+}
+
+/// Storage of one unfolded page: an arena block, or a boxed array when
+/// the arena is disabled (`CUSAN_SHADOW_ARENA=0` A/B mode).
+enum PageSlots {
+    Owned(Box<[u64; SLOTS_PER_PAGE]>),
+    Arena(BlockId),
+}
+
+impl PageSlots {
+    fn zeroed(arena: &mut PageArena, use_arena: bool) -> PageSlots {
+        if use_arena {
+            PageSlots::Arena(arena.alloc_zeroed())
+        } else {
+            PageSlots::Owned(vec![0u64; SLOTS_PER_PAGE].try_into().expect("page size"))
+        }
+    }
+
+    fn unfolded(
+        summary: [u64; SLOTS_PER_WORD],
+        arena: &mut PageArena,
+        use_arena: bool,
+    ) -> PageSlots {
+        if use_arena {
+            PageSlots::Arena(arena.alloc_filled(&summary))
+        } else {
+            let mut slots: Box<[u64; SLOTS_PER_PAGE]> =
+                vec![0u64; SLOTS_PER_PAGE].try_into().expect("page size");
+            let live = SLOTS_PER_WORD - summary.iter().rev().take_while(|&&s| s == 0).count();
+            if live > 0 {
+                for w in 0..WORDS_PER_PAGE {
+                    let base = w * SLOTS_PER_WORD;
+                    slots[base..base + live].copy_from_slice(&summary[..live]);
+                }
+            }
+            PageSlots::Owned(slots)
+        }
+    }
+
+    fn resolve<'a>(&'a self, arena: &'a PageArena) -> &'a [u64; SLOTS_PER_PAGE] {
+        match self {
+            PageSlots::Owned(b) => b,
+            PageSlots::Arena(id) => arena.block(*id),
+        }
+    }
+
+    fn resolve_mut<'a>(&'a mut self, arena: &'a mut PageArena) -> &'a mut [u64; SLOTS_PER_PAGE] {
+        match self {
+            PageSlots::Owned(b) => b,
+            PageSlots::Arena(id) => arena.block_mut(*id),
+        }
+    }
 }
 
 /// One shadow page: either a summary (all words identical) or flat slots.
@@ -141,28 +338,7 @@ enum PageState {
     /// behaves identically. Maintained by unfolding before any operation
     /// that would make words diverge.
     Summary([u64; SLOTS_PER_WORD]),
-    Unfolded(Box<[u64; SLOTS_PER_PAGE]>),
-}
-
-impl PageState {
-    fn unfolded(summary: [u64; SLOTS_PER_WORD]) -> Box<[u64; SLOTS_PER_PAGE]> {
-        let mut slots: Box<[u64; SLOTS_PER_PAGE]> =
-            vec![0u64; SLOTS_PER_PAGE].try_into().expect("page size");
-        // Most summaries carry a single live epoch (one whole-range
-        // annotation), so replicate only the live prefix and leave the
-        // zero tail to the zero-initialized buffer. Live slots form a
-        // prefix (the store machine fills the first empty slot), but a
-        // rear scan stays correct even if an interior slot were zero.
-        let live = SLOTS_PER_WORD - summary.iter().rev().take_while(|&&s| s == 0).count();
-        if live == 0 {
-            return slots;
-        }
-        for w in 0..WORDS_PER_PAGE {
-            let base = w * SLOTS_PER_WORD;
-            slots[base..base + live].copy_from_slice(&summary[..live]);
-        }
-        slots
-    }
+    Unfolded(PageSlots),
 }
 
 /// What the slot state machine decided to do with the incoming access.
@@ -251,6 +427,8 @@ struct LastAccess {
 /// The shadow memory of one [`crate::TsanRuntime`].
 pub struct ShadowMemory {
     pages: FxHashMap<u64, PageState>,
+    arena: PageArena,
+    use_arena: bool,
     tiered: bool,
     last: Option<LastAccess>,
     counters: ShadowCounters,
@@ -264,7 +442,7 @@ impl Default for ShadowMemory {
 }
 
 impl ShadowMemory {
-    /// Fresh, empty shadow memory with tiering enabled.
+    /// Fresh, empty shadow memory with tiering and the page arena enabled.
     pub fn new() -> Self {
         Self::with_tiering(true)
     }
@@ -273,8 +451,18 @@ impl ShadowMemory {
     /// Untiered, every access walks one slot array per touched word — the
     /// flat O(bytes) behavior measured in the paper's Fig. 12.
     pub fn with_tiering(tiered: bool) -> Self {
+        Self::with_options(tiered, true)
+    }
+
+    /// Fresh shadow choosing both the tier mode and whether unfolded
+    /// pages live in the slab arena (`arena = false` reproduces the
+    /// one-`Box`-per-page allocator for A/B benchmarking; detection
+    /// behavior is bit-for-bit identical either way).
+    pub fn with_options(tiered: bool, arena: bool) -> Self {
         ShadowMemory {
             pages: FxHashMap::default(),
+            arena: PageArena::new(),
+            use_arena: arena,
             tiered,
             last: None,
             counters: ShadowCounters::default(),
@@ -285,6 +473,29 @@ impl ShadowMemory {
     /// Whether the summary/fast-path tiers are active.
     pub fn tiering_enabled(&self) -> bool {
         self.tiered
+    }
+
+    /// Whether unfolded pages are carved from the slab arena.
+    pub fn arena_enabled(&self) -> bool {
+        self.use_arena
+    }
+
+    /// Forget all shadow state for the page containing `addr`, returning
+    /// whether a page was tracked there. An arena-backed slot block goes
+    /// back on the free list for recycling. Used by allocation-lifetime
+    /// hooks (free/device-reset paths) so long runs can give pages back.
+    pub fn discard_page(&mut self, addr: u64) -> bool {
+        let page_base = (addr / WORD_BYTES) / WORDS_PER_PAGE as u64;
+        let Some(state) = self.pages.remove(&page_base) else {
+            return false;
+        };
+        if let PageState::Unfolded(PageSlots::Arena(id)) = state {
+            self.arena.free_block(id);
+        }
+        // The last-access cache may describe a range inside the discarded
+        // page; the next identical access must re-walk, not fast-path.
+        self.last = None;
+        true
     }
 
     /// Cap the number of shadow pages. Once the budget is reached the
@@ -304,9 +515,12 @@ impl ShadowMemory {
         self.page_budget
     }
 
-    /// Tier event counters.
+    /// Tier event counters, with the arena's own tallies merged in.
     pub fn counters(&self) -> ShadowCounters {
-        self.counters
+        let mut c = self.counters;
+        c.arena_pages_reused = self.arena.pages_reused;
+        c.arena_slabs_allocated = self.arena.slabs_allocated;
+        c
     }
 
     /// Record an access of `[addr, addr+len)` by `fiber` (whose clock
@@ -357,6 +571,18 @@ impl ShadowMemory {
         let first_word = addr / WORD_BYTES;
         let last_word = (addr + len - 1) / WORD_BYTES;
         let words_per_page = WORDS_PER_PAGE as u64;
+        // Split borrows: the map entry, the arena, and the counters are
+        // touched together in every arm below.
+        let Self {
+            pages,
+            arena,
+            use_arena,
+            tiered,
+            counters,
+            page_budget,
+            ..
+        } = self;
+        let (use_arena, tiered, page_budget) = (*use_arena, *tiered, *page_budget);
         let mut word = first_word;
         while word <= last_word {
             let page_base = word / words_per_page;
@@ -366,10 +592,9 @@ impl ShadowMemory {
             // The chunk covers the whole page iff it starts at the page's
             // first word and ends at its last (bytes may still be ragged
             // at the edges — word coverage is what the flat walk stores).
-            let whole_page = self.tiered && word == page_first_word && end_word == page_last_word;
-            let under_budget = self.page_budget.is_none_or(|b| self.pages.len() < b);
-            let counters = &mut self.counters;
-            match self.pages.entry(page_base) {
+            let whole_page = tiered && word == page_first_word && end_word == page_last_word;
+            let under_budget = page_budget.is_none_or(|b| pages.len() < b);
+            match pages.entry(page_base) {
                 std::collections::hash_map::Entry::Vacant(_) if !under_budget => {
                     // Budget reached: best-effort mode. The chunk would
                     // need a new shadow page — drop it, count it, keep
@@ -386,14 +611,15 @@ impl ShadowMemory {
                         v.insert(PageState::Summary(summary));
                         counters.page_summaries_stored += 1;
                     } else {
-                        let page = v.insert(PageState::Unfolded(
-                            vec![0u64; SLOTS_PER_PAGE].try_into().expect("page size"),
-                        ));
-                        let PageState::Unfolded(slots) = page else {
+                        // Partial first touch: pop a zeroed block from the
+                        // arena instead of a fresh 16 KiB allocation.
+                        let page =
+                            v.insert(PageState::Unfolded(PageSlots::zeroed(arena, use_arena)));
+                        let PageState::Unfolded(ps) = page else {
                             unreachable!()
                         };
                         walk_words(
-                            slots,
+                            ps.resolve_mut(arena),
                             word,
                             end_word,
                             new_raw,
@@ -453,10 +679,18 @@ impl ShadowMemory {
                                 }
                             }
                             if need_unfold {
-                                let mut slots = PageState::unfolded(*summary);
+                                // Unfold = pop a block + replicate the live
+                                // prefix (arena) or allocate a fresh boxed
+                                // array (arena off).
+                                *state = PageState::Unfolded(PageSlots::unfolded(
+                                    *summary, arena, use_arena,
+                                ));
                                 counters.page_unfolds += 1;
+                                let PageState::Unfolded(ps) = state else {
+                                    unreachable!()
+                                };
                                 walk_words(
-                                    &mut slots,
+                                    ps.resolve_mut(arena),
                                     word,
                                     end_word,
                                     new_raw,
@@ -465,12 +699,11 @@ impl ShadowMemory {
                                     fiber_clock,
                                     &mut on_conflict,
                                 );
-                                *state = PageState::Unfolded(slots);
                             }
                         }
-                        PageState::Unfolded(slots) => {
+                        PageState::Unfolded(ps) => {
                             walk_words(
-                                slots,
+                                ps.resolve_mut(arena),
                                 word,
                                 end_word,
                                 new_raw,
@@ -496,9 +729,9 @@ impl ShadowMemory {
         };
         let slots: &[u64] = match page {
             PageState::Summary(summary) => &summary[..],
-            PageState::Unfolded(slots) => {
+            PageState::Unfolded(ps) => {
                 let slot_base = (word % WORDS_PER_PAGE as u64) as usize * SLOTS_PER_WORD;
-                &slots[slot_base..slot_base + SLOTS_PER_WORD]
+                &ps.resolve(&self.arena)[slot_base..slot_base + SLOTS_PER_WORD]
             }
         };
         slots
@@ -522,16 +755,21 @@ impl ShadowMemory {
     }
 
     /// Approximate heap bytes used by the shadow (drives Fig. 11).
-    /// Summary pages cost a fixed few words; unfolded pages cost the full
-    /// slot array.
+    /// Summary pages cost a fixed few words; owned unfolded pages cost
+    /// the full slot array; arena-backed pages cost only their map entry
+    /// here because every slab byte — carved, free-listed, or not yet
+    /// carved — is charged via [`PageArena::heap_bytes`]. This keeps the
+    /// page-budget machinery honest about what the arena really holds.
     pub fn heap_bytes(&self) -> u64 {
         self.pages
             .values()
             .map(|p| match p {
                 PageState::Summary(_) => (SLOTS_PER_WORD * 8 + 32) as u64,
-                PageState::Unfolded(_) => (SLOTS_PER_PAGE * 8 + 32) as u64,
+                PageState::Unfolded(PageSlots::Owned(_)) => (SLOTS_PER_PAGE * 8 + 32) as u64,
+                PageState::Unfolded(PageSlots::Arena(_)) => 32,
             })
-            .sum()
+            .sum::<u64>()
+            + self.arena.heap_bytes()
     }
 }
 
@@ -1228,10 +1466,167 @@ mod tests {
         for _ in 0..3 {
             sh.access_range(0, PAGE_BYTES, true, fid(1), 1, ctx(0), &clk, |_| {});
         }
-        assert_eq!(sh.counters(), ShadowCounters::default());
+        // No tier events fire untiered; the arena still backs the flat
+        // page with one slab.
+        let c = sh.counters();
+        assert_eq!(c.fastpath_hits, 0);
+        assert_eq!(c.page_summaries_stored, 0);
+        assert_eq!(c.page_unfolds, 0);
+        assert_eq!(c.dropped_annotations, 0);
+        assert_eq!(c.arena_slabs_allocated, 1);
         assert_eq!(sh.summary_page_count(), 0);
         let mut hits = 0;
         sh.access_range(0, PAGE_BYTES, false, fid(2), 1, ctx(1), &clk, |_| hits += 1);
         assert_eq!(hits, WORDS_PER_PAGE);
+    }
+
+    #[test]
+    fn arena_slabs_grow_geometrically() {
+        let mut sh = ShadowMemory::with_tiering(false);
+        let clk = VectorClock::new();
+        // 28 flat pages = 4 + 8 + 16 block capacity → exactly 3 slabs.
+        sh.access_range(
+            0,
+            28 * PAGE_BYTES,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        let c = sh.counters();
+        assert_eq!(c.arena_slabs_allocated, 3);
+        assert_eq!(c.arena_pages_reused, 0);
+        // Slab bytes dominate: (4+8+16) pages * 16 KiB of slots each.
+        assert!(sh.heap_bytes() >= 28 * (SLOTS_PER_PAGE as u64) * 8);
+    }
+
+    #[test]
+    fn discarded_pages_recycle_and_rezero() {
+        let mut sh = ShadowMemory::new();
+        let mut clk = VectorClock::new();
+        clk.set(fid(1), 1);
+        clk.set(fid(2), 1);
+        clk.set(fid(3), 1);
+        // Fill page 0's words with three concurrent readers so every word
+        // holds 3 live slots — recognizable stale payload.
+        for f in 1..=3u32 {
+            let (ff, fc) = (fid(f as usize), ctx(f));
+            sh.access_range(0, PAGE_BYTES, false, ff, 1, fc, &clk, no_conflict_expected);
+            // Partial poke forces (and keeps) the page unfolded.
+            sh.access_range(16, 8, false, ff, 1, fc, &clk, no_conflict_expected);
+        }
+        assert_eq!(sh.word_accesses(128).len(), 3);
+        assert!(sh.discard_page(0));
+        assert!(!sh.discard_page(0), "already discarded");
+        assert_eq!(sh.word_accesses(128).len(), 0);
+
+        // Next partial first-touch (zeroed-block path) must pop the
+        // recycled block and see no stale slots anywhere.
+        sh.access_range(
+            PAGE_BYTES + 8,
+            8,
+            true,
+            fid(4),
+            1,
+            ctx(9),
+            &clk,
+            no_conflict_expected,
+        );
+        let c = sh.counters();
+        assert_eq!(c.arena_pages_reused, 1);
+        assert_eq!(sh.word_accesses(PAGE_BYTES + 8).len(), 1);
+        for w in 0..WORDS_PER_PAGE as u64 {
+            if w == 1 {
+                continue;
+            }
+            assert!(
+                sh.word_accesses(PAGE_BYTES + w * WORD_BYTES).is_empty(),
+                "stale slot leaked into recycled zeroed block at word {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn recycled_unfold_overwrites_stale_tail() {
+        let mut sh = ShadowMemory::new();
+        let mut clk = VectorClock::new();
+        clk.set(fid(1), 1);
+        clk.set(fid(2), 1);
+        clk.set(fid(3), 1);
+        // Page 0: 3 live slots per word, unfolded, then discarded — the
+        // freed block is dense with stale epochs.
+        for f in 1..=3u32 {
+            let (ff, fc) = (fid(f as usize), ctx(f));
+            sh.access_range(0, PAGE_BYTES, false, ff, 1, fc, &clk, no_conflict_expected);
+        }
+        sh.access_range(16, 8, false, fid(1), 1, ctx(1), &clk, no_conflict_expected);
+        assert!(sh.discard_page(0));
+
+        // Page 1: whole-page summary with ONE live slot, then a partial
+        // write unfolds it through the recycled block (alloc_filled). If
+        // the fill skipped the zero tail, words would show the stale
+        // 3-reader slots from page 0.
+        let base = PAGE_BYTES;
+        sh.access_range(
+            base,
+            PAGE_BYTES,
+            false,
+            fid(5),
+            1,
+            ctx(5),
+            &clk,
+            no_conflict_expected,
+        );
+        sh.access_range(
+            base + 32,
+            8,
+            false,
+            fid(5),
+            1,
+            ctx(5),
+            &clk,
+            no_conflict_expected,
+        );
+        let c = sh.counters();
+        assert_eq!(c.arena_pages_reused, 1);
+        assert_eq!(c.page_unfolds, 2, "page 0 then page 1 each unfolded once");
+        for w in 0..WORDS_PER_PAGE as u64 {
+            let acc = sh.word_accesses(base + w * WORD_BYTES);
+            assert_eq!(
+                acc.len(),
+                1,
+                "recycled unfold left stale slots at word {w}: {acc:?}"
+            );
+            assert_eq!(acc[0].fiber, fid(5));
+        }
+    }
+
+    #[test]
+    fn arena_onoff_shadow_states_agree() {
+        let run = |arena: bool| {
+            let mut sh = ShadowMemory::with_options(true, arena);
+            let mut clk = VectorClock::new();
+            clk.set(fid(1), 1);
+            let mut conflicts = Vec::new();
+            // Mixed schedule: summaries, unfolds, evictions, partials.
+            for f in 1..=5u32 {
+                let (ff, fc) = (fid(f as usize), ctx(f));
+                sh.access_range(0, 2 * PAGE_BYTES, false, ff, 1, fc, &clk, |c| {
+                    conflicts.push(c)
+                });
+                sh.access_range(40, 16, true, ff, 2, fc, &clk, |c| conflicts.push(c));
+            }
+            let words: Vec<Vec<ShadowAccess>> = (0..2 * WORDS_PER_PAGE as u64)
+                .map(|w| sh.word_accesses(w * WORD_BYTES))
+                .collect();
+            (words, conflicts, sh.page_count())
+        };
+        let (w_on, c_on, p_on) = run(true);
+        let (w_off, c_off, p_off) = run(false);
+        assert_eq!(w_on, w_off);
+        assert_eq!(c_on, c_off);
+        assert_eq!(p_on, p_off);
     }
 }

@@ -45,6 +45,24 @@ pub struct TsanStats {
     /// Page-sized annotation chunks the shadow dropped after reaching its
     /// page budget (best-effort degradation; 0 unless a budget is set).
     pub dropped_annotations: u64,
+    /// Acquire-side joins skipped by the scalar epoch fast paths: repeat
+    /// acquires and own-release acquires on `annotate_happens_after`,
+    /// plus sync fiber switches whose source clock is provably unchanged.
+    pub epoch_fast_acquires: u64,
+    /// Release-side joins collapsed to a single-component update because
+    /// the releaser's clock was unchanged since its previous release on
+    /// the same sync variable.
+    pub epoch_fast_releases: u64,
+    /// Full O(fibers) vector-clock joins performed (release, acquire, and
+    /// sync-switch slow paths). The epoch fast-path hit rate is
+    /// `epoch_fast_acquires + epoch_fast_releases` against this.
+    pub full_clock_joins: u64,
+    /// Shadow page blocks recycled from the arena free list instead of
+    /// freshly carved.
+    pub arena_pages_reused: u64,
+    /// Arena slabs allocated (geometric growth: 4 pages doubling to the
+    /// cap, so this stays logarithmic in the unfolded page count).
+    pub arena_slabs_allocated: u64,
 }
 
 impl TsanStats {
@@ -86,6 +104,11 @@ impl TsanStats {
             page_summaries_stored: self.page_summaries_stored + other.page_summaries_stored,
             page_unfolds: self.page_unfolds + other.page_unfolds,
             dropped_annotations: self.dropped_annotations + other.dropped_annotations,
+            epoch_fast_acquires: self.epoch_fast_acquires + other.epoch_fast_acquires,
+            epoch_fast_releases: self.epoch_fast_releases + other.epoch_fast_releases,
+            full_clock_joins: self.full_clock_joins + other.full_clock_joins,
+            arena_pages_reused: self.arena_pages_reused + other.arena_pages_reused,
+            arena_slabs_allocated: self.arena_slabs_allocated + other.arena_slabs_allocated,
         }
     }
 }

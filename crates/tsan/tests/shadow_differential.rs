@@ -196,9 +196,9 @@ fn record(conflicts: &mut Conflicts, c: RawConflict) {
     *conflicts.entry((c.word_addr, pack(c.prev))).or_insert(0) += 1;
 }
 
-fn run_trace(seed: u64, ops: usize, tiered: bool) -> (Conflicts, Conflicts) {
+fn run_trace(seed: u64, ops: usize, tiered: bool, arena: bool) -> (Conflicts, Conflicts) {
     let mut rng = Lcg(seed);
-    let mut dut = ShadowMemory::with_tiering(tiered);
+    let mut dut = ShadowMemory::with_options(tiered, arena);
     let mut reference = ReferenceShadow::default();
 
     // Happens-before state, maintained once and fed to both shadows.
@@ -318,14 +318,17 @@ fn assert_same_detections(seed: u64, dut: &Conflicts, reference: &Conflicts) {
 
 #[test]
 fn tiered_matches_reference_on_random_traces() {
-    // ~10k randomized ops across several seeds.
-    for seed in [1, 2, 3, 0xDEAD, 0xC0FFEE] {
-        let (dut, reference) = run_trace(seed, 2000, true);
-        assert_same_detections(seed, &dut, &reference);
-        assert!(
-            !reference.is_empty(),
-            "seed {seed}: trace produced no conflicts — generator is too tame to test anything"
-        );
+    // ~10k randomized ops across several seeds, with the page arena both
+    // on and off — the allocator must never change detections.
+    for arena in [true, false] {
+        for seed in [1, 2, 3, 0xDEAD, 0xC0FFEE] {
+            let (dut, reference) = run_trace(seed, 2000, true, arena);
+            assert_same_detections(seed, &dut, &reference);
+            assert!(
+                !reference.is_empty(),
+                "seed {seed}: trace produced no conflicts — generator is too tame to test anything"
+            );
+        }
     }
 }
 
@@ -333,12 +336,14 @@ fn tiered_matches_reference_on_random_traces() {
 fn untiered_matches_reference_exactly() {
     // With tiering off the walk is the same algorithm as the reference;
     // even the emission counts must line up.
-    for seed in [7, 8] {
-        let (dut, reference) = run_trace(seed, 1500, false);
-        assert_eq!(
-            dut, reference,
-            "seed {seed}: untiered shadow diverged from reference"
-        );
+    for arena in [true, false] {
+        for seed in [7, 8] {
+            let (dut, reference) = run_trace(seed, 1500, false, arena);
+            assert_eq!(
+                dut, reference,
+                "seed {seed}: untiered shadow diverged from reference (arena={arena})"
+            );
+        }
     }
 }
 
