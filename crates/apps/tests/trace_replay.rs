@@ -109,6 +109,39 @@ fn tealeaf_replay_reproduces_live_run() {
 }
 
 #[test]
+fn streaming_parse_and_replay_match_materialized() {
+    // The serve path never materializes a `Trace`: it streams records
+    // straight into a session. Assert the two parse paths and the two
+    // replay paths agree on real app traces.
+    let cfg = TeaLeafConfig {
+        nx: 16,
+        ny: 16,
+        ranks: 2,
+        steps: 1,
+        ..TeaLeafConfig::default()
+    };
+    let run = run_tealeaf_traced(&cfg, Flavor::MustCusan);
+    for rank in &run.outcome.ranks {
+        let text = rank.trace.as_deref().expect("traced run");
+        let materialized = Trace::parse(text).expect("parse");
+        let streamed = Trace::from_reader(text.as_bytes()).expect("from_reader");
+        assert_eq!(materialized.rank, streamed.rank);
+        assert_eq!(materialized.events, streamed.events);
+        assert_eq!(materialized.strings.len(), streamed.strings.len());
+
+        let solo = replay(&materialized);
+        let stream = cusan::replay_stream(text.as_bytes()).expect("replay_stream");
+        assert_eq!(stream.reports, solo.reports);
+        assert_eq!(stream.stats, solo.stats);
+        assert_eq!(stream.counters, solo.counters);
+        // And both agree with the live run.
+        assert_eq!(stream.reports, rank.races);
+        assert_eq!(stream.stats, rank.tsan);
+        assert_eq!(stream.counters, rank.events);
+    }
+}
+
+#[test]
 fn jacobi_traces_are_byte_identical_across_runs() {
     let cfg = JacobiConfig {
         nx: 32,

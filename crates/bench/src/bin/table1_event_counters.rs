@@ -113,6 +113,10 @@ fn print_rows(jacobi: (&CudaCounters, &TsanStats), tealeaf: (&CudaCounters, &Tsa
         "{:<38} {:>14} {:>14}",
         "TSan  Arena slabs allocated", jt.arena_slabs_allocated, tt.arena_slabs_allocated
     );
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "TSan  Arena pages evicted", jt.arena_pages_evicted, tt.arena_pages_evicted
+    );
 }
 
 fn main() {

@@ -1,47 +1,53 @@
 //! Off-critical-path checking: a shared work-stealing checker pool
-//! behind per-rank bounded SPSC rings.
+//! behind per-session bounded SPSC rings.
 //!
 //! The paper's headline cost (Fig. 10) is running the happens-before
 //! analysis inline on the application's critical path. The event pipeline
 //! already reduced every checked CUDA/MPI call to an ordered
-//! [`CusanEvent`] stream, so detection no longer *needs* the rank's
+//! [`CusanEvent`] stream, so detection no longer *needs* the producer's
 //! thread: in async mode ([`crate::ToolConfig::async_check`] /
-//! `CUSAN_ASYNC_CHECK=1`) the rank pushes each event into a bounded
+//! `CUSAN_ASYNC_CHECK=1`) the producer pushes each event into a bounded
 //! lock-free ring ([`rtrb`]) and the shared [`CheckerPool`] drains it in
-//! batches, applying the events to the rank's [`TsanRuntime`] exactly as
-//! the inline path would.
+//! batches, applying the events to the session's [`CheckSession`] exactly
+//! as the inline path would.
 //!
-//! **Pool, not thread-per-rank.** Detection work is proportional to the
-//! event backlog, not to the rank count, so the pool sizes itself from
-//! hardware: `min(active ranks, available_parallelism − 1)` worker
-//! threads by default (at least one), overridable with
+//! **Sessions, not ranks.** The pool's unit of registration is a
+//! [`CheckSession`] — live instrumentation registers one per rank
+//! (through [`crate::ToolCtx`]), while the serve path registers one per
+//! uploaded trace stream, multiplexing thousands of independent replay
+//! sessions over the same workers. Nothing in the pool assumes its
+//! sessions belong to one MPI world.
+//!
+//! **Pool, not thread-per-session.** Detection work is proportional to
+//! the event backlog, not to the session count, so the pool sizes itself
+//! from hardware: `min(active sessions, available_parallelism − 1)`
+//! worker threads by default (at least one), overridable with
 //! [`crate::ToolConfig::check_threads`] / `CUSAN_CHECK_THREADS=<n>`.
-//! Workers scan the registered ranks round-robin and *steal whole
+//! Workers scan the registered sessions round-robin and *steal whole
 //! batches* from whichever ring has backlog. Two invariants make
 //! stealing safe:
 //!
-//! 1. **Claim token** — each rank's consumer state (ring endpoint,
-//!    mirror interner, checker sink) lives behind a per-rank mutex; a
-//!    worker that wants the rank's batch must take the claim, so at most
-//!    one consumer exists at every instant and the SPSC contract holds
-//!    across handoffs (see `compat/rtrb` on consumer handoff).
+//! 1. **Claim token** — each session's ring endpoint and batch buffer
+//!    ([`Ingress`]) live behind a per-session mutex; a worker that wants
+//!    the session's batch must take the claim, so at most one consumer
+//!    exists at every instant and the SPSC contract holds across
+//!    handoffs (see `compat/rtrb` on consumer handoff).
 //! 2. **Apply-before-release** — a claimed batch is applied to its own
-//!    rank's runtime, under that rank's runtime lock, before the claim
-//!    is released. Combined with FIFO pops this means every rank's event
-//!    stream is applied in exactly the order it was produced, no matter
-//!    which workers end up carrying the batches.
+//!    session, under that session's lock, before the claim is released.
+//!    Combined with FIFO pops this means every session's event stream is
+//!    applied in exactly the order it was produced, no matter which
+//!    workers end up carrying the batches.
 //!
-//! **Determinism is an invariant, not a best effort.** Per rank, the
+//! **Determinism is an invariant, not a best effort.** Per session, the
 //! pool applies the same totally-ordered event stream the sync checker
-//! would, through the same [`CheckerSink::apply`], to an
-//! identically-initialized runtime, and mirrors the producer's string
+//! would, through the same [`CheckSession::apply`], to an
+//! identically-initialized session, and mirrors the producer's string
 //! interner via in-order `Msg::Intern` messages (dense ids are
-//! allocation-order, so replaying the interns reproduces them). Traces
-//! and event counters are produced on the *producer* side from the same
-//! stream. Hence stats, race reports, and traces are bit-for-bit
-//! identical to sync mode — for any worker count — and only wall-clock
-//! timing (plus the [`AsyncCheckStats`] observability counters) may
-//! differ.
+//! allocation-order, so replaying the interns reproduces them). Hence
+//! stats, race reports, counters, and traces are bit-for-bit identical
+//! to sync mode — for any worker count and any number of concurrent
+//! sessions — and only wall-clock timing (plus the [`AsyncCheckStats`]
+//! observability counters) may differ.
 //!
 //! Protocol details:
 //! * **Backpressure** — when the ring is full the producer first tries to
@@ -64,17 +70,18 @@
 //!   including [`AsyncChecker::stats`] — goes through it, so readers
 //!   always observe a drained queue.
 //! * **Graceful shutdown** — dropping the checker drains the ring
-//!   (helping inline if the pool is busy), unregisters the rank, and
+//!   (helping inline if the pool is busy), unregisters the session, and
 //!   re-raises the worker's panic, if any, on the dropping thread.
-//! * **Poison, don't hang** — a panic while applying a rank's batch
-//!   (e.g. a detector assertion) is caught on the worker, the rank is
+//! * **Poison, don't hang** — a panic while applying a session's batch
+//!   (e.g. a detector assertion) is caught on the worker, the session is
 //!   poisoned, and its producer's `flush`/`send` fail fast; *other*
-//!   ranks keep draining on the surviving workers.
+//!   sessions keep draining on the surviving workers.
 //! * All waits use short condvar timeouts (`PARK`): a missed wakeup
 //!   costs at most one timeout period, never a deadlock — important on
 //!   single-CPU hosts where threads interleave coarsely.
 
-use crate::event::{CheckerSink, CtxInterner, CusanEvent};
+use crate::event::CusanEvent;
+use crate::session::CheckSession;
 use parking_lot::{Condvar, Mutex};
 use rtrb::{Consumer, Producer, PushError, RingBuffer};
 use std::any::Any;
@@ -94,7 +101,7 @@ pub const RING_CAPACITY: usize = 4096;
 /// what is there (latency mode).
 pub const BATCH_MIN: usize = 8;
 
-/// Largest messages applied per runtime lock acquisition (throughput
+/// Largest messages applied per session lock acquisition (throughput
 /// mode; bounds the latency a flusher can see behind one claim).
 pub const BATCH_MAX: usize = 256;
 
@@ -108,11 +115,11 @@ const _: () = assert!(1 << (BATCH_HIST_BUCKETS - 1) == BATCH_MAX);
 const PARK: Duration = Duration::from_millis(1);
 
 /// The worker count the pool converges to for a given number of active
-/// ranks: an explicit override wins, otherwise one worker per rank up to
-/// `available_parallelism − 1` (always at least one so a 1-CPU host
-/// still drains). Exposed for the bench JSON and tests.
-pub fn effective_workers(active_ranks: usize, explicit: Option<usize>) -> usize {
-    if active_ranks == 0 {
+/// sessions: an explicit override wins, otherwise one worker per session
+/// up to `available_parallelism − 1` (always at least one so a 1-CPU
+/// host still drains). Exposed for the bench JSON and tests.
+pub fn effective_workers(active_sessions: usize, explicit: Option<usize>) -> usize {
+    if active_sessions == 0 {
         return 0;
     }
     if let Some(n) = explicit {
@@ -121,19 +128,19 @@ pub fn effective_workers(active_ranks: usize, explicit: Option<usize>) -> usize 
     let par = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    active_ranks.min(par.saturating_sub(1)).max(1)
+    active_sessions.min(par.saturating_sub(1)).max(1)
 }
 
-/// Observability counters for one rank's async checker. Timing-dependent
-/// (stalls, depth, batch shapes, steals) — deliberately **not** part of
-/// the determinism contract, and surfaced separately from
-/// [`tsan_rt::TsanStats`].
+/// Observability counters for one session's async checker.
+/// Timing-dependent (stalls, depth, batch shapes, steals) — deliberately
+/// **not** part of the determinism contract, and surfaced separately
+/// from [`tsan_rt::TsanStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AsyncCheckStats {
     /// `CusanEvent`s pushed into the ring (excludes intern messages).
     pub events_enqueued: u64,
-    /// Batches applied to this rank's runtime (lock acquisitions), by
-    /// any worker or by the producer helping inline.
+    /// Batches applied to this session (lock acquisitions), by any
+    /// worker or by the producer helping inline.
     pub batches_applied: u64,
     /// Largest ring occupancy observed by the producer at send time, in
     /// messages. Bounded by [`RING_CAPACITY`] by construction.
@@ -146,53 +153,57 @@ pub struct AsyncCheckStats {
     pub max_batch: u64,
     /// Mean batch size (messages applied / batches, rounded down).
     pub avg_batch: u64,
-    /// Batches applied by a pool worker other than this rank's affinity
-    /// worker (`slot id mod worker count`) — the work actually stolen.
+    /// Batches applied by a pool worker other than this session's
+    /// affinity worker (`slot id mod worker count`) — the work actually
+    /// stolen.
     pub batches_stolen: u64,
     /// Power-of-two batch-size histogram (see [`BATCH_HIST_BUCKETS`]).
     pub batch_hist: [u64; BATCH_HIST_BUCKETS],
 }
 
 /// One ring message. Intern messages replicate the producer's string
-/// table on the consumer in id-allocation order, *before* any event that
-/// references the new id.
+/// table in the session's mirror in id-allocation order, *before* any
+/// event that references the new id. Labels travel as `Arc<str>` so the
+/// serve path's shared cross-session table costs one refcount bump per
+/// session, not one byte copy.
 enum Msg {
-    Intern(String),
+    Intern(Arc<str>),
     Event(CusanEvent),
 }
 
-/// Consumer-side state of one rank, handed between workers under the
-/// claim lock ([`RankSlot::work`]). Exactly one thread touches this at
-/// any instant.
-struct ConsumerState {
+/// Ring-consumer state of one session, handed between workers under the
+/// claim lock ([`SessionSlot::work`]). Exactly one thread touches this
+/// at any instant. The session itself lives behind its own mutex on the
+/// slot — the claim orders *who pops*, the session lock orders *who
+/// applies*, and apply-before-release keeps the two aligned.
+struct Ingress {
     rx: Consumer<Msg>,
-    checker: CheckerSink,
-    /// Mirror of the producer's interner (rebuilt from `Msg::Intern`).
-    strings: CtxInterner,
     /// Reusable batch buffer.
     scratch: Vec<Msg>,
 }
 
-/// Everything the pool needs to check one registered rank.
-struct RankSlot {
-    /// Unique registration id (ranks collide across concurrent worlds in
-    /// one process; this never does). Also the affinity key for the
-    /// `batches_stolen` counter.
+/// Everything the pool needs to check one registered session.
+struct SessionSlot {
+    /// Unique registration id (ranks collide across concurrent worlds —
+    /// and serve clients choose their own — so this never does). Also
+    /// the affinity key for the `batches_stolen` counter.
     id: u64,
     rank: usize,
-    /// Explicit worker-count request from this rank's config, if any.
+    /// Explicit worker-count request from this session's config, if any.
     explicit_threads: Option<usize>,
-    runtime: Arc<Mutex<TsanRuntime>>,
-    /// The claim token: whoever holds this *is* the rank's consumer.
-    work: Mutex<ConsumerState>,
-    /// Messages fully applied (published after the runtime lock is
+    /// The session under check: detector runtime, mirror interner,
+    /// apply path, counters.
+    session: Arc<Mutex<CheckSession>>,
+    /// The claim token: whoever holds this *is* the session's consumer.
+    work: Mutex<Ingress>,
+    /// Messages fully applied (published after the session lock is
     /// released, so a flusher that observes the count can immediately
     /// take the lock).
     applied: AtomicU64,
     /// A batch application panicked; producer-side `flush`/`send` must
     /// fail fast instead of waiting forever.
     poisoned: AtomicBool,
-    /// The first caught panic payload, re-raised when the rank's
+    /// The first caught panic payload, re-raised when the session's
     /// [`AsyncChecker`] is dropped.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     /// Consumer → producer progress signaling (ring space freed / batch
@@ -213,25 +224,25 @@ fn hist_bucket(n: u64) -> usize {
     ((u64::BITS - 1 - n.leading_zeros()) as usize).min(BATCH_HIST_BUCKETS - 1)
 }
 
-impl RankSlot {
-    /// Claim-holder only: apply whatever sits in `cs.scratch` to this
-    /// rank's runtime, then publish progress. Progress (`applied`, the
-    /// batch counters, the wakeup) is published only after the runtime
+impl SessionSlot {
+    /// Claim-holder only: apply whatever sits in `ing.scratch` to this
+    /// slot's session, then publish progress. Progress (`applied`, the
+    /// batch counters, the wakeup) is published only after the session
     /// lock is released, so a flush-then-lock reader never contends with
     /// the batch it just observed as applied.
-    fn apply_scratch(&self, cs: &mut ConsumerState, stolen: bool) -> usize {
-        let n = cs.scratch.len();
+    fn apply_scratch(&self, ing: &mut Ingress, stolen: bool) -> usize {
+        let n = ing.scratch.len();
         if n == 0 {
             return 0;
         }
         {
-            let mut rt = self.runtime.lock();
-            for msg in cs.scratch.drain(..) {
+            let mut session = self.session.lock();
+            for msg in ing.scratch.drain(..) {
                 match msg {
                     Msg::Intern(label) => {
-                        cs.strings.intern(&label);
+                        session.intern_shared(&label);
                     }
-                    Msg::Event(ev) => cs.checker.apply(&ev, &cs.strings, &mut rt),
+                    Msg::Event(ev) => session.apply(&ev),
                 }
             }
         }
@@ -255,17 +266,17 @@ impl RankSlot {
     /// occupancy for throughput. A panic inside the detector poisons the
     /// slot (storing the payload for the owner's drop) instead of
     /// killing the worker; `Err` means poisoned.
-    fn drain_guarded(&self, cs: &mut ConsumerState, stolen: bool) -> Result<usize, ()> {
+    fn drain_guarded(&self, ing: &mut Ingress, stolen: bool) -> Result<usize, ()> {
         if self.poisoned.load(Ordering::Acquire) {
             return Err(());
         }
-        let backlog = cs.rx.slots_used();
+        let backlog = ing.rx.slots_used();
         if backlog == 0 {
             return Ok(0);
         }
         let target = backlog.clamp(BATCH_MIN, BATCH_MAX);
-        cs.rx.pop_batch(&mut cs.scratch, target);
-        match std::panic::catch_unwind(AssertUnwindSafe(|| self.apply_scratch(cs, stolen))) {
+        ing.rx.pop_batch(&mut ing.scratch, target);
+        match std::panic::catch_unwind(AssertUnwindSafe(|| self.apply_scratch(ing, stolen))) {
             Ok(n) => Ok(n),
             Err(payload) => {
                 let mut slot = self.panic.lock();
@@ -282,7 +293,7 @@ impl RankSlot {
 }
 
 struct PoolState {
-    slots: Vec<Arc<RankSlot>>,
+    slots: Vec<Arc<SessionSlot>>,
     /// Worker liveness by index. The pool grows by spawning the lowest
     /// dead index and shrinks from the top: a worker whose index is `>=`
     /// the desired count exits at its next scan.
@@ -291,9 +302,9 @@ struct PoolState {
 }
 
 /// The shared detector-thread pool. One global instance serves every
-/// rank created through [`AsyncChecker::new`]; tests and benches can
-/// build private pools with [`CheckerPool::with_pool`]-style wiring to
-/// pin exact worker counts.
+/// session created through [`AsyncChecker::new`]; tests, benches, and
+/// the serve engine build private pools with [`CheckerPool::new`] to pin
+/// exact worker counts or isolate tenants.
 pub struct CheckerPool {
     state: Mutex<PoolState>,
     /// Producers → workers: new work exists somewhere.
@@ -307,8 +318,8 @@ pub struct CheckerPool {
 static GLOBAL_POOL: OnceLock<Arc<CheckerPool>> = OnceLock::new();
 
 impl CheckerPool {
-    /// A fresh, empty pool. Workers are spawned lazily as ranks
-    /// register and exit on their own once no rank needs them.
+    /// A fresh, empty pool. Workers are spawned lazily as sessions
+    /// register and exit on their own once no session needs them.
     pub fn new() -> Arc<CheckerPool> {
         Arc::new(CheckerPool {
             state: Mutex::new(PoolState {
@@ -332,8 +343,8 @@ impl CheckerPool {
         self.state.lock().alive.iter().filter(|a| **a).count()
     }
 
-    /// Registered ranks right now (observability/tests).
-    pub fn rank_count(&self) -> usize {
+    /// Registered sessions right now (observability/tests).
+    pub fn session_count(&self) -> usize {
         self.state.lock().slots.len()
     }
 
@@ -348,14 +359,14 @@ impl CheckerPool {
     }
 
     /// Worker count this pool wants for the current registration set:
-    /// the largest explicit per-rank request wins over the hardware
+    /// the largest explicit per-session request wins over the hardware
     /// formula (see [`effective_workers`]).
     fn desired_locked(&self, st: &PoolState) -> usize {
         let explicit = st.slots.iter().filter_map(|s| s.explicit_threads).max();
         effective_workers(st.slots.len(), explicit)
     }
 
-    fn register(self: &Arc<Self>, slot: Arc<RankSlot>) {
+    fn register(self: &Arc<Self>, slot: Arc<SessionSlot>) {
         let mut st = self.state.lock();
         st.slots.push(slot);
         let desired = self.desired_locked(&st);
@@ -383,7 +394,7 @@ impl CheckerPool {
         self.work_cv.notify_all();
     }
 
-    fn unregister(&self, slot: &Arc<RankSlot>) {
+    fn unregister(&self, slot: &Arc<SessionSlot>) {
         let mut st = self.state.lock();
         st.slots.retain(|s| s.id != slot.id);
         drop(st);
@@ -414,14 +425,15 @@ fn worker_loop(pool: Arc<CheckerPool>, index: usize) {
             if slot.poisoned.load(Ordering::Acquire) {
                 continue;
             }
-            // Claim or skip: a rank being drained by someone else (a
+            // Claim or skip: a session being drained by someone else (a
             // sibling worker or its own producer helping) needs no help.
-            if let Some(mut cs) = slot.work.try_lock() {
+            if let Some(mut ing) = slot.work.try_lock() {
                 let stolen = slot.id % workers_now != index as u64;
-                applied += slot.drain_guarded(&mut cs, stolen).unwrap_or(0);
+                applied += slot.drain_guarded(&mut ing, stolen).unwrap_or(0);
             }
         }
-        // Rotate the scan start so one chatty rank can't starve others.
+        // Rotate the scan start so one chatty session can't starve
+        // others.
         rot = rot.wrapping_add(1);
         if applied == 0 {
             let mut st = pool.state.lock();
@@ -440,43 +452,41 @@ struct ProducerSide {
     stalls: u64,
 }
 
-/// Handle owned by the rank thread: the producer half of the ring plus
-/// the rank's registration in the shared pool. Not `Sync`; one per rank,
-/// like the sync backend.
+/// Handle owned by the producing thread: the producer half of the ring
+/// plus the session's registration in the shared pool. Not `Sync`; one
+/// per session, like the sync backend.
 pub struct AsyncChecker {
     pool: Arc<CheckerPool>,
-    slot: Arc<RankSlot>,
+    slot: Arc<SessionSlot>,
     prod: RefCell<ProducerSide>,
 }
 
 impl AsyncChecker {
-    /// Move `runtime` behind the global checker pool for rank `rank`.
-    /// `check_threads` is the rank's explicit worker-count request
+    /// Move `session` behind the global checker pool. `check_threads` is
+    /// the session's explicit worker-count request
     /// ([`crate::ToolConfig::check_threads`]); `None` lets the pool size
     /// itself from hardware.
-    pub fn new(rank: usize, runtime: TsanRuntime, check_threads: Option<usize>) -> Self {
-        Self::with_pool(CheckerPool::global(), rank, runtime, check_threads)
+    pub fn new(session: CheckSession, check_threads: Option<usize>) -> Self {
+        Self::with_pool(CheckerPool::global(), session, check_threads)
     }
 
     /// Like [`AsyncChecker::new`] but registering with a specific pool —
-    /// tests and benches use private pools to pin exact worker counts.
+    /// tests, benches, and the serve engine use private pools to pin
+    /// exact worker counts.
     pub fn with_pool(
         pool: Arc<CheckerPool>,
-        rank: usize,
-        runtime: TsanRuntime,
+        session: CheckSession,
         check_threads: Option<usize>,
     ) -> Self {
         let (tx, rx) = RingBuffer::new(RING_CAPACITY);
-        let runtime = Arc::new(Mutex::new(runtime));
-        let slot = Arc::new(RankSlot {
+        let rank = session.rank();
+        let slot = Arc::new(SessionSlot {
             id: pool.next_id.fetch_add(1, Ordering::Relaxed),
             rank,
             explicit_threads: check_threads,
-            runtime,
-            work: Mutex::new(ConsumerState {
+            session: Arc::new(Mutex::new(session)),
+            work: Mutex::new(Ingress {
                 rx,
-                checker: CheckerSink::new(),
-                strings: CtxInterner::new(),
                 scratch: Vec::with_capacity(BATCH_MAX),
             }),
             applied: AtomicU64::new(0),
@@ -510,28 +520,36 @@ impl AsyncChecker {
         self.send(Msg::Event(ev));
     }
 
-    /// Mirror a freshly-interned label to the consumer's string table.
+    /// Mirror a freshly-interned label to the session's string table.
     /// Must be called in intern order, before any event using the new id.
     pub fn send_intern(&self, label: &str) {
-        self.send(Msg::Intern(label.to_string()));
+        self.send(Msg::Intern(Arc::from(label)));
+    }
+
+    /// [`AsyncChecker::send_intern`] for a label whose bytes are already
+    /// shared — the serve path's cross-session table hands the same
+    /// `Arc<str>` to every session, so mirroring costs a refcount bump
+    /// instead of a copy.
+    pub fn send_intern_shared(&self, label: Arc<str>) {
+        self.send(Msg::Intern(label));
     }
 
     fn fail_if_poisoned(&self, what: &str) {
         assert!(
             !self.slot.poisoned.load(Ordering::Acquire),
-            "async checker pool: rank {} is poisoned by a worker panic; {what}",
+            "async checker pool: session for rank {} is poisoned by a worker panic; {what}",
             self.slot.rank
         );
     }
 
     /// Claim our own ring if it is free and apply one batch inline: the
-    /// producer is allowed to become its rank's consumer under backlog
-    /// (same claim token as the workers, so the stealing safety argument
-    /// is unchanged). Returns messages applied; 0 also when the claim is
-    /// currently held elsewhere.
+    /// producer is allowed to become its session's consumer under
+    /// backlog (same claim token as the workers, so the stealing safety
+    /// argument is unchanged). Returns messages applied; 0 also when the
+    /// claim is currently held elsewhere.
     fn try_help_drain(&self) -> usize {
         match self.slot.work.try_lock() {
-            Some(mut cs) => self.slot.drain_guarded(&mut cs, false).unwrap_or(0),
+            Some(mut ing) => self.slot.drain_guarded(&mut ing, false).unwrap_or(0),
             None => 0,
         }
     }
@@ -583,7 +601,7 @@ impl AsyncChecker {
 
     /// Barrier: returns once every message sent so far has been applied,
     /// helping to drain inline when the pool is busy elsewhere. Panics
-    /// (fails fast) if the rank was poisoned by a worker panic — the
+    /// (fails fast) if the session was poisoned by a worker panic — the
     /// original payload is re-raised when the `AsyncChecker` is dropped.
     pub fn flush(&self) {
         let sent = self.prod.borrow().sent;
@@ -605,11 +623,26 @@ impl AsyncChecker {
         }
     }
 
-    /// Flush, then run `f` on the (drained) runtime.
-    pub fn with_runtime<R>(&self, f: impl FnOnce(&mut TsanRuntime) -> R) -> R {
+    /// Flush, then run `f` on the (drained) session.
+    pub fn with_session<R>(&self, f: impl FnOnce(&mut CheckSession) -> R) -> R {
         self.flush();
-        let mut rt = self.slot.runtime.lock();
-        f(&mut rt)
+        let mut session = self.slot.session.lock();
+        f(&mut session)
+    }
+
+    /// Flush, then run `f` on the (drained) session's runtime.
+    pub fn with_runtime<R>(&self, f: impl FnOnce(&mut TsanRuntime) -> R) -> R {
+        self.with_session(|s| f(s.runtime_mut()))
+    }
+
+    /// The shared handle to the session under check. The serve engine
+    /// keeps this past the checker's drop so finished sessions can be
+    /// summarized and their shadow pages evicted under the global
+    /// budget. Lock discipline: the pool's workers take this lock only
+    /// while holding the claim, so briefly locking it from outside never
+    /// reorders events — but holding it starves the drain, so don't.
+    pub fn session_handle(&self) -> Arc<Mutex<CheckSession>> {
+        Arc::clone(&self.slot.session)
     }
 
     /// Snapshot of the observability counters. Flushes first, like every
@@ -646,9 +679,9 @@ impl AsyncChecker {
 impl Drop for AsyncChecker {
     fn drop(&mut self) {
         // Drain everything still queued (graceful shutdown), helping
-        // inline so the drop cannot outwait a busy pool. A poisoned rank
-        // stops draining — its remaining events are acknowledged lost
-        // and the panic payload is re-raised below.
+        // inline so the drop cannot outwait a busy pool. A poisoned
+        // session stops draining — its remaining events are acknowledged
+        // lost and the panic payload is re-raised below.
         let sent = self.prod.get_mut().sent;
         while !self.slot.poisoned.load(Ordering::Acquire)
             && self.slot.applied.load(Ordering::Acquire) < sent
@@ -665,8 +698,9 @@ impl Drop for AsyncChecker {
         }
         self.pool.unregister(&self.slot);
         if let Some(payload) = self.slot.panic.lock().take() {
-            // Re-raise the checker's panic on the rank thread — unless
-            // we are already unwinding (double panic would abort).
+            // Re-raise the checker's panic on the producing thread —
+            // unless we are already unwinding (double panic would
+            // abort).
             if !std::thread::panicking() {
                 std::panic::resume_unwind(payload);
             }
@@ -677,8 +711,12 @@ impl Drop for AsyncChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::StrId;
+    use crate::event::{CheckerSink, CtxInterner, StrId};
     use tsan_rt::FiberId;
+
+    fn session() -> CheckSession {
+        CheckSession::from_runtime(0, TsanRuntime::new("host"))
+    }
 
     fn event_stream(n: u64) -> (CtxInterner, Vec<CusanEvent>) {
         let mut strings = CtxInterner::new();
@@ -728,7 +766,7 @@ mod tests {
         strings: &CtxInterner,
         evs: &[CusanEvent],
     ) -> (tsan_rt::TsanStats, AsyncCheckStats) {
-        let ac = AsyncChecker::new(0, TsanRuntime::new("host"), None);
+        let ac = AsyncChecker::new(session(), None);
         feed(&ac, strings, evs);
         let stats = ac.with_runtime(|rt| rt.stats());
         (stats, ac.stats())
@@ -748,7 +786,7 @@ mod tests {
     #[test]
     fn flush_is_a_barrier() {
         let (strings, evs) = event_stream(2000);
-        let ac = AsyncChecker::new(0, TsanRuntime::new("host"), None);
+        let ac = AsyncChecker::new(session(), None);
         feed(&ac, &strings, &evs);
         ac.flush();
         // After flush, the applied count covers everything sent; the
@@ -756,6 +794,39 @@ mod tests {
         // waiting.
         let switches = ac.with_runtime(|rt| rt.stats().fiber_switches);
         assert_eq!(switches, 4000);
+    }
+
+    #[test]
+    fn session_folds_counters_and_mirrors_strings() {
+        // The pool drives CheckSession::apply, so the session-side
+        // counters and mirror interner match what the producer fed —
+        // the serve path reads summaries from exactly this state.
+        let (strings, evs) = event_stream(100);
+        let ac = AsyncChecker::new(session(), None);
+        feed(&ac, &strings, &evs);
+        let (counters, mirrored, shared) = ac.with_session(|s| {
+            (
+                s.counters().clone(),
+                s.strings().len(),
+                s.strings().shared_label(StrId(0)),
+            )
+        });
+        assert_eq!(counters.write_range_calls, 100);
+        assert_eq!(counters.fiber_switches, 200);
+        assert_eq!(mirrored, strings.len());
+        assert_eq!(shared.as_deref(), Some("stream 1"));
+    }
+
+    #[test]
+    fn send_intern_shared_reuses_the_allocation() {
+        let ac = AsyncChecker::new(session(), None);
+        let label: Arc<str> = Arc::from("kernel write");
+        ac.send_intern_shared(Arc::clone(&label));
+        let mirrored = ac.with_session(|s| s.strings().shared_label(StrId(0)).unwrap());
+        assert!(
+            Arc::ptr_eq(&label, &mirrored),
+            "the mirror must share the sender's allocation"
+        );
     }
 
     #[test]
@@ -782,7 +853,7 @@ mod tests {
         // reads RING_CAPACITY; `sent − applied` would read
         // RING_CAPACITY + 64 and fail the assert.
         let pool = CheckerPool::new();
-        let ac = AsyncChecker::with_pool(pool, 0, TsanRuntime::new("host"), Some(1));
+        let ac = AsyncChecker::with_pool(pool, session(), Some(1));
         let mut strings = CtxInterner::new();
         let ctx = strings.intern("w");
         ac.send_intern("w");
@@ -790,7 +861,7 @@ mod tests {
         {
             // Hold the claim: no worker can drain while we simulate the
             // in-flight window.
-            let mut cs = ac.slot.work.lock();
+            let mut ing = ac.slot.work.lock();
             for i in 0..64u64 {
                 ac.send_event(CusanEvent::WriteRange {
                     addr: 0x1000 + i * 8,
@@ -799,8 +870,8 @@ mod tests {
                 });
             }
             let mut parked = Vec::new();
-            assert_eq!(cs.rx.pop_batch(&mut parked, 64), 64);
-            cs.scratch.append(&mut parked);
+            assert_eq!(ing.rx.pop_batch(&mut parked, 64), 64);
+            ing.scratch.append(&mut parked);
             for i in 0..RING_CAPACITY as u64 {
                 ac.send_event(CusanEvent::WriteRange {
                     addr: 0x20_0000 + i * 8,
@@ -815,8 +886,8 @@ mod tests {
             );
             // Apply the parked prefix in order so the stream stays
             // complete, then let the pool finish the rest.
-            let mut cs2 = cs;
-            ac.slot.apply_scratch(&mut cs2, false);
+            let mut ing2 = ing;
+            ac.slot.apply_scratch(&mut ing2, false);
         }
         let stats = ac.stats();
         assert_eq!(stats.events_enqueued, 64 + RING_CAPACITY as u64);
@@ -833,7 +904,7 @@ mod tests {
         // documented contract is that *every* stat/report accessor goes
         // through the barrier.
         let pool = CheckerPool::new();
-        let ac = AsyncChecker::with_pool(pool, 0, TsanRuntime::new("host"), Some(1));
+        let ac = AsyncChecker::with_pool(pool, session(), Some(1));
         let (strings, evs) = event_stream(3);
         feed(&ac, &strings, &evs);
         let s = ac.stats(); // no explicit flush() before this
@@ -867,16 +938,20 @@ mod tests {
     }
 
     #[test]
-    fn stealing_two_ranks_one_worker_is_deterministic() {
+    fn stealing_two_sessions_one_worker_is_deterministic() {
         // One worker serves two rings: every batch of the second ring is
-        // work that a per-rank-thread design would have pinned to a
-        // dedicated thread. Both ranks must still match the sync result
-        // bit for bit.
+        // work that a per-session-thread design would have pinned to a
+        // dedicated thread. Both sessions must still match the sync
+        // result bit for bit.
         let (strings, evs) = event_stream(800);
         let expected = run_sync(&strings, &evs);
         let pool = CheckerPool::new();
-        let a = AsyncChecker::with_pool(Arc::clone(&pool), 0, TsanRuntime::new("host"), Some(1));
-        let b = AsyncChecker::with_pool(Arc::clone(&pool), 1, TsanRuntime::new("host"), Some(1));
+        let a = AsyncChecker::with_pool(Arc::clone(&pool), session(), Some(1));
+        let b = AsyncChecker::with_pool(
+            Arc::clone(&pool),
+            CheckSession::from_runtime(1, TsanRuntime::new("host")),
+            Some(1),
+        );
         assert_eq!(pool.worker_count(), 1);
         // Interleave the producers so both rings hold work at once.
         for i in 0..strings.len() {
@@ -892,17 +967,21 @@ mod tests {
     }
 
     #[test]
-    fn stealing_four_ranks_two_workers_is_deterministic() {
+    fn stealing_four_sessions_two_workers_is_deterministic() {
         let (strings, evs) = event_stream(400);
         let expected = run_sync(&strings, &evs);
         let pool = CheckerPool::new();
         let acs: Vec<AsyncChecker> = (0..4)
             .map(|r| {
-                AsyncChecker::with_pool(Arc::clone(&pool), r, TsanRuntime::new("host"), Some(2))
+                AsyncChecker::with_pool(
+                    Arc::clone(&pool),
+                    CheckSession::from_runtime(r, TsanRuntime::new("host")),
+                    Some(2),
+                )
             })
             .collect();
         assert_eq!(pool.worker_count(), 2);
-        assert_eq!(pool.rank_count(), 4);
+        assert_eq!(pool.session_count(), 4);
         for i in 0..strings.len() {
             for ac in &acs {
                 ac.send_intern(strings.label(StrId(i as u32)));
@@ -922,14 +1001,18 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_poisons_only_its_rank() {
-        // A detector assertion while applying rank 0's batch must (a)
-        // fail rank 0's flush fast instead of hanging it, (b) leave the
-        // worker alive to keep draining rank 1, and (c) re-raise the
-        // original payload when rank 0's handle is dropped.
+    fn worker_panic_poisons_only_its_session() {
+        // A detector assertion while applying session 0's batch must (a)
+        // fail session 0's flush fast instead of hanging it, (b) leave
+        // the worker alive to keep draining session 1, and (c) re-raise
+        // the original payload when session 0's handle is dropped.
         let pool = CheckerPool::new();
-        let bad = AsyncChecker::with_pool(Arc::clone(&pool), 0, TsanRuntime::new("host"), Some(1));
-        let good = AsyncChecker::with_pool(Arc::clone(&pool), 1, TsanRuntime::new("host"), Some(1));
+        let bad = AsyncChecker::with_pool(Arc::clone(&pool), session(), Some(1));
+        let good = AsyncChecker::with_pool(
+            Arc::clone(&pool),
+            CheckSession::from_runtime(1, TsanRuntime::new("host")),
+            Some(1),
+        );
         bad.send_intern("bad");
         bad.send_event(CusanEvent::FiberCreate {
             fiber: FiberId::from_index(40),
@@ -944,13 +1027,13 @@ mod tests {
             .unwrap_or_default();
         assert!(msg.contains("poisoned"), "fail-fast message, got: {msg}");
 
-        // The surviving rank drains normally on the shared worker.
+        // The surviving session drains normally on the shared worker.
         let (strings, evs) = event_stream(50);
         feed(&good, &strings, &evs);
         let stats = good.with_runtime(|rt| rt.stats());
         assert_eq!(stats.write_range_calls, 50);
 
-        // Dropping the poisoned rank re-raises the original panic.
+        // Dropping the poisoned session re-raises the original panic.
         let dropped = std::panic::catch_unwind(AssertUnwindSafe(move || drop(bad)));
         let payload = dropped.expect_err("drop must re-raise the worker panic");
         let text = payload
@@ -962,38 +1045,39 @@ mod tests {
             text.contains("fiber numbering diverged"),
             "original payload, got: {text}"
         );
-        drop(good); // clean shutdown for the healthy rank
-        assert_eq!(pool.rank_count(), 0);
+        drop(good); // clean shutdown for the healthy session
+        assert_eq!(pool.session_count(), 0);
     }
 
     #[test]
     fn drop_drains_outstanding_events() {
-        let races = {
-            let ac = AsyncChecker::new(0, TsanRuntime::new("host"), None);
+        let writes = {
+            let ac = AsyncChecker::new(session(), None);
             let (strings, evs) = event_stream(100);
             feed(&ac, &strings, &evs);
             // No flush: drop must still apply everything (graceful
-            // shutdown drains the ring before unregistering).
-            let runtime = Arc::clone(&ac.slot.runtime);
+            // shutdown drains the ring before unregistering). The
+            // session handle outlives the checker — the serve engine
+            // relies on exactly this to summarize finished sessions.
+            let handle = ac.session_handle();
             drop(ac);
-            let n = runtime.lock().stats().write_range_calls;
+            let n = handle.lock().runtime().stats().write_range_calls;
             n
         };
-        assert_eq!(races, 100);
+        assert_eq!(writes, 100);
     }
 
     #[test]
-    fn pool_workers_exit_when_no_ranks_remain() {
+    fn pool_workers_exit_when_no_sessions_remain() {
         let pool = CheckerPool::new();
         {
-            let ac =
-                AsyncChecker::with_pool(Arc::clone(&pool), 0, TsanRuntime::new("host"), Some(2));
+            let ac = AsyncChecker::with_pool(Arc::clone(&pool), session(), Some(2));
             let (strings, evs) = event_stream(10);
             feed(&ac, &strings, &evs);
             ac.flush();
             assert_eq!(pool.worker_count(), 2);
         }
-        assert_eq!(pool.rank_count(), 0);
+        assert_eq!(pool.session_count(), 0);
         // Workers notice the empty registration set within a few parks.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while pool.worker_count() > 0 && std::time::Instant::now() < deadline {
@@ -1005,7 +1089,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "fiber numbering diverged")]
     fn consumer_panic_propagates_on_drop() {
-        let ac = AsyncChecker::new(0, TsanRuntime::new("host"), None);
+        let ac = AsyncChecker::new(session(), None);
         ac.send_intern("bad");
         ac.send_event(CusanEvent::FiberCreate {
             fiber: FiberId::from_index(40),

@@ -77,6 +77,14 @@ pub struct ToolConfig {
     /// `CUSAN_CHECK_THREADS=<n>` knob (read in [`crate::ToolCtx::new`])
     /// overrides this field process-wide.
     pub check_threads: Option<usize>,
+    /// Poison timeout for the simulated-MPI barriers, in milliseconds: a
+    /// rank stuck this long in `mpi-sim`'s `SimBarrier` (world barrier
+    /// or collective phase barrier) poisons the barrier and every waiter
+    /// gets a typed timeout error instead of hanging. `None` (the
+    /// default) keeps the built-in 20 s. The `CUSAN_BARRIER_TIMEOUT_MS`
+    /// knob (read in [`crate::ToolCtx::new`] and the MUST harness)
+    /// overrides this field process-wide.
+    pub barrier_timeout_ms: Option<u64>,
 }
 
 impl ToolConfig {
@@ -94,6 +102,7 @@ impl ToolConfig {
         shadow_page_budget: None,
         async_check: false,
         check_threads: None,
+        barrier_timeout_ms: None,
     };
 
     /// True if any TSan-backed layer is on.
@@ -144,6 +153,7 @@ impl Flavor {
                 shadow_page_budget: None,
                 async_check: false,
                 check_threads: None,
+                barrier_timeout_ms: None,
             },
             Flavor::Must => ToolConfig {
                 tsan: true,
@@ -158,6 +168,7 @@ impl Flavor {
                 shadow_page_budget: None,
                 async_check: false,
                 check_threads: None,
+                barrier_timeout_ms: None,
             },
             Flavor::Cusan => ToolConfig {
                 tsan: true,
@@ -172,6 +183,7 @@ impl Flavor {
                 shadow_page_budget: None,
                 async_check: false,
                 check_threads: None,
+                barrier_timeout_ms: None,
             },
             Flavor::MustCusan => ToolConfig {
                 tsan: true,
@@ -186,6 +198,7 @@ impl Flavor {
                 shadow_page_budget: None,
                 async_check: false,
                 check_threads: None,
+                barrier_timeout_ms: None,
             },
         }
     }

@@ -6,9 +6,12 @@
 //! ([`crate::CusanCuda`]) and the MUST layer via `Rc`.
 //!
 //! All instrumentation flows through [`ToolCtx::emit`] as typed
-//! [`CusanEvent`]s (see [`crate::event`]): the checker sink applies each
-//! event to the detector first, then the counter sink and any installed
-//! sinks (e.g. the trace recorder) observe it, in that order.
+//! [`CusanEvent`]s (see [`crate::event`]): the owned [`CheckSession`]
+//! applies each event to the detector first (inline, or via the checker
+//! pool in async mode), then the counter sink and any installed sinks
+//! (e.g. the trace recorder) observe it, in that order. `ToolCtx` is the
+//! live-instrumentation *front end* over a session — trace replay and
+//! `cusan-serve` drive the same [`CheckSession`] without one.
 //!
 //! It also carries the **host-access instrumentation**: the real TSan
 //! compiler pass instruments every host load/store of user code; in
@@ -18,10 +21,9 @@
 
 use crate::async_check::{AsyncCheckStats, AsyncChecker};
 use crate::config::ToolConfig;
-use crate::event::{
-    CheckerSink, CtxInterner, CusanEvent, EventCounters, EventSink, FiberPredictor, StrId,
-};
+use crate::event::{CtxInterner, CusanEvent, EventCounters, EventSink, FiberPredictor, StrId};
 use crate::fault::{FaultInjector, FaultPlan};
+use crate::session::{CheckSession, SessionSummary};
 use crate::trace::TraceSink;
 use sim_mem::{AddressSpace, MemError, Pod, Ptr};
 use std::cell::{Cell, Ref, RefCell};
@@ -128,18 +130,42 @@ pub fn check_threads_env() -> Option<usize> {
     })
 }
 
+/// Process-wide `CUSAN_BARRIER_TIMEOUT_MS=<n>` override for the
+/// simulated-MPI barrier poison timeout, frozen on first read like
+/// [`async_check_env`] (barriers are shared by all ranks of a world, so
+/// per-rank divergence would deadlock the slow side). `0`, a malformed
+/// value, or unset defers to [`ToolConfig::barrier_timeout_ms`].
+static BARRIER_TIMEOUT_ENV: OnceLock<Option<u64>> = OnceLock::new();
+
+/// The frozen `CUSAN_BARRIER_TIMEOUT_MS` override (see
+/// `BARRIER_TIMEOUT_ENV`).
+pub fn barrier_timeout_env() -> Option<u64> {
+    *BARRIER_TIMEOUT_ENV.get_or_init(|| match std::env::var("CUSAN_BARRIER_TIMEOUT_MS") {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                if !v.trim().is_empty() {
+                    eprintln!(
+                        "warning: ignoring CUSAN_BARRIER_TIMEOUT_MS={v:?}: not a positive integer"
+                    );
+                }
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
 /// Where events are checked: inline on the rank thread (the paper's
 /// model and the default), or on the shared work-stealing checker pool
-/// behind a per-rank bounded ring (see [`crate::async_check`]). Both backends apply the
-/// identical event stream through [`CheckerSink::apply`], so results are
-/// bit-for-bit equal; only the wall-clock placement of the work differs.
+/// behind a per-session bounded ring (see [`crate::async_check`]). Both
+/// backends drive the same [`CheckSession`] through
+/// [`CheckSession::apply`], so results are bit-for-bit equal; only the
+/// wall-clock placement of the work differs.
 enum CheckerBackend {
-    Sync {
-        checker: RefCell<CheckerSink>,
-        // Boxed to keep the two variants' sizes comparable: the runtime
-        // is by far the largest piece of per-rank state.
-        tsan: Box<RefCell<TsanRuntime>>,
-    },
+    // Boxed to keep the two variants' sizes comparable: the session's
+    // runtime is by far the largest piece of per-rank state.
+    Sync(Box<RefCell<CheckSession>>),
     Async(AsyncChecker),
 }
 
@@ -184,6 +210,9 @@ impl ToolCtx {
         if let Some(threads) = check_threads_env() {
             config.check_threads = Some(threads);
         }
+        if let Some(ms) = barrier_timeout_env() {
+            config.barrier_timeout_ms = Some(ms);
+        }
         let mut tsan = TsanRuntime::with_options(
             &format!("host (rank {rank})"),
             config.shadow_tiered,
@@ -191,13 +220,11 @@ impl ToolCtx {
             true,
         );
         tsan.set_shadow_page_budget(config.shadow_page_budget);
+        let session = CheckSession::from_runtime(rank, tsan);
         let backend = if config.async_check {
-            CheckerBackend::Async(AsyncChecker::new(rank, tsan, config.check_threads))
+            CheckerBackend::Async(AsyncChecker::new(session, config.check_threads))
         } else {
-            CheckerBackend::Sync {
-                checker: RefCell::new(CheckerSink::new()),
-                tsan: Box::new(RefCell::new(tsan)),
-            }
+            CheckerBackend::Sync(Box::new(RefCell::new(session)))
         };
         ToolCtx {
             config,
@@ -219,7 +246,7 @@ impl ToolCtx {
     /// that reflects every event emitted so far — same as sync mode.
     fn with_tsan<R>(&self, f: impl FnOnce(&TsanRuntime) -> R) -> R {
         match &self.backend {
-            CheckerBackend::Sync { tsan, .. } => f(&tsan.borrow()),
+            CheckerBackend::Sync(session) => f(session.borrow().runtime()),
             CheckerBackend::Async(ac) => ac.with_runtime(|rt| f(rt)),
         }
     }
@@ -228,8 +255,19 @@ impl ToolCtx {
     /// async mode, like [`Self::with_tsan`]).
     fn with_tsan_mut<R>(&self, f: impl FnOnce(&mut TsanRuntime) -> R) -> R {
         match &self.backend {
-            CheckerBackend::Sync { tsan, .. } => f(&mut tsan.borrow_mut()),
+            CheckerBackend::Sync(session) => f(session.borrow_mut().runtime_mut()),
             CheckerBackend::Async(ac) => ac.with_runtime(f),
+        }
+    }
+
+    /// Snapshot the owned [`CheckSession`]'s summary — the same
+    /// reports/stats/counters object trace replay and the serve path
+    /// produce, so live runs can be compared against them wholesale.
+    /// Flushes first in async mode, like every accessor.
+    pub fn session_summary(&self) -> SessionSummary {
+        match &self.backend {
+            CheckerBackend::Sync(session) => session.borrow().summary(),
+            CheckerBackend::Async(ac) => ac.with_session(|s| s.summary()),
         }
     }
 
@@ -267,16 +305,20 @@ impl ToolCtx {
     // ---- the event pipeline -------------------------------------------------
 
     /// Intern a label (context, fiber name, counter name) in the rank's
-    /// shared string table. In async mode a *fresh* label is also
-    /// forwarded to the checker pool, in intern order, so its mirror
-    /// table assigns the same dense id before any event references it.
+    /// shared string table. A *fresh* label is also forwarded to the
+    /// owned session's mirror table, in intern order, so it assigns the
+    /// same dense id before any event references it — inline in sync
+    /// mode, via an in-order ring message in async mode.
     pub fn intern_label(&self, label: &str) -> StrId {
         let mut strings = self.strings.borrow_mut();
         let before = strings.len();
         let id = strings.intern(label);
         if strings.len() > before {
-            if let CheckerBackend::Async(ac) = &self.backend {
-                ac.send_intern(label);
+            match &self.backend {
+                CheckerBackend::Sync(session) => {
+                    session.borrow_mut().intern(label);
+                }
+                CheckerBackend::Async(ac) => ac.send_intern(label),
             }
         }
         id
@@ -297,11 +339,7 @@ impl ToolCtx {
     pub fn emit(&self, ev: CusanEvent) {
         let strings = self.strings.borrow();
         match &self.backend {
-            CheckerBackend::Sync { checker, tsan } => {
-                checker
-                    .borrow_mut()
-                    .apply(&ev, &strings, &mut tsan.borrow_mut());
-            }
+            CheckerBackend::Sync(session) => session.borrow_mut().apply(&ev),
             CheckerBackend::Async(ac) => ac.send_event(ev),
         }
         self.predictor.borrow_mut().observe(&ev);
@@ -695,6 +733,59 @@ mod tests {
         let asyn = drive(true);
         assert_eq!(sync, asyn);
         assert_eq!(sync.0.len(), 1, "the Fig. 6B race fires in both modes");
+    }
+
+    #[test]
+    fn session_summary_is_backend_invariant() {
+        // The owned session's wholesale summary — the object the serve
+        // path emits — must be identical across backends, and its
+        // counters must agree with the producer-side counter sink.
+        let drive = |async_check: bool| {
+            let mut config = Flavor::Cusan.config();
+            config.async_check = async_check;
+            let ctx = ToolCtx::new(0, config);
+            let f = ctx.emit_fiber_create("cuda stream 1");
+            ctx.emit(CusanEvent::FiberSwitch {
+                fiber: f,
+                sync: true,
+            });
+            ctx.annotate_host_write(Ptr(0x3000), 128, "kernel write");
+            ctx.emit(CusanEvent::FiberSwitch {
+                fiber: FiberId::HOST,
+                sync: false,
+            });
+            ctx.annotate_host_read(Ptr(0x3000), 128, "host read");
+            (ctx.session_summary(), ctx.event_counters())
+        };
+        let (sync_sum, sync_counters) = drive(false);
+        let (async_sum, _) = drive(true);
+        assert_eq!(sync_sum, async_sum);
+        assert_eq!(sync_sum.rank, 0);
+        assert_eq!(sync_sum.race_count, 1);
+        assert_eq!(
+            sync_sum.counters, sync_counters,
+            "session counters mirror the producer-side sink"
+        );
+    }
+
+    #[test]
+    fn barrier_timeout_env_is_frozen_and_config_flows() {
+        // Same freeze semantics as every other knob: the first read wins
+        // for the whole process, so all ranks (sharing one barrier) see
+        // one timeout.
+        let frozen = barrier_timeout_env();
+        std::env::set_var("CUSAN_BARRIER_TIMEOUT_MS", "12345");
+        assert_eq!(barrier_timeout_env(), frozen, "env re-read after freeze");
+        std::env::remove_var("CUSAN_BARRIER_TIMEOUT_MS");
+
+        // The config field flows into the context (unless the frozen env
+        // override replaces it).
+        let mut config = Flavor::Must.config();
+        config.barrier_timeout_ms = Some(250);
+        let ctx = ToolCtx::new(0, config);
+        assert_eq!(ctx.config.barrier_timeout_ms, frozen.or(Some(250)));
+        let default_ctx = ToolCtx::new(1, Flavor::Must.config());
+        assert_eq!(default_ctx.config.barrier_timeout_ms, frozen);
     }
 
     #[test]

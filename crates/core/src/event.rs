@@ -29,6 +29,7 @@
 //! MUST layer, and the trace string table.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use tsan_rt::{CtxId, FiberId, SyncKey, TsanRuntime};
 
 /// Id of a string interned in a [`CtxInterner`]. Ids are dense and
@@ -37,15 +38,23 @@ use tsan_rt::{CtxId, FiberId, SyncKey, TsanRuntime};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StrId(pub u32);
 
-/// Per-rank string interner: context labels, fiber names, counter names.
+/// Per-session string interner: context labels, fiber names, counter
+/// names.
 ///
-/// One instance per [`crate::ToolCtx`]; every instrumentation layer
-/// interns through it, so a label has exactly one id per rank and the
-/// trace string table is the single source of context naming.
+/// One instance per [`crate::CheckSession`] (and one producer-side mirror
+/// per [`crate::ToolCtx`]); every instrumentation layer interns through
+/// it, so a label has exactly one id per session and the trace string
+/// table is the single source of context naming.
+///
+/// Labels are stored as `Arc<str>` so their bytes can be shared — the
+/// serve path dedups label storage across thousands of concurrent
+/// sessions through [`CtxInterner::intern_shared`], while ids stay dense
+/// and per-session (id density is what makes them stable across a
+/// record/replay round trip).
 #[derive(Debug, Default)]
 pub struct CtxInterner {
-    labels: Vec<String>,
-    by_label: HashMap<String, StrId>,
+    labels: Vec<Arc<str>>,
+    by_label: HashMap<Arc<str>, StrId>,
 }
 
 impl CtxInterner {
@@ -59,9 +68,22 @@ impl CtxInterner {
         if let Some(&id) = self.by_label.get(label) {
             return id;
         }
+        self.insert(Arc::from(label))
+    }
+
+    /// Intern an already-shared label without copying its bytes; the
+    /// interner keeps a reference to the same allocation.
+    pub fn intern_shared(&mut self, label: &Arc<str>) -> StrId {
+        if let Some(&id) = self.by_label.get(&**label) {
+            return id;
+        }
+        self.insert(Arc::clone(label))
+    }
+
+    fn insert(&mut self, label: Arc<str>) -> StrId {
         let id = StrId(self.labels.len() as u32);
-        self.labels.push(label.to_string());
-        self.by_label.insert(label.to_string(), id);
+        self.labels.push(Arc::clone(&label));
+        self.by_label.insert(label, id);
         id
     }
 
@@ -69,8 +91,13 @@ impl CtxInterner {
     pub fn label(&self, id: StrId) -> &str {
         self.labels
             .get(id.0 as usize)
-            .map(String::as_str)
+            .map(|l| &**l)
             .unwrap_or("<invalid>")
+    }
+
+    /// Shared handle to an interned label (None for out-of-range ids).
+    pub fn shared_label(&self, id: StrId) -> Option<Arc<str>> {
+        self.labels.get(id.0 as usize).map(Arc::clone)
     }
 
     /// Number of interned strings.
@@ -403,6 +430,19 @@ mod tests {
         assert_eq!(i.label(a), "kernel foo arg#0 [write]");
         assert_eq!(i.len(), 2);
         assert_eq!(i.label(StrId(99)), "<invalid>");
+    }
+
+    #[test]
+    fn intern_shared_reuses_the_allocation() {
+        let mut i = CtxInterner::new();
+        let shared: Arc<str> = Arc::from("kernel foo arg#0 [write]");
+        let a = i.intern_shared(&shared);
+        // The interner holds the same allocation, not a copy.
+        assert!(Arc::ptr_eq(&shared, &i.shared_label(a).unwrap()));
+        // Byte-equal plain interns resolve to the same id.
+        assert_eq!(i.intern("kernel foo arg#0 [write]"), a);
+        assert_eq!(i.len(), 1);
+        assert!(i.shared_label(StrId(99)).is_none());
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod ctx;
 pub mod event;
 pub mod fault;
 pub mod keys;
+pub mod session;
 pub mod trace;
 
 pub use api::CusanCuda;
@@ -51,4 +52,8 @@ pub use event::{
     CheckerSink, CtxInterner, CusanEvent, EventCounters, EventSink, FiberPredictor, StrId,
 };
 pub use fault::{FaultInjector, FaultPlan};
-pub use trace::{replay, ReplayOutcome, Trace, TraceSink};
+pub use session::{CheckSession, SessionOptions, SessionSummary};
+pub use trace::{
+    replay, replay_stream, ReplayOutcome, Trace, TraceHeader, TraceLineParser, TraceReader,
+    TraceRecord, TraceSink,
+};

@@ -1,0 +1,279 @@
+//! Check sessions: the per-run detector state as a first-class object.
+//!
+//! A [`CheckSession`] bundles everything one checked execution needs on
+//! the *consumer* side of the event pipeline — the [`TsanRuntime`], the
+//! mirror [`CtxInterner`] that resolves event string ids, the
+//! [`CheckerSink`] apply path, and the per-session [`EventCounters`] —
+//! independent of any particular event producer. Three producers drive
+//! sessions today:
+//!
+//! - **Live instrumentation** — [`crate::ToolCtx`] owns one session per
+//!   rank (inline in sync mode, behind the [`crate::CheckerPool`] in
+//!   async mode) and feeds it the events its CUDA/MPI layers emit.
+//! - **Offline replay** — [`crate::trace::replay`] builds a session from
+//!   a trace header and streams the recorded events through it.
+//! - **The serve path** — `cusan-serve` multiplexes thousands of
+//!   sessions over one pool, one per uploaded trace shard stream.
+//!
+//! All three share [`CheckSession::apply`], which is what makes replayed
+//! and served results bit-for-bit identical to live runs.
+
+use std::sync::Arc;
+
+use crate::ctx::shadow_arena_env;
+use crate::event::{CheckerSink, CtxInterner, CusanEvent, EventCounters, StrId};
+use tsan_rt::{RaceReport, TsanRuntime, TsanStats};
+
+/// Construction parameters for a [`CheckSession`] (mirrors the
+/// detector-relevant subset of [`crate::ToolConfig`] plus the trace
+/// header fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOptions {
+    /// MPI rank (or client-chosen id) the session checks; only used for
+    /// naming the host fiber, so reports match live runs.
+    pub rank: usize,
+    /// Tiered shadow memory (page summaries + fast path).
+    pub shadow_tiered: bool,
+    /// Recycle shadow pages through the arena allocator.
+    pub shadow_arena: bool,
+    /// Per-session shadow page budget (best-effort drops beyond it).
+    pub shadow_page_budget: Option<usize>,
+}
+
+impl SessionOptions {
+    /// Defaults matching a live `ToolCtx` run with a vanilla config:
+    /// tiered shadow, arena per the frozen `CUSAN_SHADOW_ARENA` knob, no
+    /// budget.
+    pub fn new(rank: usize) -> Self {
+        SessionOptions {
+            rank,
+            shadow_tiered: true,
+            shadow_arena: shadow_arena_env().unwrap_or(true),
+            shadow_page_budget: None,
+        }
+    }
+
+    /// Options recorded in a trace header. Tiering and budget are part
+    /// of the recorded configuration (they change detection results);
+    /// the arena is a pure allocation strategy and so follows the
+    /// replaying process's environment, exactly like [`crate::replay`]
+    /// always has.
+    pub fn for_trace(rank: usize, tiered: bool, budget: Option<usize>) -> Self {
+        SessionOptions {
+            rank,
+            shadow_tiered: tiered,
+            shadow_arena: shadow_arena_env().unwrap_or(true),
+            shadow_page_budget: budget,
+        }
+    }
+}
+
+/// A self-contained snapshot of everything a session detected, cloned
+/// out of the runtime so it survives the session (and in the serve path,
+/// survives shadow eviction — summaries are always taken *before* a
+/// session's shadow pages may be reclaimed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSummary {
+    /// Rank the session checked.
+    pub rank: usize,
+    /// Deduplicated race reports, in detection order.
+    pub reports: Vec<RaceReport>,
+    /// Races counted pre-dedup ([`TsanRuntime::race_count`]).
+    pub race_count: u64,
+    /// Detector-side Table-I counters.
+    pub stats: TsanStats,
+    /// Event-stream-side counters.
+    pub counters: EventCounters,
+}
+
+/// Detector runtime + mirror interner + apply path + per-session
+/// counters, as one ownable unit (see the module docs).
+pub struct CheckSession {
+    rank: usize,
+    strings: CtxInterner,
+    checker: CheckerSink,
+    counters: EventCounters,
+    rt: TsanRuntime,
+}
+
+impl CheckSession {
+    /// Fresh session with its own runtime built from `opts`.
+    pub fn new(opts: &SessionOptions) -> Self {
+        let mut rt = TsanRuntime::with_options(
+            &format!("host (rank {})", opts.rank),
+            opts.shadow_tiered,
+            opts.shadow_arena,
+            true,
+        );
+        rt.set_shadow_page_budget(opts.shadow_page_budget);
+        Self::from_runtime(opts.rank, rt)
+    }
+
+    /// Wrap an already-configured runtime (the `ToolCtx` path, which
+    /// resolves knobs itself before constructing the runtime).
+    pub fn from_runtime(rank: usize, rt: TsanRuntime) -> Self {
+        CheckSession {
+            rank,
+            strings: CtxInterner::new(),
+            checker: CheckerSink::new(),
+            counters: EventCounters::default(),
+            rt,
+        }
+    }
+
+    /// Rank (or serve-client id) this session checks.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Intern a label into the session's mirror table. Producers must
+    /// forward every fresh label *before* the first event referencing
+    /// it, in interning order — ids are dense, so order is identity.
+    pub fn intern(&mut self, label: &str) -> StrId {
+        self.strings.intern(label)
+    }
+
+    /// [`CheckSession::intern`] for a label whose bytes are already
+    /// shared (serve's cross-session label table).
+    pub fn intern_shared(&mut self, label: &Arc<str>) -> StrId {
+        self.strings.intern_shared(label)
+    }
+
+    /// Apply one event: detector first, then the session counters. This
+    /// is the one apply path shared by live sync, the async pool, trace
+    /// replay, and serve.
+    pub fn apply(&mut self, ev: &CusanEvent) {
+        self.checker.apply(ev, &self.strings, &mut self.rt);
+        self.counters.observe(ev, &self.strings);
+    }
+
+    /// The session's mirror string table.
+    pub fn strings(&self) -> &CtxInterner {
+        &self.strings
+    }
+
+    /// Event-stream counters folded so far.
+    pub fn counters(&self) -> &EventCounters {
+        &self.counters
+    }
+
+    /// The detector runtime.
+    pub fn runtime(&self) -> &TsanRuntime {
+        &self.rt
+    }
+
+    /// Mutable access to the detector runtime (suppressions, budget,
+    /// eviction hooks).
+    pub fn runtime_mut(&mut self) -> &mut TsanRuntime {
+        &mut self.rt
+    }
+
+    /// Resident shadow pages (the serve path's global-budget unit).
+    pub fn shadow_pages(&self) -> usize {
+        self.rt.shadow_pages()
+    }
+
+    /// Evict every shadow page, returning slab memory to the arena free
+    /// list (see [`TsanRuntime::evict_shadow_pages`]). Sound only once
+    /// the session is finished — eviction forgets access history, so a
+    /// later access would miss races against pre-eviction accesses.
+    pub fn evict_shadow(&mut self) -> usize {
+        self.rt.evict_shadow_pages()
+    }
+
+    /// Snapshot reports/stats/counters (see [`SessionSummary`]).
+    pub fn summary(&self) -> SessionSummary {
+        SessionSummary {
+            rank: self.rank,
+            reports: self.rt.reports().to_vec(),
+            race_count: self.rt.race_count(),
+            stats: self.rt.stats(),
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Consume the session into its summary (moves the reports out
+    /// instead of cloning).
+    pub fn into_summary(mut self) -> SessionSummary {
+        SessionSummary {
+            rank: self.rank,
+            race_count: self.rt.race_count(),
+            stats: self.rt.stats(),
+            reports: self.rt.take_reports(),
+            counters: self.counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsan_rt::FiberId;
+
+    fn race_session() -> CheckSession {
+        // The Fig. 6B pattern through the session apply path.
+        let mut s = CheckSession::new(&SessionOptions::new(0));
+        let name = s.intern("cuda stream 0");
+        let cw = s.intern("kernel write");
+        let cr = s.intern("host read");
+        let fiber = s.runtime().peek_next_fiber();
+        for ev in [
+            CusanEvent::FiberCreate { fiber, name },
+            CusanEvent::FiberSwitch { fiber, sync: true },
+            CusanEvent::WriteRange {
+                addr: 0x1000,
+                len: 64,
+                ctx: cw,
+            },
+            CusanEvent::FiberSwitch {
+                fiber: FiberId::HOST,
+                sync: false,
+            },
+            CusanEvent::ReadRange {
+                addr: 0x1000,
+                len: 64,
+                ctx: cr,
+            },
+        ] {
+            s.apply(&ev);
+        }
+        s
+    }
+
+    #[test]
+    fn session_detects_and_summarizes() {
+        let s = race_session();
+        let sum = s.summary();
+        assert_eq!(sum.rank, 0);
+        assert_eq!(sum.race_count, 1);
+        assert_eq!(sum.reports.len(), 1);
+        assert_eq!(sum.reports[0].previous.ctx, "kernel write");
+        assert_eq!(sum.counters.fiber_switches, 2);
+        assert_eq!(sum.counters.write_bytes, 64);
+        // into_summary agrees with the cloning snapshot.
+        assert_eq!(s.into_summary(), sum);
+    }
+
+    #[test]
+    fn eviction_after_summary_preserves_the_race_set() {
+        let mut s = race_session();
+        let before = s.summary();
+        assert!(s.shadow_pages() > 0);
+        let evicted = s.evict_shadow();
+        assert!(evicted > 0);
+        assert_eq!(s.shadow_pages(), 0);
+        // Reports and race counts are unaffected by shadow eviction;
+        // only allocation stats move.
+        let after = s.summary();
+        assert_eq!(after.reports, before.reports);
+        assert_eq!(after.race_count, before.race_count);
+        assert_eq!(after.counters, before.counters);
+        assert!(after.stats.arena_pages_evicted >= before.stats.arena_pages_evicted);
+    }
+
+    #[test]
+    fn host_fiber_is_named_after_the_rank() {
+        let s = CheckSession::new(&SessionOptions::new(3));
+        assert_eq!(s.runtime().fiber_name(FiberId::HOST), "host (rank 3)");
+    }
+}

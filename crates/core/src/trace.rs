@@ -42,10 +42,13 @@
 //! All writers format identically, so two recordings of the same
 //! deterministic run are byte-identical (see the Jacobi determinism test).
 
-use crate::event::{CheckerSink, CtxInterner, CusanEvent, EventCounters, EventSink, StrId};
+use crate::event::{CtxInterner, CusanEvent, EventCounters, EventSink, StrId};
+use crate::session::{CheckSession, SessionOptions};
 use std::cell::RefCell;
+use std::io::BufRead;
 use std::rc::Rc;
-use tsan_rt::{FiberId, RaceReport, SyncKey, TsanRuntime, TsanStats};
+use std::sync::Arc;
+use tsan_rt::{FiberId, RaceReport, SyncKey, TsanStats};
 
 /// Magic prefix of a trace header line. The version is part of the
 /// magic: readers reject any other version with a clear message.
@@ -172,11 +175,20 @@ fn parse_err(lineno: usize, msg: impl Into<String>) -> String {
     format!("trace line {}: {}", lineno + 1, msg.into())
 }
 
-impl Trace {
-    /// Parse the text format produced by [`TraceSink`].
-    pub fn parse(text: &str) -> Result<Trace, String> {
-        let mut lines = text.lines().enumerate();
-        let (_, header) = lines.next().ok_or("empty trace")?;
+/// The parsed header line of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Rank the trace was recorded on.
+    pub rank: usize,
+    /// Shadow-tier configuration of the recording run.
+    pub tiered: bool,
+    /// Shadow page budget of the recording run (`None` = unlimited).
+    pub budget: Option<usize>,
+}
+
+impl TraceHeader {
+    /// Parse the header line (without its trailing newline).
+    pub fn parse(header: &str) -> Result<TraceHeader, String> {
         let rest = header.strip_prefix(TRACE_MAGIC).ok_or_else(|| {
             if header.starts_with(TRACE_FAMILY) {
                 format!(
@@ -193,15 +205,15 @@ impl Trace {
             }
         })?;
         let hf: Vec<&str> = rest.split_whitespace().collect();
-        let (rank, tiered, budget) = match hf.as_slice() {
-            ["rank", r, "tiered", t, "budget", b] => (
-                r.parse::<usize>().map_err(|e| format!("bad rank: {e}"))?,
-                match *t {
+        match hf.as_slice() {
+            ["rank", r, "tiered", t, "budget", b] => Ok(TraceHeader {
+                rank: r.parse::<usize>().map_err(|e| format!("bad rank: {e}"))?,
+                tiered: match *t {
                     "0" => false,
                     "1" => true,
                     other => return Err(format!("bad tiered flag {other:?}")),
                 },
-                match *b {
+                budget: match *b {
                     "none" => None,
                     pages => Some(
                         pages
@@ -209,133 +221,274 @@ impl Trace {
                             .map_err(|e| format!("bad budget: {e}"))?,
                     ),
                 },
-            ),
-            _ => return Err(format!("bad header fields {rest:?}")),
+            }),
+            _ => Err(format!("bad header fields {rest:?}")),
+        }
+    }
+}
+
+/// One parsed body line of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A string-table entry, already interned into the parser's table
+    /// (the `Arc` handle lets consumers share the label bytes instead of
+    /// re-copying them — the serve path's cross-session dedup).
+    Str {
+        /// The entry's dense id.
+        id: StrId,
+        /// The unescaped label.
+        label: Arc<str>,
+    },
+    /// An event line.
+    Event(CusanEvent),
+}
+
+/// Incremental (push-mode) parser for trace body lines.
+///
+/// Feed it complete lines one at a time — from a file, a socket shard
+/// stream, or anywhere else — and it maintains the string table, the
+/// density/defined-id validation, and line numbers for error messages.
+/// [`TraceReader`] wraps it for pull-mode iteration over a [`BufRead`];
+/// `cusan-serve` drives it directly from reassembled shard chunks.
+#[derive(Debug, Default)]
+pub struct TraceLineParser {
+    strings: CtxInterner,
+    /// Body lines consumed so far (the header is line 0, so the first
+    /// body line is 1 — matching the whole-file parser's numbering).
+    lineno: usize,
+}
+
+impl TraceLineParser {
+    /// Parser with an empty string table, positioned after the header.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The string table accumulated so far.
+    pub fn strings(&self) -> &CtxInterner {
+        &self.strings
+    }
+
+    /// Consume the parser into its string table.
+    pub fn into_strings(self) -> CtxInterner {
+        self.strings
+    }
+
+    /// Parse one body line (without its trailing newline). Returns
+    /// `Ok(None)` for empty lines.
+    pub fn parse_line(&mut self, line: &str) -> Result<Option<TraceRecord>, String> {
+        self.lineno += 1;
+        let lineno = self.lineno;
+        if line.is_empty() {
+            return Ok(None);
+        }
+        let (kind, body) = line
+            .split_once(' ')
+            .ok_or_else(|| parse_err(lineno, format!("malformed line {line:?}")))?;
+        let fields: Vec<&str> = body.split(' ').collect();
+        let dec = |i: usize| -> Result<u64, String> {
+            fields
+                .get(i)
+                .ok_or_else(|| parse_err(lineno, "missing field"))?
+                .parse::<u64>()
+                .map_err(|e| parse_err(lineno, format!("bad number: {e}")))
         };
-        let mut strings = CtxInterner::new();
-        let mut events = Vec::new();
-        for (lineno, line) in lines {
-            if line.is_empty() {
-                continue;
-            }
-            let (kind, body) = line
-                .split_once(' ')
-                .ok_or_else(|| parse_err(lineno, format!("malformed line {line:?}")))?;
-            let fields: Vec<&str> = body.split(' ').collect();
-            let dec = |i: usize| -> Result<u64, String> {
+        let hex = |i: usize| -> Result<u64, String> {
+            u64::from_str_radix(
                 fields
                     .get(i)
-                    .ok_or_else(|| parse_err(lineno, "missing field"))?
-                    .parse::<u64>()
-                    .map_err(|e| parse_err(lineno, format!("bad number: {e}")))
-            };
-            let hex = |i: usize| -> Result<u64, String> {
-                u64::from_str_radix(
-                    fields
-                        .get(i)
-                        .ok_or_else(|| parse_err(lineno, "missing field"))?,
-                    16,
-                )
-                .map_err(|e| parse_err(lineno, format!("bad hex number: {e}")))
-            };
-            let fib =
-                |i: usize| -> Result<FiberId, String> { Ok(FiberId::from_index(dec(i)? as usize)) };
-            let sid = |i: usize| -> Result<StrId, String> { Ok(StrId(dec(i)? as u32)) };
-            match kind {
-                "s" => {
-                    // `s <id> <label>`: the label is everything after the id,
-                    // spaces included.
-                    let (id, label) = body
-                        .split_once(' ')
-                        .ok_or_else(|| parse_err(lineno, "string entry without label"))?;
-                    let id: u32 = id
-                        .parse()
-                        .map_err(|e| parse_err(lineno, format!("bad string id: {e}")))?;
-                    let interned = strings.intern(&unescape(label));
-                    if interned.0 != id {
-                        return Err(parse_err(
-                            lineno,
-                            format!(
-                                "string table not dense: got id {id}, expected {}",
-                                interned.0
-                            ),
-                        ));
-                    }
+                    .ok_or_else(|| parse_err(lineno, "missing field"))?,
+                16,
+            )
+            .map_err(|e| parse_err(lineno, format!("bad hex number: {e}")))
+        };
+        let fib =
+            |i: usize| -> Result<FiberId, String> { Ok(FiberId::from_index(dec(i)? as usize)) };
+        let sid = |i: usize| -> Result<StrId, String> { Ok(StrId(dec(i)? as u32)) };
+        let ev = match kind {
+            "s" => {
+                // `s <id> <label>`: the label is everything after the id,
+                // spaces included.
+                let (id, label) = body
+                    .split_once(' ')
+                    .ok_or_else(|| parse_err(lineno, "string entry without label"))?;
+                let id: u32 = id
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad string id: {e}")))?;
+                let interned = self.strings.intern(&unescape(label));
+                if interned.0 != id {
+                    return Err(parse_err(
+                        lineno,
+                        format!(
+                            "string table not dense: got id {id}, expected {}",
+                            interned.0
+                        ),
+                    ));
                 }
-                "fc" => events.push(CusanEvent::FiberCreate {
-                    fiber: fib(0)?,
-                    name: sid(1)?,
-                }),
-                "fy" => events.push(CusanEvent::FiberSwitch {
-                    fiber: fib(0)?,
-                    sync: true,
-                }),
-                "fs" => events.push(CusanEvent::FiberSwitch {
-                    fiber: fib(0)?,
-                    sync: false,
-                }),
-                "fd" => events.push(CusanEvent::FiberDestroy { fiber: fib(0)? }),
-                "hb" => events.push(CusanEvent::HappensBefore {
-                    key: SyncKey(hex(0)?),
-                }),
-                "ha" => events.push(CusanEvent::HappensAfter {
-                    key: SyncKey(hex(0)?),
-                }),
-                "rr" => events.push(CusanEvent::ReadRange {
-                    addr: hex(0)?,
-                    len: dec(1)?,
-                    ctx: sid(2)?,
-                }),
-                "wr" => events.push(CusanEvent::WriteRange {
-                    addr: hex(0)?,
-                    len: dec(1)?,
-                    ctx: sid(2)?,
-                }),
-                "al" => events.push(CusanEvent::Alloc {
-                    addr: hex(0)?,
-                    bytes: dec(1)?,
-                    kind: sid(2)?,
-                }),
-                "fr" => events.push(CusanEvent::Free {
-                    addr: hex(0)?,
-                    bytes: dec(1)?,
-                }),
-                "qb" => events.push(CusanEvent::RequestBegin { serial: dec(0)? }),
-                "qc" => events.push(CusanEvent::RequestComplete { serial: dec(0)? }),
-                "cb" => events.push(CusanEvent::CounterBump {
-                    counter: sid(0)?,
-                    delta: dec(1)?,
-                }),
-                "af" => events.push(CusanEvent::ApiFault {
-                    call: sid(0)?,
-                    site: dec(1)?,
-                }),
-                other => return Err(parse_err(lineno, format!("unknown event kind {other:?}"))),
+                return Ok(Some(TraceRecord::Str {
+                    id: interned,
+                    label: self.strings.shared_label(interned).expect("just interned"),
+                }));
             }
-            // Events must not reference string ids the table hasn't defined.
-            if let Some(ev) = events.last() {
-                let used = match *ev {
-                    CusanEvent::FiberCreate { name, .. } => Some(name),
-                    CusanEvent::ReadRange { ctx, .. } | CusanEvent::WriteRange { ctx, .. } => {
-                        Some(ctx)
-                    }
-                    CusanEvent::Alloc { kind, .. } => Some(kind),
-                    CusanEvent::CounterBump { counter, .. } => Some(counter),
-                    CusanEvent::ApiFault { call, .. } => Some(call),
-                    _ => None,
-                };
-                if let Some(id) = used {
-                    if id.0 as usize >= strings.len() {
-                        return Err(parse_err(lineno, format!("undefined string id {}", id.0)));
-                    }
-                }
+            "fc" => CusanEvent::FiberCreate {
+                fiber: fib(0)?,
+                name: sid(1)?,
+            },
+            "fy" => CusanEvent::FiberSwitch {
+                fiber: fib(0)?,
+                sync: true,
+            },
+            "fs" => CusanEvent::FiberSwitch {
+                fiber: fib(0)?,
+                sync: false,
+            },
+            "fd" => CusanEvent::FiberDestroy { fiber: fib(0)? },
+            "hb" => CusanEvent::HappensBefore {
+                key: SyncKey(hex(0)?),
+            },
+            "ha" => CusanEvent::HappensAfter {
+                key: SyncKey(hex(0)?),
+            },
+            "rr" => CusanEvent::ReadRange {
+                addr: hex(0)?,
+                len: dec(1)?,
+                ctx: sid(2)?,
+            },
+            "wr" => CusanEvent::WriteRange {
+                addr: hex(0)?,
+                len: dec(1)?,
+                ctx: sid(2)?,
+            },
+            "al" => CusanEvent::Alloc {
+                addr: hex(0)?,
+                bytes: dec(1)?,
+                kind: sid(2)?,
+            },
+            "fr" => CusanEvent::Free {
+                addr: hex(0)?,
+                bytes: dec(1)?,
+            },
+            "qb" => CusanEvent::RequestBegin { serial: dec(0)? },
+            "qc" => CusanEvent::RequestComplete { serial: dec(0)? },
+            "cb" => CusanEvent::CounterBump {
+                counter: sid(0)?,
+                delta: dec(1)?,
+            },
+            "af" => CusanEvent::ApiFault {
+                call: sid(0)?,
+                site: dec(1)?,
+            },
+            other => return Err(parse_err(lineno, format!("unknown event kind {other:?}"))),
+        };
+        // Events must not reference string ids the table hasn't defined.
+        let used = match ev {
+            CusanEvent::FiberCreate { name, .. } => Some(name),
+            CusanEvent::ReadRange { ctx, .. } | CusanEvent::WriteRange { ctx, .. } => Some(ctx),
+            CusanEvent::Alloc { kind, .. } => Some(kind),
+            CusanEvent::CounterBump { counter, .. } => Some(counter),
+            CusanEvent::ApiFault { call, .. } => Some(call),
+            _ => None,
+        };
+        if let Some(id) = used {
+            if id.0 as usize >= self.strings.len() {
+                return Err(parse_err(lineno, format!("undefined string id {}", id.0)));
             }
         }
+        Ok(Some(TraceRecord::Event(ev)))
+    }
+}
+
+/// Pull-mode streaming reader: iterates [`TraceRecord`]s straight off a
+/// [`BufRead`] source without materializing the trace. One line of
+/// buffer is the only per-trace allocation that scales with input size.
+pub struct TraceReader<R> {
+    input: R,
+    parser: TraceLineParser,
+    header: TraceHeader,
+    line: String,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Read and parse the header; subsequent records come from
+    /// [`Iterator::next`].
+    pub fn new(mut input: R) -> Result<Self, String> {
+        let mut line = String::new();
+        match input.read_line(&mut line) {
+            Err(e) => return Err(format!("trace read error: {e}")),
+            Ok(0) => return Err("empty trace".to_string()),
+            Ok(_) => {}
+        }
+        let header = TraceHeader::parse(line.trim_end_matches('\n'))?;
+        Ok(TraceReader {
+            input,
+            parser: TraceLineParser::new(),
+            header,
+            line,
+        })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// The string table accumulated so far.
+    pub fn strings(&self) -> &CtxInterner {
+        self.parser.strings()
+    }
+
+    /// Consume the reader into its string table.
+    pub fn into_strings(self) -> CtxInterner {
+        self.parser.into_strings()
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line.clear();
+            match self.input.read_line(&mut self.line) {
+                Err(e) => return Some(Err(format!("trace read error: {e}"))),
+                Ok(0) => return None,
+                Ok(_) => {}
+            }
+            match self.parser.parse_line(self.line.trim_end_matches('\n')) {
+                Ok(None) => continue,
+                Ok(Some(rec)) => return Some(Ok(rec)),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+impl Trace {
+    /// Parse the text format produced by [`TraceSink`]. Wrapper over the
+    /// streaming [`Trace::from_reader`].
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        Self::from_reader(text.as_bytes())
+    }
+
+    /// Parse a whole trace from any buffered byte source.
+    pub fn from_reader<R: BufRead>(input: R) -> Result<Trace, String> {
+        let mut reader = TraceReader::new(input)?;
+        let mut events = Vec::new();
+        for rec in &mut reader {
+            if let TraceRecord::Event(ev) = rec? {
+                events.push(ev);
+            }
+        }
+        let TraceHeader {
+            rank,
+            tiered,
+            budget,
+        } = *reader.header();
         Ok(Trace {
             rank,
             tiered,
             budget,
-            strings,
+            strings: reader.into_strings(),
             events,
         })
     }
@@ -352,35 +505,62 @@ pub struct ReplayOutcome {
     pub counters: EventCounters,
 }
 
-/// Re-drive a recorded trace through a fresh [`TsanRuntime`].
+/// Re-drive a recorded trace through a fresh [`CheckSession`].
 ///
-/// Uses the same [`CheckerSink`] apply path as the live run, with the
-/// recorded rank's host-fiber name and shadow configuration, so reports
-/// (fiber and context labels included), [`TsanStats`], and
-/// [`EventCounters`] all reproduce exactly.
+/// Uses the same apply path as the live run ([`CheckSession::apply`]),
+/// with the recorded rank's host-fiber name and shadow configuration, so
+/// reports (fiber and context labels included), [`TsanStats`], and
+/// [`EventCounters`] all reproduce exactly. (The arena is a pure
+/// allocation strategy, so traces never record it; the session reads the
+/// same frozen env knob the live run's ToolCtx uses, keeping live and
+/// replayed stats — `arena_*` fields included — identical within one
+/// process.)
 pub fn replay(trace: &Trace) -> ReplayOutcome {
-    // The arena is a pure allocation strategy, so traces never record it;
-    // replay reads the same frozen env knob the live run's ToolCtx uses,
-    // keeping live and replayed stats (`arena_*` fields included)
-    // identical within one process.
-    let mut rt = TsanRuntime::with_options(
-        &format!("host (rank {})", trace.rank),
+    let mut session = CheckSession::new(&SessionOptions::for_trace(
+        trace.rank,
         trace.tiered,
-        crate::ctx::shadow_arena_env().unwrap_or(true),
-        true,
-    );
-    rt.set_shadow_page_budget(trace.budget);
-    let mut checker = CheckerSink::new();
-    let mut counters = EventCounters::default();
+        trace.budget,
+    ));
+    for i in 0..trace.strings.len() {
+        let label = trace
+            .strings
+            .shared_label(StrId(i as u32))
+            .expect("string table is dense");
+        session.intern_shared(&label);
+    }
     for ev in &trace.events {
-        checker.apply(ev, &trace.strings, &mut rt);
-        counters.observe(ev, &trace.strings);
+        session.apply(ev);
     }
+    let summary = session.into_summary();
     ReplayOutcome {
-        reports: rt.take_reports(),
-        stats: rt.stats(),
-        counters,
+        reports: summary.reports,
+        stats: summary.stats,
+        counters: summary.counters,
     }
+}
+
+/// Streaming replay: drive records from a [`BufRead`] source straight
+/// into a session without materializing a [`Trace`]. Equivalent to
+/// `replay(&Trace::from_reader(input)?)` with O(1) memory in the trace
+/// length.
+pub fn replay_stream<R: BufRead>(input: R) -> Result<ReplayOutcome, String> {
+    let mut reader = TraceReader::new(input)?;
+    let h = *reader.header();
+    let mut session = CheckSession::new(&SessionOptions::for_trace(h.rank, h.tiered, h.budget));
+    for rec in &mut reader {
+        match rec? {
+            TraceRecord::Str { label, .. } => {
+                session.intern_shared(&label);
+            }
+            TraceRecord::Event(ev) => session.apply(&ev),
+        }
+    }
+    let summary = session.into_summary();
+    Ok(ReplayOutcome {
+        reports: summary.reports,
+        stats: summary.stats,
+        counters: summary.counters,
+    })
 }
 
 #[cfg(test)]
@@ -533,6 +713,70 @@ mod tests {
         // counters of the capped live run.
         let out = replay(&trace);
         assert_eq!(out.stats.dropped_annotations, 6);
+    }
+
+    #[test]
+    fn streaming_reader_matches_whole_file_parse() {
+        let mut strings = CtxInterner::new();
+        let name = strings.intern("cuda stream 0");
+        let ctx = strings.intern("kernel write");
+        let f = FiberId::from_index(1);
+        let events = [
+            CusanEvent::FiberCreate { fiber: f, name },
+            CusanEvent::FiberSwitch {
+                fiber: f,
+                sync: true,
+            },
+            CusanEvent::WriteRange {
+                addr: 0x1000,
+                len: 64,
+                ctx,
+            },
+        ];
+        let text = record(&events.iter().map(|e| (*e, &strings)).collect::<Vec<_>>());
+
+        // Pull iteration sees string entries then events, in file order.
+        let mut reader = TraceReader::new(text.as_bytes()).unwrap();
+        assert_eq!(
+            *reader.header(),
+            TraceHeader {
+                rank: 3,
+                tiered: true,
+                budget: None
+            }
+        );
+        let recs: Vec<TraceRecord> = reader.by_ref().map(Result::unwrap).collect();
+        assert_eq!(recs.len(), 5);
+        match &recs[0] {
+            TraceRecord::Str { id, label } => {
+                assert_eq!(*id, name);
+                assert_eq!(&**label, "cuda stream 0");
+            }
+            other => panic!("expected string entry, got {other:?}"),
+        }
+        assert_eq!(recs[2], TraceRecord::Event(events[0]));
+
+        // from_reader (and therefore parse) agrees with the iterator.
+        let trace = Trace::from_reader(text.as_bytes()).unwrap();
+        assert_eq!(trace.events, events);
+        assert_eq!(trace.strings.len(), 2);
+
+        // Streaming replay agrees with materialized replay.
+        let solo = replay(&trace);
+        let streamed = replay_stream(text.as_bytes()).unwrap();
+        assert_eq!(streamed.reports, solo.reports);
+        assert_eq!(streamed.stats, solo.stats);
+        assert_eq!(streamed.counters, solo.counters);
+    }
+
+    #[test]
+    fn incremental_parser_keeps_line_numbers() {
+        let mut p = TraceLineParser::new();
+        assert!(p.parse_line("s 0 f").unwrap().is_some());
+        assert!(p.parse_line("").unwrap().is_none());
+        let err = p.parse_line("rr zz 8 0").unwrap_err();
+        // Header is line 1, so the third body line is file line 4.
+        assert!(err.starts_with("trace line 4:"), "got: {err}");
     }
 
     #[test]

@@ -62,6 +62,12 @@ impl SimBarrier {
         }
     }
 
+    /// The poison timeout this barrier was built with (tests verify the
+    /// config/env plumbing lands here).
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
     fn timeout_err(&self) -> MpiError {
         MpiError::Timeout {
             what: self.what.to_string(),
@@ -122,6 +128,17 @@ mod tests {
             });
             assert_eq!(leaders, 1);
         }
+    }
+
+    #[test]
+    fn timeout_defaults_and_overrides() {
+        // `new` uses the standard deadlock-detection timeout; an explicit
+        // override (the `CUSAN_BARRIER_TIMEOUT_MS` /
+        // `ToolConfig::barrier_timeout_ms` path) replaces it wholesale.
+        let default = SimBarrier::new(2, "b");
+        assert_eq!(default.timeout(), crate::request::WAIT_TIMEOUT);
+        let short = SimBarrier::with_timeout(2, "b", Duration::from_millis(250));
+        assert_eq!(short.timeout(), Duration::from_millis(250));
     }
 
     #[test]

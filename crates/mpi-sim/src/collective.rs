@@ -24,15 +24,28 @@ pub(crate) struct CollShared {
 }
 
 impl CollShared {
-    pub fn new(size: usize) -> Self {
+    /// Shared collective state for `size` ranks with an explicit
+    /// phase-barrier poison timeout; `None` keeps the standard
+    /// deadlock-detection timeout.
+    pub fn with_timeout(size: usize, timeout: Option<std::time::Duration>) -> Self {
+        let phase = match timeout {
+            Some(t) => SimBarrier::with_timeout(size, "collective phase", t),
+            None => SimBarrier::new(size, "collective phase"),
+        };
         CollShared {
             slots: Mutex::new(Slots {
                 contribs: vec![None; size],
                 result: None,
             }),
-            phase: SimBarrier::new(size, "collective phase"),
+            phase,
             size,
         }
+    }
+
+    /// The phase barrier's poison timeout (config/env plumbing tests).
+    #[cfg(test)]
+    pub fn phase_timeout(&self) -> std::time::Duration {
+        self.phase.timeout()
     }
 
     /// The 3-phase skeleton: `contribute` fills this rank's slot, `compute`

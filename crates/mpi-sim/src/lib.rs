@@ -36,4 +36,6 @@ pub mod world;
 pub use datatype::{MpiDatatype, ReduceOp};
 pub use error::MpiError;
 pub use request::{Request, Status};
-pub use world::{run_world, Comm, ANY_SOURCE, ANY_TAG, PROC_NULL, PROC_NULL_SRC};
+pub use world::{
+    run_world, run_world_with_timeout, Comm, ANY_SOURCE, ANY_TAG, PROC_NULL, PROC_NULL_SRC,
+};

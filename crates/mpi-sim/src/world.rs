@@ -400,6 +400,14 @@ impl Comm {
         self.shared.barrier.wait().map(|_| ())
     }
 
+    /// The poison timeout of the world barrier (and the collective phase
+    /// barrier — [`run_world_with_timeout`] configures both together).
+    /// For tests verifying the `CUSAN_BARRIER_TIMEOUT_MS` /
+    /// `ToolConfig::barrier_timeout_ms` plumbing.
+    pub fn barrier_timeout(&self) -> std::time::Duration {
+        self.shared.barrier.timeout()
+    }
+
     /// `MPI_Allreduce`.
     pub fn allreduce(
         &self,
@@ -527,15 +535,33 @@ pub fn run_world<T: Send>(
     space: Arc<AddressSpace>,
     f: impl Fn(Comm) -> T + Send + Sync,
 ) -> Vec<T> {
+    run_world_with_timeout(n, space, None, f)
+}
+
+/// As [`run_world`] with an explicit poison timeout for the world
+/// barrier and the collective phase barrier; `None` keeps the standard
+/// deadlock-detection timeout. This is where
+/// `ToolConfig::barrier_timeout_ms` / `CUSAN_BARRIER_TIMEOUT_MS` land
+/// (the MUST harness resolves them and passes the result through).
+pub fn run_world_with_timeout<T: Send>(
+    n: usize,
+    space: Arc<AddressSpace>,
+    timeout: Option<std::time::Duration>,
+    f: impl Fn(Comm) -> T + Send + Sync,
+) -> Vec<T> {
     assert!(n > 0, "world size must be positive");
+    let barrier = match timeout {
+        Some(t) => SimBarrier::with_timeout(n, "Barrier", t),
+        None => SimBarrier::new(n, "Barrier"),
+    };
     let shared = Arc::new(WorldShared {
         space,
         size: n,
         mailboxes: (0..n)
             .map(|_| Mutex::new(MailboxState::default()))
             .collect(),
-        barrier: SimBarrier::new(n, "Barrier"),
-        coll: CollShared::new(n),
+        barrier,
+        coll: CollShared::with_timeout(n, timeout),
     });
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..n)
@@ -872,6 +898,26 @@ mod tests {
             } else {
                 comm.send(tx, 1, MpiDatatype::Int, 0, 0).unwrap();
             }
+        });
+    }
+
+    #[test]
+    fn barrier_timeout_flows_to_both_barriers() {
+        use std::time::Duration;
+        let sp = space();
+        let t = Duration::from_millis(321);
+        run_world_with_timeout(2, Arc::clone(&sp), Some(t), move |comm| {
+            assert_eq!(comm.barrier_timeout(), t);
+            assert_eq!(comm.shared.coll.phase_timeout(), t);
+            comm.barrier().unwrap();
+        });
+        // `None` (and plain run_world) keep the standard timeout.
+        run_world(1, sp, |comm| {
+            assert_eq!(comm.barrier_timeout(), crate::request::WAIT_TIMEOUT);
+            assert_eq!(
+                comm.shared.coll.phase_timeout(),
+                crate::request::WAIT_TIMEOUT
+            );
         });
     }
 

@@ -14,7 +14,7 @@ use crate::mpi::CheckedMpi;
 use cuda_sim::CudaCounters;
 use cusan::{AsyncCheckStats, CusanCuda, EventCounters, ToolConfig, ToolCtx};
 use kernel_ir::KernelRegistry;
-use mpi_sim::run_world;
+use mpi_sim::run_world_with_timeout;
 use sim_mem::{AddressSpace, DeviceId, SpaceStats};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -164,7 +164,13 @@ fn run_world_impl<T: Send>(
     let space = Arc::new(AddressSpace::new());
     let space_for_stats = Arc::clone(&space);
     let registry = &registry;
-    let pairs = run_world(n, space, move |comm| {
+    // Resolve the barrier poison timeout exactly like ToolCtx resolves
+    // its knobs: the frozen CUSAN_BARRIER_TIMEOUT_MS override wins over
+    // the config field; both unset keeps mpi-sim's standard timeout.
+    let barrier_timeout = cusan::ctx::barrier_timeout_env()
+        .or(config.barrier_timeout_ms)
+        .map(std::time::Duration::from_millis);
+    let pairs = run_world_with_timeout(n, space, barrier_timeout, move |comm| {
         let rank = comm.rank();
         let tools = Rc::new(ToolCtx::new(rank, config));
         // The trace sink must observe every event, including the default

@@ -1,0 +1,173 @@
+//! The serve engine: one checker pool, many sessions, one shadow budget.
+//!
+//! [`ServeEngine`] owns the process-wide pieces every served session
+//! shares — a private [`CheckerPool`], the [`SharedLabels`]
+//! canonicalization table, and the global shadow-page accounting. Each
+//! client stream gets a [`crate::SessionIngest`] that registers its own
+//! [`cusan::CheckSession`] with the pool; when the stream closes, the
+//! session's summary is snapshotted and the (now idle) session is
+//! *retained* so its warm shadow pages and reports stick around for
+//! post-hoc inspection.
+//!
+//! ## The global budget
+//!
+//! Retention is what the budget caps. `global_page_budget` bounds the
+//! total shadow pages held by retained finished sessions; when a newly
+//! finished session pushes the total over, the oldest retained sessions
+//! are evicted ([`cusan::CheckSession::evict_shadow`]) until the total
+//! fits again. Eviction is *sound by construction*: only finished
+//! sessions are candidates (a live session's shadow encodes access
+//! history the detector still needs), and every summary is snapshotted
+//! before its session becomes evictable — so the budget provably cannot
+//! change any session's detected race set, only the residency of its
+//! dead shadow pages. The determinism tests assert exactly this.
+
+use crate::labels::SharedLabels;
+use cusan::{CheckSession, CheckerPool, SessionSummary};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Explicit checker-pool worker count (`None`: size from hardware,
+    /// exactly like [`cusan::ToolConfig::check_threads`]).
+    pub check_threads: Option<usize>,
+    /// Global cap on shadow pages retained across *finished* sessions
+    /// (`None`: retain everything).
+    pub global_page_budget: Option<usize>,
+}
+
+/// Engine observability counters (a snapshot; see [`ServeEngine::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Sessions opened (header accepted).
+    pub sessions_opened: u64,
+    /// Sessions finished (stream closed, summary snapshotted).
+    pub sessions_finished: u64,
+    /// Finished sessions whose shadow pages were evicted under the
+    /// global budget.
+    pub sessions_evicted: u64,
+    /// Shadow pages reclaimed by those evictions.
+    pub shadow_pages_evicted: u64,
+    /// Shadow pages currently retained by finished sessions.
+    pub resident_pages: u64,
+    /// High-water mark of `resident_pages`.
+    pub peak_resident_pages: u64,
+    /// Distinct labels in the shared table.
+    pub labels_unique: u64,
+    /// Label interns served from the shared table (avoided copies).
+    pub labels_shared: u64,
+}
+
+/// A finished session retained for its warm shadow pages. The checker
+/// handle was dropped before the entry was created, so nothing but the
+/// engine can be holding the session lock — eviction never contends
+/// with a pool worker.
+struct Retained {
+    handle: Arc<Mutex<CheckSession>>,
+    pages: usize,
+}
+
+#[derive(Default)]
+struct EngineState {
+    retained: VecDeque<Retained>,
+    resident_pages: usize,
+    peak_resident_pages: usize,
+    sessions_opened: u64,
+    sessions_finished: u64,
+    sessions_evicted: u64,
+    shadow_pages_evicted: u64,
+    summaries: Vec<SessionSummary>,
+}
+
+/// Shared state of one `cusan-serve` process (see the module docs).
+pub struct ServeEngine {
+    pool: Arc<CheckerPool>,
+    config: EngineConfig,
+    labels: SharedLabels,
+    state: Mutex<EngineState>,
+}
+
+impl ServeEngine {
+    /// Engine with a private checker pool (never the global one: a serve
+    /// process pins its own worker policy).
+    pub fn new(config: EngineConfig) -> Arc<ServeEngine> {
+        Arc::new(ServeEngine {
+            pool: CheckerPool::new(),
+            config,
+            labels: SharedLabels::new(),
+            state: Mutex::new(EngineState::default()),
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The shared checker pool sessions register with.
+    pub fn pool(&self) -> &Arc<CheckerPool> {
+        &self.pool
+    }
+
+    /// The cross-session label table.
+    pub fn labels(&self) -> &SharedLabels {
+        &self.labels
+    }
+
+    /// Record a session open (header accepted).
+    pub(crate) fn note_open(&self) {
+        self.state.lock().sessions_opened += 1;
+    }
+
+    /// Hand a finished session to the engine: record its summary, retain
+    /// its shadow pages, and enforce the global budget by evicting the
+    /// oldest retained sessions first. `handle` must no longer have a
+    /// registered checker (the ingest drops it first).
+    pub(crate) fn finish_session(
+        &self,
+        handle: Arc<Mutex<CheckSession>>,
+        pages: usize,
+        summary: &SessionSummary,
+    ) {
+        let mut st = self.state.lock();
+        st.sessions_finished += 1;
+        st.summaries.push(summary.clone());
+        st.resident_pages += pages;
+        st.retained.push_back(Retained { handle, pages });
+        if let Some(budget) = self.config.global_page_budget {
+            while st.resident_pages > budget {
+                let Some(oldest) = st.retained.pop_front() else {
+                    break;
+                };
+                let evicted = oldest.handle.lock().evict_shadow();
+                st.resident_pages -= oldest.pages;
+                st.sessions_evicted += 1;
+                st.shadow_pages_evicted += evicted as u64;
+            }
+        }
+        st.peak_resident_pages = st.peak_resident_pages.max(st.resident_pages);
+    }
+
+    /// Snapshot of the engine counters.
+    pub fn stats(&self) -> ServeStats {
+        let st = self.state.lock();
+        ServeStats {
+            sessions_opened: st.sessions_opened,
+            sessions_finished: st.sessions_finished,
+            sessions_evicted: st.sessions_evicted,
+            shadow_pages_evicted: st.shadow_pages_evicted,
+            resident_pages: st.resident_pages as u64,
+            peak_resident_pages: st.peak_resident_pages as u64,
+            labels_unique: self.labels.unique(),
+            labels_shared: self.labels.shared(),
+        }
+    }
+
+    /// All finished sessions' summaries, in finish order.
+    pub fn summaries(&self) -> Vec<SessionSummary> {
+        self.state.lock().summaries.clone()
+    }
+}

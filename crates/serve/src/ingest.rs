@@ -1,0 +1,140 @@
+//! Per-stream trace ingestion.
+//!
+//! A [`SessionIngest`] turns an incrementally delivered byte stream (a
+//! socket's `DATA` frames, a file read in chunks — any framing) into a
+//! checked session: it buffers up to one partial line, parses complete
+//! lines with [`cusan::TraceLineParser`], and feeds the records to an
+//! [`cusan::AsyncChecker`] registered with the engine's shared pool.
+//! String-table entries are canonicalized through the engine's
+//! [`crate::SharedLabels`] before mirroring, so concurrent sessions
+//! share label allocations instead of copying them.
+//!
+//! The apply path is [`cusan::CheckSession::apply`] — the same one live
+//! instrumentation and offline replay use — which is what makes a
+//! served session's summary bit-for-bit identical to a solo sync replay
+//! of the same trace, at any worker count.
+
+use crate::engine::ServeEngine;
+use cusan::{
+    AsyncChecker, CheckSession, SessionOptions, SessionSummary, TraceHeader, TraceLineParser,
+    TraceRecord,
+};
+use std::sync::Arc;
+
+enum IngestState {
+    /// Nothing parsed yet: the next complete line must be the header.
+    AwaitHeader,
+    /// Header accepted; body lines stream into the checker.
+    Body {
+        checker: AsyncChecker,
+        parser: TraceLineParser,
+    },
+    /// `finish` consumed the checker (or a feed failed fatally).
+    Done,
+}
+
+/// One client trace stream being checked (see the module docs).
+pub struct SessionIngest {
+    engine: Arc<ServeEngine>,
+    /// Bytes after the last complete line (never grows past one line
+    /// plus one chunk).
+    pending: Vec<u8>,
+    state: IngestState,
+}
+
+impl SessionIngest {
+    /// Fresh ingest; the session itself is created lazily when the
+    /// header line arrives.
+    pub fn new(engine: Arc<ServeEngine>) -> Self {
+        SessionIngest {
+            engine,
+            pending: Vec::new(),
+            state: IngestState::AwaitHeader,
+        }
+    }
+
+    /// Feed one chunk. Chunk boundaries are arbitrary — mid-line and
+    /// mid-code-point splits are both fine (only complete lines are
+    /// decoded). The first error poisons the ingest.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<(), String> {
+        self.pending.extend_from_slice(chunk);
+        let buf = std::mem::take(&mut self.pending);
+        let mut rest: &[u8] = &buf;
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            let line = &rest[..pos];
+            rest = &rest[pos + 1..];
+            if let Err(e) = self.take_line(line) {
+                self.state = IngestState::Done;
+                return Err(e);
+            }
+        }
+        self.pending = rest.to_vec();
+        Ok(())
+    }
+
+    fn take_line(&mut self, line: &[u8]) -> Result<(), String> {
+        let line = std::str::from_utf8(line).map_err(|e| format!("non-UTF-8 trace line: {e}"))?;
+        match &mut self.state {
+            IngestState::AwaitHeader => {
+                let header = TraceHeader::parse(line)?;
+                let session = CheckSession::new(&SessionOptions::for_trace(
+                    header.rank,
+                    header.tiered,
+                    header.budget,
+                ));
+                let checker = AsyncChecker::with_pool(
+                    Arc::clone(self.engine.pool()),
+                    session,
+                    self.engine.config().check_threads,
+                );
+                self.engine.note_open();
+                self.state = IngestState::Body {
+                    checker,
+                    parser: TraceLineParser::new(),
+                };
+                Ok(())
+            }
+            IngestState::Body { checker, parser } => {
+                match parser.parse_line(line)? {
+                    None => {}
+                    Some(TraceRecord::Str { label, .. }) => {
+                        // Mirror the canonical allocation, not the
+                        // parser's private one: concurrent sessions of
+                        // the same app share label bytes.
+                        checker.send_intern_shared(self.engine.labels().canon(&label));
+                    }
+                    Some(TraceRecord::Event(ev)) => checker.send_event(ev),
+                }
+                Ok(())
+            }
+            IngestState::Done => Err("session already closed".to_string()),
+        }
+    }
+
+    /// Close the stream: drain the checker, snapshot the summary, and
+    /// retire the session into the engine (where it becomes evictable
+    /// under the global budget). A trailing line without a final newline
+    /// is accepted.
+    pub fn finish(mut self) -> Result<SessionSummary, String> {
+        if !self.pending.is_empty() {
+            let line = std::mem::take(&mut self.pending);
+            self.take_line(&line)?;
+        }
+        match std::mem::replace(&mut self.state, IngestState::Done) {
+            IngestState::AwaitHeader => Err("empty session: no trace header received".to_string()),
+            IngestState::Done => Err("session already closed".to_string()),
+            IngestState::Body { checker, .. } => {
+                // Summary *before* the session becomes evictable — the
+                // eviction-soundness contract (see crate::engine docs).
+                let (summary, pages) = checker.with_session(|s| (s.summary(), s.shadow_pages()));
+                let handle = checker.session_handle();
+                // Unregister from the pool before handing the idle
+                // session to the engine: eviction must never contend
+                // with a pool worker holding the session lock.
+                drop(checker);
+                self.engine.finish_session(handle, pages, &summary);
+                Ok(summary)
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Cross-session label sharing.
+//!
+//! Every session keeps its own dense mirror string table (ids are
+//! per-trace), but the label *bytes* repeat massively across sessions:
+//! all TeaLeaf ranks intern the same `"kernel dot arg#0 … [read]"`
+//! strings. [`SharedLabels`] is the process-wide canonicalization map:
+//! the first session to present a label donates its `Arc<str>`, every
+//! later session gets a clone of that same allocation, and
+//! [`cusan::CheckSession::intern_shared`] turns the clone into a table
+//! entry with a refcount bump instead of a byte copy.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide canonical label table (see the module docs).
+#[derive(Default)]
+pub struct SharedLabels {
+    map: RwLock<HashMap<Arc<str>, ()>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedLabels {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonical `Arc` for `label`: the existing entry's allocation if
+    /// one exists, otherwise `label` itself becomes the canonical entry
+    /// (no copy either way).
+    pub fn canon(&self, label: &Arc<str>) -> Arc<str> {
+        if let Some((k, ())) = self.map.read().get_key_value(&**label) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(k);
+        }
+        let mut w = self.map.write();
+        // Double-checked: another session may have inserted it between
+        // the read unlock and the write lock.
+        if let Some((k, ())) = w.get_key_value(&**label) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(k);
+        }
+        w.insert(Arc::clone(label), ());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(label)
+    }
+
+    /// Distinct labels interned so far.
+    pub fn unique(&self) -> u64 {
+        self.map.read().len() as u64
+    }
+
+    /// Lookups satisfied by an existing entry (each hit is one avoided
+    /// label copy).
+    pub fn shared(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canon_returns_the_same_allocation() {
+        let t = SharedLabels::new();
+        let a: Arc<str> = Arc::from("kernel dot arg#0 [read]");
+        let b: Arc<str> = Arc::from("kernel dot arg#0 [read]");
+        assert!(!Arc::ptr_eq(&a, &b));
+        let ca = t.canon(&a);
+        let cb = t.canon(&b);
+        assert!(Arc::ptr_eq(&ca, &cb), "both resolve to one allocation");
+        assert!(Arc::ptr_eq(&ca, &a), "first presenter donates its arc");
+        assert_eq!(t.unique(), 1);
+        assert_eq!(t.shared(), 1);
+    }
+
+    #[test]
+    fn distinct_labels_stay_distinct() {
+        let t = SharedLabels::new();
+        let a = t.canon(&Arc::from("a"));
+        let b = t.canon(&Arc::from("b"));
+        assert_ne!(&*a, &*b);
+        assert_eq!(t.unique(), 2);
+        assert_eq!(t.shared(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! # cusan-serve — a multi-session trace-checking service
+//!
+//! Long-running checking as a service: many clients stream recorded
+//! [`cusan`] traces (shard by shard, interleaved) to one server process,
+//! which multiplexes every session over a single shared
+//! [`cusan::CheckerPool`] and replies with per-session race/report
+//! summaries as JSON.
+//!
+//! The layering (see `DESIGN.md`, "Sessions & the serve path"):
+//!
+//! ```text
+//! TcpListener ──► serve_connection ──► SessionIngest ──► AsyncChecker
+//!                       │                   │                 │
+//!                       │              TraceLineParser   CheckerPool (shared)
+//!                       │                   │                 │
+//!                       └── ServeEngine ◄── SharedLabels  CheckSession
+//!                             (global shadow budget,
+//!                              retained finished sessions)
+//! ```
+//!
+//! Everything downstream of [`SessionIngest`] is the same machinery live
+//! instrumentation uses — [`cusan::CheckSession::apply`] behind the
+//! work-stealing pool — so a served session's summary is bit-for-bit
+//! identical to a solo synchronous replay of the same trace, at any
+//! worker count. The determinism tests and the `selftest` binary mode
+//! assert this for ≥ 64 concurrent sessions.
+
+pub mod engine;
+pub mod ingest;
+pub mod json;
+pub mod labels;
+pub mod proto;
+
+pub use engine::{EngineConfig, ServeEngine, ServeStats};
+pub use ingest::SessionIngest;
+pub use json::summary_to_json;
+pub use labels::SharedLabels;
+pub use proto::{check_traces, serve_connection, Reply};
+
+use cusan::{CheckSession, SessionOptions, SessionSummary, TraceReader, TraceRecord};
+use std::io::BufReader;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+/// Reference result: replay `text` solo, synchronously, in this thread —
+/// the baseline every served session is compared against.
+pub fn solo_summary(text: &str) -> Result<SessionSummary, String> {
+    let mut reader = TraceReader::new(text.as_bytes())?;
+    let h = *reader.header();
+    let mut session = CheckSession::new(&SessionOptions::for_trace(h.rank, h.tiered, h.budget));
+    for rec in &mut reader {
+        match rec? {
+            TraceRecord::Str { label, .. } => {
+                session.intern_shared(&label);
+            }
+            TraceRecord::Event(ev) => session.apply(&ev),
+        }
+    }
+    Ok(session.into_summary())
+}
+
+/// Accept connections on `listener` forever (or until `max_connections`,
+/// when given — the selftest's bounded variant), one thread per
+/// connection, all sharing `engine`. Per-connection I/O errors are
+/// logged, not fatal: one misbehaving client must not take the service
+/// down.
+pub fn serve_listener(
+    engine: Arc<ServeEngine>,
+    listener: TcpListener,
+    max_connections: Option<usize>,
+) -> std::io::Result<()> {
+    std::thread::scope(|scope| {
+        for (accepted, stream) in listener.incoming().enumerate() {
+            let stream = stream?;
+            let engine = Arc::clone(&engine);
+            scope.spawn(move || {
+                let peer = stream
+                    .peer_addr()
+                    .map_or_else(|_| "<unknown>".to_string(), |a| a.to_string());
+                let mut reader = BufReader::new(stream.try_clone().expect("clone TCP stream"));
+                let mut writer = stream;
+                if let Err(e) = serve_connection(&engine, &mut reader, &mut writer) {
+                    eprintln!("cusan-serve: connection from {peer} failed: {e}");
+                }
+            });
+            if max_connections.is_some_and(|max| accepted + 1 >= max) {
+                break;
+            }
+        }
+        Ok(())
+    })
+}

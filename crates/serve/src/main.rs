@@ -1,0 +1,369 @@
+//! `cusan-serve` — check recorded traces as a service.
+//!
+//! ```text
+//! cusan-serve listen <addr> [--check-threads N] [--global-budget P]
+//! cusan-serve check <trace-file>... [--check-threads N] [--global-budget P]
+//! cusan-serve selftest [--sessions N] [--connections C] [--fixture PATH]
+//!                      [--check-threads N] [--global-budget P] [--json PATH]
+//! ```
+//!
+//! * `listen` — serve the frame protocol (see [`cusan_serve::proto`]) on
+//!   a TCP address until killed.
+//! * `check` — offline mode: check each trace file through the engine
+//!   and print one summary JSON line per file.
+//! * `selftest` — end-to-end proof: spin up a listener on a loopback
+//!   port, stream `--sessions` concurrent sessions (the golden TeaLeaf
+//!   fixture plus freshly generated chaos-twin traces, interleaved in
+//!   small chunks over `--connections` connections), and assert every
+//!   served summary is byte-identical JSON to a solo synchronous replay
+//!   of the same trace. With `--global-budget` it additionally asserts
+//!   that idle-session eviction fired without changing any race set.
+//!   Writes a `BENCH_serve_selftest.json` throughput record (the
+//!   `bench_serve` bin owns `BENCH_serve.json`); exits non-zero on any
+//!   mismatch. This is the `serve-smoke` CI job.
+
+use cusan_serve::{
+    check_traces, serve_listener, solo_summary, summary_to_json, EngineConfig, Reply, ServeEngine,
+    SessionIngest,
+};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The golden TeaLeaf trace recorded by the repo's fixture generator
+/// (`tests/data/`): the known-good baseline every selftest run checks.
+const GOLDEN_FIXTURE: &str = include_str!("../../../tests/data/tealeaf_small.trace");
+
+struct Options {
+    mode: String,
+    files: Vec<String>,
+    sessions: usize,
+    connections: usize,
+    chunk: usize,
+    fixture: Option<String>,
+    check_threads: Option<usize>,
+    global_budget: Option<usize>,
+    json_path: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().ok_or_else(usage)?.clone();
+    let mut o = Options {
+        mode,
+        files: Vec::new(),
+        sessions: 64,
+        connections: 8,
+        chunk: 997,
+        fixture: None,
+        check_threads: None,
+        global_budget: None,
+        json_path: "BENCH_serve_selftest.json".to_string(),
+    };
+    let mut i = 1;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sessions" => o.sessions = num(&value(&mut i)?)?,
+            "--connections" => o.connections = num(&value(&mut i)?)?,
+            "--chunk" => o.chunk = num(&value(&mut i)?)?,
+            "--fixture" => o.fixture = Some(value(&mut i)?),
+            "--check-threads" => o.check_threads = Some(num(&value(&mut i)?)?),
+            "--global-budget" => o.global_budget = Some(num(&value(&mut i)?)?),
+            "--json" => o.json_path = value(&mut i)?,
+            other => o.files.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn num(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+fn usage() -> String {
+    "usage: cusan-serve <listen <addr> | check <file>... | selftest> [options]".to_string()
+}
+
+fn engine_config(o: &Options) -> EngineConfig {
+    EngineConfig {
+        check_threads: o.check_threads,
+        global_page_budget: o.global_budget,
+    }
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cusan-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let r = match o.mode.as_str() {
+        "listen" => run_listen(&o),
+        "check" => run_check(&o),
+        "selftest" => run_selftest(&o),
+        _ => Err(usage()),
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cusan-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_listen(o: &Options) -> Result<(), String> {
+    let addr = o.files.first().ok_or("listen needs an address")?;
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("cusan-serve: listening on {local}");
+    let engine = ServeEngine::new(engine_config(o));
+    serve_listener(engine, listener, None).map_err(|e| e.to_string())
+}
+
+fn run_check(o: &Options) -> Result<(), String> {
+    if o.files.is_empty() {
+        return Err("check needs at least one trace file".to_string());
+    }
+    let engine = ServeEngine::new(engine_config(o));
+    for (i, path) in o.files.iter().enumerate() {
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut ingest = SessionIngest::new(Arc::clone(&engine));
+        for chunk in bytes.chunks(64 << 10) {
+            ingest.feed(chunk).map_err(|e| format!("{path}: {e}"))?;
+        }
+        let summary = ingest.finish().map_err(|e| format!("{path}: {e}"))?;
+        println!("{}", summary_to_json(i as u64, &summary));
+    }
+    Ok(())
+}
+
+/// Generate the selftest's trace corpus: the golden fixture plus chaos
+/// twins of both mini-apps (every rank of every run contributes one
+/// trace, all recorded fresh in this process).
+fn selftest_corpus(o: &Options) -> Result<Vec<String>, String> {
+    let fixture = match &o.fixture {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => GOLDEN_FIXTURE.to_string(),
+    };
+    let mut traces = vec![fixture];
+    let base = cusan_apps::ChaosConfig::default();
+    let runs = [
+        cusan_apps::run_chaos_jacobi(&base, cusan::Flavor::MustCusan),
+        cusan_apps::run_chaos_tealeaf(&base, cusan::Flavor::MustCusan),
+        cusan_apps::run_chaos_jacobi(
+            &cusan_apps::ChaosConfig { iters: 6, ..base },
+            cusan::Flavor::MustCusan,
+        ),
+        cusan_apps::run_chaos_tealeaf(
+            &cusan_apps::ChaosConfig { iters: 2, ..base },
+            cusan::Flavor::MustCusan,
+        ),
+    ];
+    for out in runs {
+        for rank in out.ranks {
+            traces.push(rank.trace.ok_or("chaos run was not traced")?);
+        }
+    }
+    Ok(traces)
+}
+
+fn run_selftest(o: &Options) -> Result<(), String> {
+    let corpus = selftest_corpus(o)?;
+    let solo: Vec<_> = corpus
+        .iter()
+        .map(|t| solo_summary(t))
+        .collect::<Result<_, _>>()?;
+
+    let engine = ServeEngine::new(engine_config(o));
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let connections = o.connections.clamp(1, o.sessions.max(1));
+    let server = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || serve_listener(engine, listener, Some(connections)))
+    };
+
+    // Session id i checks corpus[i % corpus.len()], split round-robin
+    // over the connections so each connection multiplexes interleaved
+    // sessions.
+    let per_conn: Vec<Vec<(u64, String)>> = (0..connections)
+        .map(|c| {
+            (c..o.sessions)
+                .step_by(connections)
+                .map(|i| (i as u64, corpus[i % corpus.len()].clone()))
+                .collect()
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut replies: Vec<Reply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_conn
+            .iter()
+            .map(|traces| {
+                scope.spawn(|| {
+                    let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+                    let reader = stream.try_clone().map_err(|e| e.to_string())?;
+                    check_traces(reader, stream, traces, o.chunk).map_err(|e| e.to_string())
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("client thread panicked")?);
+        }
+        Ok::<_, String>(all)
+    })?;
+    let elapsed = started.elapsed();
+    server
+        .join()
+        .expect("server thread panicked")
+        .map_err(|e| e.to_string())?;
+
+    // Every session must come back as a summary byte-identical to its
+    // solo sync replay.
+    replies.sort_by_key(|r| match r {
+        Reply::Summary { id, .. } | Reply::Error { id, .. } => *id,
+    });
+    let mut mismatches = 0usize;
+    for reply in &replies {
+        match reply {
+            Reply::Error { id, message } => {
+                eprintln!("session {id}: server error: {message}");
+                mismatches += 1;
+            }
+            Reply::Summary { id, json } => {
+                let expected = summary_to_json(*id, &solo[*id as usize % corpus.len()]);
+                if *json != expected {
+                    eprintln!("session {id}: served summary differs from solo replay");
+                    eprintln!("  served: {json}");
+                    eprintln!("  solo:   {expected}");
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    if replies.len() != o.sessions {
+        return Err(format!(
+            "got {} replies for {} sessions",
+            replies.len(),
+            o.sessions
+        ));
+    }
+
+    let stats = engine.stats();
+    if stats.sessions_finished != o.sessions as u64 {
+        return Err(format!(
+            "engine finished {} of {} sessions",
+            stats.sessions_finished, o.sessions
+        ));
+    }
+    if let Some(budget) = o.global_budget {
+        if stats.resident_pages > budget as u64 {
+            return Err(format!(
+                "global budget violated: {} resident pages > {budget}",
+                stats.resident_pages
+            ));
+        }
+        if stats.sessions_evicted == 0 {
+            return Err("global budget set but no session was evicted \
+                        (budget too large for this corpus?)"
+                .to_string());
+        }
+    }
+
+    let events: u64 = replies
+        .iter()
+        .map(|r| match r {
+            Reply::Summary { id, .. } => {
+                let c = &solo[*id as usize % corpus.len()].counters;
+                c.fiber_creates
+                    + c.fiber_destroys
+                    + c.fiber_switches
+                    + c.happens_before
+                    + c.happens_after
+                    + c.read_range_calls
+                    + c.write_range_calls
+                    + c.allocs
+                    + c.frees
+                    + c.requests_begun
+                    + c.requests_completed
+                    + c.api_faults
+            }
+            Reply::Error { .. } => 0,
+        })
+        .sum();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "selftest: {} sessions over {} connections, {} distinct traces, {:?} \
+         ({:.0} sessions/s, {:.0} events/s)",
+        o.sessions,
+        connections,
+        corpus.len(),
+        elapsed,
+        o.sessions as f64 / secs,
+        events as f64 / secs,
+    );
+    println!(
+        "engine: evicted {} sessions / {} shadow pages, resident {} (peak {}), \
+         labels {} unique / {} shared",
+        stats.sessions_evicted,
+        stats.shadow_pages_evicted,
+        stats.resident_pages,
+        stats.peak_resident_pages,
+        stats.labels_unique,
+        stats.labels_shared,
+    );
+
+    // Hand-rolled JSON (offline workspace: no serde), same convention as
+    // the other bench bins.
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"sessions\": {},\n  \"connections\": {},\n  \
+         \"distinct_traces\": {},\n  \"check_threads\": {},\n  \"global_budget\": {},\n  \
+         \"hw_threads\": {hw},\n  \"wall_ns\": {},\n  \"sessions_per_sec\": {:.1},\n  \
+         \"events_per_sec\": {:.0},\n  \"sessions_evicted\": {},\n  \
+         \"shadow_pages_evicted\": {},\n  \"peak_resident_pages\": {},\n  \
+         \"labels_unique\": {},\n  \"labels_shared\": {},\n  \"mismatches\": {mismatches}\n}}\n",
+        o.sessions,
+        connections,
+        corpus.len(),
+        o.check_threads
+            .map_or("null".to_string(), |n| n.to_string()),
+        o.global_budget
+            .map_or("null".to_string(), |n| n.to_string()),
+        elapsed.as_nanos(),
+        o.sessions as f64 / secs,
+        events as f64 / secs,
+        stats.sessions_evicted,
+        stats.shadow_pages_evicted,
+        stats.peak_resident_pages,
+        stats.labels_unique,
+        stats.labels_shared,
+    );
+    std::fs::write(&o.json_path, &json).map_err(|e| format!("{}: {e}", o.json_path))?;
+    println!("wrote {}", o.json_path);
+
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} of {} sessions diverged from solo replay",
+            o.sessions
+        ));
+    }
+    println!(
+        "selftest: all {} served summaries bit-for-bit identical to solo replay",
+        o.sessions
+    );
+    Ok(())
+}

@@ -1,0 +1,273 @@
+//! The serve wire protocol and connection loop.
+//!
+//! Length-prefixed frames over any ordered byte stream (TCP, a pipe,
+//! stdin): `[u32 BE payload length][payload]`. The payload's first byte
+//! is the opcode; session-scoped opcodes follow with the client-chosen
+//! session id as a u64 BE. One connection multiplexes any number of
+//! concurrent sessions by interleaving their `DATA` frames.
+//!
+//! | opcode | payload | direction | meaning |
+//! |---|---|---|---|
+//! | `O` | id | → | open session `id` |
+//! | `D` | id + chunk | → | append trace bytes to session `id` |
+//! | `C` | id | → | close session `id`, requesting its summary |
+//! | `Q` | — | → | finish the connection |
+//! | `S` | id + JSON | ← | summary reply for a closed session |
+//! | `E` | id + message | ← | per-session error (session is dropped) |
+//!
+//! Chunk boundaries are arbitrary (mid-line splits are fine); frames of
+//! one session are ordered, frames of different sessions interleave
+//! freely. Checking runs concurrently with ingestion — the reply to `C`
+//! is only assembled after the session's event stream has fully drained
+//! through the checker pool.
+
+use crate::engine::ServeEngine;
+use crate::ingest::SessionIngest;
+use crate::json::summary_to_json;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// Open a session (client → server).
+pub const OP_OPEN: u8 = b'O';
+/// Trace bytes for a session (client → server).
+pub const OP_DATA: u8 = b'D';
+/// Close a session and request its summary (client → server).
+pub const OP_CLOSE: u8 = b'C';
+/// End the connection (client → server).
+pub const OP_QUIT: u8 = b'Q';
+/// Summary reply (server → client).
+pub const OP_SUMMARY: u8 = b'S';
+/// Per-session error reply (server → client).
+pub const OP_ERROR: u8 = b'E';
+
+/// Upper bound on a frame payload; anything larger is a protocol error
+/// (the codec must not let a corrupt length prefix allocate gigabytes).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Write one frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn frame_with_id(op: u8, id: u64, body: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(9 + body.len());
+    f.push(op);
+    f.extend_from_slice(&id.to_be_bytes());
+    f.extend_from_slice(body);
+    f
+}
+
+/// An `O` frame.
+pub fn open_frame(id: u64) -> Vec<u8> {
+    frame_with_id(OP_OPEN, id, &[])
+}
+
+/// A `D` frame.
+pub fn data_frame(id: u64, chunk: &[u8]) -> Vec<u8> {
+    frame_with_id(OP_DATA, id, chunk)
+}
+
+/// A `C` frame.
+pub fn close_frame(id: u64) -> Vec<u8> {
+    frame_with_id(OP_CLOSE, id, &[])
+}
+
+/// A `Q` frame.
+pub fn quit_frame() -> Vec<u8> {
+    vec![OP_QUIT]
+}
+
+fn parse_id(payload: &[u8]) -> io::Result<(u64, &[u8])> {
+    if payload.len() < 9 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too short for a session id",
+        ));
+    }
+    let id = u64::from_be_bytes(payload[1..9].try_into().expect("9-byte prefix"));
+    Ok((id, &payload[9..]))
+}
+
+/// A reply frame read back on the client side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `S`: the session's summary JSON.
+    Summary {
+        /// The client-chosen session id.
+        id: u64,
+        /// Single-line summary JSON.
+        json: String,
+    },
+    /// `E`: the session failed; it has been dropped server-side.
+    Error {
+        /// The client-chosen session id.
+        id: u64,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Parse a server reply frame (client side).
+pub fn parse_reply(payload: &[u8]) -> io::Result<Reply> {
+    let (id, body) = parse_id(payload)?;
+    let text = String::from_utf8_lossy(body).into_owned();
+    match payload[0] {
+        OP_SUMMARY => Ok(Reply::Summary { id, json: text }),
+        OP_ERROR => Ok(Reply::Error { id, message: text }),
+        op => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected reply opcode {op:#x}"),
+        )),
+    }
+}
+
+/// Serve one connection until `Q` or EOF. Sessions opened on this
+/// connection and never closed are dropped without a reply (their
+/// checkers drain and unregister on drop; nothing is retained).
+pub fn serve_connection<R: Read, W: Write>(
+    engine: &Arc<ServeEngine>,
+    reader: &mut R,
+    writer: &mut W,
+) -> io::Result<()> {
+    let mut sessions: HashMap<u64, SessionIngest> = HashMap::new();
+    while let Some(payload) = read_frame(reader)? {
+        let Some(&op) = payload.first() else {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty frame"));
+        };
+        match op {
+            OP_QUIT => break,
+            OP_OPEN => {
+                let (id, _) = parse_id(&payload)?;
+                if sessions.contains_key(&id) {
+                    write_frame(
+                        writer,
+                        &frame_with_id(OP_ERROR, id, b"session id already open"),
+                    )?;
+                    continue;
+                }
+                sessions.insert(id, SessionIngest::new(Arc::clone(engine)));
+            }
+            OP_DATA => {
+                let (id, chunk) = parse_id(&payload)?;
+                let Some(ingest) = sessions.get_mut(&id) else {
+                    write_frame(writer, &frame_with_id(OP_ERROR, id, b"session not open"))?;
+                    continue;
+                };
+                if let Err(e) = ingest.feed(chunk) {
+                    sessions.remove(&id);
+                    write_frame(writer, &frame_with_id(OP_ERROR, id, e.as_bytes()))?;
+                }
+            }
+            OP_CLOSE => {
+                let (id, _) = parse_id(&payload)?;
+                let Some(ingest) = sessions.remove(&id) else {
+                    write_frame(writer, &frame_with_id(OP_ERROR, id, b"session not open"))?;
+                    continue;
+                };
+                match ingest.finish() {
+                    Ok(summary) => {
+                        let json = summary_to_json(id, &summary);
+                        write_frame(writer, &frame_with_id(OP_SUMMARY, id, json.as_bytes()))?;
+                    }
+                    Err(e) => {
+                        write_frame(writer, &frame_with_id(OP_ERROR, id, e.as_bytes()))?;
+                    }
+                }
+                writer.flush()?;
+            }
+            op => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown opcode {op:#x}"),
+                ));
+            }
+        }
+    }
+    writer.flush()
+}
+
+/// Client helper: stream `traces` (id → full trace text) over one
+/// connection, interleaving their `DATA` frames round-robin in
+/// `chunk`-byte slices, and collect one reply per session. `reader` and
+/// `writer` are the two halves of one duplex connection (for TCP, the
+/// stream and its `try_clone`); writing runs on a separate thread so a
+/// summary-heavy server can never deadlock against an unread reply
+/// backlog.
+pub fn check_traces<R, W>(
+    mut reader: R,
+    mut writer: W,
+    traces: &[(u64, String)],
+    chunk: usize,
+) -> io::Result<Vec<Reply>>
+where
+    R: Read,
+    W: Write + Send,
+{
+    let chunk = chunk.max(1);
+    let expected = traces.len();
+    std::thread::scope(|scope| {
+        let send = scope.spawn(move || -> io::Result<()> {
+            for (id, _) in traces {
+                write_frame(&mut writer, &open_frame(*id))?;
+            }
+            let mut cursors: Vec<(u64, &[u8])> =
+                traces.iter().map(|(id, t)| (*id, t.as_bytes())).collect();
+            while cursors.iter().any(|(_, rest)| !rest.is_empty()) {
+                for (id, rest) in &mut cursors {
+                    if rest.is_empty() {
+                        continue;
+                    }
+                    let take = chunk.min(rest.len());
+                    write_frame(&mut writer, &data_frame(*id, &rest[..take]))?;
+                    *rest = &rest[take..];
+                }
+            }
+            for (id, _) in traces {
+                write_frame(&mut writer, &close_frame(*id))?;
+            }
+            write_frame(&mut writer, &quit_frame())?;
+            writer.flush()
+        });
+        let mut replies = Vec::with_capacity(expected);
+        while replies.len() < expected {
+            match read_frame(&mut reader)? {
+                Some(payload) => replies.push(parse_reply(&payload)?),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!(
+                            "server closed after {} of {expected} replies",
+                            replies.len()
+                        ),
+                    ))
+                }
+            }
+        }
+        send.join().expect("client sender panicked")?;
+        Ok(replies)
+    })
+}

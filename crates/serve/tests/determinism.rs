@@ -1,0 +1,244 @@
+//! The serve determinism contract: N concurrent sessions multiplexed
+//! over one checker pool produce summaries bit-for-bit identical to solo
+//! synchronous replays — at any worker count, under chunked interleaved
+//! delivery, and under a global shadow budget forcing cross-session
+//! eviction.
+//!
+//! The corpus is the golden TeaLeaf fixture (recorded by
+//! `tests/trace_fixture.rs` — regenerate, don't hand-edit) plus
+//! chaos-twin traces of both mini-apps generated fresh per test run.
+
+use cusan_serve::{solo_summary, summary_to_json, EngineConfig, ServeEngine, SessionIngest};
+use std::sync::Arc;
+
+const GOLDEN: &str = include_str!("../../../tests/data/tealeaf_small.trace");
+
+/// Golden fixture + one chaos-twin trace per rank per mini-app.
+fn corpus() -> Vec<String> {
+    let mut traces = vec![GOLDEN.to_string()];
+    let cfg = cusan_apps::ChaosConfig::default();
+    for out in [
+        cusan_apps::run_chaos_jacobi(&cfg, cusan::Flavor::MustCusan),
+        cusan_apps::run_chaos_tealeaf(&cfg, cusan::Flavor::MustCusan),
+    ] {
+        for rank in out.ranks {
+            traces.push(rank.trace.expect("chaos runs are always traced"));
+        }
+    }
+    traces
+}
+
+/// Drive `sessions[i] = corpus[i % corpus.len()]` concurrently through
+/// one engine (one thread per session, chunked feeds) and assert every
+/// summary equals its solo replay. Returns the engine for stats checks.
+fn run_sessions(
+    config: EngineConfig,
+    corpus: &[String],
+    sessions: usize,
+    chunk: usize,
+) -> Arc<ServeEngine> {
+    let solo: Vec<_> = corpus
+        .iter()
+        .map(|t| solo_summary(t).expect("corpus traces parse"))
+        .collect();
+    let engine = ServeEngine::new(config);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let trace = &corpus[i % corpus.len()];
+                scope.spawn(move || {
+                    let mut ingest = SessionIngest::new(engine);
+                    for c in trace.as_bytes().chunks(chunk) {
+                        ingest.feed(c).expect("feed");
+                    }
+                    (i, ingest.finish().expect("finish"))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (i, served) = h.join().expect("session thread");
+            let expected = &solo[i % corpus.len()];
+            assert_eq!(
+                &served,
+                expected,
+                "session {i} (corpus trace {}) diverged from solo sync replay",
+                i % corpus.len()
+            );
+            // The JSON layer preserves the equality byte-for-byte.
+            assert_eq!(
+                summary_to_json(i as u64, &served),
+                summary_to_json(i as u64, expected)
+            );
+        }
+    });
+    engine
+}
+
+#[test]
+fn concurrent_sessions_match_solo_replay_at_any_worker_count() {
+    let corpus = corpus();
+    for threads in [1, 2, 4] {
+        let engine = run_sessions(
+            EngineConfig {
+                check_threads: Some(threads),
+                global_page_budget: None,
+            },
+            &corpus,
+            corpus.len(),
+            311, // prime chunk size: every session splits lines mid-byte
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.sessions_finished, corpus.len() as u64);
+        assert_eq!(stats.sessions_evicted, 0, "no budget, no eviction");
+    }
+}
+
+#[test]
+fn sixty_four_sessions_over_one_pool() {
+    let corpus = corpus();
+    let engine = run_sessions(
+        EngineConfig {
+            check_threads: Some(2),
+            global_page_budget: None,
+        },
+        &corpus,
+        64,
+        1024,
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.sessions_finished, 64);
+    // Cross-session label sharing must have fired: 64 sessions over a
+    // handful of distinct traces re-present the same labels constantly.
+    assert!(
+        stats.labels_shared > stats.labels_unique,
+        "labels shared {} vs unique {}",
+        stats.labels_shared,
+        stats.labels_unique
+    );
+    assert!(
+        stats.peak_resident_pages > 0,
+        "finished sessions retain shadow"
+    );
+}
+
+#[test]
+fn global_budget_evicts_idle_sessions_without_changing_races() {
+    let corpus = corpus();
+    // Baseline: unlimited retention, to learn the corpus's real page load.
+    let unlimited = run_sessions(
+        EngineConfig {
+            check_threads: Some(2),
+            global_page_budget: None,
+        },
+        &corpus,
+        16,
+        512,
+    );
+    let full = unlimited.stats().resident_pages;
+    assert!(
+        full > 0,
+        "corpus must produce shadow pages to make the test meaningful"
+    );
+
+    // A budget of a quarter of that forces evictions. run_sessions
+    // itself asserts every summary still equals solo replay — the
+    // budget provably cannot change any session's detected race set.
+    let budget = (full / 4).max(1);
+    let capped = run_sessions(
+        EngineConfig {
+            check_threads: Some(2),
+            global_page_budget: Some(budget as usize),
+        },
+        &corpus,
+        16,
+        512,
+    );
+    let stats = capped.stats();
+    assert!(
+        stats.sessions_evicted > 0,
+        "budget {budget} of {full} must evict"
+    );
+    assert!(stats.shadow_pages_evicted > 0);
+    assert!(
+        stats.resident_pages <= budget,
+        "resident {} exceeds budget {budget}",
+        stats.resident_pages
+    );
+    assert_eq!(stats.sessions_finished, 16);
+}
+
+#[test]
+fn socket_end_to_end_replies_with_solo_identical_json() {
+    use cusan_serve::{check_traces, serve_listener, Reply};
+    use std::net::{TcpListener, TcpStream};
+
+    let corpus = corpus();
+    let engine = ServeEngine::new(EngineConfig {
+        check_threads: Some(2),
+        global_page_budget: None,
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || serve_listener(engine, listener, Some(1)))
+    };
+
+    // One connection multiplexing every corpus trace, tiny interleaved
+    // chunks.
+    let traces: Vec<(u64, String)> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i as u64, t.clone()))
+        .collect();
+    let stream = TcpStream::connect(addr).unwrap();
+    let reader = stream.try_clone().unwrap();
+    let mut replies = check_traces(reader, stream, &traces, 173).unwrap();
+    server.join().unwrap().unwrap();
+
+    replies.sort_by_key(|r| match r {
+        Reply::Summary { id, .. } | Reply::Error { id, .. } => *id,
+    });
+    assert_eq!(replies.len(), corpus.len());
+    for (i, reply) in replies.iter().enumerate() {
+        let expected = summary_to_json(i as u64, &solo_summary(&corpus[i]).unwrap());
+        match reply {
+            Reply::Summary { id, json } => {
+                assert_eq!(*id, i as u64);
+                assert_eq!(*json, expected, "session {i} JSON diverged");
+            }
+            Reply::Error { id, message } => {
+                panic!("session {id} failed server-side: {message}")
+            }
+        }
+    }
+    assert_eq!(engine.stats().sessions_finished, corpus.len() as u64);
+}
+
+#[test]
+fn bad_streams_fail_cleanly_without_poisoning_the_engine() {
+    let engine = ServeEngine::new(EngineConfig::default());
+
+    // Garbage header.
+    let mut bad = SessionIngest::new(Arc::clone(&engine));
+    assert!(bad.feed(b"not a trace\n").is_err());
+
+    // Valid header, malformed body line.
+    let mut bad = SessionIngest::new(Arc::clone(&engine));
+    bad.feed(b"cusan-trace v2 rank 0 tiered 1 budget none\n")
+        .unwrap();
+    let err = bad.feed(b"rr zz 8 0\n").unwrap_err();
+    assert!(err.contains("bad hex number"), "got: {err}");
+
+    // Close without a header.
+    let empty = SessionIngest::new(Arc::clone(&engine));
+    assert!(empty.finish().is_err());
+
+    // The engine still checks good sessions afterwards.
+    let mut good = SessionIngest::new(Arc::clone(&engine));
+    good.feed(GOLDEN.as_bytes()).unwrap();
+    let summary = good.finish().unwrap();
+    assert_eq!(summary, solo_summary(GOLDEN).unwrap());
+    assert_eq!(engine.stats().sessions_finished, 1);
+}

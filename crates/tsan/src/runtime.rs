@@ -422,6 +422,7 @@ impl TsanRuntime {
         s.dropped_annotations = c.dropped_annotations;
         s.arena_pages_reused = c.arena_pages_reused;
         s.arena_slabs_allocated = c.arena_slabs_allocated;
+        s.arena_pages_evicted = c.arena_pages_evicted;
         s
     }
 
@@ -466,6 +467,16 @@ impl TsanRuntime {
     /// page was discarded.
     pub fn discard_shadow_page(&mut self, addr: u64) -> bool {
         self.shadow.discard_page(addr)
+    }
+
+    /// Evict the entire shadow — every page, plus the arena slabs once
+    /// nothing stays live — returning the number of pages evicted (see
+    /// [`crate::shadow::ShadowMemory::evict_all_pages`]). Reports, sync
+    /// state, and counters are untouched; only legal once no further
+    /// accesses will be recorded (a finished session), since eviction
+    /// forgets access history.
+    pub fn evict_shadow_pages(&mut self) -> usize {
+        self.shadow.evict_all_pages()
     }
 
     /// Approximate heap bytes owned by the detector: shadow pages, vector

@@ -139,6 +139,9 @@ pub struct ShadowCounters {
     /// Arena slabs allocated (logarithmic in unfolded page count thanks
     /// to geometric slab growth).
     pub arena_slabs_allocated: u64,
+    /// Arena page blocks returned to the free list by page discard or
+    /// whole-shadow eviction ([`ShadowMemory::evict_all_pages`]).
+    pub arena_pages_evicted: u64,
 }
 
 /// Pages in the first arena slab; subsequent slabs double up to
@@ -174,8 +177,12 @@ struct PageArena {
     /// Blocks already carved from the newest slab.
     carved: usize,
     next_slab_pages: usize,
+    /// Blocks handed out and not yet freed; when it hits zero the slabs
+    /// themselves can be released ([`Self::trim_if_idle`]).
+    live_blocks: usize,
     pages_reused: u64,
     slabs_allocated: u64,
+    pages_evicted: u64,
 }
 
 impl PageArena {
@@ -185,14 +192,17 @@ impl PageArena {
             free: Vec::new(),
             carved: 0,
             next_slab_pages: ARENA_FIRST_SLAB_PAGES,
+            live_blocks: 0,
             pages_reused: 0,
             slabs_allocated: 0,
+            pages_evicted: 0,
         }
     }
 
     /// Pop a block: recycled (stale contents!) or freshly carved
     /// (guaranteed all-zero). The bool is `true` for a fresh carve.
     fn pop(&mut self) -> (BlockId, bool) {
+        self.live_blocks += 1;
         if let Some(id) = self.free.pop() {
             self.pages_reused += 1;
             return (id, false);
@@ -255,7 +265,23 @@ impl PageArena {
     /// Return a block to the free list. The stale contents stay in place
     /// until the block is reallocated (and then overwritten/zeroed).
     fn free_block(&mut self, id: BlockId) {
+        self.live_blocks -= 1;
+        self.pages_evicted += 1;
         self.free.push(id);
+    }
+
+    /// Release the slabs themselves once no block is live. Plain per-page
+    /// discard deliberately does NOT trim — steady-state discard/unfold
+    /// cycles are exactly what the free list accelerates — but a finished
+    /// session's whole-shadow eviction must actually return the bytes
+    /// (the slab growth point is kept, so a resurrected arena re-grows
+    /// geometrically from where it left off).
+    fn trim_if_idle(&mut self) {
+        if self.live_blocks == 0 && !self.slabs.is_empty() {
+            self.slabs = Vec::new();
+            self.free = Vec::new();
+            self.carved = 0;
+        }
     }
 
     fn block(&self, id: BlockId) -> &[u64; SLOTS_PER_PAGE] {
@@ -498,6 +524,26 @@ impl ShadowMemory {
         true
     }
 
+    /// Forget *every* tracked page — a finished session's whole-shadow
+    /// eviction (the serve path's global-budget reclaim). Arena blocks
+    /// return to the free list and, with nothing left live, the slabs
+    /// themselves are released, so the evicted session's bytes actually
+    /// leave [`ShadowMemory::heap_bytes`] (per-page discard recycles
+    /// blocks but keeps slab memory charged for reuse). Returns the
+    /// number of pages evicted. Sound only when no further accesses will
+    /// be recorded: eviction forgets access history.
+    pub fn evict_all_pages(&mut self) -> usize {
+        let n = self.pages.len();
+        for (_, state) in self.pages.drain() {
+            if let PageState::Unfolded(PageSlots::Arena(id)) = state {
+                self.arena.free_block(id);
+            }
+        }
+        self.last = None;
+        self.arena.trim_if_idle();
+        n
+    }
+
     /// Cap the number of shadow pages. Once the budget is reached the
     /// shadow degrades to **counted best-effort mode**: accesses touching
     /// already-tracked pages keep full detection, but annotation chunks
@@ -520,6 +566,7 @@ impl ShadowMemory {
         let mut c = self.counters;
         c.arena_pages_reused = self.arena.pages_reused;
         c.arena_slabs_allocated = self.arena.slabs_allocated;
+        c.arena_pages_evicted = self.arena.pages_evicted;
         c
     }
 
@@ -1546,6 +1593,47 @@ mod tests {
                 "stale slot leaked into recycled zeroed block at word {w}"
             );
         }
+    }
+
+    #[test]
+    fn evict_all_pages_releases_slabs_and_counts() {
+        let mut sh = ShadowMemory::with_tiering(false);
+        let clk = VectorClock::new();
+        // 6 flat pages → 2 slabs (4 + 8).
+        sh.access_range(
+            0,
+            6 * PAGE_BYTES,
+            true,
+            fid(1),
+            1,
+            ctx(0),
+            &clk,
+            no_conflict_expected,
+        );
+        assert_eq!(sh.page_count(), 6);
+        assert!(sh.heap_bytes() > 0);
+
+        // Per-page discard recycles the block but keeps slab bytes
+        // charged (that's the free list working as intended).
+        assert!(sh.discard_page(0));
+        let bytes_after_discard = sh.heap_bytes();
+        assert!(bytes_after_discard >= 12 * (SLOTS_PER_PAGE as u64) * 8);
+        assert_eq!(sh.counters().arena_pages_evicted, 1);
+
+        // Whole-shadow eviction returns every block AND the slabs.
+        assert_eq!(sh.evict_all_pages(), 5);
+        assert_eq!(sh.page_count(), 0);
+        assert_eq!(sh.heap_bytes(), 0);
+        let c = sh.counters();
+        assert_eq!(c.arena_pages_evicted, 6);
+        assert_eq!(c.arena_slabs_allocated, 2);
+
+        // The arena still works after a trim (re-grows from scratch) and
+        // keeps cumulative counters.
+        sh.access_range(0, PAGE_BYTES, true, fid(1), 1, ctx(0), &clk, |_| {});
+        assert_eq!(sh.page_count(), 1);
+        assert_eq!(sh.counters().arena_slabs_allocated, 3);
+        assert!(sh.heap_bytes() > 0);
     }
 
     #[test]

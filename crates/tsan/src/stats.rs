@@ -63,6 +63,9 @@ pub struct TsanStats {
     /// Arena slabs allocated (geometric growth: 4 pages doubling to the
     /// cap, so this stays logarithmic in the unfolded page count).
     pub arena_slabs_allocated: u64,
+    /// Arena page blocks returned to the free list by page discard or
+    /// whole-shadow eviction (the serve path's global-budget reclaim).
+    pub arena_pages_evicted: u64,
 }
 
 impl TsanStats {
@@ -109,6 +112,7 @@ impl TsanStats {
             full_clock_joins: self.full_clock_joins + other.full_clock_joins,
             arena_pages_reused: self.arena_pages_reused + other.arena_pages_reused,
             arena_slabs_allocated: self.arena_slabs_allocated + other.arena_slabs_allocated,
+            arena_pages_evicted: self.arena_pages_evicted + other.arena_pages_evicted,
         }
     }
 }
