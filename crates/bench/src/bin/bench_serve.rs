@@ -117,6 +117,7 @@ fn main() {
         EngineConfig {
             check_threads: None,
             global_page_budget: Some(budget),
+            ..EngineConfig::default()
         },
     );
     let st = capped.stats();
@@ -125,6 +126,46 @@ fn main() {
         "budget {budget} of {full_pages} pages must evict"
     );
     assert!(st.resident_pages <= budget as u64);
+
+    // Spill pass: every session detaches mid-trace, gets spilled to disk
+    // under a zero live budget, then resumes, restores, and finishes —
+    // the crash-safe path's cost, with its summaries still asserted
+    // equal to solo replay.
+    let spill_dir = std::env::temp_dir().join(format!("cusan-bench-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    let spill_engine = ServeEngine::new(EngineConfig {
+        spill_dir: Some(spill_dir.clone()),
+        live_page_budget: Some(0),
+        ..EngineConfig::default()
+    });
+    let spill_started = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..sessions {
+            let engine = Arc::clone(&spill_engine);
+            let trace = &corpus[i % corpus.len()];
+            let expected = &solo[i % corpus.len()];
+            scope.spawn(move || {
+                let id = i as u64;
+                let bytes = trace.as_bytes();
+                let half = bytes.len() / 2;
+                engine.open_new(id).expect("open");
+                engine.feed(id, 0, &bytes[..half]).expect("feed head");
+                engine.detach(id); // zero live budget: spills idle sessions
+                engine.resume(id).expect("resume");
+                engine.feed(id, half as u64, &bytes[half..]).expect("feed tail");
+                let served = engine.close(id).expect("close");
+                assert_eq!(&served, expected, "session {i} diverged across spill");
+            });
+        }
+    });
+    let spill_time = spill_started.elapsed();
+    let sp = spill_engine.stats();
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    assert!(
+        sp.sessions_restored > 0,
+        "spill pass restored nothing (spilled {})",
+        sp.sessions_spilled
+    );
 
     let speedup = rel(solo_time, served_time);
     println!(
@@ -155,6 +196,15 @@ fn main() {
         "labels: {} unique / {} shared across sessions",
         st.labels_unique, st.labels_shared
     );
+    println!(
+        "spill pass: {:?} for {sessions} mid-trace spill/restore round trips \
+         (resumed {}, spilled {}, restored {}, dup bytes dropped {})",
+        spill_time,
+        sp.sessions_resumed,
+        sp.sessions_spilled,
+        sp.sessions_restored,
+        sp.duplicate_bytes_dropped
+    );
 
     // Hand-rolled JSON: the workspace is offline, so no serde.
     let json = format!(
@@ -164,7 +214,9 @@ fn main() {
          \"sessions_per_sec\": {:.1},\n  \"budget_pages\": {budget},\n  \
          \"unlimited_pages\": {full_pages},\n  \"sessions_evicted\": {},\n  \
          \"shadow_pages_evicted\": {},\n  \"peak_resident_pages\": {},\n  \
-         \"labels_unique\": {},\n  \"labels_shared\": {}\n}}\n",
+         \"labels_unique\": {},\n  \"labels_shared\": {},\n  \"spill_pass_ns\": {},\n  \
+         \"sessions_resumed\": {},\n  \"sessions_spilled\": {},\n  \
+         \"sessions_restored\": {},\n  \"duplicate_bytes_dropped\": {}\n}}\n",
         corpus.len(),
         solo_time.as_nanos(),
         served_time.as_nanos(),
@@ -174,6 +226,11 @@ fn main() {
         st.peak_resident_pages,
         st.labels_unique,
         st.labels_shared,
+        spill_time.as_nanos(),
+        sp.sessions_resumed,
+        sp.sessions_spilled,
+        sp.sessions_restored,
+        sp.duplicate_bytes_dropped,
     );
     let path =
         std::env::var("CUSAN_BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".into());

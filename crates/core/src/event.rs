@@ -195,6 +195,18 @@ impl CheckerSink {
         *self.ctx_map[idx].get_or_insert_with(|| rt.intern_ctx(strings.label(id)))
     }
 
+    /// The `StrId` → `CtxId` mapping filled so far (session snapshots
+    /// serialize it so a restored checker resolves contexts without
+    /// re-interning in a different order).
+    pub(crate) fn ctx_map(&self) -> &[Option<CtxId>] {
+        &self.ctx_map
+    }
+
+    /// Rebuild a checker around a snapshotted mapping.
+    pub(crate) fn from_ctx_map(ctx_map: Vec<Option<CtxId>>) -> Self {
+        CheckerSink { ctx_map }
+    }
+
     /// Apply one event to the detector.
     pub fn apply(&mut self, ev: &CusanEvent, strings: &CtxInterner, rt: &mut TsanRuntime) {
         match *ev {

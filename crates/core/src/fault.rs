@@ -91,6 +91,54 @@ impl FaultPlan {
     pub fn fires_at(&self, site: u64) -> bool {
         self.enabled() && splitmix64(self.seed ^ splitmix64(site)) % PPM < u64::from(self.rate_ppm)
     }
+
+    /// Deterministic *network*-fault decision for frame-write site
+    /// `site`: `None`, or which [`NetFault`] fires there. Fire/no-fire
+    /// reuses [`Self::fires_at`] (so a plan's overall fault density is
+    /// identical across API-fault and net-fault uses); the fault *kind*
+    /// is drawn by a second, independent hash so the mix of kinds does
+    /// not bias the firing schedule.
+    pub fn net_fault_at(&self, site: u64) -> Option<NetFault> {
+        if !self.fires_at(site) {
+            return None;
+        }
+        let k = splitmix64(self.seed.rotate_left(17) ^ splitmix64(site ^ NET_KIND_SALT));
+        Some(NetFault::ALL[(k % NetFault::ALL.len() as u64) as usize])
+    }
+}
+
+/// Salt separating the kind-hash domain from the fire-hash domain.
+const NET_KIND_SALT: u64 = 0x6E65_745F_6661_756C; // "net_faul"
+
+/// A socket-level fault the serve chaos harness injects at one
+/// frame-write site (the network analogue of an API-call fault).
+///
+/// Each kind exercises a different recovery path in `cusan-serve`:
+/// torn frames and disconnects force session resumption from the last
+/// acknowledged offset, stalls exercise the idle-session sweeper, and
+/// duplicate resumes exercise the at-most-once replay trimming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetFault {
+    /// Write only a prefix of the frame, then drop the connection (a
+    /// crash mid-`write`).
+    TornFrame,
+    /// Drop the connection cleanly between frames.
+    Disconnect,
+    /// Stall before the write long enough to look idle.
+    StalledWrite,
+    /// Replay the resume handshake and already-acknowledged frames (a
+    /// retransmit racing its own ack).
+    DuplicateResume,
+}
+
+impl NetFault {
+    /// Every injectable kind, in kind-hash draw order.
+    pub const ALL: [NetFault; 4] = [
+        NetFault::TornFrame,
+        NetFault::Disconnect,
+        NetFault::StalledWrite,
+        NetFault::DuplicateResume,
+    ];
 }
 
 /// `splitmix64` — the classic 64-bit finalizer-style mixer. Chosen for
@@ -138,6 +186,15 @@ impl FaultInjector {
         let site = self.site.get();
         self.site.set(site + 1);
         self.plan.fires_at(site).then_some(site)
+    }
+
+    /// Advance to the next site; returns the [`NetFault`] firing there,
+    /// if any. Shares the site counter with [`Self::next_site`] — one
+    /// injector numbers all its sites from a single sequence.
+    pub fn next_net_fault(&self) -> Option<NetFault> {
+        let site = self.site.get();
+        self.site.set(site + 1);
+        self.plan.net_fault_at(site)
     }
 }
 
@@ -214,6 +271,20 @@ mod tests {
         assert!(FaultPlan::parse("42:nan").is_err());
         assert!(FaultPlan::parse("42:1.5").is_err());
         assert!(FaultPlan::parse("42:-0.1").is_err());
+    }
+
+    #[test]
+    fn net_faults_follow_the_fire_schedule() {
+        let plan = FaultPlan::with_rate(11, 0.25);
+        for site in 0..2_000 {
+            let nf = plan.net_fault_at(site);
+            assert_eq!(nf.is_some(), plan.fires_at(site));
+            assert_eq!(nf, plan.net_fault_at(site), "kind draw is deterministic");
+        }
+        let kinds: std::collections::HashSet<NetFault> =
+            (0..2_000).filter_map(|s| plan.net_fault_at(s)).collect();
+        assert_eq!(kinds.len(), NetFault::ALL.len(), "every kind is drawn");
+        assert_eq!(FaultPlan::DISABLED.net_fault_at(0), None);
     }
 
     #[test]

@@ -51,8 +51,9 @@ pub use ctx::ToolCtx;
 pub use event::{
     CheckerSink, CtxInterner, CusanEvent, EventCounters, EventSink, FiberPredictor, StrId,
 };
-pub use fault::{FaultInjector, FaultPlan};
+pub use fault::{FaultInjector, FaultPlan, NetFault};
 pub use session::{CheckSession, SessionOptions, SessionSummary};
+pub use tsan_rt::SnapshotError;
 pub use trace::{
     replay, replay_stream, ReplayOutcome, Trace, TraceHeader, TraceLineParser, TraceReader,
     TraceRecord, TraceSink,

@@ -22,7 +22,16 @@ use std::sync::Arc;
 
 use crate::ctx::shadow_arena_env;
 use crate::event::{CheckerSink, CtxInterner, CusanEvent, EventCounters, StrId};
-use tsan_rt::{RaceReport, TsanRuntime, TsanStats};
+use tsan_rt::{
+    CtxId, RaceReport, SnapshotError, SnapshotReader, SnapshotWriter, TsanRuntime, TsanStats,
+};
+
+/// Magic prefix of a serialized [`CheckSession`] (distinct from the
+/// runtime-level `cusansnp` so the two blob kinds cannot be confused).
+pub const SESSION_SNAPSHOT_MAGIC: &[u8; 8] = b"cusanses";
+
+/// Version of the session snapshot layout.
+pub const SESSION_SNAPSHOT_VERSION: u32 = 1;
 
 /// Construction parameters for a [`CheckSession`] (mirrors the
 /// detector-relevant subset of [`crate::ToolConfig`] plus the trace
@@ -190,6 +199,161 @@ impl CheckSession {
             stats: self.rt.stats(),
             counters: self.counters.clone(),
         }
+    }
+
+    /// Serialize the complete session — interner, checker context map,
+    /// event counters, and the full detector runtime — into a
+    /// self-describing blob. The encoding is *canonical*: two sessions
+    /// with identical observable state produce identical bytes, and
+    /// `snapshot_bytes ∘ restore_bytes` is the identity on blobs. This
+    /// is what lets the serve path spill an **unfinished** session to
+    /// disk under memory pressure and later resume feeding it events
+    /// with bit-for-bit identical results (unlike
+    /// [`CheckSession::evict_shadow`], which forgets access history and
+    /// is only sound for finished sessions).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_raw(SESSION_SNAPSHOT_MAGIC);
+        w.put_u32(SESSION_SNAPSHOT_VERSION);
+        w.put_u64(self.rank as u64);
+        // Mirror interner, in id order (ids are dense: order is identity).
+        w.put_len(self.strings.len());
+        for i in 0..self.strings.len() {
+            w.put_str(self.strings.label(StrId(i as u32)));
+        }
+        // Checker StrId → CtxId map.
+        let ctx_map = self.checker.ctx_map();
+        w.put_len(ctx_map.len());
+        for entry in ctx_map {
+            match entry {
+                Some(ctx) => {
+                    w.put_bool(true);
+                    w.put_u32(ctx.0);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        // Event-stream counters: the 15 scalar fields in declared order,
+        // then the named rows (BTreeMap iteration is already sorted).
+        let c = &self.counters;
+        for v in [
+            c.fiber_creates,
+            c.fiber_destroys,
+            c.fiber_switches,
+            c.sync_switches,
+            c.happens_before,
+            c.happens_after,
+            c.read_range_calls,
+            c.write_range_calls,
+            c.read_bytes,
+            c.write_bytes,
+            c.allocs,
+            c.frees,
+            c.requests_begun,
+            c.requests_completed,
+            c.api_faults,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_len(c.named.len());
+        for (name, total) in &c.named {
+            w.put_str(name);
+            w.put_u64(*total);
+        }
+        // The detector runtime, inline (its own sections are canonical).
+        self.rt.write_snapshot(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuild a session from [`CheckSession::snapshot_bytes`] output.
+    pub fn restore_bytes(bytes: &[u8]) -> Result<CheckSession, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        if r.get_raw(SESSION_SNAPSHOT_MAGIC.len())? != SESSION_SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.get_u32()?;
+        if version != SESSION_SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let rank = r.get_u64()? as usize;
+        let n_labels = r.get_len()?;
+        let mut strings = CtxInterner::new();
+        for i in 0..n_labels {
+            let label = r.get_str()?;
+            let id = strings.intern(&label);
+            if id != StrId(i as u32) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate interner label {label:?}"
+                )));
+            }
+        }
+        let n_map = r.get_len()?;
+        if n_map > n_labels {
+            return Err(SnapshotError::Corrupt(format!(
+                "ctx map covers {n_map} ids but only {n_labels} labels exist"
+            )));
+        }
+        let mut ctx_map = Vec::with_capacity(n_map);
+        for _ in 0..n_map {
+            ctx_map.push(if r.get_bool()? {
+                Some(CtxId(r.get_u32()?))
+            } else {
+                None
+            });
+        }
+        let mut counters = EventCounters::default();
+        {
+            let c = &mut counters;
+            for field in [
+                &mut c.fiber_creates,
+                &mut c.fiber_destroys,
+                &mut c.fiber_switches,
+                &mut c.sync_switches,
+                &mut c.happens_before,
+                &mut c.happens_after,
+                &mut c.read_range_calls,
+                &mut c.write_range_calls,
+                &mut c.read_bytes,
+                &mut c.write_bytes,
+                &mut c.allocs,
+                &mut c.frees,
+                &mut c.requests_begun,
+                &mut c.requests_completed,
+                &mut c.api_faults,
+            ] {
+                *field = r.get_u64()?;
+            }
+            let n_named = r.get_len()?;
+            let mut last: Option<String> = None;
+            for _ in 0..n_named {
+                let name = r.get_str()?;
+                if last.as_deref() >= Some(name.as_str()) {
+                    return Err(SnapshotError::Corrupt(
+                        "named counters out of order".into(),
+                    ));
+                }
+                let total = r.get_u64()?;
+                c.named.insert(name.clone(), total);
+                last = Some(name);
+            }
+        }
+        let rt = TsanRuntime::read_snapshot(&mut r)?;
+        r.expect_end()?;
+        for entry in ctx_map.iter().flatten() {
+            if rt.ctx_label(*entry) == "<invalid>" {
+                return Err(SnapshotError::Corrupt(format!(
+                    "ctx map references unknown runtime ctx {}",
+                    entry.0
+                )));
+            }
+        }
+        Ok(CheckSession {
+            rank,
+            strings,
+            checker: CheckerSink::from_ctx_map(ctx_map),
+            counters,
+            rt,
+        })
     }
 
     /// Consume the session into its summary (moves the reports out

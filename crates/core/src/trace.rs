@@ -274,6 +274,19 @@ impl TraceLineParser {
         self.strings
     }
 
+    /// Body lines consumed so far (the serve spill format records this
+    /// so a restored parser keeps numbering errors like the original).
+    pub fn lineno(&self) -> usize {
+        self.lineno
+    }
+
+    /// Rebuild a parser mid-stream from a snapshotted string table and
+    /// line position — the inverse of [`Self::into_strings`] +
+    /// [`Self::lineno`], used when a spilled serve session is restored.
+    pub fn from_parts(strings: CtxInterner, lineno: usize) -> Self {
+        TraceLineParser { strings, lineno }
+    }
+
     /// Parse one body line (without its trailing newline). Returns
     /// `Ok(None)` for empty lines.
     pub fn parse_line(&mut self, line: &str) -> Result<Option<TraceRecord>, String> {

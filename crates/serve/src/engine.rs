@@ -2,34 +2,68 @@
 //!
 //! [`ServeEngine`] owns the process-wide pieces every served session
 //! shares — a private [`CheckerPool`], the [`SharedLabels`]
-//! canonicalization table, and the global shadow-page accounting. Each
-//! client stream gets a [`crate::SessionIngest`] that registers its own
-//! [`cusan::CheckSession`] with the pool; when the stream closes, the
-//! session's summary is snapshotted and the (now idle) session is
-//! *retained* so its warm shadow pages and reports stick around for
-//! post-hoc inspection.
+//! canonicalization table, the global shadow-page accounting, and (since
+//! the crash-safety work) the **live-session registry**: sessions belong
+//! to the engine, not to the connection that opened them. A connection
+//! *attaches* to a session (`O`/`R` frames) and *detaches* when it ends;
+//! the session itself survives until it is closed (`C`), swept as idle,
+//! or the process dies — and with a spill directory configured, even
+//! process death is survivable.
 //!
-//! ## The global budget
+//! ## The global budget (finished sessions)
 //!
-//! Retention is what the budget caps. `global_page_budget` bounds the
-//! total shadow pages held by retained finished sessions; when a newly
-//! finished session pushes the total over, the oldest retained sessions
-//! are evicted ([`cusan::CheckSession::evict_shadow`]) until the total
-//! fits again. Eviction is *sound by construction*: only finished
-//! sessions are candidates (a live session's shadow encodes access
-//! history the detector still needs), and every summary is snapshotted
-//! before its session becomes evictable — so the budget provably cannot
-//! change any session's detected race set, only the residency of its
-//! dead shadow pages. The determinism tests assert exactly this.
+//! `global_page_budget` bounds the total shadow pages held by retained
+//! *finished* sessions; when a newly finished session pushes the total
+//! over, the oldest retained sessions are evicted
+//! ([`cusan::CheckSession::evict_shadow`]) until the total fits again.
+//! Eviction is *sound by construction*: only finished sessions are
+//! candidates, and every summary is snapshotted before its session
+//! becomes evictable — so the budget provably cannot change any
+//! session's detected race set.
+//!
+//! ## The live budget (unfinished sessions): spill, don't evict
+//!
+//! An *unfinished* session's shadow pages encode access history the
+//! detector still needs, so they can never be evicted. They can,
+//! however, be **spilled**: `live_page_budget` bounds the shadow pages
+//! held by *detached* (idle) unfinished sessions, and when the total
+//! exceeds it the least-recently-touched ones are serialized to
+//! `spill_dir` ([`crate::SessionIngest::spill`]) and dropped from
+//! memory. The next frame for a spilled session transparently restores
+//! it; the spill codec is exact (canonical snapshots of the full
+//! detector state), so a spilled-and-restored session finishes with
+//! bit-for-bit the same summary as one that stayed resident — asserted
+//! by the differential tests and the chaos soak.
+//!
+//! ## Journals and restart recovery
+//!
+//! With `spill_dir` set, every accepted session byte is also appended to
+//! an on-disk journal before it is acknowledged. A restarted server
+//! ([`ServeEngine::recover`]) re-registers every journaled session as
+//! spilled; the first frame restores it from the latest spill (if any)
+//! plus the journal tail — or replays the whole journal when the
+//! process died before ever spilling. Clients learn the recovered acked
+//! offset from the `R` handshake and replay the rest.
 
+use crate::ingest::SessionIngest;
 use crate::labels::SharedLabels;
 use cusan::{CheckSession, CheckerPool, SessionSummary};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+use tsan_rt::{SnapshotReader, SnapshotWriter};
+
+/// Magic prefix of an on-disk session spill file.
+const SPILL_MAGIC: &[u8; 8] = b"cusanspl";
+/// Version of the spill-file layout.
+const SPILL_VERSION: u32 = 1;
 
 /// Engine-wide configuration.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Explicit checker-pool worker count (`None`: size from hardware,
     /// exactly like [`cusan::ToolConfig::check_threads`]).
@@ -37,14 +71,27 @@ pub struct EngineConfig {
     /// Global cap on shadow pages retained across *finished* sessions
     /// (`None`: retain everything).
     pub global_page_budget: Option<usize>,
+    /// Cap on shadow pages held by *detached unfinished* sessions;
+    /// beyond it the least-recently-touched are spilled to `spill_dir`
+    /// (`None`, or no `spill_dir`: never spill under pressure).
+    pub live_page_budget: Option<usize>,
+    /// Cap on concurrently open (unfinished) sessions; opens beyond it
+    /// get a typed capacity error (`None`: unlimited).
+    pub max_sessions: Option<usize>,
+    /// Directory for session spill files and byte journals (`None`:
+    /// spilling and restart recovery disabled).
+    pub spill_dir: Option<PathBuf>,
+    /// Detached sessions idle longer than this are expired by
+    /// [`ServeEngine::sweep_idle`] (`None`: never expire).
+    pub idle_timeout: Option<Duration>,
 }
 
 /// Engine observability counters (a snapshot; see [`ServeEngine::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Sessions opened (header accepted).
+    /// Sessions opened (fresh `O`/`R` accepted).
     pub sessions_opened: u64,
-    /// Sessions finished (stream closed, summary snapshotted).
+    /// Sessions finished (closed, summary snapshotted).
     pub sessions_finished: u64,
     /// Finished sessions whose shadow pages were evicted under the
     /// global budget.
@@ -59,6 +106,64 @@ pub struct ServeStats {
     pub labels_unique: u64,
     /// Label interns served from the shared table (avoided copies).
     pub labels_shared: u64,
+    /// `R` attaches to an already-existing session (reconnects).
+    pub sessions_resumed: u64,
+    /// Unfinished sessions serialized to disk under the live budget.
+    pub sessions_spilled: u64,
+    /// Spilled/journaled sessions transparently restored on a frame.
+    pub sessions_restored: u64,
+    /// Detached sessions expired by the idle sweeper.
+    pub sessions_expired: u64,
+    /// Already-accepted bytes re-delivered by clients and dropped by
+    /// the offset check (exactly-once enforcement).
+    pub duplicate_bytes_dropped: u64,
+}
+
+/// Feeding a session can fail recoverably (the client is ahead of the
+/// acked offset — it should resync via `R`/`H` and replay) or fatally
+/// (the trace itself is malformed — the session is dead).
+#[derive(Debug)]
+pub enum FeedError {
+    /// The frame starts beyond the accepted prefix: bytes are missing.
+    Gap {
+        /// Bytes accepted so far (the offset the next frame must start at).
+        expected: u64,
+        /// Offset the rejected frame started at.
+        got: u64,
+    },
+    /// Parse/protocol failure; the session has been dropped.
+    Fatal(String),
+}
+
+impl std::fmt::Display for FeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedError::Gap { expected, got } => {
+                write!(f, "offset gap: expected {expected}, frame starts at {got}")
+            }
+            FeedError::Fatal(e) => f.write_str(e),
+        }
+    }
+}
+
+/// Where a live session's state currently is.
+enum LiveState {
+    /// In memory, registered with the checker pool.
+    Resident(Box<SessionIngest>),
+    /// On disk (spilled under pressure, or journaled by a previous
+    /// process); the next frame restores it.
+    Spilled,
+}
+
+/// One unfinished session in the registry.
+struct LiveSession {
+    state: LiveState,
+    /// Session-stream bytes accepted so far (the resume offset).
+    acked: u64,
+    /// Connections currently attached (sweep/spill only touch 0).
+    attach_count: usize,
+    /// Last frame/attach/detach, for idle expiry and spill ordering.
+    last_touch: Instant,
 }
 
 /// A finished session retained for its warm shadow pages. The checker
@@ -79,6 +184,11 @@ struct EngineState {
     sessions_finished: u64,
     sessions_evicted: u64,
     shadow_pages_evicted: u64,
+    sessions_resumed: u64,
+    sessions_spilled: u64,
+    sessions_restored: u64,
+    sessions_expired: u64,
+    duplicate_bytes_dropped: u64,
     summaries: Vec<SessionSummary>,
 }
 
@@ -88,18 +198,67 @@ pub struct ServeEngine {
     config: EngineConfig,
     labels: SharedLabels,
     state: Mutex<EngineState>,
+    /// The live-session registry. Per-session mutexes keep one slow
+    /// session's feed from serializing every other connection; the
+    /// outer lock covers only map shape changes and lookups.
+    live: Mutex<HashMap<u64, Arc<Mutex<LiveSession>>>>,
+    /// Self-reference so `&self` methods can hand fresh ingests the
+    /// `Arc` they hold (engines only exist inside an `Arc`).
+    me: Weak<ServeEngine>,
 }
 
 impl ServeEngine {
     /// Engine with a private checker pool (never the global one: a serve
     /// process pins its own worker policy).
     pub fn new(config: EngineConfig) -> Arc<ServeEngine> {
-        Arc::new(ServeEngine {
+        if let Some(dir) = &config.spill_dir {
+            // Best-effort: feed/spill report real errors with context.
+            let _ = fs::create_dir_all(dir);
+        }
+        Arc::new_cyclic(|me| ServeEngine {
             pool: CheckerPool::new(),
             config,
             labels: SharedLabels::new(),
             state: Mutex::new(EngineState::default()),
+            live: Mutex::new(HashMap::new()),
+            me: me.clone(),
         })
+    }
+
+    /// [`ServeEngine::new`], then re-register every session whose spill
+    /// file or journal survives in `spill_dir` — the restarted-server
+    /// path. Recovered sessions sit on disk until their first frame
+    /// (restore is lazy); their acked offset is the journal length, so
+    /// a resuming client replays exactly the lost tail.
+    pub fn recover(config: EngineConfig) -> std::io::Result<Arc<ServeEngine>> {
+        let engine = ServeEngine::new(config);
+        let Some(dir) = engine.config.spill_dir.clone() else {
+            return Ok(engine);
+        };
+        let mut live = engine.live.lock();
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            let Some(id) = name
+                .strip_prefix("session-")
+                .and_then(|n| n.strip_suffix(".journal"))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let acked = fs::metadata(&path)?.len();
+            live.insert(
+                id,
+                Arc::new(Mutex::new(LiveSession {
+                    state: LiveState::Spilled,
+                    acked,
+                    attach_count: 0,
+                    last_touch: Instant::now(),
+                })),
+            );
+        }
+        drop(live);
+        Ok(engine)
     }
 
     /// The engine's configuration.
@@ -117,7 +276,354 @@ impl ServeEngine {
         &self.labels
     }
 
-    /// Record a session open (header accepted).
+    /// Unfinished sessions currently registered (resident or spilled).
+    pub fn live_sessions(&self) -> usize {
+        self.live.lock().len()
+    }
+
+    fn spill_path(&self, id: u64) -> Option<PathBuf> {
+        self.config
+            .spill_dir
+            .as_ref()
+            .map(|d| d.join(format!("session-{id}.spill")))
+    }
+
+    fn journal_path(&self, id: u64) -> Option<PathBuf> {
+        self.config
+            .spill_dir
+            .as_ref()
+            .map(|d| d.join(format!("session-{id}.journal")))
+    }
+
+    fn remove_disk_state(&self, id: u64) {
+        if let Some(p) = self.spill_path(id) {
+            let _ = fs::remove_file(p);
+        }
+        if let Some(p) = self.journal_path(id) {
+            let _ = fs::remove_file(p);
+        }
+    }
+
+    /// Open a brand-new session attached to the calling connection.
+    pub fn open_new(&self, id: u64) -> Result<(), String> {
+        let mut live = self.live.lock();
+        if live.contains_key(&id) {
+            return Err("session id already open".to_string());
+        }
+        if self
+            .config
+            .max_sessions
+            .is_some_and(|max| live.len() >= max)
+        {
+            return Err("server at session capacity".to_string());
+        }
+        live.insert(
+            id,
+            Arc::new(Mutex::new(LiveSession {
+                state: LiveState::Resident(Box::new(SessionIngest::new(self.self_arc()))),
+                acked: 0,
+                attach_count: 1,
+                last_touch: Instant::now(),
+            })),
+        );
+        drop(live);
+        self.state.lock().sessions_opened += 1;
+        Ok(())
+    }
+
+    /// Attach to session `id`, creating it if unknown (the `R` frame).
+    /// Returns the acked byte offset the client must resume from.
+    pub fn resume(&self, id: u64) -> Result<u64, String> {
+        if let Some(sess) = self.lookup(id) {
+            let mut s = sess.lock();
+            s.attach_count += 1;
+            s.last_touch = Instant::now();
+            let acked = s.acked;
+            drop(s);
+            self.state.lock().sessions_resumed += 1;
+            return Ok(acked);
+        }
+        self.open_new(id).map(|()| 0)
+    }
+
+    /// Touch session `id` (the `H` frame, and duplicate `R`s): refresh
+    /// its idle clock, report the acked offset.
+    pub fn touch(&self, id: u64) -> Result<u64, String> {
+        let sess = self.lookup(id).ok_or("session not open")?;
+        let mut s = sess.lock();
+        s.last_touch = Instant::now();
+        Ok(s.acked)
+    }
+
+    fn lookup(&self, id: u64) -> Option<Arc<Mutex<LiveSession>>> {
+        self.live.lock().get(&id).map(Arc::clone)
+    }
+
+    /// The engine's own `Arc` (ingests hold one). Always upgradable:
+    /// engines only exist inside the `Arc` built by [`ServeEngine::new`],
+    /// and `&self` proves at least one strong reference is live.
+    fn self_arc(&self) -> Arc<ServeEngine> {
+        self.me.upgrade().expect("engine outlived its own Arc")
+    }
+
+    /// Feed `chunk` at stream `offset` into session `id`, restoring it
+    /// from disk first if it was spilled. Returns the new acked offset.
+    ///
+    /// The offset check turns at-least-once socket delivery into
+    /// exactly-once detector delivery: duplicates (whole or partial) are
+    /// dropped or prefix-trimmed, gaps are recoverable errors.
+    pub fn feed(&self, id: u64, offset: u64, chunk: &[u8]) -> Result<u64, FeedError> {
+        let sess = self
+            .lookup(id)
+            .ok_or_else(|| FeedError::Fatal("session not open".to_string()))?;
+        let mut s = sess.lock();
+        s.last_touch = Instant::now();
+        let acked = s.acked;
+        // Offset reconciliation before any expensive work.
+        let chunk = if offset == acked {
+            chunk
+        } else if offset.saturating_add(chunk.len() as u64) <= acked {
+            // Entirely already accepted: a retransmit racing its ack.
+            self.state.lock().duplicate_bytes_dropped += chunk.len() as u64;
+            return Ok(acked);
+        } else if offset < acked {
+            // Overlapping prefix already accepted: trim it.
+            let dup = (acked - offset) as usize;
+            self.state.lock().duplicate_bytes_dropped += dup as u64;
+            &chunk[dup..]
+        } else {
+            return Err(FeedError::Gap {
+                expected: acked,
+                got: offset,
+            });
+        };
+        self.ensure_resident(id, &mut s)
+            .map_err(FeedError::Fatal)?;
+        // Journal before feeding: a byte must never be acked (and thus
+        // skipped by a resuming client) unless a restarted server can
+        // re-derive it from disk.
+        if let Some(path) = self.journal_path(id) {
+            fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(chunk))
+                .map_err(|e| FeedError::Fatal(format!("journal {}: {e}", path.display())))?;
+        }
+        let LiveState::Resident(ingest) = &mut s.state else {
+            unreachable!("ensure_resident restored the session");
+        };
+        match ingest.feed(chunk) {
+            Ok(()) => {
+                s.acked += chunk.len() as u64;
+                Ok(s.acked)
+            }
+            Err(e) => {
+                drop(s);
+                self.drop_session(id);
+                Err(FeedError::Fatal(e))
+            }
+        }
+    }
+
+    /// Close session `id`: restore it if spilled, finish it, retain it
+    /// as a finished session, and clear its disk state.
+    pub fn close(&self, id: u64) -> Result<SessionSummary, String> {
+        let sess = {
+            let mut live = self.live.lock();
+            live.remove(&id).ok_or("session not open")?
+        };
+        let mut s = sess.lock();
+        self.ensure_resident(id, &mut s)?;
+        let state = std::mem::replace(&mut s.state, LiveState::Spilled);
+        drop(s);
+        self.remove_disk_state(id);
+        let LiveState::Resident(ingest) = state else {
+            unreachable!("ensure_resident restored the session");
+        };
+        ingest.finish()
+    }
+
+    /// Detach one connection from session `id` (connection end, clean or
+    /// not). The session stays registered; if the live budget is now
+    /// exceeded, idle sessions are spilled.
+    pub fn detach(&self, id: u64) {
+        if let Some(sess) = self.lookup(id) {
+            let mut s = sess.lock();
+            s.attach_count = s.attach_count.saturating_sub(1);
+            s.last_touch = Instant::now();
+        }
+        self.enforce_live_budget();
+    }
+
+    /// Restore a spilled session in place (no-op when resident).
+    fn ensure_resident(&self, id: u64, s: &mut LiveSession) -> Result<(), String> {
+        if matches!(s.state, LiveState::Resident(_)) {
+            return Ok(());
+        }
+        let engine = self.self_arc();
+        let spill_path = self.spill_path(id).ok_or("spilled without a spill dir")?;
+        let (mut ingest, restored_to) = match fs::read(&spill_path) {
+            Ok(blob) => {
+                let (acked_at_spill, ingest_blob) =
+                    decode_spill_file(&blob).map_err(|e| format!("{}: {e}", spill_path.display()))?;
+                let ingest = SessionIngest::restore(engine, &ingest_blob)?;
+                (ingest, acked_at_spill)
+            }
+            // No spill file: the journal alone (a crash before any
+            // spill) rebuilds the session from byte zero.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                (SessionIngest::new(engine), 0)
+            }
+            Err(e) => return Err(format!("{}: {e}", spill_path.display())),
+        };
+        // Replay the journal tail the spill predates.
+        if restored_to < s.acked {
+            let journal_path = self.journal_path(id).ok_or("journaling disabled")?;
+            let journal = fs::read(&journal_path)
+                .map_err(|e| format!("{}: {e}", journal_path.display()))?;
+            if (journal.len() as u64) < s.acked {
+                return Err(format!(
+                    "journal holds {} of {} acked bytes",
+                    journal.len(),
+                    s.acked
+                ));
+            }
+            ingest.feed(&journal[restored_to as usize..s.acked as usize])?;
+        }
+        s.state = LiveState::Resident(Box::new(ingest));
+        self.state.lock().sessions_restored += 1;
+        Ok(())
+    }
+
+    /// Spill session `id` to disk if it is registered, resident, and
+    /// detached. Returns whether it was spilled. Public for tests and
+    /// operational tooling; budget pressure calls it internally.
+    pub fn spill_session(&self, id: u64) -> Result<bool, String> {
+        let spill_path = match self.spill_path(id) {
+            Some(p) => p,
+            None => return Ok(false),
+        };
+        let Some(sess) = self.lookup(id) else {
+            return Ok(false);
+        };
+        let mut s = sess.lock();
+        if s.attach_count > 0 || matches!(s.state, LiveState::Spilled) {
+            return Ok(false);
+        }
+        let LiveState::Resident(ingest) = std::mem::replace(&mut s.state, LiveState::Spilled)
+        else {
+            unreachable!("checked resident above");
+        };
+        let acked = s.acked;
+        match ingest.spill() {
+            Ok(blob) => {
+                let file = encode_spill_file(acked, &blob);
+                fs::write(&spill_path, file)
+                    .map_err(|e| format!("{}: {e}", spill_path.display()))?;
+                drop(s);
+                self.state.lock().sessions_spilled += 1;
+                Ok(true)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Spill least-recently-touched detached sessions until their total
+    /// shadow-page residency fits `live_page_budget`.
+    fn enforce_live_budget(&self) {
+        let Some(budget) = self.config.live_page_budget else {
+            return;
+        };
+        if self.config.spill_dir.is_none() {
+            return;
+        }
+        // Snapshot candidates without holding the registry lock across
+        // session locks.
+        let entries: Vec<(u64, Arc<Mutex<LiveSession>>)> = self
+            .live
+            .lock()
+            .iter()
+            .map(|(id, s)| (*id, Arc::clone(s)))
+            .collect();
+        let mut idle: Vec<(Instant, u64, usize)> = Vec::new();
+        let mut total = 0usize;
+        for (id, sess) in &entries {
+            let s = sess.lock();
+            if let LiveState::Resident(ingest) = &s.state {
+                if s.attach_count == 0 {
+                    let pages = ingest.resident_pages();
+                    total += pages;
+                    idle.push((s.last_touch, *id, pages));
+                }
+            }
+        }
+        if total <= budget {
+            return;
+        }
+        idle.sort_by_key(|(touch, id, _)| (*touch, *id));
+        for (_, id, pages) in idle {
+            if total <= budget {
+                break;
+            }
+            match self.spill_session(id) {
+                Ok(true) => total -= pages,
+                Ok(false) => {}
+                Err(e) => eprintln!("cusan-serve: spilling session {id}: {e}"),
+            }
+        }
+    }
+
+    /// Expire detached sessions idle longer than the configured timeout
+    /// (their disk state is removed too — an expired session is gone).
+    /// Returns how many were expired. No-op without an `idle_timeout`.
+    pub fn sweep_idle(&self) -> usize {
+        let Some(timeout) = self.config.idle_timeout else {
+            return 0;
+        };
+        let now = Instant::now();
+        let expired: Vec<u64> = {
+            let live = self.live.lock();
+            live.iter()
+                .filter(|(_, sess)| {
+                    let s = sess.lock();
+                    s.attach_count == 0 && now.duration_since(s.last_touch) >= timeout
+                })
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        let mut n = 0;
+        for id in expired {
+            // Re-check under the lock: a frame may have attached since.
+            let removed = {
+                let mut live = self.live.lock();
+                let still_idle = live.get(&id).is_some_and(|sess| {
+                    let s = sess.lock();
+                    s.attach_count == 0 && now.duration_since(s.last_touch) >= timeout
+                });
+                if still_idle {
+                    live.remove(&id)
+                } else {
+                    None
+                }
+            };
+            if removed.is_some() {
+                self.remove_disk_state(id);
+                self.state.lock().sessions_expired += 1;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Drop a session without finishing it (fatal feed errors).
+    fn drop_session(&self, id: u64) {
+        self.live.lock().remove(&id);
+        self.remove_disk_state(id);
+    }
+
+    /// Record a session open (header accepted). Retained for the ingest
+    /// paths that bypass the registry (`check` offline mode, tests).
     pub(crate) fn note_open(&self) {
         self.state.lock().sessions_opened += 1;
     }
@@ -163,6 +669,11 @@ impl ServeEngine {
             peak_resident_pages: st.peak_resident_pages as u64,
             labels_unique: self.labels.unique(),
             labels_shared: self.labels.shared(),
+            sessions_resumed: st.sessions_resumed,
+            sessions_spilled: st.sessions_spilled,
+            sessions_restored: st.sessions_restored,
+            sessions_expired: st.sessions_expired,
+            duplicate_bytes_dropped: st.duplicate_bytes_dropped,
         }
     }
 
@@ -170,4 +681,29 @@ impl ServeEngine {
     pub fn summaries(&self) -> Vec<SessionSummary> {
         self.state.lock().summaries.clone()
     }
+}
+
+fn encode_spill_file(acked: u64, ingest_blob: &[u8]) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.put_raw(SPILL_MAGIC);
+    w.put_u32(SPILL_VERSION);
+    w.put_u64(acked);
+    w.put_bytes(ingest_blob);
+    w.into_bytes()
+}
+
+fn decode_spill_file(bytes: &[u8]) -> Result<(u64, Vec<u8>), String> {
+    let mut r = SnapshotReader::new(bytes);
+    let err = |e: tsan_rt::SnapshotError| format!("corrupt spill file: {e}");
+    if r.get_raw(SPILL_MAGIC.len()).map_err(err)? != SPILL_MAGIC {
+        return Err("corrupt spill file: bad magic".to_string());
+    }
+    let version = r.get_u32().map_err(err)?;
+    if version != SPILL_VERSION {
+        return Err(format!("unsupported spill version {version}"));
+    }
+    let acked = r.get_u64().map_err(err)?;
+    let blob = r.get_bytes().map_err(err)?;
+    r.expect_end().map_err(err)?;
+    Ok((acked, blob.to_vec()))
 }

@@ -16,10 +16,11 @@
 
 use crate::engine::ServeEngine;
 use cusan::{
-    AsyncChecker, CheckSession, SessionOptions, SessionSummary, TraceHeader, TraceLineParser,
-    TraceRecord,
+    AsyncChecker, CheckSession, CtxInterner, SessionOptions, SessionSummary, StrId, TraceHeader,
+    TraceLineParser, TraceRecord,
 };
 use std::sync::Arc;
+use tsan_rt::{SnapshotReader, SnapshotWriter};
 
 enum IngestState {
     /// Nothing parsed yet: the next complete line must be the header.
@@ -109,6 +110,92 @@ impl SessionIngest {
             }
             IngestState::Done => Err("session already closed".to_string()),
         }
+    }
+
+    /// Resident shadow pages of the session under check (0 before the
+    /// header arrives). Drains the checker first so the answer reflects
+    /// every byte fed — budget decisions made on it are deterministic.
+    pub fn resident_pages(&self) -> usize {
+        match &self.state {
+            IngestState::Body { checker, .. } => checker.with_session(|s| s.shadow_pages()),
+            _ => 0,
+        }
+    }
+
+    /// Spill this *unfinished* ingest to a compact byte blob: the full
+    /// detector state ([`CheckSession::snapshot_bytes`]), the parser's
+    /// string table and line position, and the buffered partial line.
+    /// The checker is drained first, so the blob captures every byte
+    /// ever fed; [`SessionIngest::restore`] rebuilds an ingest that
+    /// continues bit-for-bit identically to one that was never spilled.
+    /// Consumes the ingest — its pool registration is released, which is
+    /// the point: spilling frees the session's entire memory footprint.
+    pub fn spill(mut self) -> Result<Vec<u8>, String> {
+        let mut w = SnapshotWriter::new();
+        match std::mem::replace(&mut self.state, IngestState::Done) {
+            IngestState::Done => return Err("session already closed".to_string()),
+            IngestState::AwaitHeader => {
+                w.put_u8(0);
+                w.put_bytes(&self.pending);
+            }
+            IngestState::Body { checker, parser } => {
+                w.put_u8(1);
+                w.put_bytes(&self.pending);
+                w.put_u64(parser.lineno() as u64);
+                let strings = parser.strings();
+                w.put_len(strings.len());
+                for i in 0..strings.len() {
+                    w.put_str(strings.label(StrId(i as u32)));
+                }
+                let session_blob = checker.with_session(|s| s.snapshot_bytes());
+                w.put_bytes(&session_blob);
+            }
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Rebuild an ingest from [`SessionIngest::spill`] output, re-registering
+    /// with `engine`'s pool. The restored ingest accepts the byte stream
+    /// exactly where the spilled one left off.
+    pub fn restore(engine: Arc<ServeEngine>, blob: &[u8]) -> Result<Self, String> {
+        let mut r = SnapshotReader::new(blob);
+        let err = |e: tsan_rt::SnapshotError| format!("corrupt session spill: {e}");
+        let tag = r.get_u8().map_err(err)?;
+        let pending = r.get_bytes().map_err(err)?;
+        let state = match tag {
+            0 => IngestState::AwaitHeader,
+            1 => {
+                let lineno = r.get_u64().map_err(err)? as usize;
+                let n_labels = r.get_len().map_err(err)?;
+                let mut strings = CtxInterner::new();
+                for i in 0..n_labels {
+                    let label = r.get_str().map_err(err)?;
+                    if strings.intern(&label) != StrId(i as u32) {
+                        return Err(format!(
+                            "corrupt session spill: duplicate parser label {label:?}"
+                        ));
+                    }
+                }
+                let session_blob = r.get_bytes().map_err(err)?;
+                let session = CheckSession::restore_bytes(&session_blob).map_err(err)?;
+                let checker = AsyncChecker::with_pool(
+                    Arc::clone(engine.pool()),
+                    session,
+                    engine.config().check_threads,
+                );
+                IngestState::Body {
+                    checker,
+                    parser: TraceLineParser::from_parts(strings, lineno),
+                }
+            }
+            t => return Err(format!("corrupt session spill: unknown state tag {t}")),
+        };
+        r.expect_end().map_err(err)?;
+        Ok(SessionIngest {
+            engine,
+            pending: pending.to_vec(),
+            state,
+        })
     }
 
     /// Close the stream: drain the checker, snapshot the summary, and

@@ -24,18 +24,32 @@
 //! identical to a solo synchronous replay of the same trace, at any
 //! worker count. The determinism tests and the `selftest` binary mode
 //! assert this for ≥ 64 concurrent sessions.
+//!
+//! Since the crash-safety work, that contract extends to *failures*:
+//! sessions are owned by the engine and survive their connections (the
+//! `R` resume op reattaches and replays from the last acked offset),
+//! unfinished idle sessions can be spilled to disk and transparently
+//! restored, and a restarted server recovers in-flight sessions from
+//! its spill directory. The [`chaos`] harness drives all of it with
+//! seeded socket-level fault schedules and asserts the summaries stay
+//! byte-identical to solo replay. See `DESIGN.md`, "Failure model &
+//! resumption".
 
+pub mod chaos;
+pub mod client;
 pub mod engine;
 pub mod ingest;
 pub mod json;
 pub mod labels;
 pub mod proto;
 
-pub use engine::{EngineConfig, ServeEngine, ServeStats};
+pub use chaos::{chaos_serve, ChaosOptions, ChaosReport};
+pub use client::{check_traces_resilient, RetryPolicy};
+pub use engine::{EngineConfig, FeedError, ServeEngine, ServeStats};
 pub use ingest::SessionIngest;
 pub use json::summary_to_json;
 pub use labels::SharedLabels;
-pub use proto::{check_traces, serve_connection, Reply};
+pub use proto::{check_traces, serve_connection, FrameError, Reply};
 
 use cusan::{CheckSession, SessionOptions, SessionSummary, TraceReader, TraceRecord};
 use std::io::BufReader;

@@ -2,15 +2,27 @@
 //!
 //! ```text
 //! cusan-serve listen <addr> [--check-threads N] [--global-budget P]
+//!                    [--max-sessions N] [--spill-dir DIR]
+//!                    [--live-budget P] [--idle-timeout-ms MS]
 //! cusan-serve check <trace-file>... [--check-threads N] [--global-budget P]
+//!                    [--serve ADDR] [--retries N] [--backoff-ms MS] [--chunk B]
 //! cusan-serve selftest [--sessions N] [--connections C] [--fixture PATH]
 //!                      [--check-threads N] [--global-budget P] [--json PATH]
+//! cusan-serve chaos [--seeds N] [--base-seed S] [--rate R] [--restart-rate R]
+//!                   [--sessions N] [--chunk B] [--live-budget P] [--json PATH]
 //! ```
 //!
 //! * `listen` — serve the frame protocol (see [`cusan_serve::proto`]) on
-//!   a TCP address until killed.
-//! * `check` — offline mode: check each trace file through the engine
-//!   and print one summary JSON line per file.
+//!   a TCP address until killed. `--max-sessions` bounds concurrently
+//!   open sessions (excess opens get a typed `E` reply); `--spill-dir`
+//!   enables journaling, live-session spilling (forced under
+//!   `--live-budget`), and restart recovery; `--idle-timeout-ms` starts
+//!   a sweeper that expires detached idle sessions.
+//! * `check` — check each trace file and print one summary JSON line per
+//!   file. Offline through an in-process engine by default; with
+//!   `--serve ADDR` the traces stream to a remote server through the
+//!   resilient client (resume on disconnect, `--retries` attempts,
+//!   capped exponential backoff from `--backoff-ms`).
 //! * `selftest` — end-to-end proof: spin up a listener on a loopback
 //!   port, stream `--sessions` concurrent sessions (the golden TeaLeaf
 //!   fixture plus freshly generated chaos-twin traces, interleaved in
@@ -21,15 +33,21 @@
 //!   Writes a `BENCH_serve_selftest.json` throughput record (the
 //!   `bench_serve` bin owns `BENCH_serve.json`); exits non-zero on any
 //!   mismatch. This is the `serve-smoke` CI job.
+//! * `chaos` — the failure-mode proof ([`cusan_serve::chaos`]): for each
+//!   of `--seeds` seeded schedules, run the full corpus through a real
+//!   endpoint under injected torn frames, disconnects, stalls, duplicate
+//!   resumes, and server restarts (recovering from the spill directory),
+//!   asserting every summary stays byte-identical to solo replay. This
+//!   is the `serve-chaos-smoke` CI job.
 
 use cusan_serve::{
-    check_traces, serve_listener, solo_summary, summary_to_json, EngineConfig, Reply, ServeEngine,
-    SessionIngest,
+    chaos_serve, check_traces, check_traces_resilient, serve_listener, solo_summary,
+    summary_to_json, ChaosOptions, EngineConfig, Reply, RetryPolicy, ServeEngine, SessionIngest,
 };
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The golden TeaLeaf trace recorded by the repo's fixture generator
 /// (`tests/data/`): the known-good baseline every selftest run checks.
@@ -45,6 +63,17 @@ struct Options {
     check_threads: Option<usize>,
     global_budget: Option<usize>,
     json_path: String,
+    max_sessions: Option<usize>,
+    spill_dir: Option<String>,
+    live_budget: Option<usize>,
+    idle_timeout_ms: Option<u64>,
+    serve_addr: Option<String>,
+    retries: u64,
+    backoff_ms: u64,
+    seeds: u64,
+    base_seed: u64,
+    rate: f64,
+    restart_rate: f64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -60,6 +89,17 @@ fn parse_args() -> Result<Options, String> {
         check_threads: None,
         global_budget: None,
         json_path: "BENCH_serve_selftest.json".to_string(),
+        max_sessions: None,
+        spill_dir: None,
+        live_budget: None,
+        idle_timeout_ms: None,
+        serve_addr: None,
+        retries: 16,
+        backoff_ms: 10,
+        seeds: 32,
+        base_seed: 1,
+        rate: 0.05,
+        restart_rate: 0.25,
     };
     let mut i = 1;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -77,6 +117,17 @@ fn parse_args() -> Result<Options, String> {
             "--check-threads" => o.check_threads = Some(num(&value(&mut i)?)?),
             "--global-budget" => o.global_budget = Some(num(&value(&mut i)?)?),
             "--json" => o.json_path = value(&mut i)?,
+            "--max-sessions" => o.max_sessions = Some(num(&value(&mut i)?)?),
+            "--spill-dir" => o.spill_dir = Some(value(&mut i)?),
+            "--live-budget" => o.live_budget = Some(num(&value(&mut i)?)?),
+            "--idle-timeout-ms" => o.idle_timeout_ms = Some(num(&value(&mut i)?)? as u64),
+            "--serve" => o.serve_addr = Some(value(&mut i)?),
+            "--retries" => o.retries = num(&value(&mut i)?)? as u64,
+            "--backoff-ms" => o.backoff_ms = num(&value(&mut i)?)? as u64,
+            "--seeds" => o.seeds = num(&value(&mut i)?)? as u64,
+            "--base-seed" => o.base_seed = num(&value(&mut i)?)? as u64,
+            "--rate" => o.rate = fnum(&value(&mut i)?)?,
+            "--restart-rate" => o.restart_rate = fnum(&value(&mut i)?)?,
             other => o.files.push(other.to_string()),
         }
         i += 1;
@@ -89,14 +140,28 @@ fn num(s: &str) -> Result<usize, String> {
         .map_err(|e| format!("bad number {s:?}: {e}"))
 }
 
+fn fnum(s: &str) -> Result<f64, String> {
+    let v = s
+        .parse::<f64>()
+        .map_err(|e| format!("bad rate {s:?}: {e}"))?;
+    if !(0.0..=1.0).contains(&v) {
+        return Err(format!("rate {v} outside [0, 1]"));
+    }
+    Ok(v)
+}
+
 fn usage() -> String {
-    "usage: cusan-serve <listen <addr> | check <file>... | selftest> [options]".to_string()
+    "usage: cusan-serve <listen <addr> | check <file>... | selftest | chaos> [options]".to_string()
 }
 
 fn engine_config(o: &Options) -> EngineConfig {
     EngineConfig {
         check_threads: o.check_threads,
         global_page_budget: o.global_budget,
+        live_page_budget: o.live_budget,
+        max_sessions: o.max_sessions,
+        spill_dir: o.spill_dir.as_ref().map(std::path::PathBuf::from),
+        idle_timeout: o.idle_timeout_ms.map(Duration::from_millis),
     }
 }
 
@@ -112,6 +177,7 @@ fn main() -> ExitCode {
         "listen" => run_listen(&o),
         "check" => run_check(&o),
         "selftest" => run_selftest(&o),
+        "chaos" => run_chaos(&o),
         _ => Err(usage()),
     };
     match r {
@@ -128,13 +194,29 @@ fn run_listen(o: &Options) -> Result<(), String> {
     let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
     eprintln!("cusan-serve: listening on {local}");
-    let engine = ServeEngine::new(engine_config(o));
+    let config = engine_config(o);
+    // `recover`, not `new`: a restarted server resumes every session its
+    // previous incarnation journaled (a no-op without --spill-dir).
+    let engine = ServeEngine::recover(config).map_err(|e| format!("recovering spill dir: {e}"))?;
+    if let Some(ms) = o.idle_timeout_ms {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(ms.clamp(10, 1_000)));
+            let n = engine.sweep_idle();
+            if n > 0 {
+                eprintln!("cusan-serve: expired {n} idle sessions");
+            }
+        });
+    }
     serve_listener(engine, listener, None).map_err(|e| e.to_string())
 }
 
 fn run_check(o: &Options) -> Result<(), String> {
     if o.files.is_empty() {
         return Err("check needs at least one trace file".to_string());
+    }
+    if let Some(addr) = &o.serve_addr {
+        return run_check_remote(o, addr);
     }
     let engine = ServeEngine::new(engine_config(o));
     for (i, path) in o.files.iter().enumerate() {
@@ -146,6 +228,122 @@ fn run_check(o: &Options) -> Result<(), String> {
         let summary = ingest.finish().map_err(|e| format!("{path}: {e}"))?;
         println!("{}", summary_to_json(i as u64, &summary));
     }
+    Ok(())
+}
+
+/// `check --serve ADDR`: stream the trace files to a remote server
+/// through the resilient client, surviving disconnects and server
+/// restarts along the way.
+fn run_check_remote(o: &Options, addr: &str) -> Result<(), String> {
+    let traces: Vec<(u64, String)> = o
+        .files
+        .iter()
+        .enumerate()
+        .map(|(i, path)| {
+            std::fs::read_to_string(path)
+                .map(|t| (i as u64, t))
+                .map_err(|e| format!("{path}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let policy = RetryPolicy {
+        max_attempts: o.retries.max(1),
+        backoff_base: Duration::from_millis(o.backoff_ms),
+        ..RetryPolicy::default()
+    };
+    let injector = cusan::FaultInjector::new(cusan::FaultPlan::DISABLED);
+    let replies = check_traces_resilient(
+        |_attempt| TcpStream::connect(addr),
+        &traces,
+        o.chunk,
+        &injector,
+        &policy,
+    )
+    .map_err(|e| format!("{addr}: {e}"))?;
+    let mut failed = 0usize;
+    for reply in replies {
+        match reply {
+            Reply::Summary { json, .. } => println!("{json}"),
+            Reply::Error { id, message } => {
+                eprintln!("cusan-serve: session {id} failed: {message}");
+                failed += 1;
+            }
+            Reply::Ack { .. } => {}
+        }
+    }
+    if failed > 0 {
+        return Err(format!("{failed} of {} traces failed", o.files.len()));
+    }
+    Ok(())
+}
+
+/// The chaos sweep: one full scenario per seed, all of which must hold
+/// the byte-identical-summary oracle.
+fn run_chaos(o: &Options) -> Result<(), String> {
+    let corpus_texts = selftest_corpus(o)?;
+    let sessions = if o.sessions == 0 { corpus_texts.len() } else { o.sessions };
+    let corpus: Vec<(u64, String)> = (0..sessions)
+        .map(|i| (i as u64, corpus_texts[i % corpus_texts.len()].clone()))
+        .collect();
+    let copts = ChaosOptions {
+        fault_rate: o.rate,
+        restart_rate: o.restart_rate,
+        chunk: o.chunk,
+        live_page_budget: o.live_budget.or(Some(0)),
+        check_threads: o.check_threads,
+    };
+    let started = Instant::now();
+    let (mut connects, mut restarts, mut fired) = (0u64, 0u64, 0u64);
+    let (mut resumed, mut spilled, mut restored, mut dup_bytes) = (0u64, 0u64, 0u64, 0u64);
+    for seed in o.base_seed..o.base_seed + o.seeds {
+        let report = chaos_serve(seed, &corpus, &copts)?;
+        println!(
+            "seed {seed}: {} sessions ok under {} faults / {} connects / {} restarts \
+             (resumed {}, spilled {}, restored {}, dup bytes dropped {})",
+            report.sessions,
+            report.faults_fired,
+            report.connects,
+            report.restarts,
+            report.stats.sessions_resumed,
+            report.stats.sessions_spilled,
+            report.stats.sessions_restored,
+            report.stats.duplicate_bytes_dropped,
+        );
+        connects += report.connects;
+        restarts += report.restarts;
+        fired += report.faults_fired;
+        resumed += report.stats.sessions_resumed;
+        spilled += report.stats.sessions_spilled;
+        restored += report.stats.sessions_restored;
+        dup_bytes += report.stats.duplicate_bytes_dropped;
+    }
+    let elapsed = started.elapsed();
+    println!(
+        "chaos: {} seeds x {} sessions survived {fired} injected faults and \
+         {restarts} server restarts in {elapsed:?}; every summary byte-identical to solo replay",
+        o.seeds,
+        corpus.len(),
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_chaos\",\n  \"seeds\": {},\n  \"base_seed\": {},\n  \
+         \"sessions\": {},\n  \"fault_rate\": {},\n  \"restart_rate\": {},\n  \
+         \"wall_ns\": {},\n  \"faults_fired\": {fired},\n  \"connects\": {connects},\n  \
+         \"restarts\": {restarts},\n  \"sessions_resumed\": {resumed},\n  \
+         \"sessions_spilled\": {spilled},\n  \"sessions_restored\": {restored},\n  \
+         \"duplicate_bytes_dropped\": {dup_bytes},\n  \"mismatches\": 0\n}}\n",
+        o.seeds,
+        o.base_seed,
+        corpus.len(),
+        o.rate,
+        o.restart_rate,
+        elapsed.as_nanos(),
+    );
+    let path = if o.json_path == "BENCH_serve_selftest.json" {
+        "BENCH_serve_chaos.json"
+    } else {
+        o.json_path.as_str()
+    };
+    std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote {path}");
     Ok(())
 }
 
@@ -234,11 +432,15 @@ fn run_selftest(o: &Options) -> Result<(), String> {
     // Every session must come back as a summary byte-identical to its
     // solo sync replay.
     replies.sort_by_key(|r| match r {
-        Reply::Summary { id, .. } | Reply::Error { id, .. } => *id,
+        Reply::Summary { id, .. } | Reply::Error { id, .. } | Reply::Ack { id, .. } => *id,
     });
     let mut mismatches = 0usize;
     for reply in &replies {
         match reply {
+            Reply::Ack { id, .. } => {
+                eprintln!("session {id}: stray ack counted as a reply");
+                mismatches += 1;
+            }
             Reply::Error { id, message } => {
                 eprintln!("session {id}: server error: {message}");
                 mismatches += 1;
@@ -301,7 +503,7 @@ fn run_selftest(o: &Options) -> Result<(), String> {
                     + c.requests_completed
                     + c.api_faults
             }
-            Reply::Error { .. } => 0,
+            Reply::Error { .. } | Reply::Ack { .. } => 0,
         })
         .sum();
     let secs = elapsed.as_secs_f64().max(1e-9);

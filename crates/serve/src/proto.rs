@@ -8,34 +8,56 @@
 //!
 //! | opcode | payload | direction | meaning |
 //! |---|---|---|---|
-//! | `O` | id | → | open session `id` |
-//! | `D` | id + chunk | → | append trace bytes to session `id` |
+//! | `O` | id | → | open session `id` (must be new) |
+//! | `R` | id | → | resume session `id` (attach; created if unknown) |
+//! | `D` | id + offset + chunk | → | trace bytes at byte `offset` |
+//! | `H` | id | → | heartbeat: keep the idle session alive |
 //! | `C` | id | → | close session `id`, requesting its summary |
 //! | `Q` | — | → | finish the connection |
+//! | `A` | id + acked | ← | ack: bytes accepted so far (reply to `R`/`H`) |
 //! | `S` | id + JSON | ← | summary reply for a closed session |
-//! | `E` | id + message | ← | per-session error (session is dropped) |
+//! | `E` | id + message | ← | per-session error |
 //!
 //! Chunk boundaries are arbitrary (mid-line splits are fine); frames of
 //! one session are ordered, frames of different sessions interleave
 //! freely. Checking runs concurrently with ingestion — the reply to `C`
 //! is only assembled after the session's event stream has fully drained
 //! through the checker pool.
+//!
+//! ## Failure model
+//!
+//! `D` frames carry the session-stream byte offset of their first byte,
+//! and the server acks (via `A` replies to `R`/`H`) the total bytes it
+//! has accepted. A client that loses its connection reconnects, sends
+//! `R`, learns the server's `acked` offset, and replays from there —
+//! bytes the server already holds are dropped (or prefix-trimmed) by the
+//! offset check, so at-least-once delivery over the socket becomes
+//! exactly-once delivery into the detector. A session outlives its
+//! connection: disconnects *detach* it (the engine keeps or spills it),
+//! only `C` or idle expiry ends it. See `DESIGN.md`, "Failure model &
+//! resumption".
 
-use crate::engine::ServeEngine;
-use crate::ingest::SessionIngest;
+use crate::engine::{FeedError, ServeEngine};
 use crate::json::summary_to_json;
-use std::collections::HashMap;
+use std::collections::HashSet;
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 /// Open a session (client → server).
 pub const OP_OPEN: u8 = b'O';
-/// Trace bytes for a session (client → server).
+/// Resume (attach to) a session, creating it if unknown (client → server).
+pub const OP_RESUME: u8 = b'R';
+/// Trace bytes for a session at an explicit stream offset (client → server).
 pub const OP_DATA: u8 = b'D';
+/// Heartbeat: touch an idle session (client → server).
+pub const OP_HEARTBEAT: u8 = b'H';
 /// Close a session and request its summary (client → server).
 pub const OP_CLOSE: u8 = b'C';
 /// End the connection (client → server).
 pub const OP_QUIT: u8 = b'Q';
+/// Acked-offset reply to `R`/`H` (server → client).
+pub const OP_ACK: u8 = b'A';
 /// Summary reply (server → client).
 pub const OP_SUMMARY: u8 = b'S';
 /// Per-session error reply (server → client).
@@ -45,6 +67,69 @@ pub const OP_ERROR: u8 = b'E';
 /// (the codec must not let a corrupt length prefix allocate gigabytes).
 pub const MAX_FRAME: usize = 16 << 20;
 
+/// A typed frame-codec error. Earlier versions folded all of these into
+/// raw `io::Error`s (and silently returned `None` for a torn length
+/// prefix, indistinguishable from a clean EOF); the chaos harness needs
+/// to tell "the peer closed between frames" from "the peer died
+/// mid-frame", so the codec names each failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The length prefix claims more than [`MAX_FRAME`] bytes.
+    Oversized {
+        /// The claimed payload length.
+        len: usize,
+    },
+    /// EOF after 1–3 bytes of the 4-byte length prefix — a frame was
+    /// torn mid-header. (Zero bytes is a clean EOF, not an error.)
+    TruncatedLength {
+        /// Prefix bytes received before EOF.
+        got: usize,
+    },
+    /// EOF before the announced payload arrived in full.
+    TruncatedPayload {
+        /// Payload bytes received before EOF.
+        got: usize,
+        /// Payload bytes the length prefix announced.
+        want: usize,
+    },
+    /// The underlying transport failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::TruncatedLength { got } => {
+                write!(f, "stream ended after {got} of 4 length-prefix bytes")
+            }
+            FrameError::TruncatedPayload { got, want } => {
+                write!(f, "stream ended after {got} of {want} payload bytes")
+            }
+            FrameError::Io(e) => write!(f, "frame transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
 /// Write one frame.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len())
@@ -53,23 +138,41 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.write_all(payload)
 }
 
-/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+/// Read exactly `buf.len()` bytes, reporting how many arrived if the
+/// stream ends early (`read_exact` erases that count, and the torn-frame
+/// diagnosis needs it).
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, io::Error> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary. A
+/// partial length prefix, a partial payload, and an oversized length
+/// are each distinct typed errors — never conflated with clean EOF.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
     let mut len = [0u8; 4];
-    match r.read_exact(&mut len) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    match read_full(r, &mut len)? {
+        0 => return Ok(None),
+        4 => {}
+        got => return Err(FrameError::TruncatedLength { got }),
     }
     let len = u32::from_be_bytes(len) as usize;
     if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
-        ));
+        return Err(FrameError::Oversized { len });
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    let got = read_full(r, &mut payload)?;
+    if got < len {
+        return Err(FrameError::TruncatedPayload { got, want: len });
+    }
     Ok(Some(payload))
 }
 
@@ -86,9 +189,24 @@ pub fn open_frame(id: u64) -> Vec<u8> {
     frame_with_id(OP_OPEN, id, &[])
 }
 
-/// A `D` frame.
-pub fn data_frame(id: u64, chunk: &[u8]) -> Vec<u8> {
-    frame_with_id(OP_DATA, id, chunk)
+/// An `R` frame.
+pub fn resume_frame(id: u64) -> Vec<u8> {
+    frame_with_id(OP_RESUME, id, &[])
+}
+
+/// A `D` frame: `chunk` starts at session-stream byte `offset`.
+pub fn data_frame(id: u64, offset: u64, chunk: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(17 + chunk.len());
+    f.push(OP_DATA);
+    f.extend_from_slice(&id.to_be_bytes());
+    f.extend_from_slice(&offset.to_be_bytes());
+    f.extend_from_slice(chunk);
+    f
+}
+
+/// An `H` frame.
+pub fn heartbeat_frame(id: u64) -> Vec<u8> {
+    frame_with_id(OP_HEARTBEAT, id, &[])
 }
 
 /// A `C` frame.
@@ -112,9 +230,28 @@ fn parse_id(payload: &[u8]) -> io::Result<(u64, &[u8])> {
     Ok((id, &payload[9..]))
 }
 
+fn parse_data(payload: &[u8]) -> io::Result<(u64, u64, &[u8])> {
+    let (id, rest) = parse_id(payload)?;
+    if rest.len() < 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "data frame too short for a stream offset",
+        ));
+    }
+    let offset = u64::from_be_bytes(rest[..8].try_into().expect("8-byte offset"));
+    Ok((id, offset, &rest[8..]))
+}
+
 /// A reply frame read back on the client side.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
+    /// `A`: bytes accepted so far for a resumed/heartbeated session.
+    Ack {
+        /// The client-chosen session id.
+        id: u64,
+        /// Session-stream bytes the server has accepted.
+        acked: u64,
+    },
     /// `S`: the session's summary JSON.
     Summary {
         /// The client-chosen session id.
@@ -122,7 +259,7 @@ pub enum Reply {
         /// Single-line summary JSON.
         json: String,
     },
-    /// `E`: the session failed; it has been dropped server-side.
+    /// `E`: the session failed server-side.
     Error {
         /// The client-chosen session id.
         id: u64,
@@ -134,10 +271,22 @@ pub enum Reply {
 /// Parse a server reply frame (client side).
 pub fn parse_reply(payload: &[u8]) -> io::Result<Reply> {
     let (id, body) = parse_id(payload)?;
-    let text = String::from_utf8_lossy(body).into_owned();
     match payload[0] {
-        OP_SUMMARY => Ok(Reply::Summary { id, json: text }),
-        OP_ERROR => Ok(Reply::Error { id, message: text }),
+        OP_ACK => {
+            let acked = body
+                .try_into()
+                .map(u64::from_be_bytes)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "malformed ack body"))?;
+            Ok(Reply::Ack { id, acked })
+        }
+        OP_SUMMARY => Ok(Reply::Summary {
+            id,
+            json: String::from_utf8_lossy(body).into_owned(),
+        }),
+        OP_ERROR => Ok(Reply::Error {
+            id,
+            message: String::from_utf8_lossy(body).into_owned(),
+        }),
         op => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unexpected reply opcode {op:#x}"),
@@ -145,16 +294,35 @@ pub fn parse_reply(payload: &[u8]) -> io::Result<Reply> {
     }
 }
 
-/// Serve one connection until `Q` or EOF. Sessions opened on this
-/// connection and never closed are dropped without a reply (their
-/// checkers drain and unregister on drop; nothing is retained).
+fn ack_frame(id: u64, acked: u64) -> Vec<u8> {
+    frame_with_id(OP_ACK, id, &acked.to_be_bytes())
+}
+
+/// Serve one connection until `Q` or EOF. Sessions are owned by the
+/// engine, not the connection: when the connection ends (cleanly or
+/// not), every session it attached is *detached* — kept alive for a
+/// later resume — rather than dropped. `C` is the only frame that ends
+/// a session.
 pub fn serve_connection<R: Read, W: Write>(
     engine: &Arc<ServeEngine>,
     reader: &mut R,
     writer: &mut W,
 ) -> io::Result<()> {
-    let mut sessions: HashMap<u64, SessionIngest> = HashMap::new();
-    while let Some(payload) = read_frame(reader)? {
+    let mut mine: HashSet<u64> = HashSet::new();
+    let result = serve_frames(engine, reader, writer, &mut mine);
+    for id in mine {
+        engine.detach(id);
+    }
+    result
+}
+
+fn serve_frames<R: Read, W: Write>(
+    engine: &Arc<ServeEngine>,
+    reader: &mut R,
+    writer: &mut W,
+    mine: &mut HashSet<u64>,
+) -> io::Result<()> {
+    while let Some(payload) = read_frame(reader).map_err(io::Error::from)? {
         let Some(&op) = payload.first() else {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "empty frame"));
         };
@@ -162,33 +330,62 @@ pub fn serve_connection<R: Read, W: Write>(
             OP_QUIT => break,
             OP_OPEN => {
                 let (id, _) = parse_id(&payload)?;
-                if sessions.contains_key(&id) {
-                    write_frame(
-                        writer,
-                        &frame_with_id(OP_ERROR, id, b"session id already open"),
-                    )?;
-                    continue;
+                match engine.open_new(id) {
+                    Ok(()) => {
+                        mine.insert(id);
+                    }
+                    Err(e) => write_frame(writer, &frame_with_id(OP_ERROR, id, e.as_bytes()))?,
                 }
-                sessions.insert(id, SessionIngest::new(Arc::clone(engine)));
+            }
+            OP_RESUME => {
+                let (id, _) = parse_id(&payload)?;
+                // A duplicate resume on the same connection (a client
+                // retransmit racing its own ack) is a touch, not a
+                // second attach.
+                let r = if mine.contains(&id) {
+                    engine.touch(id)
+                } else {
+                    engine.resume(id).inspect(|_| {
+                        mine.insert(id);
+                    })
+                };
+                match r {
+                    Ok(acked) => write_frame(writer, &ack_frame(id, acked))?,
+                    Err(e) => write_frame(writer, &frame_with_id(OP_ERROR, id, e.as_bytes()))?,
+                }
+                writer.flush()?;
+            }
+            OP_HEARTBEAT => {
+                let (id, _) = parse_id(&payload)?;
+                match engine.touch(id) {
+                    Ok(acked) => write_frame(writer, &ack_frame(id, acked))?,
+                    Err(e) => write_frame(writer, &frame_with_id(OP_ERROR, id, e.as_bytes()))?,
+                }
+                writer.flush()?;
             }
             OP_DATA => {
-                let (id, chunk) = parse_id(&payload)?;
-                let Some(ingest) = sessions.get_mut(&id) else {
-                    write_frame(writer, &frame_with_id(OP_ERROR, id, b"session not open"))?;
-                    continue;
-                };
-                if let Err(e) = ingest.feed(chunk) {
-                    sessions.remove(&id);
-                    write_frame(writer, &frame_with_id(OP_ERROR, id, e.as_bytes()))?;
+                let (id, offset, chunk) = parse_data(&payload)?;
+                match engine.feed(id, offset, chunk) {
+                    Ok(_) => {}
+                    Err(FeedError::Gap { expected, got }) => {
+                        // The session is intact — the client can learn
+                        // `expected` from an `R`/`H` and replay.
+                        let msg =
+                            format!("offset gap: expected {expected}, frame starts at {got}");
+                        write_frame(writer, &frame_with_id(OP_ERROR, id, msg.as_bytes()))?;
+                        writer.flush()?;
+                    }
+                    Err(FeedError::Fatal(e)) => {
+                        mine.remove(&id);
+                        write_frame(writer, &frame_with_id(OP_ERROR, id, e.as_bytes()))?;
+                        writer.flush()?;
+                    }
                 }
             }
             OP_CLOSE => {
                 let (id, _) = parse_id(&payload)?;
-                let Some(ingest) = sessions.remove(&id) else {
-                    write_frame(writer, &frame_with_id(OP_ERROR, id, b"session not open"))?;
-                    continue;
-                };
-                match ingest.finish() {
+                mine.remove(&id);
+                match engine.close(id) {
                     Ok(summary) => {
                         let json = summary_to_json(id, &summary);
                         write_frame(writer, &frame_with_id(OP_SUMMARY, id, json.as_bytes()))?;
@@ -216,7 +413,8 @@ pub fn serve_connection<R: Read, W: Write>(
 /// `writer` are the two halves of one duplex connection (for TCP, the
 /// stream and its `try_clone`); writing runs on a separate thread so a
 /// summary-heavy server can never deadlock against an unread reply
-/// backlog.
+/// backlog. For the disconnect-surviving variant, see
+/// [`crate::client::check_traces_resilient`].
 pub fn check_traces<R, W>(
     mut reader: R,
     mut writer: W,
@@ -234,15 +432,18 @@ where
             for (id, _) in traces {
                 write_frame(&mut writer, &open_frame(*id))?;
             }
-            let mut cursors: Vec<(u64, &[u8])> =
-                traces.iter().map(|(id, t)| (*id, t.as_bytes())).collect();
-            while cursors.iter().any(|(_, rest)| !rest.is_empty()) {
-                for (id, rest) in &mut cursors {
+            let mut cursors: Vec<(u64, u64, &[u8])> = traces
+                .iter()
+                .map(|(id, t)| (*id, 0u64, t.as_bytes()))
+                .collect();
+            while cursors.iter().any(|(_, _, rest)| !rest.is_empty()) {
+                for (id, sent, rest) in &mut cursors {
                     if rest.is_empty() {
                         continue;
                     }
                     let take = chunk.min(rest.len());
-                    write_frame(&mut writer, &data_frame(*id, &rest[..take]))?;
+                    write_frame(&mut writer, &data_frame(*id, *sent, &rest[..take]))?;
+                    *sent += take as u64;
                     *rest = &rest[take..];
                 }
             }
@@ -254,7 +455,7 @@ where
         });
         let mut replies = Vec::with_capacity(expected);
         while replies.len() < expected {
-            match read_frame(&mut reader)? {
+            match read_frame(&mut reader).map_err(io::Error::from)? {
                 Some(payload) => replies.push(parse_reply(&payload)?),
                 None => {
                     return Err(io::Error::new(
@@ -270,4 +471,95 @@ where
         send.join().expect("client sender panicked")?;
         Ok(replies)
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_eof_is_none_not_an_error() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty), Ok(None)));
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &data_frame(7, 42, b"hello")).unwrap();
+        write_frame(&mut buf, &quit_frame()).unwrap();
+        let mut r: &[u8] = &buf;
+        let first = read_frame(&mut r).unwrap().unwrap();
+        let (id, offset, chunk) = parse_data(&first).unwrap();
+        assert_eq!((id, offset, chunk), (7, 42, &b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![OP_QUIT]);
+        assert!(matches!(read_frame(&mut r), Ok(None)));
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_a_typed_error() {
+        // 1–3 bytes of length prefix then EOF: a torn frame header, not
+        // a clean EOF (the old codec silently returned Ok(None) here).
+        for got in 1..4usize {
+            let mut r: &[u8] = &[0u8; 4][..got];
+            match read_frame(&mut r) {
+                Err(FrameError::TruncatedLength { got: g }) => assert_eq!(g, got),
+                other => panic!("prefix of {got}: expected TruncatedLength, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_a_typed_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world").unwrap();
+        buf.truncate(buf.len() - 4);
+        let mut r: &[u8] = &buf;
+        match read_frame(&mut r) {
+            Err(FrameError::TruncatedPayload { got, want }) => {
+                assert_eq!((got, want), (7, 11));
+            }
+            other => panic!("expected TruncatedPayload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"junk");
+        let mut r: &[u8] = &buf;
+        match read_frame(&mut r) {
+            Err(FrameError::Oversized { len }) => assert_eq!(len, u32::MAX as usize),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // Exactly at the cap is fine (the payload just isn't there).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32).to_be_bytes());
+        let mut r: &[u8] = &buf;
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::TruncatedPayload { got: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn frame_errors_convert_to_io_invalid_data() {
+        let e: io::Error = FrameError::Oversized { len: 1 << 30 }.into();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        let inner = io::Error::new(io::ErrorKind::ConnectionReset, "reset");
+        let e: io::Error = FrameError::Io(inner).into();
+        assert_eq!(e.kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn ack_replies_parse() {
+        let f = ack_frame(9, 1234);
+        match parse_reply(&f).unwrap() {
+            Reply::Ack { id, acked } => assert_eq!((id, acked), (9, 1234)),
+            other => panic!("{other:?}"),
+        }
+        // Malformed ack body (wrong length) is an error.
+        assert!(parse_reply(&frame_with_id(OP_ACK, 9, b"xyz")).is_err());
+    }
 }

@@ -83,6 +83,7 @@ fn concurrent_sessions_match_solo_replay_at_any_worker_count() {
             EngineConfig {
                 check_threads: Some(threads),
                 global_page_budget: None,
+                ..EngineConfig::default()
             },
             &corpus,
             corpus.len(),
@@ -101,6 +102,7 @@ fn sixty_four_sessions_over_one_pool() {
         EngineConfig {
             check_threads: Some(2),
             global_page_budget: None,
+            ..EngineConfig::default()
         },
         &corpus,
         64,
@@ -130,6 +132,7 @@ fn global_budget_evicts_idle_sessions_without_changing_races() {
         EngineConfig {
             check_threads: Some(2),
             global_page_budget: None,
+            ..EngineConfig::default()
         },
         &corpus,
         16,
@@ -149,6 +152,7 @@ fn global_budget_evicts_idle_sessions_without_changing_races() {
         EngineConfig {
             check_threads: Some(2),
             global_page_budget: Some(budget as usize),
+            ..EngineConfig::default()
         },
         &corpus,
         16,
@@ -177,6 +181,7 @@ fn socket_end_to_end_replies_with_solo_identical_json() {
     let engine = ServeEngine::new(EngineConfig {
         check_threads: Some(2),
         global_page_budget: None,
+        ..EngineConfig::default()
     });
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
@@ -198,7 +203,7 @@ fn socket_end_to_end_replies_with_solo_identical_json() {
     server.join().unwrap().unwrap();
 
     replies.sort_by_key(|r| match r {
-        Reply::Summary { id, .. } | Reply::Error { id, .. } => *id,
+        Reply::Summary { id, .. } | Reply::Error { id, .. } | Reply::Ack { id, .. } => *id,
     });
     assert_eq!(replies.len(), corpus.len());
     for (i, reply) in replies.iter().enumerate() {
@@ -211,6 +216,7 @@ fn socket_end_to_end_replies_with_solo_identical_json() {
             Reply::Error { id, message } => {
                 panic!("session {id} failed server-side: {message}")
             }
+            Reply::Ack { id, .. } => panic!("session {id}: stray ack as terminal reply"),
         }
     }
     assert_eq!(engine.stats().sessions_finished, corpus.len() as u64);

@@ -1,0 +1,353 @@
+//! The crash-safety contracts of the serve path, piece by piece:
+//! offset-checked exactly-once delivery, typed capacity errors, idle
+//! expiry, spill/restore of unfinished sessions (the A/B differential),
+//! restart recovery from the journal, socket-level resumption, and
+//! canonical-label stability under session churn. The whole-system
+//! version of these properties — everything at once under seeded
+//! failure schedules — lives in `chaos_serve.rs`.
+
+use cusan_serve::proto::{
+    close_frame, data_frame, parse_reply, quit_frame, read_frame, resume_frame, write_frame,
+};
+use cusan_serve::{
+    serve_connection, serve_listener, solo_summary, summary_to_json, EngineConfig, FeedError,
+    Reply, ServeEngine,
+};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const GOLDEN: &str = include_str!("../../../tests/data/tealeaf_small.trace");
+
+/// A private scratch dir per test (no tempfile crate in this workspace).
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(name: &str) -> ScratchDir {
+        let p = std::env::temp_dir().join(format!("cusan-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).expect("create scratch dir");
+        ScratchDir(p)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn spilling_config(dir: &ScratchDir) -> EngineConfig {
+    EngineConfig {
+        check_threads: Some(2),
+        spill_dir: Some(dir.0.clone()),
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn offset_check_makes_delivery_exactly_once() {
+    let engine = ServeEngine::new(EngineConfig::default());
+    let bytes = GOLDEN.as_bytes();
+    engine.open_new(1).unwrap();
+
+    // In-order bytes append.
+    assert_eq!(engine.feed(1, 0, &bytes[..100]).unwrap(), 100);
+    // A full duplicate is dropped, not re-fed.
+    assert_eq!(engine.feed(1, 0, &bytes[..100]).unwrap(), 100);
+    // An overlapping retransmit is prefix-trimmed.
+    assert_eq!(engine.feed(1, 50, &bytes[50..150]).unwrap(), 150);
+    assert_eq!(engine.stats().duplicate_bytes_dropped, 150);
+    // A frame from the future is a recoverable gap, session intact.
+    match engine.feed(1, 300, &bytes[300..400]) {
+        Err(FeedError::Gap { expected, got }) => assert_eq!((expected, got), (150, 300)),
+        other => panic!("expected Gap, got {other:?}"),
+    }
+    assert_eq!(engine.feed(1, 150, &bytes[150..]).unwrap(), bytes.len() as u64);
+
+    // Despite duplicates, trims, and a gapped frame, the detector saw
+    // the stream exactly once.
+    let summary = engine.close(1).unwrap();
+    assert_eq!(summary, solo_summary(GOLDEN).unwrap());
+}
+
+#[test]
+fn session_capacity_is_a_graceful_typed_error() {
+    let engine = ServeEngine::new(EngineConfig {
+        max_sessions: Some(2),
+        ..EngineConfig::default()
+    });
+    engine.open_new(1).unwrap();
+    engine.open_new(2).unwrap();
+    assert_eq!(
+        engine.open_new(3).unwrap_err(),
+        "server at session capacity"
+    );
+    // Resuming an *unknown* session is an open and hits the cap too;
+    // resuming a live one does not.
+    assert_eq!(engine.resume(3).unwrap_err(), "server at session capacity");
+    assert_eq!(engine.resume(1).unwrap(), 0);
+    // Closing frees a slot.
+    let _ = engine.close(1);
+    engine.open_new(3).unwrap();
+
+    // Over the wire the cap is an `E` reply on that session — the
+    // connection (and its other sessions) keep working.
+    let engine = ServeEngine::new(EngineConfig {
+        max_sessions: Some(1),
+        ..EngineConfig::default()
+    });
+    let mut request = Vec::new();
+    write_frame(&mut request, &resume_frame(10)).unwrap();
+    write_frame(&mut request, &resume_frame(11)).unwrap();
+    write_frame(&mut request, &quit_frame()).unwrap();
+    let mut reply_bytes = Vec::new();
+    serve_connection(&engine, &mut request.as_slice(), &mut reply_bytes).unwrap();
+    let mut replies = Vec::new();
+    let mut r = reply_bytes.as_slice();
+    while let Some(payload) = read_frame(&mut r).unwrap() {
+        replies.push(parse_reply(&payload).unwrap());
+    }
+    assert_eq!(replies[0], Reply::Ack { id: 10, acked: 0 });
+    assert_eq!(
+        replies[1],
+        Reply::Error {
+            id: 11,
+            message: "server at session capacity".to_string()
+        }
+    );
+}
+
+#[test]
+fn detached_idle_sessions_expire() {
+    let engine = ServeEngine::new(EngineConfig {
+        idle_timeout: Some(Duration::from_millis(30)),
+        ..EngineConfig::default()
+    });
+    engine.open_new(1).unwrap();
+    engine.feed(1, 0, &GOLDEN.as_bytes()[..200]).unwrap();
+    engine.open_new(2).unwrap();
+
+    // Attached sessions never expire, however stale.
+    std::thread::sleep(Duration::from_millis(60));
+    assert_eq!(engine.sweep_idle(), 0);
+
+    // Detached ones do.
+    engine.detach(1);
+    engine.detach(2);
+    std::thread::sleep(Duration::from_millis(60));
+    assert_eq!(engine.sweep_idle(), 2);
+    assert_eq!(engine.stats().sessions_expired, 2);
+    assert_eq!(engine.live_sessions(), 0);
+
+    // An expired id resumes as a brand-new session from offset 0.
+    assert_eq!(engine.resume(1).unwrap(), 0);
+}
+
+#[test]
+fn spill_restore_roundtrip_is_invisible() {
+    // A/B differential: a session spilled to disk mid-trace and
+    // transparently restored must finish byte-identically to one that
+    // stayed resident the whole time.
+    let bytes = GOLDEN.as_bytes();
+    let split = bytes.len() / 2;
+
+    let dir = ScratchDir::new("spill-ab");
+    let spilled = ServeEngine::new(spilling_config(&dir));
+    spilled.open_new(1).unwrap();
+    spilled.feed(1, 0, &bytes[..split]).unwrap();
+    spilled.detach(1);
+    assert!(spilled.spill_session(1).unwrap(), "idle session must spill");
+    assert_eq!(spilled.stats().sessions_spilled, 1);
+    assert!(
+        dir.0.join("session-1.spill").exists(),
+        "spill file on disk while spilled"
+    );
+    // The next frame restores transparently.
+    spilled.feed(1, split as u64, &bytes[split..]).unwrap();
+    assert_eq!(spilled.stats().sessions_restored, 1);
+    let a = spilled.close(1).unwrap();
+    assert!(
+        !dir.0.join("session-1.spill").exists() && !dir.0.join("session-1.journal").exists(),
+        "close clears the session's disk state"
+    );
+
+    let resident = ServeEngine::new(EngineConfig {
+        check_threads: Some(2),
+        ..EngineConfig::default()
+    });
+    resident.open_new(1).unwrap();
+    resident.feed(1, 0, bytes).unwrap();
+    let b = resident.close(1).unwrap();
+
+    assert_eq!(a, b, "spill/restore changed the summary");
+    assert_eq!(summary_to_json(1, &a), summary_to_json(1, &b));
+    assert_eq!(b, solo_summary(GOLDEN).unwrap());
+}
+
+#[test]
+fn live_budget_spills_idle_sessions_on_detach() {
+    let dir = ScratchDir::new("live-budget");
+    let engine = ServeEngine::new(EngineConfig {
+        check_threads: Some(2),
+        spill_dir: Some(dir.0.clone()),
+        live_page_budget: Some(0),
+        ..EngineConfig::default()
+    });
+    let bytes = GOLDEN.as_bytes();
+    engine.open_new(1).unwrap();
+    engine.feed(1, 0, &bytes[..bytes.len() / 2]).unwrap();
+    // Attached: budget pressure must not touch it.
+    engine.detach(9999); // any detach triggers enforcement
+    assert_eq!(engine.stats().sessions_spilled, 0);
+    // Detached: a zero budget forces it out.
+    engine.detach(1);
+    assert_eq!(engine.stats().sessions_spilled, 1);
+    // And it still finishes correctly.
+    engine.feed(1, (bytes.len() / 2) as u64, &bytes[bytes.len() / 2..]).unwrap();
+    assert_eq!(engine.close(1).unwrap(), solo_summary(GOLDEN).unwrap());
+}
+
+#[test]
+fn restarted_server_recovers_sessions_from_disk() {
+    let bytes = GOLDEN.as_bytes();
+    let split = bytes.len() / 3;
+    let dir = ScratchDir::new("restart");
+    let config = spilling_config(&dir);
+
+    // Generation 1 accepts a third of the trace (journaling as it goes),
+    // spills nothing, and "crashes" (dropped mid-session).
+    {
+        let engine = ServeEngine::new(config.clone());
+        engine.open_new(7).unwrap();
+        engine.feed(7, 0, &bytes[..split]).unwrap();
+        engine.detach(7);
+    }
+
+    // Generation 2 recovers from the journal alone.
+    let engine = ServeEngine::recover(config.clone()).unwrap();
+    assert_eq!(engine.live_sessions(), 1, "journaled session re-registered");
+    assert_eq!(engine.resume(7).unwrap(), split as u64);
+    engine.feed(7, split as u64, &bytes[split..split * 2]).unwrap();
+    // Spill before the next crash: generation 3 restores spill + journal
+    // tail. (The tail is empty here — the spill is the newest state —
+    // but the acked offset must still come from the journal.)
+    engine.detach(7);
+    assert!(engine.spill_session(7).unwrap());
+    drop(engine);
+
+    let engine = ServeEngine::recover(config).unwrap();
+    assert_eq!(engine.resume(7).unwrap(), (split * 2) as u64);
+    engine.feed(7, (split * 2) as u64, &bytes[split * 2..]).unwrap();
+    assert_eq!(engine.close(7).unwrap(), solo_summary(GOLDEN).unwrap());
+}
+
+#[test]
+fn socket_resumption_survives_a_mid_trace_disconnect() {
+    let engine = ServeEngine::new(EngineConfig {
+        check_threads: Some(2),
+        ..EngineConfig::default()
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || serve_listener(engine, listener, Some(2)))
+    };
+    let bytes = GOLDEN.as_bytes();
+    let split = bytes.len() * 2 / 3;
+
+    // Connection 1: attach, stream two thirds, vanish without closing.
+    {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write_frame(&mut writer, &resume_frame(5)).unwrap();
+        let ack = parse_reply(&read_frame(&mut reader).unwrap().unwrap()).unwrap();
+        assert_eq!(ack, Reply::Ack { id: 5, acked: 0 });
+        for (i, chunk) in bytes[..split].chunks(512).enumerate() {
+            write_frame(&mut writer, &data_frame(5, (i * 512) as u64, chunk)).unwrap();
+        }
+        // Drop both halves: the server sees EOF mid-session and detaches.
+    }
+
+    // Connection 2: resume, learn the acked offset, finish the trace.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    write_frame(&mut writer, &resume_frame(5)).unwrap();
+    let acked = match parse_reply(&read_frame(&mut reader).unwrap().unwrap()).unwrap() {
+        Reply::Ack { id: 5, acked } => acked,
+        other => panic!("expected ack, got {other:?}"),
+    };
+    assert_eq!(acked, split as u64, "server acked what connection 1 sent");
+    write_frame(&mut writer, &data_frame(5, acked, &bytes[split..])).unwrap();
+    write_frame(&mut writer, &close_frame(5)).unwrap();
+    write_frame(&mut writer, &quit_frame()).unwrap();
+    match parse_reply(&read_frame(&mut reader).unwrap().unwrap()).unwrap() {
+        Reply::Summary { id: 5, json } => {
+            assert_eq!(json, summary_to_json(5, &solo_summary(GOLDEN).unwrap()));
+        }
+        other => panic!("expected summary, got {other:?}"),
+    }
+    server.join().unwrap().unwrap();
+    assert_eq!(engine.stats().sessions_resumed, 1);
+}
+
+#[test]
+fn canonical_labels_never_alias_across_session_churn() {
+    use cusan_serve::SessionIngest;
+    use std::collections::HashMap;
+
+    // Open/finish/evict sessions from several threads while recording
+    // which canonical Arc each label resolves to; a label must map to
+    // exactly one allocation for the engine's whole life (finished-
+    // session eviction must never free or rebind a canonical label),
+    // and distinct labels must never share one.
+    let engine = ServeEngine::new(EngineConfig {
+        check_threads: Some(2),
+        global_page_budget: Some(1), // evict aggressively: constant churn
+        ..EngineConfig::default()
+    });
+    let witnessed: Vec<HashMap<String, Vec<Arc<str>>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    let mut seen: HashMap<String, Vec<Arc<str>>> = HashMap::new();
+                    for _ in 0..8 {
+                        let mut ingest = SessionIngest::new(Arc::clone(&engine));
+                        for chunk in GOLDEN.as_bytes().chunks(4096) {
+                            ingest.feed(chunk).unwrap();
+                        }
+                        ingest.finish().unwrap();
+                        for label in ["cuda.kernel_calls", "host", "stream 1"] {
+                            let arc = engine.labels().canon(&Arc::from(label));
+                            seen.entry(label.to_string()).or_default().push(arc);
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(engine.stats().sessions_evicted > 0, "churn must evict");
+    let mut canonical: HashMap<String, Arc<str>> = HashMap::new();
+    for seen in &witnessed {
+        for (label, arcs) in seen {
+            for arc in arcs {
+                assert_eq!(&**arc, label.as_str(), "canonical arc content mutated");
+                let first = canonical.entry(label.clone()).or_insert_with(|| arc.clone());
+                assert!(
+                    Arc::ptr_eq(first, arc),
+                    "label {label:?} rebound to a second allocation across generations"
+                );
+            }
+        }
+    }
+    let ptrs: Vec<*const u8> = canonical.values().map(|a| a.as_ptr()).collect();
+    let distinct: std::collections::HashSet<_> = ptrs.iter().collect();
+    assert_eq!(ptrs.len(), distinct.len(), "distinct labels share an arc");
+}

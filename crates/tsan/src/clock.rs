@@ -120,6 +120,17 @@ impl VectorClock {
     pub fn heap_bytes(&self) -> u64 {
         (self.c.capacity() * std::mem::size_of::<u32>()) as u64
     }
+
+    /// Raw components for the snapshot codec (capacity is not
+    /// observable, so components are the whole state).
+    pub(crate) fn components(&self) -> &[u32] {
+        &self.c
+    }
+
+    /// Rebuild from raw components (snapshot restore).
+    pub(crate) fn from_components(c: Vec<u32>) -> Self {
+        VectorClock { c }
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! are attributed to and implies **no** synchronization.
 
 use crate::clock::VectorClock;
+use crate::snapshot::{read_clock, write_clock, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Identifier of a fiber. Ids index densely into the runtime's fiber table;
 /// slots of destroyed fibers are reused (with a monotonically growing clock,
@@ -273,6 +274,107 @@ impl FiberTable {
             .map(|f| f.clock.heap_bytes() + f.name.capacity() as u64)
             .sum::<u64>()
             + (self.fibers.capacity() * std::mem::size_of::<Fiber>()) as u64
+    }
+
+    /// Total slots (live + retired) in the table — bounds-checks ids
+    /// decoded from snapshots.
+    pub(crate) fn slot_count(&self) -> usize {
+        self.fibers.len()
+    }
+
+    /// Serialize the whole table, free list verbatim: LIFO slot reuse —
+    /// and with it replayed fiber numbering — must continue exactly
+    /// where the snapshotted table left off.
+    pub(crate) fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.created);
+        w.put_u64(self.destroyed);
+        w.put_len(self.free.len());
+        for &idx in &self.free {
+            w.put_u32(idx);
+        }
+        w.put_len(self.fibers.len());
+        for f in &self.fibers {
+            write_clock(w, &f.clock);
+            w.put_str(&f.name);
+            w.put_bool(f.alive);
+            w.put_u32(f.incarnation);
+            w.put_u64(f.gen);
+            w.put_bool(f.last_sync.is_some());
+            if let Some((sf, inc, gen, epoch)) = f.last_sync {
+                w.put_u32(sf.index() as u32);
+                w.put_u32(inc);
+                w.put_u64(gen);
+                w.put_u32(epoch);
+            }
+            w.put_bool(f.sole_source.is_some());
+            if let Some((sf, inc)) = f.sole_source {
+                w.put_u32(sf.index() as u32);
+                w.put_u32(inc);
+            }
+            w.put_u64(f.sole_since_gen);
+        }
+    }
+
+    /// Rebuild a table from [`Self::write_snapshot`] output.
+    pub(crate) fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let created = r.get_u64()?;
+        let destroyed = r.get_u64()?;
+        let n_free = r.get_len()?;
+        let mut free = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            free.push(r.get_u32()?);
+        }
+        let n_fibers = r.get_len()?;
+        if n_fibers == 0 || n_fibers > MAX_FIBERS {
+            return Err(SnapshotError::Corrupt(format!(
+                "fiber table of {n_fibers} slots"
+            )));
+        }
+        if let Some(&idx) = free.iter().find(|&&idx| idx as usize >= n_fibers) {
+            return Err(SnapshotError::Corrupt(format!(
+                "free-list slot {idx} out of range"
+            )));
+        }
+        let mut fibers = Vec::with_capacity(n_fibers);
+        for _ in 0..n_fibers {
+            let clock = read_clock(r)?;
+            let name = r.get_str()?;
+            let alive = r.get_bool()?;
+            let incarnation = r.get_u32()?;
+            let gen = r.get_u64()?;
+            let last_sync = if r.get_bool()? {
+                Some((
+                    FiberId::from_index(r.get_u32()? as usize),
+                    r.get_u32()?,
+                    r.get_u64()?,
+                    r.get_u32()?,
+                ))
+            } else {
+                None
+            };
+            let sole_source = if r.get_bool()? {
+                Some((FiberId::from_index(r.get_u32()? as usize), r.get_u32()?))
+            } else {
+                None
+            };
+            let sole_since_gen = r.get_u64()?;
+            fibers.push(Fiber {
+                clock,
+                name,
+                alive,
+                incarnation,
+                gen,
+                last_sync,
+                sole_source,
+                sole_since_gen,
+            });
+        }
+        Ok(FiberTable {
+            fibers,
+            free,
+            created,
+            destroyed,
+        })
     }
 }
 

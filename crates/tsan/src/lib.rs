@@ -43,10 +43,12 @@ mod fxhash;
 pub mod report;
 pub mod runtime;
 pub mod shadow;
+pub mod snapshot;
 pub mod stats;
 
 pub use clock::VectorClock;
 pub use fiber::FiberId;
 pub use report::{CtxId, RaceReport};
 pub use runtime::{SyncKey, TsanRuntime};
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::TsanStats;

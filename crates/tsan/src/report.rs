@@ -6,6 +6,7 @@
 //! access context with the recorded previous one — exactly the information
 //! a user needs to locate both sides of the race.
 
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -57,6 +58,43 @@ impl CtxTable {
 
     pub fn heap_bytes(&self) -> u64 {
         self.labels.iter().map(|l| l.capacity() as u64 + 24).sum()
+    }
+
+    /// Serialize the label table in id order (ids are dense, so order is
+    /// identity).
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_len(self.labels.len());
+        for l in &self.labels {
+            w.put_str(l);
+        }
+    }
+
+    /// Rebuild from [`Self::write_snapshot`] output.
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.get_len()?;
+        if n == 0 {
+            return Err(SnapshotError::Corrupt("empty context table".into()));
+        }
+        let mut t = CtxTable {
+            labels: Vec::with_capacity(n),
+            by_label: HashMap::with_capacity(n),
+        };
+        for i in 0..n {
+            let label = r.get_str()?;
+            if t.by_label.contains_key(&label) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate context label {label:?}"
+                )));
+            }
+            t.by_label.insert(label.clone(), CtxId(i as u32));
+            t.labels.push(label);
+        }
+        if t.labels[0] != "<unknown>" {
+            return Err(SnapshotError::Corrupt(
+                "context id 0 is not <unknown>".into(),
+            ));
+        }
+        Ok(t)
     }
 }
 
@@ -172,6 +210,26 @@ impl Suppressions {
     /// The installed patterns.
     pub fn patterns(&self) -> impl Iterator<Item = &str> {
         self.patterns.iter().map(String::as_str)
+    }
+
+    /// Serialize the pattern list in install order (matching is
+    /// any-pattern, but order still decides nothing — kept for byte
+    /// stability of repeated snapshots).
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_len(self.patterns.len());
+        for p in &self.patterns {
+            w.put_str(p);
+        }
+    }
+
+    /// Rebuild from [`Self::write_snapshot`] output.
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.get_len()?;
+        let mut patterns = Vec::with_capacity(n);
+        for _ in 0..n {
+            patterns.push(r.get_str()?);
+        }
+        Ok(Suppressions { patterns })
     }
 }
 

@@ -5,6 +5,10 @@ use crate::fiber::{FiberId, FiberTable};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::report::{CtxId, CtxTable, RaceReport, RaceSide, Suppressions};
 use crate::shadow::ShadowMemory;
+use crate::snapshot::{
+    read_clock, write_clock, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 use crate::stats::TsanStats;
 
 /// Key identifying a synchronization variable — the analogue of the memory
@@ -499,6 +503,237 @@ impl TsanRuntime {
     /// requests).
     pub fn live_fibers(&self) -> usize {
         self.fibers.live_count()
+    }
+
+    // ---- snapshot/restore --------------------------------------------------
+
+    /// Serialize the complete runtime state into `w` (no magic/version
+    /// framing — [`Self::snapshot_bytes`] adds it; embedders like the
+    /// session spill format frame the stream themselves).
+    ///
+    /// The encoding is *canonical*: hash-ordered state (sync variables,
+    /// report-dedup keys, shadow pages) is sorted before writing, so two
+    /// runtimes in the same observable state produce byte-identical
+    /// snapshots, and `snapshot(restore(snapshot(x))) == snapshot(x)`.
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_bool(self.epoch_clocks);
+        w.put_u32(self.current.index() as u32);
+        w.put_u64(self.max_reports as u64);
+        self.fibers.write_snapshot(w);
+        self.shadow.write_snapshot(w);
+        let mut keys: Vec<u64> = self.sync_vars.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_len(keys.len());
+        for key in keys {
+            let sv = &self.sync_vars[&key];
+            w.put_u64(key);
+            write_clock(w, &sv.clock);
+            w.put_u32(sv.releaser.index() as u32);
+            w.put_u32(sv.rel_inc);
+            w.put_u64(sv.rel_gen);
+            w.put_u32(sv.epoch);
+            w.put_bool(sv.compressed);
+            w.put_bool(sv.last_acq.is_some());
+            if let Some((f, inc)) = sv.last_acq {
+                w.put_u32(f.index() as u32);
+                w.put_u32(inc);
+            }
+        }
+        self.ctxs.write_snapshot(w);
+        w.put_len(self.reports.len());
+        for rep in &self.reports {
+            w.put_u64(rep.addr);
+            for side in [&rep.current, &rep.previous] {
+                w.put_bool(side.write);
+                w.put_str(&side.fiber);
+                w.put_str(&side.ctx);
+            }
+        }
+        let mut dedup: Vec<(u32, u32)> = self.report_keys.iter().copied().collect();
+        dedup.sort_unstable();
+        w.put_len(dedup.len());
+        for (a, b) in dedup {
+            w.put_u32(a);
+            w.put_u32(b);
+        }
+        self.suppressions.write_snapshot(w);
+        // The raw (unmerged) counter struct: the derived fields are
+        // recomputed from the fiber/shadow sections on every `stats()`
+        // call, so serializing them here too would double state.
+        for v in [
+            self.stats.fiber_switches,
+            self.stats.fibers_created,
+            self.stats.fibers_destroyed,
+            self.stats.happens_before,
+            self.stats.happens_after,
+            self.stats.read_range_calls,
+            self.stats.write_range_calls,
+            self.stats.read_bytes,
+            self.stats.write_bytes,
+            self.stats.races_reported,
+            self.stats.races_suppressed,
+            self.stats.races_deduped,
+            self.stats.fastpath_hits,
+            self.stats.page_summaries_stored,
+            self.stats.page_unfolds,
+            self.stats.dropped_annotations,
+            self.stats.epoch_fast_acquires,
+            self.stats.epoch_fast_releases,
+            self.stats.full_clock_joins,
+            self.stats.arena_pages_reused,
+            self.stats.arena_slabs_allocated,
+            self.stats.arena_pages_evicted,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Rebuild a runtime from [`Self::write_snapshot`] output. The
+    /// restored runtime is observationally identical to the snapshotted
+    /// one: applying any event suffix to both yields bit-for-bit equal
+    /// reports, stats, and shadow evolution.
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let epoch_clocks = r.get_bool()?;
+        let current = FiberId::from_index(r.get_u32()? as usize);
+        let max_reports = r.get_u64()? as usize;
+        let fibers = FiberTable::read_snapshot(r)?;
+        if current.index() >= fibers.slot_count() {
+            return Err(SnapshotError::Corrupt(format!(
+                "current fiber {} out of range",
+                current.index()
+            )));
+        }
+        let shadow = ShadowMemory::read_snapshot(r)?;
+        let n_sync = r.get_len()?;
+        let mut sync_vars = FxHashMap::default();
+        sync_vars.reserve(n_sync);
+        let mut prev_key: Option<u64> = None;
+        for _ in 0..n_sync {
+            let key = r.get_u64()?;
+            if prev_key.is_some_and(|p| key <= p) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "sync keys not strictly ascending at {key:#x}"
+                )));
+            }
+            prev_key = Some(key);
+            let clock = read_clock(r)?;
+            let releaser = FiberId::from_index(r.get_u32()? as usize);
+            let rel_inc = r.get_u32()?;
+            let rel_gen = r.get_u64()?;
+            let epoch = r.get_u32()?;
+            let compressed = r.get_bool()?;
+            let last_acq = if r.get_bool()? {
+                Some((FiberId::from_index(r.get_u32()? as usize), r.get_u32()?))
+            } else {
+                None
+            };
+            sync_vars.insert(
+                key,
+                SyncVar {
+                    clock,
+                    releaser,
+                    rel_inc,
+                    rel_gen,
+                    epoch,
+                    compressed,
+                    last_acq,
+                },
+            );
+        }
+        let ctxs = CtxTable::read_snapshot(r)?;
+        let n_reports = r.get_len()?;
+        let mut reports = Vec::with_capacity(n_reports);
+        for _ in 0..n_reports {
+            let addr = r.get_u64()?;
+            let mut sides = Vec::with_capacity(2);
+            for _ in 0..2 {
+                sides.push(RaceSide {
+                    write: r.get_bool()?,
+                    fiber: r.get_str()?,
+                    ctx: r.get_str()?,
+                });
+            }
+            let previous = sides.pop().expect("two sides");
+            let current = sides.pop().expect("two sides");
+            reports.push(RaceReport {
+                addr,
+                current,
+                previous,
+            });
+        }
+        let n_dedup = r.get_len()?;
+        let mut report_keys = FxHashSet::default();
+        report_keys.reserve(n_dedup);
+        for _ in 0..n_dedup {
+            report_keys.insert((r.get_u32()?, r.get_u32()?));
+        }
+        let suppressions = Suppressions::read_snapshot(r)?;
+        let mut raw = [0u64; 22];
+        for v in &mut raw {
+            *v = r.get_u64()?;
+        }
+        let stats = TsanStats {
+            fiber_switches: raw[0],
+            fibers_created: raw[1],
+            fibers_destroyed: raw[2],
+            happens_before: raw[3],
+            happens_after: raw[4],
+            read_range_calls: raw[5],
+            write_range_calls: raw[6],
+            read_bytes: raw[7],
+            write_bytes: raw[8],
+            races_reported: raw[9],
+            races_suppressed: raw[10],
+            races_deduped: raw[11],
+            fastpath_hits: raw[12],
+            page_summaries_stored: raw[13],
+            page_unfolds: raw[14],
+            dropped_annotations: raw[15],
+            epoch_fast_acquires: raw[16],
+            epoch_fast_releases: raw[17],
+            full_clock_joins: raw[18],
+            arena_pages_reused: raw[19],
+            arena_slabs_allocated: raw[20],
+            arena_pages_evicted: raw[21],
+        };
+        Ok(TsanRuntime {
+            fibers,
+            current,
+            shadow,
+            sync_vars,
+            ctxs,
+            reports,
+            report_keys,
+            suppressions,
+            stats,
+            max_reports,
+            epoch_clocks,
+        })
+    }
+
+    /// [`Self::write_snapshot`] framed with [`SNAPSHOT_MAGIC`] and
+    /// [`SNAPSHOT_VERSION`] — the standalone blob format.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_raw(SNAPSHOT_MAGIC);
+        w.put_u32(SNAPSHOT_VERSION);
+        self.write_snapshot(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decode a [`Self::snapshot_bytes`] blob.
+    pub fn restore_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        if r.get_raw(SNAPSHOT_MAGIC.len())? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.get_u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let rt = Self::read_snapshot(&mut r)?;
+        r.expect_end()?;
+        Ok(rt)
     }
 }
 

@@ -52,6 +52,7 @@ use crate::clock::VectorClock;
 use crate::fiber::FiberId;
 use crate::fxhash::FxHashMap;
 use crate::report::CtxId;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Application bytes covered by one shadow word.
 pub const WORD_BYTES: u64 = 8;
@@ -303,6 +304,100 @@ impl PageArena {
     fn heap_bytes(&self) -> u64 {
         self.slabs.iter().map(|s| (s.len() * 8) as u64).sum::<u64>()
             + (self.free.capacity() * std::mem::size_of::<BlockId>()) as u64
+    }
+
+    /// True if `id` names a block that has actually been carved — the
+    /// bounds check for block handles decoded from snapshots.
+    fn is_carved(&self, id: BlockId) -> bool {
+        let slab = id.slab as usize;
+        let Some(s) = self.slabs.get(slab) else {
+            return false;
+        };
+        let cap = s.len() / SLOTS_PER_PAGE;
+        let limit = if slab + 1 == self.slabs.len() {
+            self.carved
+        } else {
+            cap
+        };
+        (id.block as usize) < limit
+    }
+
+    /// Serialize the arena's exact shape: slab capacities, carve cursor,
+    /// growth point, and the free list verbatim. Block *contents* are
+    /// serialized with the pages that own them; free-listed blocks hold
+    /// stale data by contract (always overwritten or re-zeroed before
+    /// reuse), so restoring them as zeros is behavior-identical.
+    fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_len(self.slabs.len());
+        for s in &self.slabs {
+            w.put_u64((s.len() / SLOTS_PER_PAGE) as u64);
+        }
+        w.put_u64(self.carved as u64);
+        w.put_u64(self.next_slab_pages as u64);
+        w.put_u64(self.live_blocks as u64);
+        w.put_len(self.free.len());
+        for id in &self.free {
+            w.put_u32(id.slab);
+            w.put_u32(id.block);
+        }
+        w.put_u64(self.pages_reused);
+        w.put_u64(self.slabs_allocated);
+        w.put_u64(self.pages_evicted);
+    }
+
+    /// Rebuild from [`Self::write_snapshot`] output, slabs zeroed (live
+    /// block contents are filled in by the page decoder).
+    fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let n_slabs = r.get_len()?;
+        let mut slabs = Vec::with_capacity(n_slabs);
+        for _ in 0..n_slabs {
+            let pages = r.get_u64()? as usize;
+            if pages == 0 || pages > ARENA_MAX_SLAB_PAGES {
+                return Err(SnapshotError::Corrupt(format!("slab of {pages} pages")));
+            }
+            slabs.push(vec![0u64; pages * SLOTS_PER_PAGE].into_boxed_slice());
+        }
+        let carved = r.get_u64()? as usize;
+        let last_cap = slabs.last().map_or(0, |s| s.len() / SLOTS_PER_PAGE);
+        if carved > last_cap {
+            return Err(SnapshotError::Corrupt(format!(
+                "carve cursor {carved} past slab capacity {last_cap}"
+            )));
+        }
+        let next_slab_pages = r.get_u64()? as usize;
+        if next_slab_pages == 0 || next_slab_pages > ARENA_MAX_SLAB_PAGES {
+            return Err(SnapshotError::Corrupt(format!(
+                "slab growth point {next_slab_pages}"
+            )));
+        }
+        let live_blocks = r.get_u64()? as usize;
+        let n_free = r.get_len()?;
+        let mut arena = PageArena {
+            slabs,
+            free: Vec::with_capacity(n_free),
+            carved,
+            next_slab_pages,
+            live_blocks,
+            pages_reused: 0,
+            slabs_allocated: 0,
+            pages_evicted: 0,
+        };
+        for _ in 0..n_free {
+            let id = BlockId {
+                slab: r.get_u32()?,
+                block: r.get_u32()?,
+            };
+            if !arena.is_carved(id) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "free-listed block {id:?} was never carved"
+                )));
+            }
+            arena.free.push(id);
+        }
+        arena.pages_reused = r.get_u64()?;
+        arena.slabs_allocated = r.get_u64()?;
+        arena.pages_evicted = r.get_u64()?;
+        Ok(arena)
     }
 }
 
@@ -818,6 +913,202 @@ impl ShadowMemory {
             .sum::<u64>()
             + self.arena.heap_bytes()
     }
+
+    /// Serialize the entire shadow — mode flags, the same-state cache,
+    /// the tier counters, the arena shape, and every page (sorted by
+    /// page key so repeated snapshots of one state are byte-identical).
+    pub(crate) fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_bool(self.tiered);
+        w.put_bool(self.use_arena);
+        w.put_bool(self.page_budget.is_some());
+        if let Some(b) = self.page_budget {
+            w.put_u64(b as u64);
+        }
+        w.put_bool(self.last.is_some());
+        if let Some(la) = self.last {
+            w.put_u64(la.addr);
+            w.put_u64(la.len);
+            w.put_u64(la.raw);
+        }
+        // Own counters only — the arena carries its tallies itself.
+        w.put_u64(self.counters.fastpath_hits);
+        w.put_u64(self.counters.page_summaries_stored);
+        w.put_u64(self.counters.page_unfolds);
+        w.put_u64(self.counters.dropped_annotations);
+        self.arena.write_snapshot(w);
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_len(keys.len());
+        for key in keys {
+            w.put_u64(key);
+            match &self.pages[&key] {
+                PageState::Summary(s) => {
+                    w.put_u8(0);
+                    for &v in s {
+                        w.put_u64(v);
+                    }
+                }
+                PageState::Unfolded(PageSlots::Owned(slots)) => {
+                    w.put_u8(1);
+                    write_sparse_slots(w, slots);
+                }
+                PageState::Unfolded(PageSlots::Arena(id)) => {
+                    w.put_u8(2);
+                    w.put_u32(id.slab);
+                    w.put_u32(id.block);
+                    write_sparse_slots(w, self.arena.block(*id));
+                }
+            }
+        }
+    }
+
+    /// Rebuild a shadow from [`Self::write_snapshot`] output. Arena
+    /// pages are written back into their original block handles, so
+    /// subsequent carve/recycle order — and with it every arena counter
+    /// — evolves exactly as in the snapshotted shadow.
+    pub(crate) fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let tiered = r.get_bool()?;
+        let use_arena = r.get_bool()?;
+        let page_budget = if r.get_bool()? {
+            Some(r.get_u64()? as usize)
+        } else {
+            None
+        };
+        let last = if r.get_bool()? {
+            Some(LastAccess {
+                addr: r.get_u64()?,
+                len: r.get_u64()?,
+                raw: r.get_u64()?,
+            })
+        } else {
+            None
+        };
+        let counters = ShadowCounters {
+            fastpath_hits: r.get_u64()?,
+            page_summaries_stored: r.get_u64()?,
+            page_unfolds: r.get_u64()?,
+            dropped_annotations: r.get_u64()?,
+            ..ShadowCounters::default()
+        };
+        let mut arena = PageArena::read_snapshot(r)?;
+        let n_pages = r.get_len()?;
+        let mut pages = FxHashMap::default();
+        pages.reserve(n_pages);
+        let mut arena_blocks = 0usize;
+        let mut prev_key: Option<u64> = None;
+        for _ in 0..n_pages {
+            let key = r.get_u64()?;
+            if prev_key.is_some_and(|p| key <= p) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "page keys not strictly ascending at {key:#x}"
+                )));
+            }
+            prev_key = Some(key);
+            let state = match r.get_u8()? {
+                0 => {
+                    let mut s = [0u64; SLOTS_PER_WORD];
+                    for v in &mut s {
+                        *v = r.get_u64()?;
+                    }
+                    PageState::Summary(s)
+                }
+                1 => {
+                    let mut slots: Box<[u64; SLOTS_PER_PAGE]> =
+                        vec![0u64; SLOTS_PER_PAGE].try_into().expect("page size");
+                    read_sparse_slots(r, &mut slots)?;
+                    PageState::Unfolded(PageSlots::Owned(slots))
+                }
+                2 => {
+                    let id = BlockId {
+                        slab: r.get_u32()?,
+                        block: r.get_u32()?,
+                    };
+                    if !arena.is_carved(id) {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "page block {id:?} was never carved"
+                        )));
+                    }
+                    if arena.free.contains(&id) {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "page block {id:?} is also on the free list"
+                        )));
+                    }
+                    let slots = arena.block_mut(id);
+                    if slots.iter().any(|&s| s != 0) {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "block {id:?} claimed by two pages"
+                        )));
+                    }
+                    read_sparse_slots(r, slots)?;
+                    arena_blocks += 1;
+                    PageState::Unfolded(PageSlots::Arena(id))
+                }
+                t => {
+                    return Err(SnapshotError::Corrupt(format!("page state tag {t}")));
+                }
+            };
+            pages.insert(key, state);
+        }
+        if arena_blocks != arena.live_blocks {
+            return Err(SnapshotError::Corrupt(format!(
+                "{arena_blocks} arena-backed pages but {} live blocks recorded",
+                arena.live_blocks
+            )));
+        }
+        Ok(ShadowMemory {
+            pages,
+            arena,
+            use_arena,
+            tiered,
+            last,
+            counters,
+            page_budget,
+        })
+    }
+}
+
+/// Encode one page's slot array as (index, value) pairs of its nonzero
+/// slots — spilled shadows are dominated by sparsely-touched pages, and
+/// zero slots reconstruct for free.
+fn write_sparse_slots(w: &mut SnapshotWriter, slots: &[u64; SLOTS_PER_PAGE]) {
+    let n = slots.iter().filter(|&&s| s != 0).count();
+    w.put_len(n);
+    for (i, &s) in slots.iter().enumerate() {
+        if s != 0 {
+            w.put_u32(i as u32);
+            w.put_u64(s);
+        }
+    }
+}
+
+/// Decode [`write_sparse_slots`] output into an all-zero slot array.
+fn read_sparse_slots(
+    r: &mut SnapshotReader<'_>,
+    slots: &mut [u64; SLOTS_PER_PAGE],
+) -> Result<(), SnapshotError> {
+    let n = r.get_len()?;
+    if n > SLOTS_PER_PAGE {
+        return Err(SnapshotError::Corrupt(format!("{n} slots in one page")));
+    }
+    let mut prev: Option<u32> = None;
+    for _ in 0..n {
+        let i = r.get_u32()?;
+        if i as usize >= SLOTS_PER_PAGE {
+            return Err(SnapshotError::Corrupt(format!("slot index {i}")));
+        }
+        if prev.is_some_and(|p| i <= p) {
+            return Err(SnapshotError::Corrupt(format!(
+                "slot indices not strictly ascending at {i}"
+            )));
+        }
+        let v = r.get_u64()?;
+        if v == 0 {
+            return Err(SnapshotError::Corrupt("zero slot in sparse list".into()));
+        }
+        slots[i as usize] = v;
+        prev = Some(i);
+    }
+    Ok(())
 }
 
 /// Flat walk over `[word, end_word]` within one page's slot array:
