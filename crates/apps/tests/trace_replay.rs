@@ -6,7 +6,7 @@
 //! exactly. These tests assert that contract over the full testsuite and
 //! both evaluation mini-apps, plus byte-level determinism of the recorder.
 
-use cusan::{replay, Flavor, Trace};
+use cusan::{replay, transcode, Flavor, Trace, TraceFormat};
 use cusan_apps::testsuite::cases;
 use cusan_apps::{
     kernels::AppKernels, run_jacobi_traced, run_tealeaf_traced, JacobiConfig, TeaLeafConfig,
@@ -14,13 +14,16 @@ use cusan_apps::{
 use must_rt::{run_checked_world_traced, RankOutcome};
 use std::sync::Arc;
 
-/// Replay one rank's trace and assert it matches the live outcome.
+/// Replay one rank's trace and assert it matches the live outcome — as
+/// recorded, and again through the transcoded twin in the other format
+/// (text ⇄ binary), which must replay identically and round-trip back to
+/// the recorded bytes exactly.
 fn assert_faithful(what: &str, rank: &RankOutcome) {
-    let text = rank
+    let bytes = rank
         .trace
         .as_deref()
         .expect("traced run must carry a trace");
-    let trace = Trace::parse(text)
+    let trace = Trace::from_bytes(bytes)
         .unwrap_or_else(|e| panic!("{what} rank {}: trace parse failed: {e}", rank.rank));
     let outcome = replay(&trace);
     assert_eq!(
@@ -36,6 +39,35 @@ fn assert_faithful(what: &str, rank: &RankOutcome) {
     assert_eq!(
         outcome.counters, rank.events,
         "{what} rank {}: replayed event counters diverge from live run",
+        rank.rank
+    );
+    // Format-twin fidelity: whichever encoding the run recorded, its
+    // transcoded twin carries the identical record stream.
+    let recorded = if bytes.starts_with(cusan::binio::BIN_FAMILY) {
+        TraceFormat::Binary
+    } else {
+        TraceFormat::Text
+    };
+    let twin_format = match recorded {
+        TraceFormat::Text => TraceFormat::Binary,
+        TraceFormat::Binary => TraceFormat::Text,
+    };
+    let twin = transcode(bytes, twin_format)
+        .unwrap_or_else(|e| panic!("{what} rank {}: transcode failed: {e}", rank.rank));
+    let twin_out = replay(&Trace::from_bytes(&twin).expect("twin parses"));
+    assert_eq!(
+        twin_out.reports,
+        outcome.reports,
+        "{what} rank {}: {} twin reports diverge",
+        rank.rank,
+        twin_format.name()
+    );
+    assert_eq!(twin_out.stats, outcome.stats);
+    assert_eq!(twin_out.counters, outcome.counters);
+    assert_eq!(
+        transcode(&twin[..], recorded).expect("transcode back"),
+        bytes,
+        "{what} rank {}: transcode round trip is not byte-identical",
         rank.rank
     );
 }
@@ -122,15 +154,15 @@ fn streaming_parse_and_replay_match_materialized() {
     };
     let run = run_tealeaf_traced(&cfg, Flavor::MustCusan);
     for rank in &run.outcome.ranks {
-        let text = rank.trace.as_deref().expect("traced run");
-        let materialized = Trace::parse(text).expect("parse");
-        let streamed = Trace::from_reader(text.as_bytes()).expect("from_reader");
+        let bytes = rank.trace.as_deref().expect("traced run");
+        let materialized = Trace::from_bytes(bytes).expect("parse");
+        let streamed = Trace::from_reader(bytes).expect("from_reader");
         assert_eq!(materialized.rank, streamed.rank);
         assert_eq!(materialized.events, streamed.events);
         assert_eq!(materialized.strings.len(), streamed.strings.len());
 
         let solo = replay(&materialized);
-        let stream = cusan::replay_stream(text.as_bytes()).expect("replay_stream");
+        let stream = cusan::replay_stream(bytes).expect("replay_stream");
         assert_eq!(stream.reports, solo.reports);
         assert_eq!(stream.stats, solo.stats);
         assert_eq!(stream.counters, solo.counters);

@@ -15,6 +15,7 @@
 //! `CUSAN_BENCH_SERVE_JSON`) — uploaded by the `serve-smoke` CI job so
 //! future PRs have a serve-throughput baseline to diff against.
 
+use cusan::{transcode, Trace, TraceFormat};
 use cusan_bench::{banner, bench_runs, env_u64, measure, rel};
 use cusan_serve::{solo_summary, EngineConfig, ServeEngine, SessionIngest};
 use std::sync::Arc;
@@ -22,8 +23,21 @@ use std::time::{Duration, Instant};
 
 const GOLDEN_FIXTURE: &str = include_str!("../../../../tests/data/tealeaf_small.trace");
 
-fn corpus() -> Vec<String> {
-    let mut traces = vec![GOLDEN_FIXTURE.to_string()];
+/// The encoding this bench run measures (the `CUSAN_TRACE_FORMAT` knob,
+/// text by default) — chaos-twin recordings already honor it, and the
+/// text golden fixture is transcoded to match so the whole corpus is
+/// uniform.
+fn active_format() -> TraceFormat {
+    cusan::ctx::trace_format_env().unwrap_or(TraceFormat::Text)
+}
+
+fn corpus() -> Vec<Vec<u8>> {
+    let fixture = match active_format() {
+        TraceFormat::Text => GOLDEN_FIXTURE.as_bytes().to_vec(),
+        TraceFormat::Binary => transcode(GOLDEN_FIXTURE.as_bytes(), TraceFormat::Binary)
+            .expect("golden fixture transcodes"),
+    };
+    let mut traces = vec![fixture];
     let cfg = cusan_apps::ChaosConfig::default();
     for out in [
         cusan_apps::run_chaos_jacobi(&cfg, cusan::Flavor::MustCusan),
@@ -38,7 +52,7 @@ fn corpus() -> Vec<String> {
 
 /// One concurrent pass: returns wall time and the engine (for stats).
 fn serve_pass(
-    corpus: &[String],
+    corpus: &[Vec<u8>],
     sessions: usize,
     config: EngineConfig,
 ) -> (Duration, Arc<ServeEngine>) {
@@ -50,7 +64,7 @@ fn serve_pass(
             let trace = &corpus[i % corpus.len()];
             scope.spawn(move || {
                 let mut ingest = SessionIngest::new(engine);
-                for c in trace.as_bytes().chunks(4096) {
+                for c in trace.chunks(4096) {
                     ingest.feed(c).expect("feed");
                 }
                 ingest.finish().expect("finish")
@@ -98,7 +112,7 @@ fn main() {
         for (i, sum) in (0..sessions)
             .map(|i| {
                 let mut ingest = SessionIngest::new(Arc::clone(&engine));
-                ingest.feed(corpus[i % corpus.len()].as_bytes()).unwrap();
+                ingest.feed(&corpus[i % corpus.len()]).unwrap();
                 (i, ingest.finish().unwrap())
             })
             .collect::<Vec<_>>()
@@ -146,13 +160,15 @@ fn main() {
             let expected = &solo[i % corpus.len()];
             scope.spawn(move || {
                 let id = i as u64;
-                let bytes = trace.as_bytes();
+                let bytes: &[u8] = trace;
                 let half = bytes.len() / 2;
                 engine.open_new(id).expect("open");
                 engine.feed(id, 0, &bytes[..half]).expect("feed head");
                 engine.detach(id); // zero live budget: spills idle sessions
                 engine.resume(id).expect("resume");
-                engine.feed(id, half as u64, &bytes[half..]).expect("feed tail");
+                engine
+                    .feed(id, half as u64, &bytes[half..])
+                    .expect("feed tail");
                 let served = engine.close(id).expect("close");
                 assert_eq!(&served, expected, "session {i} diverged across spill");
             });
@@ -166,6 +182,22 @@ fn main() {
         "spill pass restored nothing (spilled {})",
         sp.sessions_spilled
     );
+
+    // Per-format footprint of the corpus: trace bytes per event, for the
+    // BENCH_trace.json cross-check (events counted by parsing — cheap
+    // next to the replay passes above).
+    let format = active_format();
+    let corpus_bytes: usize = corpus.iter().map(Vec::len).sum();
+    let corpus_events: usize = corpus
+        .iter()
+        .map(|t| {
+            Trace::from_bytes(t)
+                .expect("corpus traces parse")
+                .events
+                .len()
+        })
+        .sum();
+    let bytes_per_event = corpus_bytes as f64 / corpus_events.max(1) as f64;
 
     let speedup = rel(solo_time, served_time);
     println!(
@@ -197,6 +229,10 @@ fn main() {
         st.labels_unique, st.labels_shared
     );
     println!(
+        "corpus: {} format, {corpus_bytes} bytes / {corpus_events} events = {bytes_per_event:.1} B/event",
+        format.name()
+    );
+    println!(
         "spill pass: {:?} for {sessions} mid-trace spill/restore round trips \
          (resumed {}, spilled {}, restored {}, dup bytes dropped {})",
         spill_time,
@@ -209,7 +245,9 @@ fn main() {
     // Hand-rolled JSON: the workspace is offline, so no serde.
     let json = format!(
         "{{\n  \"benchmark\": \"serve\",\n  \"sessions\": {sessions},\n  \
-         \"distinct_traces\": {},\n  \"hw_threads\": {parallelism},\n  \"runs\": {runs},\n  \
+         \"distinct_traces\": {},\n  \"format\": \"{}\",\n  \"trace_bytes\": {corpus_bytes},\n  \
+         \"trace_events\": {corpus_events},\n  \"bytes_per_event\": {bytes_per_event:.2},\n  \
+         \"hw_threads\": {parallelism},\n  \"runs\": {runs},\n  \
          \"solo_ns\": {},\n  \"served_ns\": {},\n  \"speedup\": {speedup:.3},\n  \
          \"sessions_per_sec\": {:.1},\n  \"budget_pages\": {budget},\n  \
          \"unlimited_pages\": {full_pages},\n  \"sessions_evicted\": {},\n  \
@@ -218,6 +256,7 @@ fn main() {
          \"sessions_resumed\": {},\n  \"sessions_spilled\": {},\n  \
          \"sessions_restored\": {},\n  \"duplicate_bytes_dropped\": {}\n}}\n",
         corpus.len(),
+        format.name(),
         solo_time.as_nanos(),
         served_time.as_nanos(),
         sessions as f64 / served_time.as_secs_f64().max(1e-9),

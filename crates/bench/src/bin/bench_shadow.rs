@@ -39,6 +39,12 @@ struct Case {
     bytes: u64,
     tiered: Duration,
     flat: Duration,
+    /// True when the two modes do *not* pay the same costs inside the
+    /// timed region (see the module docs on `partial_unfold_64pages`:
+    /// flat gets its slot-array allocation for free in the untimed
+    /// setup). Informational cases are reported but carry no target and
+    /// must not be diffed as a regression signal.
+    informational: bool,
 }
 
 impl Case {
@@ -194,24 +200,31 @@ fn main() {
             bytes: COLD_LEN,
             tiered: time_case(runs, true, cold),
             flat: time_case(runs, false, cold),
+            informational: false,
         },
         Case {
             name: "repeated_1MiB_x256",
             bytes: COLD_LEN * REPEATS,
             tiered: time_case(runs, true, repeated),
             flat: time_case(runs, false, repeated),
+            informational: false,
         },
         Case {
+            // Asymmetric by construction (flat's allocation is untimed)
+            // — kept for the shape of the cliff, flagged informational;
+            // `unfold_cold_total_64pages` below is the fair measurement.
             name: "partial_unfold_64pages",
             bytes: 64 * 128,
             tiered: time_case(runs, true, unfold),
             flat: time_case(runs, false, unfold),
+            informational: true,
         },
         Case {
             name: "unfold_cold_total_64pages",
             bytes: 64 * 4096 + 64 * 128,
             tiered: time_case(runs, true, unfold_total),
             flat: time_case(runs, false, unfold_total),
+            informational: false,
         },
     ];
 
@@ -222,12 +235,17 @@ fn main() {
     println!("{:-<72}", "");
     for c in &cases {
         println!(
-            "{:<24} {:>12} {:>12.2?} {:>12.2?} {:>8.2}x",
+            "{:<24} {:>12} {:>12.2?} {:>12.2?} {:>8.2}x{}",
             c.name,
             fmt_bytes(c.bytes),
             c.tiered,
             c.flat,
-            c.speedup()
+            c.speedup(),
+            if c.informational {
+                "  (informational)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -310,12 +328,13 @@ fn main() {
     for (i, c) in cases.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"bytes\": {}, \"tiered_ns\": {}, \"flat_ns\": {}, \"speedup\": {:.2}}}{}",
+            "    {{\"name\": \"{}\", \"bytes\": {}, \"tiered_ns\": {}, \"flat_ns\": {}, \"speedup\": {:.2}, \"informational\": {}}}{}",
             c.name,
             c.bytes,
             c.tiered.as_nanos(),
             c.flat.as_nanos(),
             c.speedup(),
+            c.informational,
             if i + 1 < cases.len() { "," } else { "" }
         );
     }

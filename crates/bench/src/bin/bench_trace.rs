@@ -1,0 +1,197 @@
+//! Trace-encoding footprint + ingest throughput: text (v2) vs binary (v3).
+//!
+//! Records TeaLeaf and Jacobi through the MUST & CuSan stack, takes each
+//! rank's recording in both encodings (whichever the run produced, plus
+//! its transcoded twin — transcoding is canonical, so the twin is exactly
+//! what recording in the other format would have written), and measures:
+//!
+//!   * bytes per event in each format (the compression claim: the v3
+//!     varint/delta codec must spend ≤ 1/2.5 the bytes of v2 text), and
+//!   * decode + check throughput of each format through the solo replay
+//!     path (`TraceReader` → `CheckSession::apply`), events per second.
+//!
+//! The golden TeaLeaf fixture joins the corpus so the numbers cover a
+//! checked-in recording too. Every replayed summary is asserted identical
+//! across formats — fidelity is part of the bench, not just the tests.
+//!
+//! Writes `BENCH_trace.json` to the current directory (override with
+//! `CUSAN_BENCH_TRACE_JSON`) — uploaded by the `binary-trace-smoke` CI
+//! job so future codec PRs have a bytes-per-event baseline to diff
+//! against.
+
+use cusan::{replay, transcode, Flavor, Trace, TraceFormat};
+use cusan_apps::{run_jacobi_traced, run_tealeaf_traced, JacobiConfig, TeaLeafConfig};
+use cusan_bench::{banner, bench_runs, measure};
+use std::time::Instant;
+
+const GOLDEN_FIXTURE: &str = include_str!("../../../../tests/data/tealeaf_small.trace");
+
+/// One recording in both encodings, with its parsed event count.
+struct Twin {
+    name: String,
+    text: Vec<u8>,
+    binary: Vec<u8>,
+    events: usize,
+}
+
+fn twin(name: String, recorded: Vec<u8>) -> Twin {
+    let (text, binary) = if recorded.starts_with(cusan::binio::BIN_FAMILY) {
+        let text =
+            transcode(&recorded[..], TraceFormat::Text).expect("binary recording transcodes");
+        (text, recorded)
+    } else {
+        let bin = transcode(&recorded[..], TraceFormat::Binary).expect("text recording transcodes");
+        (recorded, bin)
+    };
+    let events = Trace::from_bytes(&text)
+        .expect("recording parses")
+        .events
+        .len();
+    Twin {
+        name,
+        text,
+        binary,
+        events,
+    }
+}
+
+fn corpus() -> Vec<Twin> {
+    let mut twins = vec![twin("tealeaf_golden".into(), GOLDEN_FIXTURE.into())];
+    let j = run_jacobi_traced(
+        &JacobiConfig {
+            nx: 256,
+            ny: 128,
+            ranks: 2,
+            iters: 8,
+            ..JacobiConfig::default()
+        },
+        Flavor::MustCusan,
+    );
+    let t = run_tealeaf_traced(
+        &TeaLeafConfig {
+            nx: 32,
+            ny: 32,
+            ranks: 2,
+            steps: 2,
+            ..TeaLeafConfig::default()
+        },
+        Flavor::MustCusan,
+    );
+    let ranks = j
+        .outcome
+        .ranks
+        .into_iter()
+        .map(|r| ("jacobi", r))
+        .chain(t.outcome.ranks.into_iter().map(|r| ("tealeaf", r)));
+    for (app, r) in ranks {
+        twins.push(twin(
+            format!("{app}_rank{}", r.rank),
+            r.trace.expect("traced run carries a trace"),
+        ));
+    }
+    twins
+}
+
+/// Wall time to fully decode + check every trace in `traces` once.
+fn replay_pass(traces: &[&[u8]]) -> std::time::Duration {
+    let started = Instant::now();
+    for t in traces {
+        let trace = Trace::from_bytes(t).expect("parse");
+        std::hint::black_box(replay(&trace));
+    }
+    started.elapsed()
+}
+
+fn main() {
+    let runs = bench_runs();
+    let corpus = corpus();
+    banner(
+        "trace encoding — v2 text vs v3 binary",
+        &format!(
+            "{} recordings (golden fixture + live Jacobi/TeaLeaf ranks) | mean of {runs} runs (+1 warmup)",
+            corpus.len()
+        ),
+    );
+
+    // Fidelity first: both encodings of every recording replay to the
+    // same summary.
+    for tw in &corpus {
+        let t = replay(&Trace::from_bytes(&tw.text).unwrap());
+        let b = replay(&Trace::from_bytes(&tw.binary).unwrap());
+        assert_eq!(t.reports, b.reports, "{}: reports diverge", tw.name);
+        assert_eq!(t.stats, b.stats, "{}: stats diverge", tw.name);
+        assert_eq!(t.counters, b.counters, "{}: counters diverge", tw.name);
+    }
+
+    let total_events: usize = corpus.iter().map(|t| t.events).sum();
+    let text_bytes: usize = corpus.iter().map(|t| t.text.len()).sum();
+    let bin_bytes: usize = corpus.iter().map(|t| t.binary.len()).sum();
+    let text_bpe = text_bytes as f64 / total_events.max(1) as f64;
+    let bin_bpe = bin_bytes as f64 / total_events.max(1) as f64;
+    let reduction = text_bpe / bin_bpe;
+
+    println!(
+        "{:<20} {:>10} {:>10} {:>8} {:>9} {:>9}",
+        "Recording", "Text B", "Binary B", "Events", "Text B/e", "Bin B/e"
+    );
+    println!("{:-<72}", "");
+    for tw in &corpus {
+        println!(
+            "{:<20} {:>10} {:>10} {:>8} {:>9.2} {:>9.2}",
+            tw.name,
+            tw.text.len(),
+            tw.binary.len(),
+            tw.events,
+            tw.text.len() as f64 / tw.events.max(1) as f64,
+            tw.binary.len() as f64 / tw.events.max(1) as f64,
+        );
+    }
+    println!("{:-<72}", "");
+    println!(
+        "{:<20} {:>10} {:>10} {:>8} {:>9.2} {:>9.2}   ({reduction:.2}x)",
+        "total", text_bytes, bin_bytes, total_events, text_bpe, bin_bpe
+    );
+
+    // Throughput: decode + full check of the whole corpus, per format.
+    let text_refs: Vec<&[u8]> = corpus.iter().map(|t| t.text.as_slice()).collect();
+    let bin_refs: Vec<&[u8]> = corpus.iter().map(|t| t.binary.as_slice()).collect();
+    let text_time = measure(runs, || replay_pass(&text_refs));
+    let bin_time = measure(runs, || replay_pass(&bin_refs));
+    let text_eps = total_events as f64 / text_time.as_secs_f64().max(1e-9);
+    let bin_eps = total_events as f64 / bin_time.as_secs_f64().max(1e-9);
+    let text_mbs = text_bytes as f64 / 1e6 / text_time.as_secs_f64().max(1e-9);
+    let bin_mbs = bin_bytes as f64 / 1e6 / bin_time.as_secs_f64().max(1e-9);
+    println!();
+    println!(
+        "ingest (decode+check): text {text_time:.2?} ({text_eps:.0} ev/s, {text_mbs:.1} MB/s) | \
+         binary {bin_time:.2?} ({bin_eps:.0} ev/s, {bin_mbs:.1} MB/s) | {:.2}x",
+        text_time.as_secs_f64() / bin_time.as_secs_f64().max(1e-9)
+    );
+
+    // Hand-rolled JSON: the workspace is offline, so no serde.
+    let json = format!(
+        "{{\n  \"benchmark\": \"trace\",\n  \"recordings\": {},\n  \"runs\": {runs},\n  \
+         \"total_events\": {total_events},\n  \"text_bytes\": {text_bytes},\n  \
+         \"binary_bytes\": {bin_bytes},\n  \"text_bytes_per_event\": {text_bpe:.3},\n  \
+         \"binary_bytes_per_event\": {bin_bpe:.3},\n  \"bytes_per_event_reduction\": {reduction:.3},\n  \
+         \"text_replay_ns\": {},\n  \"binary_replay_ns\": {},\n  \
+         \"text_events_per_sec\": {text_eps:.0},\n  \"binary_events_per_sec\": {bin_eps:.0},\n  \
+         \"ingest_speedup\": {:.3}\n}}\n",
+        corpus.len(),
+        text_time.as_nanos(),
+        bin_time.as_nanos(),
+        text_time.as_secs_f64() / bin_time.as_secs_f64().max(1e-9),
+    );
+    let path =
+        std::env::var("CUSAN_BENCH_TRACE_JSON").unwrap_or_else(|_| "BENCH_trace.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+
+    // The headline gate: ≥ 2.5x fewer bytes per event.
+    assert!(
+        reduction >= 2.5,
+        "binary encoding only {reduction:.2}x smaller per event (target 2.5x)"
+    );
+}

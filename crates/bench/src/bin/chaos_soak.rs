@@ -88,8 +88,8 @@ fn soak_one(
 
     // Replay fidelity: the recorded stream reproduces the live run.
     for r in &a.ranks {
-        let text = r.trace.as_deref().expect("soak runs are traced");
-        let trace = match Trace::parse(text) {
+        let bytes = r.trace.as_deref().expect("soak runs are traced");
+        let trace = match Trace::from_bytes(bytes) {
             Ok(t) => t,
             Err(e) => {
                 tally.errs.push(format!(

@@ -1,23 +1,28 @@
-//! Record / replay driver for the event-pipeline trace format.
+//! Record / replay driver for the event-pipeline trace formats.
 //!
 //! A recorded trace replays the exact event stream a rank emitted through
 //! a fresh detector, offline — no device, no MPI, no application. Because
 //! the checker sink is the single apply path for both the live run and
 //! the replay, the replay must reproduce the live race reports, detector
 //! counters, and Table-I event counters bit-for-bit; `check` verifies
-//! exactly that and exits non-zero on any divergence.
+//! exactly that — for the recorded bytes *and* their transcoded twin in
+//! the other format — and exits non-zero on any divergence.
 //!
 //! Usage:
 //!
 //! ```text
 //! replay_trace record <dir>      record Jacobi + TeaLeaf (MUST & CuSan)
 //!                                and write one .trace file per rank
-//! replay_trace replay <file>...  replay traces, print reports + stats
+//!                                (CUSAN_TRACE_FORMAT picks the encoding)
+//! replay_trace replay <file>...  replay traces (either format, sniffed),
+//!                                print reports + stats
+//! replay_trace transcode <in> <out>  rewrite a trace into the other
+//!                                format (text ⇄ binary), record-for-record
 //! replay_trace check             record, replay, compare live vs replay
-//!                                (the CI gate), with timing
+//!                                vs transcoded twin (the CI gate)
 //! ```
 
-use cusan::{replay, Flavor, Trace};
+use cusan::{replay, transcode, Flavor, Trace, TraceFormat};
 use cusan_apps::{run_jacobi_traced, run_tealeaf_traced, JacobiConfig, TeaLeafConfig};
 use cusan_bench::banner;
 use must_rt::RankOutcome;
@@ -54,12 +59,13 @@ fn record_apps() -> Vec<(&'static str, Vec<RankOutcome>, Duration)> {
     ]
 }
 
-/// Compare one rank's live outcome against its trace replay. Returns the
-/// list of mismatch descriptions (empty = faithful replay).
+/// Compare one rank's live outcome against its trace replay — as
+/// recorded, and again through the transcoded twin in the other format.
+/// Returns the list of mismatch descriptions (empty = faithful replay).
 fn verify_rank(app: &str, rank: &RankOutcome) -> Vec<String> {
     let mut errs = Vec::new();
-    let text = rank.trace.as_deref().expect("traced run carries a trace");
-    let trace = match Trace::parse(text) {
+    let bytes = rank.trace.as_deref().expect("traced run carries a trace");
+    let trace = match Trace::from_bytes(bytes) {
         Ok(t) => t,
         Err(e) => return vec![format!("{app} rank {}: trace parse error: {e}", rank.rank)],
     };
@@ -101,7 +107,70 @@ fn verify_rank(app: &str, rank: &RankOutcome) -> Vec<String> {
             ));
         }
     }
+    // Binary/text twin: transcode into the other format, replay that, and
+    // demand the identical summary plus a byte-identical round trip.
+    let recorded = sniff(bytes);
+    let twin_format = match recorded {
+        TraceFormat::Text => TraceFormat::Binary,
+        TraceFormat::Binary => TraceFormat::Text,
+    };
+    match transcode(bytes, twin_format) {
+        Err(e) => errs.push(format!(
+            "{app} rank {}: transcode to {} failed: {e}",
+            rank.rank,
+            twin_format.name()
+        )),
+        Ok(twin) => {
+            match Trace::from_bytes(&twin) {
+                Err(e) => errs.push(format!(
+                    "{app} rank {}: {} twin parse error: {e}",
+                    rank.rank,
+                    twin_format.name()
+                )),
+                Ok(twin_trace) => {
+                    let twin_out = replay(&twin_trace);
+                    if twin_out.reports != outcome.reports
+                        || twin_out.stats != outcome.stats
+                        || twin_out.counters != outcome.counters
+                    {
+                        errs.push(format!(
+                            "{app} rank {}: {} twin replay diverges from the recording",
+                            rank.rank,
+                            twin_format.name()
+                        ));
+                    }
+                }
+            }
+            match transcode(&twin[..], recorded) {
+                Err(e) => errs.push(format!(
+                    "{app} rank {}: transcode back to {} failed: {e}",
+                    rank.rank,
+                    recorded.name()
+                )),
+                Ok(back) => {
+                    if back != bytes {
+                        errs.push(format!(
+                            "{app} rank {}: {} → {} → {} round trip is not byte-identical",
+                            rank.rank,
+                            recorded.name(),
+                            twin_format.name(),
+                            recorded.name()
+                        ));
+                    }
+                }
+            }
+        }
+    }
     errs
+}
+
+/// Which format a recorded byte buffer holds (both start with a magic).
+fn sniff(bytes: &[u8]) -> TraceFormat {
+    if bytes.starts_with(cusan::binio::BIN_FAMILY) {
+        TraceFormat::Binary
+    } else {
+        TraceFormat::Text
+    }
 }
 
 fn cmd_record(dir: &str) -> i32 {
@@ -109,11 +178,12 @@ fn cmd_record(dir: &str) -> i32 {
     for (app, ranks, _) in record_apps() {
         for r in &ranks {
             let path = format!("{dir}/{app}_rank{}.trace", r.rank);
-            let text = r.trace.as_deref().unwrap();
-            std::fs::write(&path, text).expect("write trace");
+            let bytes = r.trace.as_deref().unwrap();
+            std::fs::write(&path, bytes).expect("write trace");
             println!(
-                "wrote {path} ({} bytes, {} races live)",
-                text.len(),
+                "wrote {path} ({} bytes {}, {} races live)",
+                bytes.len(),
+                sniff(bytes).name(),
                 r.races.len()
             );
         }
@@ -124,7 +194,7 @@ fn cmd_record(dir: &str) -> i32 {
 fn cmd_replay(files: &[String]) -> i32 {
     let mut status = 0;
     for f in files {
-        let text = match std::fs::read_to_string(f) {
+        let bytes = match std::fs::read(f) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("{f}: {e}");
@@ -132,15 +202,16 @@ fn cmd_replay(files: &[String]) -> i32 {
                 continue;
             }
         };
-        match Trace::parse(&text) {
+        match Trace::from_bytes(&bytes) {
             Ok(trace) => {
                 let start = Instant::now();
                 let outcome = replay(&trace);
                 let dt = start.elapsed();
                 println!(
-                    "{f}: rank {} — {} events, {} races, {} fiber switches, {:.2?}",
+                    "{f}: rank {} — {} events ({}), {} races, {} fiber switches, {:.2?}",
                     trace.rank,
                     trace.events.len(),
+                    sniff(&bytes).name(),
                     outcome.reports.len(),
                     outcome.stats.fiber_switches,
                     dt
@@ -158,11 +229,43 @@ fn cmd_replay(files: &[String]) -> i32 {
     status
 }
 
+fn cmd_transcode(input: &str, output: &str) -> i32 {
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{input}: {e}");
+            return 1;
+        }
+    };
+    let to = match sniff(&bytes) {
+        TraceFormat::Text => TraceFormat::Binary,
+        TraceFormat::Binary => TraceFormat::Text,
+    };
+    match transcode(&bytes[..], to) {
+        Ok(out) => {
+            std::fs::write(output, &out).expect("write transcoded trace");
+            println!(
+                "{input} ({} bytes {}) -> {output} ({} bytes {})",
+                bytes.len(),
+                sniff(&bytes).name(),
+                out.len(),
+                to.name()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("{input}: transcode error: {e}");
+            1
+        }
+    }
+}
+
 fn cmd_check() -> i32 {
     banner(
         "trace record/replay fidelity check",
-        "records Jacobi + TeaLeaf (MUST & CuSan), replays each rank's trace,\n\
-         and compares race reports, detector stats, and event counters",
+        "records Jacobi + TeaLeaf (MUST & CuSan), replays each rank's trace\n\
+         plus its transcoded twin in the other format, and compares race\n\
+         reports, detector stats, and event counters",
     );
     let mut errs = Vec::new();
     for (app, ranks, live) in record_apps() {
@@ -173,7 +276,7 @@ fn cmd_check() -> i32 {
             errs.extend(verify_rank(app, r));
             replay_total += start.elapsed();
             if let Some(t) = &r.trace {
-                events += Trace::parse(t).map(|t| t.events.len()).unwrap_or(0);
+                events += Trace::from_bytes(t).map(|t| t.events.len()).unwrap_or(0);
             }
         }
         println!(
@@ -182,7 +285,7 @@ fn cmd_check() -> i32 {
         );
     }
     if errs.is_empty() {
-        println!("OK: replay reproduced every live report and counter exactly");
+        println!("OK: replay reproduced every live report and counter exactly, in both formats");
         0
     } else {
         for e in &errs {
@@ -200,9 +303,12 @@ fn main() {
             cmd_record(dir)
         }
         Some("replay") if args.len() > 1 => cmd_replay(&args[1..]),
+        Some("transcode") if args.len() == 3 => cmd_transcode(&args[1], &args[2]),
         Some("check") | None => cmd_check(),
         _ => {
-            eprintln!("usage: replay_trace [record <dir> | replay <file>... | check]");
+            eprintln!(
+                "usage: replay_trace [record <dir> | replay <file>... | transcode <in> <out> | check]"
+            );
             2
         }
     };

@@ -1,6 +1,7 @@
 //! Tool configuration and the evaluation-flavor matrix.
 
 use crate::fault::FaultPlan;
+use crate::trace::TraceFormat;
 use std::fmt;
 
 /// Which instrumentation layers are active.
@@ -85,6 +86,13 @@ pub struct ToolConfig {
     /// knob (read in [`crate::ToolCtx::new`] and the MUST harness)
     /// overrides this field process-wide.
     pub barrier_timeout_ms: Option<u64>,
+    /// Encoding the per-rank [`crate::TraceSink`] writes when recording
+    /// is on: v2 text (the default, human-greppable) or v3 binary (~3×
+    /// fewer bytes; see [`crate::binio`]). Readers sniff the format from
+    /// the magic, so this is producer-side only. The
+    /// `CUSAN_TRACE_FORMAT={text,binary}` knob (read in
+    /// [`crate::ToolCtx::new`]) overrides this field process-wide.
+    pub trace_format: TraceFormat,
 }
 
 impl ToolConfig {
@@ -103,6 +111,7 @@ impl ToolConfig {
         async_check: false,
         check_threads: None,
         barrier_timeout_ms: None,
+        trace_format: TraceFormat::Text,
     };
 
     /// True if any TSan-backed layer is on.
@@ -154,6 +163,7 @@ impl Flavor {
                 async_check: false,
                 check_threads: None,
                 barrier_timeout_ms: None,
+                trace_format: TraceFormat::Text,
             },
             Flavor::Must => ToolConfig {
                 tsan: true,
@@ -169,6 +179,7 @@ impl Flavor {
                 async_check: false,
                 check_threads: None,
                 barrier_timeout_ms: None,
+                trace_format: TraceFormat::Text,
             },
             Flavor::Cusan => ToolConfig {
                 tsan: true,
@@ -184,6 +195,7 @@ impl Flavor {
                 async_check: false,
                 check_threads: None,
                 barrier_timeout_ms: None,
+                trace_format: TraceFormat::Text,
             },
             Flavor::MustCusan => ToolConfig {
                 tsan: true,
@@ -199,6 +211,7 @@ impl Flavor {
                 async_check: false,
                 check_threads: None,
                 barrier_timeout_ms: None,
+                trace_format: TraceFormat::Text,
             },
         }
     }
@@ -289,6 +302,17 @@ mod tests {
             assert_eq!(f.config().check_threads, None, "{f}");
         }
         assert_eq!(ToolConfig::VANILLA.check_threads, None);
+    }
+
+    #[test]
+    fn trace_format_defaults_to_text() {
+        // Binary recording is opt-in (CUSAN_TRACE_FORMAT=binary); the
+        // text default keeps fresh recordings greppable and fixtures
+        // stable.
+        for f in Flavor::ALL {
+            assert_eq!(f.config().trace_format, TraceFormat::Text, "{f}");
+        }
+        assert_eq!(ToolConfig::VANILLA.trace_format, TraceFormat::Text);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::config::ToolConfig;
 use crate::event::{CtxInterner, CusanEvent, EventCounters, EventSink, FiberPredictor, StrId};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::session::{CheckSession, SessionSummary};
-use crate::trace::TraceSink;
+use crate::trace::{TraceFormat, TraceSink};
 use sim_mem::{AddressSpace, MemError, Pod, Ptr};
 use std::cell::{Cell, Ref, RefCell};
 use std::rc::Rc;
@@ -137,6 +137,32 @@ pub fn check_threads_env() -> Option<usize> {
 /// value, or unset defers to [`ToolConfig::barrier_timeout_ms`].
 static BARRIER_TIMEOUT_ENV: OnceLock<Option<u64>> = OnceLock::new();
 
+/// Process-wide `CUSAN_TRACE_FORMAT={text,binary}` override for the
+/// encoding recording [`TraceSink`]s write, frozen on first read like
+/// [`shadow_tiered_env`] (mixed-format twins within one run would break
+/// the byte-identical determinism assertions the harness makes across
+/// ranks). Readers always sniff, so this is producer-side only; a
+/// malformed value is ignored with a warning.
+static TRACE_FORMAT_ENV: OnceLock<Option<TraceFormat>> = OnceLock::new();
+
+/// The frozen `CUSAN_TRACE_FORMAT` override (see `TRACE_FORMAT_ENV`).
+pub fn trace_format_env() -> Option<TraceFormat> {
+    *TRACE_FORMAT_ENV.get_or_init(|| match std::env::var("CUSAN_TRACE_FORMAT") {
+        Ok(v) => match TraceFormat::parse(v.trim()) {
+            Some(f) => Some(f),
+            None => {
+                if !v.trim().is_empty() {
+                    eprintln!(
+                        "warning: ignoring CUSAN_TRACE_FORMAT={v:?}: expected `text` or `binary`"
+                    );
+                }
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
 /// The frozen `CUSAN_BARRIER_TIMEOUT_MS` override (see
 /// `BARRIER_TIMEOUT_ENV`).
 pub fn barrier_timeout_env() -> Option<u64> {
@@ -212,6 +238,9 @@ impl ToolCtx {
         }
         if let Some(ms) = barrier_timeout_env() {
             config.barrier_timeout_ms = Some(ms);
+        }
+        if let Some(format) = trace_format_env() {
+            config.trace_format = format;
         }
         let mut tsan = TsanRuntime::with_options(
             &format!("host (rank {rank})"),
@@ -365,16 +394,30 @@ impl ToolCtx {
         self.sinks.borrow_mut().push(sink);
     }
 
-    /// Install a [`TraceSink`] recording this rank's event stream;
-    /// returns the shared buffer holding the serialized trace.
-    pub fn install_trace_sink(&self) -> Rc<RefCell<String>> {
-        let (sink, buf) = TraceSink::new(
+    /// Install a [`TraceSink`] recording this rank's event stream in
+    /// `config.trace_format`; returns the shared buffer holding the
+    /// serialized trace. Call [`Self::finish_sinks`] before reading the
+    /// buffer so the trace is sealed (binary traces end with their
+    /// end-of-trace marker).
+    pub fn install_trace_sink(&self) -> Rc<RefCell<Vec<u8>>> {
+        let (sink, buf) = TraceSink::with_format(
+            self.config.trace_format,
             self.rank,
             self.config.shadow_tiered,
             self.config.shadow_page_budget,
         );
         self.install_sink(Box::new(sink));
         buf
+    }
+
+    /// Declare the event stream complete: every installed sink's
+    /// [`EventSink::finish`] runs (sealing recorded traces). Idempotent;
+    /// harness flush points call it right after [`Self::flush_checker`],
+    /// before collecting outcomes.
+    pub fn finish_sinks(&self) {
+        for sink in self.sinks.borrow_mut().iter_mut() {
+            sink.finish();
+        }
     }
 
     // ---- fault injection ----------------------------------------------------

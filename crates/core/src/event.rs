@@ -165,6 +165,12 @@ pub trait EventSink {
     fn name(&self) -> &'static str;
     /// Observe one event; `strings` resolves interned ids.
     fn on_event(&mut self, ev: &CusanEvent, strings: &CtxInterner);
+    /// The stream is complete — no more events will arrive. Sinks whose
+    /// output has a terminator (e.g. a binary trace's end-of-trace
+    /// marker) finalize here; the default does nothing. Called by
+    /// `ToolCtx::finish_sinks`, and must be idempotent (drop paths may
+    /// finalize again as a backstop).
+    fn finish(&mut self) {}
 }
 
 /// The detection sink: applies events to a [`TsanRuntime`].

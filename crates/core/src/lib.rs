@@ -36,6 +36,7 @@
 
 pub mod api;
 pub mod async_check;
+pub mod binio;
 pub mod config;
 pub mod ctx;
 pub mod event;
@@ -53,8 +54,8 @@ pub use event::{
 };
 pub use fault::{FaultInjector, FaultPlan, NetFault};
 pub use session::{CheckSession, SessionOptions, SessionSummary};
-pub use tsan_rt::SnapshotError;
 pub use trace::{
-    replay, replay_stream, ReplayOutcome, Trace, TraceHeader, TraceLineParser, TraceReader,
-    TraceRecord, TraceSink,
+    replay, replay_stream, transcode, ReplayOutcome, Trace, TraceFormat, TraceHeader, TraceItem,
+    TraceLineParser, TracePushParser, TraceReader, TraceRecord, TraceSink,
 };
+pub use tsan_rt::SnapshotError;

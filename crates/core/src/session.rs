@@ -328,9 +328,7 @@ impl CheckSession {
             for _ in 0..n_named {
                 let name = r.get_str()?;
                 if last.as_deref() >= Some(name.as_str()) {
-                    return Err(SnapshotError::Corrupt(
-                        "named counters out of order".into(),
-                    ));
+                    return Err(SnapshotError::Corrupt("named counters out of order".into()));
                 }
                 let total = r.get_u64()?;
                 c.named.insert(name.clone(), total);

@@ -1,16 +1,36 @@
 //! Deterministic trace record/replay for the event pipeline.
 //!
-//! [`TraceSink`] serializes one rank's event stream to a compact,
-//! self-describing text format; [`Trace::parse`] reads it back; and
-//! [`replay`] re-drives a parsed trace through a fresh [`TsanRuntime`] via
-//! the same [`CheckerSink`] apply path used live — no apps, no simulators.
-//! A replayed trace therefore reproduces the live run's race reports and
-//! event counters exactly (asserted by `crates/apps/tests/trace_replay.rs`
-//! across the whole testsuite).
+//! [`TraceSink`] serializes one rank's event stream; [`Trace::parse`] /
+//! [`Trace::from_bytes`] read it back; and [`replay`] re-drives a parsed
+//! trace through a fresh [`CheckSession`] via the same apply path used
+//! live — no apps, no simulators. A replayed trace therefore reproduces
+//! the live run's race reports and event counters exactly (asserted by
+//! `crates/apps/tests/trace_replay.rs` across the whole testsuite).
 //!
-//! # Format
+//! # Formats
 //!
-//! Line-oriented UTF-8. The first line is the header:
+//! Two on-disk/on-wire encodings carry the identical record stream —
+//! string-table entries interleaved with events, strings always emitted
+//! before first use — and readers sniff which one a byte source holds
+//! from its magic, so mixed corpora (old text fixtures next to fresh
+//! binary recordings) all parse through the same entry points:
+//!
+//! * **v2 text** (the default, human-greppable): line-oriented UTF-8,
+//!   described below.
+//! * **v3 binary** (`CUSAN_TRACE_FORMAT=binary`, ~3× fewer bytes per
+//!   event): LEB128 varints, delta-coded addresses/fiber ids/sync keys,
+//!   one-byte opcodes, length-delimited records, and an end-of-trace
+//!   marker that makes any truncation — even at a record boundary — a
+//!   typed error. See [`crate::binio`] for the full layout.
+//!
+//! Unknown versions of either family fail parsing loudly instead of
+//! silently misreading old recordings. [`transcode`] converts between
+//! the formats record-for-record; because both writers are canonical,
+//! text → binary → text reproduces the original bytes exactly.
+//!
+//! # The v2 text format
+//!
+//! The first line is the header:
 //!
 //! ```text
 //! cusan-trace v2 rank <rank> tiered <0|1> budget <pages|none>
@@ -18,13 +38,9 @@
 //!
 //! `tiered` and `budget` record the shadow-memory configuration so replay
 //! reproduces the live shadow-tier counters *and* any best-effort
-//! degradation (`dropped_annotations`) of a budget-capped run. The
-//! version in the magic is bumped whenever the format changes shape (v1 →
-//! v2 added the budget field and the `af` fault event); a version
-//! mismatch fails parsing loudly instead of silently misreading old
-//! recordings. Every other line is either a string-table entry — `s <id>
-//! <label>` with `\` and newline escaped, ids dense and ascending, always
-//! emitted before first use — or an event:
+//! degradation (`dropped_annotations`) of a budget-capped run. Every
+//! other line is either a string-table entry — `s <id> <label>` with `\`
+//! and newline escaped, ids dense and ascending — or an event:
 //!
 //! | line | event |
 //! |---|---|
@@ -40,17 +56,19 @@
 //! | `af <call> <site>` | injected API fault |
 //!
 //! All writers format identically, so two recordings of the same
-//! deterministic run are byte-identical (see the Jacobi determinism test).
+//! deterministic run are byte-identical (see the Jacobi determinism
+//! test) — in either format.
 
+use crate::binio::{self, BinRecord};
 use crate::event::{CtxInterner, CusanEvent, EventCounters, EventSink, StrId};
 use crate::session::{CheckSession, SessionOptions};
 use std::cell::RefCell;
-use std::io::BufRead;
+use std::io::{BufRead, Write};
 use std::rc::Rc;
 use std::sync::Arc;
-use tsan_rt::{FiberId, RaceReport, SyncKey, TsanStats};
+use tsan_rt::{FiberId, RaceReport, SnapshotReader, SnapshotWriter, SyncKey, TsanStats};
 
-/// Magic prefix of a trace header line. The version is part of the
+/// Magic prefix of a text trace header line. The version is part of the
 /// magic: readers reject any other version with a clear message.
 pub const TRACE_MAGIC: &str = "cusan-trace v2";
 
@@ -58,8 +76,47 @@ pub const TRACE_MAGIC: &str = "cusan-trace v2";
 /// "not a trace at all" in error messages.
 const TRACE_FAMILY: &str = "cusan-trace v";
 
-fn escape(label: &str) -> String {
-    label.replace('\\', "\\\\").replace('\n', "\\n")
+/// Which encoding a trace writer produces. Readers never need this —
+/// they sniff the magic — so it only appears on the producer side
+/// ([`crate::ToolConfig::trace_format`], `CUSAN_TRACE_FORMAT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// v2 line-oriented UTF-8 (the default; human-greppable).
+    Text,
+    /// v3 length-delimited varint records (see [`crate::binio`]).
+    Binary,
+}
+
+impl TraceFormat {
+    /// Parse the `CUSAN_TRACE_FORMAT` knob's value.
+    pub fn parse(s: &str) -> Option<TraceFormat> {
+        match s {
+            "text" => Some(TraceFormat::Text),
+            "binary" => Some(TraceFormat::Binary),
+            _ => None,
+        }
+    }
+
+    /// The knob spelling (`"text"` / `"binary"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceFormat::Text => "text",
+            TraceFormat::Binary => "binary",
+        }
+    }
+}
+
+/// Append `label` with `\` and newline escaped — one pass, no
+/// intermediate allocations (both escapes are single-byte, so the byte
+/// loop is also correct for multi-byte UTF-8 sequences).
+fn write_escaped(out: &mut Vec<u8>, label: &str) {
+    for &b in label.as_bytes() {
+        match b {
+            b'\\' => out.extend_from_slice(b"\\\\"),
+            b'\n' => out.extend_from_slice(b"\\n"),
+            _ => out.push(b),
+        }
+    }
 }
 
 fn unescape(s: &str) -> String {
@@ -79,37 +136,169 @@ fn unescape(s: &str) -> String {
     out
 }
 
-/// A sink that serializes the event stream into a shared text buffer.
+/// String id an event references, if any — both parsers enforce that it
+/// is already defined by the string table.
+fn event_used_str(ev: &CusanEvent) -> Option<StrId> {
+    match *ev {
+        CusanEvent::FiberCreate { name, .. } => Some(name),
+        CusanEvent::ReadRange { ctx, .. } | CusanEvent::WriteRange { ctx, .. } => Some(ctx),
+        CusanEvent::Alloc { kind, .. } => Some(kind),
+        CusanEvent::CounterBump { counter, .. } => Some(counter),
+        CusanEvent::ApiFault { call, .. } => Some(call),
+        _ => None,
+    }
+}
+
+/// Format-dispatched record writer — the single producer-side encoder
+/// shared by [`TraceSink`] (live recording) and [`transcode`]. Both
+/// formats' string-table paths go through it, and both are canonical:
+/// re-encoding a decoded stream reproduces the input bytes.
+enum RecordWriter {
+    Text,
+    Binary(binio::Encoder),
+}
+
+impl RecordWriter {
+    fn new(format: TraceFormat) -> RecordWriter {
+        match format {
+            TraceFormat::Text => RecordWriter::Text,
+            TraceFormat::Binary => RecordWriter::Binary(binio::Encoder::new()),
+        }
+    }
+
+    fn header(&mut self, out: &mut Vec<u8>, rank: usize, tiered: bool, budget: Option<usize>) {
+        match self {
+            RecordWriter::Text => {
+                let budget = budget.map_or_else(|| "none".to_string(), |b| b.to_string());
+                writeln!(
+                    out,
+                    "{TRACE_MAGIC} rank {rank} tiered {} budget {budget}",
+                    u8::from(tiered)
+                )
+                .expect("writes to Vec are infallible");
+            }
+            RecordWriter::Binary(_) => binio::Encoder::encode_header(out, rank, tiered, budget),
+        }
+    }
+
+    fn str_record(&mut self, out: &mut Vec<u8>, id: u32, label: &str) {
+        match self {
+            RecordWriter::Text => {
+                write!(out, "s {id} ").expect("writes to Vec are infallible");
+                write_escaped(out, label);
+                out.push(b'\n');
+            }
+            RecordWriter::Binary(enc) => enc.encode_str(out, id, label),
+        }
+    }
+
+    fn event(&mut self, out: &mut Vec<u8>, ev: &CusanEvent) {
+        let enc = match self {
+            RecordWriter::Text => {
+                match *ev {
+                    CusanEvent::FiberCreate { fiber, name } => {
+                        writeln!(out, "fc {} {}", fiber.index(), name.0)
+                    }
+                    CusanEvent::FiberSwitch { fiber, sync: true } => {
+                        writeln!(out, "fy {}", fiber.index())
+                    }
+                    CusanEvent::FiberSwitch { fiber, sync: false } => {
+                        writeln!(out, "fs {}", fiber.index())
+                    }
+                    CusanEvent::FiberDestroy { fiber } => writeln!(out, "fd {}", fiber.index()),
+                    CusanEvent::HappensBefore { key } => writeln!(out, "hb {:x}", key.0),
+                    CusanEvent::HappensAfter { key } => writeln!(out, "ha {:x}", key.0),
+                    CusanEvent::ReadRange { addr, len, ctx } => {
+                        writeln!(out, "rr {addr:x} {len} {}", ctx.0)
+                    }
+                    CusanEvent::WriteRange { addr, len, ctx } => {
+                        writeln!(out, "wr {addr:x} {len} {}", ctx.0)
+                    }
+                    CusanEvent::Alloc { addr, bytes, kind } => {
+                        writeln!(out, "al {addr:x} {bytes} {}", kind.0)
+                    }
+                    CusanEvent::Free { addr, bytes } => writeln!(out, "fr {addr:x} {bytes}"),
+                    CusanEvent::RequestBegin { serial } => writeln!(out, "qb {serial}"),
+                    CusanEvent::RequestComplete { serial } => writeln!(out, "qc {serial}"),
+                    CusanEvent::CounterBump { counter, delta } => {
+                        writeln!(out, "cb {} {delta}", counter.0)
+                    }
+                    CusanEvent::ApiFault { call, site } => writeln!(out, "af {} {site}", call.0),
+                }
+                .expect("writes to Vec are infallible");
+                return;
+            }
+            RecordWriter::Binary(enc) => enc,
+        };
+        enc.encode_event(out, ev);
+    }
+
+    /// Terminate the stream. Binary traces get the end-of-trace marker
+    /// (which is what makes every truncation detectable); text traces
+    /// need nothing.
+    fn end(&mut self, out: &mut Vec<u8>) {
+        if let RecordWriter::Binary(enc) = self {
+            enc.encode_end(out);
+        }
+    }
+}
+
+/// A sink that serializes the event stream into a shared byte buffer.
 ///
-/// String-table entries are flushed lazily: before writing an event line,
-/// every interner entry not yet written is emitted, so any id an event
-/// references is defined earlier in the file.
+/// String-table entries are flushed lazily: before writing an event
+/// record, every interner entry not yet written is emitted, so any id an
+/// event references is defined earlier in the stream. Binary traces are
+/// *sealed* with an end-of-trace marker — via [`EventSink::finish`]
+/// (called by `ToolCtx::finish_sinks` before the harness collects the
+/// buffer) or, as a backstop, on drop.
 pub struct TraceSink {
-    buf: Rc<RefCell<String>>,
+    buf: Rc<RefCell<Vec<u8>>>,
     written: usize,
+    writer: RecordWriter,
+    sealed: bool,
 }
 
 impl TraceSink {
-    /// Create a sink whose header records `rank` and the shadow
-    /// configuration (tiering + page budget). Returns the sink and the
-    /// shared buffer handle the caller reads after the run.
+    /// Text-format sink (the historical default). Returns the sink and
+    /// the shared buffer handle the caller reads after the run.
     pub fn new(
         rank: usize,
         tiered: bool,
         budget: Option<usize>,
-    ) -> (TraceSink, Rc<RefCell<String>>) {
-        let budget = budget.map_or_else(|| "none".to_string(), |b| b.to_string());
-        let buf = Rc::new(RefCell::new(format!(
-            "{TRACE_MAGIC} rank {rank} tiered {} budget {budget}\n",
-            u8::from(tiered)
-        )));
+    ) -> (TraceSink, Rc<RefCell<Vec<u8>>>) {
+        Self::with_format(TraceFormat::Text, rank, tiered, budget)
+    }
+
+    /// Create a sink in the given format whose header records `rank` and
+    /// the shadow configuration (tiering + page budget).
+    pub fn with_format(
+        format: TraceFormat,
+        rank: usize,
+        tiered: bool,
+        budget: Option<usize>,
+    ) -> (TraceSink, Rc<RefCell<Vec<u8>>>) {
+        let mut writer = RecordWriter::new(format);
+        let mut out = Vec::new();
+        writer.header(&mut out, rank, tiered, budget);
+        let buf = Rc::new(RefCell::new(out));
         (
             TraceSink {
                 buf: Rc::clone(&buf),
                 written: 0,
+                writer,
+                sealed: false,
             },
             buf,
         )
+    }
+
+    /// Seal the stream (idempotent): binary traces get their
+    /// end-of-trace marker, making the buffer a complete trace.
+    pub fn seal(&mut self) {
+        if !self.sealed {
+            self.sealed = true;
+            self.writer.end(&mut self.buf.borrow_mut());
+        }
     }
 }
 
@@ -119,40 +308,24 @@ impl EventSink for TraceSink {
     }
 
     fn on_event(&mut self, ev: &CusanEvent, strings: &CtxInterner) {
-        use std::fmt::Write;
+        debug_assert!(!self.sealed, "event after the trace was sealed");
         let mut buf = self.buf.borrow_mut();
         while self.written < strings.len() {
             let id = StrId(self.written as u32);
-            writeln!(buf, "s {} {}", id.0, escape(strings.label(id))).unwrap();
+            self.writer.str_record(&mut buf, id.0, strings.label(id));
             self.written += 1;
         }
-        match *ev {
-            CusanEvent::FiberCreate { fiber, name } => {
-                writeln!(buf, "fc {} {}", fiber.index(), name.0)
-            }
-            CusanEvent::FiberSwitch { fiber, sync: true } => writeln!(buf, "fy {}", fiber.index()),
-            CusanEvent::FiberSwitch { fiber, sync: false } => writeln!(buf, "fs {}", fiber.index()),
-            CusanEvent::FiberDestroy { fiber } => writeln!(buf, "fd {}", fiber.index()),
-            CusanEvent::HappensBefore { key } => writeln!(buf, "hb {:x}", key.0),
-            CusanEvent::HappensAfter { key } => writeln!(buf, "ha {:x}", key.0),
-            CusanEvent::ReadRange { addr, len, ctx } => {
-                writeln!(buf, "rr {addr:x} {len} {}", ctx.0)
-            }
-            CusanEvent::WriteRange { addr, len, ctx } => {
-                writeln!(buf, "wr {addr:x} {len} {}", ctx.0)
-            }
-            CusanEvent::Alloc { addr, bytes, kind } => {
-                writeln!(buf, "al {addr:x} {bytes} {}", kind.0)
-            }
-            CusanEvent::Free { addr, bytes } => writeln!(buf, "fr {addr:x} {bytes}"),
-            CusanEvent::RequestBegin { serial } => writeln!(buf, "qb {serial}"),
-            CusanEvent::RequestComplete { serial } => writeln!(buf, "qc {serial}"),
-            CusanEvent::CounterBump { counter, delta } => {
-                writeln!(buf, "cb {} {delta}", counter.0)
-            }
-            CusanEvent::ApiFault { call, site } => writeln!(buf, "af {} {site}", call.0),
-        }
-        .unwrap();
+        self.writer.event(&mut buf, ev);
+    }
+
+    fn finish(&mut self) {
+        self.seal();
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        self.seal();
     }
 }
 
@@ -175,7 +348,11 @@ fn parse_err(lineno: usize, msg: impl Into<String>) -> String {
     format!("trace line {}: {}", lineno + 1, msg.into())
 }
 
-/// The parsed header line of a trace.
+fn rec_err(recno: u64, msg: impl Into<String>) -> String {
+    format!("trace record {}: {}", recno, msg.into())
+}
+
+/// The parsed header of a trace (common to both formats).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceHeader {
     /// Rank the trace was recorded on.
@@ -187,7 +364,7 @@ pub struct TraceHeader {
 }
 
 impl TraceHeader {
-    /// Parse the header line (without its trailing newline).
+    /// Parse the text header line (without its trailing newline).
     pub fn parse(header: &str) -> Result<TraceHeader, String> {
         let rest = header.strip_prefix(TRACE_MAGIC).ok_or_else(|| {
             if header.starts_with(TRACE_FAMILY) {
@@ -227,7 +404,7 @@ impl TraceHeader {
     }
 }
 
-/// One parsed body line of a trace.
+/// One parsed body record of a trace.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceRecord {
     /// A string-table entry, already interned into the parser's table
@@ -239,17 +416,17 @@ pub enum TraceRecord {
         /// The unescaped label.
         label: Arc<str>,
     },
-    /// An event line.
+    /// An event record.
     Event(CusanEvent),
 }
 
-/// Incremental (push-mode) parser for trace body lines.
+/// Incremental (push-mode) parser for *text* trace body lines.
 ///
-/// Feed it complete lines one at a time — from a file, a socket shard
-/// stream, or anywhere else — and it maintains the string table, the
-/// density/defined-id validation, and line numbers for error messages.
-/// [`TraceReader`] wraps it for pull-mode iteration over a [`BufRead`];
-/// `cusan-serve` drives it directly from reassembled shard chunks.
+/// Feed it complete lines one at a time and it maintains the string
+/// table, the density/defined-id validation, and line numbers for error
+/// messages. [`TracePushParser`] wraps it (next to its binary
+/// counterpart) behind format sniffing; [`TraceReader`] wraps *that* for
+/// pull-mode iteration over a [`BufRead`].
 #[derive(Debug, Default)]
 pub struct TraceLineParser {
     strings: CtxInterner,
@@ -394,15 +571,7 @@ impl TraceLineParser {
             other => return Err(parse_err(lineno, format!("unknown event kind {other:?}"))),
         };
         // Events must not reference string ids the table hasn't defined.
-        let used = match ev {
-            CusanEvent::FiberCreate { name, .. } => Some(name),
-            CusanEvent::ReadRange { ctx, .. } | CusanEvent::WriteRange { ctx, .. } => Some(ctx),
-            CusanEvent::Alloc { kind, .. } => Some(kind),
-            CusanEvent::CounterBump { counter, .. } => Some(counter),
-            CusanEvent::ApiFault { call, .. } => Some(call),
-            _ => None,
-        };
-        if let Some(id) = used {
+        if let Some(id) = event_used_str(&ev) {
             if id.0 as usize >= self.strings.len() {
                 return Err(parse_err(lineno, format!("undefined string id {}", id.0)));
             }
@@ -411,32 +580,442 @@ impl TraceLineParser {
     }
 }
 
+/// Outcome of one binary-record decode step (internal).
+enum BinStep {
+    /// The frame at the front of the input is incomplete.
+    NeedMore,
+    /// The end-of-trace marker, consuming this many bytes.
+    End(usize),
+    /// One validated record, consuming this many bytes.
+    Record(usize, TraceRecord),
+}
+
+/// Incremental parser for *binary* trace body records — the v3
+/// counterpart of [`TraceLineParser`], enforcing the same string-table
+/// density and defined-id rules with record numbers in place of line
+/// numbers.
+#[derive(Debug, Default)]
+struct BinRecordParser {
+    strings: CtxInterner,
+    dec: binio::Decoder,
+    /// Records consumed so far (the header is record 0).
+    recno: u64,
+    saw_end: bool,
+}
+
+impl BinRecordParser {
+    fn next_record(&mut self, bytes: &[u8]) -> Result<BinStep, String> {
+        if self.saw_end {
+            return Err(rec_err(
+                self.recno + 1,
+                "data after the end-of-trace marker",
+            ));
+        }
+        match self.dec.decode_record(bytes) {
+            Ok(None) => Ok(BinStep::NeedMore),
+            Err(e) => Err(rec_err(self.recno + 1, e.to_string())),
+            Ok(Some((n, rec))) => {
+                self.recno += 1;
+                match rec {
+                    BinRecord::End => {
+                        self.saw_end = true;
+                        Ok(BinStep::End(n))
+                    }
+                    BinRecord::Str { id, label } => {
+                        let interned = self.strings.intern(&label);
+                        if interned.0 != id {
+                            return Err(rec_err(
+                                self.recno,
+                                format!(
+                                    "string table not dense: got id {id}, expected {}",
+                                    interned.0
+                                ),
+                            ));
+                        }
+                        Ok(BinStep::Record(
+                            n,
+                            TraceRecord::Str {
+                                id: interned,
+                                label: self.strings.shared_label(interned).expect("just interned"),
+                            },
+                        ))
+                    }
+                    BinRecord::Event(ev) => {
+                        if let Some(id) = event_used_str(&ev) {
+                            if id.0 as usize >= self.strings.len() {
+                                return Err(rec_err(
+                                    self.recno,
+                                    format!("undefined string id {}", id.0),
+                                ));
+                            }
+                        }
+                        Ok(BinStep::Record(n, TraceRecord::Event(ev)))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One item a [`TracePushParser`] yields.
+#[derive(Debug)]
+pub enum TraceItem {
+    /// The trace header — always the first item.
+    Header(TraceHeader),
+    /// A body record.
+    Record(TraceRecord),
+}
+
+#[derive(Debug)]
+enum PushState {
+    /// Deciding text vs binary from the first bytes.
+    Sniff,
+    /// Text decided; waiting for the complete header line.
+    TextHeader,
+    /// Text header accepted; body lines stream through the line parser.
+    TextBody(TraceLineParser),
+    /// Binary magic matched; waiting for the complete header fields.
+    BinHeader,
+    /// Binary header accepted; body records stream through the decoder.
+    BinBody(BinRecordParser),
+}
+
+/// Format-sniffing push parser: feed it byte chunks with arbitrary
+/// boundaries — mid-line, mid-varint, mid-code-point — and poll items
+/// out. This is the one trace-decoding engine: [`TraceReader`] wraps it
+/// for pull iteration, and `cusan-serve`'s ingest drives it directly
+/// from reassembled socket frames.
+///
+/// The first bytes decide the format: streams beginning with the binary
+/// family magic (`cusanbt`) decode as v3 records (wrong versions fail
+/// loudly), everything else parses as text lines (where a non-`v2`
+/// header fails loudly too). The parser buffers only the unconsumed
+/// tail, and its complete mid-stream state — pending bytes, string
+/// table, position counters, binary delta state — snapshots into the
+/// serve spill format via [`TracePushParser::spill_to`].
+#[derive(Debug)]
+pub struct TracePushParser {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted on the next feed).
+    start: usize,
+    eof: bool,
+    state: PushState,
+}
+
+impl Default for TracePushParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TracePushParser {
+    /// Fresh parser, format undecided until the first bytes arrive.
+    pub fn new() -> Self {
+        TracePushParser {
+            buf: Vec::new(),
+            start: 0,
+            eof: false,
+            state: PushState::Sniff,
+        }
+    }
+
+    /// Append one chunk of the stream.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Declare end-of-stream: a final text line without a trailing
+    /// newline becomes parseable, and incomplete binary records (or a
+    /// missing end-of-trace marker) become typed truncation errors on
+    /// the next [`TracePushParser::poll`].
+    pub fn close(&mut self) {
+        self.eof = true;
+    }
+
+    /// The sniffed format (`None` until the first bytes decide it).
+    pub fn format(&self) -> Option<TraceFormat> {
+        match self.state {
+            PushState::Sniff => None,
+            PushState::TextHeader | PushState::TextBody(_) => Some(TraceFormat::Text),
+            PushState::BinHeader | PushState::BinBody(_) => Some(TraceFormat::Binary),
+        }
+    }
+
+    /// True once the header has been yielded (body state).
+    pub fn in_body(&self) -> bool {
+        matches!(self.state, PushState::TextBody(_) | PushState::BinBody(_))
+    }
+
+    /// The string table accumulated so far (`None` before the header).
+    pub fn strings(&self) -> Option<&CtxInterner> {
+        match &self.state {
+            PushState::TextBody(p) => Some(p.strings()),
+            PushState::BinBody(p) => Some(&p.strings),
+            _ => None,
+        }
+    }
+
+    /// Consume the parser into its string table (empty if the header
+    /// never arrived).
+    pub fn into_strings(self) -> CtxInterner {
+        match self.state {
+            PushState::TextBody(p) => p.into_strings(),
+            PushState::BinBody(p) => p.strings,
+            _ => CtxInterner::new(),
+        }
+    }
+
+    /// Produce the next item, or `Ok(None)` when more bytes are needed
+    /// (before [`Self::close`]) / the stream is fully drained (after).
+    /// Errors are not consumed: a poisoned stream keeps returning the
+    /// same error, and callers are expected to stop at the first one.
+    pub fn poll(&mut self) -> Result<Option<TraceItem>, String> {
+        loop {
+            match self.state {
+                PushState::Sniff => {
+                    let p = &self.buf[self.start..];
+                    let probe = p.len().min(binio::BIN_FAMILY.len());
+                    if p[..probe] == binio::BIN_FAMILY[..probe] {
+                        if p.len() < binio::BIN_MAGIC.len() {
+                            if !self.eof {
+                                return Ok(None);
+                            }
+                            if p.is_empty() {
+                                return Err("empty trace".to_string());
+                            }
+                            // A ≤7-byte stream that is a prefix of the
+                            // binary magic can only be a cut-off trace
+                            // (text headers diverge from the family
+                            // within 6 bytes).
+                            return Err("binary trace truncated inside the header".to_string());
+                        }
+                        self.state = PushState::BinHeader;
+                    } else {
+                        self.state = PushState::TextHeader;
+                    }
+                }
+                PushState::TextHeader => {
+                    let p = &self.buf[self.start..];
+                    let (line_len, consumed) = match p.iter().position(|&b| b == b'\n') {
+                        Some(i) => (i, i + 1),
+                        None if self.eof => (p.len(), p.len()),
+                        None => return Ok(None),
+                    };
+                    let line = std::str::from_utf8(&p[..line_len])
+                        .map_err(|_| "trace header is not valid UTF-8".to_string())?;
+                    let header = TraceHeader::parse(line)?;
+                    self.start += consumed;
+                    self.state = PushState::TextBody(TraceLineParser::new());
+                    return Ok(Some(TraceItem::Header(header)));
+                }
+                PushState::TextBody(ref mut parser) => {
+                    let p = &self.buf[self.start..];
+                    let (line_len, consumed) = match p.iter().position(|&b| b == b'\n') {
+                        Some(i) => (i, i + 1),
+                        None if self.eof && !p.is_empty() => (p.len(), p.len()),
+                        None => return Ok(None),
+                    };
+                    let line = std::str::from_utf8(&p[..line_len])
+                        .map_err(|_| parse_err(parser.lineno() + 1, "line is not valid UTF-8"))?;
+                    let rec = parser.parse_line(line)?;
+                    self.start += consumed;
+                    if let Some(rec) = rec {
+                        return Ok(Some(TraceItem::Record(rec)));
+                    }
+                }
+                PushState::BinHeader => {
+                    let p = &self.buf[self.start..];
+                    match binio::decode_header(p) {
+                        Ok(Some((n, rank, tiered, budget))) => {
+                            self.start += n;
+                            self.state = PushState::BinBody(BinRecordParser::default());
+                            return Ok(Some(TraceItem::Header(TraceHeader {
+                                rank,
+                                tiered,
+                                budget,
+                            })));
+                        }
+                        Ok(None) if self.eof => {
+                            return Err("binary trace truncated inside the header".to_string())
+                        }
+                        Ok(None) => return Ok(None),
+                        Err(e) => return Err(format!("trace header: {e}")),
+                    }
+                }
+                PushState::BinBody(ref mut parser) => {
+                    let p = &self.buf[self.start..];
+                    if p.is_empty() {
+                        if self.eof && !parser.saw_end {
+                            return Err("binary trace truncated: missing end-of-trace marker \
+                                 (stream cut at a record boundary)"
+                                .to_string());
+                        }
+                        return Ok(None);
+                    }
+                    match parser.next_record(p)? {
+                        BinStep::Record(n, rec) => {
+                            self.start += n;
+                            return Ok(Some(TraceItem::Record(rec)));
+                        }
+                        BinStep::End(n) => {
+                            self.start += n;
+                        }
+                        BinStep::NeedMore if self.eof => {
+                            return Err(rec_err(
+                                parser.recno + 1,
+                                "binary trace truncated mid-record",
+                            ));
+                        }
+                        BinStep::NeedMore => return Ok(None),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serialize the complete mid-stream state — pending bytes, format
+    /// decision, string table, position counters, binary delta state —
+    /// into a snapshot (the serve spill format's parser section).
+    /// [`TracePushParser::restore_from`] rebuilds a parser that
+    /// continues byte-for-byte identically.
+    pub fn spill_to(&self, w: &mut SnapshotWriter) {
+        w.put_bytes(&self.buf[self.start..]);
+        match &self.state {
+            // Pre-header states re-sniff their pending bytes on restore.
+            PushState::Sniff | PushState::TextHeader | PushState::BinHeader => w.put_u8(0),
+            PushState::TextBody(p) => {
+                w.put_u8(1);
+                w.put_u64(p.lineno() as u64);
+                spill_labels(w, p.strings());
+            }
+            PushState::BinBody(p) => {
+                w.put_u8(2);
+                w.put_u64(p.recno);
+                w.put_bool(p.saw_end);
+                spill_labels(w, &p.strings);
+                let ds = p.dec.state();
+                w.put_u64(ds.addr);
+                w.put_u64(ds.fiber);
+                w.put_u64(ds.key);
+            }
+        }
+    }
+
+    /// Rebuild a parser from [`TracePushParser::spill_to`] output.
+    pub fn restore_from(r: &mut SnapshotReader) -> Result<TracePushParser, String> {
+        let err = |e: tsan_rt::SnapshotError| format!("corrupt parser snapshot: {e}");
+        let pending = r.get_bytes().map_err(err)?.to_vec();
+        let tag = r.get_u8().map_err(err)?;
+        let state = match tag {
+            0 => PushState::Sniff,
+            1 => {
+                let lineno = r.get_u64().map_err(err)? as usize;
+                let strings = restore_labels(r)?;
+                PushState::TextBody(TraceLineParser::from_parts(strings, lineno))
+            }
+            2 => {
+                let recno = r.get_u64().map_err(err)?;
+                let saw_end = r.get_bool().map_err(err)?;
+                let strings = restore_labels(r)?;
+                let deltas = binio::DeltaState {
+                    addr: r.get_u64().map_err(err)?,
+                    fiber: r.get_u64().map_err(err)?,
+                    key: r.get_u64().map_err(err)?,
+                };
+                PushState::BinBody(BinRecordParser {
+                    strings,
+                    dec: binio::Decoder::from_state(deltas),
+                    recno,
+                    saw_end,
+                })
+            }
+            t => return Err(format!("corrupt parser snapshot: unknown state tag {t}")),
+        };
+        Ok(TracePushParser {
+            buf: pending,
+            start: 0,
+            eof: false,
+            state,
+        })
+    }
+}
+
+fn spill_labels(w: &mut SnapshotWriter, strings: &CtxInterner) {
+    w.put_len(strings.len());
+    for i in 0..strings.len() {
+        w.put_str(strings.label(StrId(i as u32)));
+    }
+}
+
+fn restore_labels(r: &mut SnapshotReader) -> Result<CtxInterner, String> {
+    let err = |e: tsan_rt::SnapshotError| format!("corrupt parser snapshot: {e}");
+    let n = r.get_len().map_err(err)?;
+    let mut strings = CtxInterner::new();
+    for i in 0..n {
+        let label = r.get_str().map_err(err)?;
+        if strings.intern(&label) != StrId(i as u32) {
+            return Err(format!(
+                "corrupt parser snapshot: duplicate parser label {label:?}"
+            ));
+        }
+    }
+    Ok(strings)
+}
+
+fn refill<R: BufRead>(input: &mut R, parser: &mut TracePushParser) -> Result<bool, String> {
+    let chunk = input
+        .fill_buf()
+        .map_err(|e| format!("trace read error: {e}"))?;
+    if chunk.is_empty() {
+        return Ok(false);
+    }
+    let n = chunk.len();
+    parser.feed(chunk);
+    input.consume(n);
+    Ok(true)
+}
+
 /// Pull-mode streaming reader: iterates [`TraceRecord`]s straight off a
-/// [`BufRead`] source without materializing the trace. One line of
-/// buffer is the only per-trace allocation that scales with input size.
+/// [`BufRead`] source without materializing the trace, sniffing the
+/// format from the magic. The unconsumed tail of one chunk is the only
+/// per-trace buffer.
 pub struct TraceReader<R> {
     input: R,
-    parser: TraceLineParser,
+    parser: TracePushParser,
     header: TraceHeader,
-    line: String,
+    closed: bool,
+    done: bool,
 }
 
 impl<R: BufRead> TraceReader<R> {
-    /// Read and parse the header; subsequent records come from
-    /// [`Iterator::next`].
+    /// Read and parse the header (text or binary); subsequent records
+    /// come from [`Iterator::next`].
     pub fn new(mut input: R) -> Result<Self, String> {
-        let mut line = String::new();
-        match input.read_line(&mut line) {
-            Err(e) => return Err(format!("trace read error: {e}")),
-            Ok(0) => return Err("empty trace".to_string()),
-            Ok(_) => {}
-        }
-        let header = TraceHeader::parse(line.trim_end_matches('\n'))?;
+        let mut parser = TracePushParser::new();
+        let mut closed = false;
+        let header = loop {
+            match parser.poll()? {
+                Some(TraceItem::Header(h)) => break h,
+                Some(TraceItem::Record(_)) => unreachable!("record before header"),
+                None if closed => return Err("empty trace".to_string()),
+                None => {
+                    if !refill(&mut input, &mut parser)? {
+                        parser.close();
+                        closed = true;
+                    }
+                }
+            }
+        };
         Ok(TraceReader {
             input,
-            parser: TraceLineParser::new(),
+            parser,
             header,
-            line,
+            closed,
+            done: false,
         })
     }
 
@@ -445,9 +1024,16 @@ impl<R: BufRead> TraceReader<R> {
         &self.header
     }
 
+    /// The sniffed format of the underlying stream.
+    pub fn format(&self) -> TraceFormat {
+        self.parser
+            .format()
+            .expect("format decided with the header")
+    }
+
     /// The string table accumulated so far.
     pub fn strings(&self) -> &CtxInterner {
-        self.parser.strings()
+        self.parser.strings().expect("body state after header")
     }
 
     /// Consume the reader into its string table.
@@ -460,17 +1046,34 @@ impl<R: BufRead> Iterator for TraceReader<R> {
     type Item = Result<TraceRecord, String>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
         loop {
-            self.line.clear();
-            match self.input.read_line(&mut self.line) {
-                Err(e) => return Some(Err(format!("trace read error: {e}"))),
-                Ok(0) => return None,
-                Ok(_) => {}
-            }
-            match self.parser.parse_line(self.line.trim_end_matches('\n')) {
-                Ok(None) => continue,
-                Ok(Some(rec)) => return Some(Ok(rec)),
-                Err(e) => return Some(Err(e)),
+            match self.parser.poll() {
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                Ok(Some(TraceItem::Record(rec))) => return Some(Ok(rec)),
+                Ok(Some(TraceItem::Header(_))) => unreachable!("second header"),
+                Ok(None) => {
+                    if self.closed {
+                        self.done = true;
+                        return None;
+                    }
+                    match refill(&mut self.input, &mut self.parser) {
+                        Err(e) => {
+                            self.done = true;
+                            return Some(Err(e));
+                        }
+                        Ok(true) => {}
+                        Ok(false) => {
+                            self.parser.close();
+                            self.closed = true;
+                        }
+                    }
+                }
             }
         }
     }
@@ -483,7 +1086,13 @@ impl Trace {
         Self::from_reader(text.as_bytes())
     }
 
-    /// Parse a whole trace from any buffered byte source.
+    /// Parse a trace in whichever format `bytes` holds.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, String> {
+        Self::from_reader(bytes)
+    }
+
+    /// Parse a whole trace from any buffered byte source (text or
+    /// binary, sniffed from the magic).
     pub fn from_reader<R: BufRead>(input: R) -> Result<Trace, String> {
         let mut reader = TraceReader::new(input)?;
         let mut events = Vec::new();
@@ -505,6 +1114,27 @@ impl Trace {
             events,
         })
     }
+}
+
+/// Re-encode a trace stream into `format`, record-for-record — the
+/// interleaving of string-table entries and events is preserved, so a
+/// transcoded trace replays identically and a round trip (text → binary
+/// → text) reproduces the original bytes exactly (both writers are
+/// canonical).
+pub fn transcode<R: BufRead>(input: R, format: TraceFormat) -> Result<Vec<u8>, String> {
+    let mut reader = TraceReader::new(input)?;
+    let h = *reader.header();
+    let mut writer = RecordWriter::new(format);
+    let mut out = Vec::new();
+    writer.header(&mut out, h.rank, h.tiered, h.budget);
+    for rec in &mut reader {
+        match rec? {
+            TraceRecord::Str { id, label } => writer.str_record(&mut out, id.0, &label),
+            TraceRecord::Event(ev) => writer.event(&mut out, &ev),
+        }
+    }
+    writer.end(&mut out);
+    Ok(out)
 }
 
 /// Result of replaying a trace offline.
@@ -552,10 +1182,10 @@ pub fn replay(trace: &Trace) -> ReplayOutcome {
     }
 }
 
-/// Streaming replay: drive records from a [`BufRead`] source straight
-/// into a session without materializing a [`Trace`]. Equivalent to
-/// `replay(&Trace::from_reader(input)?)` with O(1) memory in the trace
-/// length.
+/// Streaming replay: drive records from a [`BufRead`] source (either
+/// format) straight into a session without materializing a [`Trace`].
+/// Equivalent to `replay(&Trace::from_reader(input)?)` with O(1) memory
+/// in the trace length.
 pub fn replay_stream<R: BufRead>(input: R) -> Result<ReplayOutcome, String> {
     let mut reader = TraceReader::new(input)?;
     let h = *reader.header();
@@ -580,22 +1210,25 @@ pub fn replay_stream<R: BufRead>(input: R) -> Result<ReplayOutcome, String> {
 mod tests {
     use super::*;
 
-    fn record(events: &[(CusanEvent, &CtxInterner)]) -> String {
-        let (mut sink, buf) = TraceSink::new(3, true, None);
+    fn record_as(format: TraceFormat, events: &[(CusanEvent, &CtxInterner)]) -> Vec<u8> {
+        let (mut sink, buf) = TraceSink::with_format(format, 3, true, None);
         for (ev, strings) in events {
             sink.on_event(ev, strings);
         }
+        sink.seal();
         let out = buf.borrow().clone();
         out
     }
 
-    #[test]
-    fn roundtrip_preserves_events_and_strings() {
-        let mut strings = CtxInterner::new();
+    fn record(events: &[(CusanEvent, &CtxInterner)]) -> String {
+        String::from_utf8(record_as(TraceFormat::Text, events)).expect("text traces are UTF-8")
+    }
+
+    fn sample_events(strings: &mut CtxInterner) -> Vec<CusanEvent> {
         let name = strings.intern("cuda stream 0 (default)");
         let ctx = strings.intern("kernel k arg#0 (p) [write]");
         let f = FiberId::from_index(1);
-        let events = vec![
+        vec![
             CusanEvent::FiberCreate { fiber: f, name },
             CusanEvent::FiberSwitch {
                 fiber: f,
@@ -636,33 +1269,125 @@ mod tests {
                 site: 7,
             },
             CusanEvent::FiberDestroy { fiber: f },
-        ];
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_events_and_strings() {
+        let mut strings = CtxInterner::new();
+        let events = sample_events(&mut strings);
         let text = record(&events.iter().map(|e| (*e, &strings)).collect::<Vec<_>>());
         let trace = Trace::parse(&text).unwrap();
         assert_eq!(trace.rank, 3);
         assert!(trace.tiered);
         assert_eq!(trace.budget, None);
         assert_eq!(trace.events, events);
-        assert_eq!(trace.strings.label(name), "cuda stream 0 (default)");
-        assert_eq!(trace.strings.label(ctx), "kernel k arg#0 (p) [write]");
+        assert_eq!(trace.strings.label(StrId(0)), "cuda stream 0 (default)");
+        assert_eq!(trace.strings.label(StrId(1)), "kernel k arg#0 (p) [write]");
+    }
+
+    #[test]
+    fn binary_roundtrip_matches_text_twin() {
+        let mut strings = CtxInterner::new();
+        let events = sample_events(&mut strings);
+        let pairs: Vec<_> = events.iter().map(|e| (*e, &strings)).collect();
+        let text = record_as(TraceFormat::Text, &pairs);
+        let bin = record_as(TraceFormat::Binary, &pairs);
+        // String labels cost the same raw bytes in both formats and
+        // dominate this tiny sample; the ≥2.5× bytes-per-event gate
+        // lives in `bench_trace` where events dominate.
+        assert!(
+            bin.len() < text.len(),
+            "binary ({}) should be smaller than text ({})",
+            bin.len(),
+            text.len()
+        );
+        let tt = Trace::from_bytes(&text).unwrap();
+        let tb = Trace::from_bytes(&bin).unwrap();
+        assert_eq!(tb.rank, tt.rank);
+        assert_eq!(tb.tiered, tt.tiered);
+        assert_eq!(tb.budget, tt.budget);
+        assert_eq!(tb.events, tt.events);
+        assert_eq!(tb.strings.len(), tt.strings.len());
+        for i in 0..tt.strings.len() {
+            assert_eq!(
+                tb.strings.label(StrId(i as u32)),
+                tt.strings.label(StrId(i as u32))
+            );
+        }
+        // Replay is format-blind.
+        let rt = replay(&tt);
+        let rb = replay(&tb);
+        assert_eq!(rb.reports, rt.reports);
+        assert_eq!(rb.stats, rt.stats);
+        assert_eq!(rb.counters, rt.counters);
+    }
+
+    #[test]
+    fn transcode_round_trips_byte_identically() {
+        let mut strings = CtxInterner::new();
+        let events = sample_events(&mut strings);
+        let pairs: Vec<_> = events.iter().map(|e| (*e, &strings)).collect();
+        let text = record_as(TraceFormat::Text, &pairs);
+        let bin = record_as(TraceFormat::Binary, &pairs);
+        // Transcoding the text twin reproduces the direct binary
+        // recording (both writers are canonical, and the lazy string
+        // flush keeps the record interleaving identical)…
+        assert_eq!(transcode(&text[..], TraceFormat::Binary).unwrap(), bin);
+        // …and the full round trip gives the original text back.
+        let back = transcode(&bin[..], TraceFormat::Text).unwrap();
+        assert_eq!(back, text);
+        // Idempotent transcodes.
+        assert_eq!(transcode(&text[..], TraceFormat::Text).unwrap(), text);
+        assert_eq!(transcode(&bin[..], TraceFormat::Binary).unwrap(), bin);
+    }
+
+    #[test]
+    fn binary_truncation_always_fails_typed() {
+        let mut strings = CtxInterner::new();
+        let events = sample_events(&mut strings);
+        let pairs: Vec<_> = events.iter().map(|e| (*e, &strings)).collect();
+        let bin = record_as(TraceFormat::Binary, &pairs);
+        for cut in 0..bin.len() {
+            let err = Trace::from_bytes(&bin[..cut])
+                .expect_err(&format!("prefix of {cut}/{} bytes must fail", bin.len()));
+            assert!(
+                err.contains("truncated") || err.contains("empty trace"),
+                "prefix {cut}: unexpected error {err:?}"
+            );
+        }
+        // Trailing garbage after the end marker fails too.
+        let mut extra = bin.clone();
+        extra.extend_from_slice(&[3, 11, 0]);
+        let err = Trace::from_bytes(&extra).unwrap_err();
+        assert!(err.contains("after the end-of-trace marker"), "got: {err}");
     }
 
     #[test]
     fn labels_with_specials_survive() {
-        for label in ["a b\tc", "back\\slash", "new\nline", "trailing "] {
-            assert_eq!(unescape(&escape(label)), label);
+        for label in ["a b\tc", "back\\slash", "new\nline", "trailing ", "é✓"] {
+            let mut out = Vec::new();
+            write_escaped(&mut out, label);
+            let escaped = String::from_utf8(out).expect("escaping preserves UTF-8");
+            assert!(!escaped.contains('\n'));
+            assert_eq!(unescape(&escaped), label);
         }
         let mut strings = CtxInterner::new();
         let id = strings.intern("weird \\ label\nwith newline");
-        let text = record(&[(
-            CusanEvent::FiberCreate {
-                fiber: FiberId::from_index(1),
-                name: id,
-            },
-            &strings,
-        )]);
-        let trace = Trace::parse(&text).unwrap();
-        assert_eq!(trace.strings.label(id), "weird \\ label\nwith newline");
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let bytes = record_as(
+                format,
+                &[(
+                    CusanEvent::FiberCreate {
+                        fiber: FiberId::from_index(1),
+                        name: id,
+                    },
+                    &strings,
+                )],
+            );
+            let trace = Trace::from_bytes(&bytes).unwrap();
+            assert_eq!(trace.strings.label(id), "weird \\ label\nwith newline");
+        }
     }
 
     #[test]
@@ -685,6 +1410,32 @@ mod tests {
     }
 
     #[test]
+    fn binary_parser_enforces_string_table_rules() {
+        // Build records by hand: an event referencing an undefined id.
+        let mut bytes = Vec::new();
+        binio::Encoder::encode_header(&mut bytes, 0, true, None);
+        let mut enc = binio::Encoder::new();
+        enc.encode_event(
+            &mut bytes,
+            &CusanEvent::FiberCreate {
+                fiber: FiberId::from_index(1),
+                name: StrId(0),
+            },
+        );
+        enc.encode_end(&mut bytes);
+        let err = Trace::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("undefined string id 0"), "got: {err}");
+        // Non-dense string table.
+        let mut bytes = Vec::new();
+        binio::Encoder::encode_header(&mut bytes, 0, true, None);
+        let mut enc = binio::Encoder::new();
+        enc.encode_str(&mut bytes, 5, "label");
+        enc.encode_end(&mut bytes);
+        let err = Trace::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("string table not dense"), "got: {err}");
+    }
+
+    #[test]
     fn parse_rejects_old_version_loudly() {
         // A v1 recording (no budget field, no `af` events) must fail with a
         // version message, not a generic header error.
@@ -694,6 +1445,15 @@ mod tests {
             "got: {err}"
         );
         assert!(err.contains("v1"), "got: {err}");
+        // Same loudness for an unknown *binary* version.
+        let mut v4 = Vec::new();
+        binio::Encoder::encode_header(&mut v4, 0, true, None);
+        v4[7] = b'4';
+        let err = Trace::from_bytes(&v4).unwrap_err();
+        assert!(
+            err.contains("unsupported binary trace version"),
+            "got: {err}"
+        );
     }
 
     #[test]
@@ -714,18 +1474,24 @@ mod tests {
                 ctx,
             },
         ];
-        let (mut sink, buf) = TraceSink::new(0, true, Some(2));
-        for ev in &events {
-            sink.on_event(ev, &strings);
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let (mut sink, buf) = TraceSink::with_format(format, 0, true, Some(2));
+            for ev in &events {
+                sink.on_event(ev, &strings);
+            }
+            sink.seal();
+            let bytes = buf.borrow().clone();
+            if format == TraceFormat::Text {
+                let text = std::str::from_utf8(&bytes).unwrap();
+                assert!(text.starts_with(&format!("{TRACE_MAGIC} rank 0 tiered 1 budget 2\n")));
+            }
+            let trace = Trace::from_bytes(&bytes).unwrap();
+            assert_eq!(trace.budget, Some(2));
+            // Replay applies the recorded budget, reproducing the
+            // degradation counters of the capped live run.
+            let out = replay(&trace);
+            assert_eq!(out.stats.dropped_annotations, 6);
         }
-        let text = buf.borrow().clone();
-        assert!(text.starts_with(&format!("{TRACE_MAGIC} rank 0 tiered 1 budget 2\n")));
-        let trace = Trace::parse(&text).unwrap();
-        assert_eq!(trace.budget, Some(2));
-        // Replay applies the recorded budget, reproducing the degradation
-        // counters of the capped live run.
-        let out = replay(&trace);
-        assert_eq!(out.stats.dropped_annotations, 6);
     }
 
     #[test]
@@ -758,6 +1524,7 @@ mod tests {
                 budget: None
             }
         );
+        assert_eq!(reader.format(), TraceFormat::Text);
         let recs: Vec<TraceRecord> = reader.by_ref().map(Result::unwrap).collect();
         assert_eq!(recs.len(), 5);
         match &recs[0] {
@@ -769,17 +1536,73 @@ mod tests {
         }
         assert_eq!(recs[2], TraceRecord::Event(events[0]));
 
+        // The binary twin yields the identical record stream.
+        let bin = transcode(text.as_bytes(), TraceFormat::Binary).unwrap();
+        let mut breader = TraceReader::new(&bin[..]).unwrap();
+        assert_eq!(breader.format(), TraceFormat::Binary);
+        let brecs: Vec<TraceRecord> = breader.by_ref().map(Result::unwrap).collect();
+        assert_eq!(brecs, recs);
+
         // from_reader (and therefore parse) agrees with the iterator.
         let trace = Trace::from_reader(text.as_bytes()).unwrap();
         assert_eq!(trace.events, events);
         assert_eq!(trace.strings.len(), 2);
 
-        // Streaming replay agrees with materialized replay.
+        // Streaming replay agrees with materialized replay, per format.
         let solo = replay(&trace);
-        let streamed = replay_stream(text.as_bytes()).unwrap();
-        assert_eq!(streamed.reports, solo.reports);
-        assert_eq!(streamed.stats, solo.stats);
-        assert_eq!(streamed.counters, solo.counters);
+        for bytes in [text.as_bytes(), &bin[..]] {
+            let streamed = replay_stream(bytes).unwrap();
+            assert_eq!(streamed.reports, solo.reports);
+            assert_eq!(streamed.stats, solo.stats);
+            assert_eq!(streamed.counters, solo.counters);
+        }
+    }
+
+    #[test]
+    fn push_parser_survives_arbitrary_chunking_and_spill() {
+        let mut strings = CtxInterner::new();
+        let events = sample_events(&mut strings);
+        let pairs: Vec<_> = events.iter().map(|e| (*e, &strings)).collect();
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let bytes = record_as(format, &pairs);
+            let whole = Trace::from_bytes(&bytes).unwrap();
+            for chunk in [1usize, 2, 3, 7, 16] {
+                let mut parser = TracePushParser::new();
+                let mut items = Vec::new();
+                let mut fed = 0;
+                for c in bytes.chunks(chunk) {
+                    parser.feed(c);
+                    fed += c.len();
+                    // Spill/restore mid-stream at every chunk boundary:
+                    // the restored parser must continue identically.
+                    if fed <= bytes.len() / 2 {
+                        let mut w = SnapshotWriter::new();
+                        parser.spill_to(&mut w);
+                        let blob = w.into_bytes();
+                        let mut r = SnapshotReader::new(&blob);
+                        parser = TracePushParser::restore_from(&mut r).unwrap();
+                    }
+                    while let Some(item) = parser.poll().unwrap() {
+                        items.push(item);
+                    }
+                }
+                parser.close();
+                while let Some(item) = parser.poll().unwrap() {
+                    items.push(item);
+                }
+                let mut got_events = Vec::new();
+                let mut header = None;
+                for item in items {
+                    match item {
+                        TraceItem::Header(h) => header = Some(h),
+                        TraceItem::Record(TraceRecord::Event(ev)) => got_events.push(ev),
+                        TraceItem::Record(TraceRecord::Str { .. }) => {}
+                    }
+                }
+                assert_eq!(header.unwrap().rank, whole.rank, "{format:?} chunk {chunk}");
+                assert_eq!(got_events, whole.events, "{format:?} chunk {chunk}");
+            }
+        }
     }
 
     #[test]

@@ -33,7 +33,10 @@ fn gen_script(seed: u64, n: usize) -> Script {
     let labels: Vec<String> = (0..8)
         .map(|i| format!("ctx{i}"))
         .chain((0..4).map(|i| format!("fiber{i}")))
-        .chain(["cuda.kernel_calls".to_string(), "cudaMemcpyAsync".to_string()])
+        .chain([
+            "cuda.kernel_calls".to_string(),
+            "cudaMemcpyAsync".to_string(),
+        ])
         .collect();
     let ctx = |i: u64| StrId((i % 8) as u32);
     let fname = |i: u64| StrId(8 + (i % 4) as u32);
@@ -94,10 +97,7 @@ fn gen_script(seed: u64, n: usize) -> Script {
                 counter: bump,
                 delta: 1 + (r >> 8) % 3,
             }),
-            8 => events.push(CusanEvent::ApiFault {
-                call,
-                site: r >> 8,
-            }),
+            8 => events.push(CusanEvent::ApiFault { call, site: r >> 8 }),
             _ => {
                 let addr = 0x1000 * ((r >> 8) % 8) + 8 * ((r >> 40) % 4);
                 let len = [8u64, 64, 100, 4096][(r >> 16) as usize % 4];

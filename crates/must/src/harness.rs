@@ -65,8 +65,9 @@ pub struct RankOutcome {
     /// Event-pipeline counters (folded from the emitted event stream).
     pub events: EventCounters,
     /// Serialized event trace, when the run was recorded
-    /// ([`run_checked_world_traced`]).
-    pub trace: Option<String>,
+    /// ([`run_checked_world_traced`]) — text or binary bytes per the
+    /// run's `trace_format` (readers sniff).
+    pub trace: Option<Vec<u8>>,
     /// Tool heap usage in bytes (Fig. 11 numerator contribution).
     pub tool_memory_bytes: u64,
     /// Non-fatal tool diagnostics (teardown flush failures, degraded
@@ -200,6 +201,9 @@ fn run_world_impl<T: Send>(
         // final state (each accessor also flushes on its own; one
         // explicit barrier keeps the collection point obvious).
         ctx.tools.flush_checker();
+        // Seal sinks (a recorded binary trace gets its end-of-trace
+        // marker) before the buffers are collected below.
+        ctx.tools.finish_sinks();
         let outcome = RankOutcome {
             rank,
             races: ctx.tools.race_reports(),

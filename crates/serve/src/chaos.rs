@@ -211,13 +211,10 @@ fn fold_stats(into: &mut ServeStats, gen: ServeStats) {
 /// that diverges from solo replay, naming the seed and session.
 pub fn chaos_serve(
     seed: u64,
-    corpus: &[(u64, String)],
+    corpus: &[(u64, Vec<u8>)],
     opts: &ChaosOptions,
 ) -> Result<ChaosReport, String> {
-    let spill_dir = std::env::temp_dir().join(format!(
-        "cusan-chaos-{}-{seed}",
-        std::process::id()
-    ));
+    let spill_dir = std::env::temp_dir().join(format!("cusan-chaos-{}-{seed}", std::process::id()));
     let result = run_scenario(seed, corpus, opts, spill_dir.clone());
     let _ = std::fs::remove_dir_all(&spill_dir);
     result
@@ -225,7 +222,7 @@ pub fn chaos_serve(
 
 fn run_scenario(
     seed: u64,
-    corpus: &[(u64, String)],
+    corpus: &[(u64, Vec<u8>)],
     opts: &ChaosOptions,
     spill_dir: PathBuf,
 ) -> Result<ChaosReport, String> {
@@ -301,7 +298,9 @@ fn run_scenario(
                 return Err(format!("seed {seed}: session {id} failed: {message}"));
             }
             other => {
-                return Err(format!("seed {seed}: session {id} got no summary ({other:?})"));
+                return Err(format!(
+                    "seed {seed}: session {id} got no summary ({other:?})"
+                ));
             }
         }
     }

@@ -74,7 +74,7 @@ struct Cursor<'t> {
 /// [`Reply::Error`]) per trace, in input order.
 pub fn check_traces_resilient(
     mut connect: impl FnMut(u64) -> io::Result<TcpStream>,
-    traces: &[(u64, String)],
+    traces: &[(u64, Vec<u8>)],
     chunk: usize,
     faults: &FaultInjector,
     policy: &RetryPolicy,
@@ -84,7 +84,7 @@ pub fn check_traces_resilient(
         .iter()
         .map(|(id, t)| Cursor {
             id: *id,
-            trace: t.as_bytes(),
+            trace: t.as_slice(),
             sent: 0,
         })
         .collect();
@@ -166,16 +166,13 @@ fn run_episode(
     // Data phase: round-robin D frames, one injector site per frame.
     loop {
         let mut progressed = false;
-        for i in 0..cursors.len() {
-            let (id, sent, take) = {
-                let c = &cursors[i];
-                if terminal.contains_key(&c.id) || c.sent >= c.trace.len() as u64 {
-                    continue;
-                }
-                let rest = c.trace.len() as u64 - c.sent;
-                (c.id, c.sent, chunk.min(rest as usize))
-            };
-            let frame = data_frame(id, sent, &cursors[i].trace[sent as usize..sent as usize + take]);
+        for c in cursors.iter_mut() {
+            if terminal.contains_key(&c.id) || c.sent >= c.trace.len() as u64 {
+                continue;
+            }
+            let rest = c.trace.len() as u64 - c.sent;
+            let (id, sent, take) = (c.id, c.sent, chunk.min(rest as usize));
+            let frame = data_frame(id, sent, &c.trace[sent as usize..sent as usize + take]);
             match faults.next_net_fault() {
                 None => write_frame(&mut writer, &frame)?,
                 Some(NetFault::StalledWrite) => {
@@ -207,7 +204,7 @@ fn run_episode(
                     ));
                 }
             }
-            cursors[i].sent = sent + take as u64;
+            c.sent = sent + take as u64;
             progressed = true;
         }
         if !progressed {

@@ -59,8 +59,11 @@ use tsan_rt::{SnapshotReader, SnapshotWriter};
 
 /// Magic prefix of an on-disk session spill file.
 const SPILL_MAGIC: &[u8; 8] = b"cusanspl";
-/// Version of the spill-file layout.
-const SPILL_VERSION: u32 = 1;
+/// Version of the spill-file layout. v2: the ingest blob's parser
+/// section is the format-sniffing [`cusan::TracePushParser`] snapshot
+/// (pending bytes + state tag + table + binary delta state) instead of
+/// the text-only line-parser layout.
+const SPILL_VERSION: u32 = 2;
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -397,8 +400,7 @@ impl ServeEngine {
                 got: offset,
             });
         };
-        self.ensure_resident(id, &mut s)
-            .map_err(FeedError::Fatal)?;
+        self.ensure_resident(id, &mut s).map_err(FeedError::Fatal)?;
         // Journal before feeding: a byte must never be acked (and thus
         // skipped by a resuming client) unless a restarted server can
         // re-derive it from disk.
@@ -465,23 +467,21 @@ impl ServeEngine {
         let spill_path = self.spill_path(id).ok_or("spilled without a spill dir")?;
         let (mut ingest, restored_to) = match fs::read(&spill_path) {
             Ok(blob) => {
-                let (acked_at_spill, ingest_blob) =
-                    decode_spill_file(&blob).map_err(|e| format!("{}: {e}", spill_path.display()))?;
+                let (acked_at_spill, ingest_blob) = decode_spill_file(&blob)
+                    .map_err(|e| format!("{}: {e}", spill_path.display()))?;
                 let ingest = SessionIngest::restore(engine, &ingest_blob)?;
                 (ingest, acked_at_spill)
             }
             // No spill file: the journal alone (a crash before any
             // spill) rebuilds the session from byte zero.
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                (SessionIngest::new(engine), 0)
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (SessionIngest::new(engine), 0),
             Err(e) => return Err(format!("{}: {e}", spill_path.display())),
         };
         // Replay the journal tail the spill predates.
         if restored_to < s.acked {
             let journal_path = self.journal_path(id).ok_or("journaling disabled")?;
-            let journal = fs::read(&journal_path)
-                .map_err(|e| format!("{}: {e}", journal_path.display()))?;
+            let journal =
+                fs::read(&journal_path).map_err(|e| format!("{}: {e}", journal_path.display()))?;
             if (journal.len() as u64) < s.acked {
                 return Err(format!(
                     "journal holds {} of {} acked bytes",

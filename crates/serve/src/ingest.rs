@@ -2,34 +2,34 @@
 //!
 //! A [`SessionIngest`] turns an incrementally delivered byte stream (a
 //! socket's `DATA` frames, a file read in chunks — any framing) into a
-//! checked session: it buffers up to one partial line, parses complete
-//! lines with [`cusan::TraceLineParser`], and feeds the records to an
+//! checked session: it frames *records* — text lines or binary
+//! length-delimited frames, sniffed from the magic — with
+//! [`cusan::TracePushParser`] and feeds them to an
 //! [`cusan::AsyncChecker`] registered with the engine's shared pool.
-//! String-table entries are canonicalized through the engine's
-//! [`crate::SharedLabels`] before mirroring, so concurrent sessions
-//! share label allocations instead of copying them.
+//! Chunk boundaries are arbitrary (mid-line, mid-varint, mid-code-point
+//! splits are all fine). String-table entries are canonicalized through
+//! the engine's [`crate::SharedLabels`] before mirroring, so concurrent
+//! sessions share label allocations instead of copying them.
 //!
 //! The apply path is [`cusan::CheckSession::apply`] — the same one live
 //! instrumentation and offline replay use — which is what makes a
 //! served session's summary bit-for-bit identical to a solo sync replay
-//! of the same trace, at any worker count.
+//! of the same trace, at any worker count and in either trace format.
 
 use crate::engine::ServeEngine;
 use cusan::{
-    AsyncChecker, CheckSession, CtxInterner, SessionOptions, SessionSummary, StrId, TraceHeader,
-    TraceLineParser, TraceRecord,
+    AsyncChecker, CheckSession, SessionOptions, SessionSummary, TraceItem, TracePushParser,
+    TraceRecord,
 };
 use std::sync::Arc;
 use tsan_rt::{SnapshotReader, SnapshotWriter};
 
 enum IngestState {
-    /// Nothing parsed yet: the next complete line must be the header.
+    /// Nothing decoded yet: the parser is still sniffing/expecting the
+    /// header record.
     AwaitHeader,
-    /// Header accepted; body lines stream into the checker.
-    Body {
-        checker: AsyncChecker,
-        parser: TraceLineParser,
-    },
+    /// Header accepted; body records stream into the checker.
+    Body { checker: AsyncChecker },
     /// `finish` consumed the checker (or a feed failed fatally).
     Done,
 }
@@ -37,78 +37,77 @@ enum IngestState {
 /// One client trace stream being checked (see the module docs).
 pub struct SessionIngest {
     engine: Arc<ServeEngine>,
-    /// Bytes after the last complete line (never grows past one line
-    /// plus one chunk).
-    pending: Vec<u8>,
+    /// Record framing + validation + string table; buffers the
+    /// unconsumed tail of the stream (never grows past one record plus
+    /// one chunk).
+    parser: TracePushParser,
     state: IngestState,
 }
 
 impl SessionIngest {
     /// Fresh ingest; the session itself is created lazily when the
-    /// header line arrives.
+    /// header record arrives.
     pub fn new(engine: Arc<ServeEngine>) -> Self {
         SessionIngest {
             engine,
-            pending: Vec::new(),
+            parser: TracePushParser::new(),
             state: IngestState::AwaitHeader,
         }
     }
 
-    /// Feed one chunk. Chunk boundaries are arbitrary — mid-line and
-    /// mid-code-point splits are both fine (only complete lines are
+    /// Feed one chunk. Chunk boundaries are arbitrary — mid-record
+    /// splits of either format are fine (only complete records are
     /// decoded). The first error poisons the ingest.
     pub fn feed(&mut self, chunk: &[u8]) -> Result<(), String> {
-        self.pending.extend_from_slice(chunk);
-        let buf = std::mem::take(&mut self.pending);
-        let mut rest: &[u8] = &buf;
-        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
-            let line = &rest[..pos];
-            rest = &rest[pos + 1..];
-            if let Err(e) = self.take_line(line) {
-                self.state = IngestState::Done;
-                return Err(e);
-            }
+        if matches!(self.state, IngestState::Done) {
+            return Err("session already closed".to_string());
         }
-        self.pending = rest.to_vec();
-        Ok(())
+        self.parser.feed(chunk);
+        self.pump()
     }
 
-    fn take_line(&mut self, line: &[u8]) -> Result<(), String> {
-        let line = std::str::from_utf8(line).map_err(|e| format!("non-UTF-8 trace line: {e}"))?;
-        match &mut self.state {
-            IngestState::AwaitHeader => {
-                let header = TraceHeader::parse(line)?;
-                let session = CheckSession::new(&SessionOptions::for_trace(
-                    header.rank,
-                    header.tiered,
-                    header.budget,
-                ));
-                let checker = AsyncChecker::with_pool(
-                    Arc::clone(self.engine.pool()),
-                    session,
-                    self.engine.config().check_threads,
-                );
-                self.engine.note_open();
-                self.state = IngestState::Body {
-                    checker,
-                    parser: TraceLineParser::new(),
-                };
-                Ok(())
-            }
-            IngestState::Body { checker, parser } => {
-                match parser.parse_line(line)? {
-                    None => {}
-                    Some(TraceRecord::Str { label, .. }) => {
-                        // Mirror the canonical allocation, not the
-                        // parser's private one: concurrent sessions of
-                        // the same app share label bytes.
-                        checker.send_intern_shared(self.engine.labels().canon(&label));
-                    }
-                    Some(TraceRecord::Event(ev)) => checker.send_event(ev),
+    /// Drain every complete record the parser holds into the checker.
+    fn pump(&mut self) -> Result<(), String> {
+        loop {
+            let item = match self.parser.poll() {
+                Ok(Some(item)) => item,
+                Ok(None) => return Ok(()),
+                Err(e) => {
+                    self.state = IngestState::Done;
+                    return Err(e);
                 }
-                Ok(())
+            };
+            match item {
+                TraceItem::Header(header) => {
+                    debug_assert!(matches!(self.state, IngestState::AwaitHeader));
+                    let session = CheckSession::new(&SessionOptions::for_trace(
+                        header.rank,
+                        header.tiered,
+                        header.budget,
+                    ));
+                    let checker = AsyncChecker::with_pool(
+                        Arc::clone(self.engine.pool()),
+                        session,
+                        self.engine.config().check_threads,
+                    );
+                    self.engine.note_open();
+                    self.state = IngestState::Body { checker };
+                }
+                TraceItem::Record(rec) => {
+                    let IngestState::Body { checker } = &self.state else {
+                        unreachable!("parser yields records only after the header");
+                    };
+                    match rec {
+                        TraceRecord::Str { label, .. } => {
+                            // Mirror the canonical allocation, not the
+                            // parser's private one: concurrent sessions
+                            // of the same app share label bytes.
+                            checker.send_intern_shared(self.engine.labels().canon(&label));
+                        }
+                        TraceRecord::Event(ev) => checker.send_event(ev),
+                    }
+                }
             }
-            IngestState::Done => Err("session already closed".to_string()),
         }
     }
 
@@ -117,36 +116,31 @@ impl SessionIngest {
     /// every byte fed — budget decisions made on it are deterministic.
     pub fn resident_pages(&self) -> usize {
         match &self.state {
-            IngestState::Body { checker, .. } => checker.with_session(|s| s.shadow_pages()),
+            IngestState::Body { checker } => checker.with_session(|s| s.shadow_pages()),
             _ => 0,
         }
     }
 
     /// Spill this *unfinished* ingest to a compact byte blob: the full
-    /// detector state ([`CheckSession::snapshot_bytes`]), the parser's
-    /// string table and line position, and the buffered partial line.
-    /// The checker is drained first, so the blob captures every byte
-    /// ever fed; [`SessionIngest::restore`] rebuilds an ingest that
-    /// continues bit-for-bit identically to one that was never spilled.
-    /// Consumes the ingest — its pool registration is released, which is
-    /// the point: spilling frees the session's entire memory footprint.
+    /// detector state ([`CheckSession::snapshot_bytes`]) plus the
+    /// parser's complete mid-stream state (pending bytes, string table,
+    /// position, binary delta state). The checker is drained first, so
+    /// the blob captures every byte ever fed; [`SessionIngest::restore`]
+    /// rebuilds an ingest that continues bit-for-bit identically to one
+    /// that was never spilled. Consumes the ingest — its pool
+    /// registration is released, which is the point: spilling frees the
+    /// session's entire memory footprint.
     pub fn spill(mut self) -> Result<Vec<u8>, String> {
         let mut w = SnapshotWriter::new();
         match std::mem::replace(&mut self.state, IngestState::Done) {
             IngestState::Done => return Err("session already closed".to_string()),
             IngestState::AwaitHeader => {
                 w.put_u8(0);
-                w.put_bytes(&self.pending);
+                self.parser.spill_to(&mut w);
             }
-            IngestState::Body { checker, parser } => {
+            IngestState::Body { checker } => {
                 w.put_u8(1);
-                w.put_bytes(&self.pending);
-                w.put_u64(parser.lineno() as u64);
-                let strings = parser.strings();
-                w.put_len(strings.len());
-                for i in 0..strings.len() {
-                    w.put_str(strings.label(StrId(i as u32)));
-                }
+                self.parser.spill_to(&mut w);
                 let session_blob = checker.with_session(|s| s.snapshot_bytes());
                 w.put_bytes(&session_blob);
             }
@@ -161,56 +155,51 @@ impl SessionIngest {
         let mut r = SnapshotReader::new(blob);
         let err = |e: tsan_rt::SnapshotError| format!("corrupt session spill: {e}");
         let tag = r.get_u8().map_err(err)?;
-        let pending = r.get_bytes().map_err(err)?;
+        let parser = TracePushParser::restore_from(&mut r)
+            .map_err(|e| format!("corrupt session spill: {e}"))?;
         let state = match tag {
             0 => IngestState::AwaitHeader,
             1 => {
-                let lineno = r.get_u64().map_err(err)? as usize;
-                let n_labels = r.get_len().map_err(err)?;
-                let mut strings = CtxInterner::new();
-                for i in 0..n_labels {
-                    let label = r.get_str().map_err(err)?;
-                    if strings.intern(&label) != StrId(i as u32) {
-                        return Err(format!(
-                            "corrupt session spill: duplicate parser label {label:?}"
-                        ));
-                    }
-                }
                 let session_blob = r.get_bytes().map_err(err)?;
-                let session = CheckSession::restore_bytes(&session_blob).map_err(err)?;
+                let session = CheckSession::restore_bytes(session_blob).map_err(err)?;
                 let checker = AsyncChecker::with_pool(
                     Arc::clone(engine.pool()),
                     session,
                     engine.config().check_threads,
                 );
-                IngestState::Body {
-                    checker,
-                    parser: TraceLineParser::from_parts(strings, lineno),
-                }
+                IngestState::Body { checker }
             }
             t => return Err(format!("corrupt session spill: unknown state tag {t}")),
         };
         r.expect_end().map_err(err)?;
         Ok(SessionIngest {
             engine,
-            pending: pending.to_vec(),
+            parser,
             state,
         })
     }
 
     /// Close the stream: drain the checker, snapshot the summary, and
     /// retire the session into the engine (where it becomes evictable
-    /// under the global budget). A trailing line without a final newline
-    /// is accepted.
+    /// under the global budget). A trailing text line without a final
+    /// newline is accepted; a binary stream must end exactly at its
+    /// end-of-trace marker or this reports the truncation.
     pub fn finish(mut self) -> Result<SessionSummary, String> {
-        if !self.pending.is_empty() {
-            let line = std::mem::take(&mut self.pending);
-            self.take_line(&line)?;
+        if matches!(self.state, IngestState::Done) {
+            return Err("session already closed".to_string());
         }
+        self.parser.close();
+        self.pump().map_err(|e| {
+            if e == "empty trace" {
+                "empty session: no trace header received".to_string()
+            } else {
+                e
+            }
+        })?;
         match std::mem::replace(&mut self.state, IngestState::Done) {
             IngestState::AwaitHeader => Err("empty session: no trace header received".to_string()),
             IngestState::Done => Err("session already closed".to_string()),
-            IngestState::Body { checker, .. } => {
+            IngestState::Body { checker } => {
                 // Summary *before* the session becomes evictable — the
                 // eviction-soundness contract (see crate::engine docs).
                 let (summary, pages) = checker.with_session(|s| (s.summary(), s.shadow_pages()));

@@ -56,10 +56,11 @@ use std::io::BufReader;
 use std::net::TcpListener;
 use std::sync::Arc;
 
-/// Reference result: replay `text` solo, synchronously, in this thread —
-/// the baseline every served session is compared against.
-pub fn solo_summary(text: &str) -> Result<SessionSummary, String> {
-    let mut reader = TraceReader::new(text.as_bytes())?;
+/// Reference result: replay `trace` (text or binary bytes — the reader
+/// sniffs) solo, synchronously, in this thread — the baseline every
+/// served session is compared against.
+pub fn solo_summary(trace: impl AsRef<[u8]>) -> Result<SessionSummary, String> {
+    let mut reader = TraceReader::new(trace.as_ref())?;
     let h = *reader.header();
     let mut session = CheckSession::new(&SessionOptions::for_trace(h.rank, h.tiered, h.budget));
     for rec in &mut reader {

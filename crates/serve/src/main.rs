@@ -51,6 +51,8 @@ use std::time::{Duration, Instant};
 
 /// The golden TeaLeaf trace recorded by the repo's fixture generator
 /// (`tests/data/`): the known-good baseline every selftest run checks.
+/// Text bytes; corpus builders transcode it when `CUSAN_TRACE_FORMAT`
+/// selects the binary encoding so the whole corpus is uniform.
 const GOLDEN_FIXTURE: &str = include_str!("../../../tests/data/tealeaf_small.trace");
 
 struct Options {
@@ -235,12 +237,12 @@ fn run_check(o: &Options) -> Result<(), String> {
 /// through the resilient client, surviving disconnects and server
 /// restarts along the way.
 fn run_check_remote(o: &Options, addr: &str) -> Result<(), String> {
-    let traces: Vec<(u64, String)> = o
+    let traces: Vec<(u64, Vec<u8>)> = o
         .files
         .iter()
         .enumerate()
         .map(|(i, path)| {
-            std::fs::read_to_string(path)
+            std::fs::read(path)
                 .map(|t| (i as u64, t))
                 .map_err(|e| format!("{path}: {e}"))
         })
@@ -279,10 +281,14 @@ fn run_check_remote(o: &Options, addr: &str) -> Result<(), String> {
 /// The chaos sweep: one full scenario per seed, all of which must hold
 /// the byte-identical-summary oracle.
 fn run_chaos(o: &Options) -> Result<(), String> {
-    let corpus_texts = selftest_corpus(o)?;
-    let sessions = if o.sessions == 0 { corpus_texts.len() } else { o.sessions };
-    let corpus: Vec<(u64, String)> = (0..sessions)
-        .map(|i| (i as u64, corpus_texts[i % corpus_texts.len()].clone()))
+    let corpus_traces = selftest_corpus(o)?;
+    let sessions = if o.sessions == 0 {
+        corpus_traces.len()
+    } else {
+        o.sessions
+    };
+    let corpus: Vec<(u64, Vec<u8>)> = (0..sessions)
+        .map(|i| (i as u64, corpus_traces[i % corpus_traces.len()].clone()))
         .collect();
     let copts = ChaosOptions {
         fault_rate: o.rate,
@@ -350,11 +356,19 @@ fn run_chaos(o: &Options) -> Result<(), String> {
 /// Generate the selftest's trace corpus: the golden fixture plus chaos
 /// twins of both mini-apps (every rank of every run contributes one
 /// trace, all recorded fresh in this process).
-fn selftest_corpus(o: &Options) -> Result<Vec<String>, String> {
-    let fixture = match &o.fixture {
-        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
-        None => GOLDEN_FIXTURE.to_string(),
+fn selftest_corpus(o: &Options) -> Result<Vec<Vec<u8>>, String> {
+    let mut fixture = match &o.fixture {
+        Some(path) => std::fs::read(path).map_err(|e| format!("{path}: {e}"))?,
+        None => GOLDEN_FIXTURE.as_bytes().to_vec(),
     };
+    // Chaos-twin recordings below honor CUSAN_TRACE_FORMAT; transcode a
+    // text fixture to match so the corpus is format-uniform.
+    if cusan::ctx::trace_format_env() == Some(cusan::TraceFormat::Binary)
+        && !fixture.starts_with(cusan::binio::BIN_FAMILY)
+    {
+        fixture = cusan::transcode(&fixture[..], cusan::TraceFormat::Binary)
+            .map_err(|e| format!("transcoding fixture: {e}"))?;
+    }
     let mut traces = vec![fixture];
     let base = cusan_apps::ChaosConfig::default();
     let runs = [
@@ -379,10 +393,7 @@ fn selftest_corpus(o: &Options) -> Result<Vec<String>, String> {
 
 fn run_selftest(o: &Options) -> Result<(), String> {
     let corpus = selftest_corpus(o)?;
-    let solo: Vec<_> = corpus
-        .iter()
-        .map(|t| solo_summary(t))
-        .collect::<Result<_, _>>()?;
+    let solo: Vec<_> = corpus.iter().map(solo_summary).collect::<Result<_, _>>()?;
 
     let engine = ServeEngine::new(engine_config(o));
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
@@ -396,7 +407,7 @@ fn run_selftest(o: &Options) -> Result<(), String> {
     // Session id i checks corpus[i % corpus.len()], split round-robin
     // over the connections so each connection multiplexes interleaved
     // sessions.
-    let per_conn: Vec<Vec<(u64, String)>> = (0..connections)
+    let per_conn: Vec<Vec<(u64, Vec<u8>)>> = (0..connections)
         .map(|c| {
             (c..o.sessions)
                 .step_by(connections)

@@ -370,8 +370,7 @@ fn serve_frames<R: Read, W: Write>(
                     Err(FeedError::Gap { expected, got }) => {
                         // The session is intact — the client can learn
                         // `expected` from an `R`/`H` and replay.
-                        let msg =
-                            format!("offset gap: expected {expected}, frame starts at {got}");
+                        let msg = format!("offset gap: expected {expected}, frame starts at {got}");
                         write_frame(writer, &frame_with_id(OP_ERROR, id, msg.as_bytes()))?;
                         writer.flush()?;
                     }
@@ -418,7 +417,7 @@ fn serve_frames<R: Read, W: Write>(
 pub fn check_traces<R, W>(
     mut reader: R,
     mut writer: W,
-    traces: &[(u64, String)],
+    traces: &[(u64, Vec<u8>)],
     chunk: usize,
 ) -> io::Result<Vec<Reply>>
 where
@@ -434,7 +433,7 @@ where
             }
             let mut cursors: Vec<(u64, u64, &[u8])> = traces
                 .iter()
-                .map(|(id, t)| (*id, 0u64, t.as_bytes()))
+                .map(|(id, t)| (*id, 0u64, t.as_slice()))
                 .collect();
             while cursors.iter().any(|(_, _, rest)| !rest.is_empty()) {
                 for (id, sent, rest) in &mut cursors {

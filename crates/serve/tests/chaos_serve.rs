@@ -9,8 +9,10 @@
 
 use cusan_serve::{chaos_serve, ChaosOptions};
 
-fn corpus() -> Vec<(u64, String)> {
-    let golden = include_str!("../../../tests/data/tealeaf_small.trace").to_string();
+fn corpus() -> Vec<(u64, Vec<u8>)> {
+    let golden = include_str!("../../../tests/data/tealeaf_small.trace")
+        .as_bytes()
+        .to_vec();
     let mut traces = vec![golden];
     let out = cusan_apps::run_chaos_jacobi(
         &cusan_apps::ChaosConfig::default(),
@@ -26,9 +28,30 @@ fn corpus() -> Vec<(u64, String)> {
         .collect()
 }
 
+/// The same corpus transcoded to the v3 binary encoding: torn frames and
+/// truncations now land mid-varint / mid-length-prefix instead of
+/// mid-line.
+fn binary_corpus() -> Vec<(u64, Vec<u8>)> {
+    corpus()
+        .into_iter()
+        .map(|(id, t)| {
+            let b = cusan::transcode(&t[..], cusan::TraceFormat::Binary).expect("transcode");
+            (id, b)
+        })
+        .collect()
+}
+
 #[test]
 fn thirty_two_seeded_schedules_hold_the_byte_identical_oracle() {
-    let corpus = corpus();
+    sweep(corpus());
+}
+
+#[test]
+fn thirty_two_seeded_schedules_hold_with_binary_sessions() {
+    sweep(binary_corpus());
+}
+
+fn sweep(corpus: Vec<(u64, Vec<u8>)>) {
     let opts = ChaosOptions {
         fault_rate: 0.05,
         restart_rate: 0.25,

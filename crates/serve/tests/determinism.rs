@@ -14,8 +14,8 @@ use std::sync::Arc;
 const GOLDEN: &str = include_str!("../../../tests/data/tealeaf_small.trace");
 
 /// Golden fixture + one chaos-twin trace per rank per mini-app.
-fn corpus() -> Vec<String> {
-    let mut traces = vec![GOLDEN.to_string()];
+fn corpus() -> Vec<Vec<u8>> {
+    let mut traces = vec![GOLDEN.as_bytes().to_vec()];
     let cfg = cusan_apps::ChaosConfig::default();
     for out in [
         cusan_apps::run_chaos_jacobi(&cfg, cusan::Flavor::MustCusan),
@@ -33,7 +33,7 @@ fn corpus() -> Vec<String> {
 /// summary equals its solo replay. Returns the engine for stats checks.
 fn run_sessions(
     config: EngineConfig,
-    corpus: &[String],
+    corpus: &[Vec<u8>],
     sessions: usize,
     chunk: usize,
 ) -> Arc<ServeEngine> {
@@ -49,7 +49,7 @@ fn run_sessions(
                 let trace = &corpus[i % corpus.len()];
                 scope.spawn(move || {
                     let mut ingest = SessionIngest::new(engine);
-                    for c in trace.as_bytes().chunks(chunk) {
+                    for c in trace.chunks(chunk) {
                         ingest.feed(c).expect("feed");
                     }
                     (i, ingest.finish().expect("finish"))
@@ -192,7 +192,7 @@ fn socket_end_to_end_replies_with_solo_identical_json() {
 
     // One connection multiplexing every corpus trace, tiny interleaved
     // chunks.
-    let traces: Vec<(u64, String)> = corpus
+    let traces: Vec<(u64, Vec<u8>)> = corpus
         .iter()
         .enumerate()
         .map(|(i, t)| (i as u64, t.clone()))
@@ -220,6 +220,41 @@ fn socket_end_to_end_replies_with_solo_identical_json() {
         }
     }
     assert_eq!(engine.stats().sessions_finished, corpus.len() as u64);
+}
+
+#[test]
+fn binary_corpus_serves_identically_to_text() {
+    // Transcode every corpus trace into the v3 binary encoding and serve
+    // *those*: the summaries must still be byte-identical to solo sync
+    // replays of the text originals — the serve determinism contract is
+    // format-blind.
+    let text = corpus();
+    let solo: Vec<_> = text
+        .iter()
+        .map(|t| solo_summary(t).expect("corpus traces parse"))
+        .collect();
+    let binary: Vec<Vec<u8>> = text
+        .iter()
+        .map(|t| cusan::transcode(&t[..], cusan::TraceFormat::Binary).expect("transcode"))
+        .collect();
+    for (t, b) in text.iter().zip(&binary) {
+        assert!(b.len() < t.len(), "binary twin should be smaller");
+    }
+    let engine = run_sessions(
+        EngineConfig {
+            check_threads: Some(2),
+            global_page_budget: None,
+            ..EngineConfig::default()
+        },
+        &binary,
+        binary.len(),
+        89, // prime chunk: feeds split varints and length prefixes mid-record
+    );
+    assert_eq!(engine.stats().sessions_finished, binary.len() as u64);
+    // Binary solo replay agrees with text solo replay too.
+    for (b, expected) in binary.iter().zip(&solo) {
+        assert_eq!(&solo_summary(b).unwrap(), expected);
+    }
 }
 
 #[test]

@@ -7,7 +7,8 @@
 //! failure schedules — lives in `chaos_serve.rs`.
 
 use cusan_serve::proto::{
-    close_frame, data_frame, parse_reply, quit_frame, read_frame, resume_frame, write_frame,
+    close_frame, data_frame, heartbeat_frame, parse_reply, quit_frame, read_frame, resume_frame,
+    write_frame,
 };
 use cusan_serve::{
     serve_connection, serve_listener, solo_summary, summary_to_json, EngineConfig, FeedError,
@@ -64,7 +65,10 @@ fn offset_check_makes_delivery_exactly_once() {
         Err(FeedError::Gap { expected, got }) => assert_eq!((expected, got), (150, 300)),
         other => panic!("expected Gap, got {other:?}"),
     }
-    assert_eq!(engine.feed(1, 150, &bytes[150..]).unwrap(), bytes.len() as u64);
+    assert_eq!(
+        engine.feed(1, 150, &bytes[150..]).unwrap(),
+        bytes.len() as u64
+    );
 
     // Despite duplicates, trims, and a gapped frame, the detector saw
     // the stream exactly once.
@@ -205,7 +209,9 @@ fn live_budget_spills_idle_sessions_on_detach() {
     engine.detach(1);
     assert_eq!(engine.stats().sessions_spilled, 1);
     // And it still finishes correctly.
-    engine.feed(1, (bytes.len() / 2) as u64, &bytes[bytes.len() / 2..]).unwrap();
+    engine
+        .feed(1, (bytes.len() / 2) as u64, &bytes[bytes.len() / 2..])
+        .unwrap();
     assert_eq!(engine.close(1).unwrap(), solo_summary(GOLDEN).unwrap());
 }
 
@@ -229,7 +235,9 @@ fn restarted_server_recovers_sessions_from_disk() {
     let engine = ServeEngine::recover(config.clone()).unwrap();
     assert_eq!(engine.live_sessions(), 1, "journaled session re-registered");
     assert_eq!(engine.resume(7).unwrap(), split as u64);
-    engine.feed(7, split as u64, &bytes[split..split * 2]).unwrap();
+    engine
+        .feed(7, split as u64, &bytes[split..split * 2])
+        .unwrap();
     // Spill before the next crash: generation 3 restores spill + journal
     // tail. (The tail is empty here — the spill is the newest state —
     // but the acked offset must still come from the journal.)
@@ -239,7 +247,9 @@ fn restarted_server_recovers_sessions_from_disk() {
 
     let engine = ServeEngine::recover(config).unwrap();
     assert_eq!(engine.resume(7).unwrap(), (split * 2) as u64);
-    engine.feed(7, (split * 2) as u64, &bytes[split * 2..]).unwrap();
+    engine
+        .feed(7, (split * 2) as u64, &bytes[split * 2..])
+        .unwrap();
     assert_eq!(engine.close(7).unwrap(), solo_summary(GOLDEN).unwrap());
 }
 
@@ -269,6 +279,20 @@ fn socket_resumption_survives_a_mid_trace_disconnect() {
         for (i, chunk) in bytes[..split].chunks(512).enumerate() {
             write_frame(&mut writer, &data_frame(5, (i * 512) as u64, chunk)).unwrap();
         }
+        // Heartbeat-sync before vanishing: the ack proves the server
+        // consumed every data frame, so connection 2's resume below must
+        // observe the full offset (without it, connection 2 can race the
+        // server's drain of this connection's buffered frames and learn a
+        // smaller — still correct, just earlier — offset).
+        write_frame(&mut writer, &heartbeat_frame(5)).unwrap();
+        let ack = parse_reply(&read_frame(&mut reader).unwrap().unwrap()).unwrap();
+        assert_eq!(
+            ack,
+            Reply::Ack {
+                id: 5,
+                acked: split as u64
+            }
+        );
         // Drop both halves: the server sees EOF mid-session and detaches.
     }
 
@@ -339,7 +363,9 @@ fn canonical_labels_never_alias_across_session_churn() {
         for (label, arcs) in seen {
             for arc in arcs {
                 assert_eq!(&**arc, label.as_str(), "canonical arc content mutated");
-                let first = canonical.entry(label.clone()).or_insert_with(|| arc.clone());
+                let first = canonical
+                    .entry(label.clone())
+                    .or_insert_with(|| arc.clone());
                 assert!(
                     Arc::ptr_eq(first, arc),
                     "label {label:?} rebound to a second allocation across generations"

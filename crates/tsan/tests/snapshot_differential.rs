@@ -19,12 +19,23 @@ fn splitmix(state: &mut u64) -> u64 {
 /// replays identically against any fresh runtime.
 #[derive(Debug, Clone)]
 enum Op {
-    Create { expect: FiberId, name: String },
+    Create {
+        expect: FiberId,
+        name: String,
+    },
     Destroy(FiberId),
-    Switch { fiber: FiberId, sync: bool },
+    Switch {
+        fiber: FiberId,
+        sync: bool,
+    },
     Hb(u64),
     Ha(u64),
-    Access { addr: u64, len: u64, label: String, write: bool },
+    Access {
+        addr: u64,
+        len: u64,
+        label: String,
+        write: bool,
+    },
     Discard(u64),
 }
 

@@ -1,14 +1,17 @@
-//! Parse-stability gate for the trace format.
+//! Parse-stability gate for the trace formats.
 //!
 //! `tests/data/tealeaf_small.trace` is a checked-in recording of TeaLeaf
-//! (16×16, 1 step, 2 ranks, MUST & CuSan stack, rank 0). A format change
-//! that cannot read existing recordings must fail here — bump the trace
-//! magic and regenerate the fixture (`replay_trace record`) to change the
-//! format deliberately.
+//! (16×16, 1 step, 2 ranks, MUST & CuSan stack, rank 0);
+//! `tests/data/tealeaf_small.trace.bin` is its binary (v3) twin, produced
+//! by `replay_trace transcode`. A format change that cannot read existing
+//! recordings must fail here — bump the trace magic and regenerate the
+//! fixtures (`replay_trace record` / `replay_trace transcode`) to change
+//! a format deliberately.
 
-use cusan::{replay, CusanEvent, Trace};
+use cusan::{replay, transcode, CusanEvent, Trace, TraceFormat};
 
 const FIXTURE: &str = include_str!("data/tealeaf_small.trace");
+const FIXTURE_BIN: &[u8] = include_bytes!("data/tealeaf_small.trace.bin");
 
 #[test]
 fn golden_tealeaf_trace_parses() {
@@ -43,6 +46,53 @@ fn golden_tealeaf_trace_replays_clean() {
         outcome.counters.requests_completed
     );
     assert!(outcome.counters.requests_begun > 0);
+}
+
+#[test]
+fn golden_binary_twin_stays_in_lockstep_with_text() {
+    // The checked-in binary fixture is exactly what transcoding the text
+    // fixture produces today — a codec change that alters the encoding
+    // must regenerate it (and justify the new bytes in review).
+    let encoded = transcode(FIXTURE.as_bytes(), TraceFormat::Binary)
+        .expect("text fixture transcodes to binary");
+    assert_eq!(
+        encoded, FIXTURE_BIN,
+        "binary fixture is stale: regenerate with `replay_trace transcode`"
+    );
+    // And back: binary → text reproduces the original recording exactly.
+    let back = transcode(FIXTURE_BIN, TraceFormat::Text).expect("binary fixture transcodes back");
+    assert_eq!(back, FIXTURE.as_bytes());
+}
+
+#[test]
+fn golden_binary_twin_parses_and_replays_identically() {
+    let text = Trace::parse(FIXTURE).unwrap();
+    let bin =
+        Trace::from_bytes(FIXTURE_BIN).expect("checked-in binary fixture must stay parseable");
+    assert_eq!(bin.rank, text.rank);
+    assert_eq!(bin.tiered, text.tiered);
+    assert_eq!(bin.budget, text.budget);
+    assert_eq!(bin.events, text.events);
+    assert_eq!(bin.strings.len(), text.strings.len());
+    let t = replay(&text);
+    let b = replay(&bin);
+    assert_eq!(b.reports, t.reports);
+    assert_eq!(b.stats, t.stats);
+    assert_eq!(b.counters, t.counters);
+}
+
+#[test]
+fn binary_twin_meets_the_compression_target() {
+    // The headline perf claim, gated on the checked-in recording: the v3
+    // encoding spends ≤ 1/2.5 the bytes per event of the text format.
+    let events = Trace::parse(FIXTURE).unwrap().events.len() as f64;
+    let text_bpe = FIXTURE.len() as f64 / events;
+    let bin_bpe = FIXTURE_BIN.len() as f64 / events;
+    assert!(
+        text_bpe / bin_bpe >= 2.5,
+        "binary encoding only {:.2}x smaller per event (text {text_bpe:.2} B, binary {bin_bpe:.2} B)",
+        text_bpe / bin_bpe
+    );
 }
 
 #[test]
