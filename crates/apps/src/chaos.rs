@@ -28,7 +28,9 @@ use cuda_sim::{CopyKind, CudaError, StreamFlags, StreamId};
 use cusan::ToolConfig;
 use kernel_ir::{LaunchArg, LaunchGrid};
 use mpi_sim::{MpiDatatype, MpiError, ReduceOp, PROC_NULL};
-use must_rt::{run_checked_world_traced, RankCtx, WorldOutcome};
+use must_rt::{
+    run_checked_world_scheduled_traced, run_checked_world_traced, RankCtx, WorldOutcome,
+};
 use sim_mem::{MemError, Ptr};
 use std::fmt;
 use std::sync::Arc;
@@ -125,21 +127,36 @@ pub fn run_chaos_jacobi(
     cfg: &ChaosConfig,
     tools: impl Into<ToolConfig>,
 ) -> WorldOutcome<ChaosResult> {
+    run_chaos_jacobi_scheduled(cfg, tools, None)
+}
+
+/// [`run_chaos_jacobi`] under an optional schedule plan (the explored
+/// chaos slice; a plan needs `cfg.ranks + 1` lanes).
+pub fn run_chaos_jacobi_scheduled(
+    cfg: &ChaosConfig,
+    tools: impl Into<ToolConfig>,
+    plan: Option<Arc<explore::SchedulePlan>>,
+) -> WorldOutcome<ChaosResult> {
     let cfg = *cfg;
     let k = AppKernels::shared();
     let gate = teardown_gate(cfg.ranks);
-    run_checked_world_traced(
-        cfg.ranks,
-        tools.into(),
-        Arc::clone(&k.registry),
-        move |ctx| {
-            let mut ptrs = Vec::new();
-            let r = chaos_jacobi_body(ctx, k, &cfg, &mut ptrs);
-            gate.wait();
-            teardown(ctx, ptrs);
-            r
-        },
-    )
+    let body = move |ctx: &mut RankCtx| {
+        let mut ptrs = Vec::new();
+        let r = chaos_jacobi_body(ctx, k, &cfg, &mut ptrs);
+        gate.wait();
+        teardown(ctx, ptrs);
+        r
+    };
+    match plan {
+        Some(plan) => run_checked_world_scheduled_traced(
+            cfg.ranks,
+            tools.into(),
+            Arc::clone(&k.registry),
+            plan,
+            body,
+        ),
+        None => run_checked_world_traced(cfg.ranks, tools.into(), Arc::clone(&k.registry), body),
+    }
 }
 
 /// TeaLeaf-shaped chaos body: non-blocking 4-way `Isend`/`Irecv` halo
@@ -148,21 +165,35 @@ pub fn run_chaos_tealeaf(
     cfg: &ChaosConfig,
     tools: impl Into<ToolConfig>,
 ) -> WorldOutcome<ChaosResult> {
+    run_chaos_tealeaf_scheduled(cfg, tools, None)
+}
+
+/// [`run_chaos_tealeaf`] under an optional schedule plan.
+pub fn run_chaos_tealeaf_scheduled(
+    cfg: &ChaosConfig,
+    tools: impl Into<ToolConfig>,
+    plan: Option<Arc<explore::SchedulePlan>>,
+) -> WorldOutcome<ChaosResult> {
     let cfg = *cfg;
     let k = AppKernels::shared();
     let gate = teardown_gate(cfg.ranks);
-    run_checked_world_traced(
-        cfg.ranks,
-        tools.into(),
-        Arc::clone(&k.registry),
-        move |ctx| {
-            let mut ptrs = Vec::new();
-            let r = chaos_tealeaf_body(ctx, k, &cfg, &mut ptrs);
-            gate.wait();
-            teardown(ctx, ptrs);
-            r
-        },
-    )
+    let body = move |ctx: &mut RankCtx| {
+        let mut ptrs = Vec::new();
+        let r = chaos_tealeaf_body(ctx, k, &cfg, &mut ptrs);
+        gate.wait();
+        teardown(ctx, ptrs);
+        r
+    };
+    match plan {
+        Some(plan) => run_checked_world_scheduled_traced(
+            cfg.ranks,
+            tools.into(),
+            Arc::clone(&k.registry),
+            plan,
+            body,
+        ),
+        None => run_checked_world_traced(cfg.ranks, tools.into(), Arc::clone(&k.registry), body),
+    }
 }
 
 /// Process-local gate every rank passes between its body returning and

@@ -30,7 +30,10 @@ pub mod kernels;
 pub mod tealeaf;
 pub mod testsuite;
 
-pub use chaos::{run_chaos_jacobi, run_chaos_tealeaf, ChaosConfig, ChaosError, ChaosResult};
+pub use chaos::{
+    run_chaos_jacobi, run_chaos_jacobi_scheduled, run_chaos_tealeaf, run_chaos_tealeaf_scheduled,
+    ChaosConfig, ChaosError, ChaosResult,
+};
 pub use jacobi::{run_jacobi, run_jacobi_traced, JacobiConfig, JacobiRun};
 pub use jacobi2d::{run_jacobi2d, Jacobi2dConfig, Jacobi2dRun};
 pub use kernels::AppKernels;

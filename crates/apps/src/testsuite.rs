@@ -929,6 +929,134 @@ pub fn cases() -> Vec<Case> {
     ]
 }
 
+// ---- schedule exploration ---------------------------------------------------
+
+/// Element count of the exploration case's payloads: 2 KiB, safely under
+/// the simulator's eager limit so rank 1's sends complete at post time
+/// and all three are pending together.
+const EAGER_M: u64 = 256;
+
+/// The planted wildcard-receive race — deliberately **not** part of
+/// [`cases`]. Under the default schedule this program is provably clean:
+/// a wildcard `ANY_TAG` receive always matches the globally oldest
+/// pending send (the tag-0 message), and that branch synchronizes the
+/// device before touching the kernel's output. Only when a schedule
+/// controller steers the wildcard match to the younger tag-1 send does
+/// the unsynchronized branch execute and race with the still-pending
+/// kernel write. One fixed run can never observe it; `explore::explore`
+/// finds it by branching the wildcard decision.
+pub fn wildcard_schedule_race() -> Case {
+    Case {
+        name: "explore/wildcard_match_unsynced_branch_nok",
+        expected: Expected::Race,
+        run: |ctx, k| {
+            if ctx.rank() == 0 {
+                let d = ctx.cuda.malloc::<f64>(EAGER_M).unwrap();
+                let payload = ctx.cuda.malloc::<f64>(EAGER_M).unwrap();
+                let ready = ctx.cuda.malloc::<f64>(1).unwrap();
+                // Kernel write to `d` stays pending on the default stream.
+                ctx.cuda
+                    .launch(
+                        k.fill,
+                        LaunchGrid::linear(EAGER_M),
+                        StreamId::DEFAULT,
+                        vec![
+                            LaunchArg::Ptr(d),
+                            LaunchArg::F64(1.0),
+                            LaunchArg::I64(EAGER_M as i64),
+                        ],
+                    )
+                    .unwrap();
+                // Rank 1 posts tag 0, tag 1, then the tag-2 flag, in that
+                // seq order. Receiving the flag first (per-(src,tag)
+                // matching lets it overtake) guarantees both payload
+                // sends are pending when the wildcard below matches.
+                ctx.mpi.recv(ready, 1, MpiDatatype::Double, 1, 2).unwrap();
+                let st = ctx
+                    .mpi
+                    .recv(payload, EAGER_M, MpiDatatype::Double, 1, mpi_sim::ANY_TAG)
+                    .unwrap();
+                if st.tag == 0 {
+                    // The default (oldest-send) match: synchronized.
+                    ctx.cuda.device_synchronize().unwrap();
+                }
+                // Racy only on the tag-1 branch: the kernel write to `d`
+                // is still queued.
+                let _ = ctx
+                    .tools
+                    .host_read_slice::<f64>(&ctx.space(), d, EAGER_M, "host read of kernel output")
+                    .unwrap();
+                // Drain the other payload send, then the device.
+                ctx.mpi
+                    .recv(payload, EAGER_M, MpiDatatype::Double, 1, 1 - st.tag)
+                    .unwrap();
+                ctx.cuda.device_synchronize().unwrap();
+            } else {
+                let a = ctx.cuda.malloc::<f64>(EAGER_M).unwrap();
+                let b = ctx.cuda.malloc::<f64>(EAGER_M).unwrap();
+                let flag = ctx.cuda.malloc::<f64>(1).unwrap();
+                fill(ctx, k, a, 2.0, StreamId::DEFAULT);
+                ctx.cuda.device_synchronize().unwrap();
+                ctx.mpi.send(a, EAGER_M, MpiDatatype::Double, 0, 0).unwrap();
+                ctx.mpi.send(b, EAGER_M, MpiDatatype::Double, 0, 1).unwrap();
+                ctx.mpi.send(flag, 1, MpiDatatype::Double, 0, 2).unwrap();
+            }
+        },
+    }
+}
+
+/// Execute a case under an explicit [`explore::SchedulePlan`] with a
+/// trace recorded on every rank. The world is always 2 ranks, so plans
+/// need 3 lanes ([`explore::SchedulePlan::defaults`]`(2)`).
+pub fn run_case_scheduled(
+    case: &Case,
+    plan: Arc<explore::SchedulePlan>,
+) -> must_rt::WorldOutcome<()> {
+    run_case_scheduled_with(case, Flavor::MustCusan.config(), plan)
+}
+
+/// [`run_case_scheduled`] under an explicit tool configuration.
+pub fn run_case_scheduled_with(
+    case: &Case,
+    cfg: cusan::ToolConfig,
+    plan: Arc<explore::SchedulePlan>,
+) -> must_rt::WorldOutcome<()> {
+    let k = AppKernels::shared();
+    let run = case.run;
+    must_rt::run_checked_world_scheduled_traced(2, cfg, Arc::clone(&k.registry), plan, move |ctx| {
+        run(ctx, k);
+    })
+}
+
+/// State hash over the detector-visible outcome of a world run: every
+/// rank's recorded event stream with `ScheduleChoice` markers masked out
+/// (two schedules that produce identical detector inputs are the same
+/// execution as far as checking is concerned), plus the race reports for
+/// untraced runs. This is the dedup key [`explore::explore`] uses.
+pub fn outcome_digest<T>(out: &must_rt::WorldOutcome<T>) -> u64 {
+    let mut h = explore::Fnv::new();
+    for r in &out.ranks {
+        h.write_u64(r.rank as u64);
+        if let Some(bytes) = &r.trace {
+            let trace = cusan::Trace::from_bytes(bytes).expect("recorded trace parses");
+            for ev in &trace.events {
+                if matches!(ev, cusan::CusanEvent::ScheduleChoice { .. }) {
+                    continue;
+                }
+                h.write_str(&format!("{ev:?}"));
+            }
+        }
+        h.write_u64(r.race_count);
+        for race in &r.races {
+            h.write_str(&format!("{race}"));
+        }
+        for m in &r.must_reports {
+            h.write_str(&format!("{m}"));
+        }
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,139 @@
+//! Schedule-exploration throughput and effectiveness (the E17 numbers).
+//!
+//! Two workloads, both over 2-rank worlds:
+//!
+//!   * **Planted race** — the testsuite's
+//!     `explore/wildcard_match_unsynced_branch_nok` program, whose
+//!     wildcard-receive race the default schedule provably never
+//!     reports. The bench asserts the default run is clean, explores
+//!     the schedule space under a budget, and records at which executed
+//!     schedule the race first surfaced.
+//!   * **Chaos twin** — the TeaLeaf chaos body under a fixed fault
+//!     seed, the workload the soak's explored slice runs. Used for the
+//!     throughput number (schedules/sec) and for the dedup/cut rates on
+//!     a schedule space with real `StreamDrain`/`CollectiveFold`
+//!     decisions.
+//!
+//! Writes `BENCH_explore.json` to the current directory (override with
+//! `CUSAN_BENCH_EXPLORE_JSON`) — uploaded by the `explore-smoke` CI job
+//! so exploration regressions (missed race, collapsing dedup/cut rates,
+//! throughput cliffs) show up as artifact diffs.
+
+use cusan::{FaultPlan, Flavor, ToolConfig};
+use cusan_apps::testsuite::{outcome_digest, run_case_scheduled, wildcard_schedule_race};
+use cusan_apps::{run_chaos_tealeaf_scheduled, ChaosConfig};
+use cusan_bench::{banner, bench_runs, env_u64, measure};
+use explore::{explore, ExploreStats};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fraction of executed schedules that landed on an already-seen
+/// outcome digest.
+fn dedup_rate(s: &ExploreStats) -> f64 {
+    s.dedup_hits as f64 / (s.schedules_run.max(1)) as f64
+}
+
+/// Fraction of candidate schedules never executed thanks to the
+/// signature (sleep-set) cut: cut alternatives over cut + executed.
+fn cut_rate(s: &ExploreStats) -> f64 {
+    s.cut_alternatives as f64 / (s.cut_alternatives + s.schedules_run).max(1) as f64
+}
+
+fn main() {
+    let runs = bench_runs();
+    let race_budget = env_u64("CUSAN_BENCH_EXPLORE_BUDGET", 16) as usize;
+    let chaos_budget = env_u64("CUSAN_BENCH_EXPLORE_CHAOS_BUDGET", 12) as usize;
+    banner(
+        "schedule exploration — planted race + chaos twin",
+        &format!(
+            "budgets: {race_budget} (planted race) / {chaos_budget} (chaos) | \
+             mean of {runs} runs (+1 warmup)"
+        ),
+    );
+
+    // Planted race: the default schedule must be clean, exploration must
+    // find the race, and we record how many schedules that took.
+    let case = wildcard_schedule_race();
+    let mut executed = 0usize;
+    let mut found_at = 0usize; // 0 = never found
+    let race_report = explore(3, race_budget, |plan| {
+        let out = run_case_scheduled(&case, Arc::clone(plan));
+        executed += 1;
+        if found_at == 0 && out.total_races() > 0 {
+            found_at = executed;
+        }
+        (outcome_digest(&out), out.total_races())
+    });
+    assert_eq!(
+        race_report.runs[0].value, 0,
+        "default schedule unexpectedly reported the planted race"
+    );
+    assert!(
+        found_at > 0,
+        "exploration missed the planted race within budget {race_budget}: {:?}",
+        race_report.stats
+    );
+    println!(
+        "planted race: found at schedule {found_at}/{} ({} unique outcomes, \
+         {} dedup hits, {} cut, exhausted: {})",
+        race_report.stats.schedules_run,
+        race_report.stats.unique_outcomes,
+        race_report.stats.dedup_hits,
+        race_report.stats.cut_alternatives,
+        race_report.stats.frontier_exhausted,
+    );
+
+    // Chaos twin: throughput + rates on a real multi-choice-point space.
+    let cfg = ChaosConfig::default();
+    let chaos_tools = || {
+        let mut t: ToolConfig = Flavor::MustCusan.config();
+        t.faults = FaultPlan::with_rate(1, 0.01);
+        t
+    };
+    let run_chaos_sweep = || {
+        let started = Instant::now();
+        let report = explore(cfg.ranks + 1, chaos_budget, |plan| {
+            let out = run_chaos_tealeaf_scheduled(&cfg, chaos_tools(), Some(Arc::clone(plan)));
+            (outcome_digest(&out), ())
+        });
+        (started.elapsed(), report.stats)
+    };
+    let (_, chaos_stats) = run_chaos_sweep();
+    let elapsed = measure(runs, || run_chaos_sweep().0);
+    let schedules_per_sec = chaos_stats.schedules_run as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "chaos twin: {} schedules in {elapsed:.2?} ({schedules_per_sec:.1} schedules/s), \
+         dedup rate {:.2}, cut rate {:.2}",
+        chaos_stats.schedules_run,
+        dedup_rate(&chaos_stats),
+        cut_rate(&chaos_stats),
+    );
+
+    // Hand-rolled JSON: the workspace is offline, so no serde.
+    let json = format!(
+        "{{\n  \"benchmark\": \"explore\",\n  \"runs\": {runs},\n  \
+         \"race_budget\": {race_budget},\n  \"race_found_at_schedule\": {found_at},\n  \
+         \"race_schedules_run\": {},\n  \"race_unique_outcomes\": {},\n  \
+         \"race_dedup_rate\": {:.3},\n  \"race_cut_rate\": {:.3},\n  \
+         \"race_frontier_exhausted\": {},\n  \"chaos_budget\": {chaos_budget},\n  \
+         \"chaos_schedules_run\": {},\n  \"chaos_unique_outcomes\": {},\n  \
+         \"chaos_dedup_rate\": {:.3},\n  \"chaos_cut_rate\": {:.3},\n  \
+         \"chaos_sweep_ns\": {},\n  \"schedules_per_sec\": {schedules_per_sec:.1}\n}}\n",
+        race_report.stats.schedules_run,
+        race_report.stats.unique_outcomes,
+        dedup_rate(&race_report.stats),
+        cut_rate(&race_report.stats),
+        race_report.stats.frontier_exhausted,
+        chaos_stats.schedules_run,
+        chaos_stats.unique_outcomes,
+        dedup_rate(&chaos_stats),
+        cut_rate(&chaos_stats),
+        elapsed.as_nanos(),
+    );
+    let path =
+        std::env::var("CUSAN_BENCH_EXPLORE_JSON").unwrap_or_else(|_| "BENCH_explore.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

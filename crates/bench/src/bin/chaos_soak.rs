@@ -22,9 +22,15 @@
 //! or set `CHAOS_SEEDS`).
 
 use cusan::{replay, FaultPlan, Flavor, ToolConfig, Trace};
-use cusan_apps::{run_chaos_jacobi, run_chaos_tealeaf, ChaosConfig, ChaosResult};
+use cusan_apps::testsuite::outcome_digest;
+use cusan_apps::{
+    run_chaos_jacobi, run_chaos_jacobi_scheduled, run_chaos_tealeaf, run_chaos_tealeaf_scheduled,
+    ChaosConfig, ChaosResult,
+};
 use cusan_bench::banner;
+use explore::SchedulePlan;
 use must_rt::WorldOutcome;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Fault rates cycled across the seed sweep (per-site probabilities).
@@ -49,6 +55,7 @@ struct Tally {
     faults_fired: u64,
     dropped: u64,
     races: u64,
+    schedules: u64,
     errs: Vec<String>,
 }
 
@@ -122,14 +129,96 @@ fn soak_one(
         }
     }
 
-    tally.faulted_ranks += a.results.iter().filter(|r| r.is_err()).count();
-    tally.faults_fired += a.ranks.iter().map(|r| r.events.api_faults).sum::<u64>();
+    // Failure attribution: a rank error is only acceptable if the plan
+    // actually fired in this world — an error with zero `ApiFault`
+    // events is a genuine bug wearing a chaos costume, and used to be
+    // silently tallied as a "faulted rank" (green-washing the exit
+    // code).
+    let failed = a.results.iter().filter(|r| r.is_err()).count();
+    let world_faults = a.ranks.iter().map(|r| r.events.api_faults).sum::<u64>();
+    if failed > 0 && world_faults == 0 {
+        tally.errs.push(format!(
+            "{app} seed {seed}: {failed} rank(s) failed but no fault fired — \
+             failure not attributable to the injected plan"
+        ));
+    }
+
+    tally.faulted_ranks += failed;
+    tally.faults_fired += world_faults;
     tally.dropped += a
         .ranks
         .iter()
         .map(|r| r.tsan.dropped_annotations)
         .sum::<u64>();
     tally.races += a.total_races();
+}
+
+/// Explored slice: enumerate `budget` schedules of one app under one
+/// seed's fault plan and hold every explored execution to the same
+/// contract as the default schedule — re-running its recorded choice
+/// vectors reproduces the per-rank traces byte-for-byte, and replaying
+/// each recorded trace reproduces the live reports and counters.
+fn soak_explored(
+    app: &str,
+    seed: u64,
+    lanes: usize,
+    budget: usize,
+    run: impl Fn(ToolConfig, Arc<SchedulePlan>) -> WorldOutcome<ChaosResult>,
+    tally: &mut Tally,
+) {
+    let report = explore::explore(lanes, budget, |plan| {
+        let out = run(soak_config(seed), Arc::clone(plan));
+        (outcome_digest(&out), out)
+    });
+    tally.schedules += report.stats.schedules_run as u64;
+    for ex in &report.runs {
+        tally.runs += 2;
+        let again = run(
+            soak_config(seed),
+            SchedulePlan::with_choices(ex.plan.clone()),
+        );
+        if ex.value.results != again.results {
+            tally.errs.push(format!(
+                "{app} seed {seed} plan {:?}: results diverge across same-schedule re-run",
+                ex.plan
+            ));
+        }
+        for (ra, rb) in ex.value.ranks.iter().zip(&again.ranks) {
+            if ra.trace != rb.trace {
+                tally.errs.push(format!(
+                    "{app} seed {seed} plan {:?} rank {}: trace bytes diverge across re-run",
+                    ex.plan, ra.rank
+                ));
+            }
+        }
+        for r in &ex.value.ranks {
+            let bytes = r.trace.as_deref().expect("soak runs are traced");
+            let trace = match Trace::from_bytes(bytes) {
+                Ok(t) => t,
+                Err(e) => {
+                    tally.errs.push(format!(
+                        "{app} seed {seed} plan {:?} rank {}: trace parse error: {e}",
+                        ex.plan, r.rank
+                    ));
+                    continue;
+                }
+            };
+            let out = replay(&trace);
+            if out.reports != r.races || out.stats != r.tsan || out.counters != r.events {
+                tally.errs.push(format!(
+                    "{app} seed {seed} plan {:?} rank {}: explored replay diverges from live run",
+                    ex.plan, r.rank
+                ));
+            }
+        }
+        tally.races += ex.value.total_races();
+        tally.faults_fired += ex
+            .value
+            .ranks
+            .iter()
+            .map(|r| r.events.api_faults)
+            .sum::<u64>();
+    }
 }
 
 fn baseline(app: &str, run: impl Fn(ToolConfig) -> WorldOutcome<ChaosResult>) -> Vec<String> {
@@ -150,12 +239,29 @@ fn baseline(app: &str, run: impl Fn(ToolConfig) -> WorldOutcome<ChaosResult>) ->
     errs
 }
 
+/// Final process exit code for a finished soak. Pure and total so the
+/// no-green-washing contract is unit-testable: *any* recorded mismatch
+/// fails the job, as does a sweep that never fired a single fault
+/// (dead rates or broken plan plumbing would otherwise pass vacuously).
+fn verdict(errs: &[String], faults_fired: u64) -> i32 {
+    if !errs.is_empty() || faults_fired == 0 {
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
     let seeds: u64 = std::env::args()
         .nth(1)
         .or_else(|| std::env::var("CHAOS_SEEDS").ok())
         .map(|s| s.parse().expect("seed count must be a number"))
         .unwrap_or(32);
+    let explore_budget: usize = std::env::args()
+        .nth(2)
+        .or_else(|| std::env::var("CHAOS_EXPLORE_BUDGET").ok())
+        .map(|s| s.parse().expect("explore budget must be a number"))
+        .unwrap_or(3);
     banner(
         "chaos soak",
         "sweeps seeded fault plans over the symmetric Jacobi/TeaLeaf chaos\n\
@@ -171,6 +277,7 @@ fn main() {
         faults_fired: 0,
         dropped: 0,
         races: 0,
+        schedules: 0,
         errs: Vec::new(),
     };
 
@@ -184,30 +291,68 @@ fn main() {
     for seed in 0..seeds {
         soak_one("jacobi", seed, |t| run_chaos_jacobi(&cfg, t), &mut tally);
         soak_one("tealeaf", seed, |t| run_chaos_tealeaf(&cfg, t), &mut tally);
+        if explore_budget > 1 {
+            // Every 4th seed also sweeps alternative schedules: the
+            // fault plan composes with the controller, and every
+            // explored execution must keep the determinism and replay
+            // contracts.
+            if seed % 4 == 0 {
+                soak_explored(
+                    "jacobi",
+                    seed,
+                    cfg.ranks + 1,
+                    explore_budget,
+                    |t, p| run_chaos_jacobi_scheduled(&cfg, t, Some(p)),
+                    &mut tally,
+                );
+                soak_explored(
+                    "tealeaf",
+                    seed,
+                    cfg.ranks + 1,
+                    explore_budget,
+                    |t, p| run_chaos_tealeaf_scheduled(&cfg, t, Some(p)),
+                    &mut tally,
+                );
+            }
+        }
     }
 
     println!(
         "{} runs over {seeds} seeds in {:.2?}: {} faults fired across {} rank failures,\n\
-         {} annotations dropped under budget, {} races, {} mismatches",
+         {} annotations dropped under budget, {} races, {} explored schedules, {} mismatches",
         tally.runs,
         start.elapsed(),
         tally.faults_fired,
         tally.faulted_ranks,
         tally.dropped,
         tally.races,
+        tally.schedules,
         tally.errs.len()
     );
-    if tally.faults_fired == 0 {
-        tally
-            .errs
-            .push("sweep fired no faults at all — rates or plan plumbing broken".to_string());
-    }
-    if tally.errs.is_empty() {
+    let code = verdict(&tally.errs, tally.faults_fired);
+    if code == 0 {
         println!("OK: deterministic degradation and faithful replay on every seed");
-        std::process::exit(0);
+    } else {
+        if tally.faults_fired == 0 {
+            eprintln!("MISMATCH: sweep fired no faults at all — rates or plan plumbing broken");
+        }
+        for e in &tally.errs {
+            eprintln!("MISMATCH: {e}");
+        }
     }
-    for e in &tally.errs {
-        eprintln!("MISMATCH: {e}");
+    std::process::exit(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::verdict;
+
+    #[test]
+    fn any_seed_failure_fails_the_process() {
+        assert_eq!(verdict(&[], 10), 0);
+        assert_eq!(verdict(&["jacobi seed 3: diverged".to_string()], 10), 1);
+        // A vacuous sweep (no faults fired) must not pass either.
+        assert_eq!(verdict(&[], 0), 1);
+        assert_eq!(verdict(&["boom".to_string()], 0), 1);
     }
-    std::process::exit(1);
 }

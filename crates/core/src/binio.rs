@@ -43,6 +43,7 @@
 //! | 13 | counter bump | varint counter, varint delta |
 //! | 14 | api fault | varint call, varint site |
 //! | 15 | end of trace | (no fields) |
+//! | 16 | schedule choice | varint kind, varint arity, varint chosen |
 //!
 //! The end-of-trace marker (written when a recording is sealed or a
 //! transcode finishes) is what makes truncation *always* detectable:
@@ -259,6 +260,7 @@ mod op {
     pub const COUNTER_BUMP: u8 = 13;
     pub const API_FAULT: u8 = 14;
     pub const END: u8 = 15;
+    pub const SCHEDULE_CHOICE: u8 = 16;
 }
 
 /// The delta-coding context shared by encoder and decoder: last address,
@@ -405,6 +407,16 @@ impl Encoder {
                 s.push(op::API_FAULT);
                 put_varint(s, u64::from(call.0));
                 put_varint(s, site);
+            }
+            CusanEvent::ScheduleChoice {
+                kind,
+                arity,
+                chosen,
+            } => {
+                s.push(op::SCHEDULE_CHOICE);
+                put_varint(s, u64::from(kind.0));
+                put_varint(s, arity);
+                put_varint(s, chosen);
             }
         }
         Self::frame(buf, &self.scratch);
@@ -602,6 +614,16 @@ impl Decoder {
                 let call = crate::event::StrId(s.varint()? as u32);
                 let site = s.varint()?;
                 BinRecord::Event(CusanEvent::ApiFault { call, site })
+            }
+            op::SCHEDULE_CHOICE => {
+                let kind = crate::event::StrId(s.varint()? as u32);
+                let arity = s.varint()?;
+                let chosen = s.varint()?;
+                BinRecord::Event(CusanEvent::ScheduleChoice {
+                    kind,
+                    arity,
+                    chosen,
+                })
             }
             op::END => BinRecord::End,
             other => return Err(BinError::BadOpcode { op: other }),

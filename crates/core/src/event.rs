@@ -154,6 +154,18 @@ pub enum CusanEvent {
     /// run's trace self-contained: replay observes the schedule instead
     /// of re-deciding it.
     ApiFault { call: StrId, site: u64 },
+    /// Marker: the schedule controller resolved a commutable choice point
+    /// (wildcard-receive match, stream drain order, collective fold
+    /// order). `kind` names the choice point (`sched.*` labels from the
+    /// `explore` crate), `arity` is how many candidates were offered and
+    /// `chosen` which one fired. Recording these makes an explored run's
+    /// trace self-contained: the decisions that produced the execution
+    /// are in the trace, so the schedule replays bit-for-bit.
+    ScheduleChoice {
+        kind: StrId,
+        arity: u64,
+        chosen: u64,
+    },
 }
 
 /// An ordered observer of the per-rank event stream.
@@ -247,7 +259,8 @@ impl CheckerSink {
             | CusanEvent::RequestBegin { .. }
             | CusanEvent::RequestComplete { .. }
             | CusanEvent::CounterBump { .. }
-            | CusanEvent::ApiFault { .. } => {}
+            | CusanEvent::ApiFault { .. }
+            | CusanEvent::ScheduleChoice { .. } => {}
         }
     }
 }
@@ -345,6 +358,8 @@ pub struct EventCounters {
     pub requests_completed: u64,
     /// `ApiFault` markers (injected call failures).
     pub api_faults: u64,
+    /// `ScheduleChoice` markers (resolved commutable choice points).
+    pub schedule_choices: u64,
     /// Named counter totals from `CounterBump` events (e.g.
     /// `cuda.kernel_calls`).
     pub named: BTreeMap<String, u64>,
@@ -377,6 +392,7 @@ impl EventCounters {
             CusanEvent::RequestBegin { .. } => self.requests_begun += 1,
             CusanEvent::RequestComplete { .. } => self.requests_completed += 1,
             CusanEvent::ApiFault { .. } => self.api_faults += 1,
+            CusanEvent::ScheduleChoice { .. } => self.schedule_choices += 1,
             CusanEvent::CounterBump { counter, delta } => {
                 *self
                     .named
@@ -413,6 +429,7 @@ impl EventCounters {
             requests_begun: self.requests_begun + other.requests_begun,
             requests_completed: self.requests_completed + other.requests_completed,
             api_faults: self.api_faults + other.api_faults,
+            schedule_choices: self.schedule_choices + other.schedule_choices,
             named,
         }
     }

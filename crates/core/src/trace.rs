@@ -54,6 +54,7 @@
 //! | `qb <serial>` / `qc <serial>` | MPI request begin / complete |
 //! | `cb <counter> <delta>` | named counter bump |
 //! | `af <call> <site>` | injected API fault |
+//! | `sc <kind> <arity> <chosen>` | resolved schedule choice point |
 //!
 //! All writers format identically, so two recordings of the same
 //! deterministic run are byte-identical (see the Jacobi determinism
@@ -145,6 +146,7 @@ fn event_used_str(ev: &CusanEvent) -> Option<StrId> {
         CusanEvent::Alloc { kind, .. } => Some(kind),
         CusanEvent::CounterBump { counter, .. } => Some(counter),
         CusanEvent::ApiFault { call, .. } => Some(call),
+        CusanEvent::ScheduleChoice { kind, .. } => Some(kind),
         _ => None,
     }
 }
@@ -224,6 +226,11 @@ impl RecordWriter {
                         writeln!(out, "cb {} {delta}", counter.0)
                     }
                     CusanEvent::ApiFault { call, site } => writeln!(out, "af {} {site}", call.0),
+                    CusanEvent::ScheduleChoice {
+                        kind,
+                        arity,
+                        chosen,
+                    } => writeln!(out, "sc {} {arity} {chosen}", kind.0),
                 }
                 .expect("writes to Vec are infallible");
                 return;
@@ -567,6 +574,11 @@ impl TraceLineParser {
             "af" => CusanEvent::ApiFault {
                 call: sid(0)?,
                 site: dec(1)?,
+            },
+            "sc" => CusanEvent::ScheduleChoice {
+                kind: sid(0)?,
+                arity: dec(1)?,
+                chosen: dec(2)?,
             },
             other => return Err(parse_err(lineno, format!("unknown event kind {other:?}"))),
         };
@@ -1268,6 +1280,11 @@ mod tests {
                 call: name,
                 site: 7,
             },
+            CusanEvent::ScheduleChoice {
+                kind: ctx,
+                arity: 3,
+                chosen: 1,
+            },
             CusanEvent::FiberDestroy { fiber: f },
         ]
     }
@@ -1402,6 +1419,7 @@ mod tests {
         // Event referencing an undefined string id — `af` included.
         assert!(Trace::parse(&format!("{ok_header}fc 1 0\n")).is_err());
         assert!(Trace::parse(&format!("{ok_header}af 0 1\n")).is_err());
+        assert!(Trace::parse(&format!("{ok_header}sc 0 2 1\n")).is_err());
         // Non-dense string table.
         assert!(Trace::parse(&format!("{ok_header}s 5 label\n")).is_err());
         // Well-formed minimal trace parses.

@@ -72,7 +72,7 @@ proptest! {
         tiered in any::<bool>(),
         budget in prop_oneof![Just(None), (1usize..4096).prop_map(Some)],
         labels in proptest::collection::vec(label_strategy(), 1..6),
-        raw in proptest::collection::vec((0u8..13, 0u32..6, any::<bool>()), 0..40),
+        raw in proptest::collection::vec((0u8..14, 0u32..6, any::<bool>()), 0..40),
     ) {
         // Materialize events against the actual label count (the raw
         // tuples only carry variant/sid/flag seeds so the vec strategy
@@ -97,7 +97,12 @@ proptest! {
                     9 => CusanEvent::RequestBegin { serial: u64::from(seed) },
                     10 => CusanEvent::RequestComplete { serial: u64::from(seed) },
                     11 => CusanEvent::CounterBump { counter: sid, delta: u64::from(flag) },
-                    _ => CusanEvent::ApiFault { call: sid, site: u64::from(seed) },
+                    12 => CusanEvent::ApiFault { call: sid, site: u64::from(seed) },
+                    _ => CusanEvent::ScheduleChoice {
+                        kind: sid,
+                        arity: 2 + u64::from(seed),
+                        chosen: u64::from(flag),
+                    },
                 }
             })
             .collect();

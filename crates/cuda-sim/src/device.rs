@@ -11,6 +11,7 @@ use crate::semantics::{self, CopyKind, HostSync};
 use crate::stream::{
     DefaultStreamMode, Dep, EventId, EventState, Op, OpKind, StreamFlags, StreamId, StreamState,
 };
+use explore::{ChoiceKind, ScheduleController};
 use kernel_ir::{KernelId, KernelRegistry, LaunchArg, LaunchGrid};
 use sim_mem::{AddressSpace, AllocationInfo, DeviceId, MemKind, Pod, PointerAttr, Ptr};
 use std::sync::Arc;
@@ -44,6 +45,9 @@ pub struct CudaDevice {
     events: Vec<EventState>,
     counters: CudaCounters,
     default_mode: DefaultStreamMode,
+    /// Schedule controller plus the lane (rank) it is consulted on for
+    /// full-device drain order. `None`: the default schedule.
+    sched: Option<(Arc<dyn ScheduleController>, usize)>,
 }
 
 impl CudaDevice {
@@ -60,7 +64,17 @@ impl CudaDevice {
                 ..CudaCounters::default()
             },
             default_mode: DefaultStreamMode::Legacy,
+            sched: None,
         }
+    }
+
+    /// Install a schedule controller consulted (on `lane`) for the
+    /// completion order of independent queued ops during full-device
+    /// drains ([`CudaDevice::force_all`] sites: `cudaDeviceSynchronize`,
+    /// `cudaFree`, teardown flush). Targeted syncs
+    /// (`cudaStreamSynchronize` etc.) keep their mandated order.
+    pub fn set_schedule_controller(&mut self, sched: Arc<dyn ScheduleController>, lane: usize) {
+        self.sched = Some((sched, lane));
     }
 
     /// Select legacy vs per-thread default-stream semantics (the
@@ -297,14 +311,92 @@ impl CudaDevice {
         }
     }
 
-    fn force_all(&mut self) -> Result<(), CudaError> {
-        for i in 0..self.streams.len() {
-            if self.streams[i].alive {
-                let target = self.streams[i].enqueued;
-                self.complete_through(StreamId(i as u32), target)?;
+    /// True when the first `seq` ops of the dep's stream have executed
+    /// (clamped like [`CudaDevice::complete_through`]'s target).
+    fn dep_satisfied(&self, d: Dep) -> bool {
+        let st = &self.streams[d.stream.0 as usize];
+        st.completed >= d.seq.min(st.enqueued)
+    }
+
+    /// The stream whose front op the *uncontrolled* recursive drain
+    /// would execute next: start at the lowest-index live non-idle
+    /// stream and follow each front op's first unsatisfied dependency.
+    /// Terminates because the dep graph is acyclic — a dep's seq only
+    /// references work enqueued before the depending op.
+    fn default_next(&self) -> Option<u32> {
+        let mut cur = (0..self.streams.len())
+            .find(|&i| self.streams[i].alive && !self.streams[i].queue.is_empty())?
+            as u32;
+        loop {
+            let op = self.streams[cur as usize]
+                .queue
+                .front()
+                .expect("an unsatisfied dep implies a non-empty queue");
+            match op.deps.iter().find(|d| !self.dep_satisfied(**d)) {
+                Some(d) => cur = d.stream.0,
+                None => return Some(cur),
             }
         }
-        Ok(())
+    }
+
+    fn force_all(&mut self) -> Result<(), CudaError> {
+        if self.sched.is_none() {
+            for i in 0..self.streams.len() {
+                if self.streams[i].alive {
+                    let target = self.streams[i].enqueued;
+                    self.complete_through(StreamId(i as u32), target)?;
+                }
+            }
+            return Ok(());
+        }
+        // Controlled drain: independent queued ops genuinely commute at
+        // a full-device sync, so complete ONE ready front op at a time
+        // and let the controller pick among them. Candidate 0 is the op
+        // the recursive drain above would execute next, so all-default
+        // choices reproduce the uncontrolled schedule exactly.
+        loop {
+            let Some(first) = self.default_next() else {
+                return Ok(());
+            };
+            let mut cands: Vec<u32> = vec![first];
+            for (i, st) in self.streams.iter().enumerate() {
+                if i as u32 == first || !st.alive {
+                    continue;
+                }
+                let Some(op) = st.queue.front() else {
+                    continue;
+                };
+                if op.deps.iter().all(|d| self.dep_satisfied(*d)) {
+                    cands.push(i as u32);
+                }
+            }
+            let pick = if cands.len() > 1 {
+                let (ctrl, lane) = self.sched.as_ref().expect("controlled path");
+                let sigs: Vec<u64> = cands
+                    .iter()
+                    .map(|&s| {
+                        self.streams[s as usize]
+                            .queue
+                            .front()
+                            .expect("candidates have front ops")
+                            .kind
+                            .drain_sig()
+                    })
+                    .collect();
+                ctrl.choose(*lane, ChoiceKind::StreamDrain, &sigs)
+                    .min(cands.len() - 1)
+            } else {
+                0
+            };
+            let s = cands[pick] as usize;
+            let op = self.streams[s]
+                .queue
+                .pop_front()
+                .expect("candidates have front ops");
+            self.streams[s].completed += 1;
+            // Candidates are ready by construction: execute directly.
+            self.execute(op.kind)?;
+        }
     }
 
     // ---- kernel launch ----------------------------------------------------------
@@ -907,5 +999,56 @@ mod tests {
         let attr = f.dev.pointer_attributes(p.offset(8)).unwrap();
         assert_eq!(attr.kind, MemKind::Device(DeviceId(0)));
         assert_eq!(attr.offset, 8);
+    }
+
+    /// The controlled drain with an all-defaults plan must reproduce
+    /// the uncontrolled drain exactly — even when a lower-index stream
+    /// is blocked on a dependency while others are ready.
+    #[test]
+    fn controlled_drain_default_plan_matches_uncontrolled() {
+        use explore::SchedulePlan;
+        let run = |controlled: bool| {
+            let mut f = fixture();
+            if controlled {
+                f.dev.set_schedule_controller(SchedulePlan::defaults(0), 0);
+            }
+            let p = f.dev.malloc_array::<f64>(4).unwrap();
+            let q = f.dev.malloc_array::<f64>(4).unwrap();
+            let s1 = f.dev.stream_create(StreamFlags::NonBlocking);
+            let s2 = f.dev.stream_create(StreamFlags::NonBlocking);
+            let e = f.dev.event_create();
+            // s2 fills p; s1 waits on the event, then copies p -> q.
+            launch_fill(&mut f, p, 3.0, 4, s2);
+            f.dev.event_record(e, s2).unwrap();
+            f.dev.stream_wait_event(s1, e).unwrap();
+            launch_copy(&mut f, q, p, 4, s1);
+            f.dev.device_synchronize().unwrap();
+            (
+                f.dev.space().read_vec::<f64>(q, 4).unwrap(),
+                f.dev.counters().ops_executed,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// A plan choosing the alternative drain order genuinely reorders
+    /// independent ops: last writer wins flips with the schedule.
+    #[test]
+    fn controlled_drain_explores_alternate_orders() {
+        use explore::SchedulePlan;
+        let run = |choices: Vec<u32>| {
+            let mut f = fixture();
+            f.dev
+                .set_schedule_controller(SchedulePlan::with_choices(vec![choices]), 0);
+            let p = f.dev.malloc_array::<f64>(2).unwrap();
+            let s1 = f.dev.stream_create(StreamFlags::NonBlocking);
+            let s2 = f.dev.stream_create(StreamFlags::NonBlocking);
+            launch_fill(&mut f, p, 1.0, 2, s1);
+            launch_fill(&mut f, p, 2.0, 2, s2);
+            f.dev.device_synchronize().unwrap();
+            f.dev.space().read_at::<f64>(p).unwrap()
+        };
+        assert_eq!(run(vec![]), 2.0, "default: s1 drains before s2");
+        assert_eq!(run(vec![1]), 1.0, "alternate: s2's op fires first");
     }
 }

@@ -80,6 +80,52 @@ pub(crate) enum OpKind {
     },
 }
 
+impl OpKind {
+    /// Stable signature for schedule exploration: ops with equal
+    /// signatures are treated as interchangeable drain candidates (the
+    /// sleep-set cut), so the signature folds in the op's kind and its
+    /// primary memory footprint — two candidates only alias if swapping
+    /// them provably cannot change what the detector observes.
+    pub(crate) fn drain_sig(&self) -> u64 {
+        let mut h = explore::Fnv::new();
+        match self {
+            OpKind::Kernel { kernel, args, .. } => {
+                h.write_u64(1).write_u64(u64::from(kernel.0));
+                for a in args {
+                    if let LaunchArg::Ptr(p) = a {
+                        h.write_u64(p.addr());
+                    }
+                }
+            }
+            OpKind::Copy { dst, src, len } => {
+                h.write_u64(2)
+                    .write_u64(dst.addr())
+                    .write_u64(src.addr())
+                    .write_u64(*len);
+            }
+            OpKind::Copy2D {
+                dst,
+                src,
+                width,
+                height,
+                ..
+            } => {
+                h.write_u64(3)
+                    .write_u64(dst.addr())
+                    .write_u64(src.addr())
+                    .write_u64(width * height);
+            }
+            OpKind::Memset { ptr, len, .. } => {
+                h.write_u64(4).write_u64(ptr.addr()).write_u64(*len);
+            }
+            OpKind::EventRecord { .. } => {
+                h.write_u64(5);
+            }
+        }
+        h.finish()
+    }
+}
+
 /// A dependency on another stream's progress: "the first `seq` operations
 /// enqueued on `stream` must have completed".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -9,8 +9,10 @@
 use crate::barrier::SimBarrier;
 use crate::datatype::{reduce_bytes, MpiDatatype, ReduceOp};
 use crate::error::MpiError;
+use explore::{ChoiceKind, ScheduleController};
 use parking_lot::Mutex;
 use sim_mem::{AddressSpace, Ptr};
+use std::sync::Arc;
 
 struct Slots {
     contribs: Vec<Option<Vec<u8>>>,
@@ -21,13 +23,22 @@ pub(crate) struct CollShared {
     slots: Mutex<Slots>,
     phase: SimBarrier,
     size: usize,
+    /// Schedule controller plus the world-global lane it is consulted
+    /// on for reduction fold order (participant "arrival" order).
+    /// `None`: ascending rank order, the default schedule.
+    sched: Option<(Arc<dyn ScheduleController>, usize)>,
 }
 
 impl CollShared {
     /// Shared collective state for `size` ranks with an explicit
-    /// phase-barrier poison timeout; `None` keeps the standard
-    /// deadlock-detection timeout.
-    pub fn with_timeout(size: usize, timeout: Option<std::time::Duration>) -> Self {
+    /// phase-barrier poison timeout (`None` keeps the standard
+    /// deadlock-detection timeout) and an optional schedule controller
+    /// deciding reduction fold order on the given lane.
+    pub fn with_schedule(
+        size: usize,
+        timeout: Option<std::time::Duration>,
+        sched: Option<(Arc<dyn ScheduleController>, usize)>,
+    ) -> Self {
         let phase = match timeout {
             Some(t) => SimBarrier::with_timeout(size, "collective phase", t),
             None => SimBarrier::new(size, "collective phase"),
@@ -39,6 +50,7 @@ impl CollShared {
             }),
             phase,
             size,
+            sched,
         }
     }
 
@@ -103,7 +115,7 @@ impl CollShared {
         let result = self.run(
             rank,
             |contribs| contribs[rank] = Some(mine),
-            |slots| slots.result = Some(fold(&slots.contribs, dtype, op)),
+            |slots| slots.result = Some(fold(&slots.contribs, dtype, op, self.sched.as_ref())),
             |slots| slots.result.clone().expect("result computed"),
         )?;
         space.write_bytes(recv_buf, &result)?;
@@ -129,7 +141,7 @@ impl CollShared {
         let result = self.run(
             rank,
             |contribs| contribs[rank] = Some(mine),
-            |slots| slots.result = Some(fold(&slots.contribs, dtype, op)),
+            |slots| slots.result = Some(fold(&slots.contribs, dtype, op, self.sched.as_ref())),
             |slots| slots.result.clone().expect("result computed"),
         )?;
         if rank == root {
@@ -284,29 +296,51 @@ fn concat(contribs: &[Option<Vec<u8>>]) -> Result<Vec<u8>, MpiError> {
     Ok(out)
 }
 
+/// Fold the contributions into one reduction result. The default order
+/// is ascending rank; under a schedule controller the order models the
+/// (unordered) arrival of participants — candidates are the remaining
+/// ranks, seq-ascending with signature = rank, so choice 0 at every
+/// step reproduces the ascending default exactly.
 fn fold(
     contribs: &[Option<Vec<u8>>],
     dtype: MpiDatatype,
     op: ReduceOp,
+    sched: Option<&(Arc<dyn ScheduleController>, usize)>,
 ) -> Result<Vec<u8>, MpiError> {
-    let mut iter = contribs.iter();
-    let mut acc = match iter.next() {
-        Some(Some(first)) => first.clone(),
-        _ => return Err(MpiError::BadRequest),
-    };
-    for c in iter {
-        let Some(c) = c else {
+    let mut order: Vec<usize> = (0..contribs.len()).collect();
+    if let Some((ctrl, lane)) = sched {
+        let mut remaining = order;
+        order = Vec::with_capacity(contribs.len());
+        while !remaining.is_empty() {
+            let k = if remaining.len() > 1 {
+                let sigs: Vec<u64> = remaining.iter().map(|r| *r as u64).collect();
+                ctrl.choose(*lane, ChoiceKind::CollectiveFold, &sigs)
+                    .min(remaining.len() - 1)
+            } else {
+                0
+            };
+            order.push(remaining.remove(k));
+        }
+    }
+    let mut acc: Option<Vec<u8>> = None;
+    for r in order {
+        let Some(c) = &contribs[r] else {
             return Err(MpiError::BadRequest);
         };
-        if c.len() != acc.len() {
-            return Err(MpiError::Truncated {
-                message: c.len() as u64,
-                capacity: acc.len() as u64,
-            });
+        match &mut acc {
+            None => acc = Some(c.clone()),
+            Some(acc) => {
+                if c.len() != acc.len() {
+                    return Err(MpiError::Truncated {
+                        message: c.len() as u64,
+                        capacity: acc.len() as u64,
+                    });
+                }
+                reduce_bytes(dtype, op, acc, c);
+            }
         }
-        reduce_bytes(dtype, op, &mut acc, c);
     }
-    Ok(acc)
+    acc.ok_or(MpiError::BadRequest)
 }
 
 #[cfg(test)]
@@ -423,6 +457,57 @@ mod tests {
         });
         for p in &bufs {
             assert_eq!(sp.read_vec::<f64>(*p, 3).unwrap(), vec![7.0, 8.0, 9.0]);
+        }
+    }
+
+    /// The collective fold choice point: a plan permuting the fold
+    /// order is consulted on the world-global lane, and for a
+    /// commutative reduction every explored order gives the identical
+    /// result (the detector-visible outcome is schedule-independent).
+    #[test]
+    fn fold_order_plans_are_consulted_and_commute() {
+        use explore::{ChoiceKind, ScheduleController, SchedulePlan};
+        let n = 3;
+        for coll_choices in [vec![], vec![2, 1], vec![1, 0]] {
+            let sp = space();
+            let send: Vec<Ptr> = (0..n)
+                .map(|r| {
+                    let p = sp.alloc_array::<i64>(MemKind::HostPageable, 1).unwrap();
+                    sp.write_at::<i64>(p, (r as i64 + 1) * 10).unwrap();
+                    p
+                })
+                .collect();
+            let recv: Vec<Ptr> = (0..n)
+                .map(|_| sp.alloc_array::<i64>(MemKind::HostPageable, 1).unwrap())
+                .collect();
+            let plan =
+                SchedulePlan::with_choices(vec![vec![], vec![], vec![], coll_choices.clone()]);
+            let sched: Arc<dyn ScheduleController> = Arc::clone(&plan) as _;
+            let (s, rc) = (send.clone(), recv.clone());
+            crate::world::run_world_with_schedule(
+                n,
+                Arc::clone(&sp),
+                None,
+                Some(sched),
+                move |comm| {
+                    comm.allreduce(
+                        s[comm.rank()],
+                        rc[comm.rank()],
+                        1,
+                        MpiDatatype::Long,
+                        ReduceOp::Sum,
+                    )
+                    .unwrap();
+                },
+            );
+            for p in &recv {
+                assert_eq!(sp.read_at::<i64>(*p).unwrap(), 60, "sum commutes");
+            }
+            let log = plan.decisions(3);
+            assert_eq!(log.len(), n - 1, "n-1 fold consultations");
+            assert!(log.iter().all(|d| d.kind == ChoiceKind::CollectiveFold));
+            assert_eq!(log[0].arity, 3);
+            assert_eq!(log[1].arity, 2);
         }
     }
 

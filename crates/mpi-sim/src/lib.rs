@@ -37,5 +37,6 @@ pub use datatype::{MpiDatatype, ReduceOp};
 pub use error::MpiError;
 pub use request::{Request, Status};
 pub use world::{
-    run_world, run_world_with_timeout, Comm, ANY_SOURCE, ANY_TAG, PROC_NULL, PROC_NULL_SRC,
+    run_world, run_world_with_schedule, run_world_with_timeout, Comm, ANY_SOURCE, ANY_TAG,
+    PROC_NULL, PROC_NULL_SRC,
 };

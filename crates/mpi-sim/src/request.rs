@@ -42,14 +42,30 @@ impl Flag {
         })
     }
 
+    /// Settle the flag as completed. First settlement wins: an eager
+    /// send's flag is completed at post time, and a later delivery path
+    /// (e.g. a truncating receive failing both sides of the match) must
+    /// never flip an outcome the poster may already have observed —
+    /// whichever thread settles first by mailbox order, not whichever
+    /// acquires this lock last.
     pub fn complete(&self, status: Status) {
-        *self.state.lock() = FlagState::Done(status);
-        self.cv.notify_all();
+        let mut st = self.state.lock();
+        if matches!(*st, FlagState::Pending) {
+            *st = FlagState::Done(status);
+            drop(st);
+            self.cv.notify_all();
+        }
     }
 
+    /// Settle the flag as failed (first settlement wins; see
+    /// [`Flag::complete`]).
     pub fn fail(&self, err: MpiError) {
-        *self.state.lock() = FlagState::Failed(err);
-        self.cv.notify_all();
+        let mut st = self.state.lock();
+        if matches!(*st, FlagState::Pending) {
+            *st = FlagState::Failed(err);
+            drop(st);
+            self.cv.notify_all();
+        }
     }
 
     pub fn wait(&self, what: &str) -> Result<Status, MpiError> {

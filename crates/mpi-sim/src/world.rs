@@ -21,6 +21,7 @@ use crate::collective::CollShared;
 use crate::datatype::{MpiDatatype, ReduceOp};
 use crate::error::MpiError;
 use crate::request::{Flag, Request, RequestKind, Status};
+use explore::{ChoiceKind, ScheduleController};
 use parking_lot::Mutex;
 use sim_mem::{AddressSpace, Ptr};
 use std::sync::Arc;
@@ -80,6 +81,10 @@ pub(crate) struct WorldShared {
     mailboxes: Vec<Mutex<MailboxState>>,
     pub barrier: SimBarrier,
     pub coll: CollShared,
+    /// Installed schedule controller (None: the default schedule).
+    /// Consulted at wildcard-receive matches; collectives hold their
+    /// own copy inside [`CollShared`].
+    sched: Option<Arc<dyn ScheduleController>>,
 }
 
 /// A communicator handle for one rank (the `MPI_COMM_WORLD` analogue).
@@ -271,14 +276,54 @@ impl Comm {
             cap,
             flag: Arc::clone(&flag),
         };
-        // Match the earliest compatible pending send.
-        let candidate = mb
-            .sends
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| matches(src, s.src, tag, s.tag))
-            .min_by_key(|(_, s)| s.seq)
-            .map(|(i, _)| i);
+        // Match the earliest compatible pending send — by recorded
+        // mailbox seq, so the winner is fixed the moment both ops are
+        // stamped, never by lock-acquisition timing. Under a wildcard
+        // with a schedule controller installed, *which* `(src, tag)`
+        // stream wins is a genuine platform choice: the legal
+        // candidates are the per-`(src, tag)` oldest pending sends
+        // (non-overtaking pins the order within a stream), presented
+        // seq-ascending so choice 0 is exactly the default pick.
+        let wildcard = src == ANY_SOURCE || tag == ANY_TAG;
+        let candidate = match &self.shared.sched {
+            Some(sched) if wildcard => {
+                // (send index, seq, src, tag) head of each matching stream.
+                let mut heads: Vec<(usize, u64, usize, i32)> = Vec::new();
+                for (i, s) in mb.sends.iter().enumerate() {
+                    if !matches(src, s.src, tag, s.tag) {
+                        continue;
+                    }
+                    match heads.iter_mut().find(|h| h.2 == s.src && h.3 == s.tag) {
+                        Some(h) if s.seq < h.1 => {
+                            h.0 = i;
+                            h.1 = s.seq;
+                        }
+                        Some(_) => {}
+                        None => heads.push((i, s.seq, s.src, s.tag)),
+                    }
+                }
+                heads.sort_by_key(|h| h.1);
+                if heads.len() > 1 {
+                    let sigs: Vec<u64> = heads
+                        .iter()
+                        .map(|h| ((h.2 as u64) << 32) | u64::from(h.3 as u32))
+                        .collect();
+                    let k = sched
+                        .choose(self.rank, ChoiceKind::WildcardRecv, &sigs)
+                        .min(heads.len() - 1);
+                    Some(heads[k].0)
+                } else {
+                    heads.first().map(|h| h.0)
+                }
+            }
+            _ => mb
+                .sends
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches(src, s.src, tag, s.tag))
+                .min_by_key(|(_, s)| s.seq)
+                .map(|(i, _)| i),
+        };
         match candidate {
             Some(i) => {
                 let send = mb.sends.swap_remove(i);
@@ -549,6 +594,23 @@ pub fn run_world_with_timeout<T: Send>(
     timeout: Option<std::time::Duration>,
     f: impl Fn(Comm) -> T + Send + Sync,
 ) -> Vec<T> {
+    run_world_with_schedule(n, space, timeout, None, f)
+}
+
+/// As [`run_world_with_timeout`] with an optional schedule controller
+/// deciding wildcard-receive matches and collective fold order (the
+/// `explore` crate's choice points). Rank `r` consults controller lane
+/// `r`; collectives use the world-global lane `n` — so a
+/// `SchedulePlan` for this world needs `n + 1` lanes. `None`, or a plan
+/// of all-default choices, reproduces the uncontrolled schedule
+/// exactly.
+pub fn run_world_with_schedule<T: Send>(
+    n: usize,
+    space: Arc<AddressSpace>,
+    timeout: Option<std::time::Duration>,
+    sched: Option<Arc<dyn ScheduleController>>,
+    f: impl Fn(Comm) -> T + Send + Sync,
+) -> Vec<T> {
     assert!(n > 0, "world size must be positive");
     let barrier = match timeout {
         Some(t) => SimBarrier::with_timeout(n, "Barrier", t),
@@ -561,7 +623,8 @@ pub fn run_world_with_timeout<T: Send>(
             .map(|_| Mutex::new(MailboxState::default()))
             .collect(),
         barrier,
-        coll: CollShared::with_timeout(n, timeout),
+        coll: CollShared::with_schedule(n, timeout, sched.as_ref().map(|s| (Arc::clone(s), n))),
+        sched,
     });
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..n)
@@ -954,5 +1017,128 @@ mod tests {
         space
             .with_slice_mut::<f64, _>(p, 1024, |s| s.fill(v))
             .unwrap();
+    }
+
+    /// Satellite regression: a completing `irecv` and a blocking `recv`
+    /// racing for the same pending sends must resolve by recorded
+    /// mailbox seq (post order), never by completion-wait timing. Two
+    /// threads share rank 0's communicator; their post order is pinned
+    /// by a handshake, so the irecv (posted first) must take the
+    /// first-seq send and the blocking recv the second — on every run.
+    #[test]
+    fn concurrent_irecv_and_recv_resolve_by_seq() {
+        for _ in 0..64 {
+            let sp = space();
+            let a = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+            let b = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+            let tx1 = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+            let tx2 = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+            sp.write_at::<i32>(tx1, 111).unwrap();
+            sp.write_at::<i32>(tx2, 222).unwrap();
+            run_world(2, Arc::clone(&sp), move |comm| {
+                if comm.rank() == 1 {
+                    comm.send(tx1, 1, MpiDatatype::Int, 0, 0).unwrap();
+                    comm.send(tx2, 1, MpiDatatype::Int, 0, 0).unwrap();
+                    comm.barrier().unwrap();
+                } else {
+                    comm.barrier().unwrap(); // both sends are now pending
+                    let (sig_tx, sig_rx) = std::sync::mpsc::channel::<()>();
+                    std::thread::scope(|s| {
+                        let comm = &comm;
+                        let helper = s.spawn(move || {
+                            let mut req = comm.irecv(a, 1, MpiDatatype::Int, 1, 0).unwrap();
+                            sig_tx.send(()).unwrap(); // posted (and seq-stamped)
+                            comm.wait(&mut req).unwrap()
+                        });
+                        sig_rx.recv().unwrap();
+                        let st2 = comm.recv(b, 1, MpiDatatype::Int, 1, 0).unwrap();
+                        let st1 = helper.join().unwrap();
+                        assert_eq!(st1.bytes, 4);
+                        assert_eq!(st2.bytes, 4);
+                    });
+                }
+            });
+            assert_eq!(sp.read_at::<i32>(a).unwrap(), 111, "irecv posted first");
+            assert_eq!(sp.read_at::<i32>(b).unwrap(), 222, "recv posted second");
+        }
+    }
+
+    /// Satellite regression: an eager send's flag settles at post time;
+    /// a later truncating receive failing both sides of the match must
+    /// not flip the sender's already-settled success (first settlement
+    /// wins, regardless of lock-acquisition timing).
+    #[test]
+    fn eager_send_flag_survives_truncating_recv() {
+        let sp = space();
+        let tx = sp.alloc_array::<i32>(MemKind::HostPageable, 4).unwrap();
+        let small = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+        let results = run_world(2, Arc::clone(&sp), move |comm| {
+            if comm.rank() == 1 {
+                // Eager: completes at post, before any receive exists.
+                let mut req = comm.isend(tx, 4, MpiDatatype::Int, 0, 0).unwrap();
+                comm.barrier().unwrap();
+                comm.barrier().unwrap(); // rank 0's truncating recv ran
+                comm.wait(&mut req)
+            } else {
+                comm.barrier().unwrap();
+                let r = comm.recv(small, 1, MpiDatatype::Int, 1, 0);
+                assert!(matches!(r, Err(MpiError::Truncated { .. })));
+                comm.barrier().unwrap();
+                Ok(Status {
+                    source: 1,
+                    tag: 0,
+                    bytes: 0,
+                })
+            }
+        });
+        assert!(
+            results[0].is_ok(),
+            "settled eager send flipped to {:?}",
+            results[0]
+        );
+    }
+
+    /// The wildcard choice point: under the default schedule an
+    /// `ANY_TAG` receive matches the minimum-seq pending send; a plan
+    /// choosing candidate 1 matches the other `(src, tag)` stream.
+    /// Non-wildcard matching never consults the controller.
+    #[test]
+    fn wildcard_choice_point_follows_the_plan() {
+        use explore::SchedulePlan;
+        for (rank0_choices, want, want_tag) in
+            [(vec![], 100, 10), (vec![0], 100, 10), (vec![1], 200, 20)]
+        {
+            let sp = space();
+            let a = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+            let b = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+            let rx = sp.alloc_array::<i32>(MemKind::HostPageable, 1).unwrap();
+            sp.write_at::<i32>(a, 100).unwrap();
+            sp.write_at::<i32>(b, 200).unwrap();
+            let plan = SchedulePlan::with_choices(vec![rank0_choices, vec![], vec![]]);
+            let sched: Arc<dyn ScheduleController> = Arc::clone(&plan) as _;
+            run_world_with_schedule(2, Arc::clone(&sp), None, Some(sched), move |comm| {
+                if comm.rank() == 1 {
+                    comm.send(a, 1, MpiDatatype::Int, 0, 10).unwrap();
+                    comm.send(b, 1, MpiDatatype::Int, 0, 20).unwrap();
+                    comm.barrier().unwrap();
+                } else {
+                    comm.barrier().unwrap(); // both streams pending
+                    let st = comm.recv(rx, 1, MpiDatatype::Int, 1, ANY_TAG).unwrap();
+                    assert_eq!(st.tag, want_tag);
+                    // Drain the other message; a unique (src, tag) head
+                    // never consults the controller.
+                    let other = if want_tag == 10 { 20 } else { 10 };
+                    comm.recv(rx, 1, MpiDatatype::Int, 1, other).unwrap();
+                }
+            });
+            assert_eq!(
+                sp.read_at::<i32>(rx).unwrap(),
+                if want == 100 { 200 } else { 100 }
+            );
+            let decisions = plan.decisions(0);
+            assert_eq!(decisions.len(), 1, "one wildcard consultation");
+            assert_eq!(decisions[0].arity, 2);
+            assert_eq!(decisions[0].kind, explore::ChoiceKind::WildcardRecv);
+        }
     }
 }

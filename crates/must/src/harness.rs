@@ -12,9 +12,10 @@
 use crate::checks::MustReport;
 use crate::mpi::CheckedMpi;
 use cuda_sim::CudaCounters;
-use cusan::{AsyncCheckStats, CusanCuda, EventCounters, ToolConfig, ToolCtx};
+use cusan::{AsyncCheckStats, CusanCuda, CusanEvent, EventCounters, ToolConfig, ToolCtx};
+use explore::{Decision, ScheduleController, SchedulePlan};
 use kernel_ir::KernelRegistry;
-use mpi_sim::run_world_with_timeout;
+use mpi_sim::run_world_with_schedule;
 use sim_mem::{AddressSpace, DeviceId, SpaceStats};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -140,7 +141,7 @@ pub fn run_checked_world<T: Send>(
     registry: Arc<KernelRegistry>,
     f: impl Fn(&mut RankCtx) -> T + Send + Sync,
 ) -> WorldOutcome<T> {
-    run_world_impl(n, config.into(), registry, false, f)
+    run_world_impl(n, config.into(), registry, false, None, f)
 }
 
 /// Like [`run_checked_world`], but with a trace sink installed on every
@@ -152,7 +153,50 @@ pub fn run_checked_world_traced<T: Send>(
     registry: Arc<KernelRegistry>,
     f: impl Fn(&mut RankCtx) -> T + Send + Sync,
 ) -> WorldOutcome<T> {
-    run_world_impl(n, config.into(), registry, true, f)
+    run_world_impl(n, config.into(), registry, true, None, f)
+}
+
+/// Like [`run_checked_world`], but with a [`SchedulePlan`] installed on
+/// every commutable choice point of the simulators: wildcard-receive
+/// matching and collective fold order (rank `r` consults plan lane `r`,
+/// collectives the world-global lane `n`) and full-device stream drains.
+/// The plan must have `n + 1` lanes ([`SchedulePlan::defaults`] /
+/// [`SchedulePlan::with_choices`] with `n + 1` vectors). Every decision
+/// the plan actually made is emitted as a [`CusanEvent::ScheduleChoice`]
+/// marker at the end of the rank's stream (rank 0 also carries the
+/// collective lane), so a recorded trace is schedule-complete.
+pub fn run_checked_world_scheduled<T: Send>(
+    n: usize,
+    config: impl Into<ToolConfig>,
+    registry: Arc<KernelRegistry>,
+    plan: Arc<SchedulePlan>,
+    f: impl Fn(&mut RankCtx) -> T + Send + Sync,
+) -> WorldOutcome<T> {
+    run_world_impl(n, config.into(), registry, false, Some(plan), f)
+}
+
+/// [`run_checked_world_scheduled`] with a trace sink installed on every
+/// rank (the scheduled twin of [`run_checked_world_traced`]).
+pub fn run_checked_world_scheduled_traced<T: Send>(
+    n: usize,
+    config: impl Into<ToolConfig>,
+    registry: Arc<KernelRegistry>,
+    plan: Arc<SchedulePlan>,
+    f: impl Fn(&mut RankCtx) -> T + Send + Sync,
+) -> WorldOutcome<T> {
+    run_world_impl(n, config.into(), registry, true, Some(plan), f)
+}
+
+/// Emit the plan's consulted decisions on `lane` as trace markers.
+fn emit_schedule_choices(tools: &ToolCtx, decisions: &[Decision]) {
+    for d in decisions {
+        let kind = tools.intern_label(d.kind.label());
+        tools.emit(CusanEvent::ScheduleChoice {
+            kind,
+            arity: u64::from(d.arity),
+            chosen: u64::from(d.chosen),
+        });
+    }
 }
 
 fn run_world_impl<T: Send>(
@@ -160,6 +204,7 @@ fn run_world_impl<T: Send>(
     config: ToolConfig,
     registry: Arc<KernelRegistry>,
     record: bool,
+    plan: Option<Arc<SchedulePlan>>,
     f: impl Fn(&mut RankCtx) -> T + Send + Sync,
 ) -> WorldOutcome<T> {
     let space = Arc::new(AddressSpace::new());
@@ -171,19 +216,27 @@ fn run_world_impl<T: Send>(
     let barrier_timeout = cusan::ctx::barrier_timeout_env()
         .or(config.barrier_timeout_ms)
         .map(std::time::Duration::from_millis);
-    let pairs = run_world_with_timeout(n, space, barrier_timeout, move |comm| {
+    let sched = plan
+        .as_ref()
+        .map(|p| Arc::clone(p) as Arc<dyn ScheduleController>);
+    let plan = &plan;
+    let pairs = run_world_with_schedule(n, space, barrier_timeout, sched, move |comm| {
         let rank = comm.rank();
         let tools = Rc::new(ToolCtx::new(rank, config));
         // The trace sink must observe every event, including the default
         // stream's FiberCreate emitted by CusanCuda::new below.
         let trace_buf = record.then(|| tools.install_trace_sink());
         let space = Arc::clone(comm.space());
-        let cuda = CusanCuda::new(
+        let mut cuda = CusanCuda::new(
             DeviceId(rank as u32),
             space,
             Arc::clone(registry),
             Rc::clone(&tools),
         );
+        if let Some(plan) = plan {
+            cuda.device_mut()
+                .set_schedule_controller(Arc::clone(plan) as Arc<dyn ScheduleController>, rank);
+        }
         let mpi = CheckedMpi::new(comm, Rc::clone(&tools));
         let mut ctx = RankCtx { tools, cuda, mpi };
         let result = f(&mut ctx);
@@ -195,6 +248,17 @@ fn run_world_impl<T: Send>(
         if let Err(e) = ctx.cuda.flush() {
             ctx.tools
                 .report_diagnostic(format!("device flush at teardown failed: {e}"));
+        }
+        // Record the schedule that produced this execution. All of this
+        // rank's decisions are final here (the teardown flush above was
+        // the last possible choice point); the collective lane is final
+        // too once any rank's closure returned (collectives involve all
+        // ranks), and rank 0 carries it.
+        if let Some(plan) = plan {
+            emit_schedule_choices(&ctx.tools, &plan.decisions(rank));
+            if rank == 0 {
+                emit_schedule_choices(&ctx.tools, &plan.decisions(plan.collective_lane()));
+            }
         }
         // Flush barrier: with the async backend, wait for the detector
         // thread to drain the event queue so every accessor below reads

@@ -149,6 +149,28 @@ impl std::fmt::Display for FeedError {
     }
 }
 
+/// Opening or attaching to a session can fail in typed,
+/// client-distinguishable ways (the protocol layer maps these onto `E`
+/// frames verbatim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttachError {
+    /// `O` with an id that is already registered.
+    AlreadyOpen,
+    /// The server is at `max_sessions` capacity.
+    AtCapacity,
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::AlreadyOpen => f.write_str("session id already open"),
+            AttachError::AtCapacity => f.write_str("server at session capacity"),
+        }
+    }
+}
+
+impl std::error::Error for AttachError {}
+
 /// Where a live session's state currently is.
 enum LiveState {
     /// In memory, registered with the checker pool.
@@ -308,17 +330,29 @@ impl ServeEngine {
     }
 
     /// Open a brand-new session attached to the calling connection.
-    pub fn open_new(&self, id: u64) -> Result<(), String> {
+    pub fn open_new(&self, id: u64) -> Result<(), AttachError> {
         let mut live = self.live.lock();
         if live.contains_key(&id) {
-            return Err("session id already open".to_string());
+            return Err(AttachError::AlreadyOpen);
         }
+        self.insert_fresh_locked(&mut live, id)?;
+        drop(live);
+        self.state.lock().sessions_opened += 1;
+        Ok(())
+    }
+
+    /// Insert a fresh attached session under the held registry lock.
+    fn insert_fresh_locked(
+        &self,
+        live: &mut HashMap<u64, Arc<Mutex<LiveSession>>>,
+        id: u64,
+    ) -> Result<(), AttachError> {
         if self
             .config
             .max_sessions
             .is_some_and(|max| live.len() >= max)
         {
-            return Err("server at session capacity".to_string());
+            return Err(AttachError::AtCapacity);
         }
         live.insert(
             id,
@@ -329,24 +363,41 @@ impl ServeEngine {
                 last_touch: Instant::now(),
             })),
         );
-        drop(live);
-        self.state.lock().sessions_opened += 1;
         Ok(())
     }
 
     /// Attach to session `id`, creating it if unknown (the `R` frame).
     /// Returns the acked byte offset the client must resume from.
-    pub fn resume(&self, id: u64) -> Result<u64, String> {
-        if let Some(sess) = self.lookup(id) {
+    ///
+    /// The attach bump happens *under the registry lock*: [`sweep_idle`]
+    /// removes entries only while holding that lock, so a session
+    /// observed here cannot expire before the bump lands — a resume
+    /// either fully attaches (and the sweeper then spares it) or finds
+    /// no session at all and opens fresh at offset 0. The previous
+    /// lookup-then-bump shape lost this race: the sweeper's idle
+    /// re-check could not see the late bump, and the client ended up
+    /// attached to a ghost whose registry entry and disk state were
+    /// already gone.
+    ///
+    /// [`sweep_idle`]: ServeEngine::sweep_idle
+    pub fn resume(&self, id: u64) -> Result<u64, AttachError> {
+        let mut live = self.live.lock();
+        if let Some(sess) = live.get(&id) {
             let mut s = sess.lock();
             s.attach_count += 1;
             s.last_touch = Instant::now();
             let acked = s.acked;
             drop(s);
+            drop(live);
             self.state.lock().sessions_resumed += 1;
             return Ok(acked);
         }
-        self.open_new(id).map(|()| 0)
+        // Unknown (or just-expired) id: open fresh without releasing the
+        // registry lock, so no concurrent open/sweep can interleave.
+        self.insert_fresh_locked(&mut live, id)?;
+        drop(live);
+        self.state.lock().sessions_opened += 1;
+        Ok(0)
     }
 
     /// Touch session `id` (the `H` frame, and duplicate `R`s): refresh
@@ -594,9 +645,16 @@ impl ServeEngine {
         };
         let mut n = 0;
         for id in expired {
-            // Re-check under the lock: a frame may have attached since.
+            // Re-check under the registry lock — the same lock `resume`
+            // holds across its attach bump, so this check and the
+            // removal below are atomic against attaches: a session that
+            // re-attached (or was merely touched) since the scan is
+            // spared. The clock is re-read so a touch after the scan
+            // resets idleness instead of being compared against a stale
+            // `now`.
             let removed = {
                 let mut live = self.live.lock();
+                let now = Instant::now();
                 let still_idle = live.get(&id).is_some_and(|sess| {
                     let s = sess.lock();
                     s.attach_count == 0 && now.duration_since(s.last_touch) >= timeout

@@ -45,7 +45,7 @@ pub mod proto;
 
 pub use chaos::{chaos_serve, ChaosOptions, ChaosReport};
 pub use client::{check_traces_resilient, RetryPolicy};
-pub use engine::{EngineConfig, FeedError, ServeEngine, ServeStats};
+pub use engine::{AttachError, EngineConfig, FeedError, ServeEngine, ServeStats};
 pub use ingest::SessionIngest;
 pub use json::summary_to_json;
 pub use labels::SharedLabels;

@@ -334,7 +334,10 @@ fn serve_frames<R: Read, W: Write>(
                     Ok(()) => {
                         mine.insert(id);
                     }
-                    Err(e) => write_frame(writer, &frame_with_id(OP_ERROR, id, e.as_bytes()))?,
+                    Err(e) => write_frame(
+                        writer,
+                        &frame_with_id(OP_ERROR, id, e.to_string().as_bytes()),
+                    )?,
                 }
             }
             OP_RESUME => {
@@ -345,7 +348,7 @@ fn serve_frames<R: Read, W: Write>(
                 let r = if mine.contains(&id) {
                     engine.touch(id)
                 } else {
-                    engine.resume(id).inspect(|_| {
+                    engine.resume(id).map_err(|e| e.to_string()).inspect(|_| {
                         mine.insert(id);
                     })
                 };

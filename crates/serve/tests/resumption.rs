@@ -11,8 +11,8 @@ use cusan_serve::proto::{
     write_frame,
 };
 use cusan_serve::{
-    serve_connection, serve_listener, solo_summary, summary_to_json, EngineConfig, FeedError,
-    Reply, ServeEngine,
+    serve_connection, serve_listener, solo_summary, summary_to_json, AttachError, EngineConfig,
+    FeedError, Reply, ServeEngine,
 };
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -84,13 +84,11 @@ fn session_capacity_is_a_graceful_typed_error() {
     });
     engine.open_new(1).unwrap();
     engine.open_new(2).unwrap();
-    assert_eq!(
-        engine.open_new(3).unwrap_err(),
-        "server at session capacity"
-    );
+    assert_eq!(engine.open_new(3).unwrap_err(), AttachError::AtCapacity);
+    assert_eq!(engine.open_new(1).unwrap_err(), AttachError::AlreadyOpen);
     // Resuming an *unknown* session is an open and hits the cap too;
     // resuming a live one does not.
-    assert_eq!(engine.resume(3).unwrap_err(), "server at session capacity");
+    assert_eq!(engine.resume(3).unwrap_err(), AttachError::AtCapacity);
     assert_eq!(engine.resume(1).unwrap(), 0);
     // Closing frees a slot.
     let _ = engine.close(1);
@@ -147,6 +145,69 @@ fn detached_idle_sessions_expire() {
 
     // An expired id resumes as a brand-new session from offset 0.
     assert_eq!(engine.resume(1).unwrap(), 0);
+}
+
+#[test]
+fn resume_at_idle_expiry_fully_attaches() {
+    // A zero idle timeout makes every detached session instantly
+    // expirable — the tightest possible race between `resume` and
+    // `sweep_idle`. The contract: once `resume` returns Ok, the session
+    // is fully attached, so the sweeper must spare it and the very next
+    // frame must find it.
+    let engine = ServeEngine::new(EngineConfig {
+        idle_timeout: Some(Duration::ZERO),
+        ..EngineConfig::default()
+    });
+    engine.open_new(1).unwrap();
+    engine.detach(1);
+    // Expirable right now — but a resume wins deterministically.
+    assert_eq!(engine.resume(1).unwrap(), 0);
+    assert_eq!(engine.sweep_idle(), 0, "attached session must not expire");
+    assert!(
+        engine.touch(1).is_ok(),
+        "resume handed back a ghost session"
+    );
+    engine.detach(1);
+    assert_eq!(engine.sweep_idle(), 1);
+}
+
+#[test]
+fn resume_never_observes_a_half_expired_session() {
+    // Regression for the sweep/resume race: `resume` used to look the
+    // session up lock-free and bump `attach_count` afterwards, so the
+    // sweeper's idle re-check could remove the entry (and its disk
+    // state) in between — the client got Ok(acked) for a session that
+    // no longer existed, and its next frame failed with "session not
+    // open". Hammer the window: a sweeper thread expires non-stop while
+    // this thread cycles resume → touch → detach. Every Ok resume must
+    // be followed by a successful touch.
+    let engine = ServeEngine::new(EngineConfig {
+        idle_timeout: Some(Duration::ZERO),
+        ..EngineConfig::default()
+    });
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let sweeper = {
+            let engine = Arc::clone(&engine);
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    engine.sweep_idle();
+                }
+            })
+        };
+        for i in 0..2000 {
+            let acked = engine.resume(1).expect("resume is total up to capacity");
+            assert_eq!(acked, 0, "expired sessions restart at offset 0");
+            assert!(
+                engine.touch(1).is_ok(),
+                "iteration {i}: resume returned Ok for a swept session"
+            );
+            engine.detach(1);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        sweeper.join().unwrap();
+    });
 }
 
 #[test]
